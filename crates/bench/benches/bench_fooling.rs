@@ -1,0 +1,31 @@
+//! P6 — fooling-pair search (the inexpressibility witness generator).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fc_games::fooling::FoolingInstance;
+use fc_relations::languages;
+
+fn anbn_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("P6-fooling-search");
+    g.sample_size(10);
+    g.bench_function("anbn-k1", |b| {
+        let inst = FoolingInstance::new("", "a", "", "b", "", |p| p).unwrap();
+        b.iter(|| inst.fooling_pair(1, 10))
+    });
+    g.bench_function("a-ba-k1", |b| {
+        let inst = FoolingInstance::new("", "a", "", "ba", "", |p| p).unwrap();
+        b.iter(|| inst.fooling_pair(1, 10))
+    });
+    g.finish();
+}
+
+fn catalogue_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("P6-catalogue");
+    g.sample_size(10);
+    for lang in languages::catalogue() {
+        g.bench_function(lang.name, move |b| b.iter(|| lang.fooling_pair(1, 12)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, anbn_search, catalogue_search);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! P3 — FC model checking: scaling and the guarded-vs-naive ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fc_logic::eval::{holds, holds_naive, Assignment};
+use fc_logic::{library, FactorStructure};
+use fc_words::{fibonacci, Alphabet};
+
+fn square_language(c: &mut Criterion) {
+    let mut g = c.benchmark_group("P3-phi-square");
+    for n in [4usize, 8, 12, 16] {
+        let w = fc_bench::periodic(n / 2);
+        let s = FactorStructure::new(w, &Alphabet::ab());
+        g.bench_with_input(BenchmarkId::from_parameter(n), &s, |b, s| {
+            let phi = library::phi_square();
+            b.iter(|| holds(&phi, s, &Assignment::new()))
+        });
+    }
+    g.finish();
+}
+
+fn fib_guarded_vs_naive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("P3-phi-fib-ablation");
+    g.sample_size(10);
+    let phi = library::phi_fib();
+    for n in [1usize, 2] {
+        let member = fibonacci::l_fib_member(n);
+        let s = FactorStructure::new(member, &Alphabet::abc());
+        g.bench_with_input(BenchmarkId::new("guarded", n), &s, |b, s| {
+            b.iter(|| holds(&phi, s, &Assignment::new()))
+        });
+        if n <= 1 {
+            g.bench_with_input(BenchmarkId::new("naive", n), &s, |b, s| {
+                b.iter(|| holds_naive(&phi, s, &Assignment::new()))
+            });
+        }
+    }
+    // Guarded-only for the larger member (naive is infeasible — the point).
+    let member = fibonacci::l_fib_member(3);
+    let s = FactorStructure::new(member, &Alphabet::abc());
+    g.bench_function("guarded/3", |b| b.iter(|| holds(&phi, &s, &Assignment::new())));
+    g.finish();
+}
+
+fn vbv_rank5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("P3-phi-vbv");
+    let phi = library::phi_vbv();
+    for p in [3usize, 5, 7] {
+        let w = format!("{}b{}", "a".repeat(p), "a".repeat(p));
+        let s = FactorStructure::of_str(&w, &Alphabet::ab());
+        g.bench_with_input(BenchmarkId::from_parameter(p), &s, |b, s| {
+            b.iter(|| holds(&phi, s, &Assignment::new()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, square_language, fib_guarded_vs_naive, vbv_rank5);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! P2 — Lemma 3.6 machinery: minimal unary pair search and class tables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fc_games::pow2::{minimal_unary_pair, unary_classes};
+
+fn pair_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("P2-minimal-pair");
+    g.sample_size(10);
+    g.bench_function("k1-limit8", |b| b.iter(|| minimal_unary_pair(1, 8)));
+    g.bench_function("k2-limit14", |b| b.iter(|| minimal_unary_pair(2, 14)));
+    g.finish();
+}
+
+fn class_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("P2-classes");
+    g.sample_size(10);
+    for limit in [8usize, 12, 16] {
+        g.bench_with_input(BenchmarkId::new("k1", limit), &limit, |b, &limit| {
+            b.iter(|| unary_classes(1, limit))
+        });
+    }
+    g.bench_function("k2-limit14", |b| b.iter(|| unary_classes(2, 14)));
+    g.finish();
+}
+
+criterion_group!(benches, pair_search, class_tables);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! P7 — the regular-language pipeline: parse → NFA → DFA → minimize →
+//! boundedness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fc_reglang::bounded::{bounded_witness, is_bounded};
+use fc_reglang::{Dfa, Nfa, Regex};
+
+const PATTERNS: [&str; 5] = ["(a|b)*abb", "(ab)*", "a*b*a*b*", "(a|bb)+", "(aab)*b*(ba)*"];
+
+fn pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("P7-pipeline");
+    for pat in PATTERNS {
+        g.bench_with_input(BenchmarkId::new("regex-to-min-dfa", pat), &pat, |b, pat| {
+            b.iter(|| {
+                let re = Regex::parse(pat).unwrap();
+                Dfa::from_regex(&re, b"ab")
+            })
+        });
+    }
+    g.finish();
+}
+
+fn nfa_vs_dfa_membership(c: &mut Criterion) {
+    let mut g = c.benchmark_group("P7-membership");
+    let re = Regex::parse("(a|b)*abb").unwrap();
+    let nfa = Nfa::from_regex(&re);
+    let dfa = Dfa::from_regex(&re, b"ab");
+    let w = fc_bench::lcg_word(256, 9);
+    g.bench_function("nfa-256", |b| b.iter(|| nfa.accepts(w.bytes())));
+    g.bench_function("dfa-256", |b| b.iter(|| dfa.accepts(w.bytes())));
+    g.finish();
+}
+
+fn boundedness(c: &mut Criterion) {
+    let mut g = c.benchmark_group("P7-boundedness");
+    for pat in PATTERNS {
+        let dfa = Dfa::from_regex(&Regex::parse(pat).unwrap(), b"ab");
+        g.bench_with_input(BenchmarkId::new("decide", pat), &dfa, |b, dfa| {
+            b.iter(|| is_bounded(dfa))
+        });
+    }
+    let dfa = Dfa::from_regex(&Regex::parse("(aab)*b*(ba)*").unwrap(), b"ab");
+    g.bench_function("witness", |b| b.iter(|| bounded_witness(&dfa)));
+    g.finish();
+}
+
+criterion_group!(benches, pipeline, nfa_vs_dfa_membership, boundedness);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! P1 — exact EF solver scaling: ≡_k decision vs word length and rank.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fc_bench::{lcg_word, periodic, unary};
+use fc_games::solver::EfSolver;
+use fc_games::GamePair;
+use fc_words::Alphabet;
+
+fn solver_unary(c: &mut Criterion) {
+    let mut g = c.benchmark_group("P1-solver-unary");
+    for n in [6usize, 10, 14, 18] {
+        for k in [1u32, 2] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("k{k}"), n),
+                &(n, k),
+                |b, &(n, k)| {
+                    b.iter(|| {
+                        let mut s = EfSolver::new(GamePair::new(
+                            unary(n),
+                            unary(n + 2),
+                            &Alphabet::unary(),
+                        ));
+                        s.equivalent(k)
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn solver_periodic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("P1-solver-periodic");
+    for n in [4usize, 8, 12] {
+        g.bench_with_input(BenchmarkId::new("k1", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut s = EfSolver::new(GamePair::new(
+                    periodic(n),
+                    periodic(n + 2),
+                    &Alphabet::ab(),
+                ));
+                s.equivalent(1)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn solver_random(c: &mut Criterion) {
+    let mut g = c.benchmark_group("P1-solver-random-words");
+    g.sample_size(20);
+    for len in [4usize, 6, 8] {
+        g.bench_with_input(BenchmarkId::new("k2", len), &len, |b, &len| {
+            b.iter(|| {
+                let mut s = EfSolver::new(GamePair::new(
+                    lcg_word(len, 1),
+                    lcg_word(len, 2),
+                    &Alphabet::ab(),
+                ));
+                s.equivalent(2)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, solver_unary, solver_periodic, solver_random);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! P8 — spanner evaluation: regex formulas, joins, selections, and the
+//! Theorem 5.5 reduction spanners.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fc_bench::lcg_word;
+use fc_relations::reductions;
+use fc_spanners::regex_formula::RegexFormula;
+use fc_spanners::spanner::Spanner;
+use std::rc::Rc;
+
+fn extraction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("P8-extractor");
+    let spanner = Spanner::regex(RegexFormula::extractor(RegexFormula::capture(
+        "x",
+        RegexFormula::pattern("ab"),
+    )));
+    for len in [16usize, 32, 64] {
+        let doc = lcg_word(len, 3);
+        g.bench_with_input(BenchmarkId::from_parameter(len), &doc, |b, doc| {
+            b.iter(|| spanner.evaluate(doc.bytes()))
+        });
+    }
+    g.finish();
+}
+
+fn algebra_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("P8-algebra");
+    g.sample_size(20);
+    let split = Spanner::regex(RegexFormula::cat([
+        RegexFormula::capture("x", RegexFormula::any_star()),
+        RegexFormula::capture("y", RegexFormula::any_star()),
+    ]));
+    let eq = Spanner::eq_select("x", "y", split.clone());
+    let diff = Rc::new(Spanner::Difference(split.clone(), eq.clone()));
+    for len in [8usize, 16, 24] {
+        let doc = lcg_word(len, 4);
+        g.bench_with_input(BenchmarkId::new("eq-select", len), &doc, |b, doc| {
+            b.iter(|| eq.evaluate(doc.bytes()))
+        });
+        g.bench_with_input(BenchmarkId::new("difference", len), &doc, |b, doc| {
+            b.iter(|| diff.evaluate(doc.bytes()))
+        });
+    }
+    g.finish();
+}
+
+fn reduction_spanners(c: &mut Criterion) {
+    let mut g = c.benchmark_group("P8-reductions");
+    g.sample_size(10);
+    for case in reductions::all_reductions() {
+        let member: Vec<u8> = match case.language {
+            "L5" => b"abaabbbbaaba".to_vec(),
+            _ => b"aabb".to_vec(),
+        };
+        g.bench_function(case.relation, move |b| {
+            b.iter(|| case.spanner.accepts(&member))
+        });
+    }
+    g.finish();
+}
+
+fn backend_ablation(c: &mut Criterion) {
+    use fc_spanners::vset_automaton::VSetAutomaton;
+    let mut g = c.benchmark_group("P8-backend-ablation");
+    g.sample_size(20);
+    let formula = RegexFormula::extractor(RegexFormula::capture(
+        "x",
+        RegexFormula::pattern("(ab)+"),
+    ));
+    let automaton = VSetAutomaton::compile(&formula);
+    for len in [12usize, 24] {
+        let doc = lcg_word(len, 11);
+        g.bench_with_input(BenchmarkId::new("ast-matcher", len), &doc, |b, doc| {
+            b.iter(|| formula.evaluate(doc.bytes()))
+        });
+        g.bench_with_input(BenchmarkId::new("vset-automaton", len), &doc, |b, doc| {
+            b.iter(|| automaton.evaluate(doc.bytes()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, extraction, algebra_ops, reduction_spanners, backend_ablation);
+criterion_main!(benches);

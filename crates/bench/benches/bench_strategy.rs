@@ -1,0 +1,55 @@
+//! P4 — the crossover: composed-strategy responses vs exact-solver
+//! decisions on the same games (Lemma 4.4 / 4.9 as algorithms).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fc_games::solver::EfSolver;
+use fc_games::strategies::{PrimitivePowerStrategy, UnaryEndAlignedStrategy};
+use fc_games::strategy::DuplicatorStrategy;
+use fc_games::{GamePair, Side};
+use fc_words::Word;
+
+/// Duplicator answering one Spoiler move via the Primitive Power strategy.
+fn strategy_response(c: &mut Criterion) {
+    let mut g = c.benchmark_group("P4-response-primitive-power");
+    for (p, q) in [(12usize, 14usize), (24, 26), (48, 50)] {
+        let lookup_game = GamePair::of(&"a".repeat(q), &"a".repeat(p));
+        let lookup = UnaryEndAlignedStrategy::new(q, p, p.saturating_sub(5));
+        let strat =
+            PrimitivePowerStrategy::new(Word::from("ab"), lookup_game, Box::new(lookup));
+        let composed = strat.composed_game();
+        let pick = composed
+            .a
+            .id_of(Word::from("ab").pow(q - 1).bytes())
+            .unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(q), &(), |b, _| {
+            b.iter(|| {
+                let mut s = strat.boxed_clone();
+                s.respond(&composed, Side::A, pick)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The exact solver deciding the same composed equivalences — the
+/// brute-force baseline the composition replaces.
+fn solver_baseline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("P4-solver-baseline");
+    g.sample_size(10);
+    for (p, q) in [(12usize, 14usize), (24, 26)] {
+        g.bench_with_input(BenchmarkId::from_parameter(q), &(p, q), |b, &(p, q)| {
+            b.iter(|| {
+                let mut s = EfSolver::new(GamePair::new(
+                    Word::from("ab").pow(q),
+                    Word::from("ab").pow(p),
+                    &fc_words::Alphabet::ab(),
+                ));
+                s.equivalent(1)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, strategy_response, solver_baseline);
+criterion_main!(benches);

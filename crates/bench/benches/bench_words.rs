@@ -1,0 +1,52 @@
+//! P5 — word-combinatorics substrate: factor indexing, primitivity,
+//! exponents.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fc_bench::lcg_word;
+use fc_words::exponent::exp;
+use fc_words::factors::{factor_set, FactorIndex};
+use fc_words::primitivity::is_primitive;
+
+fn factor_indexing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("P5-factor-index");
+    for len in [32usize, 128, 512] {
+        let w = lcg_word(len, 42);
+        g.bench_with_input(BenchmarkId::new("suffix-automaton", len), &w, |b, w| {
+            b.iter(|| FactorIndex::build(w.bytes()))
+        });
+        if len <= 128 {
+            g.bench_with_input(BenchmarkId::new("naive-set", len), &w, |b, w| {
+                b.iter(|| factor_set(w.bytes()))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn membership_queries(c: &mut Criterion) {
+    let mut g = c.benchmark_group("P5-factor-membership");
+    let w = lcg_word(512, 42);
+    let idx = FactorIndex::build(w.bytes());
+    let probe = lcg_word(32, 43);
+    g.bench_function("indexed", |b| b.iter(|| idx.contains(probe.bytes())));
+    g.bench_function("kmp", |b| {
+        b.iter(|| fc_words::is_factor(probe.bytes(), w.bytes()))
+    });
+    g.finish();
+}
+
+fn primitivity_and_exponent(c: &mut Criterion) {
+    let mut g = c.benchmark_group("P5-primitivity-exp");
+    for len in [64usize, 256, 1024] {
+        let w = lcg_word(len, 5);
+        g.bench_with_input(BenchmarkId::new("is_primitive", len), &w, |b, w| {
+            b.iter(|| is_primitive(w.bytes()))
+        });
+    }
+    let big = fc_words::Word::from("aab").pow(200);
+    g.bench_function("exp-aab-600", |b| b.iter(|| exp(b"aab", big.bytes())));
+    g.finish();
+}
+
+criterion_group!(benches, factor_indexing, membership_queries, primitivity_and_exponent);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+use fc_games::pow2::unary_equivalent;
+use std::io::Write;
+fn main() {
+    let mut out = std::io::stdout();
+    'outer: for q in 40..=160usize {
+        for d in [2usize, 4, 6, 8, 12, 16, 24, 36, 48] {
+            if d >= q { continue; }
+            let p = q - d;
+            let t = std::time::Instant::now();
+            if unary_equivalent(p, q, 3) {
+                writeln!(out, "k=3 FOUND: ({p},{q}) in {:?}", t.elapsed()).ok();
+                out.flush().ok();
+                break 'outer;
+            }
+            if d == 2 { writeln!(out, "q={q} scanned ({:?}/check)", t.elapsed()).ok(); out.flush().ok(); }
+        }
+    }
+    writeln!(out, "probe done").ok();
+}

@@ -1,0 +1,48 @@
+//! # fc-games — Ehrenfeucht-Fraïssé games for FC
+//!
+//! This crate is the executable form of the paper's primary contribution:
+//! EF games over factor structures (§3), strategy composition (§4), and the
+//! resulting inexpressibility toolkit.
+//!
+//! - [`partial_iso`]: Definition 3.1 — partial isomorphisms between factor
+//!   structures (equality pattern, constants, concatenation);
+//! - [`arena`]: game state shared by the solver and strategies — the two
+//!   structures, the constant-seeded pair vector, consistency checks;
+//! - [`solver`]: the **exact solver** for `𝔄_w ≡_k 𝔅_v` — memoized
+//!   alternating search over Spoiler/Duplicator moves. On any concrete
+//!   instance its verdict is ground truth, and every strategy in this crate
+//!   is tested against it;
+//! - [`strategy`]: the Duplicator-strategy interface, transcripts, and the
+//!   exhaustive-adversary validation harness;
+//! - [`strategies`]: identity, solver-backed table strategies, the
+//!   **Pseudo-Congruence composition** (Lemma 4.4) and the **Primitive
+//!   Power strategy** (Lemma 4.9);
+//! - [`lemmas`]: executable statements of Lemma 4.2 (short factors force
+//!   identical responses) and Lemma 4.3 (prefix/suffix preservation);
+//! - [`pow2`]: Lemma 3.6 — witness search for `aᵖ ≡_k a^q`, unary
+//!   ≡_k-class tables;
+//! - [`hintikka`]: ≡_k-partitions of word sets;
+//! - [`fooling`]: the Fooling Lemma (Lemma 4.13) driver — constructs
+//!   fooling pairs `(w ∈ L, v ∉ L, w ≡_k v)` and confirms them with the
+//!   solver;
+//! - [`existential`]: one-sided (existential-positive) games — the §7
+//!   route towards core-spanner inexpressibility;
+//! - [`pebble`]: p-pebble games for finite-variable FC (§7).
+
+pub mod arena;
+pub mod certificate;
+pub mod existential;
+pub mod fooling;
+pub mod hintikka;
+pub mod lemmas;
+pub mod partial_iso;
+pub mod pebble;
+pub mod pow2;
+pub mod solver;
+pub mod strategies;
+pub mod strategy;
+pub mod trace;
+
+pub use arena::{GamePair, Side};
+pub use solver::EfSolver;
+pub use strategy::{validate_strategy, DuplicatorStrategy};

@@ -1,0 +1,332 @@
+//! The exact EF-game solver: deciding `𝔄_w ≡_k 𝔅_v`.
+//!
+//! The solver performs the alternating search that *is* the game semantics
+//! of §3: Duplicator wins the `k`-round game iff for **every** Spoiler move
+//! (a side and an element, including ⊥) there **exists** a Duplicator
+//! response keeping the chosen tuples a partial isomorphism such that
+//! Duplicator wins the remaining `k − 1` rounds. States (canonicalised
+//! pair sets) are memoized.
+//!
+//! By Theorem 3.5, the verdict coincides with "`w` and `v` agree on every
+//! FC sentence of quantifier rank ≤ k"; the integration tests validate
+//! this against the model checker for small ranks.
+//!
+//! Complexity is `O((|U_A|·|U_B|)^k)` in the worst case — exponential in
+//! the round count, as the theory demands. The crate's strategies exist
+//! precisely to beat this on structured instances; `fc-bench` measures the
+//! crossover.
+
+use crate::arena::{GamePair, Side};
+use crate::partial_iso::Pair;
+use fc_logic::FactorId;
+use std::collections::HashMap;
+
+/// A memoizing exact solver bound to one [`GamePair`].
+pub struct EfSolver {
+    game: GamePair,
+    memo: HashMap<(Vec<Pair>, u32), bool>,
+}
+
+/// One step of a Spoiler winning line (for traces and reports).
+#[derive(Clone, Debug)]
+pub struct SpoilerMove {
+    /// The structure Spoiler chose.
+    pub side: Side,
+    /// The element Spoiler picked.
+    pub element: FactorId,
+}
+
+impl EfSolver {
+    /// Creates a solver for the game over `game`.
+    pub fn new(game: GamePair) -> EfSolver {
+        EfSolver { game, memo: HashMap::new() }
+    }
+
+    /// Convenience: a solver for the words `w`, `v` over their joint
+    /// alphabet.
+    pub fn of(w: &str, v: &str) -> EfSolver {
+        EfSolver::new(GamePair::of(w, v))
+    }
+
+    /// The underlying game.
+    pub fn game(&self) -> &GamePair {
+        &self.game
+    }
+
+    /// Decides `w ≡_k v`.
+    pub fn equivalent(&mut self, k: u32) -> bool {
+        if !self.game.constants_consistent() {
+            return false;
+        }
+        let state = canonical(&self.game.constant_pairs);
+        self.duplicator_wins(state, k)
+    }
+
+    /// Duplicator wins `k` more rounds continuing from an arbitrary
+    /// consistent mid-game `state` (pairs including the constant seeding).
+    pub fn wins_from(&mut self, state: &[Pair], k: u32) -> bool {
+        self.duplicator_wins(canonical(state), k)
+    }
+
+    /// The least `k ≤ max_k` such that Spoiler wins the `k`-round game, or
+    /// `None` if Duplicator survives through `max_k` rounds.
+    pub fn distinguishing_rounds(&mut self, max_k: u32) -> Option<u32> {
+        (0..=max_k).find(|&k| !self.equivalent(k))
+    }
+
+    /// Duplicator wins the `k`-round game continued from `state`
+    /// (a canonical, consistent pair set).
+    fn duplicator_wins(&mut self, state: Vec<Pair>, k: u32) -> bool {
+        if k == 0 {
+            return true;
+        }
+        if let Some(&cached) = self.memo.get(&(state.clone(), k)) {
+            return cached;
+        }
+        let mut result = true;
+        'spoiler: for side in [Side::A, Side::B] {
+            for element in self.spoiler_moves(side) {
+                if self
+                    .best_response_from(&state, side, element, k)
+                    .is_none()
+                {
+                    result = false;
+                    break 'spoiler;
+                }
+            }
+        }
+        self.memo.insert((state, k), result);
+        result
+    }
+
+    /// All Spoiler options on a side: every universe element plus ⊥.
+    fn spoiler_moves(&self, side: Side) -> Vec<FactorId> {
+        let mut v: Vec<FactorId> = self.game.structure(side).universe().collect();
+        v.push(FactorId::BOTTOM);
+        v
+    }
+
+    /// A winning Duplicator response to Spoiler playing `element` on
+    /// `side`, with `k` rounds remaining (this move included), continuing
+    /// from `state` — or `None` if every response loses.
+    ///
+    /// Public so solver-backed table strategies can replay optimal moves.
+    pub fn best_response_from(
+        &mut self,
+        state: &[Pair],
+        side: Side,
+        element: FactorId,
+        k: u32,
+    ) -> Option<FactorId> {
+        debug_assert!(k >= 1);
+        for response in self.duplicator_options(side, element) {
+            let new_pair = self.game.as_ab_pair(side, element, response);
+            if !self.game.consistent(state, new_pair) {
+                continue;
+            }
+            let mut next = state.to_vec();
+            if !next.contains(&new_pair) {
+                next.push(new_pair);
+                next.sort_unstable();
+            }
+            if self.duplicator_wins(next, k - 1) {
+                return Some(response);
+            }
+        }
+        None
+    }
+
+    /// Candidate responses, best-first: the mirrored element (same word on
+    /// the other side) if it exists, then all other elements, then ⊥.
+    fn duplicator_options(&self, spoiler_side: Side, element: FactorId) -> Vec<FactorId> {
+        let other = spoiler_side.other();
+        let mut opts = Vec::with_capacity(self.game.structure(other).universe_len() + 1);
+        if let Some(mirror) = self.game.mirror(spoiler_side, element) {
+            opts.push(mirror);
+        }
+        for id in self.game.structure(other).universe() {
+            if Some(id) != self.game.mirror(spoiler_side, element) {
+                opts.push(id);
+            }
+        }
+        if !element.is_bottom() {
+            // ⊥ as response to a non-⊥ element is never consistent with the
+            // ε constant pair, but keep it for completeness.
+            opts.push(FactorId::BOTTOM);
+        }
+        opts
+    }
+
+    /// A Spoiler winning line of length ≤ k (a sequence of moves such that
+    /// after each, every Duplicator response loses against optimal play),
+    /// or `None` if Duplicator wins the k-round game.
+    pub fn spoiler_winning_line(&mut self, k: u32) -> Option<Vec<SpoilerMove>> {
+        if self.equivalent(k) {
+            return None;
+        }
+        if !self.game.constants_consistent() {
+            return Some(Vec::new());
+        }
+        let mut line = Vec::new();
+        let mut state = canonical(&self.game.constant_pairs);
+        let mut rounds = k;
+        'outer: while rounds > 0 {
+            for side in [Side::A, Side::B] {
+                for element in self.spoiler_moves(side) {
+                    if self.best_response_from(&state, side, element, rounds).is_none() {
+                        line.push(SpoilerMove { side, element });
+                        // Extend the state with Duplicator's *least bad*
+                        // response that keeps the partial isomorphism if
+                        // any (otherwise Spoiler already won).
+                        let salvage = self
+                            .duplicator_options(side, element)
+                            .into_iter()
+                            .find(|&r| {
+                                let p = self.game.as_ab_pair(side, element, r);
+                                self.game.consistent(&state, p)
+                            });
+                        match salvage {
+                            None => return Some(line),
+                            Some(r) => {
+                                let p = self.game.as_ab_pair(side, element, r);
+                                if !state.contains(&p) {
+                                    state.push(p);
+                                    state.sort_unstable();
+                                }
+                                rounds -= 1;
+                                continue 'outer;
+                            }
+                        }
+                    }
+                }
+            }
+            unreachable!("Spoiler must have a winning move in a losing state");
+        }
+        Some(line)
+    }
+
+    /// Size of the memo table (for benchmarks and reports).
+    pub fn states_explored(&self) -> usize {
+        self.memo.len()
+    }
+}
+
+fn canonical(pairs: &[Pair]) -> Vec<Pair> {
+    let mut v = pairs.to_vec();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Decides `w ≡_k v` in one call (fresh solver).
+pub fn equivalent(w: &str, v: &str, k: u32) -> bool {
+    EfSolver::of(w, v).equivalent(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_words_are_equivalent_at_any_feasible_rank() {
+        for w in ["", "a", "ab", "abaab"] {
+            for k in 0..=3 {
+                assert!(equivalent(w, w, k), "w={w} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn example_3_3_spoiler_wins_two_rounds_on_even_vs_odd_powers() {
+        // a^{2i} vs a^{2i−1}: Spoiler wins the 2-round game (paper Ex. 3.3).
+        for i in 1..=3u32 {
+            let w = "a".repeat(2 * i as usize);
+            let v = "a".repeat(2 * i as usize - 1);
+            assert!(!equivalent(&w, &v, 2), "i={i}");
+        }
+    }
+
+    #[test]
+    fn short_unary_words_distinguished_quickly() {
+        // a vs aa: Spoiler wins with 1 round (pick aa; any response j must
+        // satisfy j = a·a ⟺ picked = a·a …).
+        assert!(!equivalent("a", "aa", 2));
+        // and ≡_0 always holds for same-alphabet words.
+        assert!(equivalent("a", "aa", 0));
+    }
+
+    #[test]
+    fn rank_zero_fails_for_mismatched_alphabets() {
+        assert!(!equivalent("ab", "aa", 0));
+        assert!(equivalent("ab", "ba", 0));
+    }
+
+    #[test]
+    fn ab_vs_ba_distinguished() {
+        // ab vs ba: distinguishable (e.g. ∃x: x ≐ a·b — qr 1).
+        assert!(!equivalent("ab", "ba", 1));
+        assert!(equivalent("ab", "ba", 0));
+    }
+
+    #[test]
+    fn distinguishing_rounds_finds_minimal_k() {
+        let mut s = EfSolver::of("ab", "ba");
+        assert_eq!(s.distinguishing_rounds(3), Some(1));
+        let mut s = EfSolver::of("aa", "aa");
+        assert_eq!(s.distinguishing_rounds(3), None);
+    }
+
+    #[test]
+    fn spoiler_line_exists_iff_not_equivalent() {
+        let mut s = EfSolver::of("aaaa", "aaa");
+        if let Some(k) = s.distinguishing_rounds(3) {
+            let line = s.spoiler_winning_line(k);
+            assert!(line.is_some());
+            assert!(line.unwrap().len() as u32 <= k);
+        } else {
+            panic!("aaaa vs aaa should be distinguishable within 3 rounds");
+        }
+        let mut s = EfSolver::of("ab", "ab");
+        assert!(s.spoiler_winning_line(2).is_none());
+    }
+
+    #[test]
+    fn equivalence_is_monotone_in_k() {
+        // If w ≡_k v then w ≡_j v for j ≤ k.
+        let pairs = [("aaaa", "aaaaa"), ("ab", "ba"), ("aab", "aba")];
+        for (w, v) in pairs {
+            let mut prev = true;
+            for k in (0..=3).rev() {
+                let e = equivalent(w, v, k);
+                if prev {
+                    // once false at high k it can become true at lower k,
+                    // but not the converse
+                }
+                if e {
+                    // all lower ranks must also be equivalent
+                    for j in 0..k {
+                        assert!(equivalent(w, v, j), "w={w} v={v} j={j} k={k}");
+                    }
+                }
+                prev = e;
+            }
+        }
+    }
+
+    #[test]
+    fn unary_equivalences_small_table() {
+        // Hand-checkable rank-1 facts: a^3 ≡_1 a^4 (responses exist for all
+        // single picks), but a^1 ≢_1 a^2 (pick aa: needs an element equal to
+        // a·a on the other side).
+        assert!(equivalent("aaa", "aaaa", 1));
+        assert!(!equivalent("a", "aa", 1));
+        assert!(!equivalent("aa", "aaa", 2)); // pick aaa; then a·(response) mismatches
+    }
+
+    #[test]
+    fn epsilon_vs_nonempty() {
+        assert!(!equivalent("", "a", 1));
+        // ≡_0: "" lacks the letter a, so the constant atom distinguishes.
+        assert!(!equivalent("", "a", 0));
+    }
+}

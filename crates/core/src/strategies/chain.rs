@@ -1,0 +1,128 @@
+//! Iterated Pseudo-Congruence: composing strategies across an n-fold
+//! concatenation `w₁·w₂⋯w_n ≡_k v₁·v₂⋯v_n`.
+//!
+//! The paper applies Lemma 4.4 twice for L₆ (`aⁿbⁿ(ab)ⁿ`: first glue the
+//! a-block to the b-block, then glue the result to the (ab)-block) and
+//! similarly inside the Fooling Lemma. [`chain`] builds the left-nested
+//! composition `((g₁ ⊕ g₂) ⊕ g₃) ⊕ …`, wiring each intermediate composed
+//! strategy as the left look-up game of the next level.
+//!
+//! Round budgets: the lemma needs the components at level `i` to win
+//! `k + rᵢ + 2` rounds where `rᵢ` bounds the common factors at that
+//! junction; [`chain_with_tables`] provisions solver-backed tables with
+//! exactly those budgets, computing each `rᵢ` from the actual words.
+
+use crate::arena::GamePair;
+use crate::strategies::{PseudoCongruenceStrategy, TableStrategy};
+use crate::strategy::DuplicatorStrategy;
+use fc_words::factors::max_common_factor_len;
+use fc_words::Word;
+
+/// One component of the chain: the pair (wᵢ, vᵢ) plus Duplicator's
+/// strategy for their game.
+pub struct ChainLink {
+    /// The A-side word.
+    pub w: Word,
+    /// The B-side word.
+    pub v: Word,
+    /// A winning strategy for the (w, v) game at the required budget.
+    pub strategy: Box<dyn DuplicatorStrategy>,
+}
+
+/// Left-nested composition of ≥ 1 links. Returns the composed strategy
+/// together with the composed game `w₁⋯w_n` vs `v₁⋯v_n`.
+pub fn chain(links: Vec<ChainLink>) -> (GamePair, Box<dyn DuplicatorStrategy>) {
+    assert!(!links.is_empty(), "chain needs at least one link");
+    let mut it = links.into_iter();
+    let first = it.next().unwrap();
+    let mut acc_w = first.w;
+    let mut acc_v = first.v;
+    let mut acc_strategy: Box<dyn DuplicatorStrategy> = first.strategy;
+    for link in it {
+        let game1 = GamePair::new(acc_w.clone(), acc_v.clone(), &fc_words::Alphabet::from_symbols(b""));
+        let game2 = GamePair::new(link.w.clone(), link.v.clone(), &fc_words::Alphabet::from_symbols(b""));
+        let composed =
+            PseudoCongruenceStrategy::new(game1, game2, acc_strategy, link.strategy);
+        acc_w = acc_w.concat(&link.w);
+        acc_v = acc_v.concat(&link.v);
+        acc_strategy = Box::new(composed);
+    }
+    let game = GamePair::new(acc_w, acc_v, &fc_words::Alphabet::from_symbols(b""));
+    (game, acc_strategy)
+}
+
+/// Convenience: builds the chain with solver-backed table look-ups, each
+/// provisioned with the Lemma 4.4 budget `k + rᵢ + 2` computed from the
+/// actual junction (using the *accumulated* left word, as the nesting
+/// demands).
+pub fn chain_with_tables(parts: &[(Word, Word)], k: u32) -> (GamePair, Box<dyn DuplicatorStrategy>) {
+    assert!(!parts.is_empty());
+    // Budgets: walk the junctions left to right.
+    let mut links = Vec::with_capacity(parts.len());
+    let mut acc_w = Word::epsilon();
+    for (i, (w, v)) in parts.iter().enumerate() {
+        let budget = if i == 0 {
+            // The first link's budget is set by the *first* junction.
+            let r = if parts.len() > 1 {
+                max_common_factor_len(w.bytes(), parts[1].0.bytes()) as u32
+            } else {
+                0
+            };
+            k + r + 2
+        } else {
+            let r = max_common_factor_len(acc_w.bytes(), w.bytes()) as u32;
+            k + r + 2
+        };
+        let game = GamePair::new(w.clone(), v.clone(), &fc_words::Alphabet::from_symbols(b""));
+        links.push(ChainLink {
+            w: w.clone(),
+            v: v.clone(),
+            strategy: Box::new(TableStrategy::new(game, budget)),
+        });
+        acc_w = acc_w.concat(w);
+    }
+    chain(links)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::equivalent;
+    use crate::strategy::validate_strategy;
+
+    #[test]
+    fn three_block_chain_for_l6_small() {
+        // L₆'s argument shape at k = 1 on the rank-1 pair (3, 4):
+        // a⁴·b³·(ab)³ vs a³·b³·(ab)³ — Pseudo-Congruence applied twice
+        // (r = 0 then r = 2). The full-size (12, 14) instance runs in the
+        // experiment registry (E07, Full effort).
+        let parts = vec![
+            (Word::from("a").pow(4), Word::from("a").pow(3)),
+            (Word::from("b").pow(3), Word::from("b").pow(3)),
+            (Word::from("ab").pow(3), Word::from("ab").pow(3)),
+        ];
+        let (game, strategy) = chain_with_tables(&parts, 1);
+        let failure = validate_strategy(&game, strategy.as_ref(), 1);
+        assert!(failure.is_none(), "{}", failure.unwrap().render(&game));
+        assert!(equivalent(game.a.word().as_str(), game.b.word().as_str(), 1));
+    }
+
+    #[test]
+    fn single_link_chain_is_the_strategy_itself() {
+        let parts = vec![(Word::from("ab"), Word::from("ab"))];
+        let (game, strategy) = chain_with_tables(&parts, 2);
+        assert!(validate_strategy(&game, strategy.as_ref(), 2).is_none());
+    }
+
+    #[test]
+    fn two_link_chain_matches_direct_composition() {
+        let parts = vec![
+            (Word::from("a").pow(4), Word::from("a").pow(3)),
+            (Word::from("b").pow(3), Word::from("b").pow(3)),
+        ];
+        let (game, strategy) = chain_with_tables(&parts, 1);
+        assert!(validate_strategy(&game, strategy.as_ref(), 1).is_none());
+        assert_eq!(game.a.word().len(), 7);
+        assert_eq!(game.b.word().len(), 6);
+    }
+}

@@ -1,0 +1,48 @@
+//! The identity strategy: answer with the same word on the other side.
+//!
+//! This is Duplicator's trivially winning strategy when `w = v` (used by
+//! the paper whenever it writes "trivially, u ≡_k u"). On `w ≠ v` it loses
+//! as soon as Spoiler plays a factor the other side lacks — the validator
+//! demonstrates this.
+
+use crate::arena::{GamePair, Side};
+use crate::strategy::DuplicatorStrategy;
+use fc_logic::FactorId;
+
+/// Respond with the identical factor (⊥ if absent on the other side).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IdentityStrategy;
+
+impl DuplicatorStrategy for IdentityStrategy {
+    fn respond(&mut self, game: &GamePair, side: Side, element: FactorId) -> FactorId {
+        game.mirror(side, element).unwrap_or(FactorId::BOTTOM)
+    }
+
+    fn boxed_clone(&self) -> Box<dyn DuplicatorStrategy> {
+        Box::new(*self)
+    }
+
+    fn name(&self) -> String {
+        "identity".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::validate_strategy;
+
+    #[test]
+    fn wins_on_equal_words_at_depth_3() {
+        for w in ["", "a", "ab", "abab"] {
+            let game = GamePair::of(w, w);
+            assert!(validate_strategy(&game, &IdentityStrategy, 3).is_none(), "w={w}");
+        }
+    }
+
+    #[test]
+    fn loses_when_words_differ() {
+        let game = GamePair::of("ab", "ba");
+        assert!(validate_strategy(&game, &IdentityStrategy, 1).is_some());
+    }
+}

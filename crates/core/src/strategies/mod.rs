@@ -1,0 +1,25 @@
+//! Concrete Duplicator strategies.
+//!
+//! - [`identity`]: respond with the same factor (wins iff `w = v`);
+//! - [`table`]: solver-backed optimal play — turns a solver-established
+//!   `w ≡_k v` fact into a *playable* winning strategy, used as the
+//!   look-up games inside compositions;
+//! - [`pseudo_congruence`]: the Lemma 4.4 composition — a winning strategy
+//!   for `w₁w₂ ≡_k v₁v₂` assembled from strategies for the component games;
+//! - [`primitive_power`]: the Lemma 4.9 strategy — a winning strategy for
+//!   `wᵖ ≡_k w^q` (primitive `w`) driven by a unary look-up game on
+//!   `aᵖ ≡_{k+3} a^q`.
+
+pub mod chain;
+pub mod identity;
+pub mod primitive_power;
+pub mod pseudo_congruence;
+pub mod table;
+pub mod unary;
+
+pub use chain::{chain, chain_with_tables, ChainLink};
+pub use identity::IdentityStrategy;
+pub use primitive_power::PrimitivePowerStrategy;
+pub use pseudo_congruence::PseudoCongruenceStrategy;
+pub use table::TableStrategy;
+pub use unary::UnaryEndAlignedStrategy;

@@ -1,0 +1,298 @@
+//! The Pseudo-Congruence composition (Lemma 4.4).
+//!
+//! Although `≡_k` is **not** a congruence (Prop 3.7), Lemma 4.4 shows a
+//! special case where composition works: if
+//! `Facs(w₁) ∩ Facs(w₂) = Facs(v₁) ∩ Facs(v₂)`, `r` bounds the common
+//! factors' length, and `w₁ ≡_{k+r+2} v₁`, `w₂ ≡_{k+r+2} v₂`, then
+//! `w₁·w₂ ≡_k v₁·v₂`.
+//!
+//! The winning strategy is assembled from two *look-up games* 𝒢₁, 𝒢₂ in
+//! which Duplicator plays known winning strategies (here: any
+//! [`crate::strategy::DuplicatorStrategy`], typically solver-backed
+//! [`crate::strategies::TableStrategy`]s):
+//!
+//! - Spoiler plays `u ∈ Facs(w₁) ∩ Facs(w₂)` (length ≤ r): feed `u` to
+//!   both games; by Lemma 4.2 both respond `u` itself — answer `u`;
+//! - `u` only in `Facs(w₁)`: feed 𝒢₁, skip 𝒢₂, answer 𝒢₁'s response;
+//! - `u` only in `Facs(w₂)`: symmetric;
+//! - `u` crosses the boundary (`A_other`): split `u = u₁·u₂` at the
+//!   boundary (`u₁` a suffix of `w₁`, `u₂` a prefix of `w₂` — Fig. 1/3),
+//!   feed the halves, answer the concatenation of the responses (a factor
+//!   of `v₁·v₂` by Lemma 4.3).
+//!
+//! The same dispatch applies on the B side with `v₁, v₂`.
+
+use crate::arena::{GamePair, Side};
+use crate::strategy::DuplicatorStrategy;
+use fc_logic::FactorId;
+use fc_words::{factors::max_common_factor_len, is_factor, search, Word};
+
+/// The composed strategy of Lemma 4.4.
+pub struct PseudoCongruenceStrategy {
+    game1: GamePair,
+    game2: GamePair,
+    g1: Box<dyn DuplicatorStrategy>,
+    g2: Box<dyn DuplicatorStrategy>,
+}
+
+impl PseudoCongruenceStrategy {
+    /// Composes strategies `g1` (for `w₁` vs `v₁`) and `g2` (for `w₂` vs
+    /// `v₂`). The caller is responsible for the lemma's preconditions;
+    /// [`PseudoCongruenceStrategy::check_preconditions`] verifies them.
+    pub fn new(
+        game1: GamePair,
+        game2: GamePair,
+        g1: Box<dyn DuplicatorStrategy>,
+        g2: Box<dyn DuplicatorStrategy>,
+    ) -> PseudoCongruenceStrategy {
+        PseudoCongruenceStrategy { game1, game2, g1, g2 }
+    }
+
+    /// The composed game `w₁·w₂` vs `v₁·v₂` this strategy plays on.
+    pub fn composed_game(&self) -> GamePair {
+        let w = self.game1.a.word().concat(self.game2.a.word());
+        let v = self.game1.b.word().concat(self.game2.b.word());
+        GamePair::new(w, v, self.game1.a.alphabet())
+    }
+
+    /// Lemma 4.4's structural preconditions:
+    /// `Facs(w₁) ∩ Facs(w₂) = Facs(v₁) ∩ Facs(v₂)`; returns the bound `r`
+    /// on the common factors, or `None` if the sets differ.
+    pub fn check_preconditions(&self) -> Option<usize> {
+        let w1 = self.game1.a.word();
+        let w2 = self.game2.a.word();
+        let v1 = self.game1.b.word();
+        let v2 = self.game2.b.word();
+        let cw = fc_words::factors::common_factors(w1.bytes(), w2.bytes());
+        let cv = fc_words::factors::common_factors(v1.bytes(), v2.bytes());
+        if cw != cv {
+            return None;
+        }
+        Some(max_common_factor_len(w1.bytes(), w2.bytes()))
+    }
+
+    /// Components of `side`: `(x₁, x₂)` with the composed word = `x₁·x₂`.
+    fn components(&self, side: Side) -> (Word, Word) {
+        match side {
+            Side::A => (self.game1.a.word().clone(), self.game2.a.word().clone()),
+            Side::B => (self.game1.b.word().clone(), self.game2.b.word().clone()),
+        }
+    }
+
+    /// Splits a boundary-crossing factor `u` of `x₁·x₂` into
+    /// `(u₁, u₂) ∈ (suffixes of x₁) × (prefixes of x₂)` — the `f_split` /
+    /// `g_split` of the proof (first crossing occurrence).
+    fn split_other(&self, side: Side, u: &[u8]) -> Option<(Word, Word)> {
+        let (x1, x2) = self.components(side);
+        let composed = x1.concat(&x2);
+        for start in search::find_all(composed.bytes(), u) {
+            if start < x1.len() && start + u.len() > x1.len() {
+                let cut = x1.len() - start;
+                return Some((Word::from(&u[..cut]), Word::from(&u[cut..])));
+            }
+        }
+        None
+    }
+
+    fn respond_bytes(&mut self, side: Side, bytes: &[u8]) -> Option<Vec<u8>> {
+        let (x1, x2) = self.components(side);
+        let in1 = is_factor(bytes, x1.bytes());
+        let in2 = is_factor(bytes, x2.bytes());
+        match (in1, in2) {
+            (true, true) => {
+                // Common factor: feed both; responses must coincide
+                // (Lemma 4.2 forces the identical short factor).
+                let id1 = self.game1.structure(side).id_of(bytes)?;
+                let id2 = self.game2.structure(side).id_of(bytes)?;
+                let d1 = self.g1.respond(&self.game1, side, id1);
+                let d2 = self.g2.respond(&self.game2, side, id2);
+                let b1 = if d1.is_bottom() {
+                    return None;
+                } else {
+                    self.game1.structure(side.other()).bytes_of(d1).to_vec()
+                };
+                let b2 = if d2.is_bottom() {
+                    return None;
+                } else {
+                    self.game2.structure(side.other()).bytes_of(d2).to_vec()
+                };
+                if b1 != b2 {
+                    // Component strategies disagree — composition invalid;
+                    // surface it by failing.
+                    return None;
+                }
+                Some(b1)
+            }
+            (true, false) => {
+                let id1 = self.game1.structure(side).id_of(bytes)?;
+                let d1 = self.g1.respond(&self.game1, side, id1);
+                self.g2.skip_round();
+                if d1.is_bottom() {
+                    None
+                } else {
+                    Some(self.game1.structure(side.other()).bytes_of(d1).to_vec())
+                }
+            }
+            (false, true) => {
+                let id2 = self.game2.structure(side).id_of(bytes)?;
+                let d2 = self.g2.respond(&self.game2, side, id2);
+                self.g1.skip_round();
+                if d2.is_bottom() {
+                    None
+                } else {
+                    Some(self.game2.structure(side.other()).bytes_of(d2).to_vec())
+                }
+            }
+            (false, false) => {
+                let (u1, u2) = self.split_other(side, bytes)?;
+                let id1 = self.game1.structure(side).id_of(u1.bytes())?;
+                let id2 = self.game2.structure(side).id_of(u2.bytes())?;
+                let d1 = self.g1.respond(&self.game1, side, id1);
+                let d2 = self.g2.respond(&self.game2, side, id2);
+                if d1.is_bottom() || d2.is_bottom() {
+                    return None;
+                }
+                let mut out = self.game1.structure(side.other()).bytes_of(d1).to_vec();
+                out.extend_from_slice(self.game2.structure(side.other()).bytes_of(d2));
+                Some(out)
+            }
+        }
+    }
+}
+
+impl DuplicatorStrategy for PseudoCongruenceStrategy {
+    fn respond(&mut self, game: &GamePair, side: Side, element: FactorId) -> FactorId {
+        if element.is_bottom() {
+            self.g1.skip_round();
+            self.g2.skip_round();
+            return FactorId::BOTTOM;
+        }
+        let bytes = game.structure(side).bytes_of(element).to_vec();
+        match self.respond_bytes(side, &bytes) {
+            Some(out) => game
+                .structure(side.other())
+                .id_of(&out)
+                .unwrap_or(FactorId::BOTTOM),
+            None => FactorId::BOTTOM,
+        }
+    }
+
+    fn skip_round(&mut self) {
+        self.g1.skip_round();
+        self.g2.skip_round();
+    }
+
+    fn boxed_clone(&self) -> Box<dyn DuplicatorStrategy> {
+        Box::new(PseudoCongruenceStrategy {
+            game1: self.game1.clone(),
+            game2: self.game2.clone(),
+            g1: self.g1.boxed_clone(),
+            g2: self.g2.boxed_clone(),
+        })
+    }
+
+    fn name(&self) -> String {
+        format!("pseudo-congruence({} | {})", self.g1.name(), self.g2.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver;
+    use crate::strategies::{IdentityStrategy, TableStrategy};
+    use crate::strategy::validate_strategy;
+
+    /// Builds the composed strategy with solver-backed look-up games of
+    /// `k + r + 2` rounds, as the lemma prescribes.
+    fn compose(w1: &str, w2: &str, v1: &str, v2: &str, k: u32) -> (GamePair, PseudoCongruenceStrategy) {
+        let game1 = GamePair::of(w1, v1);
+        let game2 = GamePair::of(w2, v2);
+        let r = max_common_factor_len(w1.as_bytes(), w2.as_bytes()) as u32;
+        let lookup_rounds = k + r + 2;
+        let g1 = TableStrategy::new(game1.clone(), lookup_rounds);
+        let g2 = TableStrategy::new(game2.clone(), lookup_rounds);
+        let strat =
+            PseudoCongruenceStrategy::new(game1, game2, Box::new(g1), Box::new(g2));
+        let composed = strat.composed_game();
+        (composed, strat)
+    }
+
+    #[test]
+    fn preconditions_detect_mismatched_intersections() {
+        let game1 = GamePair::of("aa", "aa");
+        let game2 = GamePair::of("bb", "ab");
+        let s = PseudoCongruenceStrategy::new(
+            game1,
+            game2,
+            Box::new(IdentityStrategy),
+            Box::new(IdentityStrategy),
+        );
+        // Facs(aa) ∩ Facs(bb) = {ε}, Facs(aa) ∩ Facs(ab) = {ε, a} — differ.
+        assert!(s.check_preconditions().is_none());
+    }
+
+    #[test]
+    fn example_4_5_composition_a_powers_then_b_powers() {
+        // Example 4.5's scaffolding at k = 1 on the rank-2 pair
+        // a^12 ≡_2 a^14: validate a^14·b^12 ≡_1 a^12·b^12 via the composed
+        // strategy. (The lemma's premise asks for rank k+r+2 = 3 look-up
+        // games; the minimal rank-3 unary pair is far larger — see E03 —
+        // so the unit test drives the construction with best-effort
+        // rank-budgeted look-ups and lets the validator be the judge; the
+        // experiment binary runs the full-premise version.)
+        let k = 1u32;
+        let (p, q) = (12usize, 14usize);
+        let w1 = "a".repeat(q);
+        let v1 = "a".repeat(p);
+        let w2 = "b".repeat(p);
+        let v2 = "b".repeat(p);
+        let (composed, strat) = compose(&w1, &w2, &v1, &v2, k);
+        assert_eq!(strat.check_preconditions(), Some(0));
+        let failure = validate_strategy(&composed, &strat, k);
+        assert!(
+            failure.is_none(),
+            "p={p} q={q}: {}",
+            failure.unwrap().render(&composed)
+        );
+        // Cross-check with the exact solver.
+        assert!(solver::equivalent(
+            composed.a.word().as_str(),
+            composed.b.word().as_str(),
+            k
+        ));
+    }
+
+    #[test]
+    fn boundary_splitting_produces_valid_factors() {
+        let game1 = GamePair::of("aab", "aab");
+        let game2 = GamePair::of("baa", "baa");
+        let s = PseudoCongruenceStrategy::new(
+            game1,
+            game2,
+            Box::new(IdentityStrategy),
+            Box::new(IdentityStrategy),
+        );
+        // "abba" ⊑ aab·baa crosses the boundary.
+        let (u1, u2) = s.split_other(Side::A, b"abba").unwrap();
+        assert_eq!(u1.concat(&u2).bytes(), b"abba");
+        assert!(Word::from("aab").has_suffix(u1.bytes()));
+        assert!(Word::from("baa").has_prefix(u2.bytes()));
+    }
+
+    #[test]
+    fn identity_components_compose_to_identity_like_wins() {
+        // w1 = v1, w2 = v2: identity look-ups make the composition win.
+        let game1 = GamePair::of("ab", "ab");
+        let game2 = GamePair::of("ba", "ba");
+        let s = PseudoCongruenceStrategy::new(
+            game1,
+            game2,
+            Box::new(IdentityStrategy),
+            Box::new(IdentityStrategy),
+        );
+        let composed = s.composed_game();
+        let failure = validate_strategy(&composed, &s, 2);
+        assert!(failure.is_none(), "{}", failure.unwrap().render(&composed));
+    }
+}

@@ -1,0 +1,164 @@
+//! The end-aligned strategy for unary power games.
+//!
+//! On `aᴾ` vs `a^Q` (wlog `P ≥ Q`), the natural Duplicator strategy —
+//! implicit in the semilinearity argument behind Lemma 3.6 — answers a
+//! pick `aⁿ` by
+//!
+//! - `aⁿ` itself when `n` is small (`n ≤ low`), and
+//! - `a^{n − (P − Q)}` when `n` is large (aligned from the top end),
+//!
+//! and symmetrically (adding `P − Q`) for picks on the smaller side. Small
+//! picks must be answered identically (Lemma 4.2); picks near the full
+//! word must keep their distance to the end (the `almostFull` claim inside
+//! Lemma 4.9's proof). Between the two regimes the strategy needs
+//! `low` to be large enough relative to the number of rounds — validation
+//! against the exact solver quantifies exactly how large (experiment E03).
+//!
+//! This strategy is *stateless*, so it also serves as the look-up game
+//! driver for the Primitive Power composition at any depth the validator
+//! certifies.
+
+use crate::arena::{GamePair, Side};
+use crate::strategy::DuplicatorStrategy;
+use fc_logic::FactorId;
+use fc_words::Word;
+
+/// End-aligned Duplicator play on a unary power game.
+#[derive(Clone, Copy, Debug)]
+pub struct UnaryEndAlignedStrategy {
+    /// Exponent of the A-side word.
+    pub p_a: usize,
+    /// Exponent of the B-side word.
+    pub p_b: usize,
+    /// Picks of length ≤ `low` are answered identically.
+    pub low: usize,
+}
+
+impl UnaryEndAlignedStrategy {
+    /// Creates the strategy; `low` defaults to `min(p_a, p_b) − diff − 1`
+    /// when not meaningful, callers usually pass an explicit threshold.
+    pub fn new(p_a: usize, p_b: usize, low: usize) -> UnaryEndAlignedStrategy {
+        UnaryEndAlignedStrategy { p_a, p_b, low }
+    }
+
+    /// The game this strategy is meant for (`letter^{p_a}` vs
+    /// `letter^{p_b}`).
+    pub fn game(&self, letter: u8) -> GamePair {
+        GamePair::new(
+            Word::symbol(letter).pow(self.p_a),
+            Word::symbol(letter).pow(self.p_b),
+            &fc_words::Alphabet::from_symbols(&[letter]),
+        )
+    }
+
+    /// The exponent Duplicator answers with, given a pick of exponent `n`
+    /// on `side`.
+    pub fn respond_exponent(&self, side: Side, n: usize) -> usize {
+        let (from, to) = match side {
+            Side::A => (self.p_a, self.p_b),
+            Side::B => (self.p_b, self.p_a),
+        };
+        if n <= self.low.min(to) {
+            return n;
+        }
+        // Align from the top: keep the distance to the end.
+        let dist = from.saturating_sub(n);
+        to.saturating_sub(dist).min(to)
+    }
+}
+
+impl DuplicatorStrategy for UnaryEndAlignedStrategy {
+    fn respond(&mut self, game: &GamePair, side: Side, element: FactorId) -> FactorId {
+        if element.is_bottom() {
+            return FactorId::BOTTOM;
+        }
+        let n = game.structure(side).len_of(element);
+        let m = self.respond_exponent(side, n);
+        let letter = game
+            .structure(side)
+            .alphabet()
+            .symbols()
+            .first()
+            .copied()
+            .unwrap_or(b'a');
+        game.structure(side.other())
+            .id_of(Word::symbol(letter).pow(m).bytes())
+            .unwrap_or(FactorId::BOTTOM)
+    }
+
+    fn boxed_clone(&self) -> Box<dyn DuplicatorStrategy> {
+        Box::new(*self)
+    }
+
+    fn name(&self) -> String {
+        format!("unary-end-aligned(P={}, Q={}, low={})", self.p_a, self.p_b, self.low)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::validate_strategy;
+
+    #[test]
+    fn wins_rank_1_on_the_minimal_rank_2_pair() {
+        // a^12 ≡_2 a^14: the end-aligned strategy wins the 1-round game.
+        let s = UnaryEndAlignedStrategy::new(14, 12, 9);
+        let game = s.game(b'a');
+        assert!(validate_strategy(&game, &s, 1).is_none());
+    }
+
+    #[test]
+    fn order_style_play_fails_rank_2_despite_equivalence() {
+        // a^12 ≡_2 a^14 holds (the solver's table strategy wins), but the
+        // purely order-based end-aligned strategy loses the 2-round game:
+        // Spoiler exploits the *additive* structure (answering a¹⁰ by a¹²
+        // walks into 12 = 6+6 while 10 ≠ 6+6, and the halving pick follows).
+        // This is the paper's §1 observation that locality/order techniques
+        // fail on FC's non-sparse structures, observed live.
+        for low in 0..=12 {
+            let s = UnaryEndAlignedStrategy::new(14, 12, low);
+            let game = s.game(b'a');
+            assert!(
+                validate_strategy(&game, &s, 2).is_some(),
+                "low={low}: end-aligned play should lose rank 2"
+            );
+        }
+        // …whereas the solver-backed table strategy wins (see table.rs).
+        assert!(crate::solver::equivalent(&"a".repeat(12), &"a".repeat(14), 2));
+    }
+
+    #[test]
+    fn respects_small_and_large_regimes() {
+        let s = UnaryEndAlignedStrategy::new(14, 12, 9);
+        assert_eq!(s.respond_exponent(Side::A, 0), 0);
+        assert_eq!(s.respond_exponent(Side::A, 5), 5);
+        assert_eq!(s.respond_exponent(Side::A, 14), 12);
+        assert_eq!(s.respond_exponent(Side::A, 13), 11);
+        assert_eq!(s.respond_exponent(Side::A, 11), 9);
+        assert_eq!(s.respond_exponent(Side::B, 12), 14);
+        assert_eq!(s.respond_exponent(Side::B, 5), 5);
+    }
+
+    #[test]
+    fn fails_when_low_is_too_small_for_the_rank() {
+        // With low = 0, Spoiler's pick a¹ gets answered a^{1−2}, breaking
+        // the constant pattern — the validator sees it.
+        let s = UnaryEndAlignedStrategy::new(14, 12, 0);
+        let game = s.game(b'a');
+        assert!(validate_strategy(&game, &s, 1).is_some());
+    }
+
+    #[test]
+    fn loses_on_pairs_the_solver_rejects() {
+        // a^3 vs a^5 are ≢_2; no threshold can save the strategy.
+        for low in 0..=5 {
+            let s = UnaryEndAlignedStrategy::new(5, 3, low);
+            let game = s.game(b'a');
+            assert!(
+                validate_strategy(&game, &s, 2).is_some(),
+                "low={low} should fail"
+            );
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Duplicator strategies and the exhaustive validation harness.
+//!
+//! A [`DuplicatorStrategy`] produces Duplicator's response to each Spoiler
+//! move; it may keep internal state (e.g. running look-up games, as the
+//! Pseudo-Congruence composition does). [`validate_strategy`] plays the
+//! strategy against **every** Spoiler line of a given length, checking
+//! after each round that the chosen tuples (with the constant seeding)
+//! remain a partial isomorphism — the definition of "winning strategy" on
+//! a finite instance. Strategies that pass for all lines of length `k`
+//! are winning strategies for the k-round game, hence witness `w ≡_k v`.
+
+use crate::arena::{GamePair, Side};
+use crate::partial_iso::Pair;
+use fc_logic::FactorId;
+
+/// A (possibly stateful) strategy for Duplicator.
+///
+/// `respond` is called once per round with Spoiler's side and element, and
+/// must return Duplicator's element on the other side (⊥ allowed).
+/// Implementations must be cloneable so the validator can branch over all
+/// Spoiler continuations.
+pub trait DuplicatorStrategy {
+    /// Duplicator's response to Spoiler playing `element` in `side`.
+    fn respond(&mut self, game: &GamePair, side: Side, element: FactorId) -> FactorId;
+
+    /// Advances the strategy past a round in which Spoiler "skips" — used
+    /// by strategy compositions that drive look-up games (§4.1's proof
+    /// machinery). Default: no-op.
+    fn skip_round(&mut self) {}
+
+    /// Clones the strategy including its internal state.
+    fn boxed_clone(&self) -> Box<dyn DuplicatorStrategy>;
+
+    /// A short human-readable name for traces.
+    fn name(&self) -> String {
+        "strategy".into()
+    }
+}
+
+impl Clone for Box<dyn DuplicatorStrategy> {
+    fn clone(&self) -> Self {
+        self.boxed_clone()
+    }
+}
+
+/// One played round, for transcripts.
+#[derive(Clone, Debug)]
+pub struct RoundRecord {
+    /// Where Spoiler played.
+    pub side: Side,
+    /// Spoiler's element.
+    pub spoiler: FactorId,
+    /// Duplicator's response.
+    pub duplicator: FactorId,
+}
+
+/// A counterexample found by [`validate_strategy`]: the rounds played and
+/// the round at which the partial isomorphism broke.
+#[derive(Clone, Debug)]
+pub struct StrategyFailure {
+    /// The rounds played, in order.
+    pub transcript: Vec<RoundRecord>,
+}
+
+impl StrategyFailure {
+    /// Renders the failing line, e.g. for test output.
+    pub fn render(&self, game: &GamePair) -> String {
+        self.transcript
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let (side, s, d) = (
+                    match r.side {
+                        Side::A => "A",
+                        Side::B => "B",
+                    },
+                    game.structure(r.side).render(r.spoiler),
+                    game.structure(r.side.other()).render(r.duplicator),
+                );
+                format!("round {}: Spoiler {side}:{s} → Duplicator {d}", i + 1)
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Plays `strategy` against every Spoiler line of length `rounds`
+/// (every side/element choice at every round, including ⊥) and checks the
+/// partial isomorphism is maintained throughout. Returns the first failing
+/// line, or `None` if the strategy wins everywhere — i.e. it is a winning
+/// strategy for the `rounds`-round game and `w ≡_rounds v`.
+pub fn validate_strategy(
+    game: &GamePair,
+    strategy: &dyn DuplicatorStrategy,
+    rounds: u32,
+) -> Option<StrategyFailure> {
+    if !game.constants_consistent() {
+        return Some(StrategyFailure { transcript: Vec::new() });
+    }
+    let mut pairs = game.constant_pairs.clone();
+    pairs.sort_unstable();
+    pairs.dedup();
+    let mut transcript = Vec::new();
+    explore(game, strategy, rounds, &mut pairs, &mut transcript)
+}
+
+fn explore(
+    game: &GamePair,
+    strategy: &dyn DuplicatorStrategy,
+    rounds: u32,
+    pairs: &mut Vec<Pair>,
+    transcript: &mut Vec<RoundRecord>,
+) -> Option<StrategyFailure> {
+    if rounds == 0 {
+        return None;
+    }
+    for side in [Side::A, Side::B] {
+        let mut moves: Vec<FactorId> = game.structure(side).universe().collect();
+        moves.push(FactorId::BOTTOM);
+        for element in moves {
+            let mut branch = strategy.boxed_clone();
+            let response = branch.respond(game, side, element);
+            let new_pair = game.as_ab_pair(side, element, response);
+            transcript.push(RoundRecord { side, spoiler: element, duplicator: response });
+            if !game.consistent(pairs, new_pair) {
+                let failure = StrategyFailure { transcript: transcript.clone() };
+                transcript.pop();
+                return Some(failure);
+            }
+            let added = if pairs.contains(&new_pair) {
+                false
+            } else {
+                pairs.push(new_pair);
+                true
+            };
+            let result = explore(game, branch.as_ref(), rounds - 1, pairs, transcript);
+            if added {
+                pairs.pop();
+            }
+            transcript.pop();
+            if result.is_some() {
+                return result;
+            }
+        }
+    }
+    None
+}
+
+/// Plays a single fixed Spoiler line and returns the transcript (useful
+/// for figures and the game explorer).
+pub fn play_line(
+    game: &GamePair,
+    strategy: &mut dyn DuplicatorStrategy,
+    line: &[(Side, FactorId)],
+) -> (Vec<RoundRecord>, bool) {
+    let mut pairs = game.constant_pairs.clone();
+    pairs.sort_unstable();
+    pairs.dedup();
+    let mut transcript = Vec::new();
+    let mut ok = game.constants_consistent();
+    for &(side, element) in line {
+        let response = strategy.respond(game, side, element);
+        let new_pair = game.as_ab_pair(side, element, response);
+        transcript.push(RoundRecord { side, spoiler: element, duplicator: response });
+        if ok && !game.consistent(&pairs, new_pair) {
+            ok = false;
+        }
+        if !pairs.contains(&new_pair) {
+            pairs.push(new_pair);
+        }
+    }
+    (transcript, ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategies::identity::IdentityStrategy;
+
+    #[test]
+    fn identity_wins_on_equal_words() {
+        let game = GamePair::of("abaab", "abaab");
+        let s = IdentityStrategy;
+        assert!(validate_strategy(&game, &s, 2).is_none());
+    }
+
+    #[test]
+    fn identity_fails_on_different_words() {
+        // abaab vs abaa: Spoiler picks abaab (A) — identity responds with
+        // a non-factor lookup → ⊥, breaking the iso (or picks ⊥…).
+        let game = GamePair::of("abaab", "abaa");
+        let s = IdentityStrategy;
+        let failure = validate_strategy(&game, &s, 1);
+        assert!(failure.is_some());
+        let f = failure.unwrap();
+        assert_eq!(f.transcript.len(), 1);
+        // Render is human-readable.
+        assert!(f.render(&game).contains("Spoiler"));
+    }
+
+    #[test]
+    fn fixed_line_play() {
+        let game = GamePair::of("aa", "aa");
+        let mut s: Box<dyn DuplicatorStrategy> = Box::new(IdentityStrategy);
+        let full = game.a.full_word_id();
+        let (transcript, ok) = play_line(&game, s.as_mut(), &[(Side::A, full)]);
+        assert!(ok);
+        assert_eq!(transcript.len(), 1);
+        assert_eq!(transcript[0].duplicator, game.b.full_word_id());
+    }
+}

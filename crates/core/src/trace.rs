@@ -1,0 +1,181 @@
+//! Annotated game transcripts: optimal play, round-by-round commentary,
+//! and rendering for the explorer example and the figure reproductions.
+//!
+//! [`optimal_play`] pits the solver against itself: Spoiler plays a
+//! winning move whenever one exists (preferring minimal elements for
+//! readable traces), Duplicator plays `best_response_from`. The resulting
+//! [`Transcript`] records each round with the solver's evaluation of the
+//! position, so a rendered trace *explains* why a game is lost or drawn.
+
+use crate::arena::{GamePair, Side};
+use crate::partial_iso::Pair;
+use crate::solver::EfSolver;
+use fc_logic::FactorId;
+
+/// One annotated round.
+#[derive(Clone, Debug)]
+pub struct TraceRound {
+    /// Where Spoiler played.
+    pub side: Side,
+    /// Spoiler's element.
+    pub spoiler: FactorId,
+    /// Duplicator's response (⊥ when none was consistent).
+    pub duplicator: Option<FactorId>,
+    /// Whether Duplicator still wins the remaining game after this round.
+    pub duplicator_alive: bool,
+}
+
+/// A full annotated game.
+#[derive(Clone, Debug)]
+pub struct Transcript {
+    /// The game played.
+    pub rounds: Vec<TraceRound>,
+    /// `true` iff Duplicator survived every round (partial isomorphism
+    /// maintained to the end).
+    pub duplicator_won: bool,
+}
+
+impl Transcript {
+    /// Renders the transcript against a game.
+    pub fn render(&self, game: &GamePair) -> String {
+        let mut out = String::new();
+        for (i, r) in self.rounds.iter().enumerate() {
+            let side = match r.side {
+                Side::A => "A",
+                Side::B => "B",
+            };
+            let spoiler = game.structure(r.side).render(r.spoiler);
+            let response = match r.duplicator {
+                Some(id) => game.structure(r.side.other()).render(id),
+                None => "∅ (no consistent response)".to_string(),
+            };
+            let status = if r.duplicator_alive { "alive" } else { "LOST" };
+            out.push_str(&format!(
+                "round {}: Spoiler {side}:{spoiler} → Duplicator {response}   [{status}]\n",
+                i + 1
+            ));
+        }
+        out.push_str(if self.duplicator_won {
+            "⇒ Duplicator survives\n"
+        } else {
+            "⇒ Spoiler wins\n"
+        });
+        out
+    }
+}
+
+/// Plays `k` rounds with both players optimal. If Duplicator wins the
+/// k-round game, Spoiler still plays (first element order) and the
+/// transcript shows survival; otherwise the trace follows Spoiler's
+/// winning strategy to the kill.
+pub fn optimal_play(game: &GamePair, k: u32) -> Transcript {
+    let mut solver = EfSolver::new(game.clone());
+    let mut state: Vec<Pair> = game.constant_pairs.clone();
+    state.sort_unstable();
+    state.dedup();
+    let mut rounds = Vec::new();
+    let mut alive = game.constants_consistent();
+    for round in 0..k {
+        let remaining = k - round;
+        // Spoiler: a winning move if one exists, else the first element.
+        let mut choice: Option<(Side, FactorId)> = None;
+        if alive {
+            'hunt: for side in [Side::A, Side::B] {
+                for element in game.structure(side).universe() {
+                    if solver.best_response_from(&state, side, element, remaining).is_none() {
+                        choice = Some((side, element));
+                        break 'hunt;
+                    }
+                }
+            }
+        }
+        let (side, element) = choice.unwrap_or_else(|| {
+            (
+                Side::A,
+                game.a
+                    .universe()
+                    .last()
+                    .unwrap_or_else(|| game.a.epsilon()),
+            )
+        });
+        // Duplicator: the solver's best response, else any consistent one.
+        let best = if alive {
+            solver.best_response_from(&state, side, element, remaining)
+        } else {
+            None
+        };
+        let salvage = best.or_else(|| {
+            game.structure(side.other())
+                .universe()
+                .find(|&r| game.consistent(&state, game.as_ab_pair(side, element, r)))
+        });
+        match salvage {
+            Some(response) => {
+                let pair = game.as_ab_pair(side, element, response);
+                if !state.contains(&pair) {
+                    state.push(pair);
+                    state.sort_unstable();
+                }
+                alive = alive && best.is_some();
+                rounds.push(TraceRound {
+                    side,
+                    spoiler: element,
+                    duplicator: Some(response),
+                    duplicator_alive: alive,
+                });
+            }
+            None => {
+                alive = false;
+                rounds.push(TraceRound {
+                    side,
+                    spoiler: element,
+                    duplicator: None,
+                    duplicator_alive: false,
+                });
+                break;
+            }
+        }
+    }
+    Transcript { rounds, duplicator_won: alive }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn losing_games_end_in_a_kill() {
+        let game = GamePair::of("aaaa", "aaa");
+        let t = optimal_play(&game, 2);
+        assert!(!t.duplicator_won);
+        assert!(t.rounds.len() <= 2);
+        let rendered = t.render(&game);
+        assert!(rendered.contains("Spoiler wins"), "{rendered}");
+    }
+
+    #[test]
+    fn equivalent_games_survive() {
+        let game = GamePair::of("aaa", "aaaa");
+        let t = optimal_play(&game, 1);
+        assert!(t.duplicator_won, "{}", t.render(&game));
+        assert_eq!(t.rounds.len(), 1);
+        assert!(t.rounds[0].duplicator_alive);
+    }
+
+    #[test]
+    fn identical_words_always_survive() {
+        let game = GamePair::of("abab", "abab");
+        let t = optimal_play(&game, 3);
+        assert!(t.duplicator_won);
+        assert_eq!(t.rounds.len(), 3);
+    }
+
+    #[test]
+    fn render_mentions_every_round() {
+        let game = GamePair::of("ab", "ba");
+        let t = optimal_play(&game, 2);
+        let rendered = t.render(&game);
+        assert!(rendered.contains("round 1"), "{rendered}");
+        assert!(!t.duplicator_won);
+    }
+}

@@ -1,0 +1,630 @@
+//! The FC / FC[REG] model checker (Definition 2.2 and §5).
+//!
+//! Quantifiers range over `Facs(w)` (never ⊥, per the paper's convention
+//! `σ(x) ≠ ⊥`). Atoms `x ≐ y·z` hold when `(σx, σy, σz) ∈ R∘`; any ⊥
+//! argument falsifies an atom. Regular constraints `(x ∈̇ γ)` hold when
+//! `σ(x) ⊑ w` (automatic) and `σ(x) ∈ L(γ)` — each distinct regex is
+//! compiled to a DFA once per evaluation.
+//!
+//! ## Guarded-quantifier optimization
+//!
+//! The reference semantics is the naive `O(|Facs(w)|^{qr})` recursion
+//! ([`holds_naive`]). On top of it, [`holds`] applies a *guard-directed*
+//! strategy: a quantifier block whose body is guarded by a word equation
+//! (`∃v⃗: (x ≐ t₁⋯t_m) ∧ ψ` or `∀v⃗: (x ≐ t₁⋯t_m) → ψ`) is evaluated by
+//! enumerating only the **solutions of the equation** (splits of the
+//! left-hand side's bytes across the parts), not the full `|U|^{|v⃗|}`
+//! grid. This is the standard pattern-matching view of word equations and
+//! is what makes the paper's φ_fib checkable on real members of `L_fib`.
+//! Integration tests assert both evaluators agree wherever the naive one
+//! is feasible.
+
+use crate::formula::{Formula, Term, VarName};
+use crate::structure::{FactorId, FactorStructure};
+use fc_reglang::{Dfa, Regex};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::rc::Rc;
+
+/// A variable assignment σ (restricted to the variables of interest).
+pub type Assignment = BTreeMap<VarName, FactorId>;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Quant {
+    Exists,
+    Forall,
+}
+
+struct EvalCtx<'a> {
+    structure: &'a FactorStructure,
+    /// Compiled DFAs for the regular constraints, keyed by regex identity.
+    dfas: HashMap<*const Regex, Dfa>,
+    guarded: bool,
+}
+
+impl<'a> EvalCtx<'a> {
+    fn new(formula: &Formula, structure: &'a FactorStructure, guarded: bool) -> Self {
+        let mut dfas = HashMap::new();
+        for (_, regex) in formula.constraints() {
+            let key = Rc::as_ptr(&regex);
+            dfas.entry(key).or_insert_with(|| {
+                let mut alpha = structure.alphabet().symbols().to_vec();
+                alpha.extend(regex.symbols());
+                Dfa::from_regex(&regex, &alpha)
+            });
+        }
+        EvalCtx { structure, dfas, guarded }
+    }
+
+    fn resolve(&self, term: &Term, sigma: &Assignment) -> FactorId {
+        match term {
+            Term::Var(v) => *sigma
+                .get(v)
+                .unwrap_or_else(|| panic!("unbound variable {v} — not a sentence?")),
+            Term::Sym(c) => self.structure.constant(*c),
+            Term::Epsilon => self.structure.epsilon(),
+        }
+    }
+
+    fn eval(&self, f: &Formula, sigma: &mut Assignment) -> bool {
+        match f {
+            Formula::Eq(x, y, z) => {
+                let (a, b, c) = (
+                    self.resolve(x, sigma),
+                    self.resolve(y, sigma),
+                    self.resolve(z, sigma),
+                );
+                self.structure.concat_holds(a, b, c)
+            }
+            Formula::EqChain(x, parts) => {
+                let lhs = self.resolve(x, sigma);
+                if lhs.is_bottom() {
+                    return false;
+                }
+                let target = self.structure.bytes_of(lhs);
+                let mut pos = 0usize;
+                for p in parts {
+                    let id = self.resolve(p, sigma);
+                    if id.is_bottom() {
+                        return false;
+                    }
+                    let chunk = self.structure.bytes_of(id);
+                    if pos + chunk.len() > target.len() || &target[pos..pos + chunk.len()] != chunk
+                    {
+                        return false;
+                    }
+                    pos += chunk.len();
+                }
+                pos == target.len()
+            }
+            Formula::In(x, regex) => {
+                let id = self.resolve(x, sigma);
+                if id.is_bottom() {
+                    return false;
+                }
+                let dfa = &self.dfas[&Rc::as_ptr(regex)];
+                dfa.accepts(self.structure.bytes_of(id))
+            }
+            Formula::Not(inner) => !self.eval(inner, sigma),
+            Formula::And(fs) => fs.iter().all(|g| self.eval(g, sigma)),
+            Formula::Or(fs) => fs.iter().any(|g| self.eval(g, sigma)),
+            Formula::Exists(v, inner) => {
+                if self.guarded {
+                    if let Some(result) = self.try_guarded(Quant::Exists, f, sigma) {
+                        return result;
+                    }
+                }
+                let saved = sigma.get(v).copied();
+                let mut found = false;
+                for u in self.structure.universe() {
+                    sigma.insert(v.clone(), u);
+                    if self.eval(inner, sigma) {
+                        found = true;
+                        break;
+                    }
+                }
+                restore(sigma, v, saved);
+                found
+            }
+            Formula::Forall(v, inner) => {
+                if self.guarded {
+                    if let Some(result) = self.try_guarded(Quant::Forall, f, sigma) {
+                        return result;
+                    }
+                }
+                let saved = sigma.get(v).copied();
+                let mut all = true;
+                for u in self.structure.universe() {
+                    sigma.insert(v.clone(), u);
+                    if !self.eval(inner, sigma) {
+                        all = false;
+                        break;
+                    }
+                }
+                restore(sigma, v, saved);
+                all
+            }
+        }
+    }
+
+    /// Attempts guard-directed evaluation of a quantifier block.
+    /// Returns `None` when the block does not fit the guarded shape (then
+    /// the caller falls back to plain enumeration).
+    fn try_guarded(&self, kind: Quant, f: &Formula, sigma: &mut Assignment) -> Option<bool> {
+        // Collect the maximal block of same-kind quantifiers.
+        let mut vars: Vec<VarName> = Vec::new();
+        let mut body = f;
+        loop {
+            match (kind, body) {
+                (Quant::Exists, Formula::Exists(v, inner)) => {
+                    vars.push(v.clone());
+                    body = inner;
+                }
+                (Quant::Forall, Formula::Forall(v, inner)) => {
+                    vars.push(v.clone());
+                    body = inner;
+                }
+                _ => break,
+            }
+        }
+        if vars.is_empty() {
+            return None;
+        }
+        // Duplicate names in a block (shadowing) — bail out; plain
+        // enumeration handles it correctly.
+        let var_set: HashSet<&VarName> = vars.iter().collect();
+        if var_set.len() != vars.len() {
+            return None;
+        }
+
+        // Locate a guard chain covering all block variables.
+        let (items, guard_idx, chain): (&[Formula], usize, (Term, Vec<Term>)) = match (kind, body) {
+            (Quant::Exists, Formula::And(items)) => {
+                let found = items.iter().enumerate().find_map(|(i, item)| {
+                    as_chain(item).and_then(|ch| covers(&ch, &var_set).then_some((i, ch)))
+                })?;
+                (items, found.0, found.1)
+            }
+            (Quant::Forall, Formula::Or(items)) => {
+                let found = items.iter().enumerate().find_map(|(i, item)| match item {
+                    Formula::Not(inner) => {
+                        as_chain(inner).and_then(|ch| covers(&ch, &var_set).then_some((i, ch)))
+                    }
+                    _ => None,
+                })?;
+                (items, found.0, found.1)
+            }
+            _ => return None,
+        };
+
+        // Enumerate the guard's solutions over the block variables.
+        let solutions = self.chain_solutions(&chain.0, &chain.1, &vars, sigma);
+
+        // Save outer bindings for block vars.
+        let saved: Vec<Option<FactorId>> = vars.iter().map(|v| sigma.get(v).copied()).collect();
+        let mut result = kind == Quant::Forall; // ∀ vacuously true, ∃ false
+        'solutions: for sol in &solutions {
+            for (v, id) in vars.iter().zip(sol.iter()) {
+                sigma.insert(v.clone(), *id);
+            }
+            match kind {
+                Quant::Exists => {
+                    // Remaining conjuncts must hold (the guard already does).
+                    let rest_ok = items
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, _)| i != guard_idx)
+                        .all(|(_, g)| self.eval(g, sigma));
+                    if rest_ok {
+                        result = true;
+                        break 'solutions;
+                    }
+                }
+                Quant::Forall => {
+                    // Some other disjunct must hold (¬guard is false here).
+                    let rest_ok = items
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, _)| i != guard_idx)
+                        .any(|(_, g)| self.eval(g, sigma));
+                    if !rest_ok {
+                        result = false;
+                        break 'solutions;
+                    }
+                }
+            }
+        }
+        for (v, old) in vars.iter().zip(saved) {
+            restore(sigma, v, old);
+        }
+        Some(result)
+    }
+
+    /// All assignments of `vars` (as id-tuples, in `vars` order) solving
+    /// `lhs ≐ parts₁⋯parts_m`, given the outer assignment `sigma`.
+    fn chain_solutions(
+        &self,
+        lhs: &Term,
+        parts: &[Term],
+        vars: &[VarName],
+        sigma: &Assignment,
+    ) -> Vec<Vec<FactorId>> {
+        let var_pos: HashMap<&VarName, usize> =
+            vars.iter().enumerate().map(|(i, v)| (v, i)).collect();
+        // Block vars shadow any outer binding of the same name, so the check
+        // must consult the block before the outer assignment.
+        let is_block_var = |t: &Term| -> Option<usize> {
+            if let Term::Var(v) = t {
+                return var_pos.get(v).copied();
+            }
+            None
+        };
+        let mut out: Vec<Vec<FactorId>> = Vec::new();
+        let mut seen: HashSet<Vec<FactorId>> = HashSet::new();
+        let mut local: Vec<Option<FactorId>> = vec![None; vars.len()];
+
+        let lhs_candidates: Vec<FactorId> = match is_block_var(lhs) {
+            Some(_) => self.structure.universe().collect(),
+            None => {
+                let id = self.resolve(lhs, sigma);
+                if id.is_bottom() {
+                    return out;
+                }
+                vec![id]
+            }
+        };
+        for lhs_id in lhs_candidates {
+            if let Some(slot) = is_block_var(lhs) {
+                local[slot] = Some(lhs_id);
+            }
+            let target = self.structure.bytes_of(lhs_id).to_vec();
+            self.match_parts(
+                &target,
+                0,
+                parts,
+                sigma,
+                &is_block_var,
+                &mut local,
+                &mut |local: &[Option<FactorId>]| {
+                    // All block vars must be determined (covers() guarantees
+                    // each occurs in the chain).
+                    if let Some(sol) = local
+                        .iter()
+                        .map(|o| *o)
+                        .collect::<Option<Vec<FactorId>>>()
+                    {
+                        if seen.insert(sol.clone()) {
+                            out.push(sol);
+                        }
+                    }
+                },
+            );
+            if let Some(slot) = is_block_var(lhs) {
+                local[slot] = None;
+            }
+        }
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn match_parts(
+        &self,
+        target: &[u8],
+        pos: usize,
+        parts: &[Term],
+        sigma: &Assignment,
+        is_block_var: &impl Fn(&Term) -> Option<usize>,
+        local: &mut Vec<Option<FactorId>>,
+        emit: &mut impl FnMut(&[Option<FactorId>]),
+    ) {
+        let Some((first, rest)) = parts.split_first() else {
+            if pos == target.len() {
+                emit(local);
+            }
+            return;
+        };
+        match is_block_var(first) {
+            Some(slot) => match local[slot] {
+                Some(id) => {
+                    let chunk = self.structure.bytes_of(id);
+                    if pos + chunk.len() <= target.len()
+                        && &target[pos..pos + chunk.len()] == chunk
+                    {
+                        self.match_parts(target, pos + chunk.len(), rest, sigma, is_block_var, local, emit);
+                    }
+                }
+                None => {
+                    for len in 0..=target.len() - pos {
+                        let chunk = &target[pos..pos + len];
+                        // Any substring of a factor is a factor, so the id
+                        // lookup always succeeds; guard anyway.
+                        if let Some(id) = self.structure.id_of(chunk) {
+                            local[slot] = Some(id);
+                            self.match_parts(target, pos + len, rest, sigma, is_block_var, local, emit);
+                            local[slot] = None;
+                        }
+                    }
+                }
+            },
+            None => {
+                let id = self.resolve(first, sigma);
+                if id.is_bottom() {
+                    return;
+                }
+                let chunk = self.structure.bytes_of(id);
+                if pos + chunk.len() <= target.len() && &target[pos..pos + chunk.len()] == chunk {
+                    self.match_parts(target, pos + chunk.len(), rest, sigma, is_block_var, local, emit);
+                }
+            }
+        }
+    }
+}
+
+/// Views an atom as a chain `(lhs, parts)`: `x ≐ y·z` ↦ `(x, [y, z])`.
+fn as_chain(f: &Formula) -> Option<(Term, Vec<Term>)> {
+    match f {
+        Formula::Eq(x, y, z) => Some((x.clone(), vec![y.clone(), z.clone()])),
+        Formula::EqChain(x, parts) => Some((x.clone(), parts.clone())),
+        _ => None,
+    }
+}
+
+/// `true` iff every block variable occurs in the chain.
+fn covers(chain: &(Term, Vec<Term>), vars: &HashSet<&VarName>) -> bool {
+    let mut seen: HashSet<&VarName> = HashSet::new();
+    if let Term::Var(v) = &chain.0 {
+        seen.insert(v);
+    }
+    for t in &chain.1 {
+        if let Term::Var(v) = t {
+            seen.insert(v);
+        }
+    }
+    vars.iter().all(|v| seen.contains(*v))
+}
+
+fn restore(sigma: &mut Assignment, v: &VarName, saved: Option<FactorId>) {
+    match saved {
+        Some(old) => {
+            sigma.insert(v.clone(), old);
+        }
+        None => {
+            sigma.remove(v);
+        }
+    }
+}
+
+/// `(𝔄_w, σ) ⊨ φ` with the guard-directed evaluator.
+/// Free variables of `φ` must all be bound in `sigma`.
+pub fn holds(formula: &Formula, structure: &FactorStructure, sigma: &Assignment) -> bool {
+    let ctx = EvalCtx::new(formula, structure, true);
+    let mut sigma = sigma.clone();
+    ctx.eval(formula, &mut sigma)
+}
+
+/// Reference semantics: plain `O(|U|^{qr})` enumeration, no guard
+/// optimization. Used by tests and ablation benchmarks.
+pub fn holds_naive(formula: &Formula, structure: &FactorStructure, sigma: &Assignment) -> bool {
+    let ctx = EvalCtx::new(formula, structure, false);
+    let mut sigma = sigma.clone();
+    ctx.eval(formula, &mut sigma)
+}
+
+/// ⟦φ⟧(w): all assignments of the free variables of `φ` (to factors of `w`)
+/// that satisfy the formula, in lexicographic order of the assignment.
+pub fn satisfying_assignments(formula: &Formula, structure: &FactorStructure) -> Vec<Assignment> {
+    let free = formula.free_vars();
+    let ctx = EvalCtx::new(formula, structure, true);
+    let mut out = Vec::new();
+    let mut sigma = Assignment::new();
+    enumerate(&ctx, formula, &free, 0, &mut sigma, &mut out);
+    out
+}
+
+fn enumerate(
+    ctx: &EvalCtx<'_>,
+    formula: &Formula,
+    free: &[VarName],
+    i: usize,
+    sigma: &mut Assignment,
+    out: &mut Vec<Assignment>,
+) {
+    if i == free.len() {
+        if ctx.eval(formula, sigma) {
+            out.push(sigma.clone());
+        }
+        return;
+    }
+    for u in ctx.structure.universe() {
+        sigma.insert(free[i].clone(), u);
+        enumerate(ctx, formula, free, i + 1, sigma, out);
+    }
+    sigma.remove(&free[i]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::Formula as F;
+    use fc_words::Alphabet;
+
+    fn v(name: &str) -> Term {
+        Term::var(name)
+    }
+
+    fn structure(w: &str) -> FactorStructure {
+        FactorStructure::of_str(w, &Alphabet::ab())
+    }
+
+    #[test]
+    fn intro_example_no_cube() {
+        // φ := ∀z: (¬(z ≐ ε) → ¬∃x,y: (x ≐ z·y) ∧ (y ≐ z·z))
+        // defines words containing no uuu with u ≠ ε.
+        let phi = F::forall(
+            &["z"],
+            F::implies(
+                F::not(F::eq(v("z"), Term::Epsilon)),
+                F::not(F::exists(
+                    &["x", "y"],
+                    F::and([
+                        F::eq_cat(v("x"), v("z"), v("y")),
+                        F::eq_cat(v("y"), v("z"), v("z")),
+                    ]),
+                )),
+            ),
+        );
+        assert!(phi.models(&structure("abab")));
+        assert!(phi.models(&structure("")));
+        assert!(!phi.models(&structure("aaa")));
+        assert!(!phi.models(&structure("bababab"))); // contains (ba)^3
+    }
+
+    #[test]
+    fn exists_and_forall_range_over_factors_only() {
+        // ∃x: ¬(x ≐ x·ε) is unsatisfiable (every factor equals itself·ε).
+        let phi = F::exists(&["x"], F::not(F::eq_cat(v("x"), v("x"), Term::Epsilon)));
+        assert!(!phi.models(&structure("ab")));
+        // ∀x: (x ≐ x·ε) holds.
+        let psi = F::forall(&["x"], F::eq_cat(v("x"), v("x"), Term::Epsilon));
+        assert!(psi.models(&structure("ab")));
+    }
+
+    #[test]
+    fn constants_map_to_bottom_when_absent() {
+        // ∃x: (x ≐ b·ε) fails on a word without b.
+        let phi = F::exists(&["x"], F::eq_cat(v("x"), Term::Sym(b'b'), Term::Epsilon));
+        assert!(!phi.models(&structure("aaa")));
+        assert!(phi.models(&structure("ab")));
+    }
+
+    #[test]
+    fn wide_equation_matches_desugared_semantics() {
+        let sigma = Alphabet::ab();
+        let chain = F::exists(&["x"], F::eq_word(v("x"), b"aba"));
+        let desugared = chain.desugar();
+        for w in sigma.words_up_to(5) {
+            let s = FactorStructure::new(w.clone(), &sigma);
+            assert_eq!(chain.models(&s), desugared.models(&s), "w={w}");
+            assert_eq!(chain.models(&s), fc_words::is_factor(b"aba", w.bytes()), "w={w}");
+        }
+    }
+
+    #[test]
+    fn guarded_and_naive_agree_on_random_formulas() {
+        let sigma = Alphabet::ab();
+        // A grab-bag of shapes exercising guarded paths and fallbacks.
+        let formulas = [
+            F::exists(
+                &["x", "y"],
+                F::and([
+                    F::eq_chain(v("x"), vec![v("y"), Term::Sym(b'a'), v("y")]),
+                    F::not(F::eq(v("y"), Term::Epsilon)),
+                ]),
+            ),
+            F::forall(
+                &["x", "y"],
+                F::implies(
+                    F::eq_cat(v("x"), v("y"), v("y")),
+                    F::eq(v("y"), Term::Epsilon),
+                ),
+            ),
+            F::exists(
+                &["x"],
+                F::forall(&["y"], F::implies(F::eq_cat(v("x"), v("y"), v("y")), F::eq(v("y"), v("y")))),
+            ),
+            F::forall(
+                &["z"],
+                F::or([
+                    F::not(F::eq_chain(v("z"), vec![Term::Sym(b'a'), v("z2"), Term::Sym(b'b')])),
+                    F::eq(v("z2"), Term::Epsilon),
+                ]),
+            ),
+        ];
+        for (fi, phi) in formulas.iter().enumerate() {
+            let free = phi.free_vars();
+            for w in sigma.words_up_to(4) {
+                let s = FactorStructure::new(w.clone(), &sigma);
+                if free.is_empty() {
+                    assert_eq!(
+                        holds(phi, &s, &Assignment::new()),
+                        holds_naive(phi, &s, &Assignment::new()),
+                        "formula #{fi} w={w}"
+                    );
+                } else {
+                    // Bind free vars to ε for a quick smoke comparison.
+                    let mut m = Assignment::new();
+                    for fv in &free {
+                        m.insert(fv.clone(), s.epsilon());
+                    }
+                    assert_eq!(holds(phi, &s, &m), holds_naive(phi, &s, &m), "formula #{fi} w={w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn guarded_forall_with_shadowed_vars_falls_back() {
+        // ∀x ∀x: (x ≐ ε) — inner x shadows outer; only ε satisfies.
+        let phi = F::forall(&["x", "x"], F::eq(v("x"), Term::Epsilon));
+        assert!(!phi.models(&structure("a")));
+        assert!(phi.models(&structure("")));
+    }
+
+    #[test]
+    fn empty_chain_is_epsilon() {
+        let phi = F::exists(&["x"], F::and([F::eq_chain(v("x"), vec![])]));
+        assert!(phi.models(&structure("")));
+        let phi2 = F::forall(&["x"], F::eq_chain(v("x"), vec![]));
+        assert!(phi2.models(&structure("")));
+        assert!(!phi2.models(&structure("a")));
+    }
+
+    #[test]
+    fn regular_constraints() {
+        use fc_reglang::Regex;
+        let phi = F::exists(
+            &["x"],
+            F::and([F::constraint(v("x"), Regex::parse("(ab)+").unwrap())]),
+        );
+        assert!(phi.models(&structure("aabb")));
+        assert!(!phi.models(&structure("bbaa")));
+        assert!(phi.models(&structure("ab")));
+        assert!(!phi.models(&structure("")));
+    }
+
+    #[test]
+    fn satisfying_assignments_enumeration() {
+        // φ(x, y) := (x ≐ y·y) on w = aa: pairs (ε,ε), (aa,a).
+        let phi = F::eq_cat(v("x"), v("y"), v("y"));
+        let s = structure("aa");
+        let sols = satisfying_assignments(&phi, &s);
+        assert_eq!(sols.len(), 2);
+        let x: VarName = Rc::from("x");
+        let y: VarName = Rc::from("y");
+        let rendered: Vec<(String, String)> = sols
+            .iter()
+            .map(|m| (s.render(m[&x]), s.render(m[&y])))
+            .collect();
+        assert!(rendered.contains(&("ε".into(), "ε".into())));
+        assert!(rendered.contains(&("aa".into(), "a".into())));
+    }
+
+    #[test]
+    fn scoping_restores_outer_bindings() {
+        let phi = F::and([
+            F::exists(&["x"], F::eq(v("x"), Term::Sym(b'a'))),
+            F::eq(v("x"), Term::Epsilon),
+        ]);
+        let s = structure("a");
+        let sols = satisfying_assignments(&phi, &s);
+        assert_eq!(sols.len(), 1);
+        let x: VarName = Rc::from("x");
+        assert_eq!(s.render(sols[0][&x]), "ε");
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound variable")]
+    fn unbound_variable_panics() {
+        let phi = F::eq(v("x"), Term::Epsilon);
+        holds(&phi, &structure("a"), &Assignment::new());
+    }
+}

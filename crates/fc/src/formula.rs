@@ -1,0 +1,591 @@
+//! FC and FC[REG] syntax: terms, formulas, quantifier rank, desugaring.
+//!
+//! Atomic formulas are `(x ≐ y·z)` for terms `x, y, z` over variables,
+//! letter constants and ε (Definition 2.1). We additionally keep the
+//! paper's *wide equation* shorthand `(x ≐ t₁·t₂⋯t_m)` as a first-class
+//! atom ([`Formula::EqChain`]) with the obvious semantics; [`Formula::desugar`]
+//! lowers it to pure binary FC with fresh existentials exactly as in
+//! Freydenberger–Thompson's splitting. Keeping the shorthand native lets
+//! the model checker avoid a quantifier blow-up while [`Formula::qr`]
+//! reports the rank of the *desugared* formula when asked
+//! ([`Formula::qr_desugared`]).
+
+use crate::structure::FactorStructure;
+use fc_reglang::Regex;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::rc::Rc;
+
+/// Variable names are interned strings.
+pub type VarName = Rc<str>;
+
+/// A term: a variable, a letter constant, or ε.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A first-order variable from Ξ.
+    Var(VarName),
+    /// A letter constant `a ∈ Σ`.
+    Sym(u8),
+    /// The empty-word constant ε.
+    Epsilon,
+}
+
+impl Term {
+    /// Convenience constructor for a variable term.
+    pub fn var(name: &str) -> Term {
+        Term::Var(Rc::from(name))
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Sym(c) => write!(f, "{}", *c as char),
+            Term::Epsilon => write!(f, "ε"),
+        }
+    }
+}
+
+/// An FC[REG] formula. Pure FC formulas contain no [`Formula::In`] atoms
+/// (check with [`Formula::is_pure_fc`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Formula {
+    /// The atom `lhs ≐ r1 · r2`.
+    Eq(Term, Term, Term),
+    /// Wide-equation shorthand `lhs ≐ t₁·t₂⋯t_m` (m ≥ 0; m = 0 means
+    /// `lhs ≐ ε`). Desugars into binary atoms with fresh ∃.
+    EqChain(Term, Vec<Term>),
+    /// Regular constraint `x ∈̇ γ` (FC[REG] only).
+    In(Term, Rc<Regex>),
+    /// Negation.
+    Not(Box<Formula>),
+    /// n-ary conjunction (empty = ⊤).
+    And(Vec<Formula>),
+    /// n-ary disjunction (empty = ⊥).
+    Or(Vec<Formula>),
+    /// Existential quantification.
+    Exists(VarName, Box<Formula>),
+    /// Universal quantification.
+    Forall(VarName, Box<Formula>),
+}
+
+impl Formula {
+    // ---- smart constructors ------------------------------------------------
+
+    /// The atom `x ≐ y·z`.
+    pub fn eq_cat(x: Term, y: Term, z: Term) -> Formula {
+        Formula::Eq(x, y, z)
+    }
+
+    /// The abbreviation `x ≐ y` (officially `x ≐ y·ε`).
+    pub fn eq(x: Term, y: Term) -> Formula {
+        Formula::Eq(x, y, Term::Epsilon)
+    }
+
+    /// The wide equation `x ≐ t₁⋯t_m`.
+    pub fn eq_chain(x: Term, parts: Vec<Term>) -> Formula {
+        Formula::EqChain(x, parts)
+    }
+
+    /// `x ≐ w` for a fixed word `w` (chain of letter constants).
+    pub fn eq_word(x: Term, w: &[u8]) -> Formula {
+        Formula::EqChain(x, w.iter().map(|&c| Term::Sym(c)).collect())
+    }
+
+    /// Regular constraint `x ∈̇ γ`.
+    pub fn constraint(x: Term, gamma: Rc<Regex>) -> Formula {
+        Formula::In(x, gamma)
+    }
+
+    /// ⊤.
+    pub fn top() -> Formula {
+        Formula::And(Vec::new())
+    }
+
+    /// ⊥ (the false formula, not the null element!).
+    pub fn bottom() -> Formula {
+        Formula::Or(Vec::new())
+    }
+
+    /// Negation (collapses double negation).
+    pub fn not(f: Formula) -> Formula {
+        match f {
+            Formula::Not(inner) => *inner,
+            other => Formula::Not(Box::new(other)),
+        }
+    }
+
+    /// Conjunction (flattens nested ∧).
+    pub fn and(parts: impl IntoIterator<Item = Formula>) -> Formula {
+        let mut out = Vec::new();
+        for p in parts {
+            match p {
+                Formula::And(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        if out.len() == 1 {
+            out.pop().unwrap()
+        } else {
+            Formula::And(out)
+        }
+    }
+
+    /// Disjunction (flattens nested ∨).
+    pub fn or(parts: impl IntoIterator<Item = Formula>) -> Formula {
+        let mut out = Vec::new();
+        for p in parts {
+            match p {
+                Formula::Or(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        if out.len() == 1 {
+            out.pop().unwrap()
+        } else {
+            Formula::Or(out)
+        }
+    }
+
+    /// Implication `lhs → rhs` (sugar for ¬lhs ∨ rhs).
+    pub fn implies(lhs: Formula, rhs: Formula) -> Formula {
+        Formula::or([Formula::not(lhs), rhs])
+    }
+
+    /// `∃x₁,…,x_n: φ`.
+    pub fn exists(vars: &[&str], body: Formula) -> Formula {
+        vars.iter()
+            .rev()
+            .fold(body, |acc, v| Formula::Exists(Rc::from(*v), Box::new(acc)))
+    }
+
+    /// `∀x₁,…,x_n: φ`.
+    pub fn forall(vars: &[&str], body: Formula) -> Formula {
+        vars.iter()
+            .rev()
+            .fold(body, |acc, v| Formula::Forall(Rc::from(*v), Box::new(acc)))
+    }
+
+    // ---- analyses ----------------------------------------------------------
+
+    /// `true` iff the formula contains no regular constraints (pure FC).
+    pub fn is_pure_fc(&self) -> bool {
+        match self {
+            Formula::In(..) => false,
+            Formula::Eq(..) | Formula::EqChain(..) => true,
+            Formula::Not(f) => f.is_pure_fc(),
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().all(Formula::is_pure_fc),
+            Formula::Exists(_, f) | Formula::Forall(_, f) => f.is_pure_fc(),
+        }
+    }
+
+    /// `true` iff the formula is **existential-positive**: built from atoms
+    /// with ∧, ∨ and ∃ only (no ¬, no ∀). These are the sentences preserved
+    /// along the one-sided games of `fc-games`' existential module — the
+    /// §7 route towards core-spanner inexpressibility.
+    pub fn is_existential_positive(&self) -> bool {
+        match self {
+            Formula::Eq(..) | Formula::EqChain(..) | Formula::In(..) => true,
+            Formula::Not(_) | Formula::Forall(..) => false,
+            Formula::And(fs) | Formula::Or(fs) => {
+                fs.iter().all(Formula::is_existential_positive)
+            }
+            Formula::Exists(_, f) => f.is_existential_positive(),
+        }
+    }
+
+    /// Free variables, sorted.
+    pub fn free_vars(&self) -> Vec<VarName> {
+        let mut free = BTreeSet::new();
+        self.collect_free(&mut BTreeSet::new(), &mut free);
+        free.into_iter().collect()
+    }
+
+    fn collect_free(&self, bound: &mut BTreeSet<VarName>, free: &mut BTreeSet<VarName>) {
+        let term = |t: &Term, bound: &BTreeSet<VarName>, free: &mut BTreeSet<VarName>| {
+            if let Term::Var(v) = t {
+                if !bound.contains(v) {
+                    free.insert(v.clone());
+                }
+            }
+        };
+        match self {
+            Formula::Eq(x, y, z) => {
+                term(x, bound, free);
+                term(y, bound, free);
+                term(z, bound, free);
+            }
+            Formula::EqChain(x, parts) => {
+                term(x, bound, free);
+                for p in parts {
+                    term(p, bound, free);
+                }
+            }
+            Formula::In(x, _) => term(x, bound, free),
+            Formula::Not(f) => f.collect_free(bound, free),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_free(bound, free);
+                }
+            }
+            Formula::Exists(v, f) | Formula::Forall(v, f) => {
+                let fresh = bound.insert(v.clone());
+                f.collect_free(bound, free);
+                if fresh {
+                    bound.remove(v);
+                }
+            }
+        }
+    }
+
+    /// `true` iff the formula is a sentence.
+    pub fn is_sentence(&self) -> bool {
+        self.free_vars().is_empty()
+    }
+
+    /// Quantifier rank of the formula **as written** (wide equations and
+    /// regular constraints count as atoms, rank 0).
+    pub fn qr(&self) -> usize {
+        match self {
+            Formula::Eq(..) | Formula::EqChain(..) | Formula::In(..) => 0,
+            Formula::Not(f) => f.qr(),
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().map(Formula::qr).max().unwrap_or(0),
+            Formula::Exists(_, f) | Formula::Forall(_, f) => f.qr() + 1,
+        }
+    }
+
+    /// Quantifier rank of the **desugared** formula, where each wide
+    /// equation `x ≐ t₁⋯t_m` costs `max(0, m − 2)` extra existentials.
+    /// This is the rank relevant when citing Theorem 3.5 against a formula
+    /// built with shorthand.
+    pub fn qr_desugared(&self) -> usize {
+        self.desugar().qr()
+    }
+
+    /// Lowers wide equations into pure binary FC with fresh existential
+    /// variables: `x ≐ t₁t₂t₃t₄` becomes
+    /// `∃s₁,s₂: (x ≐ t₁·s₁) ∧ (s₁ ≐ t₂·s₂) ∧ (s₂ ≐ t₃·t₄)`.
+    pub fn desugar(&self) -> Formula {
+        let mut fresh = 0usize;
+        self.desugar_inner(&mut fresh)
+    }
+
+    fn desugar_inner(&self, fresh: &mut usize) -> Formula {
+        match self {
+            Formula::Eq(..) | Formula::In(..) => self.clone(),
+            Formula::EqChain(x, parts) => desugar_chain(x, parts, fresh),
+            Formula::Not(f) => Formula::Not(Box::new(f.desugar_inner(fresh))),
+            Formula::And(fs) => Formula::And(fs.iter().map(|f| f.desugar_inner(fresh)).collect()),
+            Formula::Or(fs) => Formula::Or(fs.iter().map(|f| f.desugar_inner(fresh)).collect()),
+            Formula::Exists(v, f) => Formula::Exists(v.clone(), Box::new(f.desugar_inner(fresh))),
+            Formula::Forall(v, f) => Formula::Forall(v.clone(), Box::new(f.desugar_inner(fresh))),
+        }
+    }
+
+    /// The set of regular constraints occurring in the formula.
+    pub fn constraints(&self) -> Vec<(Term, Rc<Regex>)> {
+        let mut out = Vec::new();
+        self.walk_constraints(&mut out);
+        out
+    }
+
+    fn walk_constraints(&self, out: &mut Vec<(Term, Rc<Regex>)>) {
+        match self {
+            Formula::In(t, g) => out.push((t.clone(), g.clone())),
+            Formula::Not(f) => f.walk_constraints(out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.walk_constraints(out);
+                }
+            }
+            Formula::Exists(_, f) | Formula::Forall(_, f) => f.walk_constraints(out),
+            _ => {}
+        }
+    }
+
+    /// Replaces every regular-constraint atom using the given rewriter
+    /// (used by Lemma 5.3's bounded-constraint elimination).
+    pub fn map_constraints(&self, rewrite: &impl Fn(&Term, &Rc<Regex>) -> Formula) -> Formula {
+        match self {
+            Formula::In(t, g) => rewrite(t, g),
+            Formula::Eq(..) | Formula::EqChain(..) => self.clone(),
+            Formula::Not(f) => Formula::Not(Box::new(f.map_constraints(rewrite))),
+            Formula::And(fs) => {
+                Formula::And(fs.iter().map(|f| f.map_constraints(rewrite)).collect())
+            }
+            Formula::Or(fs) => Formula::Or(fs.iter().map(|f| f.map_constraints(rewrite)).collect()),
+            Formula::Exists(v, f) => {
+                Formula::Exists(v.clone(), Box::new(f.map_constraints(rewrite)))
+            }
+            Formula::Forall(v, f) => {
+                Formula::Forall(v.clone(), Box::new(f.map_constraints(rewrite)))
+            }
+        }
+    }
+
+    /// The alphabet symbols syntactically occurring in the formula
+    /// (constants and regex symbols).
+    pub fn symbols(&self) -> Vec<u8> {
+        fn term(t: &Term, out: &mut Vec<u8>) {
+            if let Term::Sym(c) = t {
+                out.push(*c);
+            }
+        }
+        fn walk(f: &Formula, out: &mut Vec<u8>) {
+            match f {
+                Formula::Eq(x, y, z) => {
+                    term(x, out);
+                    term(y, out);
+                    term(z, out);
+                }
+                Formula::EqChain(x, parts) => {
+                    term(x, out);
+                    for p in parts {
+                        term(p, out);
+                    }
+                }
+                Formula::In(x, g) => {
+                    term(x, out);
+                    out.extend(g.symbols());
+                }
+                Formula::Not(f) => walk(f, out),
+                Formula::And(fs) | Formula::Or(fs) => fs.iter().for_each(|f| walk(f, out)),
+                Formula::Exists(_, f) | Formula::Forall(_, f) => walk(f, out),
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Convenience: model checking a sentence against the structure of `w`.
+    /// See [`crate::eval::holds`] for formulas with free variables.
+    pub fn models(&self, structure: &FactorStructure) -> bool {
+        crate::eval::holds(self, structure, &crate::eval::Assignment::new())
+    }
+}
+
+fn desugar_chain(x: &Term, parts: &[Term], fresh: &mut usize) -> Formula {
+    match parts.len() {
+        0 => Formula::Eq(x.clone(), Term::Epsilon, Term::Epsilon),
+        1 => Formula::Eq(x.clone(), parts[0].clone(), Term::Epsilon),
+        2 => Formula::Eq(x.clone(), parts[0].clone(), parts[1].clone()),
+        _ => {
+            // x ≐ t₁·s₁, s₁ ≐ t₂·s₂, …, s_{m−2} ≐ t_{m−1}·t_m
+            let m = parts.len();
+            let names: Vec<VarName> = (0..m - 2)
+                .map(|_| {
+                    *fresh += 1;
+                    Rc::from(format!("__s{fresh}", fresh = *fresh))
+                })
+                .collect();
+            let mut atoms = Vec::with_capacity(m - 1);
+            atoms.push(Formula::Eq(
+                x.clone(),
+                parts[0].clone(),
+                Term::Var(names[0].clone()),
+            ));
+            for i in 1..m - 2 {
+                atoms.push(Formula::Eq(
+                    Term::Var(names[i - 1].clone()),
+                    parts[i].clone(),
+                    Term::Var(names[i].clone()),
+                ));
+            }
+            atoms.push(Formula::Eq(
+                Term::Var(names[m - 3].clone()),
+                parts[m - 2].clone(),
+                parts[m - 1].clone(),
+            ));
+            let mut body = Formula::And(atoms);
+            for name in names.into_iter().rev() {
+                body = Formula::Exists(name, Box::new(body));
+            }
+            body
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::Eq(x, y, z) => write!(f, "({x} ≐ {y}·{z})"),
+            Formula::EqChain(x, parts) => {
+                write!(f, "({x} ≐ ")?;
+                if parts.is_empty() {
+                    write!(f, "ε")?;
+                } else {
+                    for (i, p) in parts.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, "·")?;
+                        }
+                        write!(f, "{p}")?;
+                    }
+                }
+                write!(f, ")")
+            }
+            Formula::In(x, g) => write!(f, "({x} ∈̇ {g})"),
+            Formula::Not(inner) => write!(f, "¬{inner}"),
+            Formula::And(fs) => {
+                if fs.is_empty() {
+                    return write!(f, "⊤");
+                }
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(fs) => {
+                if fs.is_empty() {
+                    return write!(f, "⊥");
+                }
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Exists(v, inner) => write!(f, "∃{v}: {inner}"),
+            Formula::Forall(v, inner) => write!(f, "∀{v}: {inner}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(name: &str) -> Term {
+        Term::var(name)
+    }
+
+    #[test]
+    fn free_vars_and_sentences() {
+        let f = Formula::exists(
+            &["x"],
+            Formula::and([
+                Formula::eq_cat(v("x"), v("y"), Term::Epsilon),
+                Formula::eq(v("x"), Term::Sym(b'a')),
+            ]),
+        );
+        assert_eq!(f.free_vars().iter().map(|s| s.as_ref()).collect::<Vec<_>>(), vec!["y"]);
+        assert!(!f.is_sentence());
+        let g = Formula::exists(&["x", "y"], Formula::eq_cat(v("x"), v("y"), v("y")));
+        assert!(g.is_sentence());
+    }
+
+    #[test]
+    fn shadowing_does_not_leak_bound_vars() {
+        // ∃x: ((x ≐ ε) ∧ ∃x: (x ≐ a)) — inner x stays bound after inner scope.
+        let f = Formula::exists(
+            &["x"],
+            Formula::and([
+                Formula::eq(v("x"), Term::Epsilon),
+                Formula::exists(&["x"], Formula::eq(v("x"), Term::Sym(b'a'))),
+            ]),
+        );
+        assert!(f.is_sentence());
+        // x free outside, same name bound inside: x is still free overall.
+        let g = Formula::and([
+            Formula::eq(v("x"), Term::Epsilon),
+            Formula::exists(&["x"], Formula::eq(v("x"), Term::Sym(b'a'))),
+        ]);
+        assert_eq!(g.free_vars().len(), 1);
+    }
+
+    #[test]
+    fn quantifier_rank() {
+        let atom = Formula::eq_cat(v("x"), v("y"), v("z"));
+        assert_eq!(atom.qr(), 0);
+        let f = Formula::exists(&["x"], Formula::forall(&["y"], atom.clone()));
+        assert_eq!(f.qr(), 2);
+        let g = Formula::and([f.clone(), Formula::not(Formula::exists(&["a"], atom.clone()))]);
+        assert_eq!(g.qr(), 2);
+        // Prop 3.7's formula has qr 5 — checked in library tests.
+    }
+
+    #[test]
+    fn desugared_chain_semantics_and_rank() {
+        // x ≐ a·b·a (3 parts) → 1 fresh ∃.
+        let f = Formula::eq_word(v("x"), b"aba");
+        assert_eq!(f.qr(), 0);
+        assert_eq!(f.qr_desugared(), 1);
+        // 5 parts → 3 fresh ∃.
+        let g = Formula::eq_word(v("x"), b"aabab");
+        assert_eq!(g.qr_desugared(), 3);
+        // 0,1,2 parts → no fresh vars.
+        assert_eq!(Formula::eq_chain(v("x"), vec![]).qr_desugared(), 0);
+        assert_eq!(Formula::eq_chain(v("x"), vec![v("y")]).qr_desugared(), 0);
+        assert_eq!(Formula::eq_chain(v("x"), vec![v("y"), v("z")]).qr_desugared(), 0);
+    }
+
+    #[test]
+    fn purity() {
+        let f = Formula::eq(v("x"), Term::Epsilon);
+        assert!(f.is_pure_fc());
+        let g = Formula::constraint(v("x"), Regex::parse("a*").unwrap());
+        assert!(!g.is_pure_fc());
+        assert!(!Formula::and([f, g]).is_pure_fc());
+    }
+
+    #[test]
+    fn constraint_collection_and_mapping() {
+        let g = Formula::and([
+            Formula::constraint(v("x"), Regex::parse("a*").unwrap()),
+            Formula::exists(
+                &["y"],
+                Formula::constraint(v("y"), Regex::parse("(ba)*").unwrap()),
+            ),
+        ]);
+        assert_eq!(g.constraints().len(), 2);
+        let pure = g.map_constraints(&|t, _| Formula::eq(t.clone(), Term::Epsilon));
+        assert!(pure.is_pure_fc());
+        assert_eq!(pure.constraints().len(), 0);
+    }
+
+    #[test]
+    fn connective_flattening() {
+        let a = Formula::eq(v("x"), Term::Epsilon);
+        let f = Formula::and([Formula::and([a.clone(), a.clone()]), a.clone()]);
+        match &f {
+            Formula::And(parts) => assert_eq!(parts.len(), 3),
+            _ => panic!("expected And"),
+        }
+        let single = Formula::or([a.clone()]);
+        assert_eq!(single, a);
+        assert_eq!(Formula::not(Formula::not(a.clone())), a);
+    }
+
+    #[test]
+    fn display_renders() {
+        let f = Formula::exists(
+            &["x", "y"],
+            Formula::and([
+                Formula::eq_cat(v("x"), v("y"), v("y")),
+                Formula::not(Formula::eq(v("y"), Term::Epsilon)),
+            ]),
+        );
+        let s = f.to_string();
+        assert!(s.contains("∃x"), "{s}");
+        assert!(s.contains("≐"), "{s}");
+    }
+
+    #[test]
+    fn symbols_collected() {
+        let f = Formula::and([
+            Formula::eq_word(v("x"), b"ab"),
+            Formula::constraint(v("y"), Regex::parse("c*").unwrap()),
+        ]);
+        assert_eq!(f.symbols(), vec![b'a', b'b', b'c']);
+    }
+}

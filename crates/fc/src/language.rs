@@ -1,0 +1,167 @@
+//! Languages and relations defined by formulas, on finite windows.
+//!
+//! `L(φ) = { w : 𝔄_w ⊨ φ }` (Definition 2.4). The experiment harness
+//! compares `L(φ) ∩ Σ^{≤n}` against reference predicates, and checks
+//! relation definability per the paper's Definition (§2): `φ_R` defines `R`
+//! iff for every `w`, `⟦φ_R⟧(w) = R ∩ Facs(w)^k`.
+
+use crate::eval::{holds, satisfying_assignments, Assignment};
+use crate::formula::{Formula, VarName};
+use crate::structure::FactorStructure;
+use fc_words::{Alphabet, Word};
+use std::rc::Rc;
+
+/// `L(φ) ∩ Σ^{≤max_len}` for a sentence `φ`, in (length, lex) order.
+pub fn language_window(phi: &Formula, sigma: &Alphabet, max_len: usize) -> Vec<Word> {
+    assert!(phi.is_sentence(), "language_window requires a sentence");
+    sigma
+        .words_up_to(max_len)
+        .filter(|w| {
+            let s = FactorStructure::new(w.clone(), sigma);
+            holds(phi, &s, &Assignment::new())
+        })
+        .collect()
+}
+
+/// The first word (in (length, lex) order, up to `max_len`) on which the
+/// sentence disagrees with the reference predicate, if any.
+pub fn first_language_disagreement(
+    phi: &Formula,
+    sigma: &Alphabet,
+    max_len: usize,
+    reference: impl Fn(&Word) -> bool,
+) -> Option<Word> {
+    sigma.words_up_to(max_len).find(|w| {
+        let s = FactorStructure::new(w.clone(), sigma);
+        holds(phi, &s, &Assignment::new()) != reference(w)
+    })
+}
+
+/// ⟦φ⟧(w) rendered as word tuples in the order `vars`.
+pub fn relation_on(
+    phi: &Formula,
+    vars: &[&str],
+    structure: &FactorStructure,
+) -> Vec<Vec<Word>> {
+    let keys: Vec<VarName> = vars.iter().map(|v| Rc::from(*v)).collect();
+    let mut out: Vec<Vec<Word>> = satisfying_assignments(phi, structure)
+        .into_iter()
+        .map(|m| {
+            keys.iter()
+                .map(|k| structure.word_of(m[k]).clone())
+                .collect()
+        })
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Checks the paper's definability condition on one word: `⟦φ⟧(w)` equals
+/// `{ t ∈ R : every component ⊑ w }` for the reference relation predicate.
+/// Returns the first counterexample tuple (with a flag: `true` = formula
+/// accepts but relation rejects).
+pub fn check_defines_relation(
+    phi: &Formula,
+    vars: &[&str],
+    structure: &FactorStructure,
+    relation: impl Fn(&[Word]) -> bool,
+) -> Option<(Vec<Word>, bool)> {
+    let got = relation_on(phi, vars, structure);
+    // formula ⊆ relation
+    for t in &got {
+        if !relation(t) {
+            return Some((t.clone(), true));
+        }
+    }
+    // relation ∩ Facs^k ⊆ formula
+    let k = vars.len();
+    let facs: Vec<Word> = structure
+        .universe()
+        .map(|id| structure.word_of(id).clone())
+        .collect();
+    let mut tuple = vec![Word::epsilon(); k];
+    fn rec(
+        facs: &[Word],
+        relation: &impl Fn(&[Word]) -> bool,
+        got: &[Vec<Word>],
+        tuple: &mut Vec<Word>,
+        i: usize,
+    ) -> Option<Vec<Word>> {
+        if i == tuple.len() {
+            if relation(tuple) && !got.contains(tuple) {
+                return Some(tuple.clone());
+            }
+            return None;
+        }
+        for f in facs {
+            tuple[i] = f.clone();
+            if let Some(bad) = rec(facs, relation, got, tuple, i + 1) {
+                return Some(bad);
+            }
+        }
+        None
+    }
+    rec(&facs, &relation, &got, &mut tuple, 0).map(|t| (t, false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+
+    #[test]
+    fn window_of_square_language() {
+        let sigma = Alphabet::ab();
+        let window = language_window(&library::phi_square(), &sigma, 4);
+        let strs: Vec<&str> = window.iter().map(|w| w.as_str()).collect();
+        assert_eq!(strs, vec!["", "aa", "bb", "aaaa", "abab", "baba", "bbbb"]);
+    }
+
+    #[test]
+    fn disagreement_detection() {
+        let sigma = Alphabet::ab();
+        let phi = library::phi_square();
+        // Correct reference → no disagreement.
+        assert!(first_language_disagreement(&phi, &sigma, 4, |w| {
+            w.len() % 2 == 0 && {
+                let (a, b) = w.bytes().split_at(w.len() / 2);
+                a == b
+            }
+        })
+        .is_none());
+        // Wrong reference → flags a word.
+        let bad = first_language_disagreement(&phi, &sigma, 4, |w| w.is_empty());
+        assert_eq!(bad.unwrap().as_str(), "aa");
+    }
+
+    #[test]
+    fn copy_relation_is_defined() {
+        // R_copy = {(u, v) : u = vv} — Example 2.3 says φ(x,y) = (x ≐ y·y)
+        // defines it.
+        let phi = library::r_copy("x", "y");
+        let s = FactorStructure::of_word("aabaab");
+        let bad = check_defines_relation(&phi, &["x", "y"], &s, |t| {
+            t[0] == t[1].concat(&t[1])
+        });
+        assert_eq!(bad, None);
+    }
+
+    #[test]
+    fn wrong_relation_is_flagged() {
+        let phi = library::r_copy("x", "y");
+        let s = FactorStructure::of_word("aa");
+        // Claim it defines equality — counterexample should appear.
+        let bad = check_defines_relation(&phi, &["x", "y"], &s, |t| t[0] == t[1]);
+        assert!(bad.is_some());
+    }
+
+    #[test]
+    fn relation_rendering() {
+        let phi = library::r_copy("x", "y");
+        let s = FactorStructure::of_word("aaaa");
+        let rel = relation_on(&phi, &["x", "y"], &s);
+        // (ε,ε), (aa,a), (aaaa,aa)
+        assert_eq!(rel.len(), 3);
+    }
+}

@@ -1,0 +1,444 @@
+//! The paper's concrete formulas, built programmatically.
+//!
+//! Each function constructs exactly the formula displayed in the paper
+//! (§1, Example 2.3, Prop 3.7's appendix proof, Prop 4.1's appendix proof),
+//! parameterised where the paper parameterises.
+
+use crate::formula::{Formula, Term};
+use std::rc::Rc;
+
+fn v(name: &str) -> Term {
+    Term::var(name)
+}
+
+/// φ_w(x) — "x is the whole input word" (Example 2.3):
+///
+/// `¬∃z₁,z₂: ((z₁ ≐ z₂·x) ∨ (z₁ ≐ x·z₂)) ∧ ¬(z₂ ≐ ε)`.
+///
+/// Fresh variable names are derived from `x` to keep nestings sound.
+pub fn phi_whole_word(x: &str) -> Formula {
+    let z1 = format!("__z1_{x}");
+    let z2 = format!("__z2_{x}");
+    Formula::not(Formula::exists(
+        &[&z1, &z2],
+        Formula::and([
+            Formula::or([
+                Formula::eq_cat(v(&z1), v(&z2), v(x)),
+                Formula::eq_cat(v(&z1), v(x), v(&z2)),
+            ]),
+            Formula::not(Formula::eq(v(&z2), Term::Epsilon)),
+        ]),
+    ))
+}
+
+/// φ_ww — "the input word is a square" (Example 2.3):
+/// `∃x,y: φ_w(x) ∧ (x ≐ y·y)`.
+pub fn phi_square() -> Formula {
+    Formula::exists(
+        &["x", "y"],
+        Formula::and([phi_whole_word("x"), Formula::eq_cat(v("x"), v("y"), v("y"))]),
+    )
+}
+
+/// R_copy(x, y) := (x ≐ y·y) (Example 2.3).
+pub fn r_copy(x: &str, y: &str) -> Formula {
+    Formula::eq_cat(v(x), v(y), v(y))
+}
+
+/// R_{k-copies}(x, y) := x ≐ y^k (Example 2.3, generalised), as a wide
+/// equation.
+pub fn r_k_copies(x: &str, y: &str, k: usize) -> Formula {
+    Formula::eq_chain(v(x), vec![v(y); k])
+}
+
+/// The intro's cube-freeness sentence:
+/// `∀z: (¬(z ≐ ε) → ¬∃x,y: (x ≐ z·y) ∧ (y ≐ z·z))`.
+pub fn phi_cube_free() -> Formula {
+    Formula::forall(
+        &["z"],
+        Formula::implies(
+            Formula::not(Formula::eq(v("z"), Term::Epsilon)),
+            Formula::not(Formula::exists(
+                &["x", "y"],
+                Formula::and([
+                    Formula::eq_cat(v("x"), v("z"), v("y")),
+                    Formula::eq_cat(v("y"), v("z"), v("z")),
+                ]),
+            )),
+        ),
+    )
+}
+
+/// Prop 3.7's distinguishing sentence with quantifier rank 5, accepting
+/// exactly `{ v·b·v : v ∈ Σ* }`:
+///
+/// `∃x,y,z: (y ≐ x·z) ∧ (z ≐ b·x) ∧ ¬∃z₁,z₂: ((z₁ ≐ z₂·y) ∨ (z₁ ≐ y·z₂)) ∧ ¬(z₂ ≐ ε)`.
+pub fn phi_vbv() -> Formula {
+    Formula::exists(
+        &["x", "y", "z"],
+        Formula::and([
+            Formula::eq_cat(v("y"), v("x"), v("z")),
+            Formula::eq_cat(v("z"), Term::Sym(b'b'), v("x")),
+            phi_whole_word("y"),
+        ]),
+    )
+}
+
+/// φ_c(x) := ∃y,z: (x ≐ y·c·z) — "x contains the letter c"
+/// (Prop 4.1's helper).
+pub fn phi_contains(x: &str, sym: u8) -> Formula {
+    let y = format!("__y_{x}");
+    let z = format!("__z_{x}");
+    Formula::exists(
+        &[&y, &z],
+        Formula::eq_chain(v(x), vec![v(&y), Term::Sym(sym), v(&z)]),
+    )
+}
+
+/// φ_struc (Prop 4.1): the input has shape `c·a·c·ab·c·(({a,b}⁺)·c)*` —
+/// essentially the paper's `∃x₁,𝔲: φ_w(𝔲) ∧ (𝔲 ≐ c a c a b c x₁ c) ∧
+/// ¬∃x₂: (x₂ ≐ c·c)`.
+///
+/// (The "no cc factor" conjunct forces every block between c's to be
+/// non-empty and over {a,b}; the leading blocks pin F₀ = a and F₁ = ab.)
+///
+/// **Deviation from the paper, documented:** the displayed chain
+/// `c a c ab c x₁ c` requires at least three blocks, so taken literally it
+/// rejects the n = 0 and n = 1 members `cac` and `cacabc` of L_fib. We add
+/// those two words as explicit disjuncts so that `L(φ_fib) = L_fib`
+/// exactly, as Proposition 4.1 asserts.
+pub fn phi_struc() -> Formula {
+    let c = || Term::Sym(b'c');
+    let a = || Term::Sym(b'a');
+    let b = || Term::Sym(b'b');
+    let long_shape = Formula::exists(
+        &["__x1"],
+        Formula::eq_chain(
+            v("__u"),
+            vec![c(), a(), c(), a(), b(), c(), v("__x1"), c()],
+        ),
+    );
+    Formula::exists(
+        &["__u"],
+        Formula::and([
+            Formula::or([
+                Formula::eq_word(v("__u"), b"cac"),
+                Formula::eq_word(v("__u"), b"cacabc"),
+                long_shape,
+            ]),
+            phi_whole_word("__u"),
+            Formula::not(Formula::exists(
+                &["__x2"],
+                Formula::eq_cat(v("__x2"), Term::Sym(b'c'), Term::Sym(b'c')),
+            )),
+        ]),
+    )
+}
+
+/// φ_fib (Prop 4.1): L(φ_fib) = L_fib = { c F₀ c F₁ c ⋯ c F_n c }.
+///
+/// `φ_struc ∧ ∀x,y₁,y₂,y₃: (x ≐ c y₁ c y₂ c y₃ c) →
+///  (φ_c(y₁) ∨ φ_c(y₂) ∨ φ_c(y₃) ∨ (y₃ ≐ y₂·y₁))`.
+pub fn phi_fib() -> Formula {
+    let c = || Term::Sym(b'c');
+    let guard = Formula::eq_chain(
+        v("x"),
+        vec![c(), v("y1"), c(), v("y2"), c(), v("y3"), c()],
+    );
+    let conclusion = Formula::or([
+        phi_contains("y1", b'c'),
+        phi_contains("y2", b'c'),
+        phi_contains("y3", b'c'),
+        Formula::eq_cat(v("y3"), v("y2"), v("y1")),
+    ]);
+    Formula::and([
+        phi_struc(),
+        Formula::forall(&["x", "y1", "y2", "y3"], Formula::implies(guard, conclusion)),
+    ])
+}
+
+/// φ_{t*}(x) for a **primitive** word `t` (the commutation trick of
+/// Claim C.1): `(x ≐ ε) ∨ ∃z: (x ≐ t·z) ∧ (x ≐ z·t)`.
+///
+/// Correct only for primitive `t` — see [`phi_star_word`] for the general
+/// case and the documented correction.
+pub fn phi_star_primitive(x: &str, t: &[u8]) -> Formula {
+    assert!(
+        fc_words::is_primitive(t),
+        "phi_star_primitive requires a primitive word; use phi_star_word"
+    );
+    let z = format!("__st_{x}");
+    let mut left = vec![];
+    left.extend(t.iter().map(|&c| Term::Sym(c)));
+    left.push(v(&z));
+    let mut right = vec![v(&z)];
+    right.extend(t.iter().map(|&c| Term::Sym(c)));
+    Formula::or([
+        Formula::eq(v(x), Term::Epsilon),
+        Formula::exists(
+            &[&z],
+            Formula::and([
+                Formula::eq_chain(v(x), left),
+                Formula::eq_chain(v(x), right),
+            ]),
+        ),
+    ])
+}
+
+/// φ_{w*}(x) for an arbitrary fixed word `w` — the FC formula defining
+/// `{x : x ∈ w*}` among factors.
+///
+/// **Correction to the paper's Claim C.1.** The claim's formula
+/// `(x ≐ ε) ∨ ∃z: (x ≐ w·z) ∧ (x ≐ z·w)` is only correct for *primitive*
+/// `w`: commutation gives `x ∈ t*` for the primitive root `t` of `w`, not
+/// `x ∈ w*` (e.g. `w = aa`, `x = aaa`, `z = a` satisfies it though
+/// `aaa ∉ (aa)*`). We repair it by writing `w = tⁱ` with `t` the primitive
+/// root and using
+/// `φ_{w*}(x) := (x ≐ ε) ∨ ∃y: (x ≐ yⁱ) ∧ φ_{t*}(y)`
+/// — if `x = yⁱ` and `y = t^j` then `x = (t^j)ⁱ = w^j`. The experiment
+/// harness (E16) demonstrates both the defect and the repair.
+pub fn phi_star_word(x: &str, w: &[u8]) -> Formula {
+    if w.is_empty() {
+        return Formula::eq(v(x), Term::Epsilon);
+    }
+    let (root, i) = fc_words::primitive_root(w);
+    if i == 1 {
+        return phi_star_primitive(x, w);
+    }
+    let y = format!("__pw_{x}");
+    Formula::or([
+        Formula::eq(v(x), Term::Epsilon),
+        Formula::exists(
+            &[&y],
+            Formula::and([
+                Formula::eq_chain(v(x), vec![v(&y); i]),
+                phi_star_primitive(&y, root.bytes()),
+            ]),
+        ),
+    ])
+}
+
+/// The paper's **literal** Claim C.1 formula (kept for the E16 defect
+/// demonstration): `(x ≐ ε) ∨ ∃z: (x ≐ w·z) ∧ (x ≐ z·w)`.
+pub fn phi_star_word_paper_literal(x: &str, w: &[u8]) -> Formula {
+    if w.is_empty() {
+        return Formula::eq(v(x), Term::Epsilon);
+    }
+    let z = format!("__st_{x}");
+    let mut left = vec![];
+    left.extend(w.iter().map(|&c| Term::Sym(c)));
+    left.push(v(&z));
+    let mut right = vec![v(&z)];
+    right.extend(w.iter().map(|&c| Term::Sym(c)));
+    Formula::or([
+        Formula::eq(v(x), Term::Epsilon),
+        Formula::exists(
+            &[&z],
+            Formula::and([
+                Formula::eq_chain(v(x), left),
+                Formula::eq_chain(v(x), right),
+            ]),
+        ),
+    ])
+}
+
+/// The sentence `∃x: φ_w(x) ∧ φ_{u*}(x) ∧ ¬(x ≐ ε)` — "the input word is a
+/// non-empty power of u". Useful for quick experiments.
+pub fn phi_input_is_power_of(u: &[u8]) -> Formula {
+    Formula::exists(
+        &["x"],
+        Formula::and([
+            phi_whole_word("x"),
+            phi_star_word("x", u),
+            Formula::not(Formula::eq(v("x"), Term::Epsilon)),
+        ]),
+    )
+}
+
+/// A sentence asserting the input word equals the fixed word `w`.
+pub fn phi_input_equals(w: &[u8]) -> Formula {
+    Formula::exists(
+        &["x"],
+        Formula::and([phi_whole_word("x"), Formula::eq_word(v("x"), w)]),
+    )
+}
+
+/// Helper: the sentence `∃x: φ_w(x) ∧ φ(x)` for a caller-supplied property
+/// of the whole word.
+pub fn on_whole_word(property: impl FnOnce(&str) -> Formula) -> Formula {
+    Formula::exists(
+        &["__w"],
+        Formula::and([phi_whole_word("__w"), property("__w")]),
+    )
+}
+
+/// The FC[REG] formula `(x ∈̇ γ)` with γ given as a parsed pattern.
+pub fn constraint_from_pattern(x: &str, pattern: &str) -> Formula {
+    Formula::constraint(
+        v(x),
+        fc_reglang::Regex::parse(pattern).unwrap_or_else(|e| panic!("bad pattern {pattern}: {e}")),
+    )
+}
+
+/// Re-export of [`Rc`] used by callers constructing variable names.
+pub type Var = Rc<str>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structure::FactorStructure;
+    use fc_words::{fibonacci, Alphabet};
+
+    fn s(w: &str) -> FactorStructure {
+        FactorStructure::of_str(w, &Alphabet::ab())
+    }
+
+    #[test]
+    fn whole_word_pins_w() {
+        let sigma = Alphabet::ab();
+        for w in sigma.words_up_to(5) {
+            let st = FactorStructure::new(w.clone(), &sigma);
+            let phi = phi_whole_word("x");
+            let sols = crate::eval::satisfying_assignments(&phi, &st);
+            assert_eq!(sols.len(), 1, "w={w}");
+            let x: Var = Rc::from("x");
+            assert_eq!(st.bytes_of(sols[0][&x]), w.bytes(), "w={w}");
+        }
+    }
+
+    #[test]
+    fn square_language() {
+        for (w, want) in [("", true), ("aa", true), ("abab", true), ("aba", false), ("a", false), ("abba", false)] {
+            assert_eq!(phi_square().models(&s(w)), want, "w={w}");
+        }
+    }
+
+    #[test]
+    fn k_copies_relation() {
+        let st = s("aaaa");
+        let phi = r_k_copies("x", "y", 3);
+        let sols = crate::eval::satisfying_assignments(&phi, &st);
+        // (ε,ε), (aaa, a) — y=aa would need x=a^6 ∉ Facs.
+        assert_eq!(sols.len(), 2);
+    }
+
+    #[test]
+    fn vbv_has_qr_5_and_correct_language() {
+        let phi = phi_vbv();
+        assert_eq!(phi.qr(), 5);
+        for (w, want) in [
+            ("b", true),        // v = ε
+            ("aba", true),      // v = a
+            ("abbab", true),    // v = ab
+            ("abab", false),
+            ("bb", false),      // v·b·v with v = ε is "b", bb is not of shape vbv? v=b: b·b·b no.
+            ("", false),
+        ] {
+            assert_eq!(phi.models(&s(w)), want, "w={w}");
+        }
+    }
+
+    #[test]
+    fn vbv_distinguishes_prop_3_7_pairs() {
+        // a^p b a^p ∈ L(φ) but a^q b a^p ∉ L(φ) for p ≠ q.
+        for (p, q) in [(1usize, 2usize), (2, 3), (3, 5)] {
+            let wp = format!("{}b{}", "a".repeat(p), "a".repeat(p));
+            let wq = format!("{}b{}", "a".repeat(q), "a".repeat(p));
+            assert!(phi_vbv().models(&s(&wp)), "p={p}");
+            assert!(!phi_vbv().models(&s(&wq)), "q={q} p={p}");
+        }
+    }
+
+    #[test]
+    fn fib_formula_accepts_l_fib() {
+        let sigma = Alphabet::abc();
+        let phi = phi_fib();
+        for n in 0..=3 {
+            let member = fibonacci::l_fib_member(n);
+            let st = FactorStructure::new(member.clone(), &sigma);
+            assert!(phi.models(&st), "n={n} w={member}");
+        }
+    }
+
+    #[test]
+    fn fib_formula_rejects_mutants() {
+        let sigma = Alphabet::abc();
+        let phi = phi_fib();
+        for bad in ["", "c", "cc", "cac", "cacbac", "cacabcabc", "cacabcaba", "acabc", "cacabcababc"] {
+            // NB: "cac" is actually L_fib's n = 0 member — handled below.
+            if fc_words::fibonacci::is_l_fib(bad.as_bytes()) {
+                continue;
+            }
+            let st = FactorStructure::of_str(bad, &sigma);
+            assert!(!phi.models(&st), "w={bad}");
+        }
+    }
+
+    #[test]
+    fn fib_formula_equals_l_fib_on_window() {
+        // Exhaustive over Σ^{≤6}: φ_fib ⟺ is_l_fib.
+        let sigma = Alphabet::abc();
+        let phi = phi_fib();
+        for w in sigma.words_up_to(6) {
+            let st = FactorStructure::new(w.clone(), &sigma);
+            assert_eq!(
+                phi.models(&st),
+                fibonacci::is_l_fib(w.bytes()),
+                "w={w}"
+            );
+        }
+    }
+
+    #[test]
+    fn star_primitive_formula() {
+        let sigma = Alphabet::ab();
+        let phi = on_whole_word(|x| phi_star_primitive(x, b"ab"));
+        for w in sigma.words_up_to(6) {
+            let st = FactorStructure::new(w.clone(), &sigma);
+            let want = w.len() % 2 == 0 && w.bytes().chunks(2).all(|c| c == b"ab");
+            assert_eq!(phi.models(&st), want, "w={w}");
+        }
+    }
+
+    #[test]
+    fn star_word_paper_literal_defect_and_repair() {
+        // w = aa: the paper-literal formula wrongly accepts aaa.
+        let lit = on_whole_word(|x| phi_star_word_paper_literal(x, b"aa"));
+        let fixed = on_whole_word(|x| phi_star_word(x, b"aa"));
+        let st = s("aaa");
+        assert!(lit.models(&st), "paper-literal formula accepts aaa (the defect)");
+        assert!(!fixed.models(&st), "repaired formula rejects aaa");
+        // Both agree on genuine (aa)* members.
+        for w in ["", "aa", "aaaa", "aaaaaa"] {
+            assert!(fixed.models(&s(w)), "w={w}");
+            assert!(lit.models(&s(w)), "w={w}");
+        }
+        // And the repaired formula is exactly (aa)* on a window.
+        let sigma = Alphabet::ab();
+        for w in sigma.words_up_to(7) {
+            let st = FactorStructure::new(w.clone(), &sigma);
+            let want = w.len() % 2 == 0 && w.bytes().iter().all(|&c| c == b'a');
+            assert_eq!(fixed.models(&st), want, "w={w}");
+        }
+    }
+
+    #[test]
+    fn power_sentences() {
+        let phi = phi_input_is_power_of(b"ab");
+        for (w, want) in [("ab", true), ("abab", true), ("", false), ("aba", false), ("ba", false)] {
+            assert_eq!(phi.models(&s(w)), want, "w={w}");
+        }
+        let eq = phi_input_equals(b"aba");
+        assert!(eq.models(&s("aba")));
+        assert!(!eq.models(&s("abab")));
+        assert!(!eq.models(&s("ab")));
+    }
+
+    #[test]
+    fn contains_helper() {
+        let phi = on_whole_word(|x| phi_contains(x, b'b'));
+        assert!(phi.models(&s("aab")));
+        assert!(!phi.models(&s("aaa")));
+        assert!(!phi.models(&s("")));
+    }
+}

@@ -1,0 +1,282 @@
+//! Normal forms for FC formulas: negation normal form and prenex form.
+//!
+//! These are the standard transformations used throughout finite-model
+//! theory (and implicitly in the paper whenever quantifier rank is
+//! counted): NNF pushes negations to the atoms; prenex form pulls all
+//! quantifiers to the front. Both preserve semantics; prenexing preserves
+//! quantifier rank only up to the usual caveat (it can *increase* the
+//! rank when independent quantifier blocks under ∧/∨ are serialized —
+//! `qr` counts nesting depth, and prenexing maximally nests). Property
+//! tests pin the semantics; the rank interplay is documented by tests.
+
+use crate::formula::{Formula, Term, VarName};
+use std::collections::HashSet;
+use std::rc::Rc;
+
+/// Converts to negation normal form: ¬ occurs only directly on atoms.
+pub fn to_nnf(f: &Formula) -> Formula {
+    match f {
+        Formula::Eq(..) | Formula::EqChain(..) | Formula::In(..) => f.clone(),
+        Formula::And(fs) => Formula::And(fs.iter().map(to_nnf).collect()),
+        Formula::Or(fs) => Formula::Or(fs.iter().map(to_nnf).collect()),
+        Formula::Exists(v, inner) => Formula::Exists(v.clone(), Box::new(to_nnf(inner))),
+        Formula::Forall(v, inner) => Formula::Forall(v.clone(), Box::new(to_nnf(inner))),
+        Formula::Not(inner) => negate_nnf(inner),
+    }
+}
+
+fn negate_nnf(f: &Formula) -> Formula {
+    match f {
+        Formula::Eq(..) | Formula::EqChain(..) | Formula::In(..) => {
+            Formula::Not(Box::new(f.clone()))
+        }
+        Formula::Not(inner) => to_nnf(inner),
+        Formula::And(fs) => Formula::Or(fs.iter().map(negate_nnf).collect()),
+        Formula::Or(fs) => Formula::And(fs.iter().map(negate_nnf).collect()),
+        Formula::Exists(v, inner) => Formula::Forall(v.clone(), Box::new(negate_nnf(inner))),
+        Formula::Forall(v, inner) => Formula::Exists(v.clone(), Box::new(negate_nnf(inner))),
+    }
+}
+
+/// `true` iff negations occur only directly on atoms.
+pub fn is_nnf(f: &Formula) -> bool {
+    match f {
+        Formula::Eq(..) | Formula::EqChain(..) | Formula::In(..) => true,
+        Formula::Not(inner) => {
+            matches!(**inner, Formula::Eq(..) | Formula::EqChain(..) | Formula::In(..))
+        }
+        Formula::And(fs) | Formula::Or(fs) => fs.iter().all(is_nnf),
+        Formula::Exists(_, inner) | Formula::Forall(_, inner) => is_nnf(inner),
+    }
+}
+
+/// A prenex block: the quantifier prefix plus a quantifier-free matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Prenex {
+    /// The prefix, outermost first. `true` = ∃, `false` = ∀.
+    pub prefix: Vec<(bool, VarName)>,
+    /// The quantifier-free matrix.
+    pub matrix: Formula,
+}
+
+impl Prenex {
+    /// Rebuilds the ordinary formula.
+    pub fn to_formula(&self) -> Formula {
+        self.prefix.iter().rev().fold(self.matrix.clone(), |acc, (ex, v)| {
+            if *ex {
+                Formula::Exists(v.clone(), Box::new(acc))
+            } else {
+                Formula::Forall(v.clone(), Box::new(acc))
+            }
+        })
+    }
+}
+
+/// Converts an NNF formula to prenex form, renaming bound variables apart
+/// where needed. (Call [`to_nnf`] first; this function NNFs internally for
+/// safety.)
+pub fn to_prenex(f: &Formula) -> Prenex {
+    let nnf = to_nnf(f);
+    let mut used: HashSet<VarName> = nnf.free_vars().into_iter().collect();
+    collect_bound(&nnf, &mut used);
+    let mut counter = 0usize;
+    prenex_rec(&nnf, &mut used, &mut counter)
+}
+
+fn collect_bound(f: &Formula, out: &mut HashSet<VarName>) {
+    match f {
+        Formula::Exists(v, inner) | Formula::Forall(v, inner) => {
+            out.insert(v.clone());
+            collect_bound(inner, out);
+        }
+        Formula::Not(inner) => collect_bound(inner, out),
+        Formula::And(fs) | Formula::Or(fs) => fs.iter().for_each(|g| collect_bound(g, out)),
+        _ => {}
+    }
+}
+
+fn fresh_name(base: &str, used: &mut HashSet<VarName>, counter: &mut usize) -> VarName {
+    loop {
+        *counter += 1;
+        let cand: VarName = Rc::from(format!("{base}_{counter}"));
+        if used.insert(cand.clone()) {
+            return cand;
+        }
+    }
+}
+
+fn prenex_rec(f: &Formula, used: &mut HashSet<VarName>, counter: &mut usize) -> Prenex {
+    match f {
+        Formula::Eq(..) | Formula::EqChain(..) | Formula::In(..) | Formula::Not(_) => {
+            Prenex { prefix: Vec::new(), matrix: f.clone() }
+        }
+        Formula::Exists(v, inner) | Formula::Forall(v, inner) => {
+            let existential = matches!(f, Formula::Exists(..));
+            // Rename the bound variable apart to make hoisting safe.
+            let fresh = fresh_name(v, used, counter);
+            let renamed = substitute_var(inner, v, &fresh);
+            let mut inner_pre = prenex_rec(&renamed, used, counter);
+            let mut prefix = vec![(existential, fresh)];
+            prefix.append(&mut inner_pre.prefix);
+            Prenex { prefix, matrix: inner_pre.matrix }
+        }
+        Formula::And(fs) | Formula::Or(fs) => {
+            let conj = matches!(f, Formula::And(..));
+            let mut prefix = Vec::new();
+            let mut matrices = Vec::with_capacity(fs.len());
+            for g in fs {
+                let mut p = prenex_rec(g, used, counter);
+                prefix.append(&mut p.prefix);
+                matrices.push(p.matrix);
+            }
+            let matrix = if conj {
+                Formula::And(matrices)
+            } else {
+                Formula::Or(matrices)
+            };
+            Prenex { prefix, matrix }
+        }
+    }
+}
+
+/// Capture-avoiding substitution of variable `from` by variable `to`
+/// (both plain variables, so no capture can occur after renaming-apart).
+fn substitute_var(f: &Formula, from: &VarName, to: &VarName) -> Formula {
+    let sub_term = |t: &Term| -> Term {
+        match t {
+            Term::Var(v) if v == from => Term::Var(to.clone()),
+            other => other.clone(),
+        }
+    };
+    match f {
+        Formula::Eq(x, y, z) => Formula::Eq(sub_term(x), sub_term(y), sub_term(z)),
+        Formula::EqChain(x, parts) => {
+            Formula::EqChain(sub_term(x), parts.iter().map(sub_term).collect())
+        }
+        Formula::In(x, g) => Formula::In(sub_term(x), g.clone()),
+        Formula::Not(inner) => Formula::Not(Box::new(substitute_var(inner, from, to))),
+        Formula::And(fs) => {
+            Formula::And(fs.iter().map(|g| substitute_var(g, from, to)).collect())
+        }
+        Formula::Or(fs) => Formula::Or(fs.iter().map(|g| substitute_var(g, from, to)).collect()),
+        Formula::Exists(v, inner) => {
+            if v == from {
+                f.clone() // shadowed: stop
+            } else {
+                Formula::Exists(v.clone(), Box::new(substitute_var(inner, from, to)))
+            }
+        }
+        Formula::Forall(v, inner) => {
+            if v == from {
+                f.clone()
+            } else {
+                Formula::Forall(v.clone(), Box::new(substitute_var(inner, from, to)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{holds, Assignment};
+    use crate::structure::FactorStructure;
+    use fc_words::Alphabet;
+
+    fn v(name: &str) -> Term {
+        Term::var(name)
+    }
+
+    fn sample_formulas() -> Vec<Formula> {
+        vec![
+            // ¬∃x: (x ≐ a·a)
+            Formula::not(Formula::exists(
+                &["x"],
+                Formula::eq_cat(v("x"), Term::Sym(b'a'), Term::Sym(b'a')),
+            )),
+            // ¬∀x: ¬∃y: (x ≐ y·y)
+            Formula::not(Formula::forall(
+                &["x"],
+                Formula::not(Formula::exists(&["y"], Formula::eq_cat(v("x"), v("y"), v("y")))),
+            )),
+            // (∃x: x ≐ ab) ∧ (∃x: x ≐ ba) — same bound name in two blocks.
+            Formula::and([
+                Formula::exists(&["x"], Formula::eq_cat(v("x"), Term::Sym(b'a'), Term::Sym(b'b'))),
+                Formula::exists(&["x"], Formula::eq_cat(v("x"), Term::Sym(b'b'), Term::Sym(b'a'))),
+            ]),
+            crate::library::phi_square(),
+            crate::library::phi_cube_free(),
+        ]
+    }
+
+    #[test]
+    fn nnf_preserves_semantics_and_is_nnf() {
+        let sigma = Alphabet::ab();
+        for phi in sample_formulas() {
+            let nnf = to_nnf(&phi);
+            assert!(is_nnf(&nnf), "{nnf}");
+            for w in sigma.words_up_to(4) {
+                let s = FactorStructure::new(w.clone(), &sigma);
+                assert_eq!(
+                    holds(&phi, &s, &Assignment::new()),
+                    holds(&nnf, &s, &Assignment::new()),
+                    "phi={phi} w={w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nnf_preserves_quantifier_rank() {
+        for phi in sample_formulas() {
+            assert_eq!(phi.qr(), to_nnf(&phi).qr(), "{phi}");
+        }
+    }
+
+    #[test]
+    fn prenex_preserves_semantics() {
+        let sigma = Alphabet::ab();
+        for phi in sample_formulas() {
+            let pre = to_prenex(&phi);
+            let rebuilt = pre.to_formula();
+            for w in sigma.words_up_to(4) {
+                let s = FactorStructure::new(w.clone(), &sigma);
+                assert_eq!(
+                    holds(&phi, &s, &Assignment::new()),
+                    holds(&rebuilt, &s, &Assignment::new()),
+                    "phi={phi} w={w} prenex={rebuilt}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prenex_matrix_is_quantifier_free() {
+        for phi in sample_formulas() {
+            let pre = to_prenex(&phi);
+            assert_eq!(pre.matrix.qr(), 0, "matrix of {phi} not quantifier-free");
+        }
+    }
+
+    #[test]
+    fn prenex_rank_equals_prefix_length() {
+        for phi in sample_formulas() {
+            let pre = to_prenex(&phi);
+            assert_eq!(pre.to_formula().qr(), pre.prefix.len(), "{phi}");
+            // Prenexing can only increase the nesting-depth rank.
+            assert!(pre.prefix.len() >= phi.qr(), "{phi}");
+        }
+    }
+
+    #[test]
+    fn renaming_apart_prevents_capture() {
+        // ∃x: (x ≐ a) ∧ ∃x: (x ≐ b): prefix must have two distinct names.
+        let phi = Formula::and([
+            Formula::exists(&["x"], Formula::eq(v("x"), Term::Sym(b'a'))),
+            Formula::exists(&["x"], Formula::eq(v("x"), Term::Sym(b'b'))),
+        ]);
+        let pre = to_prenex(&phi);
+        assert_eq!(pre.prefix.len(), 2);
+        assert_ne!(pre.prefix[0].1, pre.prefix[1].1);
+    }
+}

@@ -1,0 +1,540 @@
+//! A concrete ASCII syntax and parser for FC / FC[REG] formulas.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! formula   := ('E' | 'A') vars ':' formula          quantifiers ∃ / ∀
+//!            | implication
+//! implication := disjunction ('->' implication)?
+//! disjunction := conjunction ('|' conjunction)*
+//! conjunction := unary ('&' unary)*
+//! unary     := '!' unary | '(' formula ')' | atom
+//! atom      := term '=' part ('.' part)*             x = y.z  (wide chains ok)
+//!            | term 'in' '/' regex '/'               regular constraint
+//! term      := ident | 'eps'
+//! part      := ident | 'eps' | '"' letters '"'       strings expand to symbols
+//! vars      := ident (',' ident)*
+//! ```
+//!
+//! Examples:
+//!
+//! ```
+//! use fc_logic::parser::parse_formula;
+//! // Example 2.3's φ_ww (the square language):
+//! let phi = parse_formula(r#"E x, y: (x = y.y) & !(E z1, z2:
+//!     ((z1 = z2.x) | (z1 = x.z2)) & !(z2 = eps))"#).unwrap();
+//! assert!(phi.is_sentence());
+//! ```
+
+use crate::formula::{Formula, Term};
+use fc_reglang::Regex;
+
+/// Parses a formula from the ASCII concrete syntax.
+///
+/// # Errors
+/// Returns a byte-offset-tagged message on malformed input.
+pub fn parse_formula(src: &str) -> Result<Formula, String> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let f = p.formula()?;
+    if p.pos != p.tokens.len() {
+        return Err(format!("trailing input at token {}", p.pos));
+    }
+    Ok(f)
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Regex(String),
+    Eps,
+    Exists,
+    Forall,
+    In,
+    LParen,
+    RParen,
+    Bang,
+    Amp,
+    Pipe,
+    Arrow,
+    Eq,
+    Dot,
+    Comma,
+    Colon,
+}
+
+fn tokenize(src: &str) -> Result<Vec<Tok>, String> {
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\n' | b'\r' => i += 1,
+            b'(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            b')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            b'!' => {
+                out.push(Tok::Bang);
+                i += 1;
+            }
+            b'&' => {
+                out.push(Tok::Amp);
+                i += 1;
+            }
+            b'|' => {
+                out.push(Tok::Pipe);
+                i += 1;
+            }
+            b'=' => {
+                out.push(Tok::Eq);
+                i += 1;
+            }
+            b'.' => {
+                out.push(Tok::Dot);
+                i += 1;
+            }
+            b',' => {
+                out.push(Tok::Comma);
+                i += 1;
+            }
+            b':' => {
+                out.push(Tok::Colon);
+                i += 1;
+            }
+            b'-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Tok::Arrow);
+                    i += 2;
+                } else {
+                    return Err(format!("stray '-' at byte {i}"));
+                }
+            }
+            b'"' => {
+                let start = i + 1;
+                let end = bytes[start..]
+                    .iter()
+                    .position(|&b| b == b'"')
+                    .ok_or_else(|| format!("unterminated string at byte {i}"))?;
+                out.push(Tok::Str(src[start..start + end].to_string()));
+                i = start + end + 1;
+            }
+            b'/' => {
+                let start = i + 1;
+                let end = bytes[start..]
+                    .iter()
+                    .position(|&b| b == b'/')
+                    .ok_or_else(|| format!("unterminated /regex/ at byte {i}"))?;
+                out.push(Tok::Regex(src[start..start + end].to_string()));
+                i = start + end + 1;
+            }
+            c if c.is_ascii_alphanumeric() || c == b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                out.push(match word {
+                    "E" | "EX" | "exists" => Tok::Exists,
+                    "A" | "ALL" | "forall" => Tok::Forall,
+                    "eps" | "epsilon" => Tok::Eps,
+                    "in" => Tok::In,
+                    _ => Tok::Ident(word.to_string()),
+                });
+            }
+            other => return Err(format!("unexpected character '{}' at byte {i}", other as char)),
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos)
+    }
+
+    fn eat(&mut self, t: &Tok) -> Result<(), String> {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {t:?} at token {}, found {:?}", self.pos, self.peek()))
+        }
+    }
+
+    fn formula(&mut self) -> Result<Formula, String> {
+        match self.peek() {
+            Some(Tok::Exists) | Some(Tok::Forall) => {
+                let existential = self.peek() == Some(&Tok::Exists);
+                self.pos += 1;
+                let mut vars = vec![self.ident()?];
+                while self.peek() == Some(&Tok::Comma) {
+                    self.pos += 1;
+                    vars.push(self.ident()?);
+                }
+                self.eat(&Tok::Colon)?;
+                let body = self.formula()?;
+                let refs: Vec<&str> = vars.iter().map(String::as_str).collect();
+                Ok(if existential {
+                    Formula::exists(&refs, body)
+                } else {
+                    Formula::forall(&refs, body)
+                })
+            }
+            _ => self.implication(),
+        }
+    }
+
+    fn implication(&mut self) -> Result<Formula, String> {
+        let lhs = self.disjunction()?;
+        if self.peek() == Some(&Tok::Arrow) {
+            self.pos += 1;
+            let rhs = self.implication()?;
+            Ok(Formula::implies(lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn disjunction(&mut self) -> Result<Formula, String> {
+        let mut parts = vec![self.conjunction()?];
+        while self.peek() == Some(&Tok::Pipe) {
+            self.pos += 1;
+            parts.push(self.conjunction()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            Formula::or(parts)
+        })
+    }
+
+    fn conjunction(&mut self) -> Result<Formula, String> {
+        let mut parts = vec![self.unary()?];
+        while self.peek() == Some(&Tok::Amp) {
+            self.pos += 1;
+            parts.push(self.unary()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            Formula::and(parts)
+        })
+    }
+
+    fn unary(&mut self) -> Result<Formula, String> {
+        match self.peek() {
+            Some(Tok::Bang) => {
+                self.pos += 1;
+                Ok(Formula::not(self.unary()?))
+            }
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let f = self.formula()?;
+                self.eat(&Tok::RParen)?;
+                Ok(f)
+            }
+            _ => self.atom(),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Formula, String> {
+        let lhs = self.term()?;
+        match self.peek() {
+            Some(Tok::Eq) => {
+                self.pos += 1;
+                let mut parts = Vec::new();
+                self.chain_part(&mut parts)?;
+                while self.peek() == Some(&Tok::Dot) {
+                    self.pos += 1;
+                    self.chain_part(&mut parts)?;
+                }
+                // Binary chains become plain Eq atoms for rank fidelity.
+                Ok(match parts.len() {
+                    0 => Formula::eq(lhs, Term::Epsilon),
+                    1 => Formula::eq(lhs, parts.pop().unwrap()),
+                    2 => {
+                        let z = parts.pop().unwrap();
+                        let y = parts.pop().unwrap();
+                        Formula::eq_cat(lhs, y, z)
+                    }
+                    _ => Formula::eq_chain(lhs, parts),
+                })
+            }
+            Some(Tok::In) => {
+                self.pos += 1;
+                match self.peek().cloned() {
+                    Some(Tok::Regex(r)) => {
+                        self.pos += 1;
+                        let regex = Regex::parse(&r)
+                            .map_err(|e| format!("bad regex /{r}/: {e}"))?;
+                        Ok(Formula::constraint(lhs, regex))
+                    }
+                    other => Err(format!("expected /regex/ after 'in', found {other:?}")),
+                }
+            }
+            other => Err(format!("expected '=' or 'in' at token {}, found {other:?}", self.pos)),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, String> {
+        match self.peek().cloned() {
+            Some(Tok::Ident(name)) => {
+                self.pos += 1;
+                Ok(name)
+            }
+            other => Err(format!(
+                "expected identifier at token {}, found {other:?}",
+                self.pos
+            )),
+        }
+    }
+
+    fn term(&mut self) -> Result<Term, String> {
+        match self.peek().cloned() {
+            Some(Tok::Eps) => {
+                self.pos += 1;
+                Ok(Term::Epsilon)
+            }
+            Some(Tok::Ident(name)) => {
+                self.pos += 1;
+                Ok(Term::var(&name))
+            }
+            Some(Tok::Str(s)) => {
+                if s.len() == 1 {
+                    self.pos += 1;
+                    Ok(Term::Sym(s.as_bytes()[0]))
+                } else {
+                    Err(format!(
+                        "string \"{s}\" used in term position must be a single letter"
+                    ))
+                }
+            }
+            other => Err(format!("expected term at token {}, found {other:?}", self.pos)),
+        }
+    }
+
+    fn chain_part(&mut self, out: &mut Vec<Term>) -> Result<(), String> {
+        match self.peek().cloned() {
+            Some(Tok::Str(s)) => {
+                self.pos += 1;
+                if s.is_empty() {
+                    // "" contributes nothing (ε in a chain).
+                } else {
+                    out.extend(s.bytes().map(Term::Sym));
+                }
+                Ok(())
+            }
+            _ => {
+                let t = self.term()?;
+                out.push(t);
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{holds, Assignment};
+    use crate::library;
+    use crate::structure::FactorStructure;
+    use fc_words::Alphabet;
+
+    fn agree_on_window(parsed: &Formula, built: &Formula, max_len: usize) {
+        let sigma = Alphabet::ab();
+        for w in sigma.words_up_to(max_len) {
+            let s = FactorStructure::new(w.clone(), &sigma);
+            assert_eq!(
+                holds(parsed, &s, &Assignment::new()),
+                holds(built, &s, &Assignment::new()),
+                "w={w} parsed={parsed} built={built}"
+            );
+        }
+    }
+
+    #[test]
+    fn parses_the_square_sentence() {
+        let parsed = parse_formula(
+            r#"E x, y: (x = y.y) & !(E z1, z2: ((z1 = z2.x) | (z1 = x.z2)) & !(z2 = eps))"#,
+        )
+        .unwrap();
+        agree_on_window(&parsed, &library::phi_square(), 5);
+    }
+
+    #[test]
+    fn parses_the_cube_free_sentence() {
+        let parsed = parse_formula(
+            r#"A z: !(z = eps) -> !(E x, y: (x = z.y) & (y = z.z))"#,
+        )
+        .unwrap();
+        agree_on_window(&parsed, &library::phi_cube_free(), 5);
+    }
+
+    #[test]
+    fn parses_constants_and_strings() {
+        // ∃x: x ≐ a·b — via single-letter strings.
+        let parsed = parse_formula(r#"E x: x = "a"."b""#).unwrap();
+        let built = Formula::exists(
+            &["x"],
+            Formula::eq_cat(Term::var("x"), Term::Sym(b'a'), Term::Sym(b'b')),
+        );
+        agree_on_window(&parsed, &built, 4);
+        // Multi-letter strings expand in chains: x = "aba" ⟺ x ≐ a·b·a.
+        let parsed = parse_formula(r#"E x: x = "aba""#).unwrap();
+        let built = Formula::exists(&["x"], Formula::eq_word(Term::var("x"), b"aba"));
+        agree_on_window(&parsed, &built, 5);
+    }
+
+    #[test]
+    fn parses_regular_constraints() {
+        let parsed = parse_formula(r#"E x: x in /(ab)+/"#).unwrap();
+        assert!(!parsed.is_pure_fc());
+        let sigma = Alphabet::ab();
+        for (w, want) in [("ab", true), ("bbab", true), ("ba", false), ("", false)] {
+            let s = FactorStructure::of_str(w, &sigma);
+            assert_eq!(holds(&parsed, &s, &Assignment::new()), want, "w={w}");
+        }
+    }
+
+    #[test]
+    fn quantifier_rank_is_faithful() {
+        // Binary atoms stay binary (rank unaffected by parsing).
+        let parsed = parse_formula(r#"E x, y, z: (y = x.z) & (z = "b".x) &
+            !(E z1, z2: ((z1 = z2.y) | (z1 = y.z2)) & !(z2 = eps))"#)
+        .unwrap();
+        assert_eq!(parsed.qr(), 5);
+        agree_on_window(&parsed, &library::phi_vbv(), 5);
+    }
+
+    #[test]
+    fn error_messages_are_positioned() {
+        assert!(parse_formula("E x").is_err());
+        assert!(parse_formula("x = ").is_err());
+        assert!(parse_formula("x in abc").is_err());
+        assert!(parse_formula(r#"x = "ab" extra"#).is_err());
+        assert!(parse_formula("(x = eps").is_err());
+        assert!(parse_formula("-x").is_err());
+        assert!(parse_formula(r#"E x: "ab" = x"#).is_err()); // multi-letter term lhs
+    }
+
+    #[test]
+    fn empty_string_in_chain_is_epsilon() {
+        let parsed = parse_formula(r#"E x: x = """#).unwrap();
+        let sigma = Alphabet::ab();
+        // x = ε: satisfiable on every word.
+        for w in sigma.words_up_to(3) {
+            let s = FactorStructure::new(w.clone(), &sigma);
+            assert!(holds(&parsed, &s, &Assignment::new()), "w={w}");
+        }
+    }
+
+    #[test]
+    fn implication_chains_right_associatively() {
+        let f = parse_formula("x = eps -> x = eps -> x = eps").unwrap();
+        // (a -> (b -> c)): satisfied whenever x = ε … trivially true here.
+        let sigma = Alphabet::ab();
+        let s = FactorStructure::of_str("a", &sigma);
+        let mut m = Assignment::new();
+        m.insert(std::rc::Rc::from("x"), s.epsilon());
+        assert!(holds(&f, &s, &m));
+    }
+}
+
+// ---- source emission ---------------------------------------------------
+
+/// Emits a formula in the ASCII concrete syntax accepted by
+/// [`parse_formula`]. Constants are quoted (`"a"`), ε is `eps`, quantifiers
+/// are `E`/`A`. Round trip: `parse_formula(&to_source(φ))` is semantically
+/// (and, up to Eq/EqChain arity normalization, structurally) the same
+/// formula — property-tested in `tests/prop.rs`.
+pub fn to_source(f: &Formula) -> String {
+    let term = |t: &Term| -> String {
+        match t {
+            Term::Var(v) => v.to_string(),
+            Term::Sym(c) => format!("\"{}\"", *c as char),
+            Term::Epsilon => "eps".to_string(),
+        }
+    };
+    match f {
+        Formula::Eq(x, y, z) => format!("({} = {}.{})", term(x), term(y), term(z)),
+        Formula::EqChain(x, parts) => {
+            if parts.is_empty() {
+                format!("({} = eps)", term(x))
+            } else {
+                let rendered: Vec<String> = parts.iter().map(term).collect();
+                format!("({} = {})", term(x), rendered.join("."))
+            }
+        }
+        Formula::In(x, g) => format!("({} in /{g}/)", term(x)),
+        Formula::Not(inner) => format!("!{}", to_source(inner)),
+        Formula::And(fs) => {
+            if fs.is_empty() {
+                "(eps = eps)".to_string() // ⊤
+            } else {
+                let parts: Vec<String> = fs.iter().map(to_source).collect();
+                format!("({})", parts.join(" & "))
+            }
+        }
+        Formula::Or(fs) => {
+            if fs.is_empty() {
+                "!(eps = eps)".to_string() // ⊥
+            } else {
+                let parts: Vec<String> = fs.iter().map(to_source).collect();
+                format!("({})", parts.join(" | "))
+            }
+        }
+        Formula::Exists(v, inner) => format!("(E {v}: {})", to_source(inner)),
+        Formula::Forall(v, inner) => format!("(A {v}: {})", to_source(inner)),
+    }
+}
+
+#[cfg(test)]
+mod source_tests {
+    use super::*;
+    use crate::library;
+
+    #[test]
+    fn library_formulas_round_trip_semantically() {
+        use crate::eval::{holds, Assignment};
+        use crate::structure::FactorStructure;
+        use fc_words::Alphabet;
+        let sigma = Alphabet::ab();
+        for phi in [
+            library::phi_square(),
+            library::phi_cube_free(),
+            library::phi_vbv(),
+            library::phi_input_is_power_of(b"ab"),
+        ] {
+            let src = to_source(&phi);
+            let back = parse_formula(&src).unwrap_or_else(|e| panic!("{src}: {e}"));
+            for w in sigma.words_up_to(4) {
+                let s = FactorStructure::new(w.clone(), &sigma);
+                assert_eq!(
+                    holds(&phi, &s, &Assignment::new()),
+                    holds(&back, &s, &Assignment::new()),
+                    "w={w} src={src}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn emitted_source_is_ascii() {
+        let src = to_source(&library::phi_fib());
+        assert!(src.is_ascii(), "{src}");
+        assert!(parse_formula(&src).is_ok());
+    }
+}

@@ -1,0 +1,305 @@
+//! Lemma 5.3: eliminating *bounded* regular constraints from FC[REG].
+//!
+//! Lemma 5.3 states: if `L` is a Boolean combination of bounded languages,
+//! then `L ∈ 𝓛(FC)` iff `L ∈ 𝓛(FC[REG])`. The constructive core (Claim
+//! C.1) is that every bounded **regular** language — i.e. every member of
+//! the closure of finite languages and `w*` under union and concatenation
+//! (Ginsburg–Spanier) — has an FC formula with one free variable defining
+//! exactly its members among the factors of the input.
+//!
+//! [`bounded_to_fc`] implements that translation on the structured
+//! [`BoundedExpr`] form; [`eliminate_bounded_constraints`] rewrites an
+//! FC[REG] formula whose constraints are all given as bounded expressions
+//! into pure FC.
+//!
+//! The `w*` case uses [`crate::library::phi_star_word`], which repairs the
+//! paper's Claim C.1 formula for imprimitive `w` (see the doc there).
+
+use crate::formula::{Formula, Term};
+use crate::library::phi_star_word;
+use fc_reglang::bounded::BoundedExpr;
+
+/// The FC formula (free variable `x`) defining membership of `x` in the
+/// bounded regular language described by `expr`.
+pub fn bounded_to_fc(x: &str, expr: &BoundedExpr) -> Formula {
+    let mut fresh = 0usize;
+    translate(x, expr, &mut fresh)
+}
+
+fn translate(x: &str, expr: &BoundedExpr, fresh: &mut usize) -> Formula {
+    match expr {
+        BoundedExpr::Finite(words) => Formula::or(
+            words
+                .iter()
+                .map(|w| Formula::eq_word(Term::var(x), w.bytes())),
+        ),
+        BoundedExpr::StarWord(w) => phi_star_word(x, w.bytes()),
+        BoundedExpr::Union(parts) => {
+            Formula::or(parts.iter().map(|p| translate(x, p, fresh)))
+        }
+        BoundedExpr::Concat(parts) => {
+            if parts.is_empty() {
+                return Formula::eq(Term::var(x), Term::Epsilon);
+            }
+            if parts.len() == 1 {
+                return translate(x, &parts[0], fresh);
+            }
+            // x ≐ y₁·y₂⋯y_m ∧ ⋀ᵢ φ_{partᵢ}(yᵢ)
+            let names: Vec<String> = parts
+                .iter()
+                .map(|_| {
+                    *fresh += 1;
+                    format!("__bc{fresh}", fresh = *fresh)
+                })
+                .collect();
+            let chain = Formula::eq_chain(
+                Term::var(x),
+                names.iter().map(|n| Term::var(n)).collect(),
+            );
+            let mut conjuncts = vec![chain];
+            for (n, p) in names.iter().zip(parts.iter()) {
+                conjuncts.push(translate(n, p, fresh));
+            }
+            let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            Formula::exists(&name_refs, Formula::and(conjuncts))
+        }
+    }
+}
+
+/// Rewrites an FC[REG] formula into pure FC, given a resolver mapping each
+/// regular-constraint regex to a bounded expression. Constraints whose
+/// resolver returns `None` are left in place (the result may then still
+/// contain `In` atoms — check with [`Formula::is_pure_fc`]).
+pub fn eliminate_bounded_constraints(
+    phi: &Formula,
+    resolve: impl Fn(&fc_reglang::Regex) -> Option<BoundedExpr>,
+) -> Formula {
+    phi.map_constraints(&|term, regex| match (term, resolve(regex)) {
+        (Term::Var(v), Some(expr)) => bounded_to_fc(v, &expr),
+        _ => Formula::In(term.clone(), regex.clone()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Assignment;
+    use crate::language::first_language_disagreement;
+    use crate::library::on_whole_word;
+    use crate::structure::FactorStructure;
+    use fc_reglang::Dfa;
+    use fc_words::{Alphabet, Word};
+
+    /// For a bounded expression, check that the translated FC formula,
+    /// applied to the whole input word, defines exactly the language on a
+    /// window.
+    fn assert_translation_exact(expr: &BoundedExpr, max_len: usize) {
+        let sigma = Alphabet::ab();
+        let dfa = Dfa::from_regex(&expr.to_regex(), b"ab");
+        let phi = on_whole_word(|x| bounded_to_fc(x, expr));
+        let bad = first_language_disagreement(&phi, &sigma, max_len, |w| dfa.accepts(w.bytes()));
+        assert_eq!(bad, None, "expr={expr:?}");
+    }
+
+    #[test]
+    fn finite_language_translation() {
+        assert_translation_exact(
+            &BoundedExpr::Finite(vec![Word::epsilon(), Word::from("ab"), Word::from("bba")]),
+            5,
+        );
+    }
+
+    #[test]
+    fn star_of_primitive_word() {
+        assert_translation_exact(&BoundedExpr::star("ab"), 6);
+        assert_translation_exact(&BoundedExpr::star("a"), 6);
+        assert_translation_exact(&BoundedExpr::star("aab"), 7);
+    }
+
+    #[test]
+    fn star_of_imprimitive_word_needs_the_repair() {
+        // (aa)* and (abab)*: the paper-literal formula is wrong here; the
+        // repaired translation must be exact.
+        assert_translation_exact(&BoundedExpr::star("aa"), 7);
+        assert_translation_exact(&BoundedExpr::star("abab"), 8);
+    }
+
+    #[test]
+    fn star_of_epsilon() {
+        assert_translation_exact(&BoundedExpr::star(Word::epsilon()), 4);
+    }
+
+    #[test]
+    fn concatenations_and_unions() {
+        // a*b* — Example 4.5's scaffold.
+        assert_translation_exact(
+            &BoundedExpr::Concat(vec![BoundedExpr::star("a"), BoundedExpr::star("b")]),
+            6,
+        );
+        // a*(ba)* — Prop 4.6's scaffold.
+        assert_translation_exact(
+            &BoundedExpr::Concat(vec![BoundedExpr::star("a"), BoundedExpr::star("ba")]),
+            6,
+        );
+        // ab ∪ (aa)*b
+        assert_translation_exact(
+            &BoundedExpr::Union(vec![
+                BoundedExpr::word("ab"),
+                BoundedExpr::Concat(vec![BoundedExpr::star("aa"), BoundedExpr::word("b")]),
+            ]),
+            7,
+        );
+    }
+
+    #[test]
+    fn elimination_yields_pure_fc() {
+        use fc_reglang::Regex;
+        let gamma = Regex::parse("(ab)*").unwrap();
+        let phi = Formula::exists(
+            &["x"],
+            Formula::and([
+                Formula::constraint(Term::var("x"), gamma),
+                Formula::not(Formula::eq(Term::var("x"), Term::Epsilon)),
+            ]),
+        );
+        assert!(!phi.is_pure_fc());
+        let pure = eliminate_bounded_constraints(&phi, |_| Some(BoundedExpr::star("ab")));
+        assert!(pure.is_pure_fc());
+        // Same language on a window.
+        let sigma = Alphabet::ab();
+        for w in sigma.words_up_to(6) {
+            let s = FactorStructure::new(w.clone(), &sigma);
+            assert_eq!(
+                crate::eval::holds(&phi, &s, &Assignment::new()),
+                crate::eval::holds(&pure, &s, &Assignment::new()),
+                "w={w}"
+            );
+        }
+    }
+
+    #[test]
+    fn unresolved_constraints_stay() {
+        use fc_reglang::Regex;
+        let phi = Formula::constraint(Term::var("x"), Regex::parse("(a|b)*").unwrap());
+        let out = eliminate_bounded_constraints(&phi, |_| None);
+        assert!(!out.is_pure_fc());
+    }
+}
+
+// ---- simple regular expressions (FP19 Lemma 5.5 / the paper's §7) ----------
+
+/// The FC formula (free variable `x`) for membership in a **simple regular
+/// expression** `w₀·Σ*·w₁·Σ*⋯w_n` (Freydenberger–Peterfreund Lemma 5.5):
+/// one wide equation with an existential variable per gap. Note the gap
+/// variables range over factors of the *input word*, which is exactly the
+/// right domain because σ(x) ⊑ w forces every gap ⊑ w.
+pub fn simple_to_fc(x: &str, pattern: &fc_reglang::simple::SimpleRegex) -> Formula {
+    use fc_reglang::simple::SimplePart;
+    let mut gap_names: Vec<String> = Vec::new();
+    let mut chain: Vec<Term> = Vec::new();
+    for (i, part) in pattern.parts.iter().enumerate() {
+        match part {
+            SimplePart::Word(w) => {
+                chain.extend(w.bytes().iter().map(|&c| Term::Sym(c)));
+            }
+            SimplePart::Gap => {
+                let name = format!("__gap{i}_{x}");
+                chain.push(Term::var(&name));
+                gap_names.push(name);
+            }
+        }
+    }
+    let eq = Formula::eq_chain(Term::var(x), chain);
+    if gap_names.is_empty() {
+        eq
+    } else {
+        let refs: Vec<&str> = gap_names.iter().map(String::as_str).collect();
+        Formula::exists(&refs, eq)
+    }
+}
+
+/// Rewrites regular constraints into pure FC when the resolver recognizes
+/// them as simple regular expressions (companion to
+/// [`eliminate_bounded_constraints`]).
+pub fn eliminate_simple_constraints(
+    phi: &Formula,
+    resolve: impl Fn(&fc_reglang::Regex) -> Option<fc_reglang::simple::SimpleRegex>,
+) -> Formula {
+    phi.map_constraints(&|term, regex| match (term, resolve(regex)) {
+        (Term::Var(v), Some(pattern)) => simple_to_fc(v, &pattern),
+        _ => Formula::In(term.clone(), regex.clone()),
+    })
+}
+
+#[cfg(test)]
+mod simple_tests {
+    use super::*;
+    use crate::language::first_language_disagreement;
+    use crate::library::on_whole_word;
+    use fc_reglang::simple::{SimplePart, SimpleRegex};
+    use fc_words::{Alphabet, Word};
+
+    fn assert_simple_exact(pattern: &SimpleRegex, max_len: usize) {
+        let sigma = Alphabet::ab();
+        let phi = on_whole_word(|x| simple_to_fc(x, pattern));
+        let bad = first_language_disagreement(&phi, &sigma, max_len, |w| {
+            pattern.contains_word(w.bytes())
+        });
+        assert_eq!(bad, None, "pattern={pattern:?}");
+    }
+
+    #[test]
+    fn contains_pattern_translation() {
+        assert_simple_exact(&SimpleRegex::contains("ab"), 6);
+        assert_simple_exact(&SimpleRegex::contains("aba"), 6);
+    }
+
+    #[test]
+    fn anchored_patterns() {
+        assert_simple_exact(&SimpleRegex::starts_with("ab"), 6);
+        assert_simple_exact(&SimpleRegex::ends_with("ba"), 6);
+        assert_simple_exact(&SimpleRegex::exact("abab"), 6);
+    }
+
+    #[test]
+    fn multi_gap_pattern() {
+        let p = SimpleRegex::from_parts([
+            SimplePart::Word(Word::from("a")),
+            SimplePart::Gap,
+            SimplePart::Word(Word::from("bb")),
+            SimplePart::Gap,
+        ]);
+        assert_simple_exact(&p, 7);
+    }
+
+    #[test]
+    fn gap_only_pattern_is_sigma_star() {
+        let p = SimpleRegex::from_parts([SimplePart::Gap]);
+        assert_simple_exact(&p, 5);
+    }
+
+    #[test]
+    fn elimination_handles_simple_constraints() {
+        use fc_reglang::Regex;
+        let gamma = Regex::parse("(a|b)*ab(a|b)*").unwrap();
+        let phi = Formula::exists(
+            &["x"],
+            Formula::and([Formula::constraint(Term::var("x"), gamma)]),
+        );
+        assert!(!phi.is_pure_fc());
+        let pure = eliminate_simple_constraints(&phi, |_| {
+            Some(SimpleRegex::contains("ab"))
+        });
+        assert!(pure.is_pure_fc());
+        // ∃x ⊑ w with ab ⊑ x ⟺ ab ⊑ w.
+        let sigma = Alphabet::ab();
+        for w in sigma.words_up_to(5) {
+            let st = crate::structure::FactorStructure::new(w.clone(), &sigma);
+            assert_eq!(
+                crate::eval::holds(&pure, &st, &crate::eval::Assignment::new()),
+                fc_words::is_factor(b"ab", w.bytes()),
+                "w={w}"
+            );
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! The factor structure 𝔄_w (Definition of §2, "The logic FC").
+//!
+//! For `w ∈ Σ*`, 𝔄_w has universe `Facs(w) ∪ {⊥}`, the concatenation
+//! relation `R∘ = {(a,b,c) ∈ Facs(w)³ : a = b·c}`, one constant per letter
+//! (interpreted as ⊥ when the letter does not occur in `w`), and ε.
+//!
+//! The universe is *interned*: each distinct factor gets a dense
+//! [`FactorId`]; equality is id comparison and `R∘` membership is a
+//! length-split plus a hash lookup. ⊥ is a dedicated sentinel id.
+
+use fc_words::{factors_of, Alphabet, Word};
+use std::collections::HashMap;
+
+/// A dense identifier for an element of the universe of 𝔄_w.
+///
+/// `FactorId::BOTTOM` is the null element ⊥; all other ids index the
+/// interned factor table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FactorId(pub u32);
+
+impl FactorId {
+    /// The null element ⊥.
+    pub const BOTTOM: FactorId = FactorId(u32::MAX);
+
+    /// `true` iff this is ⊥.
+    #[inline]
+    pub fn is_bottom(self) -> bool {
+        self == FactorId::BOTTOM
+    }
+}
+
+/// The τ_Σ-structure 𝔄_w representing a word `w`.
+#[derive(Clone, Debug)]
+pub struct FactorStructure {
+    word: Word,
+    sigma: Alphabet,
+    /// Interned distinct factors, sorted by (length, lex); `factors[0] = ε`.
+    factors: Vec<Word>,
+    /// Factor bytes → id.
+    index: HashMap<Word, FactorId>,
+    /// Per alphabet letter: the id of the single-letter factor, or ⊥.
+    constants: Vec<(u8, FactorId)>,
+}
+
+impl FactorStructure {
+    /// Builds 𝔄_w over the alphabet of `w` extended by `sigma`.
+    pub fn new(word: Word, sigma: &Alphabet) -> FactorStructure {
+        let sigma = sigma.extended_by(&word);
+        let factors = factors_of(word.bytes());
+        let mut index = HashMap::with_capacity(factors.len());
+        for (i, f) in factors.iter().enumerate() {
+            index.insert(f.clone(), FactorId(i as u32));
+        }
+        let constants = sigma
+            .symbols()
+            .iter()
+            .map(|&c| {
+                let id = index
+                    .get(&Word::symbol(c))
+                    .copied()
+                    .unwrap_or(FactorId::BOTTOM);
+                (c, id)
+            })
+            .collect();
+        FactorStructure { word, sigma, factors, index, constants }
+    }
+
+    /// Builds 𝔄_w using exactly the symbols occurring in `w` as Σ.
+    pub fn of_word(word: impl Into<Word>) -> FactorStructure {
+        let word = word.into();
+        let sigma = Alphabet::from_symbols(&word.symbols());
+        FactorStructure::new(word, &sigma)
+    }
+
+    /// Builds 𝔄_w from a `&str` over a named alphabet.
+    pub fn of_str(word: &str, sigma: &Alphabet) -> FactorStructure {
+        FactorStructure::new(Word::from(word), sigma)
+    }
+
+    /// The represented word.
+    #[inline]
+    pub fn word(&self) -> &Word {
+        &self.word
+    }
+
+    /// The alphabet Σ of the signature τ_Σ.
+    #[inline]
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.sigma
+    }
+
+    /// Number of factor elements (excluding ⊥).
+    #[inline]
+    pub fn universe_len(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// Iterates over all factor ids (not including ⊥).
+    pub fn universe(&self) -> impl Iterator<Item = FactorId> {
+        (0..self.factors.len() as u32).map(FactorId)
+    }
+
+    /// The id of ε.
+    #[inline]
+    pub fn epsilon(&self) -> FactorId {
+        FactorId(0)
+    }
+
+    /// The interpretation `a^{𝔄_w}` of a letter constant: the single-letter
+    /// factor if the letter occurs in `w`, else ⊥.
+    pub fn constant(&self, sym: u8) -> FactorId {
+        self.constants
+            .iter()
+            .find(|&&(c, _)| c == sym)
+            .map(|&(_, id)| id)
+            .unwrap_or(FactorId::BOTTOM)
+    }
+
+    /// The constants vector ⟨𝔄_w⟩ = (a₁^{𝔄}, …, a_m^{𝔄}, ε^{𝔄}) used in the
+    /// EF winning condition (§3).
+    pub fn constants_vector(&self) -> Vec<FactorId> {
+        let mut v: Vec<FactorId> = self.constants.iter().map(|&(_, id)| id).collect();
+        v.push(self.epsilon());
+        v
+    }
+
+    /// The bytes of a factor element.
+    ///
+    /// # Panics
+    /// Panics on ⊥ or an out-of-range id.
+    #[inline]
+    pub fn bytes_of(&self, id: FactorId) -> &[u8] {
+        assert!(!id.is_bottom(), "⊥ has no bytes");
+        self.factors[id.0 as usize].bytes()
+    }
+
+    /// The [`Word`] of a factor element.
+    #[inline]
+    pub fn word_of(&self, id: FactorId) -> &Word {
+        assert!(!id.is_bottom(), "⊥ has no word");
+        &self.factors[id.0 as usize]
+    }
+
+    /// Length of the factor (|⊥| is undefined; panics).
+    #[inline]
+    pub fn len_of(&self, id: FactorId) -> usize {
+        self.bytes_of(id).len()
+    }
+
+    /// The id of a factor, if `u ⊑ w`.
+    pub fn id_of(&self, u: &[u8]) -> Option<FactorId> {
+        // Fast path: very short or too-long candidates.
+        if u.len() > self.word.len() {
+            return None;
+        }
+        self.index.get(&Word::from(u)).copied()
+    }
+
+    /// R∘ membership: `a = b · c` with all three in `Facs(w)`.
+    /// Any ⊥ argument makes this false.
+    pub fn concat_holds(&self, a: FactorId, b: FactorId, c: FactorId) -> bool {
+        if a.is_bottom() || b.is_bottom() || c.is_bottom() {
+            return false;
+        }
+        let (ba, bb, bc) = (self.bytes_of(a), self.bytes_of(b), self.bytes_of(c));
+        ba.len() == bb.len() + bc.len() && ba.starts_with(bb) && ba.ends_with(bc)
+    }
+
+    /// The id of `b · c` if the concatenation is again a factor of `w`.
+    pub fn concat_id(&self, b: FactorId, c: FactorId) -> Option<FactorId> {
+        if b.is_bottom() || c.is_bottom() {
+            return None;
+        }
+        let (bb, bc) = (self.bytes_of(b), self.bytes_of(c));
+        let mut v = Vec::with_capacity(bb.len() + bc.len());
+        v.extend_from_slice(bb);
+        v.extend_from_slice(bc);
+        self.id_of(&v)
+    }
+
+    /// The id of the full word `w` itself.
+    pub fn full_word_id(&self) -> FactorId {
+        self.id_of(self.word.bytes()).expect("w ⊑ w")
+    }
+
+    /// `true` iff the factor is a prefix of `w`.
+    pub fn is_prefix(&self, id: FactorId) -> bool {
+        !id.is_bottom() && self.word.has_prefix(self.bytes_of(id))
+    }
+
+    /// `true` iff the factor is a suffix of `w`.
+    pub fn is_suffix(&self, id: FactorId) -> bool {
+        !id.is_bottom() && self.word.has_suffix(self.bytes_of(id))
+    }
+
+    /// Renders an element for traces (⊥ or the factor text).
+    pub fn render(&self, id: FactorId) -> String {
+        if id.is_bottom() {
+            "⊥".to_string()
+        } else {
+            self.word_of(id).to_string()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn universe_of_abaab() {
+        let s = FactorStructure::of_word("abaab");
+        // 11 non-empty factors + ε.
+        assert_eq!(s.universe_len(), 12);
+        assert_eq!(s.bytes_of(s.epsilon()), b"");
+        assert!(s.id_of(b"aab").is_some());
+        assert!(s.id_of(b"bb").is_none());
+    }
+
+    #[test]
+    fn constants_interpretation() {
+        let sigma = Alphabet::abc();
+        let s = FactorStructure::of_str("abab", &sigma);
+        assert!(!s.constant(b'a').is_bottom());
+        assert!(!s.constant(b'b').is_bottom());
+        // c does not occur → ⊥.
+        assert!(s.constant(b'c').is_bottom());
+        assert_eq!(s.bytes_of(s.constant(b'a')), b"a");
+        // Constants vector has |Σ| + 1 entries, ending in ε.
+        let cv = s.constants_vector();
+        assert_eq!(cv.len(), 4);
+        assert_eq!(*cv.last().unwrap(), s.epsilon());
+    }
+
+    #[test]
+    fn concat_relation() {
+        let s = FactorStructure::of_word("abaab");
+        let ab = s.id_of(b"ab").unwrap();
+        let a = s.id_of(b"a").unwrap();
+        let b = s.id_of(b"b").unwrap();
+        let aba = s.id_of(b"aba").unwrap();
+        assert!(s.concat_holds(ab, a, b));
+        assert!(!s.concat_holds(ab, b, a));
+        assert!(s.concat_holds(aba, ab, a));
+        assert!(s.concat_holds(aba, a, s.id_of(b"ba").unwrap()));
+        // ε is a unit.
+        assert!(s.concat_holds(a, a, s.epsilon()));
+        assert!(s.concat_holds(a, s.epsilon(), a));
+        // ⊥ never participates.
+        assert!(!s.concat_holds(FactorId::BOTTOM, a, b));
+        assert!(!s.concat_holds(ab, FactorId::BOTTOM, b));
+    }
+
+    #[test]
+    fn concat_id_round_trip() {
+        let s = FactorStructure::of_word("abaab");
+        let a = s.id_of(b"a").unwrap();
+        let b = s.id_of(b"b").unwrap();
+        assert_eq!(s.concat_id(a, b), s.id_of(b"ab"));
+        // "ba" + "ba" = "baba" is not a factor of abaab.
+        let ba = s.id_of(b"ba").unwrap();
+        assert_eq!(s.concat_id(ba, ba), None);
+    }
+
+    #[test]
+    fn prefix_suffix_flags() {
+        let s = FactorStructure::of_word("abaab");
+        assert!(s.is_prefix(s.id_of(b"aba").unwrap()));
+        assert!(!s.is_prefix(s.id_of(b"baab").unwrap()));
+        assert!(s.is_suffix(s.id_of(b"aab").unwrap()));
+        assert!(s.is_suffix(s.id_of(b"abaab").unwrap()));
+        assert!(s.is_prefix(s.epsilon()) && s.is_suffix(s.epsilon()));
+    }
+
+    #[test]
+    fn empty_word_structure() {
+        let s = FactorStructure::of_str("", &Alphabet::ab());
+        assert_eq!(s.universe_len(), 1); // just ε
+        assert!(s.constant(b'a').is_bottom());
+        assert_eq!(s.full_word_id(), s.epsilon());
+        assert!(s.concat_holds(s.epsilon(), s.epsilon(), s.epsilon()));
+    }
+
+    #[test]
+    fn render_elements() {
+        let s = FactorStructure::of_word("ab");
+        assert_eq!(s.render(FactorId::BOTTOM), "⊥");
+        assert_eq!(s.render(s.epsilon()), "ε");
+        assert_eq!(s.render(s.id_of(b"ab").unwrap()), "ab");
+    }
+}

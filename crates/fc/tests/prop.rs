@@ -1,0 +1,182 @@
+//! Property tests for the FC logic: random formulas on random structures,
+//! guarded-vs-naive evaluator agreement, desugaring soundness, and
+//! semantic laws.
+
+use fc_logic::eval::{holds, holds_naive, satisfying_assignments, Assignment};
+use fc_logic::{FactorStructure, Formula, Term};
+use fc_words::{Alphabet, Word};
+use proptest::prelude::*;
+
+fn word(max_len: usize) -> impl Strategy<Value = Word> {
+    prop::collection::vec(prop::sample::select(vec![b'a', b'b']), 0..=max_len)
+        .prop_map(Word::from_bytes)
+}
+
+const VARS: [&str; 3] = ["x", "y", "z"];
+
+fn term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        prop::sample::select(VARS.to_vec()).prop_map(Term::var),
+        Just(Term::Sym(b'a')),
+        Just(Term::Sym(b'b')),
+        Just(Term::Epsilon),
+    ]
+}
+
+/// Random quantified formulas over variables x, y, z (all eventually
+/// bound by the harness before evaluation).
+fn formula() -> impl Strategy<Value = Formula> {
+    let atom = prop_oneof![
+        (term(), term(), term()).prop_map(|(a, b, c)| Formula::Eq(a, b, c)),
+        (term(), prop::collection::vec(term(), 0..4)).prop_map(|(l, ps)| Formula::EqChain(l, ps)),
+    ];
+    atom.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| Formula::Not(Box::new(f))),
+            prop::collection::vec(inner.clone(), 0..3).prop_map(Formula::And),
+            prop::collection::vec(inner.clone(), 0..3).prop_map(Formula::Or),
+            (prop::sample::select(VARS.to_vec()), inner.clone())
+                .prop_map(|(v, f)| Formula::Exists(std::rc::Rc::from(v), Box::new(f))),
+            (prop::sample::select(VARS.to_vec()), inner)
+                .prop_map(|(v, f)| Formula::Forall(std::rc::Rc::from(v), Box::new(f))),
+        ]
+    })
+}
+
+/// Closes a formula by binding all free variables to ε in the assignment.
+fn close(phi: &Formula, s: &FactorStructure) -> Assignment {
+    let mut m = Assignment::new();
+    for v in phi.free_vars() {
+        m.insert(v, s.epsilon());
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn guarded_and_naive_agree(phi in formula(), w in word(4)) {
+        let s = FactorStructure::new(w.clone(), &Alphabet::ab());
+        let m = close(&phi, &s);
+        prop_assert_eq!(
+            holds(&phi, &s, &m),
+            holds_naive(&phi, &s, &m),
+            "phi={} w={}", phi, w
+        );
+    }
+
+    #[test]
+    fn desugaring_preserves_semantics(phi in formula(), w in word(4)) {
+        let s = FactorStructure::new(w.clone(), &Alphabet::ab());
+        let m = close(&phi, &s);
+        let desugared = phi.desugar();
+        // Desugaring introduces only fresh bound variables, so the same
+        // closing assignment applies.
+        prop_assert_eq!(
+            holds(&phi, &s, &m),
+            holds(&desugared, &s, &m),
+            "phi={} w={}", phi, w
+        );
+    }
+
+    #[test]
+    fn negation_is_classical(phi in formula(), w in word(4)) {
+        let s = FactorStructure::new(w.clone(), &Alphabet::ab());
+        let m = close(&phi, &s);
+        let neg = Formula::Not(Box::new(phi.clone()));
+        prop_assert_eq!(holds(&neg, &s, &m), !holds(&phi, &s, &m));
+    }
+
+    #[test]
+    fn de_morgan(phi in formula(), psi in formula(), w in word(3)) {
+        let s = FactorStructure::new(w.clone(), &Alphabet::ab());
+        let conj = Formula::and([phi.clone(), psi.clone()]);
+        let m = close(&conj, &s);
+        let lhs = Formula::Not(Box::new(conj.clone()));
+        let rhs = Formula::or([
+            Formula::Not(Box::new(phi.clone())),
+            Formula::Not(Box::new(psi.clone())),
+        ]);
+        prop_assert_eq!(holds(&lhs, &s, &m), holds(&rhs, &s, &m));
+    }
+
+    #[test]
+    fn quantifier_duality(phi in formula(), w in word(3)) {
+        // ∀x φ ⟺ ¬∃x ¬φ.
+        let s = FactorStructure::new(w.clone(), &Alphabet::ab());
+        let x: fc_logic::VarName = std::rc::Rc::from("x");
+        let forall = Formula::Forall(x.clone(), Box::new(phi.clone()));
+        let not_exists_not = Formula::Not(Box::new(Formula::Exists(
+            x,
+            Box::new(Formula::Not(Box::new(phi.clone()))),
+        )));
+        let m = close(&forall, &s);
+        prop_assert_eq!(holds(&forall, &s, &m), holds(&not_exists_not, &s, &m));
+    }
+
+    #[test]
+    fn qr_bounds_desugared_qr(phi in formula()) {
+        prop_assert!(phi.qr() <= phi.qr_desugared());
+    }
+
+    #[test]
+    fn satisfying_assignments_agree_with_holds(phi in formula(), w in word(3)) {
+        let s = FactorStructure::new(w.clone(), &Alphabet::ab());
+        let sols = satisfying_assignments(&phi, &s);
+        for m in sols.iter().take(8) {
+            prop_assert!(holds(&phi, &s, m), "phi={} w={} m={:?}", phi, w, m);
+        }
+    }
+
+    #[test]
+    fn sentences_ignore_the_assignment(phi in formula(), w in word(3)) {
+        prop_assume!(phi.is_sentence());
+        let s = FactorStructure::new(w.clone(), &Alphabet::ab());
+        let empty = Assignment::new();
+        let mut junk = Assignment::new();
+        junk.insert(std::rc::Rc::from("unused"), s.epsilon());
+        prop_assert_eq!(holds(&phi, &s, &empty), holds(&phi, &s, &junk));
+    }
+
+    #[test]
+    fn eq_chain_matches_explicit_concatenation(w in word(6), parts in prop::collection::vec(word(3), 0..4)) {
+        // (x ≐ w₁⋯w_m) with all parts constant words: holds iff the
+        // concatenation is a factor and x maps to it.
+        let s = FactorStructure::new(w.clone(), &Alphabet::ab());
+        let concat = fc_words::word::concat_all(parts.iter());
+        let phi = Formula::exists(
+            &["x"],
+            Formula::EqChain(
+                Term::var("x"),
+                parts
+                    .iter()
+                    .flat_map(|p| p.bytes().iter().map(|&c| Term::Sym(c)).collect::<Vec<_>>())
+                    .collect(),
+            ),
+        );
+        prop_assert_eq!(
+            holds(&phi, &s, &Assignment::new()),
+            fc_words::is_factor(concat.bytes(), w.bytes()),
+            "w={} concat={}", w, concat
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn to_source_round_trips_semantically(phi in formula(), w in word(3)) {
+        let src = fc_logic::parser::to_source(&phi);
+        let back = fc_logic::parser::parse_formula(&src)
+            .unwrap_or_else(|e| panic!("{src}: {e}"));
+        let s = FactorStructure::new(w.clone(), &Alphabet::ab());
+        let m = close(&phi, &s);
+        prop_assert_eq!(
+            holds(&phi, &s, &m),
+            holds(&back, &s, &m),
+            "src={} w={}", src, w
+        );
+    }
+}

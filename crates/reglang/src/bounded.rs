@@ -1,0 +1,357 @@
+//! Bounded regular languages (Definition 5.2) and their structure.
+//!
+//! A language `L` is *bounded* if `L ⊆ w₁*·w₂*⋯w_n*` for some fixed words
+//! `wᵢ`. Lemma 5.3 of the paper shows bounded languages transfer FC[REG]
+//! expressibility down to FC, which is the bridge from EF-game results to
+//! generalized core spanner inexpressibility.
+//!
+//! Two views are provided:
+//!
+//! 1. [`is_bounded`] — a **decision procedure** on a DFA. For a trim
+//!    (useful-state) DFA, `L` is bounded iff no useful state has two
+//!    outgoing transitions that stay inside its own SCC; equivalently,
+//!    every nontrivial SCC is a single simple cycle. (Ginsburg–Spanier;
+//!    the determinism argument shows two distinct simple cycles through a
+//!    state yield non-commuting loop labels `u, v`, so `x(u|v)*y ⊆ L`
+//!    escapes every `w₁*⋯w_n*`.) [`bounded_witness`] extracts an explicit
+//!    `w₁,…,w_n` with `L ⊆ w₁*⋯w_n*`.
+//!
+//! 2. [`BoundedExpr`] — the **constructive class** from Theorem 1.1 of
+//!    Ginsburg–Spanier as used by the paper's Claim C.1: bounded regular
+//!    languages are exactly the closure of finite languages and `w*` under
+//!    finite union and concatenation. The FC translation of Lemma 5.3
+//!    consumes this structured form (see `fc-logic::reg_to_fc`).
+
+use crate::dfa::Dfa;
+use crate::regex::Regex;
+use fc_words::Word;
+use std::rc::Rc;
+
+/// Decides whether `L(d)` is bounded (⊆ `w₁*⋯w_n*` for some words).
+pub fn is_bounded(d: &Dfa) -> bool {
+    branching_state(d).is_none()
+}
+
+/// Finds a useful state with two distinct in-SCC outgoing transitions — the
+/// witness of *un*boundedness — if one exists.
+pub fn branching_state(d: &Dfa) -> Option<usize> {
+    let (scc_of, _) = d.sccs_of_useful();
+    let k = d.alphabet.len();
+    let n = d.len();
+    // A state is "on a cycle" if its SCC has size > 1 or it has a self loop.
+    let mut scc_size = vec![0usize; n];
+    for q in 0..n {
+        if scc_of[q] != usize::MAX {
+            scc_size[scc_of[q]] += 1;
+        }
+    }
+    for q in 0..n {
+        if scc_of[q] == usize::MAX {
+            continue;
+        }
+        let mut internal = 0;
+        for s in 0..k {
+            let t = d.delta[q * k + s];
+            if scc_of[t] == scc_of[q] && (scc_size[scc_of[q]] > 1 || t == q) {
+                internal += 1;
+            }
+        }
+        if internal >= 2 {
+            return Some(q);
+        }
+    }
+    None
+}
+
+/// For a bounded DFA, extracts words `w₁, …, w_n` with `L ⊆ w₁*⋯w_n*`.
+///
+/// Construction: take the condensation of the trim DFA (a DAG whose
+/// nontrivial nodes are simple cycles). Any accepted word decomposes as
+/// `p₀ c₁^{k₁} p₁ c₂^{k₂} ⋯ p_m` where the `cᵢ` are rotations of SCC cycle
+/// labels (in topological order) and the `pᵢ` are simple path segments of
+/// total length < #states. The witness lists, in topological order, every
+/// rotation of every cycle label starred, interleaved with enough
+/// single-letter stars to cover the path segments.
+///
+/// Returns `None` if the language is unbounded.
+pub fn bounded_witness(d: &Dfa) -> Option<Vec<Word>> {
+    if !is_bounded(d) {
+        return None;
+    }
+    let (scc_of, n_sccs) = d.sccs_of_useful();
+    let k = d.alphabet.len();
+    let n = d.len();
+    if n_sccs == 0 {
+        return Some(Vec::new()); // empty language
+    }
+    //
+
+    // Gather members per SCC.
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); n_sccs];
+    for q in 0..n {
+        if scc_of[q] != usize::MAX {
+            members[scc_of[q]].push(q);
+        }
+    }
+    // Topological order of SCCs. Tarjan emits SCCs in reverse topological
+    // order, so iterate SCC ids from high to low.
+    let topo: Vec<usize> = (0..n_sccs).rev().collect();
+
+    // Cycle label (if the SCC is a nontrivial cycle or has a self loop):
+    // starting from its smallest member, follow the unique internal edge.
+    let cycle_label = |scc: usize| -> Option<Vec<u8>> {
+        let qs = &members[scc];
+        let nontrivial = qs.len() > 1
+            || (0..k).any(|s| d.delta[qs[0] * k + s] == qs[0]);
+        if !nontrivial {
+            return None;
+        }
+        let start = qs[0];
+        let mut label = Vec::new();
+        let mut cur = start;
+        loop {
+            let mut advanced = false;
+            for s in 0..k {
+                let t = d.delta[cur * k + s];
+                if scc_of[t] == scc && (qs.len() > 1 || t == cur) {
+                    label.push(d.alphabet[s]);
+                    cur = t;
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                return None; // defensive: shouldn't happen on a cycle SCC
+            }
+            if cur == start {
+                return Some(label);
+            }
+        }
+    };
+
+    // Path-segment cover: every letter starred, repeated once per state
+    // (simple path segments have length < n, and each position is covered by
+    // a full group of letter stars).
+    let letter_group: Vec<Word> = d.alphabet.iter().map(|&c| Word::symbol(c)).collect();
+
+    let mut witness: Vec<Word> = Vec::new();
+    // Leading path segments.
+    for _ in 0..n {
+        witness.extend(letter_group.iter().cloned());
+    }
+    for scc in topo {
+        if let Some(label) = cycle_label(scc) {
+            // All rotations of the cycle label, each starred.
+            let w = Word::from_bytes(label);
+            for rot in w.conjugates() {
+                witness.push(rot);
+            }
+        }
+        // Path segments after this SCC.
+        for _ in 0..n {
+            witness.extend(letter_group.iter().cloned());
+        }
+    }
+    Some(witness)
+}
+
+/// The regex `w₁*·w₂*⋯w_n*` for a witness list.
+pub fn witness_regex(witness: &[Word]) -> Rc<Regex> {
+    Regex::concat_all(witness.iter().map(|w| Regex::star(Regex::word(w.bytes()))))
+}
+
+/// The structured class of bounded regular languages (Ginsburg–Spanier
+/// Theorem 1.1): finite languages and `w*`, closed under finite union and
+/// concatenation. Lemma 5.3's FC translation consumes this type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BoundedExpr {
+    /// A finite language.
+    Finite(Vec<Word>),
+    /// `w*` for a fixed word `w`.
+    StarWord(Word),
+    /// Concatenation of bounded languages.
+    Concat(Vec<BoundedExpr>),
+    /// Union of bounded languages.
+    Union(Vec<BoundedExpr>),
+}
+
+impl BoundedExpr {
+    /// The singleton {w}.
+    pub fn word(w: impl Into<Word>) -> Self {
+        BoundedExpr::Finite(vec![w.into()])
+    }
+
+    /// `w*`.
+    pub fn star(w: impl Into<Word>) -> Self {
+        BoundedExpr::StarWord(w.into())
+    }
+
+    /// `w⁺ = w·w*`.
+    pub fn plus(w: impl Into<Word>) -> Self {
+        let w = w.into();
+        BoundedExpr::Concat(vec![BoundedExpr::word(w.clone()), BoundedExpr::StarWord(w)])
+    }
+
+    /// Converts to an ordinary regex (for DFA-level validation).
+    pub fn to_regex(&self) -> Rc<Regex> {
+        match self {
+            BoundedExpr::Finite(words) => Regex::finite(words.iter()),
+            BoundedExpr::StarWord(w) => Regex::star(Regex::word(w.bytes())),
+            BoundedExpr::Concat(parts) => {
+                Regex::concat_all(parts.iter().map(|p| p.to_regex()))
+            }
+            BoundedExpr::Union(parts) => Regex::union_all(parts.iter().map(|p| p.to_regex())),
+        }
+    }
+
+    /// Direct membership test (no automaton): dynamic programming on
+    /// factor splits.
+    pub fn contains(&self, w: &[u8]) -> bool {
+        match self {
+            BoundedExpr::Finite(words) => words.iter().any(|u| u.bytes() == w),
+            BoundedExpr::StarWord(u) => {
+                if w.is_empty() {
+                    return true;
+                }
+                if u.is_empty() {
+                    return false;
+                }
+                w.len() % u.len() == 0 && w.chunks(u.len()).all(|c| c == u.bytes())
+            }
+            BoundedExpr::Concat(parts) => {
+                // DP over split positions.
+                let n = w.len();
+                let mut reach = vec![false; n + 1];
+                reach[0] = true;
+                for part in parts {
+                    let mut next = vec![false; n + 1];
+                    for i in 0..=n {
+                        if !reach[i] {
+                            continue;
+                        }
+                        for j in i..=n {
+                            if !next[j] && part.contains(&w[i..j]) {
+                                next[j] = true;
+                            }
+                        }
+                    }
+                    reach = next;
+                }
+                reach[n]
+            }
+            BoundedExpr::Union(parts) => parts.iter().any(|p| p.contains(w)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::enumerate_dfa;
+    use fc_words::Alphabet;
+
+    fn dfa(src: &str) -> Dfa {
+        Dfa::from_regex(&Regex::parse(src).unwrap(), b"ab")
+    }
+
+    #[test]
+    fn bounded_examples() {
+        // Bounded: finite languages, a*, a*b*, (ab)*, a*b*a*.
+        for src in ["!", "~", "ab|ba", "a*", "a*b*", "(ab)*", "a*b*a*", "(aab)*b*"] {
+            assert!(is_bounded(&dfa(src)), "{src} should be bounded");
+        }
+        // Unbounded: Σ*, (a|b)(a|b)*, (a|bb)*, (a*b*)* = Σ*.
+        for src in ["(a|b)*", "(a|b)+", "(a|bb)*", "(a*b*)*"] {
+            assert!(!is_bounded(&dfa(src)), "{src} should be unbounded");
+        }
+    }
+
+    #[test]
+    fn witness_covers_language() {
+        let sigma = Alphabet::ab();
+        for src in ["a*", "a*b*", "(ab)*", "ab|ba", "(aab)*b*", "a+b+"] {
+            let d = dfa(src);
+            let witness = bounded_witness(&d).unwrap_or_else(|| panic!("{src} bounded"));
+            let wre = witness_regex(&witness);
+            let wd = Dfa::from_regex(&wre, b"ab");
+            for w in sigma.words_up_to(7) {
+                if d.accepts(w.bytes()) {
+                    assert!(wd.accepts(w.bytes()), "{src}: witness misses {w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unbounded_has_no_witness() {
+        assert!(bounded_witness(&dfa("(a|b)*")).is_none());
+    }
+
+    #[test]
+    fn empty_language_witness() {
+        let w = bounded_witness(&dfa("!")).unwrap();
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn bounded_expr_membership_matches_regex() {
+        let sigma = Alphabet::ab();
+        let exprs = [
+            BoundedExpr::star("ab"),
+            BoundedExpr::Concat(vec![BoundedExpr::star("a"), BoundedExpr::star("b")]),
+            BoundedExpr::Union(vec![
+                BoundedExpr::word("ab"),
+                BoundedExpr::Concat(vec![BoundedExpr::plus("a"), BoundedExpr::star("ba")]),
+            ]),
+            BoundedExpr::Finite(vec![Word::epsilon(), Word::from("aa")]),
+        ];
+        for e in &exprs {
+            let d = Dfa::from_regex(&e.to_regex(), b"ab");
+            for w in sigma.words_up_to(6) {
+                assert_eq!(e.contains(w.bytes()), d.accepts(w.bytes()), "e={e:?} w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_expr_star_epsilon_edge_cases() {
+        let e = BoundedExpr::star(Word::epsilon());
+        assert!(e.contains(b""));
+        assert!(!e.contains(b"a"));
+        let e = BoundedExpr::Concat(vec![]);
+        assert!(e.contains(b""));
+        assert!(!e.contains(b"a"));
+        let e = BoundedExpr::Union(vec![]);
+        assert!(!e.contains(b""));
+    }
+
+    #[test]
+    fn bounded_expr_dfa_is_bounded() {
+        // Every BoundedExpr compiles to a bounded DFA — cross-validates the
+        // decision procedure against the constructive class.
+        let exprs = [
+            BoundedExpr::star("ab"),
+            BoundedExpr::Concat(vec![
+                BoundedExpr::star("a"),
+                BoundedExpr::word("ba"),
+                BoundedExpr::star("bb"),
+            ]),
+            BoundedExpr::Union(vec![BoundedExpr::star("aab"), BoundedExpr::plus("b")]),
+        ];
+        for e in &exprs {
+            assert!(is_bounded(&Dfa::from_regex(&e.to_regex(), b"ab")), "{e:?}");
+        }
+    }
+
+    #[test]
+    fn language_enumeration_subset_check() {
+        // L((aab)*b*) enumerated words all lie in the witness product.
+        let d = dfa("(aab)*b*");
+        let witness = bounded_witness(&d).unwrap();
+        let wre = witness_regex(&witness);
+        let wd = Dfa::from_regex(&wre, b"ab");
+        for w in enumerate_dfa(&d, 9) {
+            assert!(wd.accepts(w.bytes()), "witness misses {w}");
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Brzozowski derivatives — a third, independent regular-expression
+//! matching backend.
+//!
+//! The derivative of a language `L` by a symbol `a` is
+//! `a⁻¹L = { w : aw ∈ L }`; Brzozowski's construction computes it
+//! syntactically on regexes, giving a DFA-free membership test
+//! (`w ∈ L(γ)` iff the derivative of γ by all of `w` is nullable) and, via
+//! memoized derivative exploration, an alternative automaton construction.
+//!
+//! Having NFA-simulation, subset-construction DFAs **and** derivatives
+//! agree on random regexes is a strong differential test of the whole
+//! regular-language substrate (see this crate's property suite).
+
+use crate::regex::Regex;
+use std::rc::Rc;
+
+/// The syntactic derivative `a⁻¹γ`.
+pub fn derivative(re: &Rc<Regex>, a: u8) -> Rc<Regex> {
+    match &**re {
+        Regex::Empty | Regex::Epsilon => Regex::empty(),
+        Regex::Sym(c) => {
+            if *c == a {
+                Regex::epsilon()
+            } else {
+                Regex::empty()
+            }
+        }
+        Regex::Concat(l, r) => {
+            // ∂(l·r) = ∂l · r ∪ [ε ∈ l] ∂r.
+            let left = Regex::concat(derivative(l, a), r.clone());
+            if l.nullable() {
+                Regex::union(left, derivative(r, a))
+            } else {
+                left
+            }
+        }
+        Regex::Union(l, r) => Regex::union(derivative(l, a), derivative(r, a)),
+        Regex::Star(i) => Regex::concat(derivative(i, a), Regex::star(i.clone())),
+    }
+}
+
+/// Membership by iterated derivatives: `w ∈ L(γ)` iff `∂_w γ` is nullable.
+pub fn accepts(re: &Rc<Regex>, w: &[u8]) -> bool {
+    let mut cur = re.clone();
+    for &c in w {
+        cur = derivative(&cur, c);
+        if matches!(&*cur, Regex::Empty) {
+            return false;
+        }
+    }
+    cur.nullable()
+}
+
+/// The word derivative `∂_w γ` (deriving by every symbol of `w` in order).
+pub fn word_derivative(re: &Rc<Regex>, w: &[u8]) -> Rc<Regex> {
+    w.iter().fold(re.clone(), |acc, &c| derivative(&acc, c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::Dfa;
+    use fc_words::Alphabet;
+
+    #[test]
+    fn basic_membership() {
+        let re = Regex::parse("(a|b)*abb").unwrap();
+        assert!(accepts(&re, b"abb"));
+        assert!(accepts(&re, b"aabb"));
+        assert!(!accepts(&re, b"ab"));
+        assert!(!accepts(&re, b""));
+    }
+
+    #[test]
+    fn agrees_with_dfa_on_fixed_patterns() {
+        let sigma = Alphabet::ab();
+        for src in ["(a|b)*abb", "(ab)*", "a*b+a?", "!", "~", "((a|bb)+a)?"] {
+            let re = Regex::parse(src).unwrap();
+            let dfa = Dfa::from_regex(&re, b"ab");
+            for w in sigma.words_up_to(7) {
+                assert_eq!(
+                    accepts(&re, w.bytes()),
+                    dfa.accepts(w.bytes()),
+                    "src={src} w={w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn derivative_laws() {
+        // ∂_a(a·γ) = γ (up to smart-constructor simplification).
+        let g = Regex::parse("bab").unwrap();
+        let ag = Regex::concat(Regex::sym(b'a'), g.clone());
+        let d = derivative(&ag, b'a');
+        let sigma = Alphabet::ab();
+        let da = Dfa::from_regex(&d, b"ab");
+        let dg = Dfa::from_regex(&g, b"ab");
+        for w in sigma.words_up_to(5) {
+            assert_eq!(da.accepts(w.bytes()), dg.accepts(w.bytes()), "w={w}");
+        }
+        // ∂_b(a·γ) = ∅.
+        assert!(matches!(&*derivative(&ag, b'b'), Regex::Empty));
+    }
+
+    #[test]
+    fn word_derivative_composes() {
+        let re = Regex::parse("abab").unwrap();
+        let d = word_derivative(&re, b"ab");
+        assert!(accepts(&d, b"ab"));
+        assert!(!accepts(&d, b"ba"));
+    }
+}

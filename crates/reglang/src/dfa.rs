@@ -1,0 +1,362 @@
+//! Deterministic finite automata: subset construction, completion,
+//! minimization, and structural queries (trimming, SCCs) used by the
+//! boundedness decision.
+
+use crate::nfa::Nfa;
+use crate::regex::Regex;
+use std::collections::{BTreeSet, HashMap};
+
+/// A complete DFA over an explicit alphabet.
+///
+/// Transitions are stored densely: `delta[q * alphabet.len() + i]` is the
+/// successor of `q` on `alphabet[i]`.
+#[derive(Clone, Debug)]
+pub struct Dfa {
+    /// The alphabet (sorted, deduplicated).
+    pub alphabet: Vec<u8>,
+    /// Dense transition table.
+    pub delta: Vec<usize>,
+    /// Accepting states.
+    pub accepting: Vec<bool>,
+    /// Start state.
+    pub start: usize,
+}
+
+impl Dfa {
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.accepting.len()
+    }
+
+    /// `true` iff the DFA has no states.
+    pub fn is_empty(&self) -> bool {
+        self.accepting.is_empty()
+    }
+
+    /// Index of a symbol in the alphabet, if present.
+    #[inline]
+    pub fn sym_index(&self, c: u8) -> Option<usize> {
+        self.alphabet.binary_search(&c).ok()
+    }
+
+    /// The successor of state `q` on symbol `c`; `None` if `c` is not in the
+    /// alphabet (then the word is rejected outright).
+    #[inline]
+    pub fn next(&self, q: usize, c: u8) -> Option<usize> {
+        self.sym_index(c).map(|i| self.delta[q * self.alphabet.len() + i])
+    }
+
+    /// Membership test.
+    pub fn accepts(&self, w: &[u8]) -> bool {
+        let mut q = self.start;
+        for &c in w {
+            match self.next(q, c) {
+                Some(t) => q = t,
+                None => return false,
+            }
+        }
+        self.accepting[q]
+    }
+
+    /// Builds a complete DFA from an NFA over the given alphabet, via subset
+    /// construction. The alphabet must contain every symbol of the NFA (it
+    /// may contain more; extra symbols route to a sink).
+    pub fn from_nfa(nfa: &Nfa, alphabet: &[u8]) -> Dfa {
+        let mut alpha = alphabet.to_vec();
+        alpha.sort_unstable();
+        alpha.dedup();
+        let k = alpha.len();
+
+        let start_set = nfa.eps_closure(&BTreeSet::from([nfa.start]));
+        let mut index: HashMap<BTreeSet<usize>, usize> = HashMap::new();
+        let mut sets: Vec<BTreeSet<usize>> = Vec::new();
+        index.insert(start_set.clone(), 0);
+        sets.push(start_set);
+        let mut delta: Vec<usize> = Vec::new();
+        let mut accepting: Vec<bool> = Vec::new();
+        let mut q = 0usize;
+        while q < sets.len() {
+            let cur = sets[q].clone();
+            accepting.push(cur.contains(&nfa.accept));
+            for &c in &alpha {
+                let next = nfa.eps_closure(&nfa.step(&cur, c));
+                let id = match index.get(&next) {
+                    Some(&id) => id,
+                    None => {
+                        let id = sets.len();
+                        index.insert(next.clone(), id);
+                        sets.push(next);
+                        id
+                    }
+                };
+                delta.push(id);
+            }
+            q += 1;
+        }
+        debug_assert_eq!(delta.len(), sets.len() * k);
+        Dfa { alphabet: alpha, delta, accepting, start: 0 }
+    }
+
+    /// Builds a minimal complete DFA for a regex over the given alphabet.
+    pub fn from_regex(re: &Regex, alphabet: &[u8]) -> Dfa {
+        let mut alpha: Vec<u8> = alphabet.to_vec();
+        alpha.extend(re.symbols());
+        Dfa::from_nfa(&Nfa::from_regex(re), &alpha).minimize()
+    }
+
+    /// Moore partition-refinement minimization (keeps the DFA complete).
+    pub fn minimize(&self) -> Dfa {
+        let n = self.len();
+        let k = self.alphabet.len();
+        if n == 0 {
+            return self.clone();
+        }
+        // Restrict to reachable states first.
+        let reachable = self.reachable();
+        let mut old_of_new: Vec<usize> = (0..n).filter(|&q| reachable[q]).collect();
+        let mut new_of_old = vec![usize::MAX; n];
+        for (new, &old) in old_of_new.iter().enumerate() {
+            new_of_old[old] = new;
+        }
+        let m = old_of_new.len();
+        // Initial partition: accepting vs non-accepting.
+        let mut class = vec![0usize; m];
+        for (i, &old) in old_of_new.iter().enumerate() {
+            class[i] = usize::from(self.accepting[old]);
+        }
+        let mut num_classes = 2;
+        loop {
+            // Signature: (class, class of successor per symbol).
+            let mut sig_index: HashMap<Vec<usize>, usize> = HashMap::with_capacity(m);
+            let mut new_class = vec![0usize; m];
+            for i in 0..m {
+                let old = old_of_new[i];
+                let mut sig = Vec::with_capacity(k + 1);
+                sig.push(class[i]);
+                for s in 0..k {
+                    let t = self.delta[old * k + s];
+                    sig.push(class[new_of_old[t]]);
+                }
+                let next_id = sig_index.len();
+                let id = *sig_index.entry(sig).or_insert(next_id);
+                new_class[i] = id;
+            }
+            let new_num = sig_index.len();
+            class = new_class;
+            if new_num == num_classes {
+                break;
+            }
+            num_classes = new_num;
+        }
+        // Build quotient.
+        let mut delta = vec![0usize; num_classes * k];
+        let mut accepting = vec![false; num_classes];
+        for i in 0..m {
+            let old = old_of_new[i];
+            let c = class[i];
+            accepting[c] = self.accepting[old];
+            for s in 0..k {
+                delta[c * k + s] = class[new_of_old[self.delta[old * k + s]]];
+            }
+        }
+        let start = class[new_of_old[self.start]];
+        old_of_new.clear();
+        Dfa { alphabet: self.alphabet.clone(), delta, accepting, start }
+    }
+
+    /// Which states are reachable from the start state.
+    pub fn reachable(&self) -> Vec<bool> {
+        let k = self.alphabet.len();
+        let mut seen = vec![false; self.len()];
+        let mut stack = vec![self.start];
+        seen[self.start] = true;
+        while let Some(q) = stack.pop() {
+            for s in 0..k {
+                let t = self.delta[q * k + s];
+                if !seen[t] {
+                    seen[t] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Which states are co-accessible (can reach an accepting state).
+    pub fn coaccessible(&self) -> Vec<bool> {
+        let n = self.len();
+        let k = self.alphabet.len();
+        // Reverse edges.
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for q in 0..n {
+            for s in 0..k {
+                rev[self.delta[q * k + s]].push(q);
+            }
+        }
+        let mut good = vec![false; n];
+        let mut stack: Vec<usize> = (0..n).filter(|&q| self.accepting[q]).collect();
+        for &q in &stack {
+            good[q] = true;
+        }
+        while let Some(q) = stack.pop() {
+            for &p in &rev[q] {
+                if !good[p] {
+                    good[p] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        good
+    }
+
+    /// The *useful* states: reachable ∧ co-accessible (the trim part).
+    pub fn useful(&self) -> Vec<bool> {
+        let r = self.reachable();
+        let c = self.coaccessible();
+        r.iter().zip(c.iter()).map(|(&a, &b)| a && b).collect()
+    }
+
+    /// Tarjan SCC decomposition restricted to useful states.
+    /// Returns `scc_of[q]` (usize::MAX for useless states) and the number of
+    /// SCCs.
+    pub fn sccs_of_useful(&self) -> (Vec<usize>, usize) {
+        let useful = self.useful();
+        let n = self.len();
+        let k = self.alphabet.len();
+        let mut scc_of = vec![usize::MAX; n];
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut next_scc = 0usize;
+
+        // Iterative Tarjan.
+        #[derive(Clone)]
+        struct Frame {
+            v: usize,
+            edge: usize,
+        }
+        for root in 0..n {
+            if !useful[root] || index[root] != usize::MAX {
+                continue;
+            }
+            let mut call: Vec<Frame> = vec![Frame { v: root, edge: 0 }];
+            index[root] = next_index;
+            low[root] = next_index;
+            next_index += 1;
+            stack.push(root);
+            on_stack[root] = true;
+            while let Some(frame) = call.last_mut() {
+                let v = frame.v;
+                if frame.edge < k {
+                    let s = frame.edge;
+                    frame.edge += 1;
+                    let w = self.delta[v * k + s];
+                    if !useful[w] {
+                        continue;
+                    }
+                    if index[w] == usize::MAX {
+                        index[w] = next_index;
+                        low[w] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                        call.push(Frame { v: w, edge: 0 });
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    if low[v] == index[v] {
+                        loop {
+                            let w = stack.pop().unwrap();
+                            on_stack[w] = false;
+                            scc_of[w] = next_scc;
+                            if w == v {
+                                break;
+                            }
+                        }
+                        next_scc += 1;
+                    }
+                    let finished = call.pop().unwrap().v;
+                    if let Some(parent) = call.last() {
+                        low[parent.v] = low[parent.v].min(low[finished]);
+                    }
+                }
+            }
+        }
+        (scc_of, next_scc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_words::Alphabet;
+
+    fn dfa(src: &str) -> Dfa {
+        Dfa::from_regex(&Regex::parse(src).unwrap(), b"ab")
+    }
+
+    #[test]
+    fn dfa_agrees_with_nfa_exhaustively() {
+        let patterns = ["(a|b)*abb", "(ab)*", "a*b*", "a+b?a", "~", "!", "(a|b)(a|b)"];
+        let sigma = Alphabet::ab();
+        for src in patterns {
+            let re = Regex::parse(src).unwrap();
+            let nfa = Nfa::from_regex(&re);
+            let d = Dfa::from_nfa(&nfa, b"ab");
+            let dm = d.minimize();
+            for w in sigma.words_up_to(7) {
+                let want = nfa.accepts(w.bytes());
+                assert_eq!(d.accepts(w.bytes()), want, "{src} w={w}");
+                assert_eq!(dm.accepts(w.bytes()), want, "min {src} w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn minimization_reaches_known_sizes() {
+        // (a|b)*abb has the classic 4-state minimal DFA.
+        assert_eq!(dfa("(a|b)*abb").len(), 4);
+        // a* over {a,b}: 2 states (accepting loop + sink).
+        assert_eq!(dfa("a*").len(), 2);
+        // ∅: a single rejecting sink.
+        assert_eq!(dfa("!").len(), 1);
+        // Σ*: a single accepting state.
+        assert_eq!(dfa("(a|b)*").len(), 1);
+    }
+
+    #[test]
+    fn rejects_symbols_outside_alphabet() {
+        let d = dfa("a*");
+        assert!(!d.accepts(b"ac"));
+        assert!(d.accepts(b"aa"));
+    }
+
+    #[test]
+    fn usefulness_and_reachability() {
+        let d = dfa("ab");
+        let useful = d.useful();
+        // The trim part of "ab" is a 3-state path; the sink is useless.
+        assert_eq!(useful.iter().filter(|&&u| u).count(), 3);
+    }
+
+    #[test]
+    fn scc_structure_of_star() {
+        // (ab)*: trim DFA is a 2-cycle; one SCC of size 2.
+        let d = dfa("(ab)*");
+        let (scc_of, n) = d.sccs_of_useful();
+        assert_eq!(n, 1);
+        assert_eq!(scc_of.iter().filter(|&&s| s != usize::MAX).count(), 2);
+    }
+
+    #[test]
+    fn scc_structure_of_finite_language() {
+        // Finite language: all useful SCCs are singletons.
+        let d = dfa("ab|ba");
+        let (scc_of, n) = d.sccs_of_useful();
+        let useful_states = scc_of.iter().filter(|&&s| s != usize::MAX).count();
+        assert_eq!(n, useful_states); // each its own SCC
+    }
+}

@@ -1,0 +1,105 @@
+//! Enumeration of `L ∩ Σ^{≤n}` — the finite windows on which the experiment
+//! harness compares languages, formulas and spanners.
+
+use crate::dfa::Dfa;
+use crate::regex::Regex;
+use fc_words::{Alphabet, Word};
+
+/// All words of `L(d)` of length ≤ `max_len`, in (length, lex) order.
+pub fn enumerate_dfa(d: &Dfa, max_len: usize) -> Vec<Word> {
+    // BFS layer by layer over (state, word) — prune unreachable-to-accept?
+    // For the small windows used here, plain breadth-first product with the
+    // alphabet is fine and allocation-light.
+    let mut out = Vec::new();
+    let mut layer: Vec<(usize, Vec<u8>)> = vec![(d.start, Vec::new())];
+    let coacc = d.coaccessible();
+    if d.accepting[d.start] {
+        out.push(Word::epsilon());
+    }
+    for _ in 0..max_len {
+        let mut next = Vec::with_capacity(layer.len() * d.alphabet.len());
+        for (q, w) in &layer {
+            for (i, &c) in d.alphabet.iter().enumerate() {
+                let t = d.delta[q * d.alphabet.len() + i];
+                if !coacc[t] {
+                    continue;
+                }
+                let mut w2 = Vec::with_capacity(w.len() + 1);
+                w2.extend_from_slice(w);
+                w2.push(c);
+                if d.accepting[t] {
+                    out.push(Word::from_bytes(w2.clone()));
+                }
+                next.push((t, w2));
+            }
+        }
+        layer = next;
+        if layer.is_empty() {
+            break;
+        }
+    }
+    out.sort_by(|a, b| (a.len(), a.bytes()).cmp(&(b.len(), b.bytes())));
+    out
+}
+
+/// All words of `L(γ)` of length ≤ `max_len` over the given alphabet.
+pub fn enumerate_regex(re: &Regex, alphabet: &[u8], max_len: usize) -> Vec<Word> {
+    enumerate_dfa(&Dfa::from_regex(re, alphabet), max_len)
+}
+
+/// Checks that two predicates agree on all of Σ^{≤n}; returns the first
+/// disagreeing word if any.
+pub fn first_disagreement(
+    sigma: &Alphabet,
+    max_len: usize,
+    f: impl Fn(&Word) -> bool,
+    g: impl Fn(&Word) -> bool,
+) -> Option<Word> {
+    sigma.words_up_to(max_len).find(|w| f(w) != g(w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerate_star() {
+        let re = Regex::parse("(ab)*").unwrap();
+        let words = enumerate_regex(&re, b"ab", 6);
+        let strs: Vec<&str> = words.iter().map(|w| w.as_str()).collect();
+        assert_eq!(strs, vec!["", "ab", "abab", "ababab"]);
+    }
+
+    #[test]
+    fn enumerate_finite() {
+        let re = Regex::parse("ab|ba|~").unwrap();
+        let words = enumerate_regex(&re, b"ab", 10);
+        assert_eq!(words.len(), 3);
+    }
+
+    #[test]
+    fn enumerate_empty() {
+        let re = Regex::parse("!").unwrap();
+        assert!(enumerate_regex(&re, b"ab", 5).is_empty());
+    }
+
+    #[test]
+    fn enumeration_matches_membership() {
+        let sigma = Alphabet::ab();
+        let re = Regex::parse("a*b+a?").unwrap();
+        let d = Dfa::from_regex(&re, b"ab");
+        let enumerated: std::collections::HashSet<Word> =
+            enumerate_dfa(&d, 6).into_iter().collect();
+        for w in sigma.words_up_to(6) {
+            assert_eq!(enumerated.contains(&w), d.accepts(w.bytes()), "w={w}");
+        }
+    }
+
+    #[test]
+    fn disagreement_finder() {
+        let sigma = Alphabet::ab();
+        let d = first_disagreement(&sigma, 4, |w| w.len() % 2 == 0, |_| true);
+        assert_eq!(d.unwrap().len(), 1);
+        assert!(first_disagreement(&sigma, 4, |w| w.len() < 9, |_| true).is_none());
+    }
+}

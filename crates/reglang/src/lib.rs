@@ -1,0 +1,30 @@
+//! # fc-reglang — regular-language substrate
+//!
+//! FC[REG] extends FC with regular constraints `(x ∈̇ γ)`, and document
+//! spanners are built from regex formulas; both need a complete, exact
+//! regular-language toolkit. This crate provides:
+//!
+//! - [`regex`]: regular expression ASTs, smart constructors and a parser;
+//! - [`nfa`]: Thompson construction, ε-closures, NFA execution;
+//! - [`dfa`]: subset construction, completion, Moore minimization;
+//! - [`ops`]: products (∩, ∪), complement, emptiness, finiteness,
+//!   inclusion/equivalence tests;
+//! - [`bounded`]: the decision procedure for *boundedness* of a regular
+//!   language (is `L ⊆ w₁*⋯w_n*`?), witness extraction, and the structured
+//!   [`bounded::BoundedExpr`] class used by Lemma 5.3's translation into FC;
+//! - [`enumerate`]: enumeration of `L ∩ Σ^{≤n}`.
+//!
+//! Everything is exact; no approximation, no external regex engine.
+
+pub mod bounded;
+pub mod derivative;
+pub mod dfa;
+pub mod enumerate;
+pub mod nfa;
+pub mod ops;
+pub mod regex;
+pub mod simple;
+
+pub use dfa::Dfa;
+pub use nfa::Nfa;
+pub use regex::Regex;

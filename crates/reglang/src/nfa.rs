@@ -1,0 +1,204 @@
+//! Nondeterministic finite automata via the Thompson construction.
+
+use crate::regex::Regex;
+use std::collections::BTreeSet;
+
+/// A transition label: ε or a symbol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Label {
+    /// ε-transition.
+    Eps,
+    /// Consuming transition on a symbol.
+    Sym(u8),
+}
+
+/// A Thompson NFA with a single start and a single accept state.
+#[derive(Clone, Debug)]
+pub struct Nfa {
+    /// `edges[q]` lists `(label, target)` transitions out of state `q`.
+    pub edges: Vec<Vec<(Label, usize)>>,
+    /// The start state.
+    pub start: usize,
+    /// The unique accepting state.
+    pub accept: usize,
+}
+
+impl Nfa {
+    /// Compiles a regex into a Thompson NFA (O(|γ|) states).
+    pub fn from_regex(re: &Regex) -> Nfa {
+        let mut nfa = Nfa { edges: Vec::new(), start: 0, accept: 0 };
+        let (s, a) = nfa.build(re);
+        nfa.start = s;
+        nfa.accept = a;
+        nfa
+    }
+
+    fn new_state(&mut self) -> usize {
+        self.edges.push(Vec::new());
+        self.edges.len() - 1
+    }
+
+    fn build(&mut self, re: &Regex) -> (usize, usize) {
+        match re {
+            Regex::Empty => {
+                let s = self.new_state();
+                let a = self.new_state();
+                (s, a)
+            }
+            Regex::Epsilon => {
+                let s = self.new_state();
+                let a = self.new_state();
+                self.edges[s].push((Label::Eps, a));
+                (s, a)
+            }
+            Regex::Sym(c) => {
+                let s = self.new_state();
+                let a = self.new_state();
+                self.edges[s].push((Label::Sym(*c), a));
+                (s, a)
+            }
+            Regex::Concat(l, r) => {
+                let (ls, la) = self.build(l);
+                let (rs, ra) = self.build(r);
+                self.edges[la].push((Label::Eps, rs));
+                (ls, ra)
+            }
+            Regex::Union(l, r) => {
+                let s = self.new_state();
+                let (ls, la) = self.build(l);
+                let (rs, ra) = self.build(r);
+                let a = self.new_state();
+                self.edges[s].push((Label::Eps, ls));
+                self.edges[s].push((Label::Eps, rs));
+                self.edges[la].push((Label::Eps, a));
+                self.edges[ra].push((Label::Eps, a));
+                (s, a)
+            }
+            Regex::Star(i) => {
+                let s = self.new_state();
+                let (is, ia) = self.build(i);
+                let a = self.new_state();
+                self.edges[s].push((Label::Eps, is));
+                self.edges[s].push((Label::Eps, a));
+                self.edges[ia].push((Label::Eps, is));
+                self.edges[ia].push((Label::Eps, a));
+                (s, a)
+            }
+        }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` iff the NFA has no states (never happens for compiled regexes).
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The ε-closure of a set of states.
+    pub fn eps_closure(&self, states: &BTreeSet<usize>) -> BTreeSet<usize> {
+        let mut closure = states.clone();
+        let mut stack: Vec<usize> = states.iter().copied().collect();
+        while let Some(q) = stack.pop() {
+            for &(label, t) in &self.edges[q] {
+                if label == Label::Eps && closure.insert(t) {
+                    stack.push(t);
+                }
+            }
+        }
+        closure
+    }
+
+    /// One consuming step: all states reachable from `states` by symbol `c`
+    /// (before ε-closure).
+    pub fn step(&self, states: &BTreeSet<usize>, c: u8) -> BTreeSet<usize> {
+        let mut next = BTreeSet::new();
+        for &q in states {
+            for &(label, t) in &self.edges[q] {
+                if label == Label::Sym(c) {
+                    next.insert(t);
+                }
+            }
+        }
+        next
+    }
+
+    /// Direct NFA membership test (subset simulation).
+    pub fn accepts(&self, w: &[u8]) -> bool {
+        let mut cur = self.eps_closure(&BTreeSet::from([self.start]));
+        for &c in w {
+            cur = self.eps_closure(&self.step(&cur, c));
+            if cur.is_empty() {
+                return false;
+            }
+        }
+        cur.contains(&self.accept)
+    }
+
+    /// The symbols appearing on consuming transitions.
+    pub fn symbols(&self) -> Vec<u8> {
+        let mut syms: Vec<u8> = self
+            .edges
+            .iter()
+            .flatten()
+            .filter_map(|&(l, _)| if let Label::Sym(c) = l { Some(c) } else { None })
+            .collect();
+        syms.sort_unstable();
+        syms.dedup();
+        syms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn accepts(src: &str, w: &str) -> bool {
+        Nfa::from_regex(&Regex::parse(src).unwrap()).accepts(w.as_bytes())
+    }
+
+    #[test]
+    fn basic_membership() {
+        assert!(accepts("a", "a"));
+        assert!(!accepts("a", "b"));
+        assert!(!accepts("a", ""));
+        assert!(accepts("~", ""));
+        assert!(!accepts("!", ""));
+        assert!(accepts("ab", "ab"));
+        assert!(accepts("a|b", "b"));
+        assert!(accepts("a*", ""));
+        assert!(accepts("a*", "aaaa"));
+        assert!(!accepts("a+", ""));
+        assert!(accepts("a+", "a"));
+        assert!(accepts("a?", ""));
+        assert!(accepts("a?", "a"));
+        assert!(!accepts("a?", "aa"));
+    }
+
+    #[test]
+    fn classic_patterns() {
+        // (a|b)*abb — ends with abb
+        for (w, want) in [("abb", true), ("aabb", true), ("babb", true), ("ab", false), ("abba", false)] {
+            assert_eq!(accepts("(a|b)*abb", w), want, "w={w}");
+        }
+        // (ab)* — even alternating
+        for (w, want) in [("", true), ("ab", true), ("abab", true), ("aba", false), ("ba", false)] {
+            assert_eq!(accepts("(ab)*", w), want, "w={w}");
+        }
+    }
+
+    #[test]
+    fn symbols_collected() {
+        let n = Nfa::from_regex(&Regex::parse("(a|b)*c").unwrap());
+        assert_eq!(n.symbols(), vec![b'a', b'b', b'c']);
+    }
+
+    #[test]
+    fn state_count_is_linear() {
+        let re = Regex::parse("(a|b)*abb").unwrap();
+        let n = Nfa::from_regex(&re);
+        assert!(n.len() <= 24, "Thompson NFA too large: {}", n.len());
+    }
+}

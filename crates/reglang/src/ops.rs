@@ -1,0 +1,286 @@
+//! Boolean operations and decision procedures on regular languages.
+
+use crate::dfa::Dfa;
+use crate::regex::Regex;
+use std::collections::HashMap;
+
+/// How to combine acceptance in a product construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BoolOp {
+    /// Intersection.
+    And,
+    /// Union.
+    Or,
+    /// Difference (left ∖ right).
+    Diff,
+    /// Symmetric difference (for equivalence checking).
+    Xor,
+}
+
+/// The product DFA of `a` and `b` under `op`. Both DFAs must share the same
+/// alphabet (use [`align_alphabets`] first if needed).
+pub fn product(a: &Dfa, b: &Dfa, op: BoolOp) -> Dfa {
+    assert_eq!(a.alphabet, b.alphabet, "product requires aligned alphabets");
+    let k = a.alphabet.len();
+    let mut index: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut states: Vec<(usize, usize)> = vec![(a.start, b.start)];
+    index.insert((a.start, b.start), 0);
+    let mut delta: Vec<usize> = Vec::new();
+    let mut accepting: Vec<bool> = Vec::new();
+    let mut q = 0;
+    while q < states.len() {
+        let (pa, pb) = states[q];
+        accepting.push(match op {
+            BoolOp::And => a.accepting[pa] && b.accepting[pb],
+            BoolOp::Or => a.accepting[pa] || b.accepting[pb],
+            BoolOp::Diff => a.accepting[pa] && !b.accepting[pb],
+            BoolOp::Xor => a.accepting[pa] != b.accepting[pb],
+        });
+        for s in 0..k {
+            let t = (a.delta[pa * k + s], b.delta[pb * k + s]);
+            let id = match index.get(&t) {
+                Some(&id) => id,
+                None => {
+                    let id = states.len();
+                    index.insert(t, id);
+                    states.push(t);
+                    id
+                }
+            };
+            delta.push(id);
+        }
+        q += 1;
+    }
+    Dfa { alphabet: a.alphabet.clone(), delta, accepting, start: 0 }
+}
+
+/// Rebuilds `d` over a (super-)alphabet: symbols not previously in the
+/// alphabet go to a fresh rejecting sink.
+pub fn align_alphabet(d: &Dfa, alphabet: &[u8]) -> Dfa {
+    let mut alpha = alphabet.to_vec();
+    alpha.extend_from_slice(&d.alphabet);
+    alpha.sort_unstable();
+    alpha.dedup();
+    if alpha == d.alphabet {
+        return d.clone();
+    }
+    let k_new = alpha.len();
+    let n = d.len();
+    let sink = n; // fresh sink
+    let mut delta = vec![0usize; (n + 1) * k_new];
+    for q in 0..n {
+        for (i, &c) in alpha.iter().enumerate() {
+            delta[q * k_new + i] = match d.next(q, c) {
+                Some(t) => t,
+                None => sink,
+            };
+        }
+    }
+    for i in 0..k_new {
+        delta[sink * k_new + i] = sink;
+    }
+    let mut accepting = d.accepting.clone();
+    accepting.push(false);
+    Dfa { alphabet: alpha, delta, accepting, start: d.start }
+}
+
+/// Complement with respect to the DFA's own alphabet.
+pub fn complement(d: &Dfa) -> Dfa {
+    let mut c = d.clone();
+    for acc in &mut c.accepting {
+        *acc = !*acc;
+    }
+    c
+}
+
+/// `true` iff L(d) = ∅.
+pub fn is_empty_lang(d: &Dfa) -> bool {
+    let reach = d.reachable();
+    !(0..d.len()).any(|q| reach[q] && d.accepting[q])
+}
+
+/// `true` iff L(d) is finite: the trim part has no state on a cycle.
+pub fn is_finite_lang(d: &Dfa) -> bool {
+    let (scc_of, n_sccs) = d.sccs_of_useful();
+    let k = d.alphabet.len();
+    // A useful state on a nontrivial SCC, or with a useful self loop, makes
+    // the language infinite.
+    let mut scc_size = vec![0usize; n_sccs];
+    for q in 0..d.len() {
+        if scc_of[q] != usize::MAX {
+            scc_size[scc_of[q]] += 1;
+        }
+    }
+    for q in 0..d.len() {
+        if scc_of[q] == usize::MAX {
+            continue;
+        }
+        if scc_size[scc_of[q]] > 1 {
+            return false;
+        }
+        for s in 0..k {
+            if d.delta[q * k + s] == q && scc_of[q] != usize::MAX {
+                return false; // useful self loop
+            }
+        }
+    }
+    true
+}
+
+/// `true` iff L(a) ⊆ L(b).
+pub fn is_subset(a: &Dfa, b: &Dfa) -> bool {
+    let alpha: Vec<u8> = {
+        let mut v = a.alphabet.clone();
+        v.extend_from_slice(&b.alphabet);
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let a2 = align_alphabet(a, &alpha);
+    let b2 = align_alphabet(b, &alpha);
+    is_empty_lang(&product(&a2, &b2, BoolOp::Diff))
+}
+
+/// `true` iff L(a) = L(b).
+pub fn is_equivalent(a: &Dfa, b: &Dfa) -> bool {
+    let alpha: Vec<u8> = {
+        let mut v = a.alphabet.clone();
+        v.extend_from_slice(&b.alphabet);
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let a2 = align_alphabet(a, &alpha);
+    let b2 = align_alphabet(b, &alpha);
+    is_empty_lang(&product(&a2, &b2, BoolOp::Xor))
+}
+
+/// A shortest word of L(d), if the language is non-empty (BFS).
+pub fn shortest_word(d: &Dfa) -> Option<Vec<u8>> {
+    let k = d.alphabet.len();
+    let n = d.len();
+    let mut prev: Vec<Option<(usize, u8)>> = vec![None; n];
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::from([d.start]);
+    seen[d.start] = true;
+    let mut hit = if d.accepting[d.start] { Some(d.start) } else { None };
+    'bfs: while let Some(q) = queue.pop_front() {
+        if hit.is_some() {
+            break;
+        }
+        for s in 0..k {
+            let t = d.delta[q * k + s];
+            if !seen[t] {
+                seen[t] = true;
+                prev[t] = Some((q, d.alphabet[s]));
+                if d.accepting[t] {
+                    hit = Some(t);
+                    break 'bfs;
+                }
+                queue.push_back(t);
+            }
+        }
+    }
+    let mut q = hit?;
+    let mut w = Vec::new();
+    while let Some((p, c)) = prev[q] {
+        w.push(c);
+        q = p;
+    }
+    w.reverse();
+    Some(w)
+}
+
+/// Convenience: compile two regexes over a shared alphabet and test
+/// language equivalence.
+pub fn regex_equivalent(a: &Regex, b: &Regex, alphabet: &[u8]) -> bool {
+    let mut alpha = alphabet.to_vec();
+    alpha.extend(a.symbols());
+    alpha.extend(b.symbols());
+    is_equivalent(&Dfa::from_regex(a, &alpha), &Dfa::from_regex(b, &alpha))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_words::Alphabet;
+
+    fn dfa(src: &str) -> Dfa {
+        Dfa::from_regex(&Regex::parse(src).unwrap(), b"ab")
+    }
+
+    #[test]
+    fn product_semantics_exhaustive() {
+        let sigma = Alphabet::ab();
+        let pairs = [("a*", "(a|b)*b?"), ("(ab)*", "a*b*"), ("(a|b)*abb", "(a|b)*b")];
+        for (sa, sb) in pairs {
+            let a = dfa(sa);
+            let b = dfa(sb);
+            for w in sigma.words_up_to(6) {
+                let (wa, wb) = (a.accepts(w.bytes()), b.accepts(w.bytes()));
+                assert_eq!(product(&a, &b, BoolOp::And).accepts(w.bytes()), wa && wb);
+                assert_eq!(product(&a, &b, BoolOp::Or).accepts(w.bytes()), wa || wb);
+                assert_eq!(product(&a, &b, BoolOp::Diff).accepts(w.bytes()), wa && !wb);
+                assert_eq!(product(&a, &b, BoolOp::Xor).accepts(w.bytes()), wa != wb);
+            }
+        }
+    }
+
+    #[test]
+    fn complement_over_own_alphabet() {
+        let d = dfa("a*");
+        let c = complement(&d);
+        let sigma = Alphabet::ab();
+        for w in sigma.words_up_to(5) {
+            assert_eq!(c.accepts(w.bytes()), !d.accepts(w.bytes()), "w={w}");
+        }
+    }
+
+    #[test]
+    fn emptiness() {
+        assert!(is_empty_lang(&dfa("!")));
+        assert!(!is_empty_lang(&dfa("a")));
+        // a* ∩ b+ is empty
+        let p = product(&dfa("a*"), &dfa("b+"), BoolOp::And);
+        assert!(is_empty_lang(&p));
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(is_finite_lang(&dfa("ab|ba")));
+        assert!(is_finite_lang(&dfa("!")));
+        assert!(is_finite_lang(&dfa("~")));
+        assert!(!is_finite_lang(&dfa("a*")));
+        assert!(!is_finite_lang(&dfa("(ab)+")));
+        assert!(is_finite_lang(&dfa("(a|b)(a|b)")));
+    }
+
+    #[test]
+    fn subset_and_equivalence() {
+        assert!(is_subset(&dfa("(ab)*"), &dfa("a*b*a*b*(a|b)*")));
+        assert!(is_subset(&dfa("aa"), &dfa("a*")));
+        assert!(!is_subset(&dfa("a*"), &dfa("aa")));
+        assert!(is_equivalent(&dfa("(a|b)*"), &dfa("(a*b*)*")));
+        assert!(!is_equivalent(&dfa("a*"), &dfa("a+")));
+        // alphabets are aligned automatically
+        let c_only = Dfa::from_regex(&Regex::parse("c*").unwrap(), b"c");
+        assert!(!is_equivalent(&dfa("a*"), &c_only));
+    }
+
+    #[test]
+    fn shortest_words() {
+        assert_eq!(shortest_word(&dfa("!")), None);
+        assert_eq!(shortest_word(&dfa("~")), Some(vec![]));
+        assert_eq!(shortest_word(&dfa("aab|b")), Some(b"b".to_vec()));
+        assert_eq!(shortest_word(&dfa("a+b+")), Some(b"ab".to_vec()));
+    }
+
+    #[test]
+    fn regex_equivalence_helper() {
+        let a = Regex::parse("(a|b)*").unwrap();
+        let b = Regex::parse("(b|a)*").unwrap();
+        assert!(regex_equivalent(&a, &b, b""));
+        let c = Regex::parse("(ab)*").unwrap();
+        assert!(!regex_equivalent(&a, &c, b""));
+    }
+}

@@ -1,0 +1,339 @@
+//! Regular expression ASTs, smart constructors, and a parser.
+//!
+//! The grammar is the textbook one used by the paper:
+//! `γ ::= ∅ | ε | a | γ·γ | γ∨γ | γ*` (with `+` and `?` as sugar).
+//!
+//! The parser accepts the ASCII concrete syntax
+//! `a`, `(..)`, `|` (union), juxtaposition (concatenation), `*`, `+`, `?`,
+//! `~` for ε and `!` for ∅, e.g. `"(a|b)*abb"`.
+
+use fc_words::Word;
+use std::fmt;
+use std::rc::Rc;
+
+/// A regular expression over a byte alphabet.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Regex {
+    /// ∅ — the empty language.
+    Empty,
+    /// ε — the singleton {ε}.
+    Epsilon,
+    /// A single terminal symbol.
+    Sym(u8),
+    /// Concatenation γ₁·γ₂.
+    Concat(Rc<Regex>, Rc<Regex>),
+    /// Union γ₁ ∨ γ₂.
+    Union(Rc<Regex>, Rc<Regex>),
+    /// Kleene star γ*.
+    Star(Rc<Regex>),
+}
+
+impl Regex {
+    /// The symbol regex `a`.
+    pub fn sym(a: u8) -> Rc<Regex> {
+        Rc::new(Regex::Sym(a))
+    }
+
+    /// ε.
+    pub fn epsilon() -> Rc<Regex> {
+        Rc::new(Regex::Epsilon)
+    }
+
+    /// ∅.
+    pub fn empty() -> Rc<Regex> {
+        Rc::new(Regex::Empty)
+    }
+
+    /// The literal regex for a fixed word (ε if the word is empty).
+    pub fn word(w: &[u8]) -> Rc<Regex> {
+        let mut it = w.iter();
+        match it.next() {
+            None => Regex::epsilon(),
+            Some(&first) => {
+                let mut acc = Regex::sym(first);
+                for &c in it {
+                    acc = Regex::concat(acc, Regex::sym(c));
+                }
+                acc
+            }
+        }
+    }
+
+    /// Smart concatenation (simplifies ∅ and ε).
+    pub fn concat(l: Rc<Regex>, r: Rc<Regex>) -> Rc<Regex> {
+        match (&*l, &*r) {
+            (Regex::Empty, _) | (_, Regex::Empty) => Regex::empty(),
+            (Regex::Epsilon, _) => r,
+            (_, Regex::Epsilon) => l,
+            _ => Rc::new(Regex::Concat(l, r)),
+        }
+    }
+
+    /// Smart union (simplifies ∅; keeps duplicates untouched).
+    pub fn union(l: Rc<Regex>, r: Rc<Regex>) -> Rc<Regex> {
+        match (&*l, &*r) {
+            (Regex::Empty, _) => r,
+            (_, Regex::Empty) => l,
+            _ if l == r => l,
+            _ => Rc::new(Regex::Union(l, r)),
+        }
+    }
+
+    /// Smart star (ε* = ∅* = ε, γ** = γ*).
+    pub fn star(inner: Rc<Regex>) -> Rc<Regex> {
+        match &*inner {
+            Regex::Empty | Regex::Epsilon => Regex::epsilon(),
+            Regex::Star(_) => inner,
+            _ => Rc::new(Regex::Star(inner)),
+        }
+    }
+
+    /// γ⁺ = γ·γ*.
+    pub fn plus(inner: Rc<Regex>) -> Rc<Regex> {
+        Regex::concat(inner.clone(), Regex::star(inner))
+    }
+
+    /// γ? = γ ∨ ε.
+    pub fn opt(inner: Rc<Regex>) -> Rc<Regex> {
+        Regex::union(inner, Regex::epsilon())
+    }
+
+    /// Union over an iterator (∅ if empty).
+    pub fn union_all(parts: impl IntoIterator<Item = Rc<Regex>>) -> Rc<Regex> {
+        parts.into_iter().fold(Regex::empty(), Regex::union)
+    }
+
+    /// Concatenation over an iterator (ε if empty).
+    pub fn concat_all(parts: impl IntoIterator<Item = Rc<Regex>>) -> Rc<Regex> {
+        parts.into_iter().fold(Regex::epsilon(), Regex::concat)
+    }
+
+    /// `(a₁ ∨ ⋯ ∨ a_m)*` for an alphabet slice — the ubiquitous `Σ*`.
+    pub fn sigma_star(alphabet: &[u8]) -> Rc<Regex> {
+        Regex::star(Regex::union_all(alphabet.iter().map(|&a| Regex::sym(a))))
+    }
+
+    /// The regex for a finite language.
+    pub fn finite<'a>(words: impl IntoIterator<Item = &'a Word>) -> Rc<Regex> {
+        Regex::union_all(words.into_iter().map(|w| Regex::word(w.bytes())))
+    }
+
+    /// `true` iff ε ∈ L(γ) (nullable), computed syntactically.
+    pub fn nullable(&self) -> bool {
+        match self {
+            Regex::Empty | Regex::Sym(_) => false,
+            Regex::Epsilon | Regex::Star(_) => true,
+            Regex::Concat(l, r) => l.nullable() && r.nullable(),
+            Regex::Union(l, r) => l.nullable() || r.nullable(),
+        }
+    }
+
+    /// The set of symbols syntactically occurring in the regex.
+    pub fn symbols(&self) -> Vec<u8> {
+        fn walk(r: &Regex, out: &mut Vec<u8>) {
+            match r {
+                Regex::Sym(a) => out.push(*a),
+                Regex::Concat(l, rr) | Regex::Union(l, rr) => {
+                    walk(l, out);
+                    walk(rr, out);
+                }
+                Regex::Star(i) => walk(i, out),
+                _ => {}
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Parses the ASCII concrete syntax. See module docs.
+    ///
+    /// # Errors
+    /// Returns a human-readable message on malformed input.
+    pub fn parse(src: &str) -> Result<Rc<Regex>, String> {
+        let mut p = Parser { bytes: src.as_bytes(), pos: 0 };
+        let r = p.parse_union()?;
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing input at byte {}", p.pos));
+        }
+        Ok(r)
+    }
+}
+
+impl fmt::Display for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Regex::Empty => write!(f, "!"),
+            Regex::Epsilon => write!(f, "~"),
+            Regex::Sym(a) => write!(f, "{}", *a as char),
+            Regex::Concat(l, r) => {
+                fmt_child(f, l, matches!(&**l, Regex::Union(..)))?;
+                fmt_child(f, r, matches!(&**r, Regex::Union(..)))
+            }
+            Regex::Union(l, r) => write!(f, "{l}|{r}"),
+            Regex::Star(i) => {
+                fmt_child(f, i, matches!(&**i, Regex::Union(..) | Regex::Concat(..)))?;
+                write!(f, "*")
+            }
+        }
+    }
+}
+
+fn fmt_child(f: &mut fmt::Formatter<'_>, child: &Regex, parens: bool) -> fmt::Result {
+    if parens {
+        write!(f, "({child})")
+    } else {
+        write!(f, "{child}")
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn parse_union(&mut self) -> Result<Rc<Regex>, String> {
+        let mut acc = self.parse_concat()?;
+        while self.peek() == Some(b'|') {
+            self.pos += 1;
+            let rhs = self.parse_concat()?;
+            acc = Regex::union(acc, rhs);
+        }
+        Ok(acc)
+    }
+
+    fn parse_concat(&mut self) -> Result<Rc<Regex>, String> {
+        let mut acc: Option<Rc<Regex>> = None;
+        while let Some(c) = self.peek() {
+            if c == b'|' || c == b')' {
+                break;
+            }
+            let atom = self.parse_postfix()?;
+            acc = Some(match acc {
+                None => atom,
+                Some(a) => Regex::concat(a, atom),
+            });
+        }
+        Ok(acc.unwrap_or_else(Regex::epsilon))
+    }
+
+    fn parse_postfix(&mut self) -> Result<Rc<Regex>, String> {
+        let mut atom = self.parse_atom()?;
+        while let Some(c) = self.peek() {
+            match c {
+                b'*' => {
+                    atom = Regex::star(atom);
+                    self.pos += 1;
+                }
+                b'+' => {
+                    atom = Regex::plus(atom);
+                    self.pos += 1;
+                }
+                b'?' => {
+                    atom = Regex::opt(atom);
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        Ok(atom)
+    }
+
+    fn parse_atom(&mut self) -> Result<Rc<Regex>, String> {
+        match self.peek() {
+            None => Err("unexpected end of regex".into()),
+            Some(b'(') => {
+                self.pos += 1;
+                let inner = self.parse_union()?;
+                if self.peek() != Some(b')') {
+                    return Err(format!("expected ')' at byte {}", self.pos));
+                }
+                self.pos += 1;
+                Ok(inner)
+            }
+            Some(b'~') => {
+                self.pos += 1;
+                Ok(Regex::epsilon())
+            }
+            Some(b'!') => {
+                self.pos += 1;
+                Ok(Regex::empty())
+            }
+            Some(c) if c.is_ascii_alphanumeric() => {
+                self.pos += 1;
+                Ok(Regex::sym(c))
+            }
+            Some(c) => Err(format!("unexpected character '{}' at byte {}", c as char, self.pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smart_constructors_simplify() {
+        assert_eq!(*Regex::concat(Regex::empty(), Regex::sym(b'a')), Regex::Empty);
+        assert_eq!(*Regex::concat(Regex::epsilon(), Regex::sym(b'a')), Regex::Sym(b'a'));
+        assert_eq!(*Regex::union(Regex::empty(), Regex::sym(b'a')), Regex::Sym(b'a'));
+        assert_eq!(*Regex::star(Regex::epsilon()), Regex::Epsilon);
+        assert_eq!(*Regex::star(Regex::empty()), Regex::Epsilon);
+        let s = Regex::star(Regex::sym(b'a'));
+        assert_eq!(Regex::star(s.clone()), s);
+    }
+
+    #[test]
+    fn parser_roundtrips() {
+        for src in ["a", "ab", "a|b", "(a|b)*abb", "a*b+c?", "~", "!", "((a))", "a(b|c)d"] {
+            let r = Regex::parse(src).unwrap_or_else(|e| panic!("{src}: {e}"));
+            // Display then reparse is a fixed point of printing (ASTs may
+            // differ in concat associativity, which is language-irrelevant).
+            let printed = r.to_string();
+            let r2 = Regex::parse(&printed).unwrap_or_else(|e| panic!("{printed}: {e}"));
+            assert_eq!(printed, r2.to_string(), "src={src}");
+        }
+    }
+
+    #[test]
+    fn parser_errors() {
+        assert!(Regex::parse("(a").is_err());
+        assert!(Regex::parse("a)").is_err());
+        assert!(Regex::parse("[").is_err());
+    }
+
+    #[test]
+    fn nullability() {
+        assert!(Regex::parse("a*").unwrap().nullable());
+        assert!(!Regex::parse("aa*").unwrap().nullable());
+        assert!(Regex::parse("a|~").unwrap().nullable());
+        assert!(!Regex::parse("!").unwrap().nullable());
+        assert!(Regex::parse("~").unwrap().nullable());
+    }
+
+    #[test]
+    fn word_regex() {
+        assert_eq!(*Regex::word(b""), Regex::Epsilon);
+        let r = Regex::word(b"ab");
+        assert_eq!(r.to_string(), "ab");
+    }
+
+    #[test]
+    fn symbol_collection() {
+        let r = Regex::parse("(a|b)*c").unwrap();
+        assert_eq!(r.symbols(), vec![b'a', b'b', b'c']);
+    }
+
+    #[test]
+    fn sigma_star_display() {
+        let r = Regex::sigma_star(b"ab");
+        assert_eq!(r.to_string(), "(a|b)*");
+    }
+}

@@ -1,0 +1,208 @@
+//! Simple regular expressions (Freydenberger–Peterfreund, Lemma 5.5) —
+//! the other class of regular constraints FC can absorb.
+//!
+//! The paper's §5 uses *bounded* languages; its conclusion (§7) points at
+//! the second known FC-expressible class: **simple regular expressions**,
+//! gap patterns of the form
+//!
+//! ```text
+//!     w₀ · Σ* · w₁ · Σ* · ⋯ · Σ* · w_n
+//! ```
+//!
+//! (fixed words separated by unconstrained gaps). The FC translation is
+//! immediate — existential gap variables in one wide equation — and,
+//! unlike Claim C.1's star case, needs no combinatorics. This module
+//! provides the class, membership, conversion to ordinary regexes, and a
+//! recognizer that *decides* whether a DFA language is simple-definable
+//! is deliberately not attempted (that frontier is exactly the open
+//! problem the paper flags); instead [`SimpleRegex::from_parts`] keeps
+//! the class syntactic, the honest reading of Lemma 5.5.
+
+use crate::regex::Regex;
+use fc_words::Word;
+use std::rc::Rc;
+
+/// One element of a gap pattern.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimplePart {
+    /// A fixed terminal word.
+    Word(Word),
+    /// An unconstrained gap `Σ*`.
+    Gap,
+}
+
+/// A simple regular expression: a sequence of fixed words and gaps.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimpleRegex {
+    /// The parts, left to right.
+    pub parts: Vec<SimplePart>,
+}
+
+impl SimpleRegex {
+    /// Builds a pattern from parts (normalising away empty words and
+    /// fusing adjacent gaps / adjacent words).
+    pub fn from_parts(parts: impl IntoIterator<Item = SimplePart>) -> SimpleRegex {
+        let mut out: Vec<SimplePart> = Vec::new();
+        for p in parts {
+            match (&p, out.last_mut()) {
+                (SimplePart::Word(w), _) if w.is_empty() => {}
+                (SimplePart::Gap, Some(SimplePart::Gap)) => {}
+                (SimplePart::Word(w), Some(SimplePart::Word(last))) => {
+                    *last = last.concat(w);
+                }
+                _ => out.push(p.clone()),
+            }
+        }
+        SimpleRegex { parts: out }
+    }
+
+    /// The classic "x contains u as a factor" pattern `Σ*·u·Σ*`.
+    pub fn contains(u: impl Into<Word>) -> SimpleRegex {
+        SimpleRegex::from_parts([
+            SimplePart::Gap,
+            SimplePart::Word(u.into()),
+            SimplePart::Gap,
+        ])
+    }
+
+    /// `u·Σ*` — "starts with u".
+    pub fn starts_with(u: impl Into<Word>) -> SimpleRegex {
+        SimpleRegex::from_parts([SimplePart::Word(u.into()), SimplePart::Gap])
+    }
+
+    /// `Σ*·u` — "ends with u".
+    pub fn ends_with(u: impl Into<Word>) -> SimpleRegex {
+        SimpleRegex::from_parts([SimplePart::Gap, SimplePart::Word(u.into())])
+    }
+
+    /// Exact word (no gaps).
+    pub fn exact(u: impl Into<Word>) -> SimpleRegex {
+        SimpleRegex::from_parts([SimplePart::Word(u.into())])
+    }
+
+    /// Converts to an ordinary regex over the given alphabet (gaps become
+    /// `(a₁|…|a_m)*`).
+    pub fn to_regex(&self, alphabet: &[u8]) -> Rc<Regex> {
+        Regex::concat_all(self.parts.iter().map(|p| match p {
+            SimplePart::Word(w) => Regex::word(w.bytes()),
+            SimplePart::Gap => Regex::sigma_star(alphabet),
+        }))
+    }
+
+    /// Direct membership: greedy-with-backtracking scan (exact).
+    pub fn contains_word(&self, w: &[u8]) -> bool {
+        fn rec(parts: &[SimplePart], w: &[u8]) -> bool {
+            match parts.split_first() {
+                None => w.is_empty(),
+                Some((SimplePart::Word(u), rest)) => {
+                    w.len() >= u.len() && &w[..u.len()] == u.bytes() && rec(rest, &w[u.len()..])
+                }
+                Some((SimplePart::Gap, rest)) => {
+                    // The gap may absorb any prefix.
+                    (0..=w.len()).any(|i| rec(rest, &w[i..]))
+                }
+            }
+        }
+        rec(&self.parts, w)
+    }
+
+    /// The fixed words of the pattern, in order.
+    pub fn words(&self) -> Vec<&Word> {
+        self.parts
+            .iter()
+            .filter_map(|p| match p {
+                SimplePart::Word(w) => Some(w),
+                SimplePart::Gap => None,
+            })
+            .collect()
+    }
+
+    /// `true` iff the pattern has any gap (gap-free patterns are single
+    /// words).
+    pub fn has_gap(&self) -> bool {
+        self.parts.iter().any(|p| matches!(p, SimplePart::Gap))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::Dfa;
+    use fc_words::Alphabet;
+
+    #[test]
+    fn normalisation_fuses() {
+        let p = SimpleRegex::from_parts([
+            SimplePart::Word(Word::from("a")),
+            SimplePart::Word(Word::from("b")),
+            SimplePart::Gap,
+            SimplePart::Gap,
+            SimplePart::Word(Word::epsilon()),
+            SimplePart::Word(Word::from("c")),
+        ]);
+        assert_eq!(p.parts.len(), 3);
+        assert_eq!(p.words().len(), 2);
+    }
+
+    #[test]
+    fn membership_basics() {
+        let p = SimpleRegex::contains("ab");
+        assert!(p.contains_word(b"ab"));
+        assert!(p.contains_word(b"xxabyy"));
+        assert!(!p.contains_word(b"ba"));
+        assert!(!p.contains_word(b""));
+
+        let s = SimpleRegex::starts_with("ab");
+        assert!(s.contains_word(b"abxx"));
+        assert!(!s.contains_word(b"xab"));
+
+        let e = SimpleRegex::ends_with("ab");
+        assert!(e.contains_word(b"xxab"));
+        assert!(!e.contains_word(b"abx"));
+
+        let x = SimpleRegex::exact("ab");
+        assert!(x.contains_word(b"ab"));
+        assert!(!x.contains_word(b"abab"));
+    }
+
+    #[test]
+    fn membership_matches_compiled_regex() {
+        let sigma = Alphabet::ab();
+        let patterns = [
+            SimpleRegex::contains("aba"),
+            SimpleRegex::from_parts([
+                SimplePart::Word(Word::from("a")),
+                SimplePart::Gap,
+                SimplePart::Word(Word::from("bb")),
+                SimplePart::Gap,
+                SimplePart::Word(Word::from("a")),
+            ]),
+            SimpleRegex::exact("abab"),
+            SimpleRegex::from_parts([SimplePart::Gap]),
+        ];
+        for p in &patterns {
+            let dfa = Dfa::from_regex(&p.to_regex(b"ab"), b"ab");
+            for w in sigma.words_up_to(7) {
+                assert_eq!(
+                    p.contains_word(w.bytes()),
+                    dfa.accepts(w.bytes()),
+                    "p={p:?} w={w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simple_languages_are_not_bounded_in_general() {
+        // Σ*·ab·Σ* is unbounded — simple and bounded classes are
+        // incomparable, which is exactly why Lemma 5.5 is a *separate*
+        // route into FC.
+        let p = SimpleRegex::contains("ab");
+        let dfa = Dfa::from_regex(&p.to_regex(b"ab"), b"ab");
+        assert!(!crate::bounded::is_bounded(&dfa));
+        // While a gap-free simple pattern is trivially bounded.
+        let q = SimpleRegex::exact("abab");
+        let dfa = Dfa::from_regex(&q.to_regex(b"ab"), b"ab");
+        assert!(crate::bounded::is_bounded(&dfa));
+    }
+}

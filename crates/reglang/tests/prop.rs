@@ -1,0 +1,168 @@
+//! Property tests for the regular-language substrate: random regexes,
+//! random words, algebraic laws of the Boolean operations, and the
+//! boundedness decision pinned against the constructive class.
+
+use fc_reglang::bounded::{bounded_witness, is_bounded, witness_regex, BoundedExpr};
+use fc_reglang::ops::{complement, is_equivalent, is_subset, product, BoolOp};
+use fc_reglang::{Dfa, Nfa, Regex};
+use fc_words::Word;
+use proptest::prelude::*;
+use std::rc::Rc;
+
+fn word(max_len: usize) -> impl Strategy<Value = Word> {
+    prop::collection::vec(prop::sample::select(vec![b'a', b'b']), 0..=max_len)
+        .prop_map(Word::from_bytes)
+}
+
+/// Random regex ASTs over {a, b}, depth-bounded.
+fn regex() -> impl Strategy<Value = Rc<Regex>> {
+    let leaf = prop_oneof![
+        Just(Regex::epsilon()),
+        Just(Regex::empty()),
+        Just(Regex::sym(b'a')),
+        Just(Regex::sym(b'b')),
+    ];
+    leaf.prop_recursive(4, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Regex::concat(l, r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Regex::union(l, r)),
+            inner.prop_map(Regex::star),
+        ]
+    })
+}
+
+/// Random bounded expressions (the Ginsburg–Spanier constructive class).
+fn bounded_expr() -> impl Strategy<Value = BoundedExpr> {
+    let leaf = prop_oneof![
+        word(3).prop_map(|w| BoundedExpr::Finite(vec![w])),
+        word(3).prop_map(BoundedExpr::StarWord),
+    ];
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..3).prop_map(BoundedExpr::Concat),
+            prop::collection::vec(inner, 0..3).prop_map(BoundedExpr::Union),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn dfa_matches_nfa(re in regex(), w in word(8)) {
+        let nfa = Nfa::from_regex(&re);
+        let dfa = Dfa::from_nfa(&nfa, b"ab");
+        prop_assert_eq!(nfa.accepts(w.bytes()), dfa.accepts(w.bytes()), "re={}", re);
+    }
+
+    #[test]
+    fn minimization_preserves_language(re in regex(), w in word(8)) {
+        let dfa = Dfa::from_nfa(&Nfa::from_regex(&re), b"ab");
+        let min = dfa.minimize();
+        prop_assert_eq!(dfa.accepts(w.bytes()), min.accepts(w.bytes()), "re={}", re);
+        prop_assert!(min.len() <= dfa.len());
+        // Minimizing twice is idempotent in size.
+        prop_assert_eq!(min.minimize().len(), min.len());
+    }
+
+    #[test]
+    fn product_boolean_semantics(ra in regex(), rb in regex(), w in word(7)) {
+        let a = Dfa::from_regex(&ra, b"ab");
+        let b = Dfa::from_regex(&rb, b"ab");
+        let (wa, wb) = (a.accepts(w.bytes()), b.accepts(w.bytes()));
+        prop_assert_eq!(product(&a, &b, BoolOp::And).accepts(w.bytes()), wa && wb);
+        prop_assert_eq!(product(&a, &b, BoolOp::Or).accepts(w.bytes()), wa || wb);
+        prop_assert_eq!(product(&a, &b, BoolOp::Diff).accepts(w.bytes()), wa && !wb);
+        prop_assert_eq!(product(&a, &b, BoolOp::Xor).accepts(w.bytes()), wa != wb);
+    }
+
+    #[test]
+    fn complement_involution(re in regex(), w in word(7)) {
+        let dfa = Dfa::from_regex(&re, b"ab");
+        let comp = complement(&dfa);
+        prop_assert_eq!(comp.accepts(w.bytes()), !dfa.accepts(w.bytes()));
+        prop_assert_eq!(complement(&comp).accepts(w.bytes()), dfa.accepts(w.bytes()));
+    }
+
+    #[test]
+    fn equivalence_laws(ra in regex(), rb in regex()) {
+        let a = Dfa::from_regex(&ra, b"ab");
+        let b = Dfa::from_regex(&rb, b"ab");
+        prop_assert!(is_equivalent(&a, &a));
+        prop_assert_eq!(is_equivalent(&a, &b), is_equivalent(&b, &a));
+        prop_assert_eq!(is_equivalent(&a, &b), is_subset(&a, &b) && is_subset(&b, &a));
+    }
+
+    #[test]
+    fn union_star_laws(re in regex(), w in word(7)) {
+        // L(γ ∨ γ) = L(γ); L((γ*)*) = L(γ*).
+        let g1 = Dfa::from_regex(&Regex::union(re.clone(), re.clone()), b"ab");
+        let g2 = Dfa::from_regex(&re, b"ab");
+        prop_assert_eq!(g1.accepts(w.bytes()), g2.accepts(w.bytes()));
+        let s1 = Dfa::from_regex(&Regex::star(Regex::star(re.clone())), b"ab");
+        let s2 = Dfa::from_regex(&Regex::star(re.clone()), b"ab");
+        prop_assert_eq!(s1.accepts(w.bytes()), s2.accepts(w.bytes()));
+    }
+
+    #[test]
+    fn bounded_expr_compiles_to_bounded_dfa(e in bounded_expr(), w in word(8)) {
+        let dfa = Dfa::from_regex(&e.to_regex(), b"ab");
+        // The constructive class is exactly the bounded regular languages —
+        // the decision procedure must agree.
+        prop_assert!(is_bounded(&dfa), "expr={:?}", e);
+        // Membership of the structured form matches the automaton.
+        prop_assert_eq!(e.contains(w.bytes()), dfa.accepts(w.bytes()), "expr={:?} w={}", e, w);
+    }
+
+    #[test]
+    fn witness_covers_bounded_languages(e in bounded_expr(), w in word(8)) {
+        let dfa = Dfa::from_regex(&e.to_regex(), b"ab");
+        let witness = bounded_witness(&dfa).expect("bounded");
+        if dfa.accepts(w.bytes()) {
+            let wd = Dfa::from_regex(&witness_regex(&witness), b"ab");
+            prop_assert!(wd.accepts(w.bytes()), "w={} escapes witness of {:?}", w, e);
+        }
+    }
+
+    #[test]
+    fn display_parse_roundtrip_preserves_language(re in regex(), w in word(7)) {
+        let printed = re.to_string();
+        let reparsed = Regex::parse(&printed).unwrap();
+        let a = Dfa::from_regex(&re, b"ab");
+        let b = Dfa::from_regex(&reparsed, b"ab");
+        prop_assert_eq!(a.accepts(w.bytes()), b.accepts(w.bytes()), "printed={}", printed);
+    }
+
+    #[test]
+    fn enumeration_is_sound_and_complete(re in regex(), w in word(6)) {
+        let dfa = Dfa::from_regex(&re, b"ab");
+        let enumerated = fc_reglang::enumerate::enumerate_dfa(&dfa, 6);
+        prop_assert_eq!(enumerated.contains(&w), dfa.accepts(w.bytes()), "re={}", re);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn derivatives_agree_with_nfa_and_dfa(re in regex(), w in word(8)) {
+        let nfa = Nfa::from_regex(&re);
+        let dfa = Dfa::from_regex(&re, b"ab");
+        let by_derivative = fc_reglang::derivative::accepts(&re, w.bytes());
+        prop_assert_eq!(by_derivative, nfa.accepts(w.bytes()), "re={} w={}", re, w);
+        prop_assert_eq!(by_derivative, dfa.accepts(w.bytes()), "re={} w={}", re, w);
+    }
+
+    #[test]
+    fn derivative_shifts_the_language(re in regex(), w in word(6), c in prop::sample::select(vec![b'a', b'b'])) {
+        // w ∈ ∂_c γ ⟺ c·w ∈ γ.
+        let d = fc_reglang::derivative::derivative(&re, c);
+        let mut cw = vec![c];
+        cw.extend_from_slice(w.bytes());
+        prop_assert_eq!(
+            fc_reglang::derivative::accepts(&d, w.bytes()),
+            fc_reglang::derivative::accepts(&re, &cw),
+            "re={} c={} w={}", re, c as char, w
+        );
+    }
+}

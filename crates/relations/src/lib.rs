@@ -1,0 +1,20 @@
+//! # fc-relations — the paper's target relations, languages and reductions
+//!
+//! - [`relations`]: the eight word relations of Theorem 5.5 (Numₐ, Add,
+//!   Mult, Scatt, Perm, Rev, Shuff, Morph_h) as executable predicates;
+//! - [`languages`]: the six languages of Lemma 4.15 (L₁…L₆) with
+//!   membership tests, generators, and solver-confirmed fooling pairs;
+//! - [`reductions`]: Theorem 5.5's reduction ψ-spanners — for each
+//!   relation `R`, a ζ^R-extended spanner whose Boolean language equals
+//!   the corresponding Lᵢ, machine-checked on windows, together with the
+//!   boundedness witnesses needed by Lemma 5.3;
+//! - [`closure`]: the §6 closure argument (`|w|ₐ = |w|_b` via
+//!   intersection with `a*b*`);
+//! - [`selectable`]: the positive battery — relations that ARE
+//!   FC-definable (Example 2.3 and friends), definability machine-checked.
+
+pub mod closure;
+pub mod languages;
+pub mod reductions;
+pub mod relations;
+pub mod selectable;

@@ -1,0 +1,124 @@
+//! The eight word relations of Theorem 5.5, as executable predicates.
+//!
+//! Each is a relation over word tuples; Theorem 5.5 proves none of them is
+//! definable in FC[REG] — equivalently (Freydenberger–Peterfreund), none
+//! is *selectable* by generalized core spanners. These predicates are the
+//! ζ^R oracles fed to the reduction spanners in [`crate::reductions`].
+
+use fc_words::subword::{is_scattered_subword, is_shuffle, Morphism};
+
+/// `Numₐ = {(x, y) : |x|ₐ = |y|ₐ}`.
+pub fn num_sym(sym: u8, x: &[u8], y: &[u8]) -> bool {
+    let count = |w: &[u8]| w.iter().filter(|&&c| c == sym).count();
+    count(x) == count(y)
+}
+
+/// `Add = {(x, y, z) : |z| = |x| + |y|}`.
+pub fn add(x: &[u8], y: &[u8], z: &[u8]) -> bool {
+    z.len() == x.len() + y.len()
+}
+
+/// `Mult = {(x, y, z) : |z| = |x| · |y|}`.
+pub fn mult(x: &[u8], y: &[u8], z: &[u8]) -> bool {
+    z.len() == x.len() * y.len()
+}
+
+/// `Scatt = {(x, y) : x ⊑_scatt y}`.
+pub fn scatt(x: &[u8], y: &[u8]) -> bool {
+    is_scattered_subword(x, y)
+}
+
+/// `Perm = {(x, y) : x is a permutation of y}`.
+pub fn perm(x: &[u8], y: &[u8]) -> bool {
+    fc_words::subword::is_permutation(x, y)
+}
+
+/// `Rev = {(x, y) : x is the reverse of y}`.
+pub fn rev(x: &[u8], y: &[u8]) -> bool {
+    x.len() == y.len() && x.iter().zip(y.iter().rev()).all(|(a, b)| a == b)
+}
+
+/// `Shuff = {(x, y, z) : z ∈ x ⧢ y}`.
+pub fn shuff(x: &[u8], y: &[u8], z: &[u8]) -> bool {
+    is_shuffle(x, y, z)
+}
+
+/// `Morph_h = {(x, y) : y = h(x)}` for the morphism `a ↦ b, b ↦ b` used in
+/// Theorem 5.5's proof.
+pub fn morph_ab(x: &[u8], y: &[u8]) -> bool {
+    Morphism::a_to_b().relates(x, y)
+}
+
+/// The length-inequality relation `R_< = {(u, v) : |u| < |v|}` mentioned in
+/// §5's discussion of core spanners.
+pub fn len_lt(x: &[u8], y: &[u8]) -> bool {
+    x.len() < y.len()
+}
+
+/// Length equality (the first known generalized-core inexpressibility,
+/// Thm 5.14 of Freydenberger–Peterfreund, recalled in §1).
+pub fn len_eq(x: &[u8], y: &[u8]) -> bool {
+    x.len() == y.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_counts_only_the_symbol() {
+        assert!(num_sym(b'a', b"aab", b"bbaa"));
+        assert!(!num_sym(b'a', b"a", b"aa"));
+        assert!(num_sym(b'a', b"", b"bbb"));
+    }
+
+    #[test]
+    fn arithmetic_relations() {
+        assert!(add(b"ab", b"c", b"xxx"));
+        assert!(!add(b"ab", b"c", b"xx"));
+        assert!(mult(b"ab", b"ccc", b"xxxxxx"));
+        assert!(mult(b"", b"ccc", b""));
+        assert!(!mult(b"ab", b"cc", b"xxx"));
+    }
+
+    #[test]
+    fn scatt_perm_rev() {
+        assert!(scatt(b"aa", b"abba"));
+        assert!(!scatt(b"ab", b"ba"[..1].to_vec().as_slice()));
+        assert!(perm(b"abab", b"bbaa"));
+        assert!(!perm(b"ab", b"abc"));
+        assert!(rev(b"abc", b"cba"));
+        assert!(rev(b"", b""));
+        assert!(!rev(b"ab", b"ab"));
+        assert!(rev(b"aa", b"aa"));
+    }
+
+    #[test]
+    fn reverse_of_l5_blocks() {
+        // rev(abaabb) = bbaaba — why ψ₅′ works.
+        assert!(rev(b"abaabb", b"bbaaba"));
+        assert!(rev(b"abaabbabaabb", b"bbaababbaaba")); // (abaabb)² ↦ (bbaaba)²
+    }
+
+    #[test]
+    fn shuffle_relation() {
+        assert!(shuff(b"abba", b"aa", b"ababaa"));
+        assert!(shuff(b"", b"", b""));
+        assert!(!shuff(b"a", b"b", b"aa"));
+    }
+
+    #[test]
+    fn morphism_relation() {
+        assert!(morph_ab(b"aabb", b"bbbb"));
+        assert!(!morph_ab(b"aa", b"ba"[..1].to_vec().as_slice()));
+        assert!(morph_ab(b"", b""));
+    }
+
+    #[test]
+    fn length_relations() {
+        assert!(len_lt(b"a", b"ab"));
+        assert!(!len_lt(b"ab", b"ab"));
+        assert!(len_eq(b"ab", b"ba"));
+        assert!(!len_eq(b"a", b"ab"));
+    }
+}

@@ -1,0 +1,177 @@
+//! The *positive* side: relations that **are** FC-definable (hence
+//! selectable by generalized core spanners).
+//!
+//! The paper's Example 2.3 shows `R_copy` and `R_{k-copies}` are
+//! FC-definable; classical facts add prefix/suffix/factor/equality and
+//! fixed-word concatenation relations. Each entry pairs an executable
+//! predicate with the defining FC formula, and
+//! [`SelectableRelation::check`] machine-verifies the paper's
+//! definability condition `⟦φ_R⟧(w) = R ∩ Facs(w)^k` on concrete words —
+//! the exact counterpart of Theorem 5.5's negative battery.
+
+use fc_logic::language::check_defines_relation;
+use fc_logic::{library, FactorStructure, Formula, Term};
+use fc_words::Word;
+
+fn v(name: &str) -> Term {
+    Term::var(name)
+}
+
+/// A relation together with its defining FC formula.
+pub struct SelectableRelation {
+    /// Display name.
+    pub name: &'static str,
+    /// Arity (number of free variables x1..xk).
+    pub arity: usize,
+    /// The defining formula, free variables `x1`, …, `xk`.
+    pub formula: Formula,
+    /// The reference predicate.
+    pub predicate: fn(&[Word]) -> bool,
+}
+
+impl SelectableRelation {
+    /// Verifies `⟦φ⟧(w) = R ∩ Facs(w)^k` on one word; `None` means exact.
+    pub fn check(&self, w: &str) -> Option<(Vec<Word>, bool)> {
+        let structure = FactorStructure::of_word(w);
+        let vars: Vec<String> = (1..=self.arity).map(|i| format!("x{i}")).collect();
+        let var_refs: Vec<&str> = vars.iter().map(String::as_str).collect();
+        check_defines_relation(&self.formula, &var_refs, &structure, |t| {
+            (self.predicate)(t)
+        })
+    }
+}
+
+/// `Equal(x, y) := x = y` via `x ≐ y·ε`.
+pub fn equal() -> SelectableRelation {
+    SelectableRelation {
+        name: "Equal",
+        arity: 2,
+        formula: Formula::eq(v("x1"), v("x2")),
+        predicate: |t| t[0] == t[1],
+    }
+}
+
+/// `Copy(x, y) := x = y·y` (Example 2.3).
+pub fn copy() -> SelectableRelation {
+    SelectableRelation {
+        name: "Copy",
+        arity: 2,
+        formula: library::r_copy("x1", "x2"),
+        predicate: |t| t[0] == t[1].concat(&t[1]),
+    }
+}
+
+/// `KCopies(x, y) := x = y^k` (Example 2.3's generalisation), here k = 3.
+pub fn three_copies() -> SelectableRelation {
+    SelectableRelation {
+        name: "3-Copies",
+        arity: 2,
+        formula: library::r_k_copies("x1", "x2", 3),
+        predicate: |t| t[0] == t[1].pow(3),
+    }
+}
+
+/// `Prefix(x, y) := x is a prefix of y` via `∃z: y ≐ x·z`.
+pub fn prefix() -> SelectableRelation {
+    SelectableRelation {
+        name: "Prefix",
+        arity: 2,
+        formula: Formula::exists(&["z"], Formula::eq_cat(v("x2"), v("x1"), v("z"))),
+        predicate: |t| t[1].has_prefix(t[0].bytes()),
+    }
+}
+
+/// `Suffix(x, y)` via `∃z: y ≐ z·x`.
+pub fn suffix() -> SelectableRelation {
+    SelectableRelation {
+        name: "Suffix",
+        arity: 2,
+        formula: Formula::exists(&["z"], Formula::eq_cat(v("x2"), v("z"), v("x1"))),
+        predicate: |t| t[1].has_suffix(t[0].bytes()),
+    }
+}
+
+/// `Factor(x, y) := x ⊑ y` via `∃z1, z2: y ≐ z1·x·z2`.
+pub fn factor() -> SelectableRelation {
+    SelectableRelation {
+        name: "Factor",
+        arity: 2,
+        formula: Formula::exists(
+            &["z1", "z2"],
+            Formula::eq_chain(v("x2"), vec![v("z1"), v("x1"), v("z2")]),
+        ),
+        predicate: |t| fc_words::is_factor(t[0].bytes(), t[1].bytes()),
+    }
+}
+
+/// `Concat(x, y, z) := x = y·z` — the relation R∘ itself.
+pub fn concat3() -> SelectableRelation {
+    SelectableRelation {
+        name: "Concat",
+        arity: 3,
+        formula: Formula::eq_cat(v("x1"), v("x2"), v("x3")),
+        predicate: |t| t[0] == t[1].concat(&t[2]),
+    }
+}
+
+/// `InStar_ab(x) := x ∈ (ab)*` — a bounded regular property of the factor
+/// (the Claim C.1 machinery, unary arity).
+pub fn in_ab_star() -> SelectableRelation {
+    SelectableRelation {
+        name: "In-(ab)*",
+        arity: 1,
+        formula: library::phi_star_word("x1", b"ab"),
+        predicate: |t| {
+            t[0].len() % 2 == 0 && t[0].bytes().chunks(2).all(|c| c == b"ab")
+        },
+    }
+}
+
+/// The whole positive battery.
+pub fn all_selectable() -> Vec<SelectableRelation> {
+    vec![
+        equal(),
+        copy(),
+        three_copies(),
+        prefix(),
+        suffix(),
+        factor(),
+        concat3(),
+        in_ab_star(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_relation_is_exact_on_sample_words() {
+        // Arity-2 relations over a short word (arity-3 over a shorter one:
+        // the check is |Facs|^arity).
+        for rel in all_selectable() {
+            let word = if rel.arity >= 3 { "abaa" } else { "aabab" };
+            let bad = rel.check(word);
+            assert!(bad.is_none(), "{}: counterexample {:?} on {word}", rel.name, bad);
+        }
+    }
+
+    #[test]
+    fn checks_catch_wrong_formulas() {
+        // Deliberately claim Copy defines equality: must be flagged.
+        let wrong = SelectableRelation {
+            name: "broken",
+            arity: 2,
+            formula: library::r_copy("x1", "x2"),
+            predicate: |t| t[0] == t[1],
+        };
+        assert!(wrong.check("aa").is_some());
+    }
+
+    #[test]
+    fn unary_star_relation_on_periodic_word() {
+        let rel = in_ab_star();
+        assert!(rel.check("ababab").is_none());
+        assert!(rel.check("aabb").is_none());
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for the relations crate: language membership laws and
+//! the relation predicates.
+
+use fc_relations::languages::{self, catalogue};
+use fc_relations::relations;
+use fc_words::Word;
+use proptest::prelude::*;
+
+fn word(max_len: usize) -> impl Strategy<Value = Word> {
+    prop::collection::vec(prop::sample::select(vec![b'a', b'b']), 0..=max_len)
+        .prop_map(Word::from_bytes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn generators_always_produce_members(n in 0usize..8) {
+        for lang in catalogue() {
+            let w = (lang.generate)(n);
+            prop_assert!((lang.member)(w.bytes()), "{}: {w}", lang.name);
+        }
+    }
+
+    #[test]
+    fn variants_with_distinct_exponents_never_belong(p in 0usize..6, d in 1usize..5) {
+        let q = p + d;
+        for lang in catalogue() {
+            let v = (lang.variant)(p, q);
+            prop_assert!(!(lang.member)(v.bytes()), "{}: variant({p},{q}) = {v}", lang.name);
+        }
+    }
+
+    #[test]
+    fn random_words_membership_is_consistent_with_generation(w in word(12)) {
+        for lang in catalogue() {
+            let direct = (lang.member)(w.bytes());
+            let by_generation = (0..=w.len()).any(|n| (lang.generate)(n) == w);
+            if lang.name == "L2" || lang.name == "L3" || lang.name == "L4" {
+                // Two-parameter languages: generation covers one slice only.
+                if by_generation {
+                    prop_assert!(direct, "{}: slice member rejected: {w}", lang.name);
+                }
+            } else {
+                prop_assert_eq!(direct, by_generation, "{}: {}", lang.name, w);
+            }
+        }
+    }
+
+    #[test]
+    fn add_and_mult_are_length_functions(x in word(6), y in word(6), z in word(12)) {
+        prop_assert_eq!(relations::add(x.bytes(), y.bytes(), z.bytes()), z.len() == x.len() + y.len());
+        prop_assert_eq!(relations::mult(x.bytes(), y.bytes(), z.bytes()), z.len() == x.len() * y.len());
+    }
+
+    #[test]
+    fn perm_is_an_equivalence(x in word(6), y in word(6), z in word(6)) {
+        prop_assert!(relations::perm(x.bytes(), x.bytes()));
+        prop_assert_eq!(relations::perm(x.bytes(), y.bytes()), relations::perm(y.bytes(), x.bytes()));
+        if relations::perm(x.bytes(), y.bytes()) && relations::perm(y.bytes(), z.bytes()) {
+            prop_assert!(relations::perm(x.bytes(), z.bytes()));
+        }
+    }
+
+    #[test]
+    fn rev_is_an_involution(x in word(8)) {
+        let r = x.reversed();
+        prop_assert!(relations::rev(x.bytes(), r.bytes()));
+        prop_assert!(relations::rev(r.bytes(), x.bytes()));
+    }
+
+    #[test]
+    fn shuff_projects_to_scatt(x in word(4), y in word(4)) {
+        for z in fc_words::subword::shuffle_product(x.bytes(), y.bytes()) {
+            prop_assert!(relations::scatt(x.bytes(), z.bytes()));
+            prop_assert!(relations::scatt(y.bytes(), z.bytes()));
+            prop_assert!(relations::shuff(x.bytes(), y.bytes(), z.bytes()));
+        }
+    }
+
+    #[test]
+    fn morph_is_functional(x in word(8)) {
+        let h = fc_words::subword::Morphism::a_to_b();
+        let y = h.apply(x.bytes());
+        prop_assert!(relations::morph_ab(x.bytes(), y.bytes()));
+        let y2 = Word::from_bytes([y.bytes(), b"b"].concat());
+        prop_assert!(!relations::morph_ab(x.bytes(), y2.bytes()));
+    }
+
+    #[test]
+    fn equal_counts_is_preserved_by_concatenation(x in word(6), y in word(6)) {
+        use fc_relations::closure::equal_counts;
+        if equal_counts(x.bytes()) && equal_counts(y.bytes()) {
+            prop_assert!(equal_counts(x.concat(&y).bytes()));
+        }
+    }
+
+    #[test]
+    fn l_pow_members_are_powers_of_two(n in 1usize..64) {
+        let w = Word::from("a").pow(n);
+        prop_assert_eq!(languages::is_l_pow(w.bytes()), n.is_power_of_two());
+    }
+}

@@ -1,0 +1,263 @@
+//! The spanner relational algebra: ∪, π, ⋈, ∖, ζ= and generic ζ^R.
+//!
+//! These are the operators of Fagin et al.'s core spanners (∪, π, ⋈, ζ=)
+//! plus difference ∖, which yields the paper's **generalized core
+//! spanners**. `ζ^R` is the generic relation-selection operator of the
+//! selectability definition (§1): a relation `R` is *selectable* iff
+//! adding `ζ^R` does not increase expressive power — Theorem 5.5 exhibits
+//! relations where it provably does.
+
+use crate::span::{Span, SpanRelation};
+
+/// Union of two relations over the same schema.
+///
+/// # Panics
+/// Panics on schema mismatch (union is only defined schema-wise).
+pub fn union(a: &SpanRelation, b: &SpanRelation) -> SpanRelation {
+    assert_eq!(a.schema, b.schema, "∪ requires equal schemas");
+    let mut out = a.clone();
+    out.tuples.extend(b.tuples.iter().cloned());
+    out
+}
+
+/// Projection `π_vars` (keeps the listed variables).
+///
+/// # Panics
+/// Panics if some variable is not in the schema.
+pub fn project(rel: &SpanRelation, vars: &[&str]) -> SpanRelation {
+    let mut keep: Vec<String> = vars.iter().map(|v| v.to_string()).collect();
+    keep.sort();
+    keep.dedup();
+    let indices: Vec<usize> = keep
+        .iter()
+        .map(|v| {
+            rel.index_of(v)
+                .unwrap_or_else(|| panic!("π: variable {v} not in schema {:?}", rel.schema))
+        })
+        .collect();
+    let mut out = SpanRelation::empty(keep);
+    for t in &rel.tuples {
+        out.tuples.insert(indices.iter().map(|&i| t[i]).collect());
+    }
+    out
+}
+
+/// Natural join `a ⋈ b`: tuples agreeing on the common variables.
+pub fn join(a: &SpanRelation, b: &SpanRelation) -> SpanRelation {
+    let mut schema: Vec<String> = a.schema.iter().chain(b.schema.iter()).cloned().collect();
+    schema.sort();
+    schema.dedup();
+    let common: Vec<(usize, usize)> = a
+        .schema
+        .iter()
+        .enumerate()
+        .filter_map(|(ia, v)| b.index_of(v).map(|ib| (ia, ib)))
+        .collect();
+    let mut out = SpanRelation::empty(schema.iter().cloned());
+    // Output tuple construction: for each schema var, source index in a or b.
+    enum Src {
+        FromA(usize),
+        FromB(usize),
+    }
+    let sources: Vec<Src> = schema
+        .iter()
+        .map(|v| match a.index_of(v) {
+            Some(i) => Src::FromA(i),
+            None => Src::FromB(b.index_of(v).unwrap()),
+        })
+        .collect();
+    for ta in &a.tuples {
+        for tb in &b.tuples {
+            if common.iter().all(|&(ia, ib)| ta[ia] == tb[ib]) {
+                let tuple: Vec<Span> = sources
+                    .iter()
+                    .map(|s| match s {
+                        Src::FromA(i) => ta[*i],
+                        Src::FromB(i) => tb[*i],
+                    })
+                    .collect();
+                out.tuples.insert(tuple);
+            }
+        }
+    }
+    out
+}
+
+/// Difference `a ∖ b` (same schema) — the operator that upgrades core
+/// spanners to generalized core spanners.
+///
+/// # Panics
+/// Panics on schema mismatch.
+pub fn difference(a: &SpanRelation, b: &SpanRelation) -> SpanRelation {
+    assert_eq!(a.schema, b.schema, "∖ requires equal schemas");
+    let mut out = SpanRelation::empty(a.schema.iter().cloned());
+    for t in &a.tuples {
+        if !b.tuples.contains(t) {
+            out.tuples.insert(t.clone());
+        }
+    }
+    out
+}
+
+/// String-equality selection `ζ=_{x,y}`: keeps tuples whose spans for `x`
+/// and `y` have the **same content** in the document (possibly at
+/// different positions) — the text-specific operator of core spanners.
+pub fn eq_select(rel: &SpanRelation, doc: &[u8], x: &str, y: &str) -> SpanRelation {
+    let ix = rel.index_of(x).unwrap_or_else(|| panic!("ζ=: {x} not in schema"));
+    let iy = rel.index_of(y).unwrap_or_else(|| panic!("ζ=: {y} not in schema"));
+    let mut out = SpanRelation::empty(rel.schema.iter().cloned());
+    for t in &rel.tuples {
+        if t[ix].content(doc) == t[iy].content(doc) {
+            out.tuples.insert(t.clone());
+        }
+    }
+    out
+}
+
+/// Generic relation selection `ζ^R_{x₁,…,x_k}`: keeps tuples whose span
+/// *contents* (in order) satisfy the relation predicate. This is the
+/// operator whose admissibility the paper studies.
+pub fn rel_select(
+    rel: &SpanRelation,
+    doc: &[u8],
+    vars: &[&str],
+    predicate: impl Fn(&[&[u8]]) -> bool,
+) -> SpanRelation {
+    let indices: Vec<usize> = vars
+        .iter()
+        .map(|v| rel.index_of(v).unwrap_or_else(|| panic!("ζ^R: {v} not in schema")))
+        .collect();
+    let mut out = SpanRelation::empty(rel.schema.iter().cloned());
+    for t in &rel.tuples {
+        let contents: Vec<&[u8]> = indices.iter().map(|&i| t[i].content(doc)).collect();
+        if predicate(&contents) {
+            out.tuples.insert(t.clone());
+        }
+    }
+    out
+}
+
+/// The universal spanner `Υ_vars`: **all** assignments of spans of `doc`
+/// to the given variables (Fagin et al.'s Υ). Useful for building
+/// selections over unconstrained variables.
+pub fn universal(doc: &[u8], vars: &[&str]) -> SpanRelation {
+    let mut spans = Vec::new();
+    for i in 0..=doc.len() {
+        for j in i..=doc.len() {
+            spans.push(Span::new(i, j));
+        }
+    }
+    let mut out = SpanRelation::empty(vars.iter().map(|v| v.to_string()));
+    let k = out.schema.len();
+    let mut tuple = vec![Span::new(0, 0); k];
+    fn rec(
+        spans: &[Span],
+        tuple: &mut Vec<Span>,
+        depth: usize,
+        out: &mut SpanRelation,
+    ) {
+        if depth == tuple.len() {
+            out.tuples.insert(tuple.clone());
+            return;
+        }
+        for &s in spans {
+            tuple[depth] = s;
+            rec(spans, tuple, depth + 1, out);
+        }
+    }
+    rec(&spans, &mut tuple, 0, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(schema: &[&str], tuples: &[&[(usize, usize)]]) -> SpanRelation {
+        let mut r = SpanRelation::empty(schema.iter().map(|s| s.to_string()));
+        for t in tuples {
+            let named: Vec<(&str, Span)> = schema
+                .iter()
+                .zip(t.iter())
+                .map(|(v, &(i, j))| (*v, Span::new(i, j)))
+                .collect();
+            r.insert_named(&named);
+        }
+        r
+    }
+
+    #[test]
+    fn union_and_difference() {
+        let a = rel(&["x"], &[&[(0, 1)], &[(1, 2)]]);
+        let b = rel(&["x"], &[&[(1, 2)], &[(2, 3)]]);
+        assert_eq!(union(&a, &b).len(), 3);
+        let d = difference(&a, &b);
+        assert_eq!(d.len(), 1);
+        assert!(d.tuples.contains(&vec![Span::new(0, 1)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal schemas")]
+    fn union_schema_mismatch_panics() {
+        let a = rel(&["x"], &[]);
+        let b = rel(&["y"], &[]);
+        let _ = union(&a, &b);
+    }
+
+    #[test]
+    fn projection() {
+        let a = rel(&["x", "y"], &[&[(0, 1), (1, 2)], &[(0, 1), (2, 3)]]);
+        let p = project(&a, &["x"]);
+        assert_eq!(p.schema, vec!["x"]);
+        assert_eq!(p.len(), 1); // duplicates collapse
+    }
+
+    #[test]
+    fn natural_join_on_common_variable() {
+        let a = rel(&["x", "y"], &[&[(0, 1), (1, 2)], &[(0, 2), (2, 3)]]);
+        let b = rel(&["y", "z"], &[&[(1, 2), (3, 4)], &[(9, 9), (0, 0)]]);
+        let j = join(&a, &b);
+        assert_eq!(j.schema, vec!["x", "y", "z"]);
+        assert_eq!(j.len(), 1);
+        let t = j.tuples.iter().next().unwrap();
+        assert_eq!(t, &vec![Span::new(0, 1), Span::new(1, 2), Span::new(3, 4)]);
+    }
+
+    #[test]
+    fn join_with_disjoint_schemas_is_product() {
+        let a = rel(&["x"], &[&[(0, 1)], &[(1, 2)]]);
+        let b = rel(&["y"], &[&[(2, 3)], &[(3, 4)], &[(4, 5)]]);
+        assert_eq!(join(&a, &b).len(), 6);
+    }
+
+    #[test]
+    fn equality_selection_compares_contents() {
+        let doc = b"abab";
+        // x = [0,2) "ab", y = [2,4) "ab" → kept; y = [1,3) "ba" → dropped.
+        let a = rel(&["x", "y"], &[&[(0, 2), (2, 4)], &[(0, 2), (1, 3)]]);
+        let z = eq_select(&a, doc, "x", "y");
+        assert_eq!(z.len(), 1);
+    }
+
+    #[test]
+    fn generic_selection_with_length_predicate() {
+        let doc = b"abab";
+        let a = universal(doc, &["x", "y"]);
+        // ζ^len: |x| = |y| — the relation the paper proves unattainable.
+        let z = rel_select(&a, doc, &["x", "y"], |c| c[0].len() == c[1].len());
+        assert!(z.len() < a.len());
+        assert!(z
+            .tuples
+            .iter()
+            .all(|t| t[0].len() == t[1].len()));
+    }
+
+    #[test]
+    fn universal_spanner_counts() {
+        // |doc| = 2 → spans = 6; Υ_{x,y} = 36 tuples.
+        let u = universal(b"ab", &["x", "y"]);
+        assert_eq!(u.len(), 36);
+        let u1 = universal(b"ab", &["x"]);
+        assert_eq!(u1.len(), 6);
+    }
+}

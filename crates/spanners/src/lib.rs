@@ -1,0 +1,29 @@
+//! # fc-spanners — document spanners
+//!
+//! The paper's target class is the **generalized core spanners**: regex
+//! formulas (regular expressions with capture variables) combined with
+//! union, projection, natural join, difference and string-equality
+//! selection (Fagin–Kimelfeld–Reiss–Vansummeren). This crate implements
+//! the whole stack, exactly:
+//!
+//! - [`span`]: spans `[i, j⟩`, span tuples, span relations with schemas;
+//! - [`regex_formula`]: regex formulas γ with capture variables,
+//!   functionality checking, and exact evaluation `⟦γ⟧(d)` via a memoized
+//!   span matcher;
+//! - [`algebra`]: the relational operators ∪, π, ⋈, ∖, ζ= and generic ζ^R;
+//! - [`spanner`]: expression trees for core / generalized core spanners
+//!   with an evaluator and class predicates;
+//! - [`correspond`]: instance-level checks connecting spanners to FC[REG]
+//!   (the Freydenberger–Peterfreund correspondence the paper relies on).
+
+pub mod algebra;
+pub mod correspond;
+pub mod optimize;
+pub mod regex_formula;
+pub mod span;
+pub mod spanner;
+pub mod vset_automaton;
+
+pub use regex_formula::RegexFormula;
+pub use span::{Span, SpanRelation};
+pub use spanner::Spanner;

@@ -1,0 +1,260 @@
+//! Algebraic rewriting of spanner expressions.
+//!
+//! The classical relational-algebra rewrites apply verbatim to the spanner
+//! algebra and matter in practice: selections and projections commute with
+//! union and (schema permitting) slide below joins, shrinking the
+//! intermediate span relations drastically (ζ= after a ⋈ of universal
+//! spanners is quadratically larger than before it). This is also the
+//! computational face of Fagin et al.'s *core-simplification lemma*: core
+//! spanner expressions normalize towards ⟨regex formulas → selections →
+//! projections → unions⟩.
+//!
+//! Every rule is semantics-preserving; the test suite re-evaluates
+//! original and optimized expressions on documents and asserts equal
+//! outputs.
+
+use crate::spanner::Spanner;
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+/// Applies the rewrite rules bottom-up until a fixpoint (bounded by
+/// `MAX_PASSES` for safety).
+pub fn optimize(s: &Rc<Spanner>) -> Rc<Spanner> {
+    const MAX_PASSES: usize = 8;
+    let mut cur = s.clone();
+    for _ in 0..MAX_PASSES {
+        let next = rewrite(&cur);
+        if structurally_equal(&next, &cur) {
+            return next;
+        }
+        cur = next;
+    }
+    cur
+}
+
+fn rewrite(s: &Rc<Spanner>) -> Rc<Spanner> {
+    // Bottom-up: rewrite children first.
+    let node: Rc<Spanner> = match &**s {
+        Spanner::Regex(_) => s.clone(),
+        Spanner::Union(a, b) => Rc::new(Spanner::Union(rewrite(a), rewrite(b))),
+        Spanner::Project(v, a) => Rc::new(Spanner::Project(v.clone(), rewrite(a))),
+        Spanner::Join(a, b) => Rc::new(Spanner::Join(rewrite(a), rewrite(b))),
+        Spanner::Difference(a, b) => Rc::new(Spanner::Difference(rewrite(a), rewrite(b))),
+        Spanner::EqSelect(x, y, a) => {
+            Rc::new(Spanner::EqSelect(x.clone(), y.clone(), rewrite(a)))
+        }
+        Spanner::RelSelect(v, n, p, a) => {
+            Rc::new(Spanner::RelSelect(v.clone(), n.clone(), p.clone(), rewrite(a)))
+        }
+    };
+    apply_rules(&node)
+}
+
+fn apply_rules(s: &Rc<Spanner>) -> Rc<Spanner> {
+    match &**s {
+        // ζ=_{x,x} is a no-op.
+        Spanner::EqSelect(x, y, inner) if x == y => inner.clone(),
+
+        // Selection commutes with union.
+        Spanner::EqSelect(x, y, inner) => {
+            if let Spanner::Union(a, b) = &**inner {
+                return Rc::new(Spanner::Union(
+                    apply_rules(&Rc::new(Spanner::EqSelect(x.clone(), y.clone(), a.clone()))),
+                    apply_rules(&Rc::new(Spanner::EqSelect(x.clone(), y.clone(), b.clone()))),
+                ));
+            }
+            // Selection pushdown below a join when one side covers {x, y}.
+            if let Spanner::Join(a, b) = &**inner {
+                let sa: BTreeSet<String> = a.schema().into_iter().collect();
+                let sb: BTreeSet<String> = b.schema().into_iter().collect();
+                if sa.contains(x) && sa.contains(y) {
+                    return Rc::new(Spanner::Join(
+                        apply_rules(&Rc::new(Spanner::EqSelect(
+                            x.clone(),
+                            y.clone(),
+                            a.clone(),
+                        ))),
+                        b.clone(),
+                    ));
+                }
+                if sb.contains(x) && sb.contains(y) {
+                    return Rc::new(Spanner::Join(
+                        a.clone(),
+                        apply_rules(&Rc::new(Spanner::EqSelect(
+                            x.clone(),
+                            y.clone(),
+                            b.clone(),
+                        ))),
+                    ));
+                }
+            }
+            s.clone()
+        }
+
+        Spanner::Project(vars, inner) => {
+            let inner_schema: BTreeSet<String> = inner.schema().into_iter().collect();
+            let kept: BTreeSet<String> = vars.iter().cloned().collect();
+            // Identity projection.
+            if kept == inner_schema {
+                return inner.clone();
+            }
+            // Collapse π∘π.
+            if let Spanner::Project(_, deeper) = &**inner {
+                return apply_rules(&Rc::new(Spanner::Project(vars.clone(), deeper.clone())));
+            }
+            // Projection commutes with union.
+            if let Spanner::Union(a, b) = &**inner {
+                return Rc::new(Spanner::Union(
+                    apply_rules(&Rc::new(Spanner::Project(vars.clone(), a.clone()))),
+                    apply_rules(&Rc::new(Spanner::Project(vars.clone(), b.clone()))),
+                ));
+            }
+            s.clone()
+        }
+
+        // Idempotent union.
+        Spanner::Union(a, b) if structurally_equal(a, b) => a.clone(),
+
+        // a ∖ a = ∅ is *not* rewritten (the empty relation needs a schema
+        // carrier we don't synthesize) — documented limitation.
+        _ => s.clone(),
+    }
+}
+
+/// Structural equality of expressions. `RelSelect` predicates are compared
+/// by pointer identity (same `Rc`) plus name, which is sound (never equates
+/// different predicates) though incomplete.
+pub fn structurally_equal(a: &Rc<Spanner>, b: &Rc<Spanner>) -> bool {
+    if Rc::ptr_eq(a, b) {
+        return true;
+    }
+    match (&**a, &**b) {
+        (Spanner::Regex(x), Spanner::Regex(y)) => x == y,
+        (Spanner::Union(a1, a2), Spanner::Union(b1, b2))
+        | (Spanner::Join(a1, a2), Spanner::Join(b1, b2))
+        | (Spanner::Difference(a1, a2), Spanner::Difference(b1, b2)) => {
+            structurally_equal(a1, b1) && structurally_equal(a2, b2)
+        }
+        (Spanner::Project(v1, i1), Spanner::Project(v2, i2)) => {
+            v1 == v2 && structurally_equal(i1, i2)
+        }
+        (Spanner::EqSelect(x1, y1, i1), Spanner::EqSelect(x2, y2, i2)) => {
+            x1 == x2 && y1 == y2 && structurally_equal(i1, i2)
+        }
+        (Spanner::RelSelect(v1, n1, p1, i1), Spanner::RelSelect(v2, n2, p2, i2)) => {
+            v1 == v2 && n1 == n2 && Rc::ptr_eq(p1, p2) && structurally_equal(i1, i2)
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex_formula::RegexFormula;
+
+    fn two_split() -> Rc<Spanner> {
+        Spanner::regex(RegexFormula::cat([
+            RegexFormula::capture("x", RegexFormula::any_star()),
+            RegexFormula::capture("y", RegexFormula::any_star()),
+        ]))
+    }
+
+    fn assert_equivalent(original: &Rc<Spanner>, docs: &[&str]) {
+        let optimized = optimize(original);
+        for doc in docs {
+            assert_eq!(
+                original.evaluate(doc.as_bytes()),
+                optimized.evaluate(doc.as_bytes()),
+                "doc={doc} original={original:?} optimized={optimized:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trivial_selection_is_dropped() {
+        let s = Spanner::eq_select("x", "x", two_split());
+        let o = optimize(&s);
+        assert!(matches!(&*o, Spanner::Regex(_)));
+        assert_equivalent(&s, &["", "ab", "abab"]);
+    }
+
+    #[test]
+    fn selection_pushes_through_union() {
+        let u = Rc::new(Spanner::Union(two_split(), two_split()));
+        let s = Spanner::eq_select("x", "y", u);
+        let o = optimize(&s);
+        // After idempotent-union collapse the selection sits on a leaf.
+        assert!(matches!(&*o, Spanner::EqSelect(..)));
+        assert_equivalent(&s, &["", "aa", "abab"]);
+    }
+
+    #[test]
+    fn selection_pushes_below_join() {
+        // x,y live in the left factor; z in the right.
+        let left = two_split();
+        let right = Spanner::regex(RegexFormula::capture("z", RegexFormula::any_star()));
+        let joined = Rc::new(Spanner::Join(left, right));
+        let s = Spanner::eq_select("x", "y", joined);
+        let o = optimize(&s);
+        match &*o {
+            Spanner::Join(l, _) => assert!(matches!(&**l, Spanner::EqSelect(..))),
+            other => panic!("expected pushed-down join, got {other:?}"),
+        }
+        assert_equivalent(&s, &["", "ab", "aab"]);
+    }
+
+    #[test]
+    fn projection_chains_collapse() {
+        let s = Rc::new(Spanner::Project(
+            vec!["x".into()],
+            Rc::new(Spanner::Project(vec!["x".into(), "y".into()], two_split())),
+        ));
+        let o = optimize(&s);
+        match &*o {
+            Spanner::Project(v, inner) => {
+                assert_eq!(v, &vec!["x".to_string()]);
+                assert!(matches!(&**inner, Spanner::Regex(_)));
+            }
+            other => panic!("expected single projection, got {other:?}"),
+        }
+        assert_equivalent(&s, &["", "ab", "aba"]);
+    }
+
+    #[test]
+    fn identity_projection_is_dropped() {
+        let s = Rc::new(Spanner::Project(vec!["x".into(), "y".into()], two_split()));
+        let o = optimize(&s);
+        assert!(matches!(&*o, Spanner::Regex(_)));
+        assert_equivalent(&s, &["ab"]);
+    }
+
+    #[test]
+    fn idempotent_union_collapses() {
+        let s = Rc::new(Spanner::Union(two_split(), two_split()));
+        let o = optimize(&s);
+        assert!(matches!(&*o, Spanner::Regex(_)));
+        assert_equivalent(&s, &["", "ab"]);
+    }
+
+    #[test]
+    fn optimizer_preserves_generalized_core_pipelines() {
+        // ζ=(π(…)) over a difference — nothing unsound happens.
+        let base = two_split();
+        let eq = Spanner::eq_select("x", "y", base.clone());
+        let diff = Rc::new(Spanner::Difference(base.clone(), eq.clone()));
+        assert_equivalent(&diff, &["", "aa", "abab", "aabb"]);
+        let proj = Rc::new(Spanner::Project(vec!["x".into()], diff));
+        assert_equivalent(&proj, &["", "aa", "abab"]);
+    }
+
+    #[test]
+    fn rel_select_identity_is_pointer_based() {
+        let p = Spanner::rel_select(&["x", "y"], "len", |c| c[0].len() == c[1].len(), two_split());
+        // Same Rc: equal; rebuilt predicate: not equated (sound).
+        assert!(structurally_equal(&p, &p.clone()));
+        let q = Spanner::rel_select(&["x", "y"], "len", |c| c[0].len() == c[1].len(), two_split());
+        assert!(!structurally_equal(&p, &q));
+        assert_equivalent(&p, &["", "ab", "aba"]);
+    }
+}

@@ -1,0 +1,496 @@
+//! Regex formulas: regular expressions with capture variables.
+//!
+//! A regex formula γ (Fagin et al.) extends regular expressions with
+//! variable bindings `x{γ'}`. Evaluated on a document `d`, it produces the
+//! span relation `⟦γ⟧(d)` of all variable-to-span assignments arising from
+//! matches of γ against the *whole* document. (The common "extractor"
+//! idiom wraps the body in `Σ* · … · Σ*`, as the paper's introduction
+//! example `γ(x) := Σ*·x{misspelling}·Σ*` does.)
+//!
+//! We require **functional** regex formulas: every variable is bound
+//! exactly once along every match path (the standard well-formedness
+//! class); [`RegexFormula::check_functional`] enforces it syntactically.
+//!
+//! Evaluation is an exact, memoized span matcher: `match(node, i, j)`
+//! computes all capture assignments under which the node matches
+//! `d[i..j]`; concatenation joins adjacent splits, star iterates
+//! (variable-free bodies only, per functionality). Complexity is
+//! polynomial in `|d|` per node with output-sensitive assignment sets —
+//! entirely adequate for the exact evaluation the experiments need.
+
+use crate::span::{Span, SpanRelation};
+use fc_reglang::Regex;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::rc::Rc;
+
+/// A regex formula node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RegexFormula {
+    /// ∅.
+    Empty,
+    /// ε.
+    Epsilon,
+    /// A terminal symbol.
+    Sym(u8),
+    /// Any single symbol from the document alphabet (`.` / Σ).
+    AnySym,
+    /// Concatenation.
+    Concat(Rc<RegexFormula>, Rc<RegexFormula>),
+    /// Union.
+    Union(Rc<RegexFormula>, Rc<RegexFormula>),
+    /// Kleene star (body must be variable-free).
+    Star(Rc<RegexFormula>),
+    /// Variable binding `x{γ}`.
+    Capture(String, Rc<RegexFormula>),
+}
+
+/// One capture assignment: variable → span.
+pub type Captures = BTreeMap<String, Span>;
+
+impl RegexFormula {
+    /// `x{γ}`.
+    pub fn capture(x: &str, inner: Rc<RegexFormula>) -> Rc<RegexFormula> {
+        Rc::new(RegexFormula::Capture(x.to_string(), inner))
+    }
+
+    /// Lifts a plain regex (no variables).
+    pub fn from_regex(re: &Regex) -> Rc<RegexFormula> {
+        Rc::new(match re {
+            Regex::Empty => RegexFormula::Empty,
+            Regex::Epsilon => RegexFormula::Epsilon,
+            Regex::Sym(c) => RegexFormula::Sym(*c),
+            Regex::Concat(l, r) => RegexFormula::Concat(
+                RegexFormula::from_regex(l),
+                RegexFormula::from_regex(r),
+            ),
+            Regex::Union(l, r) => RegexFormula::Union(
+                RegexFormula::from_regex(l),
+                RegexFormula::from_regex(r),
+            ),
+            Regex::Star(i) => RegexFormula::Star(RegexFormula::from_regex(i)),
+        })
+    }
+
+    /// Parses a plain-regex pattern (see `fc_reglang::Regex::parse`) into a
+    /// variable-free formula.
+    pub fn pattern(src: &str) -> Rc<RegexFormula> {
+        RegexFormula::from_regex(&Regex::parse(src).unwrap_or_else(|e| panic!("{src}: {e}")))
+    }
+
+    /// `Σ*` (any content).
+    pub fn any_star() -> Rc<RegexFormula> {
+        Rc::new(RegexFormula::Star(Rc::new(RegexFormula::AnySym)))
+    }
+
+    /// Concatenation helper.
+    pub fn cat(parts: impl IntoIterator<Item = Rc<RegexFormula>>) -> Rc<RegexFormula> {
+        let mut it = parts.into_iter();
+        let first = it.next().unwrap_or_else(|| Rc::new(RegexFormula::Epsilon));
+        it.fold(first, |acc, p| Rc::new(RegexFormula::Concat(acc, p)))
+    }
+
+    /// Union helper.
+    pub fn alt(parts: impl IntoIterator<Item = Rc<RegexFormula>>) -> Rc<RegexFormula> {
+        let mut it = parts.into_iter();
+        let first = it.next().unwrap_or_else(|| Rc::new(RegexFormula::Empty));
+        it.fold(first, |acc, p| Rc::new(RegexFormula::Union(acc, p)))
+    }
+
+    /// The extractor idiom `Σ* · γ · Σ*`.
+    pub fn extractor(inner: Rc<RegexFormula>) -> Rc<RegexFormula> {
+        RegexFormula::cat([RegexFormula::any_star(), inner, RegexFormula::any_star()])
+    }
+
+    /// The variables bound in the formula (sorted, deduplicated).
+    pub fn variables(&self) -> Vec<String> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out.into_iter().collect()
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<String>) {
+        match self {
+            RegexFormula::Concat(l, r) | RegexFormula::Union(l, r) => {
+                l.collect_vars(out);
+                r.collect_vars(out);
+            }
+            RegexFormula::Star(i) => i.collect_vars(out),
+            RegexFormula::Capture(x, i) => {
+                out.insert(x.clone());
+                i.collect_vars(out);
+            }
+            _ => {}
+        }
+    }
+
+    /// Checks functionality: every variable bound exactly once on every
+    /// match path. Rules: concatenation/capture bind disjoint variable
+    /// sets; union branches bind the *same* set; star bodies bind none.
+    ///
+    /// # Errors
+    /// A human-readable description of the first violation.
+    pub fn check_functional(&self) -> Result<(), String> {
+        self.functional_vars().map(|_| ())
+    }
+
+    fn functional_vars(&self) -> Result<BTreeSet<String>, String> {
+        match self {
+            RegexFormula::Empty
+            | RegexFormula::Epsilon
+            | RegexFormula::Sym(_)
+            | RegexFormula::AnySym => Ok(BTreeSet::new()),
+            RegexFormula::Concat(l, r) => {
+                let vl = l.functional_vars()?;
+                let vr = r.functional_vars()?;
+                if let Some(dup) = vl.intersection(&vr).next() {
+                    return Err(format!("variable {dup} bound twice in a concatenation"));
+                }
+                Ok(vl.union(&vr).cloned().collect())
+            }
+            RegexFormula::Union(l, r) => {
+                let vl = l.functional_vars()?;
+                let vr = r.functional_vars()?;
+                if vl != vr {
+                    return Err(format!(
+                        "union branches bind different variables: {vl:?} vs {vr:?}"
+                    ));
+                }
+                Ok(vl)
+            }
+            RegexFormula::Star(i) => {
+                let vi = i.functional_vars()?;
+                if !vi.is_empty() {
+                    return Err(format!("star body binds variables {vi:?}"));
+                }
+                Ok(vi)
+            }
+            RegexFormula::Capture(x, i) => {
+                let mut vi = i.functional_vars()?;
+                if vi.contains(x) {
+                    return Err(format!("variable {x} bound inside its own capture"));
+                }
+                vi.insert(x.clone());
+                Ok(vi)
+            }
+        }
+    }
+
+    /// Evaluates the formula on the whole document: the span relation over
+    /// the formula's variables.
+    ///
+    /// # Panics
+    /// Panics if the formula is not functional.
+    pub fn evaluate(&self, doc: &[u8]) -> SpanRelation {
+        self.check_functional()
+            .unwrap_or_else(|e| panic!("non-functional regex formula: {e}"));
+        let vars = self.variables();
+        let mut relation = SpanRelation::empty(vars.iter().cloned());
+        let mut matcher = Matcher { doc, memo: HashMap::new() };
+        for captures in matcher.matches(self, 0, doc.len()).iter() {
+            let tuple: Vec<Span> = relation
+                .schema
+                .iter()
+                .map(|v| captures[v.as_str()])
+                .collect();
+            relation.tuples.insert(tuple);
+        }
+        relation
+    }
+
+    /// Boolean acceptance: does the formula match the whole document under
+    /// at least one assignment?
+    pub fn accepts(&self, doc: &[u8]) -> bool {
+        !self.evaluate(doc).is_empty()
+    }
+}
+
+struct Matcher<'d> {
+    doc: &'d [u8],
+    memo: HashMap<(usize, usize, usize), Rc<Vec<Captures>>>,
+}
+
+impl Matcher<'_> {
+    fn matches(&mut self, node: &RegexFormula, i: usize, j: usize) -> Rc<Vec<Captures>> {
+        let key = (node as *const RegexFormula as usize, i, j);
+        if let Some(cached) = self.memo.get(&key) {
+            return cached.clone();
+        }
+        let result: Vec<Captures> = match node {
+            RegexFormula::Empty => Vec::new(),
+            RegexFormula::Epsilon => {
+                if i == j {
+                    vec![Captures::new()]
+                } else {
+                    Vec::new()
+                }
+            }
+            RegexFormula::Sym(c) => {
+                if j == i + 1 && self.doc[i] == *c {
+                    vec![Captures::new()]
+                } else {
+                    Vec::new()
+                }
+            }
+            RegexFormula::AnySym => {
+                if j == i + 1 {
+                    vec![Captures::new()]
+                } else {
+                    Vec::new()
+                }
+            }
+            RegexFormula::Concat(l, r) => {
+                let mut out = Vec::new();
+                let mut seen = BTreeSet::new();
+                for m in i..=j {
+                    let left = self.matches(l, i, m);
+                    if left.is_empty() {
+                        continue;
+                    }
+                    let right = self.matches(r, m, j);
+                    for cl in left.iter() {
+                        for cr in right.iter() {
+                            let mut merged = cl.clone();
+                            merged.extend(cr.iter().map(|(k, v)| (k.clone(), *v)));
+                            if seen.insert(merged.clone()) {
+                                out.push(merged);
+                            }
+                        }
+                    }
+                }
+                out
+            }
+            RegexFormula::Union(l, r) => {
+                let mut out: Vec<Captures> = self.matches(l, i, j).as_ref().clone();
+                let mut seen: BTreeSet<Captures> = out.iter().cloned().collect();
+                for c in self.matches(r, i, j).iter() {
+                    if seen.insert(c.clone()) {
+                        out.push(c.clone());
+                    }
+                }
+                out
+            }
+            RegexFormula::Star(inner) => {
+                // Variable-free body: pure reachability DP over positions.
+                if self.star_reaches(inner, i, j) {
+                    vec![Captures::new()]
+                } else {
+                    Vec::new()
+                }
+            }
+            RegexFormula::Capture(x, inner) => self
+                .matches(inner, i, j)
+                .iter()
+                .map(|c| {
+                    let mut c = c.clone();
+                    c.insert(x.clone(), Span::new(i, j));
+                    c
+                })
+                .collect(),
+        };
+        let rc = Rc::new(result);
+        self.memo.insert(key, rc.clone());
+        rc
+    }
+
+    fn star_reaches(&mut self, body: &RegexFormula, i: usize, j: usize) -> bool {
+        // BFS over positions i..=j using body matches as edges.
+        if i == j {
+            return true;
+        }
+        let mut reach = vec![false; j - i + 1];
+        reach[0] = true;
+        for from in i..j {
+            if !reach[from - i] {
+                continue;
+            }
+            for to in from + 1..=j {
+                if !reach[to - i] && !self.matches(body, from, to).is_empty() {
+                    reach[to - i] = true;
+                }
+            }
+        }
+        reach[j - i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_patterns_match_whole_document() {
+        let g = RegexFormula::pattern("(ab)*");
+        assert!(g.accepts(b"abab"));
+        assert!(!g.accepts(b"aba"));
+        assert!(g.accepts(b""));
+    }
+
+    #[test]
+    fn capture_of_whole_document() {
+        let g = RegexFormula::capture("x", RegexFormula::any_star());
+        let r = g.evaluate(b"ab");
+        assert_eq!(r.schema, vec!["x"]);
+        assert_eq!(r.len(), 1);
+        assert!(r.tuples.contains(&vec![Span::new(0, 2)]));
+    }
+
+    #[test]
+    fn extractor_finds_all_occurrences() {
+        // γ(x) := Σ*·x{ab}·Σ* on "abab": occurrences at [0,2⟩ and [2,4⟩.
+        let g = RegexFormula::extractor(RegexFormula::capture("x", RegexFormula::pattern("ab")));
+        let r = g.evaluate(b"abab");
+        assert_eq!(r.len(), 2);
+        assert!(r.tuples.contains(&vec![Span::new(0, 2)]));
+        assert!(r.tuples.contains(&vec![Span::new(2, 4)]));
+    }
+
+    #[test]
+    fn intro_misspelling_example() {
+        // The paper's intro: γ(x) := Σ*·x{acheive ∨ wether}·Σ*.
+        let g = RegexFormula::extractor(RegexFormula::capture(
+            "x",
+            RegexFormula::alt([
+                RegexFormula::pattern("acheive"),
+                RegexFormula::pattern("wether"),
+            ]),
+        ));
+        let doc = b"i acheive it wether or not";
+        let r = g.evaluate(doc);
+        assert_eq!(r.len(), 2);
+        let contents: Vec<Vec<u8>> = r
+            .tuples
+            .iter()
+            .map(|t| t[0].content(doc).to_vec())
+            .collect();
+        assert!(contents.contains(&b"acheive".to_vec()));
+        assert!(contents.contains(&b"wether".to_vec()));
+    }
+
+    #[test]
+    fn two_variable_split() {
+        // x{Σ*}·y{Σ*}: all 2-splits of the document.
+        let g = RegexFormula::cat([
+            RegexFormula::capture("x", RegexFormula::any_star()),
+            RegexFormula::capture("y", RegexFormula::any_star()),
+        ]);
+        let r = g.evaluate(b"abc");
+        assert_eq!(r.len(), 4); // split positions 0..=3
+        assert_eq!(r.schema, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn functionality_violations_detected() {
+        // Same variable twice in a concatenation.
+        let bad = RegexFormula::cat([
+            RegexFormula::capture("x", RegexFormula::pattern("a")),
+            RegexFormula::capture("x", RegexFormula::pattern("b")),
+        ]);
+        assert!(bad.check_functional().is_err());
+        // Union branches binding different variables.
+        let bad = RegexFormula::alt([
+            RegexFormula::capture("x", RegexFormula::pattern("a")),
+            RegexFormula::pattern("b"),
+        ]);
+        assert!(bad.check_functional().is_err());
+        // Star body with a variable.
+        let bad = Rc::new(RegexFormula::Star(RegexFormula::capture(
+            "x",
+            RegexFormula::pattern("a"),
+        )));
+        assert!(bad.check_functional().is_err());
+        // Nested same-name capture.
+        let bad = RegexFormula::capture("x", RegexFormula::capture("x", RegexFormula::pattern("a")));
+        assert!(bad.check_functional().is_err());
+    }
+
+    #[test]
+    fn union_branches_with_same_vars_are_fine() {
+        let g = RegexFormula::alt([
+            RegexFormula::capture("x", RegexFormula::pattern("a")),
+            RegexFormula::capture("x", RegexFormula::pattern("bb")),
+        ]);
+        assert!(g.check_functional().is_ok());
+        let r = g.evaluate(b"bb");
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn empty_formula_and_empty_doc() {
+        assert!(!RegexFormula::Empty.accepts(b""));
+        assert!(RegexFormula::Epsilon.accepts(b""));
+        assert!(!RegexFormula::Epsilon.accepts(b"a"));
+        let g = RegexFormula::capture("x", Rc::new(RegexFormula::Epsilon));
+        let r = g.evaluate(b"");
+        assert_eq!(r.len(), 1);
+        assert!(r.tuples.contains(&vec![Span::new(0, 0)]));
+    }
+
+    #[test]
+    fn memoization_shares_results() {
+        // (ab)* under extractor on a longer doc — exercises the memo.
+        let g = RegexFormula::extractor(RegexFormula::capture("x", RegexFormula::pattern("(ab)+")));
+        let doc = b"ababab";
+        let r = g.evaluate(doc);
+        // occurrences of (ab)+ as factors: [0,2),[0,4),[0,6),[2,4),[2,6),[4,6)
+        assert_eq!(r.len(), 6);
+    }
+}
+
+impl RegexFormula {
+    /// Converts a **variable-free** formula into a plain `fc_reglang`
+    /// regex (`AnySym` becomes the union over `alphabet`). Returns `None`
+    /// if the formula binds variables — captures have no regex counterpart.
+    ///
+    /// This is the bridge that lets Boolean spanner queries reuse the DFA
+    /// pipeline (compile once, run in O(|doc|)).
+    pub fn to_plain_regex(&self, alphabet: &[u8]) -> Option<Rc<Regex>> {
+        match self {
+            RegexFormula::Empty => Some(Regex::empty()),
+            RegexFormula::Epsilon => Some(Regex::epsilon()),
+            RegexFormula::Sym(c) => Some(Regex::sym(*c)),
+            RegexFormula::AnySym => Some(Regex::union_all(
+                alphabet.iter().map(|&a| Regex::sym(a)),
+            )),
+            RegexFormula::Concat(l, r) => Some(Regex::concat(
+                l.to_plain_regex(alphabet)?,
+                r.to_plain_regex(alphabet)?,
+            )),
+            RegexFormula::Union(l, r) => Some(Regex::union(
+                l.to_plain_regex(alphabet)?,
+                r.to_plain_regex(alphabet)?,
+            )),
+            RegexFormula::Star(i) => Some(Regex::star(i.to_plain_regex(alphabet)?)),
+            RegexFormula::Capture(..) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod regex_bridge_tests {
+    use super::*;
+    use fc_reglang::Dfa;
+    use fc_words::Alphabet;
+
+    #[test]
+    fn variable_free_formulas_compile_to_dfas() {
+        let sigma = Alphabet::ab();
+        let formulas = [
+            RegexFormula::pattern("(a|b)*abb"),
+            RegexFormula::extractor(RegexFormula::pattern("aa")),
+            RegexFormula::any_star(),
+        ];
+        for f in &formulas {
+            let re = f.to_plain_regex(b"ab").expect("variable-free");
+            let dfa = Dfa::from_regex(&re, b"ab");
+            for w in sigma.words_up_to(6) {
+                assert_eq!(f.accepts(w.bytes()), dfa.accepts(w.bytes()), "w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn captures_have_no_plain_regex() {
+        let f = RegexFormula::capture("x", RegexFormula::pattern("a"));
+        assert!(f.to_plain_regex(b"ab").is_none());
+    }
+}

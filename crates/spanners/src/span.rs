@@ -1,0 +1,177 @@
+//! Spans and span relations.
+//!
+//! A *span* `[i, j⟩` of a document `d` (0-based, half-open, `i ≤ j ≤ |d|`)
+//! identifies the occurrence `d[i..j]`. A *span relation* is a set of
+//! tuples of spans under a fixed variable schema — the output type of
+//! spanners.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A span `[start, end⟩` with `start ≤ end`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Span {
+    /// Inclusive start position.
+    pub start: usize,
+    /// Exclusive end position.
+    pub end: usize,
+}
+
+impl Span {
+    /// Constructs a span; panics if `start > end`.
+    pub fn new(start: usize, end: usize) -> Span {
+        assert!(start <= end, "invalid span [{start}, {end}⟩");
+        Span { start, end }
+    }
+
+    /// The spanned content of `doc`.
+    pub fn content<'d>(&self, doc: &'d [u8]) -> &'d [u8] {
+        &doc[self.start..self.end]
+    }
+
+    /// Length of the span.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` iff the span is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}⟩", self.start, self.end)
+    }
+}
+
+/// A span relation: a schema (sorted variable names) plus a set of tuples,
+/// each tuple assigning one span per schema variable (positionally).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRelation {
+    /// Variable names, sorted; tuples are ordered accordingly.
+    pub schema: Vec<String>,
+    /// The tuples.
+    pub tuples: BTreeSet<Vec<Span>>,
+}
+
+impl SpanRelation {
+    /// The empty relation over a schema.
+    pub fn empty(schema: impl IntoIterator<Item = String>) -> SpanRelation {
+        let mut schema: Vec<String> = schema.into_iter().collect();
+        schema.sort();
+        schema.dedup();
+        SpanRelation { schema, tuples: BTreeSet::new() }
+    }
+
+    /// The Boolean relation {⟨⟩} (schema-less, non-empty) — "true".
+    pub fn unit() -> SpanRelation {
+        let mut tuples = BTreeSet::new();
+        tuples.insert(Vec::new());
+        SpanRelation { schema: Vec::new(), tuples }
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `true` iff the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Index of a variable in the schema.
+    pub fn index_of(&self, var: &str) -> Option<usize> {
+        self.schema.iter().position(|v| v == var)
+    }
+
+    /// Inserts a tuple given as (var, span) pairs; missing/extra variables
+    /// are an error.
+    pub fn insert_named(&mut self, assignment: &[(&str, Span)]) {
+        assert_eq!(assignment.len(), self.schema.len(), "arity mismatch");
+        let mut tuple = vec![Span::new(0, 0); self.schema.len()];
+        for (var, span) in assignment {
+            let idx = self
+                .index_of(var)
+                .unwrap_or_else(|| panic!("variable {var} not in schema {:?}", self.schema));
+            tuple[idx] = *span;
+        }
+        self.tuples.insert(tuple);
+    }
+
+    /// Renders the relation contents against a document (for examples and
+    /// debugging).
+    pub fn render(&self, doc: &[u8]) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{:?}\n", self.schema));
+        for t in &self.tuples {
+            let cells: Vec<String> = t
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{}={:?}",
+                        s,
+                        String::from_utf8_lossy(s.content(doc))
+                    )
+                })
+                .collect();
+            out.push_str(&format!("  ({})\n", cells.join(", ")));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_basics() {
+        let s = Span::new(1, 4);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.content(b"abcdef"), b"bcd");
+        assert_eq!(Span::new(2, 2).content(b"abc"), b"");
+        assert_eq!(s.to_string(), "[1, 4⟩");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid span")]
+    fn invalid_span_panics() {
+        let _ = Span::new(3, 2);
+    }
+
+    #[test]
+    fn relation_schema_is_sorted() {
+        let r = SpanRelation::empty(["y".into(), "x".into(), "x".into()]);
+        assert_eq!(r.schema, vec!["x", "y"]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn insert_named_orders_by_schema() {
+        let mut r = SpanRelation::empty(["y".into(), "x".into()]);
+        r.insert_named(&[("y", Span::new(2, 3)), ("x", Span::new(0, 1))]);
+        let t = r.tuples.iter().next().unwrap();
+        assert_eq!(t[0], Span::new(0, 1)); // x first
+        assert_eq!(t[1], Span::new(2, 3));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn unit_is_boolean_true() {
+        let u = SpanRelation::unit();
+        assert!(!u.is_empty());
+        assert!(u.schema.is_empty());
+    }
+
+    #[test]
+    fn render_contains_contents() {
+        let mut r = SpanRelation::empty(["x".into()]);
+        r.insert_named(&[("x", Span::new(0, 2))]);
+        let text = r.render(b"abc");
+        assert!(text.contains("ab"), "{text}");
+    }
+}

@@ -1,0 +1,290 @@
+//! Variable-set automata (vset-automata) — the operational representation
+//! of regex formulas in the spanner literature (Fagin et al.).
+//!
+//! A vset-automaton is an ε-NFA whose transitions additionally carry
+//! *variable operations* `x⊢` (open) and `⊣x` (close). A run over a
+//! document is *valid* when every variable is opened exactly once and
+//! closed exactly once, after its opening; the assignment read off the
+//! markers is the output tuple.
+//!
+//! [`VSetAutomaton::compile`] performs the Thompson-style construction
+//! from a (functional) [`RegexFormula`]; [`VSetAutomaton::evaluate`]
+//! enumerates all valid runs by memoized search. The property suite
+//! cross-validates this backend against the direct AST matcher — the two
+//! implementations are independent, which is exactly what makes the
+//! cross-check meaningful.
+
+use crate::regex_formula::RegexFormula;
+use crate::span::{Span, SpanRelation};
+use std::collections::HashSet;
+
+/// A transition label.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum VLabel {
+    Eps,
+    Sym(u8),
+    Any,
+    Open(usize),
+    Close(usize),
+}
+
+/// A compiled vset-automaton.
+#[derive(Clone, Debug)]
+pub struct VSetAutomaton {
+    edges: Vec<Vec<(VLabel, usize)>>,
+    start: usize,
+    accept: usize,
+    /// Variable names, indexed by the ids used in Open/Close.
+    variables: Vec<String>,
+}
+
+impl VSetAutomaton {
+    /// Compiles a functional regex formula.
+    ///
+    /// # Panics
+    /// Panics if the formula is not functional.
+    pub fn compile(formula: &RegexFormula) -> VSetAutomaton {
+        formula
+            .check_functional()
+            .unwrap_or_else(|e| panic!("non-functional regex formula: {e}"));
+        let variables = formula.variables();
+        let mut a = VSetAutomaton {
+            edges: Vec::new(),
+            start: 0,
+            accept: 0,
+            variables: variables.clone(),
+        };
+        let (s, t) = a.build(formula);
+        a.start = s;
+        a.accept = t;
+        a
+    }
+
+    /// The automaton's variables (sorted, = the output schema).
+    pub fn variables(&self) -> &[String] {
+        &self.variables
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` iff the automaton has no states.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    fn var_id(&self, name: &str) -> usize {
+        self.variables.iter().position(|v| v == name).expect("known variable")
+    }
+
+    fn new_state(&mut self) -> usize {
+        self.edges.push(Vec::new());
+        self.edges.len() - 1
+    }
+
+    fn build(&mut self, f: &RegexFormula) -> (usize, usize) {
+        match f {
+            RegexFormula::Empty => {
+                let s = self.new_state();
+                let t = self.new_state();
+                (s, t)
+            }
+            RegexFormula::Epsilon => {
+                let s = self.new_state();
+                let t = self.new_state();
+                self.edges[s].push((VLabel::Eps, t));
+                (s, t)
+            }
+            RegexFormula::Sym(c) => {
+                let s = self.new_state();
+                let t = self.new_state();
+                self.edges[s].push((VLabel::Sym(*c), t));
+                (s, t)
+            }
+            RegexFormula::AnySym => {
+                let s = self.new_state();
+                let t = self.new_state();
+                self.edges[s].push((VLabel::Any, t));
+                (s, t)
+            }
+            RegexFormula::Concat(l, r) => {
+                let (ls, lt) = self.build(l);
+                let (rs, rt) = self.build(r);
+                self.edges[lt].push((VLabel::Eps, rs));
+                (ls, rt)
+            }
+            RegexFormula::Union(l, r) => {
+                let s = self.new_state();
+                let (ls, lt) = self.build(l);
+                let (rs, rt) = self.build(r);
+                let t = self.new_state();
+                self.edges[s].push((VLabel::Eps, ls));
+                self.edges[s].push((VLabel::Eps, rs));
+                self.edges[lt].push((VLabel::Eps, t));
+                self.edges[rt].push((VLabel::Eps, t));
+                (s, t)
+            }
+            RegexFormula::Star(inner) => {
+                let s = self.new_state();
+                let (is, it) = self.build(inner);
+                let t = self.new_state();
+                self.edges[s].push((VLabel::Eps, is));
+                self.edges[s].push((VLabel::Eps, t));
+                self.edges[it].push((VLabel::Eps, is));
+                self.edges[it].push((VLabel::Eps, t));
+                (s, t)
+            }
+            RegexFormula::Capture(x, inner) => {
+                let id = self.var_id(x);
+                let s = self.new_state();
+                let (is, it) = self.build(inner);
+                let t = self.new_state();
+                self.edges[s].push((VLabel::Open(id), is));
+                self.edges[it].push((VLabel::Close(id), t));
+                (s, t)
+            }
+        }
+    }
+
+    /// Enumerates all valid runs over `doc` and returns the span relation.
+    pub fn evaluate(&self, doc: &[u8]) -> SpanRelation {
+        let k = self.variables.len();
+        let mut relation = SpanRelation::empty(self.variables.iter().cloned());
+        // Search state: (automaton state, position, per-var open/close).
+        type Marks = Vec<(Option<usize>, Option<usize>)>;
+        let mut visited: HashSet<(usize, usize, Marks)> = HashSet::new();
+        let mut stack: Vec<(usize, usize, Marks)> =
+            vec![(self.start, 0, vec![(None, None); k])];
+        while let Some((q, pos, marks)) = stack.pop() {
+            if !visited.insert((q, pos, marks.clone())) {
+                continue;
+            }
+            if q == self.accept && pos == doc.len() {
+                if marks.iter().all(|&(o, c)| o.is_some() && c.is_some()) {
+                    let tuple: Vec<Span> = marks
+                        .iter()
+                        .map(|&(o, c)| Span::new(o.unwrap(), c.unwrap()))
+                        .collect();
+                    relation.tuples.insert(tuple);
+                }
+            }
+            for (label, t) in &self.edges[q] {
+                match label {
+                    VLabel::Eps => stack.push((*t, pos, marks.clone())),
+                    VLabel::Sym(c) => {
+                        if pos < doc.len() && doc[pos] == *c {
+                            stack.push((*t, pos + 1, marks.clone()));
+                        }
+                    }
+                    VLabel::Any => {
+                        if pos < doc.len() {
+                            stack.push((*t, pos + 1, marks.clone()));
+                        }
+                    }
+                    VLabel::Open(id) => {
+                        if marks[*id].0.is_none() {
+                            let mut m = marks.clone();
+                            m[*id].0 = Some(pos);
+                            stack.push((*t, pos, m));
+                        }
+                    }
+                    VLabel::Close(id) => {
+                        if marks[*id].0.is_some() && marks[*id].1.is_none() {
+                            let mut m = marks.clone();
+                            m[*id].1 = Some(pos);
+                            stack.push((*t, pos, m));
+                        }
+                    }
+                }
+            }
+        }
+        relation
+    }
+
+    /// Boolean acceptance through the automaton backend.
+    pub fn accepts(&self, doc: &[u8]) -> bool {
+        !self.evaluate(doc).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex_formula::RegexFormula as RF;
+    use fc_words::Alphabet;
+
+    fn cross_check(f: &RF, doc: &[u8]) {
+        let direct = f.evaluate(doc);
+        let automaton = VSetAutomaton::compile(f).evaluate(doc);
+        assert_eq!(direct, automaton, "doc={:?} f={f:?}", String::from_utf8_lossy(doc));
+    }
+
+    #[test]
+    fn agrees_with_ast_matcher_on_extractors() {
+        let f = RF::extractor(RF::capture("x", RF::pattern("ab")));
+        for doc in ["", "ab", "abab", "bba", "aabbaabb"] {
+            cross_check(&f, doc.as_bytes());
+        }
+    }
+
+    #[test]
+    fn agrees_on_two_variable_splits() {
+        let f = RF::cat([
+            RF::capture("x", RF::any_star()),
+            RF::capture("y", RF::any_star()),
+        ]);
+        for doc in ["", "a", "abc"] {
+            cross_check(&f, doc.as_bytes());
+        }
+    }
+
+    #[test]
+    fn agrees_on_unions_and_stars() {
+        let f = RF::cat([
+            RF::pattern("(a|b)*"),
+            RF::capture("x", RF::alt([RF::pattern("aa"), RF::pattern("bb")])),
+            RF::pattern("(a|b)*"),
+        ]);
+        for doc in ["aa", "abba", "abab", "bbaa"] {
+            cross_check(&f, doc.as_bytes());
+        }
+    }
+
+    #[test]
+    fn exhaustive_window_cross_validation() {
+        let sigma = Alphabet::ab();
+        let formulas = [
+            RF::extractor(RF::capture("x", RF::pattern("a+"))),
+            RF::cat([
+                RF::capture("x", RF::pattern("a*")),
+                RF::capture("y", RF::pattern("(ba)*")),
+            ]),
+            RF::capture("x", RF::cat([RF::capture("y", RF::any_star()), RF::any_star()])),
+        ];
+        for f in &formulas {
+            for w in sigma.words_up_to(5) {
+                cross_check(f, w.bytes());
+            }
+        }
+    }
+
+    #[test]
+    fn compile_rejects_nonfunctional() {
+        let bad = RF::cat([
+            RF::capture("x", RF::pattern("a")),
+            RF::capture("x", RF::pattern("b")),
+        ]);
+        let r = std::panic::catch_unwind(|| VSetAutomaton::compile(&bad));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn state_count_is_linear_in_formula() {
+        let f = RF::extractor(RF::capture("x", RF::pattern("(ab)+c?")));
+        let a = VSetAutomaton::compile(&f);
+        assert!(a.len() < 40, "blew up: {} states", a.len());
+        assert_eq!(a.variables(), &["x".to_string()]);
+    }
+}

@@ -1,0 +1,213 @@
+//! Property tests for the spanner stack: algebra laws, evaluation
+//! consistency, and regex-formula semantics on randomized documents.
+
+use fc_spanners::algebra::{difference, eq_select, join, project, union, universal};
+use fc_spanners::regex_formula::RegexFormula;
+use fc_spanners::span::{Span, SpanRelation};
+use fc_spanners::spanner::Spanner;
+use fc_words::Word;
+use proptest::prelude::*;
+use std::rc::Rc;
+
+fn doc(max_len: usize) -> impl Strategy<Value = Word> {
+    prop::collection::vec(prop::sample::select(vec![b'a', b'b']), 0..=max_len)
+        .prop_map(Word::from_bytes)
+}
+
+/// A random span relation over schema {x, y} with spans valid for `len`.
+fn relation(len: usize) -> impl Strategy<Value = SpanRelation> {
+    let span = (0..=len).prop_flat_map(move |i| (Just(i), i..=len)).prop_map(|(i, j)| Span::new(i, j));
+    prop::collection::btree_set((span.clone(), span), 0..8).prop_map(|tuples| {
+        let mut rel = SpanRelation::empty(["x".to_string(), "y".to_string()]);
+        for (sx, sy) in tuples {
+            rel.tuples.insert(vec![sx, sy]);
+        }
+        rel
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn union_laws(a in relation(5), b in relation(5)) {
+        prop_assert_eq!(union(&a, &b), union(&b, &a));
+        prop_assert_eq!(union(&a, &a), a.clone());
+        prop_assert!(union(&a, &b).len() <= a.len() + b.len());
+    }
+
+    #[test]
+    fn difference_laws(a in relation(5), b in relation(5)) {
+        let d = difference(&a, &b);
+        prop_assert!(d.len() <= a.len());
+        // a = (a ∖ b) ∪ (a ∩ b): reconstruct via difference twice.
+        let a_inter_b = difference(&a, &d);
+        prop_assert_eq!(union(&d, &a_inter_b), a.clone());
+        // Difference with self is empty.
+        prop_assert!(difference(&a, &a).is_empty());
+    }
+
+    #[test]
+    fn projection_laws(a in relation(5)) {
+        let px = project(&a, &["x"]);
+        prop_assert!(px.len() <= a.len());
+        // Projection is idempotent.
+        prop_assert_eq!(project(&px, &["x"]), px.clone());
+        // Projecting onto the full schema is the identity.
+        prop_assert_eq!(project(&a, &["x", "y"]), a.clone());
+    }
+
+    #[test]
+    fn join_with_universal_is_identity_like(a in relation(4), w in doc(4)) {
+        prop_assume!(a.tuples.iter().flatten().all(|s| s.end <= w.len()));
+        // Joining with Υ_{x} (all spans for x) keeps exactly the tuples
+        // whose x-span appears — i.e. everything.
+        let uni = universal(w.bytes(), &["x"]);
+        let j = join(&a, &uni);
+        prop_assert_eq!(j, a.clone());
+    }
+
+    #[test]
+    fn join_is_commutative_up_to_schema(a in relation(4), b in relation(4)) {
+        prop_assert_eq!(join(&a, &b), join(&b, &a));
+    }
+
+    #[test]
+    fn eq_select_is_a_filter(a in relation(4), w in doc(6)) {
+        prop_assume!(a.tuples.iter().flatten().all(|s| s.end <= w.len()));
+        let z = eq_select(&a, w.bytes(), "x", "y");
+        prop_assert!(z.len() <= a.len());
+        for t in &z.tuples {
+            prop_assert!(a.tuples.contains(t));
+            prop_assert_eq!(t[0].content(w.bytes()), t[1].content(w.bytes()));
+        }
+        // Idempotent.
+        prop_assert_eq!(eq_select(&z, w.bytes(), "x", "y"), z.clone());
+    }
+
+    #[test]
+    fn universal_spanner_has_expected_cardinality(w in doc(5), ) {
+        let n = w.len();
+        let spans = (n + 1) * (n + 2) / 2;
+        prop_assert_eq!(universal(w.bytes(), &["x"]).len(), spans);
+        prop_assert_eq!(universal(w.bytes(), &["x", "y"]).len(), spans * spans);
+    }
+
+    #[test]
+    fn extractor_spans_match_occurrences(w in doc(10)) {
+        // Σ*·x{ab}·Σ*: spans of "ab" = KMP occurrences.
+        let g = RegexFormula::extractor(RegexFormula::capture("x", RegexFormula::pattern("ab")));
+        let rel = g.evaluate(w.bytes());
+        let occurrences = fc_words::search::find_all(w.bytes(), b"ab");
+        prop_assert_eq!(rel.len(), occurrences.len(), "w={}", w);
+        for t in &rel.tuples {
+            prop_assert!(occurrences.contains(&t[0].start));
+            prop_assert_eq!(t[0].len(), 2);
+        }
+    }
+
+    #[test]
+    fn two_split_has_len_plus_one_tuples(w in doc(8)) {
+        let g = RegexFormula::cat([
+            RegexFormula::capture("x", RegexFormula::any_star()),
+            RegexFormula::capture("y", RegexFormula::any_star()),
+        ]);
+        prop_assert_eq!(g.evaluate(w.bytes()).len(), w.len() + 1);
+    }
+
+    #[test]
+    fn boolean_spanner_union_or(w in doc(6)) {
+        let has_aa = Spanner::regex(RegexFormula::extractor(RegexFormula::pattern("aa")));
+        let has_bb = Spanner::regex(RegexFormula::extractor(RegexFormula::pattern("bb")));
+        let either = Rc::new(Spanner::Union(has_aa.clone(), has_bb.clone()));
+        prop_assert_eq!(
+            either.accepts(w.bytes()),
+            has_aa.accepts(w.bytes()) || has_bb.accepts(w.bytes())
+        );
+        let both = Rc::new(Spanner::Join(has_aa.clone(), has_bb.clone()));
+        prop_assert_eq!(
+            both.accepts(w.bytes()),
+            has_aa.accepts(w.bytes()) && has_bb.accepts(w.bytes())
+        );
+    }
+
+    #[test]
+    fn eq_select_spanner_matches_direct_square_test(w in doc(8)) {
+        let s = Spanner::eq_select(
+            "x",
+            "y",
+            Spanner::regex(RegexFormula::cat([
+                RegexFormula::capture("x", RegexFormula::any_star()),
+                RegexFormula::capture("y", RegexFormula::any_star()),
+            ])),
+        );
+        let direct = w.len() % 2 == 0 && {
+            let (a, b) = w.bytes().split_at(w.len() / 2);
+            a == b
+        };
+        prop_assert_eq!(s.accepts(w.bytes()), direct, "w={}", w);
+    }
+}
+
+/// Random spanner expressions over two fixed leaves (schemas {x,y} and
+/// {y,z}) — closures excluded so everything is structurally comparable.
+fn spanner_expr() -> impl Strategy<Value = Rc<Spanner>> {
+    let leaf_xy = Spanner::regex(RegexFormula::cat([
+        RegexFormula::capture("x", RegexFormula::any_star()),
+        RegexFormula::capture("y", RegexFormula::any_star()),
+    ]));
+    let leaf_yz = Spanner::regex(RegexFormula::cat([
+        RegexFormula::capture("y", RegexFormula::any_star()),
+        RegexFormula::capture("z", RegexFormula::any_star()),
+    ]));
+    let leaf = prop_oneof![Just(leaf_xy), Just(leaf_yz)];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Rc::new(Spanner::Join(a, b))),
+            inner.clone().prop_map(|a| Rc::new(Spanner::Union(a.clone(), a))),
+            inner.clone().prop_map(|a| {
+                let schema = a.schema();
+                let keep: Vec<String> = schema.into_iter().take(1).collect();
+                Rc::new(Spanner::Project(keep, a))
+            }),
+            inner.clone().prop_map(|a| {
+                let schema = a.schema();
+                let x = schema[0].clone();
+                let y = schema.last().unwrap().clone();
+                Rc::new(Spanner::EqSelect(x, y, a))
+            }),
+            inner.clone().prop_map(|a| Rc::new(Spanner::Difference(a.clone(), a))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn optimizer_preserves_semantics_on_random_expressions(s in spanner_expr(), w in doc(5)) {
+        let optimized = fc_spanners::optimize::optimize(&s);
+        prop_assert_eq!(
+            s.evaluate(w.bytes()),
+            optimized.evaluate(w.bytes()),
+            "w={} original={:?} optimized={:?}", w, s, optimized
+        );
+    }
+
+    #[test]
+    fn vset_backend_agrees_on_random_leaf_formulas(w in doc(6)) {
+        use fc_spanners::vset_automaton::VSetAutomaton;
+        let formulas = [
+            RegexFormula::extractor(RegexFormula::capture("x", RegexFormula::pattern("a+"))),
+            RegexFormula::cat([
+                RegexFormula::capture("x", RegexFormula::pattern("(ab)*")),
+                RegexFormula::capture("y", RegexFormula::any_star()),
+            ]),
+        ];
+        for f in &formulas {
+            let direct = f.evaluate(w.bytes());
+            let vset = VSetAutomaton::compile(f).evaluate(w.bytes());
+            prop_assert_eq!(direct, vset, "w={} f={:?}", w, f);
+        }
+    }
+}

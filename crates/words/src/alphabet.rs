@@ -1,0 +1,182 @@
+//! Finite terminal alphabets Σ.
+//!
+//! The paper fixes a finite alphabet Σ = {a₁, …, a_m}; the signature τ_Σ then
+//! has one constant per letter plus ε. [`Alphabet`] is the ordered, duplicate-
+//! free set of letters used to build factor structures and to enumerate Σ^{≤n}.
+
+use crate::word::Word;
+
+/// An ordered, duplicate-free terminal alphabet.
+///
+/// # Examples
+///
+/// ```
+/// use fc_words::Alphabet;
+/// let sigma = Alphabet::from_symbols(b"ab");
+/// assert_eq!(sigma.len(), 2);
+/// assert!(sigma.contains(b'a'));
+/// assert_eq!(sigma.words_up_to(2).count(), 1 + 2 + 4);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Alphabet {
+    symbols: Vec<u8>,
+}
+
+impl Alphabet {
+    /// Builds an alphabet from the given symbols (sorted, deduplicated).
+    pub fn from_symbols(symbols: &[u8]) -> Self {
+        let mut s = symbols.to_vec();
+        s.sort_unstable();
+        s.dedup();
+        Alphabet { symbols: s }
+    }
+
+    /// The binary alphabet {a, b}.
+    pub fn ab() -> Self {
+        Alphabet::from_symbols(b"ab")
+    }
+
+    /// The ternary alphabet {a, b, c}.
+    pub fn abc() -> Self {
+        Alphabet::from_symbols(b"abc")
+    }
+
+    /// The unary alphabet {a}.
+    pub fn unary() -> Self {
+        Alphabet::from_symbols(b"a")
+    }
+
+    /// Number of letters |Σ|.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// `true` iff the alphabet is empty (degenerate, but allowed).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// The letters, in sorted order.
+    #[inline]
+    pub fn symbols(&self) -> &[u8] {
+        &self.symbols
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, sym: u8) -> bool {
+        self.symbols.binary_search(&sym).is_ok()
+    }
+
+    /// The smallest alphabet containing every symbol of `w` (and of `self`).
+    pub fn extended_by(&self, w: &Word) -> Alphabet {
+        let mut s = self.symbols.clone();
+        s.extend_from_slice(w.bytes());
+        Alphabet::from_symbols(&s)
+    }
+
+    /// Iterates over all words of length exactly `n`, in lexicographic order.
+    pub fn words_of_len(&self, n: usize) -> impl Iterator<Item = Word> + '_ {
+        WordsOfLen {
+            alphabet: self,
+            indices: vec![0; n],
+            done: self.symbols.is_empty() && n > 0,
+        }
+    }
+
+    /// Iterates over all words of length ≤ `n` (ε first, then by length).
+    pub fn words_up_to(&self, n: usize) -> impl Iterator<Item = Word> + '_ {
+        (0..=n).flat_map(move |len| self.words_of_len(len))
+    }
+}
+
+struct WordsOfLen<'a> {
+    alphabet: &'a Alphabet,
+    indices: Vec<usize>,
+    done: bool,
+}
+
+impl Iterator for WordsOfLen<'_> {
+    type Item = Word;
+
+    fn next(&mut self) -> Option<Word> {
+        if self.done {
+            return None;
+        }
+        let syms = &self.alphabet.symbols;
+        let word: Vec<u8> = self.indices.iter().map(|&i| syms[i]).collect();
+        // Advance the odometer.
+        let mut pos = self.indices.len();
+        loop {
+            if pos == 0 {
+                self.done = true;
+                break;
+            }
+            pos -= 1;
+            self.indices[pos] += 1;
+            if self.indices[pos] < syms.len() {
+                break;
+            }
+            self.indices[pos] = 0;
+        }
+        Some(Word::from_bytes(word))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_dedups_and_sorts() {
+        let s = Alphabet::from_symbols(b"bab");
+        assert_eq!(s.symbols(), b"ab");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn membership() {
+        let s = Alphabet::abc();
+        assert!(s.contains(b'a') && s.contains(b'b') && s.contains(b'c'));
+        assert!(!s.contains(b'd'));
+    }
+
+    #[test]
+    fn enumeration_counts() {
+        let s = Alphabet::ab();
+        assert_eq!(s.words_of_len(0).count(), 1);
+        assert_eq!(s.words_of_len(3).count(), 8);
+        assert_eq!(s.words_up_to(3).count(), 1 + 2 + 4 + 8);
+    }
+
+    #[test]
+    fn enumeration_order_is_lexicographic() {
+        let s = Alphabet::ab();
+        let words: Vec<String> = s.words_of_len(2).map(|w| w.as_str().to_string()).collect();
+        assert_eq!(words, vec!["aa", "ab", "ba", "bb"]);
+    }
+
+    #[test]
+    fn unary_enumeration() {
+        let s = Alphabet::unary();
+        let words: Vec<Word> = s.words_up_to(3).collect();
+        assert_eq!(words.len(), 4);
+        assert_eq!(words[3].as_str(), "aaa");
+    }
+
+    #[test]
+    fn empty_alphabet_edge_cases() {
+        let s = Alphabet::from_symbols(b"");
+        assert!(s.is_empty());
+        assert_eq!(s.words_of_len(0).count(), 1); // just ε
+        assert_eq!(s.words_of_len(1).count(), 0);
+    }
+
+    #[test]
+    fn extension() {
+        let s = Alphabet::unary().extended_by(&Word::from("cb"));
+        assert_eq!(s.symbols(), b"abc");
+    }
+}

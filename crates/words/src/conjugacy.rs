@@ -1,0 +1,217 @@
+//! Conjugacy and co-primitivity.
+//!
+//! Two words `w, v` are *conjugate* if `w = x·y` and `v = y·x` for some
+//! `x, y`. Two words are *co-primitive* (paper, §4.3) if both are primitive
+//! and they are **not** conjugate. Lemma 4.12 shows co-primitivity is exactly
+//! the condition under which the common factors of `wⁿ` and `vᵐ` stabilise
+//! (equivalently, have bounded length), which is what the Fooling Lemma
+//! needs in order to apply the Pseudo-Congruence Lemma at the `u^p·w₂·v^f(p)`
+//! junction.
+
+use crate::factors::{common_factors, max_common_factor_len};
+use crate::primitivity::is_primitive;
+use crate::search;
+use crate::word::Word;
+
+/// `true` iff `w` and `v` are conjugate (cyclic rotations of each other).
+///
+/// Classic O(n) test: `|w| = |v|` and `v ⊑ w·w`.
+pub fn are_conjugate(w: &[u8], v: &[u8]) -> bool {
+    if w.len() != v.len() {
+        return false;
+    }
+    if w.is_empty() {
+        return true;
+    }
+    let ww = [w, w].concat();
+    search::contains(&ww, v)
+}
+
+/// `true` iff `w` and `v` are co-primitive: both primitive and not conjugate.
+///
+/// # Examples
+///
+/// ```
+/// use fc_words::conjugacy::are_coprimitive;
+/// assert!(are_coprimitive(b"aba", b"bba"));
+/// // aabba and aaabb are conjugate, hence not co-primitive:
+/// assert!(!are_coprimitive(b"aabba", b"aaabb"));
+/// ```
+pub fn are_coprimitive(w: &[u8], v: &[u8]) -> bool {
+    is_primitive(w) && is_primitive(v) && !are_conjugate(w, v)
+}
+
+/// For co-primitive `w, v`, an upper bound `r` on the length of any word in
+/// `Facs(wⁿ) ∩ Facs(vᵐ)` over **all** `n, m` (Lemma 4.12 (3)).
+///
+/// By the periodicity lemma, a common factor of `w^ω` and `v^ω` of length
+/// ≥ `|w| + |v| − 1` would force conjugacy, so `r = |w| + |v| − 2` is a
+/// sound bound for co-primitive pairs.
+///
+/// Returns `None` if the pair is not co-primitive (then no bound exists
+/// unless one of the words is a power of the other's conjugate, etc.).
+pub fn common_factor_bound(w: &[u8], v: &[u8]) -> Option<usize> {
+    if are_coprimitive(w, v) {
+        Some(w.len() + v.len() - 2)
+    } else {
+        None
+    }
+}
+
+/// Lemma 4.12 (2): for co-primitive `w, v` there are `n₀, m₀` such that
+/// `Facs(w^{n₀}) ∩ Facs(v^{m₀})` equals `Facs(wⁿ) ∩ Facs(vᵐ)` for all larger
+/// `n, m`. Computes the *stable* common-factor set by taking exponents large
+/// enough that every common factor (length ≤ `|w|+|v|−2`) already appears.
+///
+/// # Panics
+/// Panics if `w, v` are not co-primitive.
+pub fn stable_common_factors(w: &[u8], v: &[u8]) -> Vec<Word> {
+    let r = common_factor_bound(w, v).expect("stable_common_factors requires a co-primitive pair");
+    // Exponents big enough that all factors of length ≤ r of the ω-words
+    // appear: (r / |w|) + 2 copies suffice.
+    let n0 = r / w.len() + 2;
+    let m0 = r / v.len() + 2;
+    let wn = Word::from(w).pow(n0);
+    let vm = Word::from(v).pow(m0);
+    common_factors(wn.bytes(), vm.bytes())
+}
+
+/// Executable check of Lemma 4.12's equivalence (2)⇔(1) on an instance:
+/// verifies that for co-primitive `w, v` the common factor set stops growing
+/// beyond the stabilisation exponents (tested up to `extra` additional
+/// copies), and that for conjugate primitive pairs it keeps growing.
+pub fn check_stabilisation(w: &[u8], v: &[u8], extra: usize) -> bool {
+    if are_coprimitive(w, v) {
+        let r = common_factor_bound(w, v).unwrap();
+        let n0 = r / w.len() + 2;
+        let m0 = r / v.len() + 2;
+        let base = stable_common_factors(w, v);
+        for dn in 0..=extra {
+            for dm in 0..=extra {
+                let wn = Word::from(w).pow(n0 + dn);
+                let vm = Word::from(v).pow(m0 + dm);
+                if common_factors(wn.bytes(), vm.bytes()) != base {
+                    return false;
+                }
+            }
+        }
+        true
+    } else if is_primitive(w) && is_primitive(v) {
+        // Conjugate primitive pair: common factor length grows with m.
+        let mut prev = 0usize;
+        let mut grew = false;
+        for m in 1..=(extra + 2) {
+            let wm = Word::from(w).pow(m);
+            let vm = Word::from(v).pow(m);
+            let l = max_common_factor_len(wm.bytes(), vm.bytes());
+            if l > prev {
+                grew = true;
+            }
+            prev = l;
+        }
+        grew
+    } else {
+        true // lemma's hypotheses not met
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+
+    fn naive_conjugate(w: &[u8], v: &[u8]) -> bool {
+        Word::from(w).conjugates().contains(&Word::from(v))
+    }
+
+    #[test]
+    fn conjugacy_examples_from_paper() {
+        // aabba = xy, aaabb = yx with x = aabb, y = a.
+        assert!(are_conjugate(b"aabba", b"aaabb"));
+        assert!(!are_conjugate(b"aba", b"bba"));
+        assert!(are_conjugate(b"", b""));
+        assert!(are_conjugate(b"ab", b"ba"));
+        assert!(!are_conjugate(b"ab", b"a"));
+    }
+
+    #[test]
+    fn conjugacy_matches_naive() {
+        let sigma = Alphabet::ab();
+        let words: Vec<Word> = sigma.words_up_to(7).collect();
+        for w in &words {
+            for v in &words {
+                assert_eq!(
+                    are_conjugate(w.bytes(), v.bytes()),
+                    naive_conjugate(w.bytes(), v.bytes()),
+                    "w={w} v={v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coprimitivity_examples_from_paper() {
+        // §4.3 example: u' = aba and v' = bba are co-primitive.
+        assert!(are_coprimitive(b"aba", b"bba"));
+        // aabba / aaabb: primitive but conjugate.
+        assert!(!are_coprimitive(b"aabba", b"aaabb"));
+        // L5's blocks are co-primitive.
+        assert!(are_coprimitive(b"abaabb", b"bbaaba"));
+        // a and b are co-primitive (distinct letters).
+        assert!(are_coprimitive(b"a", b"b"));
+        // a is conjugate to itself.
+        assert!(!are_coprimitive(b"a", b"a"));
+        // imprimitive words are never co-primitive.
+        assert!(!are_coprimitive(b"abab", b"bba"));
+    }
+
+    #[test]
+    fn common_factor_bound_is_respected() {
+        let pairs: [(&[u8], &[u8]); 3] = [(b"aba", b"bba"), (b"abaabb", b"bbaaba"), (b"a", b"b")];
+        for (w, v) in pairs {
+            let r = common_factor_bound(w, v).unwrap();
+            for n in 1..=4usize {
+                for m in 1..=4usize {
+                    let wn = Word::from(w).pow(n);
+                    let vm = Word::from(v).pow(m);
+                    let l = max_common_factor_len(wn.bytes(), vm.bytes());
+                    assert!(l <= r, "w={:?} v={:?} n={n} m={m}: {l} > {r}", w, v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stable_common_factors_of_a_and_b() {
+        // Facs(aⁿ) ∩ Facs(bᵐ) = {ε} for all n, m ≥ 1.
+        let s = stable_common_factors(b"a", b"b");
+        assert_eq!(s, vec![Word::epsilon()]);
+    }
+
+    #[test]
+    fn stabilisation_check() {
+        assert!(check_stabilisation(b"aba", b"bba", 2));
+        assert!(check_stabilisation(b"abaabb", b"bbaaba", 2));
+        assert!(check_stabilisation(b"a", b"b", 3));
+        // Conjugate primitive pair: factors keep growing.
+        assert!(check_stabilisation(b"ab", b"ba", 3));
+    }
+
+    #[test]
+    fn coprimitive_pairs_exhaustive_consistency() {
+        // For every pair of primitive words up to length 4:
+        // co-primitive ⟺ bounded common ω-factors (Lemma 4.12 (1)⇔(3)).
+        let sigma = Alphabet::ab();
+        let prims: Vec<Word> = sigma
+            .words_up_to(4)
+            .filter(|w| crate::primitivity::is_primitive(w.bytes()))
+            .collect();
+        for w in &prims {
+            for v in &prims {
+                let cop = are_coprimitive(w.bytes(), v.bytes());
+                let l = crate::periodicity::longest_common_omega_factor(w.bytes(), v.bytes());
+                assert_eq!(cop, l != usize::MAX, "w={w} v={v} l={l}");
+            }
+        }
+    }
+}

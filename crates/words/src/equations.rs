@@ -1,0 +1,174 @@
+//! Elementary word equations: commutation and conjugacy, executably.
+//!
+//! The paper's proofs repeatedly invoke Lothaire's Proposition 1.3.2
+//! ("defect theorem" for two words): if `u·v = v·u` then `u` and `v` are
+//! powers of a common word. Claim C.1 (bounded-star translation) and the
+//! interior-occurrence lemma both reduce to it. This module provides the
+//! *constructive* versions — returning the common root — plus the
+//! Lyndon–Schützenberger conjugacy solution `uz = zv ⟺ u = xy, v = yx,
+//! z ∈ x(yx)*`.
+
+use crate::periodicity::gcd;
+use crate::primitivity::primitive_root;
+use crate::word::Word;
+
+/// If `u·v = v·u`, returns the common primitive root `t` (with `u = tⁱ`,
+/// `v = tʲ`); otherwise `None`. For `u = v = ε` the root is ε.
+pub fn commutation_root(u: &[u8], v: &[u8]) -> Option<Word> {
+    let uv = [u, v].concat();
+    let vu = [v, u].concat();
+    if uv != vu {
+        return None;
+    }
+    if u.is_empty() && v.is_empty() {
+        return Some(Word::epsilon());
+    }
+    // Common root = primitive root of the non-empty one (or either);
+    // its length divides gcd(|u|, |v|).
+    let base = if u.is_empty() { v } else { u };
+    let (root, _) = primitive_root(base);
+    debug_assert!(u.is_empty() || v.is_empty() || {
+        let g = gcd(u.len(), v.len());
+        root.len() <= g && g % root.len() == 0
+    });
+    Some(root)
+}
+
+/// Exponent pair: `u = root^i`, `v = root^j` for the commutation root.
+pub fn commutation_exponents(u: &[u8], v: &[u8]) -> Option<(Word, usize, usize)> {
+    let root = commutation_root(u, v)?;
+    if root.is_empty() {
+        return Some((root, 0, 0));
+    }
+    Some((root.clone(), u.len() / root.len(), v.len() / root.len()))
+}
+
+/// Solves the conjugacy equation `u·z = z·v` for given `u, v, z`:
+/// returns the Lyndon–Schützenberger decomposition `(x, y)` with
+/// `u = x·y`, `v = y·x` and `z ∈ x·(y·x)*`, if the equation holds.
+pub fn conjugacy_decomposition(u: &[u8], v: &[u8], z: &[u8]) -> Option<(Word, Word)> {
+    let lhs = [u, z].concat();
+    let rhs = [z, v].concat();
+    if lhs != rhs || u.len() != v.len() {
+        return None;
+    }
+    if u.is_empty() {
+        return Some((Word::epsilon(), Word::epsilon()));
+    }
+    // x is the prefix of z of length |z| mod |u| … more precisely:
+    // z = x (y x)^k with |x| = |z| mod |u| when x ≠ z-aligned; derive x
+    // directly: x = z[..r] with r = |z| mod |u|, y = u[r..]… validate.
+    let r = z.len() % u.len();
+    let x = Word::from(&z[..r.min(z.len())]);
+    let y = Word::from(&u[r.min(u.len())..]);
+    // Validate u = x·y, v = y·x, z = x·(y·x)^k.
+    let k = z.len() / u.len();
+    let mut rebuilt = x.clone();
+    for _ in 0..k {
+        rebuilt = rebuilt.concat(&y).concat(&x);
+    }
+    if x.concat(&y).bytes() == u && y.concat(&x).bytes() == v && rebuilt.bytes() == z {
+        Some((x, y))
+    } else {
+        None
+    }
+}
+
+/// The claim inside Claim C.1, constructively: if `x = w·z` and `x = z·w`
+/// then `x ∈ t*` for the primitive root `t` of `w` — returns the exponent
+/// `e` with `x = tᵉ`, or `None` when the premises fail.
+pub fn claim_c1_exponent(w: &[u8], z: &[u8], x: &[u8]) -> Option<usize> {
+    let wz = [w, z].concat();
+    let zw = [z, w].concat();
+    if wz != x || zw != x {
+        return None;
+    }
+    let root = commutation_root(w, z)?;
+    if root.is_empty() {
+        return Some(0);
+    }
+    Some(x.len() / root.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+
+    #[test]
+    fn commuting_words_share_a_root() {
+        let root = commutation_root(b"abab", b"ab").unwrap();
+        assert_eq!(root.as_str(), "ab");
+        let (_, i, j) = commutation_exponents(b"abab", b"ab").unwrap();
+        assert_eq!((i, j), (2, 1));
+        assert!(commutation_root(b"ab", b"ba").is_none());
+        assert_eq!(commutation_root(b"", b"").unwrap(), Word::epsilon());
+        // ε commutes with everything; root is the other word's root.
+        assert_eq!(commutation_root(b"", b"aa").unwrap().as_str(), "a");
+    }
+
+    #[test]
+    fn commutation_exhaustive_against_definition() {
+        let sigma = Alphabet::ab();
+        for u in sigma.words_up_to(5) {
+            for v in sigma.words_up_to(5) {
+                let uv = u.concat(&v);
+                let vu = v.concat(&u);
+                match commutation_exponents(u.bytes(), v.bytes()) {
+                    Some((root, i, j)) => {
+                        assert_eq!(uv, vu, "u={u} v={v}");
+                        assert_eq!(root.pow(i), u, "u={u}");
+                        assert_eq!(root.pow(j), v, "v={v}");
+                    }
+                    None => assert_ne!(uv, vu, "u={u} v={v}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conjugacy_equation_solutions() {
+        // u = ab, v = ba, z = a: ab·a = a·ba ✓; x = a, y = b.
+        let (x, y) = conjugacy_decomposition(b"ab", b"ba", b"a").unwrap();
+        assert_eq!((x.as_str(), y.as_str()), ("a", "b"));
+        // z longer: z = aba: ab·aba = aba·ba ✓.
+        let (x, y) = conjugacy_decomposition(b"ab", b"ba", b"aba").unwrap();
+        assert_eq!((x.as_str(), y.as_str()), ("a", "b"));
+        // Non-solutions.
+        assert!(conjugacy_decomposition(b"ab", b"ab", b"b").is_none());
+        assert!(conjugacy_decomposition(b"ab", b"ba", b"b").is_none());
+    }
+
+    #[test]
+    fn conjugacy_exhaustive() {
+        let sigma = Alphabet::ab();
+        for u in sigma.words_up_to(3) {
+            for v in sigma.words_up_to(3) {
+                for z in sigma.words_up_to(4) {
+                    let holds = u.concat(&z) == z.concat(&v);
+                    let sol = conjugacy_decomposition(u.bytes(), v.bytes(), z.bytes());
+                    if holds && u.len() == v.len() {
+                        let (x, y) = sol.unwrap_or_else(|| {
+                            panic!("uz = zv but no decomposition: u={u} v={v} z={z}")
+                        });
+                        assert_eq!(x.concat(&y), u);
+                        assert_eq!(y.concat(&x), v);
+                    } else {
+                        assert!(sol.is_none(), "u={u} v={v} z={z}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn claim_c1_constructive() {
+        // x = abab, w = ab, z = ab: x = wz = zw; root ab, exponent 2.
+        assert_eq!(claim_c1_exponent(b"ab", b"ab", b"abab"), Some(2));
+        // The defect case behind the paper's Claim C.1 bug: w = aa, z = a,
+        // x = aaa: x = wz = zw holds, root a, exponent 3 — x = a³ is a power
+        // of the ROOT, not of w = aa. (The repaired φ_{w*} accounts for it.)
+        assert_eq!(claim_c1_exponent(b"aa", b"a", b"aaa"), Some(3));
+        assert_eq!(claim_c1_exponent(b"ab", b"ba", b"abba"), None);
+    }
+}

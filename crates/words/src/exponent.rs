@@ -1,0 +1,285 @@
+//! The exponent function `exp_w` and the unique factorisation of Lemma 4.8.
+//!
+//! For `w ∈ Σ⁺`, `exp_w(u)` is the largest `m` with `wᵐ ⊑ u`. Lemma 4.8
+//! states that for *primitive* `w` and any `u ⊑ wᵐ` with `exp_w(u) > 0`,
+//! there are a **unique** proper suffix `u₁` of `w` and a **unique** proper
+//! prefix `u₂` of `w` such that `u = u₁ · w^{exp_w(u)} · u₂`. That
+//! factorisation is the backbone of the Primitive Power Lemma's Duplicator
+//! strategy: Duplicator answers `u₁·wⁿ·u₂` with `u₁·wᵐ·u₂`, changing only
+//! the exponent.
+//!
+//! Lemma D.4 ("expoIncrease") is also implemented: for `u·v ⊑ wᵐ`,
+//! `exp_w(u·v) ∈ {exp_w(u)+exp_w(v), exp_w(u)+exp_w(v)+1}`.
+
+use crate::search;
+use crate::word::Word;
+
+/// `exp_w(u)`: the maximum `m ∈ ℕ` with `wᵐ ⊑ u`.
+///
+/// `exp_w(u) = 0` iff `w` is not a factor of `u`. Note `w⁰ = ε ⊑ u` always.
+///
+/// # Panics
+/// Panics if `w = ε` (the paper defines `exp_w` for `w ∈ Σ⁺` only).
+///
+/// # Examples
+///
+/// ```
+/// use fc_words::exponent::exp;
+/// // Paper's Example 4.7: u = aaaabaabaab.
+/// let u = b"aaaabaabaab";
+/// assert_eq!(exp(b"a", u), 4);
+/// assert_eq!(exp(b"aab", u), 3);
+/// ```
+pub fn exp(w: &[u8], u: &[u8]) -> usize {
+    assert!(!w.is_empty(), "exp_w requires w ∈ Σ⁺");
+    if u.len() < w.len() {
+        return 0;
+    }
+    // Occurrences of w^m in u are exactly arithmetic chains of occurrences
+    // of w with gap |w|; compute the longest chain by DP from right to left.
+    let occ = search::find_all(u, w);
+    if occ.is_empty() {
+        return 0;
+    }
+    use std::collections::HashMap;
+    let pos_index: HashMap<usize, usize> =
+        occ.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+    let mut chain = vec![1usize; occ.len()];
+    let mut best = 1usize;
+    for i in (0..occ.len()).rev() {
+        if let Some(&j) = pos_index.get(&(occ[i] + w.len())) {
+            chain[i] = chain[j] + 1;
+        }
+        best = best.max(chain[i]);
+    }
+    best
+}
+
+/// The factorisation of Lemma 4.8 for a factor `u ⊑ wᵐ` of a primitive word:
+/// `u = u₁ · w^e · u₂` with `e = exp_w(u)`, `u₁` a proper suffix of `w`,
+/// `u₂` a proper prefix of `w`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PowerFactorisation {
+    /// The proper suffix `u₁` of `w`.
+    pub left: Word,
+    /// The exponent `e = exp_w(u)`.
+    pub exponent: usize,
+    /// The proper prefix `u₂` of `w`.
+    pub right: Word,
+}
+
+impl PowerFactorisation {
+    /// Reassembles `u₁ · wᵉ · u₂` (for verification and for the Primitive
+    /// Power strategy, which swaps the exponent).
+    pub fn assemble(&self, w: &[u8]) -> Word {
+        let mut v = Vec::with_capacity(self.left.len() + w.len() * self.exponent + self.right.len());
+        v.extend_from_slice(self.left.bytes());
+        for _ in 0..self.exponent {
+            v.extend_from_slice(w);
+        }
+        v.extend_from_slice(self.right.bytes());
+        Word::from_bytes(v)
+    }
+
+    /// Reassembles with a different exponent (Duplicator's move in the
+    /// Primitive Power Lemma, Fig. 2/3 of the paper).
+    pub fn with_exponent(&self, exponent: usize) -> PowerFactorisation {
+        PowerFactorisation { left: self.left.clone(), exponent, right: self.right.clone() }
+    }
+}
+
+/// Computes the Lemma 4.8 factorisation of `u` with respect to primitive `w`.
+///
+/// Returns `None` if `exp_w(u) = 0` (the lemma requires `exp_w(u) > 0`) or
+/// if `u` is not a factor of any power of `w` (in which case the unique
+/// factorisation need not exist).
+pub fn power_factorisation(w: &[u8], u: &[u8]) -> Option<PowerFactorisation> {
+    assert!(!w.is_empty());
+    let e = exp(w, u);
+    if e == 0 {
+        return None;
+    }
+    // Find an occurrence of w^e in u, split u = u1 · w^e · u2 and validate
+    // the side conditions. Lemma 4.8 guarantees uniqueness when u ⊑ w^m.
+    let we = Word::from(w).pow(e);
+    for pos in search::find_all(u, we.bytes()) {
+        let u1 = &u[..pos];
+        let u2 = &u[pos + we.len()..];
+        let w_word = Word::from(w);
+        if u1.len() < w.len()
+            && u2.len() < w.len()
+            && w_word.has_suffix(u1)
+            && w_word.has_prefix(u2)
+        {
+            return Some(PowerFactorisation {
+                left: Word::from(u1),
+                exponent: e,
+                right: Word::from(u2),
+            });
+        }
+    }
+    None
+}
+
+/// `true` iff `u ⊑ wᵐ` for some `m` — equivalently, `u` is a factor of the
+/// `ω`-power `w^ω` shifted arbitrarily, i.e. a factor of `w^{⌈|u|/|w|⌉ + 1}`.
+pub fn is_factor_of_power(w: &[u8], u: &[u8]) -> bool {
+    assert!(!w.is_empty());
+    let m = u.len() / w.len() + 2;
+    let wm = Word::from(w).pow(m);
+    search::contains(wm.bytes(), u)
+}
+
+/// Executable Lemma D.4 ("expoIncrease"): for `u·v ⊑ wᵐ` (primitive `w`),
+/// `exp_w(uv) − exp_w(u) − exp_w(v) ∈ {0, 1}`.
+///
+/// Returns `true` when the implication holds on this instance (vacuously if
+/// `u·v` is not a factor of a power of `w`).
+pub fn check_expo_increase(w: &[u8], u: &[u8], v: &[u8]) -> bool {
+    let uv = [u, v].concat();
+    if !is_factor_of_power(w, &uv) {
+        return true;
+    }
+    let total = exp(w, &uv);
+    let sum = exp(w, u) + exp(w, v);
+    total == sum || total == sum + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::primitivity::is_primitive;
+
+    /// Brute force: largest m with w^m ⊑ u.
+    fn naive_exp(w: &[u8], u: &[u8]) -> usize {
+        let mut m = 0usize;
+        loop {
+            let wm = Word::from(w).pow(m + 1);
+            if wm.len() > u.len() || !search::contains(u, wm.bytes()) {
+                return m;
+            }
+            m += 1;
+        }
+    }
+
+    #[test]
+    fn paper_example_4_7() {
+        let u = b"aaaabaabaab";
+        assert_eq!(exp(b"a", u), 4);
+        assert_eq!(exp(b"aab", u), 3);
+        assert_eq!(exp(b"b", u), 1);
+        assert_eq!(exp(b"ba", u), 1); // "baba" does not occur
+        assert_eq!(exp(b"ab", b"aababab"), 3);
+        assert_eq!(exp(b"c", u), 0);
+    }
+
+    #[test]
+    fn exp_matches_naive_exhaustively() {
+        let sigma = Alphabet::ab();
+        let ws: Vec<Word> = sigma.words_up_to(3).filter(|w| !w.is_empty()).collect();
+        for u in sigma.words_up_to(8) {
+            for w in &ws {
+                assert_eq!(exp(w.bytes(), u.bytes()), naive_exp(w.bytes(), u.bytes()), "w={w} u={u}");
+            }
+        }
+    }
+
+    #[test]
+    fn exp_handles_overlapping_occurrences() {
+        // w = aba in u = ababa: occurrences at 0 and 2 overlap; exp = 1.
+        assert_eq!(exp(b"aba", b"ababa"), 1);
+        // w = aa in aaaa: occurrences 0,1,2; aligned run 0,2 gives exp 2.
+        assert_eq!(exp(b"aa", b"aaaa"), 2);
+        assert_eq!(exp(b"aa", b"aaaaa"), 2);
+        assert_eq!(exp(b"aa", b"aaaaaa"), 3);
+    }
+
+    #[test]
+    fn factorisation_exists_and_assembles() {
+        // u = ab·(aab)^2·aa? take w = aab primitive, u ⊑ w^4.
+        let w = b"aab";
+        let w4 = Word::from(&w[..]).pow(4);
+        for i in 0..w4.len() {
+            for j in i + 1..=w4.len() {
+                let u = w4.factor(i, j);
+                if exp(w, u.bytes()) > 0 {
+                    let f = power_factorisation(w, u.bytes())
+                        .unwrap_or_else(|| panic!("factorisation must exist for u={u}"));
+                    assert_eq!(f.assemble(w), u, "u={u}");
+                    assert!(f.left.len() < w.len());
+                    assert!(f.right.len() < w.len());
+                    assert!(Word::from(&w[..]).has_suffix(f.left.bytes()));
+                    assert!(Word::from(&w[..]).has_prefix(f.right.bytes()));
+                    assert_eq!(f.exponent, exp(w, u.bytes()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn factorisation_uniqueness_lemma_4_8() {
+        // For primitive w up to length 4 and factors of w^4 with exp > 0,
+        // the factorisation returned is the unique admissible one: check
+        // by brute-force enumerating all admissible splits.
+        let sigma = Alphabet::ab();
+        for w in sigma.words_up_to(4) {
+            if w.is_empty() || !is_primitive(w.bytes()) {
+                continue;
+            }
+            let wm = w.pow(4);
+            let mut seen = std::collections::HashSet::new();
+            for i in 0..wm.len() {
+                for j in i + 1..=wm.len() {
+                    let u = wm.factor(i, j);
+                    if !seen.insert(u.clone()) {
+                        continue;
+                    }
+                    let e = exp(w.bytes(), u.bytes());
+                    if e == 0 {
+                        continue;
+                    }
+                    let we = w.pow(e);
+                    let mut admissible = Vec::new();
+                    for pos in search::find_all(u.bytes(), we.bytes()) {
+                        let u1 = &u.bytes()[..pos];
+                        let u2 = &u.bytes()[pos + we.len()..];
+                        if u1.len() < w.len()
+                            && u2.len() < w.len()
+                            && w.has_suffix(u1)
+                            && w.has_prefix(u2)
+                        {
+                            admissible.push((u1.to_vec(), u2.to_vec()));
+                        }
+                    }
+                    admissible.dedup();
+                    assert_eq!(admissible.len(), 1, "w={w} u={u}: {admissible:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expo_increase_lemma_exhaustive() {
+        let sigma = Alphabet::ab();
+        let ws = ["a", "ab", "aab", "aabb"];
+        for w in ws {
+            for u in sigma.words_up_to(5) {
+                for v in sigma.words_up_to(5) {
+                    assert!(
+                        check_expo_increase(w.as_bytes(), u.bytes(), v.bytes()),
+                        "w={w} u={u} v={v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn factor_of_power() {
+        assert!(is_factor_of_power(b"ab", b"baba"));
+        assert!(is_factor_of_power(b"ab", b""));
+        assert!(!is_factor_of_power(b"ab", b"aab"));
+        assert!(is_factor_of_power(b"aab", b"abaa"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Fibonacci words and the language `L_fib` of Proposition 4.1.
+//!
+//! `F₀ = a`, `F₁ = ab`, `F_i = F_{i−1} · F_{i−2}`. The paper shows the
+//! language `L_fib = { c F₀ c F₁ c ⋯ c F_n c : n ∈ ℕ }` is expressible in
+//! FC — a surprising positive result, since the Fibonacci word F_ω is
+//! 4th-power-free (Karhumäki: even cube-free in the relevant sense), so FC
+//! has no naive pumping lemma.
+
+use crate::search;
+use crate::word::Word;
+
+/// The `n`-th Fibonacci word `F_n` (F₀ = a, F₁ = ab).
+pub fn fib_word(n: usize) -> Word {
+    match n {
+        0 => Word::from("a"),
+        1 => Word::from("ab"),
+        _ => {
+            let mut prev2 = Word::from("a");
+            let mut prev1 = Word::from("ab");
+            for _ in 2..=n {
+                let cur = prev1.concat(&prev2);
+                prev2 = prev1;
+                prev1 = cur;
+            }
+            prev1
+        }
+    }
+}
+
+/// The `n`-th member of `L_fib`: `c F₀ c F₁ c ⋯ c F_n c`.
+pub fn l_fib_member(n: usize) -> Word {
+    let mut v = vec![b'c'];
+    for i in 0..=n {
+        v.extend_from_slice(fib_word(i).bytes());
+        v.push(b'c');
+    }
+    Word::from_bytes(v)
+}
+
+/// Membership in `L_fib` (over Σ = {a, b, c}).
+pub fn is_l_fib(w: &[u8]) -> bool {
+    // Parse: c F0 c F1 c ... c Fn c with the exact recursion.
+    if w.first() != Some(&b'c') || w.last() != Some(&b'c') || w.len() < 3 {
+        return false;
+    }
+    let inner = &w[1..w.len() - 1];
+    let blocks: Vec<&[u8]> = inner.split(|&b| b == b'c').collect();
+    if blocks.is_empty() {
+        return false;
+    }
+    for (i, blk) in blocks.iter().enumerate() {
+        if blk != &fib_word(i).bytes() {
+            return false;
+        }
+    }
+    true
+}
+
+/// `true` iff `w` contains a factor `u⁴` with `u ≠ ε`.
+pub fn contains_fourth_power(w: &[u8]) -> bool {
+    let n = w.len();
+    for len in 1..=n / 4 {
+        for start in 0..=n - 4 * len {
+            let u = &w[start..start + len];
+            let mut ok = true;
+            for k in 1..4 {
+                if &w[start + k * len..start + (k + 1) * len] != u {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// `true` iff `w` contains a factor `u³` with `u ≠ ε` (cube).
+pub fn contains_cube(w: &[u8]) -> bool {
+    let n = w.len();
+    for len in 1..=n / 3 {
+        for start in 0..=n - 3 * len {
+            let u = &w[start..start + len];
+            if &w[start + len..start + 2 * len] == u && &w[start + 2 * len..start + 3 * len] == u {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Checks the defining recursion on a concrete prefix of the infinite
+/// Fibonacci word: `F_{i} = F_{i−1}·F_{i−2}` and `F_{i−1}` is a prefix of
+/// `F_i` (standard facts used by Prop 4.1's formula φ_fib).
+pub fn check_fib_recursion(up_to: usize) -> bool {
+    for i in 2..=up_to {
+        let (a, b, c) = (fib_word(i - 2), fib_word(i - 1), fib_word(i));
+        if c != b.concat(&a) {
+            return false;
+        }
+        if !c.has_prefix(b.bytes()) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Fibonacci numbers (lengths: `|F_n| = fib(n+2)` with fib(1)=fib(2)=1).
+pub fn fib_len(n: usize) -> usize {
+    fib_word(n).len()
+}
+
+/// `true` iff `u ⊑ F_n` for the given `n`.
+pub fn is_fib_factor(u: &[u8], n: usize) -> bool {
+    search::contains(fib_word(n).bytes(), u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_fibonacci_words() {
+        assert_eq!(fib_word(0).as_str(), "a");
+        assert_eq!(fib_word(1).as_str(), "ab");
+        assert_eq!(fib_word(2).as_str(), "aba");
+        assert_eq!(fib_word(3).as_str(), "abaab");
+        assert_eq!(fib_word(4).as_str(), "abaababa");
+        assert_eq!(fib_word(5).as_str(), "abaababaabaab");
+    }
+
+    #[test]
+    fn lengths_are_fibonacci() {
+        let lens: Vec<usize> = (0..10).map(fib_len).collect();
+        assert_eq!(lens, vec![1, 2, 3, 5, 8, 13, 21, 34, 55, 89]);
+    }
+
+    #[test]
+    fn l_fib_members() {
+        assert_eq!(l_fib_member(0).as_str(), "cac");
+        assert_eq!(l_fib_member(1).as_str(), "cacabc");
+        assert_eq!(l_fib_member(2).as_str(), "cacabcabac");
+        for n in 0..7 {
+            assert!(is_l_fib(l_fib_member(n).bytes()), "n={n}");
+        }
+    }
+
+    #[test]
+    fn l_fib_rejects_mutants() {
+        assert!(!is_l_fib(b""));
+        assert!(!is_l_fib(b"c"));
+        assert!(!is_l_fib(b"cc"));
+        assert!(!is_l_fib(b"cabc")); // starts with F1, missing F0
+        assert!(!is_l_fib(b"cacbac")); // wrong F1
+        assert!(!is_l_fib(b"cacabcabc")); // F2 should be aba not ab
+        assert!(!is_l_fib(b"acabc")); // missing leading c
+        let good = l_fib_member(3);
+        // flip one symbol anywhere → not in L_fib
+        for i in 0..good.len() {
+            let mut bad = good.bytes().to_vec();
+            bad[i] = if bad[i] == b'a' { b'b' } else { b'a' };
+            assert!(!is_l_fib(&bad), "mutation at {i}");
+        }
+    }
+
+    #[test]
+    fn fibonacci_word_is_fourth_power_free() {
+        // Karhumäki: F_ω contains no factor u⁴ (u ≠ ε).
+        assert!(!contains_fourth_power(fib_word(12).bytes()));
+    }
+
+    #[test]
+    fn fibonacci_word_contains_squares_but_l_fib_blocks_are_structured() {
+        // F_n does contain squares (e.g. abaaba ⊑ F_5 ... actually aa ⊑ F_3).
+        assert!(search::contains(fib_word(3).bytes(), b"aa"));
+        // But no cubes of length-1 roots: aaa never occurs.
+        assert!(!search::contains(fib_word(12).bytes(), b"aaa"));
+        assert!(!search::contains(fib_word(12).bytes(), b"bb"));
+    }
+
+    #[test]
+    fn cube_detector() {
+        assert!(contains_cube(b"aaa"));
+        assert!(contains_cube(b"xabababy"));
+        assert!(!contains_cube(b"abab"));
+        assert!(!contains_cube(b""));
+    }
+
+    #[test]
+    fn fourth_power_detector() {
+        assert!(contains_fourth_power(b"aaaa"));
+        assert!(contains_fourth_power(b"xabababab"));
+        assert!(!contains_fourth_power(b"ababab"));
+    }
+
+    #[test]
+    fn recursion_check() {
+        assert!(check_fib_recursion(12));
+    }
+}

@@ -1,0 +1,46 @@
+//! # fc-words — combinatorics-on-words substrate
+//!
+//! This crate provides the word-combinatorics machinery that the paper
+//! *"Generalized Core Spanner Inexpressibility via Ehrenfeucht-Fraïssé Games
+//! for FC"* (PODS 2024) relies on:
+//!
+//! - [`word`]: words over a byte alphabet, concatenation, powers;
+//! - [`alphabet`]: finite terminal alphabets Σ;
+//! - [`factors`]: factor (infix) enumeration and a suffix-automaton factor
+//!   index giving O(|u|) factor membership and O(n) distinct-factor counting;
+//! - [`search`]: Knuth–Morris–Pratt occurrence search (internal workhorse);
+//! - [`primitivity`]: primitive words, primitive roots (Lemma D.1 of the
+//!   paper / the classic `ww`-trick);
+//! - [`conjugacy`]: conjugate words, co-primitive pairs, and the common
+//!   factor bounds of Lemma 4.12;
+//! - [`exponent`]: the function `exp_w` and the unique `u₁·wᵐ·u₂`
+//!   factorisation of Lemma 4.8;
+//! - [`periodicity`]: borders, periods, and the Fine–Wilf periodicity lemma;
+//! - [`fibonacci`]: Fibonacci words `F_n`, the language `L_fib` of
+//!   Proposition 4.1, and cube-freeness;
+//! - [`semilinear`]: linear and semilinear subsets of ℕ (the unary-alphabet
+//!   expressiveness argument behind Lemma 3.6);
+//! - [`subword`]: scattered subwords, shuffle products, permutations and
+//!   morphisms (the relations of Theorem 5.5 in their raw word form).
+//!
+//! Everything here is exact and deterministic; property tests compare each
+//! clever implementation against a brute-force oracle.
+
+pub mod alphabet;
+pub mod conjugacy;
+pub mod equations;
+pub mod exponent;
+pub mod factors;
+pub mod fibonacci;
+pub mod lyndon;
+pub mod periodicity;
+pub mod primitivity;
+pub mod search;
+pub mod semilinear;
+pub mod subword;
+pub mod word;
+
+pub use alphabet::Alphabet;
+pub use factors::{factor_set, factors_of, is_factor, FactorIndex};
+pub use primitivity::{is_primitive, primitive_root};
+pub use word::Word;

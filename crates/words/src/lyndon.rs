@@ -1,0 +1,166 @@
+//! Lyndon words and the Chen–Fox–Lyndon factorisation.
+//!
+//! A *Lyndon word* is a non-empty word strictly smaller (lexicographically)
+//! than all of its proper rotations. Lyndon words are primitive, and every
+//! primitive word is conjugate to exactly one Lyndon word — so they are
+//! canonical representatives of the conjugacy classes that co-primitivity
+//! (Lemma 4.12) partitions. The Chen–Fox–Lyndon theorem factors any word
+//! uniquely into a non-increasing product of Lyndon words; [`duval`] is the
+//! linear-time algorithm computing it.
+
+use crate::primitivity::{count_primitive, is_primitive};
+use crate::word::Word;
+
+/// `true` iff `w` is a Lyndon word: non-empty and strictly smaller than all
+/// of its proper rotations.
+pub fn is_lyndon(w: &[u8]) -> bool {
+    if w.is_empty() {
+        return false;
+    }
+    for i in 1..w.len() {
+        let rotation: Vec<u8> = w[i..].iter().chain(w[..i].iter()).copied().collect();
+        if rotation.as_slice() <= w {
+            return false;
+        }
+    }
+    true
+}
+
+/// Duval's algorithm: the Chen–Fox–Lyndon factorisation of `w` into a
+/// lexicographically non-increasing sequence of Lyndon words, in O(|w|).
+pub fn duval(w: &[u8]) -> Vec<Word> {
+    let n = w.len();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < n {
+        let mut j = i + 1;
+        let mut k = i;
+        while j < n && w[k] <= w[j] {
+            if w[k] < w[j] {
+                k = i;
+            } else {
+                k += 1;
+            }
+            j += 1;
+        }
+        while i <= k {
+            out.push(Word::from(&w[i..i + j - k]));
+            i += j - k;
+        }
+    }
+    out
+}
+
+/// The canonical Lyndon representative of the conjugacy class of a
+/// primitive word: its least rotation.
+///
+/// # Panics
+/// Panics if `w` is not primitive (imprimitive words have no Lyndon
+/// conjugate).
+pub fn lyndon_conjugate(w: &[u8]) -> Word {
+    assert!(is_primitive(w), "only primitive words have a Lyndon conjugate");
+    Word::from(w)
+        .conjugates()
+        .into_iter()
+        .min()
+        .expect("non-empty")
+}
+
+/// Number of Lyndon words of length `n` over `k` letters — the necklace
+/// count `count_primitive(n, k) / n`.
+pub fn count_lyndon(n: usize, k: usize) -> u64 {
+    count_primitive(n, k) / n as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::conjugacy::are_conjugate;
+
+    #[test]
+    fn lyndon_examples() {
+        assert!(is_lyndon(b"a"));
+        assert!(is_lyndon(b"ab"));
+        assert!(is_lyndon(b"aab"));
+        assert!(is_lyndon(b"aabab"));
+        assert!(!is_lyndon(b"ba"));
+        assert!(!is_lyndon(b"aa")); // imprimitive
+        assert!(!is_lyndon(b"aba")); // rotation aab is smaller
+        assert!(!is_lyndon(b""));
+    }
+
+    #[test]
+    fn lyndon_words_are_primitive() {
+        let sigma = Alphabet::ab();
+        for w in sigma.words_up_to(8) {
+            if is_lyndon(w.bytes()) {
+                assert!(is_primitive(w.bytes()), "w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn duval_factorisation_properties() {
+        let sigma = Alphabet::ab();
+        for w in sigma.words_up_to(9) {
+            let parts = duval(w.bytes());
+            // Concatenation reassembles w.
+            let rebuilt = crate::word::concat_all(parts.iter());
+            assert_eq!(rebuilt, w, "w={w}");
+            // Every factor is Lyndon.
+            for p in &parts {
+                assert!(is_lyndon(p.bytes()), "w={w} part={p}");
+            }
+            // Non-increasing sequence.
+            for pair in parts.windows(2) {
+                assert!(pair[0] >= pair[1], "w={w}: {} < {}", pair[0], pair[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn duval_classic_example() {
+        let parts = duval(b"bbababaabaaabaaab");
+        let strs: Vec<&str> = parts.iter().map(|w| w.as_str()).collect();
+        assert_eq!(strs, vec!["b", "b", "ab", "ab", "aab", "aaab", "aaab"]);
+    }
+
+    #[test]
+    fn lyndon_conjugates_are_canonical() {
+        let sigma = Alphabet::ab();
+        for w in sigma.words_up_to(7) {
+            if w.is_empty() || !is_primitive(w.bytes()) {
+                continue;
+            }
+            let l = lyndon_conjugate(w.bytes());
+            assert!(is_lyndon(l.bytes()), "w={w} l={l}");
+            assert!(are_conjugate(w.bytes(), l.bytes()), "w={w} l={l}");
+            // Canonical: two words get the same representative iff conjugate.
+            for v in sigma.words_of_len(w.len()) {
+                if is_primitive(v.bytes()) {
+                    assert_eq!(
+                        lyndon_conjugate(v.bytes()) == l,
+                        are_conjugate(w.bytes(), v.bytes()),
+                        "w={w} v={v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lyndon_counts_match_enumeration() {
+        let sigma = Alphabet::ab();
+        for n in 1..=9usize {
+            let brute = sigma.words_of_len(n).filter(|w| is_lyndon(w.bytes())).count() as u64;
+            assert_eq!(count_lyndon(n, 2), brute, "n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "primitive")]
+    fn imprimitive_words_have_no_lyndon_conjugate() {
+        let _ = lyndon_conjugate(b"abab");
+    }
+}

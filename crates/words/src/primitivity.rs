@@ -1,0 +1,283 @@
+//! Primitive words and primitive roots.
+//!
+//! A word `w ∈ Σ⁺` is *imprimitive* if `w = z^k` for some `z` and `k > 1`
+//! (the paper additionally declares ε imprimitive); otherwise `w` is
+//! *primitive*. The classic characterisation: `w` is primitive iff `w` occurs
+//! in `w·w` only trivially (at positions 0 and |w|) — equivalently, the
+//! smallest period of `w` does not properly divide |w|.
+//!
+//! This module also implements Lemma D.1 of the paper:
+//! `w` is primitive ⟺ for all m, `w^m = u·w·v` with `u, v ∈ Σ⁺` implies
+//! `u = wⁿ` (and `v = w^{n'}`) — checked executably by
+//! [`check_interior_occurrence_lemma`].
+
+use crate::periodicity::smallest_period;
+use crate::search;
+use crate::word::Word;
+
+/// `true` iff `w` is primitive. ε is imprimitive by convention.
+///
+/// Runs in O(|w|) via the failure function.
+///
+/// # Examples
+///
+/// ```
+/// use fc_words::is_primitive;
+/// assert!(is_primitive(b"aab"));
+/// assert!(!is_primitive(b"abab"));
+/// assert!(!is_primitive(b""));
+/// ```
+pub fn is_primitive(w: &[u8]) -> bool {
+    if w.is_empty() {
+        return false;
+    }
+    let p = smallest_period(w);
+    // w = z^k with |z| = p iff p divides |w|; primitive iff that forces k = 1.
+    p == w.len() || w.len() % p != 0
+}
+
+/// The primitive root of `w ∈ Σ⁺`: the unique primitive `z` with `w = z^k`.
+///
+/// Returns `(root, k)`. For ε this returns `(ε, 0)` (every word is ε⁰·… —
+/// the degenerate case is documented rather than panicking).
+pub fn primitive_root(w: &[u8]) -> (Word, usize) {
+    if w.is_empty() {
+        return (Word::epsilon(), 0);
+    }
+    let p = smallest_period(w);
+    if w.len() % p == 0 {
+        (Word::from(&w[..p]), w.len() / p)
+    } else {
+        (Word::from(w), 1)
+    }
+}
+
+/// `true` iff `w` occurs inside `w·w` at a non-trivial position.
+///
+/// Happens iff `w` is imprimitive (for `w ≠ ε`).
+pub fn occurs_nontrivially_in_square(w: &[u8]) -> bool {
+    if w.is_empty() {
+        return false;
+    }
+    let sq = [w, w].concat();
+    search::find_all(&sq, w).iter().any(|&i| i != 0 && i != w.len())
+}
+
+/// Executable check of Lemma D.1 for a fixed `w` and exponent bound:
+/// for all `m ≤ max_m`, every factorisation `w^m = u·w·v` with `u,v ∈ Σ⁺`
+/// has `u = wⁿ` and `v = w^{n'}`.
+///
+/// Returns `Ok(())` if the property holds for all interior occurrences, or a
+/// counterexample `(m, position)` otherwise. For primitive `w` this must
+/// always return `Ok`.
+pub fn check_interior_occurrence_lemma(w: &[u8], max_m: usize) -> Result<(), (usize, usize)> {
+    if w.is_empty() {
+        return Ok(());
+    }
+    for m in 2..=max_m {
+        let wm = Word::from(w).pow(m);
+        for pos in search::find_all(wm.bytes(), w) {
+            let (u_len, v_len) = (pos, wm.len() - pos - w.len());
+            if u_len == 0 || v_len == 0 {
+                continue; // u or v empty: lemma's hypothesis requires Σ⁺.
+            }
+            if u_len % w.len() != 0 || v_len % w.len() != 0 {
+                return Err((m, pos));
+            }
+            // u must literally be a power of w (position divisible by |w|
+            // in w^m already guarantees it).
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force primitivity: try all divisors.
+    fn naive_is_primitive(w: &[u8]) -> bool {
+        if w.is_empty() {
+            return false;
+        }
+        for d in 1..w.len() {
+            if w.len() % d == 0 {
+                let z = &w[..d];
+                if Word::from(z).pow(w.len() / d).bytes() == w {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn primitivity_examples_from_paper() {
+        // Example in §4.3: aabba and aaabb are primitive.
+        assert!(is_primitive(b"aabba"));
+        assert!(is_primitive(b"aaabb"));
+        assert!(is_primitive(b"aba"));
+        assert!(is_primitive(b"bba"));
+        // abaabb and bbaaba (L5's building blocks) are primitive.
+        assert!(is_primitive(b"abaabb"));
+        assert!(is_primitive(b"bbaaba"));
+        // Imprimitive examples.
+        assert!(!is_primitive(b"aa"));
+        assert!(!is_primitive(b"abab"));
+        assert!(!is_primitive(b"aabaab"));
+        assert!(!is_primitive(b""));
+        // Single letters are primitive.
+        assert!(is_primitive(b"a"));
+    }
+
+    #[test]
+    fn primitivity_matches_naive_exhaustively() {
+        let sigma = crate::alphabet::Alphabet::ab();
+        for w in sigma.words_up_to(10) {
+            assert_eq!(is_primitive(w.bytes()), naive_is_primitive(w.bytes()), "w={w}");
+        }
+    }
+
+    #[test]
+    fn primitive_root_properties() {
+        let (root, k) = primitive_root(b"abab");
+        assert_eq!(root.as_str(), "ab");
+        assert_eq!(k, 2);
+        let (root, k) = primitive_root(b"aaa");
+        assert_eq!(root.as_str(), "a");
+        assert_eq!(k, 3);
+        let (root, k) = primitive_root(b"aab");
+        assert_eq!(root.as_str(), "aab");
+        assert_eq!(k, 1);
+        // Root reconstruction: root^k == w, root primitive.
+        let sigma = crate::alphabet::Alphabet::ab();
+        for w in sigma.words_up_to(9) {
+            if w.is_empty() {
+                continue;
+            }
+            let (root, k) = primitive_root(w.bytes());
+            assert_eq!(root.pow(k), w, "w={w}");
+            assert!(is_primitive(root.bytes()), "w={w} root={root}");
+        }
+    }
+
+    #[test]
+    fn square_occurrence_characterisation() {
+        let sigma = crate::alphabet::Alphabet::ab();
+        for w in sigma.words_up_to(9) {
+            if w.is_empty() {
+                continue;
+            }
+            assert_eq!(
+                occurs_nontrivially_in_square(w.bytes()),
+                !is_primitive(w.bytes()),
+                "w={w}"
+            );
+        }
+    }
+
+    #[test]
+    fn interior_occurrence_lemma_holds_for_primitive_words() {
+        for w in ["a", "ab", "aab", "aabba", "abaabb", "bbaaba"] {
+            assert_eq!(check_interior_occurrence_lemma(w.as_bytes(), 4), Ok(()), "w={w}");
+        }
+    }
+
+    #[test]
+    fn interior_occurrence_lemma_fails_for_imprimitive_words() {
+        // w = abab = (ab)^2: w^2 = abababab contains w at position 2 with
+        // u = ab ≠ w^n.
+        assert!(check_interior_occurrence_lemma(b"abab", 3).is_err());
+        assert!(check_interior_occurrence_lemma(b"aa", 3).is_err());
+    }
+}
+
+/// Möbius function μ(n) (for the Witt formula below).
+pub fn moebius(n: usize) -> i64 {
+    assert!(n >= 1);
+    let mut n = n;
+    let mut factors = 0usize;
+    let mut p = 2usize;
+    while p * p <= n {
+        if n % p == 0 {
+            n /= p;
+            if n % p == 0 {
+                return 0; // squared prime factor
+            }
+            factors += 1;
+        }
+        p += 1;
+    }
+    if n > 1 {
+        factors += 1;
+    }
+    if factors % 2 == 0 {
+        1
+    } else {
+        -1
+    }
+}
+
+/// The number of primitive words of length `n` over a `k`-letter alphabet
+/// (the Witt / necklace-counting formula): `Σ_{d | n} μ(d) · k^{n/d}`.
+///
+/// Cross-validated against brute-force enumeration in the tests; the
+/// quotient by `n` would count Lyndon words.
+pub fn count_primitive(n: usize, k: usize) -> u64 {
+    assert!(n >= 1);
+    let mut total: i128 = 0;
+    for d in 1..=n {
+        if n % d == 0 {
+            let mu = moebius(d) as i128;
+            total += mu * (k as i128).pow((n / d) as u32);
+        }
+    }
+    u64::try_from(total).expect("count is non-negative")
+}
+
+#[cfg(test)]
+mod witt_tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+
+    #[test]
+    fn moebius_small_values() {
+        let expect = [1i64, -1, -1, 0, -1, 1, -1, 0, 0, 1, -1, 0];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(moebius(i + 1), e, "μ({})", i + 1);
+        }
+    }
+
+    #[test]
+    fn witt_formula_matches_enumeration() {
+        let sigma = Alphabet::ab();
+        for n in 1..=10usize {
+            let brute = sigma
+                .words_of_len(n)
+                .filter(|w| is_primitive(w.bytes()))
+                .count() as u64;
+            assert_eq!(count_primitive(n, 2), brute, "n={n}");
+        }
+    }
+
+    #[test]
+    fn witt_formula_ternary() {
+        let sigma = Alphabet::abc();
+        for n in 1..=6usize {
+            let brute = sigma
+                .words_of_len(n)
+                .filter(|w| is_primitive(w.bytes()))
+                .count() as u64;
+            assert_eq!(count_primitive(n, 3), brute, "n={n}");
+        }
+    }
+
+    #[test]
+    fn almost_all_words_are_primitive() {
+        // Imprimitive words of length 12 over {a,b}: by inclusion–exclusion
+        // |{z^k : k > 1}| = 2⁶ + 2⁴ + 2³ + 2² − 2² − 2² − 2 + 2 = 76.
+        assert_eq!(4096 - count_primitive(12, 2), 76);
+        // Sanity at prime length: only the k constant words are imprimitive.
+        assert_eq!(128 - count_primitive(7, 2), 2);
+    }
+}

@@ -1,0 +1,161 @@
+//! Knuth–Morris–Pratt pattern search.
+//!
+//! A small exact string-search workhorse used throughout the crate
+//! (factor tests, `exp_w` computation, primitivity via the `ww`-trick).
+
+/// The KMP failure function of `pattern`.
+///
+/// `fail[i]` is the length of the longest proper border (simultaneous proper
+/// prefix and suffix) of `pattern[..=i]`.
+pub fn failure_function(pattern: &[u8]) -> Vec<usize> {
+    let n = pattern.len();
+    let mut fail = vec![0usize; n];
+    let mut k = 0usize;
+    for i in 1..n {
+        while k > 0 && pattern[k] != pattern[i] {
+            k = fail[k - 1];
+        }
+        if pattern[k] == pattern[i] {
+            k += 1;
+        }
+        fail[i] = k;
+    }
+    fail
+}
+
+/// All start positions of occurrences of `pattern` in `text`
+/// (possibly overlapping), ascending.
+///
+/// An empty pattern occurs at every position `0..=|text|`.
+pub fn find_all(text: &[u8], pattern: &[u8]) -> Vec<usize> {
+    if pattern.is_empty() {
+        return (0..=text.len()).collect();
+    }
+    if pattern.len() > text.len() {
+        return Vec::new();
+    }
+    let fail = failure_function(pattern);
+    let mut hits = Vec::new();
+    let mut k = 0usize;
+    for (i, &c) in text.iter().enumerate() {
+        while k > 0 && pattern[k] != c {
+            k = fail[k - 1];
+        }
+        if pattern[k] == c {
+            k += 1;
+        }
+        if k == pattern.len() {
+            hits.push(i + 1 - k);
+            k = fail[k - 1];
+        }
+    }
+    hits
+}
+
+/// First occurrence position of `pattern` in `text`, if any.
+pub fn find_first(text: &[u8], pattern: &[u8]) -> Option<usize> {
+    if pattern.is_empty() {
+        return Some(0);
+    }
+    if pattern.len() > text.len() {
+        return None;
+    }
+    let fail = failure_function(pattern);
+    let mut k = 0usize;
+    for (i, &c) in text.iter().enumerate() {
+        while k > 0 && pattern[k] != c {
+            k = fail[k - 1];
+        }
+        if pattern[k] == c {
+            k += 1;
+        }
+        if k == pattern.len() {
+            return Some(i + 1 - k);
+        }
+    }
+    None
+}
+
+/// `true` iff `pattern` occurs in `text` as a contiguous factor.
+#[inline]
+pub fn contains(text: &[u8], pattern: &[u8]) -> bool {
+    find_first(text, pattern).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_find_all(text: &[u8], pat: &[u8]) -> Vec<usize> {
+        if pat.is_empty() {
+            return (0..=text.len()).collect();
+        }
+        (0..text.len().saturating_sub(pat.len() - 1))
+            .filter(|&i| &text[i..i + pat.len()] == pat)
+            .collect()
+    }
+
+    #[test]
+    fn failure_function_classic() {
+        assert_eq!(failure_function(b"ababaca"), vec![0, 0, 1, 2, 3, 0, 1]);
+        assert_eq!(failure_function(b"aaaa"), vec![0, 1, 2, 3]);
+        assert_eq!(failure_function(b""), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn overlapping_occurrences() {
+        assert_eq!(find_all(b"aaaa", b"aa"), vec![0, 1, 2]);
+        assert_eq!(find_all(b"abababa", b"aba"), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn empty_pattern() {
+        assert_eq!(find_all(b"abc", b""), vec![0, 1, 2, 3]);
+        assert_eq!(find_first(b"abc", b""), Some(0));
+        assert!(contains(b"", b""));
+    }
+
+    #[test]
+    fn pattern_longer_than_text() {
+        assert!(find_all(b"ab", b"abc").is_empty());
+        assert_eq!(find_first(b"ab", b"abc"), None);
+    }
+
+    #[test]
+    fn first_occurrence() {
+        assert_eq!(find_first(b"abaabab", b"ab"), Some(0));
+        assert_eq!(find_first(b"cabaabab", b"ab"), Some(1));
+        assert_eq!(find_first(b"cccc", b"ab"), None);
+    }
+
+    #[test]
+    fn matches_naive_on_exhaustive_small_cases() {
+        // All texts up to length 6 and patterns up to length 3 over {a,b}.
+        let syms = [b'a', b'b'];
+        let mut texts = vec![Vec::new()];
+        for _ in 0..6 {
+            let mut next = Vec::new();
+            for t in &texts {
+                for &s in &syms {
+                    let mut t2 = t.clone();
+                    t2.push(s);
+                    next.push(t2);
+                }
+            }
+            texts.extend(next.clone());
+            texts = {
+                let mut all = texts;
+                all.sort();
+                all.dedup();
+                all
+            };
+        }
+        for t in &texts {
+            for p in &texts {
+                if p.len() <= 3 {
+                    assert_eq!(find_all(t, p), naive_find_all(t, p), "t={t:?} p={p:?}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Linear and semilinear subsets of ℕ.
+//!
+//! Over a unary alphabet, a language `L ⊆ {a}*` is identified with the set
+//! `S_L ⊆ ℕ` of its word lengths. The paper (§3, after Lemma 3.5) recalls:
+//! semilinear sets = Presburger-definable = the unary languages of core
+//! spanners = of generalized core spanners = of FC. Since `{2ⁿ}` grows
+//! faster than any linear function, `L_pow = {a^{2ⁿ}}` is not semilinear,
+//! which powers Lemma 3.6 ("pow2") and Proposition 4.10.
+//!
+//! This module implements linear sets `{m₀ + Σ mᵢnᵢ}`, finite unions
+//! (semilinear sets), membership, and the "outgrows every semilinear set"
+//! argument in executable form.
+
+use serde::{Deserialize, Serialize};
+
+/// A linear set `{ m₀ + Σᵢ mᵢ·nᵢ : nᵢ ≥ 0 }` with offset `m₀` and periods
+/// `mᵢ` (zero periods are allowed but pruned).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LinearSet {
+    /// The offset m₀.
+    pub offset: u64,
+    /// The period generators m₁, …, m_r (sorted, non-zero, deduplicated).
+    pub periods: Vec<u64>,
+}
+
+impl LinearSet {
+    /// Builds a linear set, normalising the period list.
+    pub fn new(offset: u64, periods: impl IntoIterator<Item = u64>) -> Self {
+        let mut p: Vec<u64> = periods.into_iter().filter(|&m| m > 0).collect();
+        p.sort_unstable();
+        p.dedup();
+        LinearSet { offset, periods: p }
+    }
+
+    /// The singleton {m₀}.
+    pub fn singleton(offset: u64) -> Self {
+        LinearSet { offset, periods: Vec::new() }
+    }
+
+    /// Membership test via bounded coin-change (exact).
+    pub fn contains(&self, n: u64) -> bool {
+        if n < self.offset {
+            return false;
+        }
+        let target = n - self.offset;
+        if target == 0 {
+            return true;
+        }
+        if self.periods.is_empty() {
+            return false;
+        }
+        // With a single period p: target divisible by p.
+        if self.periods.len() == 1 {
+            return target % self.periods[0] == 0;
+        }
+        // General: reachability DP up to target (targets here are small).
+        let t = target as usize;
+        let mut reach = vec![false; t + 1];
+        reach[0] = true;
+        for i in 1..=t {
+            for &p in &self.periods {
+                let p = p as usize;
+                if p <= i && reach[i - p] {
+                    reach[i] = true;
+                    break;
+                }
+            }
+        }
+        reach[t]
+    }
+
+    /// An eventual period of the set: the gcd of the generators (the set is
+    /// eventually periodic with this period, by Chicken McNugget/Frobenius).
+    pub fn eventual_period(&self) -> Option<u64> {
+        if self.periods.is_empty() {
+            return None;
+        }
+        Some(self.periods.iter().copied().fold(0, gcd64))
+    }
+}
+
+fn gcd64(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// A semilinear set: a finite union of linear sets.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct SemilinearSet {
+    /// The constituent linear sets.
+    pub parts: Vec<LinearSet>,
+}
+
+impl SemilinearSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        SemilinearSet { parts: Vec::new() }
+    }
+
+    /// A union of linear sets.
+    pub fn new(parts: impl IntoIterator<Item = LinearSet>) -> Self {
+        SemilinearSet { parts: parts.into_iter().collect() }
+    }
+
+    /// A finite set {n₁, …}.
+    pub fn finite(values: impl IntoIterator<Item = u64>) -> Self {
+        SemilinearSet { parts: values.into_iter().map(LinearSet::singleton).collect() }
+    }
+
+    /// Membership.
+    pub fn contains(&self, n: u64) -> bool {
+        self.parts.iter().any(|l| l.contains(n))
+    }
+
+    /// Union.
+    pub fn union(&self, other: &SemilinearSet) -> SemilinearSet {
+        let mut parts = self.parts.clone();
+        parts.extend(other.parts.iter().cloned());
+        SemilinearSet { parts }
+    }
+
+    /// Pointwise sum `{ a + b : a ∈ self, b ∈ other }` — semilinear sets are
+    /// closed under addition (offsets add, periods union).
+    pub fn sum(&self, other: &SemilinearSet) -> SemilinearSet {
+        let mut parts = Vec::with_capacity(self.parts.len() * other.parts.len());
+        for l in &self.parts {
+            for r in &other.parts {
+                parts.push(LinearSet::new(
+                    l.offset + r.offset,
+                    l.periods.iter().chain(r.periods.iter()).copied(),
+                ));
+            }
+        }
+        SemilinearSet { parts }
+    }
+
+    /// The characteristic vector of membership on `0..limit` — handy for
+    /// comparing against enumerated languages.
+    pub fn profile(&self, limit: u64) -> Vec<bool> {
+        (0..limit).map(|n| self.contains(n)).collect()
+    }
+
+    /// Attempts to *fit* a semilinear description to an eventually periodic
+    /// membership profile observed on `0..profile.len()` assuming the
+    /// behaviour has stabilised: finds the smallest (threshold, period)
+    /// explaining the tail. Returns `None` if no period ≤ `max_period`
+    /// explains the data (evidence of non-semilinearity on this window).
+    pub fn fit(profile: &[bool], max_period: usize) -> Option<SemilinearSet> {
+        let n = profile.len();
+        for period in 1..=max_period.min(n) {
+            for threshold in 0..n.saturating_sub(2 * period) {
+                let ok = (threshold..n - period).all(|i| profile[i] == profile[i + period]);
+                if ok {
+                    // Build: singletons below threshold + arithmetic tails.
+                    let mut parts = Vec::new();
+                    for (i, &m) in profile.iter().enumerate().take(threshold) {
+                        if m {
+                            parts.push(LinearSet::singleton(i as u64));
+                        }
+                    }
+                    for i in threshold..threshold + period {
+                        if i < n && profile[i] {
+                            parts.push(LinearSet::new(i as u64, [period as u64]));
+                        }
+                    }
+                    return Some(SemilinearSet { parts });
+                }
+            }
+        }
+        None
+    }
+}
+
+/// The powers-of-two predicate behind `L_pow = {a^{2ⁿ}}`.
+pub fn is_power_of_two(n: u64) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+/// Demonstrates (constructively, on a window) that `{2ⁿ}` is not semilinear:
+/// for any candidate semilinear set `s`, returns a point `< limit` where `s`
+/// and the powers-of-two set disagree, or `None` if they agree on the window.
+pub fn refute_semilinear_powers_of_two(s: &SemilinearSet, limit: u64) -> Option<u64> {
+    (0..limit).find(|&n| s.contains(n) != is_power_of_two(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_membership() {
+        // {3 + 2n} = odd numbers ≥ 3.
+        let l = LinearSet::new(3, [2]);
+        assert!(l.contains(3) && l.contains(5) && l.contains(101));
+        assert!(!l.contains(4) && !l.contains(2) && !l.contains(0));
+        // {0 + 3n + 5n'}: the numeric semigroup ⟨3,5⟩ = ℕ \ {1,2,4,7}.
+        let l = LinearSet::new(0, [3, 5]);
+        for n in 0..30u64 {
+            let expect = ![1, 2, 4, 7].contains(&n);
+            assert_eq!(l.contains(n), expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn singleton_sets() {
+        let l = LinearSet::singleton(7);
+        assert!(l.contains(7));
+        assert!(!l.contains(8));
+        assert!(!l.contains(0));
+    }
+
+    #[test]
+    fn period_normalisation() {
+        let l = LinearSet::new(0, [2, 0, 2, 4]);
+        assert_eq!(l.periods, vec![2, 4]);
+        assert_eq!(l.eventual_period(), Some(2));
+        assert_eq!(LinearSet::singleton(3).eventual_period(), None);
+    }
+
+    #[test]
+    fn semilinear_union_and_sum() {
+        let evens = SemilinearSet::new([LinearSet::new(0, [2])]);
+        let odds = SemilinearSet::new([LinearSet::new(1, [2])]);
+        let all = evens.union(&odds);
+        assert!((0..50).all(|n| all.contains(n)));
+        // evens + odds = odds.
+        let sum = evens.sum(&odds);
+        for n in 0..50u64 {
+            assert_eq!(sum.contains(n), n % 2 == 1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn fit_recovers_periodic_profiles() {
+        // multiples of 3
+        let profile: Vec<bool> = (0..60u64).map(|n| n % 3 == 0).collect();
+        let s = SemilinearSet::fit(&profile, 8).expect("fit");
+        assert_eq!(s.profile(60), profile);
+        // a finite set is fit with all-false tail
+        let profile: Vec<bool> = (0..40u64).map(|n| n == 2 || n == 5).collect();
+        let s = SemilinearSet::fit(&profile, 8).expect("fit");
+        assert_eq!(s.profile(40), profile);
+    }
+
+    #[test]
+    fn fit_rejects_powers_of_two() {
+        // On a window [0, 2^10], no period ≤ 64 explains powers of two.
+        let profile: Vec<bool> = (0..1025u64).map(is_power_of_two).collect();
+        assert!(SemilinearSet::fit(&profile, 64).is_none());
+    }
+
+    #[test]
+    fn refutation_of_powers_of_two() {
+        // Any eventually-periodic candidate disagrees with {2ⁿ} somewhere.
+        let candidates = [
+            SemilinearSet::new([LinearSet::new(1, [1])]),      // all ≥ 1
+            SemilinearSet::new([LinearSet::new(2, [2])]),      // evens ≥ 2
+            SemilinearSet::finite([1, 2, 4, 8, 16, 32, 64]),   // finite prefix
+            SemilinearSet::new([LinearSet::new(0, [4])]),
+        ];
+        for c in &candidates {
+            assert!(refute_semilinear_powers_of_two(c, 200).is_some());
+        }
+    }
+
+    #[test]
+    fn powers_of_two_predicate() {
+        assert!(!is_power_of_two(0));
+        assert!(is_power_of_two(1));
+        assert!(is_power_of_two(2));
+        assert!(!is_power_of_two(3));
+        assert!(is_power_of_two(1024));
+        assert!(!is_power_of_two(1023));
+    }
+}

@@ -1,0 +1,241 @@
+//! Scattered subwords, shuffle products, permutations and morphisms.
+//!
+//! These are the raw word-level operations underlying the relations of
+//! Theorem 5.5: `Scatt` (scattered subword), `Shuff` (shuffle product),
+//! `Perm` (permutation), `Rev` (reversal, see [`crate::word::Word::reversed`])
+//! and `Morph_h` (images under a morphism).
+
+use crate::word::Word;
+use std::collections::HashMap;
+
+/// `true` iff `x ⊑_scatt y`: `x` is a scattered (non-contiguous) subword
+/// of `y`.
+///
+/// # Examples
+///
+/// ```
+/// use fc_words::subword::is_scattered_subword;
+/// assert!(is_scattered_subword(b"aa", b"abba"));
+/// assert!(!is_scattered_subword(b"bb", b"aba"));
+/// ```
+pub fn is_scattered_subword(x: &[u8], y: &[u8]) -> bool {
+    let mut it = y.iter();
+    x.iter().all(|c| it.any(|d| d == c))
+}
+
+/// `true` iff `z ∈ x ⧢ y` (z is a shuffle of x and y).
+///
+/// Dynamic programming over prefix pairs; O(|x|·|y|).
+pub fn is_shuffle(x: &[u8], y: &[u8], z: &[u8]) -> bool {
+    if x.len() + y.len() != z.len() {
+        return false;
+    }
+    let (n, m) = (x.len(), y.len());
+    let mut dp = vec![false; m + 1];
+    dp[0] = true;
+    for j in 1..=m {
+        dp[j] = dp[j - 1] && y[j - 1] == z[j - 1];
+    }
+    for i in 1..=n {
+        dp[0] = dp[0] && x[i - 1] == z[i - 1];
+        for j in 1..=m {
+            let from_x = dp[j] && x[i - 1] == z[i + j - 1];
+            let from_y = dp[j - 1] && y[j - 1] == z[i + j - 1];
+            dp[j] = from_x || from_y;
+        }
+    }
+    dp[m]
+}
+
+/// Enumerates the shuffle product `x ⧢ y` as a deduplicated set of words.
+///
+/// Output-sensitive but worst-case exponential; intended for the small
+/// instances used in the experiment harness.
+pub fn shuffle_product(x: &[u8], y: &[u8]) -> Vec<Word> {
+    let mut out = std::collections::HashSet::new();
+    let mut buf = Vec::with_capacity(x.len() + y.len());
+    fn rec(x: &[u8], y: &[u8], buf: &mut Vec<u8>, out: &mut std::collections::HashSet<Word>) {
+        if x.is_empty() && y.is_empty() {
+            out.insert(Word::from(buf.as_slice()));
+            return;
+        }
+        if let Some((&c, rest)) = x.split_first() {
+            buf.push(c);
+            rec(rest, y, buf, out);
+            buf.pop();
+        }
+        if let Some((&c, rest)) = y.split_first() {
+            buf.push(c);
+            rec(x, rest, buf, out);
+            buf.pop();
+        }
+    }
+    rec(x, y, &mut buf, &mut out);
+    let mut v: Vec<Word> = out.into_iter().collect();
+    v.sort();
+    v
+}
+
+/// `true` iff `x` is a permutation (anagram) of `y`.
+pub fn is_permutation(x: &[u8], y: &[u8]) -> bool {
+    if x.len() != y.len() {
+        return false;
+    }
+    let mut counts = [0i64; 256];
+    for &c in x {
+        counts[c as usize] += 1;
+    }
+    for &c in y {
+        counts[c as usize] -= 1;
+    }
+    counts.iter().all(|&c| c == 0)
+}
+
+/// A morphism `h : Σ* → Σ*`, determined by its images on letters
+/// (`h(xy) = h(x)·h(y)`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Morphism {
+    images: HashMap<u8, Word>,
+}
+
+impl Morphism {
+    /// Builds a morphism from letter images. Letters without an image map
+    /// to themselves.
+    pub fn new(images: impl IntoIterator<Item = (u8, Word)>) -> Self {
+        Morphism { images: images.into_iter().collect() }
+    }
+
+    /// The morphism of Theorem 5.5's Morph_h proof: `a ↦ b, b ↦ b`.
+    pub fn a_to_b() -> Self {
+        Morphism::new([(b'a', Word::from("b")), (b'b', Word::from("b"))])
+    }
+
+    /// Applies the morphism.
+    pub fn apply(&self, w: &[u8]) -> Word {
+        let mut out = Vec::with_capacity(w.len());
+        for &c in w {
+            match self.images.get(&c) {
+                Some(img) => out.extend_from_slice(img.bytes()),
+                None => out.push(c),
+            }
+        }
+        Word::from_bytes(out)
+    }
+
+    /// `true` iff `y = h(x)`.
+    pub fn relates(&self, x: &[u8], y: &[u8]) -> bool {
+        self.apply(x).bytes() == y
+    }
+
+    /// `true` iff the morphism is an *erasing* morphism (some letter maps
+    /// to ε).
+    pub fn is_erasing(&self) -> bool {
+        self.images.values().any(|w| w.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+
+    #[test]
+    fn scattered_subword_paper_example() {
+        // §5 example: u = abba, v = aa; v ⊑_scatt u.
+        assert!(is_scattered_subword(b"aa", b"abba"));
+        assert!(is_scattered_subword(b"", b""));
+        assert!(is_scattered_subword(b"", b"abc"));
+        assert!(!is_scattered_subword(b"a", b""));
+        assert!(is_scattered_subword(b"abba", b"abba"));
+        assert!(!is_scattered_subword(b"abbaa", b"abba"));
+    }
+
+    #[test]
+    fn scattered_subword_vs_naive() {
+        fn naive(x: &[u8], y: &[u8]) -> bool {
+            if x.is_empty() {
+                return true;
+            }
+            if y.is_empty() {
+                return false;
+            }
+            if x[0] == y[0] {
+                naive(&x[1..], &y[1..]) || naive(x, &y[1..])
+            } else {
+                naive(x, &y[1..])
+            }
+        }
+        let sigma = Alphabet::ab();
+        for x in sigma.words_up_to(4) {
+            for y in sigma.words_up_to(5) {
+                assert_eq!(
+                    is_scattered_subword(x.bytes(), y.bytes()),
+                    naive(x.bytes(), y.bytes()),
+                    "x={x} y={y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_membership_paper_example() {
+        // §5 example: ababaa ∈ abba ⧢ aa.
+        assert!(is_shuffle(b"abba", b"aa", b"ababaa"));
+        assert!(is_shuffle(b"", b"", b""));
+        assert!(is_shuffle(b"ab", b"", b"ab"));
+        assert!(!is_shuffle(b"ab", b"ba", b"aabb")); // wrong: check
+    }
+
+    #[test]
+    fn shuffle_membership_matches_enumeration() {
+        let sigma = Alphabet::ab();
+        for x in sigma.words_up_to(3) {
+            for y in sigma.words_up_to(3) {
+                let all = shuffle_product(x.bytes(), y.bytes());
+                for z in sigma.words_up_to(6) {
+                    let member = all.contains(&z);
+                    assert_eq!(is_shuffle(x.bytes(), y.bytes(), z.bytes()), member, "x={x} y={y} z={z}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_product_counts() {
+        // |a ⧢ b| = 2 distinct words: ab, ba.
+        assert_eq!(shuffle_product(b"a", b"b").len(), 2);
+        // aa ⧢ aa = {aaaa} only.
+        assert_eq!(shuffle_product(b"aa", b"aa").len(), 1);
+    }
+
+    #[test]
+    fn permutations() {
+        assert!(is_permutation(b"abab", b"aabb"));
+        assert!(is_permutation(b"", b""));
+        assert!(!is_permutation(b"ab", b"aa"));
+        assert!(!is_permutation(b"ab", b"abc"));
+    }
+
+    #[test]
+    fn morphism_application() {
+        let h = Morphism::a_to_b();
+        assert_eq!(h.apply(b"aabb").as_str(), "bbbb");
+        assert!(h.relates(b"aa", b"bb"));
+        assert!(!h.relates(b"aa", b"ba")); // h(aa) = bb
+        assert!(!h.is_erasing());
+        // homomorphism law on random-ish words
+        let sigma = Alphabet::ab();
+        for x in sigma.words_up_to(4) {
+            for y in sigma.words_up_to(3) {
+                assert_eq!(h.apply(x.concat(&y).bytes()), h.apply(x.bytes()).concat(&h.apply(y.bytes())));
+            }
+        }
+    }
+
+    #[test]
+    fn erasing_morphism() {
+        let h = Morphism::new([(b'a', Word::epsilon())]);
+        assert!(h.is_erasing());
+        assert_eq!(h.apply(b"aba").as_str(), "b");
+    }
+}

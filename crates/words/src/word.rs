@@ -1,0 +1,289 @@
+//! Words over a byte alphabet.
+//!
+//! A [`Word`] is a finite sequence of terminal symbols. Symbols are plain
+//! bytes (`u8`), which is both compact and convenient: the paper's alphabets
+//! are tiny (typically `{a, b, c}`), and using bytes lets literals like
+//! `Word::from("abaab")` work directly.
+
+use std::fmt;
+use std::ops::Deref;
+
+/// A finite word over a byte alphabet Σ ⊆ `u8`.
+///
+/// `Word` dereferences to `[u8]`, so all slice methods are available.
+/// Equality, hashing and ordering are inherited from the underlying bytes.
+///
+/// # Examples
+///
+/// ```
+/// use fc_words::Word;
+/// let w = Word::from("ab").pow(3);
+/// assert_eq!(w.as_str(), "ababab");
+/// assert_eq!(w.len(), 6);
+/// assert!(w.count_symbol(b'a') == 3);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Word(Vec<u8>);
+
+impl Word {
+    /// The empty word ε.
+    #[inline]
+    pub fn epsilon() -> Self {
+        Word(Vec::new())
+    }
+
+    /// Builds a word from raw bytes.
+    #[inline]
+    pub fn from_bytes(bytes: impl Into<Vec<u8>>) -> Self {
+        Word(bytes.into())
+    }
+
+    /// A single-symbol word.
+    #[inline]
+    pub fn symbol(sym: u8) -> Self {
+        Word(vec![sym])
+    }
+
+    /// The underlying bytes.
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Word length |w|.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` iff this is ε.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Renders the word as a string (lossy for non-UTF8 symbols).
+    pub fn as_str(&self) -> &str {
+        std::str::from_utf8(&self.0).unwrap_or("<non-utf8>")
+    }
+
+    /// Concatenation `self · other`.
+    pub fn concat(&self, other: &Word) -> Word {
+        let mut v = Vec::with_capacity(self.len() + other.len());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        Word(v)
+    }
+
+    /// The `k`-th power `w^k` (with `w^0 = ε`).
+    pub fn pow(&self, k: usize) -> Word {
+        let mut v = Vec::with_capacity(self.len() * k);
+        for _ in 0..k {
+            v.extend_from_slice(&self.0);
+        }
+        Word(v)
+    }
+
+    /// Number of occurrences |w|ₐ of the symbol `sym`.
+    pub fn count_symbol(&self, sym: u8) -> usize {
+        self.0.iter().filter(|&&b| b == sym).count()
+    }
+
+    /// The reverse word.
+    pub fn reversed(&self) -> Word {
+        let mut v = self.0.clone();
+        v.reverse();
+        Word(v)
+    }
+
+    /// The factor `w[i..j]` (half-open, `i ≤ j ≤ |w|`).
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn factor(&self, i: usize, j: usize) -> Word {
+        Word(self.0[i..j].to_vec())
+    }
+
+    /// `true` iff `p` is a prefix of `self`.
+    #[inline]
+    pub fn has_prefix(&self, p: &[u8]) -> bool {
+        self.0.starts_with(p)
+    }
+
+    /// `true` iff `s` is a suffix of `self`.
+    #[inline]
+    pub fn has_suffix(&self, s: &[u8]) -> bool {
+        self.0.ends_with(s)
+    }
+
+    /// `true` iff `p` is a *strict* prefix (a prefix with `p ≠ self`).
+    pub fn has_strict_prefix(&self, p: &[u8]) -> bool {
+        p.len() < self.len() && self.has_prefix(p)
+    }
+
+    /// `true` iff `s` is a *strict* suffix (a suffix with `s ≠ self`).
+    pub fn has_strict_suffix(&self, s: &[u8]) -> bool {
+        s.len() < self.len() && self.has_suffix(s)
+    }
+
+    /// The set of distinct symbols occurring in the word, sorted.
+    pub fn symbols(&self) -> Vec<u8> {
+        let mut syms: Vec<u8> = self.0.clone();
+        syms.sort_unstable();
+        syms.dedup();
+        syms
+    }
+
+    /// All conjugates (cyclic rotations) of the word, in rotation order.
+    ///
+    /// The rotation by `i` sends `w = xy` (with `|x| = i`) to `yx`.
+    pub fn conjugates(&self) -> Vec<Word> {
+        let n = self.len();
+        (0..n.max(1))
+            .map(|i| {
+                let mut v = Vec::with_capacity(n);
+                v.extend_from_slice(&self.0[i..]);
+                v.extend_from_slice(&self.0[..i]);
+                Word(v)
+            })
+            .collect()
+    }
+}
+
+impl Deref for Word {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<&str> for Word {
+    fn from(s: &str) -> Self {
+        Word(s.as_bytes().to_vec())
+    }
+}
+
+impl From<String> for Word {
+    fn from(s: String) -> Self {
+        Word(s.into_bytes())
+    }
+}
+
+impl From<Vec<u8>> for Word {
+    fn from(v: Vec<u8>) -> Self {
+        Word(v)
+    }
+}
+
+impl From<&[u8]> for Word {
+    fn from(v: &[u8]) -> Self {
+        Word(v.to_vec())
+    }
+}
+
+impl fmt::Display for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            write!(f, "ε")
+        } else {
+            write!(f, "{}", self.as_str())
+        }
+    }
+}
+
+impl fmt::Debug for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Word({self})")
+    }
+}
+
+/// Concatenates a sequence of words.
+pub fn concat_all<'a>(parts: impl IntoIterator<Item = &'a Word>) -> Word {
+    let mut v = Vec::new();
+    for p in parts {
+        v.extend_from_slice(p.bytes());
+    }
+    Word(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_basics() {
+        let e = Word::epsilon();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert_eq!(e.to_string(), "ε");
+        assert_eq!(e.concat(&e), e);
+        assert_eq!(Word::from("ab").pow(0), e);
+    }
+
+    #[test]
+    fn concat_and_pow() {
+        let a = Word::from("ab");
+        let b = Word::from("ba");
+        assert_eq!(a.concat(&b).as_str(), "abba");
+        assert_eq!(a.pow(3).as_str(), "ababab");
+        assert_eq!(Word::symbol(b'c').pow(4).as_str(), "cccc");
+    }
+
+    #[test]
+    fn counting_and_symbols() {
+        let w = Word::from("abaabb");
+        assert_eq!(w.count_symbol(b'a'), 3);
+        assert_eq!(w.count_symbol(b'b'), 3);
+        assert_eq!(w.count_symbol(b'c'), 0);
+        assert_eq!(w.symbols(), vec![b'a', b'b']);
+    }
+
+    #[test]
+    fn prefixes_suffixes() {
+        let w = Word::from("abaab");
+        assert!(w.has_prefix(b"aba"));
+        assert!(w.has_strict_prefix(b"aba"));
+        assert!(w.has_prefix(b"abaab"));
+        assert!(!w.has_strict_prefix(b"abaab"));
+        assert!(w.has_suffix(b"aab"));
+        assert!(w.has_strict_suffix(b"aab"));
+        assert!(!w.has_strict_suffix(b"abaab"));
+        assert!(w.has_prefix(b""));
+        assert!(w.has_suffix(b""));
+    }
+
+    #[test]
+    fn factor_extraction() {
+        let w = Word::from("abcde");
+        assert_eq!(w.factor(1, 4).as_str(), "bcd");
+        assert_eq!(w.factor(0, 0), Word::epsilon());
+        assert_eq!(w.factor(0, 5), w);
+    }
+
+    #[test]
+    fn reversal() {
+        assert_eq!(Word::from("abc").reversed().as_str(), "cba");
+        assert_eq!(Word::epsilon().reversed(), Word::epsilon());
+        let w = Word::from("abaabb");
+        assert_eq!(w.reversed().reversed(), w);
+    }
+
+    #[test]
+    fn conjugates_of_word() {
+        let w = Word::from("abc");
+        let cs = w.conjugates();
+        assert_eq!(cs.len(), 3);
+        assert!(cs.contains(&Word::from("abc")));
+        assert!(cs.contains(&Word::from("bca")));
+        assert!(cs.contains(&Word::from("cab")));
+        // ε has exactly itself as conjugate.
+        assert_eq!(Word::epsilon().conjugates(), vec![Word::epsilon()]);
+    }
+
+    #[test]
+    fn concat_all_words() {
+        let parts = [Word::from("a"), Word::from("bb"), Word::epsilon(), Word::from("c")];
+        assert_eq!(concat_all(parts.iter()).as_str(), "abbc");
+    }
+}

@@ -1,0 +1,188 @@
+//! Property tests for the word-combinatorics substrate: every clever
+//! implementation is pinned against a brute-force oracle or an algebraic
+//! law, on thousands of randomized instances.
+
+use fc_words::conjugacy::{are_conjugate, are_coprimitive};
+use fc_words::exponent::{check_expo_increase, exp, power_factorisation};
+use fc_words::factors::{factor_set, is_factor, FactorIndex};
+use fc_words::periodicity::{all_periods, fine_wilf_holds, has_period, longest_border, smallest_period};
+use fc_words::primitivity::{is_primitive, primitive_root};
+use fc_words::subword::{is_permutation, is_scattered_subword, is_shuffle, shuffle_product};
+use fc_words::Word;
+use proptest::prelude::*;
+
+fn word(max_len: usize) -> impl Strategy<Value = Word> {
+    prop::collection::vec(prop::sample::select(vec![b'a', b'b']), 0..=max_len)
+        .prop_map(Word::from_bytes)
+}
+
+fn word_abc(max_len: usize) -> impl Strategy<Value = Word> {
+    prop::collection::vec(prop::sample::select(vec![b'a', b'b', b'c']), 0..=max_len)
+        .prop_map(Word::from_bytes)
+}
+
+proptest! {
+    #[test]
+    fn primitive_root_reconstructs(w in word(24)) {
+        prop_assume!(!w.is_empty());
+        let (root, k) = primitive_root(w.bytes());
+        prop_assert_eq!(root.pow(k), w.clone());
+        prop_assert!(is_primitive(root.bytes()));
+        // Primitivity ⟺ k = 1.
+        prop_assert_eq!(is_primitive(w.bytes()), k == 1);
+    }
+
+    #[test]
+    fn powers_of_len_ge_2_are_imprimitive(w in word(10), k in 2usize..4) {
+        prop_assume!(!w.is_empty());
+        prop_assert!(!is_primitive(w.pow(k).bytes()));
+    }
+
+    #[test]
+    fn border_period_duality(w in word(32)) {
+        prop_assume!(!w.is_empty());
+        let b = longest_border(w.bytes());
+        let p = smallest_period(w.bytes());
+        prop_assert_eq!(b + p, w.len());
+        prop_assert!(has_period(w.bytes(), p));
+        // No smaller period.
+        for q in 1..p {
+            prop_assert!(!has_period(w.bytes(), q));
+        }
+    }
+
+    #[test]
+    fn all_periods_are_exactly_the_periods(w in word(20)) {
+        let ps = all_periods(w.bytes());
+        for p in 1..=w.len() {
+            prop_assert_eq!(ps.contains(&p), has_period(w.bytes(), p), "p={}", p);
+        }
+    }
+
+    #[test]
+    fn fine_wilf_never_fails(w in word(24), p in 1usize..12, q in 1usize..12) {
+        prop_assert!(fine_wilf_holds(w.bytes(), p, q));
+    }
+
+    #[test]
+    fn conjugacy_is_an_equivalence(u in word(10), v in word(10), w in word(10)) {
+        prop_assert!(are_conjugate(u.bytes(), u.bytes()));
+        prop_assert_eq!(are_conjugate(u.bytes(), v.bytes()), are_conjugate(v.bytes(), u.bytes()));
+        if are_conjugate(u.bytes(), v.bytes()) && are_conjugate(v.bytes(), w.bytes()) {
+            prop_assert!(are_conjugate(u.bytes(), w.bytes()));
+        }
+    }
+
+    #[test]
+    fn conjugates_enumerate_the_conjugacy_class(w in word(10)) {
+        for c in w.conjugates() {
+            prop_assert!(are_conjugate(w.bytes(), c.bytes()));
+        }
+    }
+
+    #[test]
+    fn coprimitive_is_symmetric_and_irreflexive(u in word(8), v in word(8)) {
+        prop_assume!(!u.is_empty() && !v.is_empty());
+        prop_assert_eq!(
+            are_coprimitive(u.bytes(), v.bytes()),
+            are_coprimitive(v.bytes(), u.bytes())
+        );
+        prop_assert!(!are_coprimitive(u.bytes(), u.bytes()));
+    }
+
+    #[test]
+    fn factor_index_agrees_with_naive(w in word(24), probe in word(6)) {
+        let idx = FactorIndex::build(w.bytes());
+        prop_assert_eq!(idx.contains(probe.bytes()), is_factor(probe.bytes(), w.bytes()));
+        prop_assert_eq!(idx.distinct_factors() + 1, factor_set(w.bytes()).len());
+    }
+
+    #[test]
+    fn factors_of_factors_are_factors(w in word(16), i in 0usize..16, j in 0usize..16) {
+        let (i, j) = (i.min(w.len()), j.min(w.len()));
+        prop_assume!(i <= j);
+        let u = w.factor(i, j);
+        prop_assert!(is_factor(u.bytes(), w.bytes()));
+        // Transitivity: factors of u are factors of w.
+        if u.len() >= 2 {
+            let inner = u.factor(1, u.len());
+            prop_assert!(is_factor(inner.bytes(), w.bytes()));
+        }
+    }
+
+    #[test]
+    fn exp_is_max_power_factor(w in word(4), u in word(14)) {
+        prop_assume!(!w.is_empty());
+        let e = exp(w.bytes(), u.bytes());
+        prop_assert!(is_factor(w.pow(e).bytes(), u.bytes()) || e == 0);
+        prop_assert!(!is_factor(w.pow(e + 1).bytes(), u.bytes()));
+    }
+
+    #[test]
+    fn expo_increase_lemma_randomized(w in word(4), u in word(8), v in word(8)) {
+        prop_assume!(!w.is_empty());
+        prop_assert!(check_expo_increase(w.bytes(), u.bytes(), v.bytes()));
+    }
+
+    #[test]
+    fn power_factorisation_roundtrips(w in word(4), m in 1usize..5, i in 0usize..20, len in 1usize..20) {
+        prop_assume!(!w.is_empty());
+        // Take the primitive root so every sample is usable.
+        let w = primitive_root(w.bytes()).0;
+        let wm = w.pow(m);
+        let i = i % wm.len(); // wm is non-empty
+        let j = (i + len).min(wm.len()); // j > i since len ≥ 1
+        let u = wm.factor(i, j);
+        if exp(w.bytes(), u.bytes()) > 0 {
+            let f = power_factorisation(w.bytes(), u.bytes());
+            prop_assert!(f.is_some(), "u = {} w = {}", u, w);
+            let f = f.unwrap();
+            prop_assert_eq!(f.assemble(w.bytes()), u);
+        }
+    }
+
+    #[test]
+    fn scattered_subword_laws(x in word(8), y in word(8), z in word(8)) {
+        // Reflexive, transitive; ε minimal; concatenation monotone.
+        prop_assert!(is_scattered_subword(x.bytes(), x.bytes()));
+        prop_assert!(is_scattered_subword(b"", x.bytes()));
+        if is_scattered_subword(x.bytes(), y.bytes()) && is_scattered_subword(y.bytes(), z.bytes()) {
+            prop_assert!(is_scattered_subword(x.bytes(), z.bytes()));
+        }
+        prop_assert!(is_scattered_subword(x.bytes(), x.concat(&y).bytes()));
+        prop_assert!(is_scattered_subword(y.bytes(), x.concat(&y).bytes()));
+    }
+
+    #[test]
+    fn shuffle_contains_both_orders_and_preserves_counts(x in word(5), y in word(5)) {
+        prop_assert!(is_shuffle(x.bytes(), y.bytes(), x.concat(&y).bytes()));
+        prop_assert!(is_shuffle(x.bytes(), y.bytes(), y.concat(&x).bytes()) ==
+            is_shuffle(y.bytes(), x.bytes(), y.concat(&x).bytes()) ||
+            is_shuffle(x.bytes(), y.bytes(), y.concat(&x).bytes()));
+        for z in shuffle_product(x.bytes(), y.bytes()) {
+            prop_assert!(is_permutation(z.bytes(), x.concat(&y).bytes()));
+            prop_assert!(is_shuffle(x.bytes(), y.bytes(), z.bytes()));
+        }
+    }
+
+    #[test]
+    fn factor_intersection_is_symmetric(u in word_abc(10), v in word_abc(10)) {
+        use fc_words::factors::{common_factors, max_common_factor_len};
+        prop_assert_eq!(
+            common_factors(u.bytes(), v.bytes()),
+            common_factors(v.bytes(), u.bytes())
+        );
+        let r = max_common_factor_len(u.bytes(), v.bytes());
+        let c = common_factors(u.bytes(), v.bytes());
+        prop_assert_eq!(c.iter().map(|w| w.len()).max().unwrap_or(0), r);
+    }
+
+    #[test]
+    fn reversal_is_involutive_and_antihomomorphic(u in word_abc(12), v in word_abc(12)) {
+        prop_assert_eq!(u.reversed().reversed(), u.clone());
+        prop_assert_eq!(
+            u.concat(&v).reversed(),
+            v.reversed().concat(&u.reversed())
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! Explore Ehrenfeucht-Fraïssé games: transcripts, winning lines, and the
+//! paper's figure diagrams rendered from live plays.
+//!
+//! ```text
+//! cargo run --release --example game_explorer [w] [v] [k]
+//! ```
+
+use fc_suite::games::solver::EfSolver;
+use fc_suite::games::strategies::{PrimitivePowerStrategy, TableStrategy, UnaryEndAlignedStrategy};
+use fc_suite::games::strategy::{play_line, validate_strategy};
+use fc_suite::games::{GamePair, Side};
+use fc_suite::words::Word;
+
+fn side_name(s: Side) -> &'static str {
+    match s {
+        Side::A => "A",
+        Side::B => "B",
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let w = args.get(1).map(String::as_str).unwrap_or("aaaa").to_string();
+    let v = args.get(2).map(String::as_str).unwrap_or("aaa").to_string();
+    let k: u32 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(2);
+
+    println!("=== EF game over 𝔄_{w} and 𝔅_{v} ===\n");
+    let mut solver = EfSolver::of(&w, &v);
+    for rounds in 0..=k {
+        println!("{w} ≡_{rounds} {v} ? {}", solver.equivalent(rounds));
+    }
+    println!("(explored {} memoized states)", solver.states_explored());
+
+    match solver.distinguishing_rounds(k) {
+        Some(min_k) => {
+            println!("\nSpoiler wins with {min_k} round(s); a winning line:");
+            for (i, mv) in solver.spoiler_winning_line(min_k).unwrap().iter().enumerate() {
+                let word = match mv.side {
+                    Side::A => solver.game().a.render(mv.element),
+                    Side::B => solver.game().b.render(mv.element),
+                };
+                println!("  round {}: Spoiler picks {}:{word}", i + 1, side_name(mv.side));
+            }
+        }
+        None => {
+            println!("\nDuplicator survives all {k} rounds — replaying the table strategy:");
+            let game = GamePair::of(&w, &v);
+            let strat = TableStrategy::new(game.clone(), k);
+            match validate_strategy(&game, &strat, k) {
+                None => println!("  table strategy validated against every Spoiler line ✓"),
+                Some(f) => println!("  unexpected failure:\n{}", f.render(&game)),
+            }
+        }
+    }
+
+    // Figure 2/3 reproduction: the Primitive Power strategy in action.
+    println!("\n=== Figure 2: Duplicator's exponent-swap strategy (Lemma 4.9) ===");
+    let (p, q) = (12usize, 14usize);
+    let lookup_game = GamePair::of(&"a".repeat(q), &"a".repeat(p));
+    let lookup = UnaryEndAlignedStrategy::new(q, p, 7);
+    let mut strat =
+        PrimitivePowerStrategy::new(Word::from("ab"), lookup_game, Box::new(lookup));
+    let composed = strat.composed_game();
+    println!("game: (ab)^{q} vs (ab)^{p}, rank 1");
+    let picks = ["bababa", "abab", "babababababababababababa"];
+    for pick in picks {
+        if let Some(id) = composed.a.id_of(pick.as_bytes()) {
+            let (transcript, ok) = play_line(&composed, &mut strat, &[(Side::A, id)]);
+            let r = &transcript[0];
+            println!(
+                "  ┌ Spoiler  A: {:<26} (exp = {})",
+                composed.a.render(r.spoiler),
+                fc_suite::words::exponent::exp(b"ab", pick.as_bytes()),
+            );
+            println!(
+                "  └ Duplicator B: {:<24} (consistent: {ok})",
+                composed.b.render(r.duplicator)
+            );
+        }
+    }
+    println!("\n        u₁·wⁿ·u₂ ─────────▶ aⁿ        (read off the exponent)");
+    println!("            │                │  𝒢_l     (unary look-up game)");
+    println!("            ▼                ▼");
+    println!("        u₁·wᵐ·u₂ ◀───────── aᵐ        (swap the exponent back)");
+}

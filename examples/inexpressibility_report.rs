@@ -1,0 +1,36 @@
+//! Runs the full experiment registry (E01…E18 + figures) and prints every
+//! report; optionally writes the JSON archive consumed by EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release --example inexpressibility_report [quick|full] [out.json]
+//! ```
+
+use fc_suite::{run_all, Effort, Status};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let effort = match args.get(1).map(String::as_str) {
+        Some("full") => Effort::Full,
+        _ => Effort::Quick,
+    };
+    println!("running the experiment registry at {effort:?} effort…\n");
+    let reports = run_all(effort);
+    let mut pass = 0;
+    let mut fail = 0;
+    for rep in &reports {
+        print!("{}", rep.render());
+        match rep.status {
+            Status::Fail => fail += 1,
+            _ => pass += 1,
+        }
+    }
+    println!("\n==== {pass} experiments ok, {fail} failed ====");
+    if let Some(path) = args.get(2) {
+        let json = serde_json::to_string_pretty(&reports).expect("serialize");
+        std::fs::write(path, json).expect("write archive");
+        println!("archive written to {path}");
+    }
+    if fail > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,92 @@
+//! Quickstart: factor structures, FC model checking, and an EF game.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use fc_suite::games::solver::EfSolver;
+use fc_suite::logic::{eval, library, FactorStructure, Formula, Term};
+use fc_suite::words::{Alphabet, Word};
+
+fn main() {
+    // 1. A word and its factor structure 𝔄_w.
+    let w = Word::from("abaab");
+    let structure = FactorStructure::new(w.clone(), &Alphabet::ab());
+    println!("word w = {w}");
+    println!(
+        "|Facs(w)| = {} distinct factors (universe incl. ε, excl. ⊥)",
+        structure.universe_len()
+    );
+
+    // 2. Model checking: the intro's cube-freeness sentence.
+    let phi = library::phi_cube_free();
+    println!("\nφ (no uuu factor) on some words:");
+    for cand in ["abaab", "aaa", "abababx"] {
+        let cand = &cand.replace('x', "");
+        let s = FactorStructure::of_str(cand, &Alphabet::ab());
+        println!("  {:8} ⊨ φ ? {}", cand, phi.models(&s));
+    }
+
+    // 3. A formula with free variables: R_copy(x, y) = (x ≐ y·y).
+    let copy = library::r_copy("x", "y");
+    let sols = eval::satisfying_assignments(&copy, &structure);
+    println!("\n⟦x ≐ y·y⟧(abaab) has {} assignments:", sols.len());
+    for m in &sols {
+        let pretty: Vec<String> = m
+            .iter()
+            .map(|(var, id)| format!("{var} ↦ {}", structure.render(*id)))
+            .collect();
+        println!("  {{{}}}", pretty.join(", "));
+    }
+
+    // 4. An Ehrenfeucht-Fraïssé game: a⁴ vs a³ (paper Example 3.3).
+    let mut solver = EfSolver::of("aaaa", "aaa");
+    println!("\nEF games on a⁴ vs a³:");
+    for k in 0..=2 {
+        println!("  a⁴ ≡_{k} a³ ? {}", solver.equivalent(k));
+    }
+    if let Some(line) = solver.spoiler_winning_line(2) {
+        println!("  Spoiler's winning line ({} moves):", line.len());
+        for (i, mv) in line.iter().enumerate() {
+            let side = match mv.side {
+                fc_suite::games::Side::A => "A",
+                fc_suite::games::Side::B => "B",
+            };
+            let word = match mv.side {
+                fc_suite::games::Side::A => solver.game().a.render(mv.element),
+                fc_suite::games::Side::B => solver.game().b.render(mv.element),
+            };
+            println!("    round {}: pick {side}:{word}", i + 1);
+        }
+    }
+
+    // 5. And a positive equivalence: the minimal rank-2 unary pair.
+    let mut solver = EfSolver::of(&"a".repeat(12), &"a".repeat(14));
+    println!("\na¹² ≡₂ a¹⁴ ? {} (the minimal rank-2 pair, experiment E03)", solver.equivalent(2));
+
+    // 6. FC can express surprising languages: the Fibonacci chain L_fib.
+    let phi_fib = library::phi_fib();
+    let member = fc_suite::words::fibonacci::l_fib_member(3);
+    let s = FactorStructure::new(member.clone(), &Alphabet::abc());
+    println!("\nφ_fib accepts {member} ? {}", phi_fib.models(&s));
+
+    // 7. …but not aⁿbⁿ: a machine-checked fooling pair.
+    let inst = fc_suite::games::fooling::FoolingInstance::new("", "a", "", "b", "", |p| p)
+        .expect("a, b are co-primitive");
+    if let Some(pair) = inst.fooling_pair(1, 10) {
+        println!(
+            "\nfooling pair at rank 1: {} ∈ aⁿbⁿ  ≡₁  {} ∉ aⁿbⁿ",
+            pair.inside, pair.outside
+        );
+        println!("(no FC sentence of quantifier rank ≤ 1 defines aⁿbⁿ)");
+    }
+
+    // 8. Sentences as languages.
+    let square = library::phi_square();
+    let window = fc_suite::logic::language::language_window(&square, &Alphabet::ab(), 4);
+    let names: Vec<String> = window.iter().map(|w| w.to_string()).collect();
+    println!("\nL(φ_ww) ∩ Σ^≤4 = {{{}}}", names.join(", "));
+
+    let _ = Formula::eq(Term::var("x"), Term::Epsilon); // API surface demo
+    println!("\nquickstart done.");
+}

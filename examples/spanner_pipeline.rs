@@ -1,0 +1,103 @@
+//! An information-extraction pipeline with document spanners.
+//!
+//! Mirrors the paper's §1 story: regex formulas extract span relations,
+//! the algebra combines them, ζ= does text-equality joins, difference
+//! upgrades to generalized core spanners, and ζ^R shows what *cannot* be
+//! had without extending the algebra.
+//!
+//! ```text
+//! cargo run --release --example spanner_pipeline
+//! ```
+
+use fc_suite::spanners::regex_formula::RegexFormula;
+use fc_suite::spanners::spanner::{Spanner, SpannerClass};
+use std::rc::Rc;
+
+fn main() {
+    let doc = b"aa bab aa abba bab aa";
+    println!("document: {:?}\n", String::from_utf8_lossy(doc));
+
+    // 1. Extractor: all occurrences of "aa" (the paper's misspelling idiom).
+    let occurrences = Spanner::regex(RegexFormula::extractor(RegexFormula::capture(
+        "x",
+        RegexFormula::pattern("aa"),
+    )));
+    let rel = occurrences.evaluate(doc);
+    println!("γ₁(x) = Σ*·x{{aa}}·Σ* extracts {} spans:", rel.len());
+    print!("{}", rel.render(doc));
+
+    // 2. A second extractor for "bab".
+    let second = Spanner::regex(RegexFormula::extractor(RegexFormula::capture(
+        "y",
+        RegexFormula::pattern("bab"),
+    )));
+
+    // 3. Join: all (x, y) pairs — regular spanners are closed under ⋈.
+    let joined = Rc::new(Spanner::Join(occurrences.clone(), second.clone()));
+    println!("\nγ₁ ⋈ γ₂ has {} tuples (class: {:?})", joined.evaluate(doc).len(), joined.class());
+
+    // 4. Equality selection: pairs of *distinct positions with equal text*.
+    let both = Spanner::regex(RegexFormula::extractor(RegexFormula::cat([
+        RegexFormula::capture("x", RegexFormula::pattern("(a|b)(a|b)")),
+        RegexFormula::any_star(),
+        RegexFormula::capture("y", RegexFormula::pattern("(a|b)(a|b)")),
+    ])));
+    let equal_pairs = Spanner::eq_select("x", "y", both.clone());
+    println!(
+        "\nζ=_{{x,y}} over two-letter spans: {} equal-content pairs (class: {:?})",
+        equal_pairs.evaluate(doc).len(),
+        equal_pairs.class()
+    );
+
+    // 5. Difference: pairs with *different* content — generalized core.
+    let different = Rc::new(Spanner::Difference(both.clone(), equal_pairs.clone()));
+    println!(
+        "difference (≠ content): {} tuples (class: {:?})",
+        different.evaluate(doc).len(),
+        different.class()
+    );
+
+    // 6. What the algebra cannot do: length-equality selection ζ^len.
+    //    (Freydenberger–Peterfreund Thm 5.14, recalled in the paper's §1;
+    //    our Theorem 5.5 reductions add eight more relations.)
+    let split = Spanner::regex(RegexFormula::cat([
+        RegexFormula::capture("x", RegexFormula::any_star()),
+        RegexFormula::capture("y", RegexFormula::any_star()),
+    ]));
+    let len_eq = Spanner::rel_select(
+        &["x", "y"],
+        "len",
+        |c| c[0].len() == c[1].len(),
+        split,
+    );
+    println!(
+        "\nζ^len over all 2-splits: class {:?} — provably NOT expressible as a \
+         generalized core spanner",
+        len_eq.class()
+    );
+    assert_eq!(len_eq.class(), SpannerClass::Extended);
+    let halves = len_eq.evaluate(b"abba");
+    println!("on \"abba\" it selects {} tuple(s):", halves.len());
+    print!("{}", halves.render(b"abba"));
+
+    // 7. The Theorem 5.5 reductions, live.
+    println!("\nTheorem 5.5 reduction spanners (Boolean languages):");
+    for case in fc_suite::relations::reductions::all_reductions() {
+        let sample = match case.language {
+            "L1" => &b"aababa"[..],
+            "L2" => b"ababa",
+            "L3" => b"babb",
+            "L4" => b"baabb",
+            "L5" => b"abaabbbbaaba",
+            "L6 (n \u{2265} 1)" => b"abab",
+            _ => b"aabb",
+        };
+        println!(
+            "  ζ^{:8} → {:12}  accepts {:?} = {}",
+            case.relation,
+            case.language,
+            String::from_utf8_lossy(sample),
+            case.spanner.accepts(sample)
+        );
+    }
+}

@@ -1,0 +1,188 @@
+//! `fc` — command-line front end for the FC / EF-games toolkit.
+//!
+//! ```text
+//! fc check  '<formula>' <word>        model-check a sentence on a word
+//! fc solve  '<formula>' <word>        print all satisfying assignments
+//! fc game   <w> <v> <k>               decide w ≡_k v, show a winning line
+//! fc classes <k> <max_exponent>       unary ≡_k class table (Lemma 3.6)
+//! fc fooling <lang> <k> [limit]       fooling pair for anbn | L1..L6
+//! fc bounded '<regex>'                boundedness of a regular language
+//! ```
+//!
+//! Formula syntax: see `fc_logic::parser` — e.g.
+//! `fc check 'E x, y: x = y.y & !(E z1, z2: ((z1 = z2.x) | (z1 = x.z2)) & !(z2 = eps))' abab`
+
+use fc_suite::games::pow2;
+use fc_suite::games::solver::EfSolver;
+use fc_suite::games::Side;
+use fc_suite::logic::eval::{holds, satisfying_assignments, Assignment};
+use fc_suite::logic::parser::parse_formula;
+use fc_suite::logic::FactorStructure;
+use fc_suite::reglang::{bounded, Dfa, Regex};
+use fc_suite::relations::languages;
+use fc_suite::words::{Alphabet, Word};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("check") => cmd_check(&args[1..]),
+        Some("solve") => cmd_solve(&args[1..]),
+        Some("game") => cmd_game(&args[1..]),
+        Some("classes") => cmd_classes(&args[1..]),
+        Some("fooling") => cmd_fooling(&args[1..]),
+        Some("bounded") => cmd_bounded(&args[1..]),
+        _ => {
+            eprintln!("usage: fc <check|solve|game|classes|fooling|bounded> …");
+            eprintln!("see the module docs (src/bin/fc.rs) for details");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn need<'a>(args: &'a [String], i: usize, what: &str) -> Result<&'a str, String> {
+    args.get(i).map(String::as_str).ok_or_else(|| format!("missing argument: {what}"))
+}
+
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let phi = parse_formula(need(args, 0, "formula")?)?;
+    let word = need(args, 1, "word")?;
+    if !phi.is_sentence() {
+        return Err(format!(
+            "formula has free variables {:?}; use `fc solve` instead",
+            phi.free_vars()
+        ));
+    }
+    let s = FactorStructure::of_word(word);
+    let verdict = holds(&phi, &s, &Assignment::new());
+    println!("{word} ⊨ φ ? {verdict}   (qr = {}, desugared qr = {})", phi.qr(), phi.qr_desugared());
+    Ok(())
+}
+
+fn cmd_solve(args: &[String]) -> Result<(), String> {
+    let phi = parse_formula(need(args, 0, "formula")?)?;
+    let word = need(args, 1, "word")?;
+    let s = FactorStructure::of_word(word);
+    let sols = satisfying_assignments(&phi, &s);
+    println!("⟦φ⟧({word}) has {} assignment(s):", sols.len());
+    for m in sols.iter().take(50) {
+        let cells: Vec<String> = m
+            .iter()
+            .map(|(v, id)| format!("{v} ↦ {}", s.render(*id)))
+            .collect();
+        println!("  {{{}}}", cells.join(", "));
+    }
+    if sols.len() > 50 {
+        println!("  … and {} more", sols.len() - 50);
+    }
+    Ok(())
+}
+
+fn cmd_game(args: &[String]) -> Result<(), String> {
+    let w = need(args, 0, "w")?;
+    let v = need(args, 1, "v")?;
+    let k: u32 = need(args, 2, "k")?.parse().map_err(|_| "k must be a number".to_string())?;
+    let mut solver = EfSolver::of(w, v);
+    let verdict = solver.equivalent(k);
+    println!("{w} ≡_{k} {v} ? {verdict}   ({} states explored)", solver.states_explored());
+    if !verdict {
+        if let Some(line) = solver.spoiler_winning_line(k) {
+            println!("Spoiler winning line:");
+            for (i, mv) in line.iter().enumerate() {
+                let (side, word) = match mv.side {
+                    Side::A => ("A", solver.game().a.render(mv.element)),
+                    Side::B => ("B", solver.game().b.render(mv.element)),
+                };
+                println!("  round {}: pick {side}:{word}", i + 1);
+            }
+        }
+        if let Some(min_k) = EfSolver::of(w, v).distinguishing_rounds(k) {
+            if let Some(phi) = fc_suite::games::certificate::distinguishing_sentence(w, v, min_k) {
+                let printed = phi.to_string();
+                if printed.len() <= 400 {
+                    println!("certificate (qr ≤ {min_k}): {printed}");
+                } else {
+                    println!(
+                        "certificate (qr ≤ {min_k}): {} … ({} chars)",
+                        &printed.chars().take(200).collect::<String>(),
+                        printed.len()
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_classes(args: &[String]) -> Result<(), String> {
+    let k: u32 = need(args, 0, "k")?.parse().map_err(|_| "k must be a number".to_string())?;
+    let limit: usize =
+        need(args, 1, "max exponent")?.parse().map_err(|_| "limit must be a number".to_string())?;
+    let classes = pow2::unary_classes(k, limit);
+    println!("≡_{k} classes of a^0 .. a^{limit}:");
+    println!("{}", pow2::render_classes(&classes));
+    match pow2::minimal_unary_pair(k, limit) {
+        Some((p, q)) => println!("minimal pair: a^{p} ≡_{k} a^{q}"),
+        None => println!("no pair with exponents ≤ {limit}"),
+    }
+    Ok(())
+}
+
+fn cmd_fooling(args: &[String]) -> Result<(), String> {
+    let name = need(args, 0, "language (anbn|L1..L6)")?;
+    let k: u32 = need(args, 1, "k")?.parse().map_err(|_| "k must be a number".to_string())?;
+    let limit: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let catalogue = languages::catalogue();
+    let lang = catalogue
+        .iter()
+        .find(|l| l.name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown language {name}; try anbn, L1, …, L6"))?;
+    match lang.fooling_pair(k, limit) {
+        Some(pair) => {
+            println!("inside  (∈ {}): {}", lang.name, pair.inside);
+            println!("outside (∉ {}): {}", lang.name, pair.outside);
+            println!("solver-confirmed ≡_{k}; exponents {:?}", pair.exponents);
+            Ok(())
+        }
+        None => Err(format!("no rank-{k} fooling pair with exponents ≤ {limit}")),
+    }
+}
+
+fn cmd_bounded(args: &[String]) -> Result<(), String> {
+    let pattern = need(args, 0, "regex")?;
+    let re = Regex::parse(pattern)?;
+    let mut alpha = re.symbols();
+    if alpha.is_empty() {
+        alpha = b"ab".to_vec();
+    }
+    let dfa = Dfa::from_regex(&re, &alpha);
+    if bounded::is_bounded(&dfa) {
+        let witness = bounded::bounded_witness(&dfa).expect("bounded");
+        let rendered: Vec<String> = witness
+            .iter()
+            .filter(|w| !w.is_empty())
+            .map(|w| format!("{w}*"))
+            .collect();
+        println!("L({pattern}) is BOUNDED");
+        if rendered.len() <= 24 {
+            println!("witness: {}", rendered.join("·"));
+        } else {
+            println!("witness: {}· … ({} factors)", rendered[..8].join("·"), rendered.len());
+        }
+    } else {
+        println!("L({pattern}) is UNBOUNDED");
+    }
+    // Also enumerate a few members for orientation.
+    let members = fc_suite::reglang::enumerate::enumerate_dfa(&dfa, 5);
+    let names: Vec<String> = members.iter().take(12).map(Word::to_string).collect();
+    println!("members up to length 5: {}", names.join(", "));
+    let _ = Alphabet::ab();
+    Ok(())
+}

@@ -1,0 +1,143 @@
+//! Fooling-Lemma experiments: E08, E09, E14, E15.
+
+use crate::report::{Effort, ExperimentReport};
+use fc_games::fooling::FoolingInstance;
+use fc_relations::languages;
+
+/// E08 — Example 4.5: fooling pairs for `aⁿbⁿ`, rank by rank.
+pub fn e08_anbn(effort: Effort) -> ExperimentReport {
+    let mut rep = ExperimentReport::new();
+    let inst = FoolingInstance::new("", "a", "", "b", "", |p| p).expect("a, b co-primitive");
+    let (max_k, limit) = match effort {
+        Effort::Quick => (1u32, 10usize),
+        Effort::Full => (2u32, 20usize),
+    };
+    for k in 1..=max_k {
+        match inst.fooling_pair(k, limit) {
+            Some(pair) => {
+                let verified = inst.verify(&pair, 2 * limit).is_ok();
+                rep.check(
+                    verified,
+                    format!(
+                        "k={k}: a^{}b^{} ∈ L ≡_{k} a^{}b^{} ∉ L (solver-confirmed)",
+                        pair.p, pair.p, pair.q, pair.p
+                    ),
+                );
+            }
+            None => rep.check(false, format!("k={k}: no fooling pair within exponent {limit}")),
+        }
+    }
+    // Claim C.2's intermediate step: prefix pairs.
+    if let Some((p, q)) = inst.find_prefix_pair(1, 10) {
+        rep.check(true, format!("prefix pair: a^{p} ≡₁ a^{q} (Pseudo-Congruence feed)"));
+    } else {
+        rep.check(false, "no prefix pair found");
+    }
+    rep
+}
+
+/// E09 — Prop 4.6: `aⁿ(ba)ⁿ` with the r = 1 intersection.
+pub fn e09_a_ba(effort: Effort) -> ExperimentReport {
+    let mut rep = ExperimentReport::new();
+    let inst = FoolingInstance::new("", "a", "", "ba", "", |p| p).expect("a, ba co-primitive");
+    let (max_k, limit) = match effort {
+        Effort::Quick => (1u32, 10usize),
+        Effort::Full => (2u32, 20usize),
+    };
+    rep.row("Facs(aᵐ) ∩ Facs((ba)ⁿ) = {ε, a}, so Lemma 4.4 applies with r = 1".to_string());
+    for k in 1..=max_k {
+        match inst.fooling_pair(k, limit) {
+            Some(pair) => {
+                let verified = inst.verify(&pair, 2 * limit).is_ok();
+                rep.check(
+                    verified,
+                    format!("k={k}: a^{}(ba)^{} ≡_{k} a^{}(ba)^{} (p={}, q={})",
+                        pair.p, pair.p, pair.q, pair.p, pair.p, pair.q),
+                );
+            }
+            None => rep.check(false, format!("k={k}: no fooling pair within exponent {limit}")),
+        }
+    }
+    rep
+}
+
+/// E14 — the Fooling Lemma driver on assorted instances, including a
+/// non-identity injective `f` and the L₅ block pair.
+pub fn e14_fooling_driver(effort: Effort) -> ExperimentReport {
+    let mut rep = ExperimentReport::new();
+    let limit = match effort {
+        Effort::Quick => 10usize,
+        Effort::Full => 16usize,
+    };
+    // Co-primitivity is enforced.
+    rep.check(
+        FoolingInstance::new("", "ab", "", "ba", "", |p| p).is_err(),
+        "conjugate blocks (ab, ba) are rejected",
+    );
+    rep.check(
+        FoolingInstance::new("", "abab", "", "b", "", |p| p).is_err(),
+        "imprimitive block abab is rejected",
+    );
+    // f(p) = 2p with frames.
+    let inst = FoolingInstance::new("c", "a", "c", "b", "c", |p| 2 * p).expect("co-primitive");
+    match inst.fooling_pair(1, limit) {
+        Some(pair) => {
+            let verified = inst.verify(&pair, 2 * limit).is_ok();
+            rep.check(
+                verified,
+                format!(
+                    "f(p) = 2p with frames: c·a^{}·c·b^{}·c ≡₁ c·a^{}·c·b^{}·c",
+                    pair.p,
+                    2 * pair.p,
+                    pair.q,
+                    2 * pair.p
+                ),
+            );
+        }
+        None => rep.check(false, "no fooling pair for f(p) = 2p"),
+    }
+    // The L5 blocks (longer period; smaller exponent budget).
+    let inst5 = FoolingInstance::new("", "abaabb", "", "bbaaba", "", |p| p).expect("co-primitive");
+    match inst5.fooling_pair(1, limit.min(12)) {
+        Some(pair) => {
+            let verified = inst5.verify(&pair, limit).is_ok();
+            rep.check(
+                verified,
+                format!(
+                    "L5 blocks: (abaabb)^{} (bbaaba)^{} ≡₁ (abaabb)^{} (bbaaba)^{}",
+                    pair.p, pair.p, pair.q, pair.p
+                ),
+            );
+        }
+        None => rep.check(false, "no fooling pair for the L5 blocks"),
+    }
+    rep
+}
+
+/// E15 — Lemma 4.15: a solver-confirmed fooling pair for each of L₁…L₆
+/// (plus aⁿbⁿ), rank by rank as far as the effort allows.
+pub fn e15_l1_to_l6(effort: Effort) -> ExperimentReport {
+    let mut rep = ExperimentReport::new();
+    let (max_k, limit) = match effort {
+        Effort::Quick => (1u32, 12usize),
+        Effort::Full => (1u32, 20usize),
+    };
+    for lang in languages::catalogue() {
+        for k in 1..=max_k {
+            match lang.fooling_pair(k, limit) {
+                Some(pair) => rep.check(
+                    true,
+                    format!(
+                        "{}: {} ∈ L ≡_{k} {} ∉ L (exponents {:?})",
+                        lang.name, pair.inside, pair.outside, pair.exponents
+                    ),
+                ),
+                None => rep.check(
+                    false,
+                    format!("{}: no rank-{k} fooling pair within exponent {limit}", lang.name),
+                ),
+            }
+        }
+    }
+    rep
+}

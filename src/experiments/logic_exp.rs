@@ -1,0 +1,387 @@
+//! Logic-side experiments: E02, E04, E05, E16.
+
+use crate::report::{Effort, ExperimentReport};
+use fc_games::solver::EfSolver;
+use fc_games::GamePair;
+use fc_logic::eval::{holds, holds_naive, Assignment};
+use fc_logic::library;
+use fc_logic::{FactorStructure, Formula, Term};
+use fc_reglang::bounded::BoundedExpr;
+use fc_words::{fibonacci, Alphabet, Word};
+
+fn v(name: &str) -> Term {
+    Term::var(name)
+}
+
+/// A battery of sentences with known quantifier ranks, used to cross-check
+/// Theorem 3.5.
+fn sentence_battery() -> Vec<(Formula, usize)> {
+    let mut out = Vec::new();
+    // Rank 1: ∃x: x ≐ a·a ; ∃x: x ≐ a·b ; ∃x: x ≐ b·a ; ∃x ¬(x ≐ ε).
+    for (y, z) in [(b'a', b'a'), (b'a', b'b'), (b'b', b'a'), (b'b', b'b')] {
+        let f = Formula::exists(&["x"], Formula::eq_cat(v("x"), Term::Sym(y), Term::Sym(z)));
+        out.push((f, 1));
+    }
+    out.push((
+        Formula::exists(&["x"], Formula::not(Formula::eq(v("x"), Term::Epsilon))),
+        1,
+    ));
+    // Rank 2: squares exist; every factor is a square of something; etc.
+    out.push((
+        Formula::exists(
+            &["x", "y"],
+            Formula::and([
+                Formula::eq_cat(v("x"), v("y"), v("y")),
+                Formula::not(Formula::eq(v("y"), Term::Epsilon)),
+            ]),
+        ),
+        2,
+    ));
+    out.push((
+        Formula::forall(
+            &["x"],
+            Formula::exists(&["y"], Formula::eq_cat(v("x"), v("y"), v("y"))),
+        ),
+        2,
+    ));
+    out.push((
+        Formula::exists(
+            &["x", "y"],
+            Formula::and([
+                Formula::eq_cat(v("x"), v("y"), Term::Sym(b'a')),
+                Formula::eq_cat(v("x"), Term::Sym(b'b'), v("y")),
+            ]),
+        ),
+        2,
+    ));
+    out
+}
+
+/// E02 — Theorem 3.5 cross-check: whenever the solver certifies
+/// `w ≡_k v`, every battery sentence of rank ≤ k agrees on `w` and `v`
+/// (and whenever a sentence of rank r disagrees, the solver distinguishes
+/// at r).
+pub fn e02_ef_theorem(effort: Effort) -> ExperimentReport {
+    let mut rep = ExperimentReport::new();
+    let max_len = match effort {
+        Effort::Quick => 3,
+        Effort::Full => 4,
+    };
+    let sigma = Alphabet::ab();
+    let battery = sentence_battery();
+    let words: Vec<Word> = sigma.words_up_to(max_len).collect();
+    let mut checked = 0usize;
+    let mut violations = 0usize;
+    for (i, w) in words.iter().enumerate() {
+        for u in words.iter().skip(i + 1) {
+            let mut solver = EfSolver::new(GamePair::new(
+                w.clone(),
+                u.clone(),
+                &sigma,
+            ));
+            for k in 0..=2u32 {
+                let equiv = solver.equivalent(k);
+                if !equiv {
+                    continue;
+                }
+                let sw = FactorStructure::new(w.clone(), &sigma);
+                let su = FactorStructure::new(u.clone(), &sigma);
+                for (phi, rank) in &battery {
+                    if *rank as u32 <= k {
+                        checked += 1;
+                        let (mw, mu) = (
+                            holds(phi, &sw, &Assignment::new()),
+                            holds(phi, &su, &Assignment::new()),
+                        );
+                        if mw != mu {
+                            violations += 1;
+                            rep.check(
+                                false,
+                                format!("{w} ≡_{k} {u} but sentence {phi} (rank {rank}) disagrees"),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    rep.check(
+        violations == 0,
+        format!("EF theorem respected on {checked} (pair, sentence) combinations over Σ^≤{max_len}"),
+    );
+    rep
+}
+
+/// E04 — Prop 3.7: the rank-5 sentence φ accepts `aᵖbaᵖ` and rejects
+/// `a^q·b·aᵖ`, so `≡_k` cannot be a congruence at any `k ≥ 5`.
+pub fn e04_not_congruence(effort: Effort) -> ExperimentReport {
+    let mut rep = ExperimentReport::new();
+    let phi = library::phi_vbv();
+    rep.check(phi.qr() == 5, format!("qr(φ) = {} (paper: 5)", phi.qr()));
+    let sigma = Alphabet::ab();
+    let max_p = match effort {
+        Effort::Quick => 4,
+        Effort::Full => 6,
+    };
+    for p in 1..=max_p {
+        for q in 1..=max_p {
+            if p == q {
+                continue;
+            }
+            let wp = Word::from("a").pow(p).concat(&Word::from("b")).concat(&Word::from("a").pow(p));
+            let wq = Word::from("a").pow(q).concat(&Word::from("b")).concat(&Word::from("a").pow(p));
+            let sp = FactorStructure::new(wp.clone(), &sigma);
+            let sq = FactorStructure::new(wq.clone(), &sigma);
+            let ok = holds(&phi, &sp, &Assignment::new()) && !holds(&phi, &sq, &Assignment::new());
+            if !ok {
+                rep.check(false, format!("φ failed to separate {wp} from {wq}"));
+            }
+        }
+    }
+    rep.check(true, format!("φ separates aᵖbaᵖ from a^q·b·aᵖ for all p ≠ q ≤ {max_p}"));
+    // The congruence failure, stated with the solver: a^12 ≡_1 a^14 and
+    // b·a^12 ≡_1 b·a^12, yet a^12·b·a^12 ≢ a^14·b·a^12 at rank 5 (already
+    // at lower ranks here).
+    let mut s = EfSolver::of(
+        &format!("{}b{}", "a".repeat(12), "a".repeat(12)),
+        &format!("{}b{}", "a".repeat(14), "a".repeat(12)),
+    );
+    match s.distinguishing_rounds(2) {
+        Some(k) => rep.check(true, format!("solver distinguishes the concatenations at rank {k}")),
+        None => rep.row("solver cannot distinguish within 2 rounds (formula needs rank 5)".to_string()),
+    }
+    rep
+}
+
+/// E05 — Prop 4.1: `L(φ_fib) = L_fib` — members accepted, mutants and a
+/// whole window rejected; plus the guarded-vs-naive evaluator ablation.
+pub fn e05_fib(effort: Effort) -> ExperimentReport {
+    let mut rep = ExperimentReport::new();
+    let sigma = Alphabet::abc();
+    let phi = library::phi_fib();
+    let max_n = match effort {
+        Effort::Quick => 3,
+        Effort::Full => 4,
+    };
+    for n in 0..=max_n {
+        let member = fibonacci::l_fib_member(n);
+        let st = FactorStructure::new(member.clone(), &sigma);
+        let t = std::time::Instant::now();
+        let ok = holds(&phi, &st, &Assignment::new());
+        rep.check(
+            ok,
+            format!("accepts c·F₀·c⋯F_{n}·c (len {}) in {:?}", member.len(), t.elapsed()),
+        );
+    }
+    // Mutants.
+    let good = fibonacci::l_fib_member(3);
+    let mut rejected = 0;
+    let mut total = 0;
+    for i in 0..good.len() {
+        let mut bad = good.bytes().to_vec();
+        bad[i] = match bad[i] {
+            b'a' => b'b',
+            b'b' => b'c',
+            _ => b'a',
+        };
+        if fibonacci::is_l_fib(&bad) {
+            continue;
+        }
+        total += 1;
+        let st = FactorStructure::new(Word::from_bytes(bad), &sigma);
+        if !holds(&phi, &st, &Assignment::new()) {
+            rejected += 1;
+        }
+    }
+    rep.check(rejected == total, format!("rejects {rejected}/{total} single-symbol mutants of the n = 3 member"));
+    // Window equality.
+    let window_len = match effort {
+        Effort::Quick => 5,
+        Effort::Full => 6,
+    };
+    let bad = fc_logic::language::first_language_disagreement(&phi, &sigma, window_len, |w| {
+        fibonacci::is_l_fib(w.bytes())
+    });
+    rep.check(bad.is_none(), format!("L(φ_fib) = L_fib on Σ^≤{window_len} (counterexample: {bad:?})"));
+    // Ablation: guarded vs naive on a small member.
+    let member = fibonacci::l_fib_member(2);
+    let st = FactorStructure::new(member.clone(), &sigma);
+    let t = std::time::Instant::now();
+    let g = holds(&phi, &st, &Assignment::new());
+    let guarded_time = t.elapsed();
+    let t = std::time::Instant::now();
+    let n = holds_naive(&phi, &st, &Assignment::new());
+    let naive_time = t.elapsed();
+    rep.check(
+        g == n,
+        format!("guarded ({guarded_time:?}) and naive ({naive_time:?}) evaluators agree on the n = 2 member"),
+    );
+    rep
+}
+
+/// E16 — Lemma 5.3: bounded regular constraints eliminate into FC, exactly;
+/// including the Claim C.1 defect (imprimitive `w*`) and its repair.
+pub fn e16_bounded_transfer(effort: Effort) -> ExperimentReport {
+    let mut rep = ExperimentReport::new();
+    let sigma = Alphabet::ab();
+    let window = match effort {
+        Effort::Quick => 5,
+        Effort::Full => 7,
+    };
+    let cases: Vec<(&str, BoundedExpr)> = vec![
+        ("(ab)*", BoundedExpr::star("ab")),
+        ("(aa)*", BoundedExpr::star("aa")),
+        ("a*b*", BoundedExpr::Concat(vec![BoundedExpr::star("a"), BoundedExpr::star("b")])),
+        ("a*(ba)*", BoundedExpr::Concat(vec![BoundedExpr::star("a"), BoundedExpr::star("ba")])),
+        (
+            "ab ∪ (aa)*b",
+            BoundedExpr::Union(vec![
+                BoundedExpr::word("ab"),
+                BoundedExpr::Concat(vec![BoundedExpr::star("aa"), BoundedExpr::word("b")]),
+            ]),
+        ),
+    ];
+    for (name, expr) in &cases {
+        let dfa = fc_reglang::Dfa::from_regex(&expr.to_regex(), b"ab");
+        let phi = library::on_whole_word(|x| fc_logic::reg_to_fc::bounded_to_fc(x, expr));
+        let bad = fc_logic::language::first_language_disagreement(&phi, &sigma, window, |w| {
+            dfa.accepts(w.bytes())
+        });
+        rep.check(bad.is_none(), format!("{name}: FC translation exact on Σ^≤{window} ({bad:?})"));
+    }
+    // The Claim C.1 defect: the paper-literal φ_{(aa)*} accepts aaa.
+    let lit = library::on_whole_word(|x| library::phi_star_word_paper_literal(x, b"aa"));
+    let fixed = library::on_whole_word(|x| library::phi_star_word(x, b"aa"));
+    let aaa = FactorStructure::of_str("aaa", &sigma);
+    rep.check(
+        holds(&lit, &aaa, &Assignment::new()),
+        "paper-literal Claim C.1 formula wrongly accepts aaa ∈ (aa)* — the documented defect",
+    );
+    rep.check(
+        !holds(&fixed, &aaa, &Assignment::new()),
+        "repaired formula (primitive-root detour) rejects aaa",
+    );
+    // Boundedness decision sanity on the same cases.
+    for (name, expr) in &cases {
+        let dfa = fc_reglang::Dfa::from_regex(&expr.to_regex(), b"ab");
+        rep.check(
+            fc_reglang::bounded::is_bounded(&dfa),
+            format!("{name} is decided bounded"),
+        );
+    }
+    rep.check(
+        !fc_reglang::bounded::is_bounded(&fc_reglang::Dfa::from_regex(
+            &fc_reglang::Regex::parse("(a|b)*").unwrap(),
+            b"ab",
+        )),
+        "Σ* is decided unbounded",
+    );
+    rep
+}
+
+/// E21 — §1 comparison: FO[EQ], the positional logic with built-in factor
+/// equality that the Feferman–Vaught route uses.
+pub fn e21_foeq(effort: Effort) -> ExperimentReport {
+    use fc_logic::foeq::{contains_ab_sentence, foeq_equivalent, square_sentence, FoeqSolver};
+    let mut rep = ExperimentReport::new();
+    let sigma = Alphabet::ab();
+    let window = match effort {
+        Effort::Quick => 5,
+        Effort::Full => 6,
+    };
+    // Shared languages, two logics.
+    let foeq_square = square_sentence();
+    let fc_square = library::phi_square();
+    let mut disagreements = 0;
+    for w in sigma.words_up_to(window) {
+        let s = FactorStructure::new(w.clone(), &sigma);
+        let fc_says = holds(&fc_square, &s, &Assignment::new());
+        let expected = if w.is_empty() { false } else { fc_says };
+        if foeq_square.models(&w) != expected {
+            disagreements += 1;
+        }
+    }
+    rep.check(
+        disagreements == 0,
+        format!("FO[EQ] and FC square sentences agree on Σ^≤{window} (mod the ε convention)"),
+    );
+    rep.check(
+        sigma
+            .words_up_to(window)
+            .all(|w| contains_ab_sentence().models(&w) == fc_words::is_factor(b"ab", w.bytes())),
+        "FO[EQ] contains-ab sentence matches the factor test",
+    );
+    // The FV-route observation: FO[EQ] games run on |w| positions, so the
+    // a^p b^p vs a^q b^p scan is cheap; find a rank-1 pair and time it.
+    let t = std::time::Instant::now();
+    let mut found = None;
+    'outer: for q in 2..=12usize {
+        for p in 1..q {
+            let wp = format!("{}{}", "a".repeat(p), "b".repeat(p));
+            let wq = format!("{}{}", "a".repeat(q), "b".repeat(p));
+            if foeq_equivalent(&wp, &wq, 1) {
+                found = Some((p, q));
+                break 'outer;
+            }
+        }
+    }
+    match found {
+        Some((p, q)) => rep.check(
+            true,
+            format!(
+                "aᵖbᵖ ≡^FO[EQ]₁ a^qbᵖ for (p,q) = ({p},{q}) found in {:?} on |w| positions",
+                t.elapsed()
+            ),
+        ),
+        None => rep.check(false, "no rank-1 FO[EQ] pair found"),
+    }
+    // Reflexivity / basic laws of the positional solver.
+    rep.check(
+        FoeqSolver::new("abab", "abab").equivalent(2) && !foeq_equivalent("ab", "ba", 2),
+        "FO[EQ] game solver sanity (reflexive; ab ≢ ba)",
+    );
+    rep
+}
+
+/// E23 — simple regular expressions (FP19 Lemma 5.5): the second
+/// FC-absorbable constraint class, translated and checked exactly.
+pub fn e23_simple_regex(effort: Effort) -> ExperimentReport {
+    use fc_logic::reg_to_fc::simple_to_fc;
+    use fc_reglang::simple::{SimplePart, SimpleRegex};
+    let mut rep = ExperimentReport::new();
+    let sigma = Alphabet::ab();
+    let window = match effort {
+        Effort::Quick => 6,
+        Effort::Full => 7,
+    };
+    let patterns = vec![
+        ("Σ*·ab·Σ*", SimpleRegex::contains("ab")),
+        ("ab·Σ*", SimpleRegex::starts_with("ab")),
+        ("Σ*·ba", SimpleRegex::ends_with("ba")),
+        (
+            "a·Σ*·bb·Σ*·a",
+            SimpleRegex::from_parts([
+                SimplePart::Word(fc_words::Word::from("a")),
+                SimplePart::Gap,
+                SimplePart::Word(fc_words::Word::from("bb")),
+                SimplePart::Gap,
+                SimplePart::Word(fc_words::Word::from("a")),
+            ]),
+        ),
+    ];
+    for (name, p) in &patterns {
+        let phi = library::on_whole_word(|x| simple_to_fc(x, p));
+        let bad = fc_logic::language::first_language_disagreement(&phi, &sigma, window, |w| {
+            p.contains_word(w.bytes())
+        });
+        rep.check(bad.is_none(), format!("{name}: FC translation exact on Σ^≤{window} ({bad:?})"));
+    }
+    // Incomparability with the bounded class (why §7 lists it separately).
+    let contains = SimpleRegex::contains("ab");
+    let dfa = fc_reglang::Dfa::from_regex(&contains.to_regex(b"ab"), b"ab");
+    rep.check(
+        !fc_reglang::bounded::is_bounded(&dfa),
+        "Σ*·ab·Σ* is simple but UNBOUNDED — the two FC-absorbable classes are incomparable",
+    );
+    rep
+}

@@ -1,0 +1,65 @@
+//! Spanner-side experiments: E17 (Theorem 5.5 reductions) and E18 (§6
+//! closure).
+
+use crate::report::{Effort, ExperimentReport};
+use fc_relations::{closure, reductions};
+use fc_words::Alphabet;
+
+/// E17 — Theorem 5.5: each ζ^R reduction spanner defines its target
+/// bounded language exactly (window check), stays inside the bounding
+/// product, and genuinely uses relation selection.
+pub fn e17_reductions(effort: Effort) -> ExperimentReport {
+    let mut rep = ExperimentReport::new();
+    let sigma = Alphabet::ab();
+    let window = match effort {
+        Effort::Quick => 7,
+        Effort::Full => 9,
+    };
+    for case in reductions::all_reductions() {
+        let uses = case.uses_relation_selection();
+        let lang_ok = case.check_window(&sigma, window).is_none();
+        let bounded_ok = case.check_bounded(&sigma, window).is_none();
+        rep.check(
+            uses && lang_ok && bounded_ok,
+            format!(
+                "ζ^{}: L(ψ) = {} on Σ^≤{window} (uses ζ^R = {uses}, bounded = {bounded_ok})",
+                case.relation, case.language
+            ),
+        );
+    }
+    rep.row(
+        "⇒ were any relation selectable, its Lᵢ would be an FC[REG] language; Lemma 5.3 + E15's \
+         fooling pairs refute that"
+            .to_string(),
+    );
+    rep
+}
+
+/// E18 — §6: `{w : |w|ₐ = |w|_b}` is excluded from FC[REG] by closure
+/// under intersection with the bounded regular language `a*b*`.
+pub fn e18_closure(effort: Effort) -> ExperimentReport {
+    let mut rep = ExperimentReport::new();
+    let window = match effort {
+        Effort::Quick => 8,
+        Effort::Full => 10,
+    };
+    rep.check(
+        closure::check_intersection_identity(window).is_none(),
+        format!("L ∩ a*b* = {{aⁿbⁿ}} verified on Σ^≤{window}"),
+    );
+    rep.check(
+        closure::intersection_target_is_bounded(),
+        "a*b* is decided bounded (Lemma 5.3 applies after intersecting)",
+    );
+    rep.check(
+        closure::refute_small_bounding_products(2, 2),
+        "no 2-factor product of words of length ≤ 2 bounds L itself (the detour is necessary)",
+    );
+    if effort == Effort::Full {
+        rep.check(
+            closure::refute_small_bounding_products(3, 2),
+            "…nor any 3-factor product of short words",
+        );
+    }
+    rep
+}

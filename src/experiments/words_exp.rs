@@ -1,0 +1,162 @@
+//! Word-combinatorics experiments: E10, E13.
+
+use crate::report::{Effort, ExperimentReport};
+use fc_words::conjugacy::{are_conjugate, are_coprimitive, check_stabilisation, common_factor_bound};
+use fc_words::exponent::{check_expo_increase, exp, power_factorisation};
+use fc_words::periodicity::{check_periodicity_lemma, longest_common_omega_factor};
+use fc_words::primitivity::{check_interior_occurrence_lemma, is_primitive};
+use fc_words::{Alphabet, Word};
+
+/// E10 — the primitive-word toolbox: Lemma D.1 (interior occurrences),
+/// Lemma 4.8 (unique factorisation), Lemma D.4 (exponent additivity), all
+/// swept over exhaustive windows.
+pub fn e10_primitive_toolbox(effort: Effort) -> ExperimentReport {
+    let mut rep = ExperimentReport::new();
+    let sigma = Alphabet::ab();
+    let (word_len, power) = match effort {
+        Effort::Quick => (4usize, 3usize),
+        Effort::Full => (5usize, 4usize),
+    };
+
+    // Lemma D.1 over all primitive words of the window.
+    let mut prim_count = 0;
+    let mut d1_failures = 0;
+    for w in sigma.words_up_to(word_len) {
+        if w.is_empty() {
+            continue;
+        }
+        if is_primitive(w.bytes()) {
+            prim_count += 1;
+            if check_interior_occurrence_lemma(w.bytes(), power).is_err() {
+                d1_failures += 1;
+            }
+        }
+    }
+    rep.check(
+        d1_failures == 0,
+        format!("Lemma D.1 holds for all {prim_count} primitive words of len ≤ {word_len} (powers ≤ {power})"),
+    );
+
+    // Lemma 4.8: factorisation exists, reassembles, and has the claimed
+    // shape, for every factor of w^power with positive exponent.
+    let mut facs_checked = 0;
+    let mut facs_failures = 0;
+    for w in sigma.words_up_to(word_len) {
+        if w.is_empty() || !is_primitive(w.bytes()) {
+            continue;
+        }
+        let wm = w.pow(power);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..wm.len() {
+            for j in i + 1..=wm.len() {
+                let u = wm.factor(i, j);
+                if !seen.insert(u.clone()) || exp(w.bytes(), u.bytes()) == 0 {
+                    continue;
+                }
+                facs_checked += 1;
+                match power_factorisation(w.bytes(), u.bytes()) {
+                    Some(f) => {
+                        if f.assemble(w.bytes()) != u
+                            || f.left.len() >= w.len()
+                            || f.right.len() >= w.len()
+                        {
+                            facs_failures += 1;
+                        }
+                    }
+                    None => facs_failures += 1,
+                }
+            }
+        }
+    }
+    rep.check(
+        facs_failures == 0,
+        format!("Lemma 4.8 factorisations exact on {facs_checked} (w, u) instances"),
+    );
+
+    // Lemma D.4: exponent additivity within powers.
+    let mut expo_checked = 0;
+    let mut expo_failures = 0;
+    for w in ["a", "ab", "aab", "aabb"] {
+        for u in sigma.words_up_to(4) {
+            for v2 in sigma.words_up_to(4) {
+                expo_checked += 1;
+                if !check_expo_increase(w.as_bytes(), u.bytes(), v2.bytes()) {
+                    expo_failures += 1;
+                }
+            }
+        }
+    }
+    rep.check(
+        expo_failures == 0,
+        format!("Lemma D.4 (exp additivity ∈ {{0, +1}}) holds on {expo_checked} triples"),
+    );
+
+    // Example 4.7 regression.
+    let u = b"aaaabaabaab";
+    rep.check(
+        exp(b"a", u) == 4 && exp(b"aab", u) == 3,
+        "Example 4.7: exp_a = 4, exp_aab = 3 on aaaabaabaab",
+    );
+    rep
+}
+
+/// E13 — periodicity (Lemma 4.11) and co-primitivity (Lemma 4.12) swept
+/// over primitive pairs.
+pub fn e13_coprimitivity(effort: Effort) -> ExperimentReport {
+    let mut rep = ExperimentReport::new();
+    let sigma = Alphabet::ab();
+    let max_len = match effort {
+        Effort::Quick => 4,
+        Effort::Full => 5,
+    };
+    let prims: Vec<Word> = sigma
+        .words_up_to(max_len)
+        .filter(|w| is_primitive(w.bytes()))
+        .collect();
+    rep.row(format!("{} primitive words of length ≤ {max_len}", prims.len()));
+
+    let mut pairs = 0;
+    let mut lemma_4_11_failures = 0;
+    let mut equivalence_failures = 0;
+    for w in &prims {
+        for v in &prims {
+            pairs += 1;
+            if !check_periodicity_lemma(w.bytes(), v.bytes()) {
+                lemma_4_11_failures += 1;
+            }
+            // Lemma 4.12 (1)⇔(3): co-primitive iff bounded common ω-factors.
+            let cop = are_coprimitive(w.bytes(), v.bytes());
+            let bounded = longest_common_omega_factor(w.bytes(), v.bytes()) != usize::MAX;
+            if cop != bounded {
+                equivalence_failures += 1;
+            }
+        }
+    }
+    rep.check(
+        lemma_4_11_failures == 0,
+        format!("Lemma 4.11 (periodicity) holds on {pairs} primitive pairs"),
+    );
+    rep.check(
+        equivalence_failures == 0,
+        "Lemma 4.12 (1)⇔(3): co-primitivity ⟺ bounded common ω-factors on all pairs",
+    );
+
+    // Lemma 4.12 (2): stabilisation, spot-checked on the paper's pairs.
+    for (w, v) in [("aba", "bba"), ("abaabb", "bbaaba"), ("a", "b"), ("ab", "ba")] {
+        rep.check(
+            check_stabilisation(w.as_bytes(), v.as_bytes(), 2),
+            format!("stabilisation behaviour correct for ({w}, {v})"),
+        );
+    }
+
+    // The paper's §4.3 example.
+    rep.check(
+        are_conjugate(b"aabba", b"aaabb") && !are_coprimitive(b"aabba", b"aaabb"),
+        "aabba / aaabb: conjugate, hence not co-primitive (paper example)",
+    );
+    rep.check(
+        are_coprimitive(b"aba", b"bba") && common_factor_bound(b"aba", b"bba") == Some(4),
+        "aba / bba: co-primitive with common-factor bound |w|+|v|−2 = 4",
+    );
+    rep
+}

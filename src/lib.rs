@@ -1,0 +1,51 @@
+//! # fc-suite — umbrella crate for the FC / EF-games reproduction
+//!
+//! Re-exports the workspace crates and hosts the **experiment registry**:
+//! one runner per experiment of DESIGN.md's index (E01–E18), each
+//! producing a serializable [`report::ExperimentReport`]. The
+//! `inexpressibility_report` example executes the registry end to end and
+//! regenerates the data recorded in EXPERIMENTS.md.
+
+pub use fc_games as games;
+pub use fc_logic as logic;
+pub use fc_reglang as reglang;
+pub use fc_relations as relations;
+pub use fc_spanners as spanners;
+pub use fc_words as words;
+
+pub mod experiments;
+pub mod report;
+
+pub use report::{Effort, ExperimentReport, Status};
+
+/// Runs every registered experiment at the given effort level.
+pub fn run_all(effort: Effort) -> Vec<ExperimentReport> {
+    experiments::registry()
+        .into_iter()
+        .map(|(id, title, runner)| {
+            let start = std::time::Instant::now();
+            let mut rep = runner(effort);
+            rep.id = id.to_string();
+            rep.title = title.to_string();
+            rep.elapsed_ms = start.elapsed().as_millis() as u64;
+            rep
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_populated() {
+        let reg = experiments::registry();
+        assert!(reg.len() >= 18, "expected ≥ 18 experiments, got {}", reg.len());
+        // ids unique
+        let mut ids: Vec<&str> = reg.iter().map(|(id, _, _)| *id).collect();
+        ids.sort();
+        let n = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+    }
+}

@@ -1,0 +1,129 @@
+//! Experiment report types — the structured output the harness serializes
+//! so EXPERIMENTS.md rows are regenerable and diffable.
+
+use serde::{Deserialize, Serialize};
+
+/// How much compute an experiment run may spend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Effort {
+    /// CI-sized: seconds per experiment.
+    Quick,
+    /// Full: what EXPERIMENTS.md records (minutes overall).
+    Full,
+}
+
+/// Outcome of an experiment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Status {
+    /// Every check of the experiment held.
+    Pass,
+    /// At least one check failed — would falsify the paper (or expose a
+    /// harness bug); details in the rows.
+    Fail,
+    /// Deliberately reduced scope at this effort level.
+    Partial,
+}
+
+/// One experiment's structured result.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Experiment id (E01…E18, F1…).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Outcome.
+    pub status: Status,
+    /// Table rows / findings, already formatted.
+    pub rows: Vec<String>,
+    /// Wall-clock of the run (filled by the registry driver).
+    pub elapsed_ms: u64,
+}
+
+impl ExperimentReport {
+    /// A fresh report (id/title filled by the registry driver).
+    pub fn new() -> ExperimentReport {
+        ExperimentReport {
+            id: String::new(),
+            title: String::new(),
+            status: Status::Pass,
+            rows: Vec::new(),
+            elapsed_ms: 0,
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, text: impl Into<String>) {
+        self.rows.push(text.into());
+    }
+
+    /// Appends a check row, downgrading the status on failure.
+    pub fn check(&mut self, ok: bool, text: impl Into<String>) {
+        let mark = if ok { "✓" } else { "✗" };
+        self.rows.push(format!("{mark} {}", text.into()));
+        if !ok {
+            self.status = Status::Fail;
+        }
+    }
+
+    /// Marks the report as partial (reduced scope).
+    pub fn partial(&mut self, why: impl Into<String>) {
+        if self.status == Status::Pass {
+            self.status = Status::Partial;
+        }
+        self.rows.push(format!("(partial: {})", why.into()));
+    }
+
+    /// Renders as plain text.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "== {} — {} [{:?}] ({} ms)\n",
+            self.id, self.title, self.status, self.elapsed_ms
+        );
+        for r in &self.rows {
+            out.push_str("   ");
+            out.push_str(r);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Default for ExperimentReport {
+    fn default() -> Self {
+        ExperimentReport::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_downgrades_status() {
+        let mut r = ExperimentReport::new();
+        r.check(true, "first");
+        assert_eq!(r.status, Status::Pass);
+        r.check(false, "second");
+        assert_eq!(r.status, Status::Fail);
+        assert!(r.render().contains("✗ second"));
+    }
+
+    #[test]
+    fn partial_does_not_mask_failure() {
+        let mut r = ExperimentReport::new();
+        r.check(false, "broken");
+        r.partial("scope");
+        assert_eq!(r.status, Status::Fail);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut r = ExperimentReport::new();
+        r.id = "E01".into();
+        r.check(true, "ok");
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ExperimentReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.id, "E01");
+        assert_eq!(back.rows.len(), 1);
+    }
+}

@@ -1,0 +1,115 @@
+//! Cross-crate integration for Lemma 5.3: boundedness decision, witness
+//! extraction, and the bounded-regex → FC translation, exercised together.
+
+use fc_logic::eval::{holds, Assignment};
+use fc_logic::library::on_whole_word;
+use fc_logic::reg_to_fc::{bounded_to_fc, eliminate_bounded_constraints};
+use fc_logic::{FactorStructure, Formula, Term};
+use fc_reglang::bounded::{bounded_witness, is_bounded, witness_regex, BoundedExpr};
+use fc_reglang::{Dfa, Regex};
+use fc_words::Alphabet;
+
+#[test]
+fn decision_witness_translation_roundtrip() {
+    // For a family of bounded regexes: decide bounded, extract the witness
+    // product, translate to FC, and check all three agree on a window.
+    let sigma = Alphabet::ab();
+    let cases: Vec<(&str, BoundedExpr)> = vec![
+        ("(ab)*", BoundedExpr::star("ab")),
+        ("a*b*", BoundedExpr::Concat(vec![BoundedExpr::star("a"), BoundedExpr::star("b")])),
+        (
+            "(aab)*b*",
+            BoundedExpr::Concat(vec![BoundedExpr::star("aab"), BoundedExpr::star("b")]),
+        ),
+    ];
+    for (pattern, expr) in cases {
+        let re = Regex::parse(pattern).unwrap();
+        let dfa = Dfa::from_regex(&re, b"ab");
+        // 1. decision
+        assert!(is_bounded(&dfa), "{pattern} must be bounded");
+        // 2. witness covers the language
+        let witness = bounded_witness(&dfa).unwrap();
+        let wdfa = Dfa::from_regex(&witness_regex(&witness), b"ab");
+        // 3. FC translation is exact
+        let phi = on_whole_word(|x| bounded_to_fc(x, &expr));
+        for w in sigma.words_up_to(7) {
+            let in_lang = dfa.accepts(w.bytes());
+            if in_lang {
+                assert!(wdfa.accepts(w.bytes()), "{pattern}: witness misses {w}");
+            }
+            let st = FactorStructure::new(w.clone(), &sigma);
+            assert_eq!(
+                holds(&phi, &st, &Assignment::new()),
+                in_lang,
+                "{pattern}: FC translation differs on {w}"
+            );
+        }
+    }
+}
+
+#[test]
+fn full_formula_elimination_preserves_semantics() {
+    // An FC[REG] sentence with two bounded constraints becomes pure FC with
+    // the same language.
+    let sigma = Alphabet::ab();
+    let gamma_a = Regex::parse("a+").unwrap();
+    let gamma_ba = Regex::parse("(ba)*").unwrap();
+    let phi = fc_logic::library::on_whole_word(|u| {
+        Formula::exists(
+            &["x", "y"],
+            Formula::and([
+                Formula::eq_cat(Term::var(u), Term::var("x"), Term::var("y")),
+                Formula::constraint(Term::var("x"), gamma_a.clone()),
+                Formula::constraint(Term::var("y"), gamma_ba.clone()),
+            ]),
+        )
+    });
+    assert!(!phi.is_pure_fc());
+    let pure = eliminate_bounded_constraints(&phi, |re| {
+        // Resolve by recognizing the two patterns structurally.
+        let printed = format!("{re}");
+        if printed == "aa*" {
+            Some(BoundedExpr::plus("a"))
+        } else if printed == "(ba)*" {
+            Some(BoundedExpr::star("ba"))
+        } else {
+            None
+        }
+    });
+    assert!(pure.is_pure_fc(), "unresolved constraints remain");
+    for w in sigma.words_up_to(6) {
+        let st = FactorStructure::new(w.clone(), &sigma);
+        assert_eq!(
+            holds(&phi, &st, &Assignment::new()),
+            holds(&pure, &st, &Assignment::new()),
+            "w={w}"
+        );
+        // Ground truth: w = a^i (ba)^j with i ≥ 1.
+        let i = w.bytes().iter().take_while(|&&c| c == b'a').count();
+        let rest = &w.bytes()[i..];
+        let truth = i >= 1 && rest.len() % 2 == 0 && rest.chunks(2).all(|c| c == b"ba");
+        assert_eq!(holds(&pure, &st, &Assignment::new()), truth, "w={w}");
+    }
+}
+
+#[test]
+fn unbounded_languages_are_rejected_by_the_decision() {
+    for pattern in ["(a|b)*", "(a|bb)+", "(ab|ba)*"] {
+        let dfa = Dfa::from_regex(&Regex::parse(pattern).unwrap(), b"ab");
+        assert!(!is_bounded(&dfa), "{pattern} must be unbounded");
+        assert!(bounded_witness(&dfa).is_none());
+    }
+}
+
+#[test]
+fn imprimitive_star_translation_is_exact_end_to_end() {
+    // The E16 defect case at integration level: (abab)*.
+    let sigma = Alphabet::ab();
+    let expr = BoundedExpr::star("abab");
+    let dfa = Dfa::from_regex(&expr.to_regex(), b"ab");
+    let phi = on_whole_word(|x| bounded_to_fc(x, &expr));
+    for w in sigma.words_up_to(8) {
+        let st = FactorStructure::new(w.clone(), &sigma);
+        assert_eq!(holds(&phi, &st, &Assignment::new()), dfa.accepts(w.bytes()), "w={w}");
+    }
+}

@@ -1,0 +1,77 @@
+//! End-to-end tests of the `fc` command-line binary.
+
+use std::process::Command;
+
+fn fc(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_fc"))
+        .args(args)
+        .output()
+        .expect("spawn fc");
+    (
+        String::from_utf8_lossy(&out.stdout).to_string(),
+        String::from_utf8_lossy(&out.stderr).to_string(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn check_command_model_checks() {
+    let (stdout, _, ok) = fc(&["check", "E x, y: (x = y.y)", "abab"]);
+    assert!(ok);
+    assert!(stdout.contains("true"), "{stdout}");
+    let (stdout, _, ok) = fc(&["check", "E x, y: (x = y.y) & !(y = eps)", "aba"]);
+    assert!(ok);
+    assert!(stdout.contains("false"), "{stdout}");
+}
+
+#[test]
+fn solve_command_lists_assignments() {
+    let (stdout, _, ok) = fc(&["solve", "x = y.y", "aa"]);
+    assert!(ok);
+    assert!(stdout.contains("2 assignment"), "{stdout}");
+}
+
+#[test]
+fn game_command_reports_verdict_and_certificate() {
+    let (stdout, _, ok) = fc(&["game", "ab", "ba", "1"]);
+    assert!(ok);
+    assert!(stdout.contains("false"), "{stdout}");
+    assert!(stdout.contains("certificate"), "{stdout}");
+    let (stdout, _, ok) = fc(&["game", "aaa", "aaaa", "1"]);
+    assert!(ok);
+    assert!(stdout.contains("true"), "{stdout}");
+}
+
+#[test]
+fn classes_command_prints_the_table() {
+    let (stdout, _, ok) = fc(&["classes", "1", "8"]);
+    assert!(ok);
+    assert!(stdout.contains("minimal pair: a^3 ≡_1 a^4"), "{stdout}");
+}
+
+#[test]
+fn fooling_command_produces_verified_pairs() {
+    let (stdout, _, ok) = fc(&["fooling", "anbn", "1"]);
+    assert!(ok);
+    assert!(stdout.contains("solver-confirmed"), "{stdout}");
+}
+
+#[test]
+fn bounded_command_decides() {
+    let (stdout, _, ok) = fc(&["bounded", "a*b*"]);
+    assert!(ok);
+    assert!(stdout.contains("BOUNDED"), "{stdout}");
+    let (stdout, _, ok) = fc(&["bounded", "(a|b)*"]);
+    assert!(ok);
+    assert!(stdout.contains("UNBOUNDED"), "{stdout}");
+}
+
+#[test]
+fn bad_usage_fails_with_message() {
+    let (_, stderr, ok) = fc(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"), "{stderr}");
+    let (_, stderr, ok) = fc(&["check", "E x (x = eps)", "a"]);
+    assert!(!ok);
+    assert!(!stderr.is_empty());
+}

@@ -1,0 +1,135 @@
+//! Cross-crate integration: Theorem 3.5 — the exact EF solver and the FC
+//! model checker agree rank by rank.
+//!
+//! For every pair of words in a window and every rank k ≤ 2:
+//! if the solver says `w ≡_k v`, then every battery sentence of quantifier
+//! rank ≤ k agrees on the two words; and whenever some battery sentence of
+//! rank r separates a pair, the solver distinguishes them within r rounds.
+
+use fc_games::solver::EfSolver;
+use fc_games::GamePair;
+use fc_logic::eval::{holds, Assignment};
+use fc_logic::{FactorStructure, Formula, Term};
+use fc_words::{Alphabet, Word};
+
+fn v(name: &str) -> Term {
+    Term::var(name)
+}
+
+fn battery() -> Vec<(Formula, u32)> {
+    let mut out: Vec<(Formula, u32)> = Vec::new();
+    for (y, z) in [(b'a', b'a'), (b'a', b'b'), (b'b', b'a')] {
+        out.push((
+            Formula::exists(&["x"], Formula::eq_cat(v("x"), Term::Sym(y), Term::Sym(z))),
+            1,
+        ));
+    }
+    out.push((
+        Formula::exists(&["x"], Formula::not(Formula::eq(v("x"), Term::Epsilon))),
+        1,
+    ));
+    out.push((
+        Formula::exists(
+            &["x", "y"],
+            Formula::and([
+                Formula::eq_cat(v("x"), v("y"), v("y")),
+                Formula::not(Formula::eq(v("y"), Term::Epsilon)),
+            ]),
+        ),
+        2,
+    ));
+    out.push((
+        Formula::forall(
+            &["x"],
+            Formula::exists(&["y"], Formula::eq_cat(v("x"), v("y"), v("y"))),
+        ),
+        2,
+    ));
+    out.push((
+        Formula::forall(
+            &["x"],
+            Formula::or([
+                Formula::eq(v("x"), Term::Epsilon),
+                Formula::exists(&["y"], Formula::eq_cat(v("x"), Term::Sym(b'a'), v("y"))),
+                Formula::exists(&["y"], Formula::eq_cat(v("x"), Term::Sym(b'b'), v("y"))),
+            ]),
+        ),
+        2,
+    ));
+    out
+}
+
+#[test]
+fn solver_equivalence_implies_sentence_agreement() {
+    let sigma = Alphabet::ab();
+    let words: Vec<Word> = sigma.words_up_to(4).collect();
+    let battery = battery();
+    for (i, w) in words.iter().enumerate() {
+        for u in words.iter().skip(i + 1) {
+            let mut solver =
+                EfSolver::new(GamePair::new(w.clone(), u.clone(), &sigma));
+            let sw = FactorStructure::new(w.clone(), &sigma);
+            let su = FactorStructure::new(u.clone(), &sigma);
+            for k in 0..=2u32 {
+                if !solver.equivalent(k) {
+                    continue;
+                }
+                for (phi, rank) in &battery {
+                    if *rank <= k {
+                        assert_eq!(
+                            holds(phi, &sw, &Assignment::new()),
+                            holds(phi, &su, &Assignment::new()),
+                            "w={w} v={u} k={k} φ={phi}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sentence_separation_implies_solver_distinction() {
+    let sigma = Alphabet::ab();
+    let words: Vec<Word> = sigma.words_up_to(4).collect();
+    let battery = battery();
+    for (i, w) in words.iter().enumerate() {
+        for u in words.iter().skip(i + 1) {
+            let sw = FactorStructure::new(w.clone(), &sigma);
+            let su = FactorStructure::new(u.clone(), &sigma);
+            for (phi, rank) in &battery {
+                let separated = holds(phi, &sw, &Assignment::new())
+                    != holds(phi, &su, &Assignment::new());
+                if separated {
+                    let mut solver =
+                        EfSolver::new(GamePair::new(w.clone(), u.clone(), &sigma));
+                    assert!(
+                        !solver.equivalent(*rank),
+                        "φ={phi} (rank {rank}) separates {w} / {u} but solver says ≡_{rank}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn desugared_formulas_respect_the_rank_bound_too() {
+    // The wide-equation library formula φ_input_equals("aba") desugars to
+    // rank qr_desugared; check the rank bound against a distinguishable
+    // pair.
+    let phi = fc_logic::library::phi_input_equals(b"aba");
+    let rank = phi.desugar().qr() as u32;
+    let sigma = Alphabet::ab();
+    let w = Word::from("aba");
+    let u = Word::from("aab");
+    let sw = FactorStructure::new(w.clone(), &sigma);
+    let su = FactorStructure::new(u.clone(), &sigma);
+    assert!(holds(&phi, &sw, &Assignment::new()));
+    assert!(!holds(&phi, &su, &Assignment::new()));
+    let mut solver = EfSolver::new(GamePair::new(w, u, &sigma));
+    assert!(
+        !solver.equivalent(rank.min(3)),
+        "φ separates the words, so the solver must distinguish within qr = {rank}"
+    );
+}

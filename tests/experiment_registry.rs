@@ -1,0 +1,23 @@
+//! The whole experiment registry must pass at Quick effort — this is the
+//! repository's own reproduction gate.
+
+use fc_suite::{run_all, Effort, Status};
+
+#[test]
+fn quick_registry_passes() {
+    let reports = run_all(Effort::Quick);
+    assert!(reports.len() >= 19);
+    let failures: Vec<String> = reports
+        .iter()
+        .filter(|r| r.status == Status::Fail)
+        .map(|r| format!("{}:\n{}", r.id, r.render()))
+        .collect();
+    assert!(failures.is_empty(), "failing experiments:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn reports_serialize() {
+    let reports = run_all(Effort::Quick);
+    let json = serde_json::to_string(&reports).expect("serialize");
+    assert!(json.contains("E15"));
+}

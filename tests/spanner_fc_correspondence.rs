@@ -1,0 +1,120 @@
+//! Cross-crate integration: spanners ⇆ FC[REG] on finite windows
+//! (the correspondence the paper leans on in §5).
+
+use fc_logic::{library, Formula, Term};
+use fc_spanners::correspond::{first_boolean_disagreement, first_relation_disagreement};
+use fc_spanners::regex_formula::RegexFormula;
+use fc_spanners::spanner::Spanner;
+use fc_words::{Alphabet, Word};
+use std::rc::Rc;
+
+fn v(name: &str) -> Term {
+    Term::var(name)
+}
+
+#[test]
+fn square_language_three_ways() {
+    // {ww} as: a core spanner, an FC sentence, and a direct predicate.
+    let spanner = Spanner::eq_select(
+        "x",
+        "y",
+        Spanner::regex(RegexFormula::cat([
+            RegexFormula::capture("x", RegexFormula::any_star()),
+            RegexFormula::capture("y", RegexFormula::any_star()),
+        ])),
+    );
+    let sentence = library::phi_square();
+    let sigma = Alphabet::ab();
+    assert_eq!(first_boolean_disagreement(&spanner, &sentence, &sigma, 6), None);
+    for w in sigma.words_up_to(6) {
+        let direct = w.len() % 2 == 0 && {
+            let (a, b) = w.bytes().split_at(w.len() / 2);
+            a == b
+        };
+        assert_eq!(spanner.accepts(w.bytes()), direct, "w={w}");
+    }
+}
+
+#[test]
+fn regular_constraint_matches_regular_spanner() {
+    // FC[REG] sentence: ∃x: φ_w(x) ∧ (x ∈̇ (ab)*)  ⟺  Boolean regex spanner.
+    let gamma = fc_reglang::Regex::parse("(ab)*").unwrap();
+    let sentence = library::on_whole_word(|x| Formula::constraint(v(x), gamma.clone()));
+    let spanner = Spanner::regex(RegexFormula::pattern("(ab)*"));
+    let sigma = Alphabet::ab();
+    assert_eq!(first_boolean_disagreement(&spanner, &sentence, &sigma, 6), None);
+}
+
+#[test]
+fn union_and_join_mirror_disjunction_and_conjunction() {
+    let sigma = Alphabet::ab();
+    // Boolean spanners: contains aa OR ends with b.
+    let has_aa = Spanner::regex(RegexFormula::extractor(RegexFormula::pattern("aa")));
+    let ends_b = Spanner::regex(RegexFormula::cat([
+        RegexFormula::any_star(),
+        RegexFormula::pattern("b"),
+    ]));
+    // ∪ needs equal (empty) schemas — both are Boolean.
+    let either = Rc::new(Spanner::Union(has_aa.clone(), ends_b.clone()));
+    let both = Rc::new(Spanner::Join(has_aa.clone(), ends_b.clone()));
+    let phi_aa = library::on_whole_word(|x| {
+        Formula::exists(
+            &["u1", "u2"],
+            Formula::eq_chain(
+                v(x),
+                vec![v("u1"), Term::Sym(b'a'), Term::Sym(b'a'), v("u2")],
+            ),
+        )
+    });
+    let phi_b = library::on_whole_word(|x| {
+        Formula::exists(&["u1"], Formula::eq_chain(v(x), vec![v("u1"), Term::Sym(b'b')]))
+    });
+    let phi_either = Formula::or([phi_aa.clone(), phi_b.clone()]);
+    let phi_both = Formula::and([phi_aa, phi_b]);
+    assert_eq!(first_boolean_disagreement(&either, &phi_either, &sigma, 5), None);
+    assert_eq!(first_boolean_disagreement(&both, &phi_both, &sigma, 5), None);
+}
+
+#[test]
+fn relation_level_correspondence_for_copy() {
+    let inner = RegexFormula::capture(
+        "x",
+        RegexFormula::cat([
+            RegexFormula::capture("y", RegexFormula::any_star()),
+            RegexFormula::capture("y2", RegexFormula::any_star()),
+        ]),
+    );
+    let spanner = Rc::new(Spanner::Project(
+        vec!["x".into(), "y".into()],
+        Spanner::eq_select("y", "y2", Spanner::regex(RegexFormula::extractor(inner))),
+    ));
+    let formula = library::r_copy("x", "y");
+    let sigma = Alphabet::ab();
+    for doc in ["", "a", "abab", "aabaa"] {
+        assert_eq!(
+            first_relation_disagreement(&spanner, &formula, &["x", "y"], &Word::from(doc), &sigma),
+            None,
+            "doc={doc}"
+        );
+    }
+}
+
+#[test]
+fn difference_gives_generalized_core_power() {
+    // Non-squares: Σ* ∖ {ww} — needs difference (Boolean level).
+    let sigma = Alphabet::ab();
+    let all = Spanner::regex(RegexFormula::any_star());
+    let squares = Spanner::eq_select(
+        "x",
+        "y",
+        Spanner::regex(RegexFormula::cat([
+            RegexFormula::capture("x", RegexFormula::any_star()),
+            RegexFormula::capture("y", RegexFormula::any_star()),
+        ])),
+    );
+    // Project squares to Boolean schema before difference.
+    let squares_bool = Rc::new(Spanner::Project(vec![], squares));
+    let non_squares = Rc::new(Spanner::Difference(all, squares_bool));
+    let phi = Formula::not(library::phi_square());
+    assert_eq!(first_boolean_disagreement(&non_squares, &phi, &sigma, 5), None);
+}

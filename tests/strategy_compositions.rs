@@ -1,0 +1,103 @@
+//! Cross-crate integration: strategy compositions validated against the
+//! exhaustive Spoiler and the exact solver (Lemmas 4.4 and 4.9 live).
+
+use fc_games::solver::equivalent;
+use fc_games::strategies::{
+    PrimitivePowerStrategy, PseudoCongruenceStrategy, TableStrategy, UnaryEndAlignedStrategy,
+};
+use fc_games::strategy::validate_strategy;
+use fc_games::GamePair;
+use fc_words::Word;
+
+#[test]
+fn pseudo_congruence_on_the_anbn_scaffold() {
+    // Example 4.5 at rank 1, from the minimal rank-2 unary pair.
+    let (p, q, k) = (12usize, 14usize, 1u32);
+    let game1 = GamePair::of(&"a".repeat(q), &"a".repeat(p));
+    let game2 = GamePair::of(&"b".repeat(p), &"b".repeat(p));
+    let g1 = TableStrategy::new(game1.clone(), k + 2);
+    let g2 = TableStrategy::new(game2.clone(), k + 2);
+    let strat = PseudoCongruenceStrategy::new(game1, game2, Box::new(g1), Box::new(g2));
+    assert_eq!(strat.check_preconditions(), Some(0), "r = 0 for a-block vs b-block");
+    let composed = strat.composed_game();
+    let failure = validate_strategy(&composed, &strat, k);
+    assert!(failure.is_none(), "{}", failure.unwrap().render(&composed));
+    assert!(equivalent(
+        composed.a.word().as_str(),
+        composed.b.word().as_str(),
+        k
+    ));
+}
+
+#[test]
+fn pseudo_congruence_with_r_1_for_prop_4_6() {
+    // aⁿ(ba)ⁿ at rank 1: Facs(aᵐ) ∩ Facs((ba)ⁿ) = {ε, a}, r = 1.
+    let (p, q, k) = (12usize, 14usize, 1u32);
+    let game1 = GamePair::of(&"a".repeat(q), &"a".repeat(p));
+    let game2 = GamePair::of(&"ba".repeat(p), &"ba".repeat(p));
+    let g1 = TableStrategy::new(game1.clone(), k + 3);
+    let g2 = TableStrategy::new(game2.clone(), k + 3);
+    let strat = PseudoCongruenceStrategy::new(game1, game2, Box::new(g1), Box::new(g2));
+    assert_eq!(strat.check_preconditions(), Some(1));
+    let composed = strat.composed_game();
+    let failure = validate_strategy(&composed, &strat, k);
+    assert!(failure.is_none(), "{}", failure.unwrap().render(&composed));
+    assert!(equivalent(
+        composed.a.word().as_str(),
+        composed.b.word().as_str(),
+        k
+    ));
+}
+
+#[test]
+fn primitive_power_for_multiple_roots() {
+    let (p, q, k) = (12usize, 14usize, 1u32);
+    for root in ["ab", "aab", "ba"] {
+        let lookup_game = GamePair::of(&"a".repeat(q), &"a".repeat(p));
+        let lookup = UnaryEndAlignedStrategy::new(q, p, 7);
+        let strat =
+            PrimitivePowerStrategy::new(Word::from(root), lookup_game, Box::new(lookup));
+        let composed = strat.composed_game();
+        let failure = validate_strategy(&composed, &strat, k);
+        assert!(
+            failure.is_none(),
+            "root={root}: {}",
+            failure.unwrap().render(&composed)
+        );
+        assert!(
+            equivalent(composed.a.word().as_str(), composed.b.word().as_str(), k),
+            "root={root}"
+        );
+    }
+}
+
+#[test]
+fn composition_failure_is_detected_when_preconditions_break() {
+    // Deliberately violate Lemma 4.4's Facs-intersection condition:
+    // w1 = aa vs v1 = aa but w2 = ab vs v2 = bb —
+    // Facs(aa) ∩ Facs(ab) = {ε, a} ≠ Facs(aa) ∩ Facs(bb) = {ε}.
+    let game1 = GamePair::of("aa", "aa");
+    let game2 = GamePair::of("ab", "bb");
+    let g1 = TableStrategy::new(game1.clone(), 3);
+    let g2 = TableStrategy::new(game2.clone(), 3);
+    let strat = PseudoCongruenceStrategy::new(game1, game2, Box::new(g1), Box::new(g2));
+    assert!(strat.check_preconditions().is_none());
+    // And indeed the composed words are NOT rank-1 equivalent (b vs bb
+    // structure differs: aaab vs aabb — ∃x: x ≐ b·b separates).
+    assert!(!equivalent("aaab", "aabb", 1));
+}
+
+#[test]
+fn table_strategies_share_memo_across_clones() {
+    // Validation at depth 2 clones the strategy many times; the shared
+    // memo keeps this fast. (Correctness assertion; timing is in benches.)
+    let game = GamePair::of(&"a".repeat(12), &"a".repeat(14));
+    let strat = TableStrategy::for_equivalent(game.clone(), 2).expect("≡_2");
+    let t = std::time::Instant::now();
+    assert!(validate_strategy(&game, &strat, 2).is_none());
+    assert!(
+        t.elapsed().as_secs() < 60,
+        "validation unexpectedly slow: {:?}",
+        t.elapsed()
+    );
+}
