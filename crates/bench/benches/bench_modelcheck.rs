@@ -37,7 +37,9 @@ fn fib_guarded_vs_naive(c: &mut Criterion) {
     // Guarded-only for the larger member (naive is infeasible — the point).
     let member = fibonacci::l_fib_member(3);
     let s = FactorStructure::new(member, &Alphabet::abc());
-    g.bench_function("guarded/3", |b| b.iter(|| holds(&phi, &s, &Assignment::new())));
+    g.bench_function("guarded/3", |b| {
+        b.iter(|| holds(&phi, &s, &Assignment::new()))
+    });
     g.finish();
 }
 

@@ -34,11 +34,8 @@ fn solver_periodic(c: &mut Criterion) {
     for n in [4usize, 8, 12] {
         g.bench_with_input(BenchmarkId::new("k1", n), &n, |b, &n| {
             b.iter(|| {
-                let mut s = EfSolver::new(GamePair::new(
-                    periodic(n),
-                    periodic(n + 2),
-                    &Alphabet::ab(),
-                ));
+                let mut s =
+                    EfSolver::new(GamePair::new(periodic(n), periodic(n + 2), &Alphabet::ab()));
                 s.equivalent(1)
             })
         });

@@ -63,10 +63,8 @@ fn backend_ablation(c: &mut Criterion) {
     use fc_spanners::vset_automaton::VSetAutomaton;
     let mut g = c.benchmark_group("P8-backend-ablation");
     g.sample_size(20);
-    let formula = RegexFormula::extractor(RegexFormula::capture(
-        "x",
-        RegexFormula::pattern("(ab)+"),
-    ));
+    let formula =
+        RegexFormula::extractor(RegexFormula::capture("x", RegexFormula::pattern("(ab)+")));
     let automaton = VSetAutomaton::compile(&formula);
     for len in [12usize, 24] {
         let doc = lcg_word(len, 11);
@@ -80,5 +78,11 @@ fn backend_ablation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, extraction, algebra_ops, reduction_spanners, backend_ablation);
+criterion_group!(
+    benches,
+    extraction,
+    algebra_ops,
+    reduction_spanners,
+    backend_ablation
+);
 criterion_main!(benches);

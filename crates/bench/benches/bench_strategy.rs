@@ -14,8 +14,7 @@ fn strategy_response(c: &mut Criterion) {
     for (p, q) in [(12usize, 14usize), (24, 26), (48, 50)] {
         let lookup_game = GamePair::of(&"a".repeat(q), &"a".repeat(p));
         let lookup = UnaryEndAlignedStrategy::new(q, p, p.saturating_sub(5));
-        let strat =
-            PrimitivePowerStrategy::new(Word::from("ab"), lookup_game, Box::new(lookup));
+        let strat = PrimitivePowerStrategy::new(Word::from("ab"), lookup_game, Box::new(lookup));
         let composed = strat.composed_game();
         let pick = composed
             .a

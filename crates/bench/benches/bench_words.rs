@@ -48,5 +48,10 @@ fn primitivity_and_exponent(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, factor_indexing, membership_queries, primitivity_and_exponent);
+criterion_group!(
+    benches,
+    factor_indexing,
+    membership_queries,
+    primitivity_and_exponent
+);
 criterion_main!(benches);

@@ -23,10 +23,14 @@ use fc_words::Word;
 /// Deterministic "pseudo-random" word over {a, b}: linear congruential,
 /// reproducible across runs (no external RNG needed for workloads).
 pub fn lcg_word(len: usize, seed: u64) -> Word {
-    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let mut state = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
     let mut bytes = Vec::with_capacity(len);
     for _ in 0..len {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         bytes.push(if (state >> 33) & 1 == 0 { b'a' } else { b'b' });
     }
     Word::from_bytes(bytes)

@@ -4,7 +4,9 @@ fn main() {
     let mut out = std::io::stdout();
     'outer: for q in 40..=160usize {
         for d in [2usize, 4, 6, 8, 12, 16, 24, 36, 48] {
-            if d >= q { continue; }
+            if d >= q {
+                continue;
+            }
             let p = q - d;
             let t = std::time::Instant::now();
             if unary_equivalent(p, q, 3) {
@@ -12,7 +14,10 @@ fn main() {
                 out.flush().ok();
                 break 'outer;
             }
-            if d == 2 { writeln!(out, "q={q} scanned ({:?}/check)", t.elapsed()).ok(); out.flush().ok(); }
+            if d == 2 {
+                writeln!(out, "q={q} scanned ({:?}/check)", t.elapsed()).ok();
+                out.flush().ok();
+            }
         }
     }
     writeln!(out, "probe done").ok();

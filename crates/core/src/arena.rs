@@ -55,7 +55,11 @@ impl GamePair {
             .into_iter()
             .zip(b.constants_vector())
             .collect();
-        GamePair { a, b, constant_pairs }
+        GamePair {
+            a,
+            b,
+            constant_pairs,
+        }
     }
 
     /// Builds the game from two strings over their joint alphabet.

@@ -88,7 +88,11 @@ impl CertCtx {
         } else {
             state.to_vec()
         };
-        let solver = if swapped { &mut self.solver_ba } else { &mut self.solver_ab };
+        let solver = if swapped {
+            &mut self.solver_ba
+        } else {
+            &mut self.solver_ab
+        };
         // Try truth-side moves first (they give positive ∃ formulas).
         // ⊥ is never needed by Spoiler (a ⊥ ↦ ⊥ answer is inert), and FC
         // variables range over factors only, so ⊥ is excluded here.
@@ -99,7 +103,10 @@ impl CertCtx {
             };
             let moves: Vec<FactorId> = structure.universe().collect();
             for element in moves {
-                if solver.best_response_from(&oriented, side, element, k).is_none() {
+                if solver
+                    .best_response_from(&oriented, side, element, k)
+                    .is_none()
+                {
                     // Spoiler wins by playing `element` on `side`.
                     return self.certify_move(state, terms, k, swapped, side, element);
                 }
@@ -111,7 +118,10 @@ impl CertCtx {
     fn structures(
         &self,
         swapped: bool,
-    ) -> (std::rc::Rc<fc_logic::FactorStructure>, std::rc::Rc<fc_logic::FactorStructure>) {
+    ) -> (
+        std::rc::Rc<fc_logic::FactorStructure>,
+        std::rc::Rc<fc_logic::FactorStructure>,
+    ) {
         if swapped {
             (self.game.b.clone(), self.game.a.clone())
         } else {
@@ -204,7 +214,11 @@ fn separating_atom(
 ) -> Option<Formula> {
     let n = state.len();
     debug_assert_eq!(n, terms.len());
-    let (sa, sb) = if swapped { (&game.b, &game.a) } else { (&game.a, &game.b) };
+    let (sa, sb) = if swapped {
+        (&game.b, &game.a)
+    } else {
+        (&game.a, &game.b)
+    };
     let elem = |i: usize| -> (FactorId, FactorId) {
         let (x, y) = state[i];
         if swapped {
@@ -224,7 +238,11 @@ fn separating_atom(
                 if holds_truth != holds_false {
                     let atom =
                         Formula::eq_cat(terms[l].clone(), terms[i].clone(), terms[j].clone());
-                    return Some(if holds_truth { atom } else { Formula::not(atom) });
+                    return Some(if holds_truth {
+                        atom
+                    } else {
+                        Formula::not(atom)
+                    });
                 }
             }
         }
@@ -243,11 +261,19 @@ mod tests {
         let phi = distinguishing_sentence(w, v, k)
             .unwrap_or_else(|| panic!("{w} and {v} should be ≢_{k}"));
         assert!(phi.qr() <= k as usize, "qr({phi}) = {} > {k}", phi.qr());
-        let sigma = Alphabet::ab().extended_by(&fc_words::Word::from(w)).extended_by(&fc_words::Word::from(v));
+        let sigma = Alphabet::ab()
+            .extended_by(&fc_words::Word::from(w))
+            .extended_by(&fc_words::Word::from(v));
         let sw = FactorStructure::of_str(w, &sigma);
         let sv = FactorStructure::of_str(v, &sigma);
-        assert!(holds(&phi, &sw, &Assignment::new()), "certificate not true on {w}: {phi}");
-        assert!(!holds(&phi, &sv, &Assignment::new()), "certificate not false on {v}: {phi}");
+        assert!(
+            holds(&phi, &sw, &Assignment::new()),
+            "certificate not true on {w}: {phi}"
+        );
+        assert!(
+            !holds(&phi, &sv, &Assignment::new()),
+            "certificate not false on {v}: {phi}"
+        );
     }
 
     #[test]

@@ -24,11 +24,7 @@ type Pair = (FactorId, FactorId);
 
 /// Checks the partial-homomorphism condition: all constants, equalities and
 /// R∘ facts among the A-components are preserved by the B-components.
-pub fn check_partial_hom(
-    a: &FactorStructure,
-    b: &FactorStructure,
-    pairs: &[Pair],
-) -> bool {
+pub fn check_partial_hom(a: &FactorStructure, b: &FactorStructure, pairs: &[Pair]) -> bool {
     let n = pairs.len();
     for i in 0..n {
         let (ai, bi) = pairs[i];
@@ -115,7 +111,10 @@ pub struct ExistentialSolver {
 impl ExistentialSolver {
     /// Creates a solver for the one-sided game A → B.
     pub fn new(game: GamePair) -> ExistentialSolver {
-        ExistentialSolver { game, memo: HashMap::new() }
+        ExistentialSolver {
+            game,
+            memo: HashMap::new(),
+        }
     }
 
     /// Convenience constructor from strings.
@@ -220,8 +219,20 @@ mod tests {
         let v = |n: &str| Term::var(n);
         // EP battery (no negation, no ∀).
         let battery = vec![
-            (Formula::exists(&["x"], Formula::eq_cat(v("x"), Term::Sym(b'a'), Term::Sym(b'a'))), 1u32),
-            (Formula::exists(&["x"], Formula::eq_cat(v("x"), Term::Sym(b'a'), Term::Sym(b'b'))), 1),
+            (
+                Formula::exists(
+                    &["x"],
+                    Formula::eq_cat(v("x"), Term::Sym(b'a'), Term::Sym(b'a')),
+                ),
+                1u32,
+            ),
+            (
+                Formula::exists(
+                    &["x"],
+                    Formula::eq_cat(v("x"), Term::Sym(b'a'), Term::Sym(b'b')),
+                ),
+                1,
+            ),
             (
                 Formula::exists(
                     &["x", "y"],
@@ -237,7 +248,8 @@ mod tests {
         let words: Vec<fc_words::Word> = sigma.words_up_to(4).collect();
         for w in &words {
             for u in &words {
-                let mut solver = ExistentialSolver::new(GamePair::new(w.clone(), u.clone(), &sigma));
+                let mut solver =
+                    ExistentialSolver::new(GamePair::new(w.clone(), u.clone(), &sigma));
                 for k in 1..=2u32 {
                     if !solver.simulates(k) {
                         continue;

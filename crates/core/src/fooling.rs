@@ -65,7 +65,14 @@ impl FoolingInstance {
         if !are_coprimitive(u.bytes(), v.bytes()) {
             return Err(format!("u = {u} and v = {v} are not co-primitive"));
         }
-        Ok(FoolingInstance { w1, u, w2, v, w3, f: Box::new(f) })
+        Ok(FoolingInstance {
+            w1,
+            u,
+            w2,
+            v,
+            w3,
+            f: Box::new(f),
+        })
     }
 
     /// The language member for exponent `p`.
@@ -128,7 +135,13 @@ impl FoolingInstance {
                     &Alphabet::from_symbols(b""),
                 ));
                 if solver.equivalent(k) {
-                    return Some(FoolingPair { inside, outside, p, q, k });
+                    return Some(FoolingPair {
+                        inside,
+                        outside,
+                        p,
+                        q,
+                        k,
+                    });
                 }
             }
         }
@@ -150,10 +163,7 @@ impl FoolingInstance {
             &Alphabet::from_symbols(b""),
         ));
         if !solver.equivalent(pair.k) {
-            return Err(format!(
-                "{} ≢_{} {}",
-                pair.inside, pair.k, pair.outside
-            ));
+            return Err(format!("{} ≢_{} {}", pair.inside, pair.k, pair.outside));
         }
         Ok(())
     }

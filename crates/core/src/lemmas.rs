@@ -68,11 +68,7 @@ pub fn check_consistent_strategies(
 }
 
 /// Checks Lemma 4.3 on the instance `(w, v, k)`.
-pub fn check_prefix_suffix(
-    w: &str,
-    v: &str,
-    k: u32,
-) -> Result<Option<LemmaViolation>, String> {
+pub fn check_prefix_suffix(w: &str, v: &str, k: u32) -> Result<Option<LemmaViolation>, String> {
     run_check(w, v, k, &|game, round, k, side, spoiler, response| {
         if round + 2 > k {
             return None; // lemma only constrains rounds r ≤ k − 2
@@ -114,14 +110,14 @@ fn run_check(
     let mut state: Vec<Pair> = game.constant_pairs.clone();
     state.sort_unstable();
     state.dedup();
-    Ok(explore(&game, &mut solver, predicate, &mut state, 1, k))
+    Ok(explore(&game, &mut solver, predicate, &state, 1, k))
 }
 
 fn explore(
     game: &GamePair,
     solver: &mut EfSolver,
     predicate: &RoundPredicate,
-    state: &mut Vec<Pair>,
+    state: &[Pair],
     round: u32,
     k: u32,
 ) -> Option<LemmaViolation> {
@@ -134,15 +130,14 @@ fn explore(
         moves.push(FactorId::BOTTOM);
         for spoiler in moves {
             // Enumerate every *winning* response.
-            let mut responses: Vec<FactorId> =
-                game.structure(side.other()).universe().collect();
+            let mut responses: Vec<FactorId> = game.structure(side.other()).universe().collect();
             responses.push(FactorId::BOTTOM);
             for response in responses {
                 let pair = game.as_ab_pair(side, spoiler, response);
                 if !game.consistent(state, pair) {
                     continue;
                 }
-                let mut next = state.clone();
+                let mut next = state.to_vec();
                 if !next.contains(&pair) {
                     next.push(pair);
                     next.sort_unstable();
@@ -153,8 +148,7 @@ fn explore(
                 if let Some(violation) = predicate(game, round, k, side, spoiler, response) {
                     return Some(violation);
                 }
-                let mut next2 = next;
-                if let Some(v) = explore(game, solver, predicate, &mut next2, round + 1, k) {
+                if let Some(v) = explore(game, solver, predicate, &next, round + 1, k) {
                     return Some(v);
                 }
             }

@@ -128,7 +128,8 @@ mod tests {
     }
 
     fn id(s: &FactorStructure, u: &str) -> FactorId {
-        s.id_of(u.as_bytes()).unwrap_or_else(|| panic!("{u} not a factor of {}", s.word()))
+        s.id_of(u.as_bytes())
+            .unwrap_or_else(|| panic!("{u} not a factor of {}", s.word()))
     }
 
     fn constant_pairs(a: &FactorStructure, b: &FactorStructure) -> Vec<Pair> {
@@ -165,16 +166,10 @@ mod tests {
         let a = st("aaa");
         let b = st("aa");
         // a-side: aa = a·a true; b-side: a = a·a false.
-        let pairs = vec![
-            (id(&a, "aa"), id(&b, "a")),
-            (id(&a, "a"), id(&b, "a")),
-        ];
+        let pairs = vec![(id(&a, "aa"), id(&b, "a")), (id(&a, "a"), id(&b, "a"))];
         // equality violated too (a-side distinct, b-side equal) — use
         // distinct b elements.
-        let pairs2 = vec![
-            (id(&a, "aa"), id(&b, "aa")),
-            (id(&a, "a"), id(&b, "aa")),
-        ];
+        let pairs2 = vec![(id(&a, "aa"), id(&b, "aa")), (id(&a, "a"), id(&b, "aa"))];
         assert!(check_partial_iso(&a, &b, &pairs).is_err());
         assert!(check_partial_iso(&a, &b, &pairs2).is_err());
     }
@@ -206,7 +201,10 @@ mod tests {
                 let mut pairs = base.clone();
                 if !consistent_extension(&a, &b, &pairs, (x, y)) {
                     pairs.push((x, y));
-                    assert!(check_partial_iso(&a, &b, &pairs).is_err(), "x={x:?} y={y:?}");
+                    assert!(
+                        check_partial_iso(&a, &b, &pairs).is_err(),
+                        "x={x:?} y={y:?}"
+                    );
                     continue;
                 }
                 pairs.push((x, y));
@@ -233,10 +231,20 @@ mod tests {
         let a = st("ab");
         let b = st("ba");
         let mut pairs = constant_pairs(&a, &b);
-        assert!(consistent_extension(&a, &b, &pairs, (FactorId::BOTTOM, FactorId::BOTTOM)));
+        assert!(consistent_extension(
+            &a,
+            &b,
+            &pairs,
+            (FactorId::BOTTOM, FactorId::BOTTOM)
+        ));
         pairs.push((FactorId::BOTTOM, FactorId::BOTTOM));
         assert_eq!(check_partial_iso(&a, &b, &pairs), Ok(()));
         // ⊥ paired with a real element violates equality vs the ⊥ pair.
-        assert!(!consistent_extension(&a, &b, &pairs, (FactorId::BOTTOM, b.epsilon())));
+        assert!(!consistent_extension(
+            &a,
+            &b,
+            &pairs,
+            (FactorId::BOTTOM, b.epsilon())
+        ));
     }
 }

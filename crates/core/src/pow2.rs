@@ -80,10 +80,7 @@ pub fn fit_tail_class(k: u32, limit: usize) -> Option<SemilinearSet> {
 pub fn pow2_collision(k: u32, limit: usize) -> Option<Vec<usize>> {
     let classes = unary_classes(k, limit);
     classes.into_iter().find(|c| {
-        let pows: Vec<&usize> = c
-            .iter()
-            .filter(|&&n| n > 0 && (n & (n - 1)) == 0)
-            .collect();
+        let pows: Vec<&usize> = c.iter().filter(|&&n| n > 0 && (n & (n - 1)) == 0).collect();
         let non_pows = c.iter().any(|&n| n == 0 || (n & (n - 1)) != 0);
         !pows.is_empty() && non_pows
     })
@@ -123,7 +120,7 @@ mod tests {
     fn classes_partition_and_respect_equivalence() {
         let classes = unary_classes(1, 8);
         // Partition: every exponent in exactly one class.
-        let mut seen = vec![false; 9];
+        let mut seen = [false; 9];
         for c in &classes {
             for &n in c {
                 assert!(!seen[n], "duplicate exponent {n}");
@@ -189,11 +186,9 @@ pub fn unary_classes_parallel(k: u32, limit: usize, threads: usize) -> Vec<Vec<u
             let mut handles = Vec::new();
             for chunk in reps.chunks(reps.len().div_ceil(threads).max(1)) {
                 let chunk: Vec<usize> = chunk.to_vec();
-                handles.push(scope.spawn(move || {
-                    chunk
-                        .into_iter()
-                        .find(|&rep| unary_equivalent(rep, n, k))
-                }));
+                handles.push(
+                    scope.spawn(move || chunk.into_iter().find(|&rep| unary_equivalent(rep, n, k))),
+                );
             }
             for h in handles {
                 hits.push(h.join().expect("solver thread panicked"));

@@ -39,7 +39,10 @@ pub struct SpoilerMove {
 impl EfSolver {
     /// Creates a solver for the game over `game`.
     pub fn new(game: GamePair) -> EfSolver {
-        EfSolver { game, memo: HashMap::new() }
+        EfSolver {
+            game,
+            memo: HashMap::new(),
+        }
     }
 
     /// Convenience: a solver for the words `w`, `v` over their joint
@@ -86,10 +89,7 @@ impl EfSolver {
         let mut result = true;
         'spoiler: for side in [Side::A, Side::B] {
             for element in self.spoiler_moves(side) {
-                if self
-                    .best_response_from(&state, side, element, k)
-                    .is_none()
-                {
+                if self.best_response_from(&state, side, element, k).is_none() {
                     result = false;
                     break 'spoiler;
                 }
@@ -173,18 +173,21 @@ impl EfSolver {
         'outer: while rounds > 0 {
             for side in [Side::A, Side::B] {
                 for element in self.spoiler_moves(side) {
-                    if self.best_response_from(&state, side, element, rounds).is_none() {
+                    if self
+                        .best_response_from(&state, side, element, rounds)
+                        .is_none()
+                    {
                         line.push(SpoilerMove { side, element });
                         // Extend the state with Duplicator's *least bad*
                         // response that keeps the partial isomorphism if
                         // any (otherwise Spoiler already won).
-                        let salvage = self
-                            .duplicator_options(side, element)
-                            .into_iter()
-                            .find(|&r| {
-                                let p = self.game.as_ab_pair(side, element, r);
-                                self.game.consistent(&state, p)
-                            });
+                        let salvage =
+                            self.duplicator_options(side, element)
+                                .into_iter()
+                                .find(|&r| {
+                                    let p = self.game.as_ab_pair(side, element, r);
+                                    self.game.consistent(&state, p)
+                                });
                         match salvage {
                             None => return Some(line),
                             Some(r) => {

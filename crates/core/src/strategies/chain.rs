@@ -39,10 +39,17 @@ pub fn chain(links: Vec<ChainLink>) -> (GamePair, Box<dyn DuplicatorStrategy>) {
     let mut acc_v = first.v;
     let mut acc_strategy: Box<dyn DuplicatorStrategy> = first.strategy;
     for link in it {
-        let game1 = GamePair::new(acc_w.clone(), acc_v.clone(), &fc_words::Alphabet::from_symbols(b""));
-        let game2 = GamePair::new(link.w.clone(), link.v.clone(), &fc_words::Alphabet::from_symbols(b""));
-        let composed =
-            PseudoCongruenceStrategy::new(game1, game2, acc_strategy, link.strategy);
+        let game1 = GamePair::new(
+            acc_w.clone(),
+            acc_v.clone(),
+            &fc_words::Alphabet::from_symbols(b""),
+        );
+        let game2 = GamePair::new(
+            link.w.clone(),
+            link.v.clone(),
+            &fc_words::Alphabet::from_symbols(b""),
+        );
+        let composed = PseudoCongruenceStrategy::new(game1, game2, acc_strategy, link.strategy);
         acc_w = acc_w.concat(&link.w);
         acc_v = acc_v.concat(&link.v);
         acc_strategy = Box::new(composed);
@@ -55,7 +62,10 @@ pub fn chain(links: Vec<ChainLink>) -> (GamePair, Box<dyn DuplicatorStrategy>) {
 /// provisioned with the Lemma 4.4 budget `k + rᵢ + 2` computed from the
 /// actual junction (using the *accumulated* left word, as the nesting
 /// demands).
-pub fn chain_with_tables(parts: &[(Word, Word)], k: u32) -> (GamePair, Box<dyn DuplicatorStrategy>) {
+pub fn chain_with_tables(
+    parts: &[(Word, Word)],
+    k: u32,
+) -> (GamePair, Box<dyn DuplicatorStrategy>) {
     assert!(!parts.is_empty());
     // Budgets: walk the junctions left to right.
     let mut links = Vec::with_capacity(parts.len());
@@ -104,7 +114,11 @@ mod tests {
         let (game, strategy) = chain_with_tables(&parts, 1);
         let failure = validate_strategy(&game, strategy.as_ref(), 1);
         assert!(failure.is_none(), "{}", failure.unwrap().render(&game));
-        assert!(equivalent(game.a.word().as_str(), game.b.word().as_str(), 1));
+        assert!(equivalent(
+            game.a.word().as_str(),
+            game.b.word().as_str(),
+            1
+        ));
     }
 
     #[test]

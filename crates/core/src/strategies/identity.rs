@@ -36,7 +36,10 @@ mod tests {
     fn wins_on_equal_words_at_depth_3() {
         for w in ["", "a", "ab", "abab"] {
             let game = GamePair::of(w, w);
-            assert!(validate_strategy(&game, &IdentityStrategy, 3).is_none(), "w={w}");
+            assert!(
+                validate_strategy(&game, &IdentityStrategy, 3).is_none(),
+                "w={w}"
+            );
         }
     }
 

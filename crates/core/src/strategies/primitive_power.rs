@@ -43,7 +43,11 @@ impl PrimitivePowerStrategy {
             fc_words::is_primitive(root.bytes()),
             "Lemma 4.9 requires a primitive root"
         );
-        PrimitivePowerStrategy { root, lookup_game, lookup }
+        PrimitivePowerStrategy {
+            root,
+            lookup_game,
+            lookup,
+        }
     }
 
     /// The composed game `w^{p_A}` vs `w^{p_B}` matching the look-up game's
@@ -51,7 +55,11 @@ impl PrimitivePowerStrategy {
     pub fn composed_game(&self) -> GamePair {
         let pa = self.lookup_game.a.word().len();
         let pb = self.lookup_game.b.word().len();
-        GamePair::new(self.root.pow(pa), self.root.pow(pb), self.lookup_game.a.alphabet())
+        GamePair::new(
+            self.root.pow(pa),
+            self.root.pow(pb),
+            self.lookup_game.a.alphabet(),
+        )
     }
 
     fn respond_bytes(&mut self, side: Side, bytes: &[u8]) -> Option<Vec<u8>> {
@@ -71,7 +79,12 @@ impl PrimitivePowerStrategy {
             return Some(bytes.to_vec());
         }
         let f = power_factorisation(self.root.bytes(), bytes)?;
-        Some(f.with_exponent(m).assemble(self.root.bytes()).bytes().to_vec())
+        Some(
+            f.with_exponent(m)
+                .assemble(self.root.bytes())
+                .bytes()
+                .to_vec(),
+        )
     }
 }
 
@@ -128,11 +141,8 @@ mod tests {
         for root in ["ab", "aab"] {
             let lookup_game = GamePair::of(&"a".repeat(q), &"a".repeat(p));
             let lookup = crate::strategies::UnaryEndAlignedStrategy::new(q, p, 7);
-            let strat = PrimitivePowerStrategy::new(
-                Word::from(root),
-                lookup_game,
-                Box::new(lookup),
-            );
+            let strat =
+                PrimitivePowerStrategy::new(Word::from(root), lookup_game, Box::new(lookup));
             let composed = strat.composed_game();
             let failure = validate_strategy(&composed, &strat, k);
             assert!(

@@ -45,7 +45,12 @@ impl PseudoCongruenceStrategy {
         g1: Box<dyn DuplicatorStrategy>,
         g2: Box<dyn DuplicatorStrategy>,
     ) -> PseudoCongruenceStrategy {
-        PseudoCongruenceStrategy { game1, game2, g1, g2 }
+        PseudoCongruenceStrategy {
+            game1,
+            game2,
+            g1,
+            g2,
+        }
     }
 
     /// The composed game `w₁·w₂` vs `v₁·v₂` this strategy plays on.
@@ -205,15 +210,20 @@ mod tests {
 
     /// Builds the composed strategy with solver-backed look-up games of
     /// `k + r + 2` rounds, as the lemma prescribes.
-    fn compose(w1: &str, w2: &str, v1: &str, v2: &str, k: u32) -> (GamePair, PseudoCongruenceStrategy) {
+    fn compose(
+        w1: &str,
+        w2: &str,
+        v1: &str,
+        v2: &str,
+        k: u32,
+    ) -> (GamePair, PseudoCongruenceStrategy) {
         let game1 = GamePair::of(w1, v1);
         let game2 = GamePair::of(w2, v2);
         let r = max_common_factor_len(w1.as_bytes(), w2.as_bytes()) as u32;
         let lookup_rounds = k + r + 2;
         let g1 = TableStrategy::new(game1.clone(), lookup_rounds);
         let g2 = TableStrategy::new(game2.clone(), lookup_rounds);
-        let strat =
-            PseudoCongruenceStrategy::new(game1, game2, Box::new(g1), Box::new(g2));
+        let strat = PseudoCongruenceStrategy::new(game1, game2, Box::new(g1), Box::new(g2));
         let composed = strat.composed_game();
         (composed, strat)
     }

@@ -72,8 +72,7 @@ impl DuplicatorStrategy for TableStrategy {
             .or_else(|| {
                 // Losing position: salvage any consistent response.
                 let game = solver.game().clone();
-                let mut opts: Vec<FactorId> =
-                    game.structure(side.other()).universe().collect();
+                let mut opts: Vec<FactorId> = game.structure(side.other()).universe().collect();
                 opts.push(FactorId::BOTTOM);
                 opts.into_iter().find(|&r| {
                     let p = game.as_ab_pair(side, element, r);

@@ -91,7 +91,10 @@ impl DuplicatorStrategy for UnaryEndAlignedStrategy {
     }
 
     fn name(&self) -> String {
-        format!("unary-end-aligned(P={}, Q={}, low={})", self.p_a, self.p_b, self.low)
+        format!(
+            "unary-end-aligned(P={}, Q={}, low={})",
+            self.p_a, self.p_b, self.low
+        )
     }
 }
 
@@ -125,7 +128,11 @@ mod tests {
             );
         }
         // …whereas the solver-backed table strategy wins (see table.rs).
-        assert!(crate::solver::equivalent(&"a".repeat(12), &"a".repeat(14), 2));
+        assert!(crate::solver::equivalent(
+            &"a".repeat(12),
+            &"a".repeat(14),
+            2
+        ));
     }
 
     #[test]

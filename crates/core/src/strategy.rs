@@ -95,7 +95,9 @@ pub fn validate_strategy(
     rounds: u32,
 ) -> Option<StrategyFailure> {
     if !game.constants_consistent() {
-        return Some(StrategyFailure { transcript: Vec::new() });
+        return Some(StrategyFailure {
+            transcript: Vec::new(),
+        });
     }
     let mut pairs = game.constant_pairs.clone();
     pairs.sort_unstable();
@@ -121,9 +123,15 @@ fn explore(
             let mut branch = strategy.boxed_clone();
             let response = branch.respond(game, side, element);
             let new_pair = game.as_ab_pair(side, element, response);
-            transcript.push(RoundRecord { side, spoiler: element, duplicator: response });
+            transcript.push(RoundRecord {
+                side,
+                spoiler: element,
+                duplicator: response,
+            });
             if !game.consistent(pairs, new_pair) {
-                let failure = StrategyFailure { transcript: transcript.clone() };
+                let failure = StrategyFailure {
+                    transcript: transcript.clone(),
+                };
                 transcript.pop();
                 return Some(failure);
             }
@@ -161,7 +169,11 @@ pub fn play_line(
     for &(side, element) in line {
         let response = strategy.respond(game, side, element);
         let new_pair = game.as_ab_pair(side, element, response);
-        transcript.push(RoundRecord { side, spoiler: element, duplicator: response });
+        transcript.push(RoundRecord {
+            side,
+            spoiler: element,
+            duplicator: response,
+        });
         if ok && !game.consistent(&pairs, new_pair) {
             ok = false;
         }

@@ -82,7 +82,10 @@ pub fn optimal_play(game: &GamePair, k: u32) -> Transcript {
         if alive {
             'hunt: for side in [Side::A, Side::B] {
                 for element in game.structure(side).universe() {
-                    if solver.best_response_from(&state, side, element, remaining).is_none() {
+                    if solver
+                        .best_response_from(&state, side, element, remaining)
+                        .is_none()
+                    {
                         choice = Some((side, element));
                         break 'hunt;
                     }
@@ -92,10 +95,7 @@ pub fn optimal_play(game: &GamePair, k: u32) -> Transcript {
         let (side, element) = choice.unwrap_or_else(|| {
             (
                 Side::A,
-                game.a
-                    .universe()
-                    .last()
-                    .unwrap_or_else(|| game.a.epsilon()),
+                game.a.universe().last().unwrap_or_else(|| game.a.epsilon()),
             )
         });
         // Duplicator: the solver's best response, else any consistent one.
@@ -136,7 +136,10 @@ pub fn optimal_play(game: &GamePair, k: u32) -> Transcript {
             }
         }
     }
-    Transcript { rounds, duplicator_won: alive }
+    Transcript {
+        rounds,
+        duplicator_won: alive,
+    }
 }
 
 #[cfg(test)]

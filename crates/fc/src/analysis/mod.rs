@@ -1,0 +1,430 @@
+//! # fc-analyze — diagnostics and lints for FC[REG] formulas
+//!
+//! A small static-analysis framework over the span-carrying AST of
+//! [`crate::span`]. The [`Analyzer`] walks a [`SpannedFormula`] and emits
+//! [`Diagnostic`]s with stable codes:
+//!
+//! | code  | rule                        | default severity |
+//! |-------|-----------------------------|------------------|
+//! | FC000 | parse-error                 | error            |
+//! | FC001 | unused-quantified-variable  | warning          |
+//! | FC002 | variable-shadowing          | warning          |
+//! | FC003 | vacuous-quantifier          | warning          |
+//! | FC004 | double-negation             | warning          |
+//! | FC005 | constant-subformula         | warning          |
+//! | FC006 | free-variables-in-sentence  | error            |
+//! | FC007 | non-pure-fc                 | error            |
+//! | FC101 | empty-constraint-language   | error            |
+//! | FC102 | universal-constraint        | warning          |
+//! | FC103 | finite-constraint-language  | note             |
+//! | FC104 | qr-blowup                   | warning          |
+//!
+//! FC001–FC007 are purely syntactic. FC101–FC104 are *semantic*: they
+//! decide properties of the constraint languages by compiling each
+//! `/regex/` to a DFA ([`fc_reglang::Dfa::from_regex`]) and asking
+//! emptiness / universality / finiteness, and they compare the quantifier
+//! rank of the surface formula against its binary-FC desugaring
+//! (Theorem 3.5: every extra wide-equation part costs a quantifier).
+//!
+//! The catalog with examples lives in `docs/ANALYSIS.md`; the CLI entry
+//! point is `fc lint`.
+//!
+//! ```
+//! use fc_logic::analysis::Analyzer;
+//! let diags = Analyzer::default().analyze_source("E x: E x: x = eps");
+//! let codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
+//! assert_eq!(codes, ["FC001", "FC002"]); // outer x unused; inner x shadows it
+//! ```
+
+mod semantic;
+mod syntactic;
+
+use crate::formula::Formula;
+use crate::parser::parse_formula_spanned;
+use crate::span::{caret_context, Span, SpannedFormula};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// How bad a finding is. Ordered: `Note < Warning < Error`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational — e.g. an optimization opportunity.
+    Note,
+    /// Probably a mistake, but the formula is well-defined.
+    Warning,
+    /// The formula cannot mean what was intended (or cannot be parsed).
+    Error,
+}
+
+impl Severity {
+    /// Lower-case name, as rendered in output (`note`, `warning`, `error`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A single finding: a stable code, a severity, the byte span it points
+/// at, and a message (plus an optional elaborating note).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diagnostic {
+    /// Stable rule code (`FC000` … `FC104`), see the module table.
+    pub code: &'static str,
+    /// Severity of this instance (usually the rule's default).
+    pub severity: Severity,
+    /// Byte range in the source; [`Span::DUMMY`] for lifted formulas.
+    pub span: Span,
+    /// One-line description of the finding.
+    pub message: String,
+    /// Optional elaboration (paper reference, suggestion).
+    pub note: Option<String>,
+}
+
+impl Diagnostic {
+    /// Renders `severity[code]: message` with a caret-context line when
+    /// the source is available and an indented `note:` when present.
+    pub fn render_human(&self, src: Option<&str>) -> String {
+        let mut out = format!("{}[{}]: {}", self.severity, self.code, self.message);
+        if let Some(src) = src {
+            if let Some(ctx) = caret_context(src, self.span, "  ") {
+                out.push('\n');
+                out.push_str(&ctx);
+            }
+        }
+        if let Some(note) = &self.note {
+            out.push_str("\n  note: ");
+            out.push_str(note);
+        }
+        out
+    }
+
+    /// Renders the diagnostic as a stable one-line JSON object with keys
+    /// `code`, `severity`, `start`, `end`, `message`, `note`.
+    pub fn to_json(&self) -> String {
+        let note = match &self.note {
+            Some(n) => format!("\"{}\"", json_escape(n)),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"code\":\"{}\",\"severity\":\"{}\",\"start\":{},\"end\":{},\"message\":\"{}\",\"note\":{}}}",
+            self.code,
+            self.severity,
+            self.span.start,
+            self.span.end,
+            json_escape(&self.message),
+            note
+        )
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Static description of a lint rule, for `fc lint --rules` and the docs.
+#[derive(Clone, Copy, Debug)]
+pub struct RuleInfo {
+    /// Stable code (`FC001`, …).
+    pub code: &'static str,
+    /// Short kebab-case name.
+    pub name: &'static str,
+    /// Severity the rule fires at by default.
+    pub default_severity: Severity,
+    /// One-line summary.
+    pub summary: &'static str,
+}
+
+const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        code: "FC000",
+        name: "parse-error",
+        default_severity: Severity::Error,
+        summary: "the source is not a well-formed FC[REG] formula",
+    },
+    RuleInfo {
+        code: "FC001",
+        name: "unused-quantified-variable",
+        default_severity: Severity::Warning,
+        summary: "a quantified variable is never used freely in its scope \
+                  (every occurrence is captured by an inner binder)",
+    },
+    RuleInfo {
+        code: "FC002",
+        name: "variable-shadowing",
+        default_severity: Severity::Warning,
+        summary: "a quantifier rebinds a variable that is already in scope",
+    },
+    RuleInfo {
+        code: "FC003",
+        name: "vacuous-quantifier",
+        default_severity: Severity::Warning,
+        summary: "a quantified variable does not occur in its scope at all",
+    },
+    RuleInfo {
+        code: "FC004",
+        name: "double-negation",
+        default_severity: Severity::Warning,
+        summary: "!!φ is equivalent to φ",
+    },
+    RuleInfo {
+        code: "FC005",
+        name: "constant-subformula",
+        default_severity: Severity::Warning,
+        summary: "a subformula is statically ⊤ or ⊥ (ground equation, x = x, \
+                  or empty connective)",
+    },
+    RuleInfo {
+        code: "FC006",
+        name: "free-variables-in-sentence",
+        default_severity: Severity::Error,
+        summary: "the formula was expected to be a sentence but has free variables",
+    },
+    RuleInfo {
+        code: "FC007",
+        name: "non-pure-fc",
+        default_severity: Severity::Error,
+        summary: "a regular constraint appears where pure FC was expected",
+    },
+    RuleInfo {
+        code: "FC101",
+        name: "empty-constraint-language",
+        default_severity: Severity::Error,
+        summary: "a regular constraint's language is empty, so the atom is \
+                  unsatisfiable",
+    },
+    RuleInfo {
+        code: "FC102",
+        name: "universal-constraint",
+        default_severity: Severity::Warning,
+        summary: "a regular constraint accepts every word over the formula's \
+                  alphabet, so the atom is vacuous",
+    },
+    RuleInfo {
+        code: "FC103",
+        name: "finite-constraint-language",
+        default_severity: Severity::Note,
+        summary: "a regular constraint's language is finite, hence expressible \
+                  in pure FC (Lemma 5.3)",
+    },
+    RuleInfo {
+        code: "FC104",
+        name: "qr-blowup",
+        default_severity: Severity::Warning,
+        summary: "desugaring wide equations raises the quantifier rank past \
+                  the configured budget (Theorem 3.5)",
+    },
+];
+
+/// The full, ordered rule registry.
+pub fn rules() -> &'static [RuleInfo] {
+    RULES
+}
+
+/// Looks up a rule by its code.
+pub fn rule(code: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.code == code)
+}
+
+/// Knobs for an analysis run.
+#[derive(Clone, Debug)]
+pub struct AnalysisConfig {
+    /// Fire FC006 when the formula has free variables (set by `fc check`,
+    /// `fc lint --sentence`).
+    pub expect_sentence: bool,
+    /// Fire FC007 on regular constraints (set by `fc lint --pure`).
+    pub expect_pure_fc: bool,
+    /// FC104 fires when `qr_desugared() - qr() > qr_blowup_threshold`.
+    pub qr_blowup_threshold: usize,
+    /// Run the DFA-backed rules FC101–FC103 (cheap for the regexes in this
+    /// repo, but disableable for adversarial inputs).
+    pub semantic: bool,
+    /// Codes to suppress entirely (`--allow FC103`).
+    pub allow: BTreeSet<String>,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            expect_sentence: false,
+            expect_pure_fc: false,
+            qr_blowup_threshold: 3,
+            semantic: true,
+            allow: BTreeSet::new(),
+        }
+    }
+}
+
+/// The analyzer: runs every applicable rule over a formula and returns
+/// the findings sorted by source position, then code.
+#[derive(Clone, Debug, Default)]
+pub struct Analyzer {
+    /// Configuration for this run.
+    pub config: AnalysisConfig,
+}
+
+impl Analyzer {
+    /// An analyzer with the given configuration.
+    pub fn new(config: AnalysisConfig) -> Analyzer {
+        Analyzer { config }
+    }
+
+    /// Analyzes a span-carrying formula (as produced by
+    /// [`parse_formula_spanned`]).
+    pub fn analyze(&self, f: &SpannedFormula) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        syntactic::check(f, &self.config, &mut diags);
+        if self.config.semantic {
+            semantic::check(f, &self.config, &mut diags);
+        }
+        self.finish(diags)
+    }
+
+    /// Analyzes a programmatically built formula by lifting it into the
+    /// spanned representation (all spans dummy, so renderers omit carets).
+    pub fn analyze_formula(&self, f: &Formula) -> Vec<Diagnostic> {
+        self.analyze(&SpannedFormula::lift(f))
+    }
+
+    /// Parses and analyzes source text; parse failures become a single
+    /// FC000 diagnostic pointing at the offending bytes.
+    pub fn analyze_source(&self, src: &str) -> Vec<Diagnostic> {
+        match parse_formula_spanned(src) {
+            Ok(f) => self.analyze(&f),
+            Err(e) => self.finish(vec![Diagnostic {
+                code: "FC000",
+                severity: Severity::Error,
+                span: e.span,
+                message: e.message,
+                note: None,
+            }]),
+        }
+    }
+
+    fn finish(&self, mut diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+        diags.retain(|d| !self.config.allow.contains(d.code));
+        diags.sort_by(|a, b| {
+            (a.span.start, a.span.end, a.code).cmp(&(b.span.start, b.span.end, b.code))
+        });
+        diags
+    }
+}
+
+/// `(errors, warnings, notes)` tallies for a batch of diagnostics.
+pub fn counts(diags: &[Diagnostic]) -> (usize, usize, usize) {
+    let mut n = (0, 0, 0);
+    for d in diags {
+        match d.severity {
+            Severity::Error => n.0 += 1,
+            Severity::Warning => n.1 += 1,
+            Severity::Note => n.2 += 1,
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_codes_are_unique_and_sorted() {
+        let codes: Vec<&str> = rules().iter().map(|r| r.code).collect();
+        let mut sorted = codes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(codes, sorted, "registry must be sorted and duplicate-free");
+        assert!(rule("FC001").is_some());
+        assert!(rule("FC999").is_none());
+    }
+
+    #[test]
+    fn parse_failure_becomes_fc000() {
+        let diags = Analyzer::default().analyze_source("E x x = eps");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "FC000");
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert_eq!(diags[0].span.start, 4);
+    }
+
+    #[test]
+    fn clean_formula_has_no_findings() {
+        let diags = Analyzer::default().analyze_source("E x, y: y = x.x");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn allow_list_suppresses_codes() {
+        let mut config = AnalysisConfig::default();
+        config.allow.insert("FC004".to_string());
+        let diags = Analyzer::new(config).analyze_source("E x: !!(x = eps.x)");
+        assert!(diags.iter().all(|d| d.code != "FC004"), "{diags:?}");
+    }
+
+    #[test]
+    fn human_rendering_has_caret_and_note() {
+        let src = "E x: E x: x = x.x";
+        let diags = Analyzer::default().analyze_source(src);
+        let shadow = diags.iter().find(|d| d.code == "FC002").unwrap();
+        let rendered = shadow.render_human(Some(src));
+        assert!(rendered.starts_with("warning[FC002]:"), "{rendered}");
+        assert!(rendered.contains('^'), "{rendered}");
+    }
+
+    #[test]
+    fn json_rendering_is_stable() {
+        let d = Diagnostic {
+            code: "FC001",
+            severity: Severity::Warning,
+            span: Span::new(3, 4),
+            message: "say \"hi\"".to_string(),
+            note: None,
+        };
+        assert_eq!(
+            d.to_json(),
+            r#"{"code":"FC001","severity":"warning","start":3,"end":4,"message":"say \"hi\"","note":null}"#
+        );
+    }
+
+    #[test]
+    fn diagnostics_are_ordered_by_position() {
+        let src = "E u: E x: E x: (x = x) & !!(u = eps.u)";
+        let diags = Analyzer::default().analyze_source(src);
+        let starts: Vec<usize> = diags.iter().map(|d| d.span.start).collect();
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        assert_eq!(starts, sorted);
+        assert!(diags.len() >= 3, "{diags:?}");
+    }
+
+    #[test]
+    fn counts_tally_by_severity() {
+        let diags = Analyzer::default()
+            .analyze_source("E x: (x in /b(ab)*/) & (x in /!/) & (x in /ab|ba/)");
+        let (e, w, n) = counts(&diags);
+        assert_eq!(e, 1, "{diags:?}"); // FC101: /!/ is ∅
+        assert_eq!(w, 0, "{diags:?}");
+        assert_eq!(n, 1, "{diags:?}"); // FC103: /ab|ba/ is finite
+    }
+}

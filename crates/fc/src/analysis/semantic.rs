@@ -1,0 +1,231 @@
+//! Semantic lint rules FC101–FC104: properties decided on the constraint
+//! *languages* (via DFA constructions in `fc-reglang`) and on the
+//! quantifier-rank cost of desugaring wide equations (Theorem 3.5).
+
+use super::{AnalysisConfig, Diagnostic, Severity};
+use crate::span::{Span, SpannedFormula, SpannedNode};
+use fc_reglang::{ops, Dfa, Regex};
+use std::rc::Rc;
+
+/// Runs all semantic rules over `f`, appending findings to `out`.
+pub(super) fn check(f: &SpannedFormula, config: &AnalysisConfig, out: &mut Vec<Diagnostic>) {
+    let lowered = f.to_formula();
+
+    // The ambient alphabet: every letter mentioned anywhere in the formula
+    // (equation constants and constraint regexes alike). A universality
+    // verdict is only meaningful relative to this; default to {a,b} for
+    // formulas that mention no letter at all.
+    let mut alphabet = lowered.symbols();
+    if alphabet.is_empty() {
+        alphabet = b"ab".to_vec();
+    }
+
+    let mut constraints: Vec<(&Rc<Regex>, Span)> = Vec::new();
+    collect_constraints(f, &mut constraints);
+    for (regex, rspan) in constraints {
+        check_constraint(regex, rspan, &alphabet, out);
+    }
+
+    let qr = lowered.qr();
+    let qr_desugared = lowered.qr_desugared();
+    if qr_desugared - qr > config.qr_blowup_threshold {
+        out.push(Diagnostic {
+            code: "FC104",
+            severity: Severity::Warning,
+            span: f.span,
+            message: format!(
+                "desugaring wide equations raises the quantifier rank from {qr} to \
+                 {qr_desugared} (budget: +{})",
+                config.qr_blowup_threshold
+            ),
+            note: Some(
+                "qr drives the EF-game round count (Theorem 3.5); split long \
+                 concatenations or raise --qr-budget if intended"
+                    .to_string(),
+            ),
+        });
+    }
+}
+
+fn collect_constraints<'a>(f: &'a SpannedFormula, out: &mut Vec<(&'a Rc<Regex>, Span)>) {
+    match &f.node {
+        SpannedNode::Eq(..) | SpannedNode::EqChain(..) => {}
+        SpannedNode::In(_, g, rspan) => out.push((g, *rspan)),
+        SpannedNode::Not(inner) => collect_constraints(inner, out),
+        SpannedNode::And(fs) | SpannedNode::Or(fs) => {
+            for g in fs {
+                collect_constraints(g, out);
+            }
+        }
+        SpannedNode::Exists(_, _, body) | SpannedNode::Forall(_, _, body) => {
+            collect_constraints(body, out);
+        }
+    }
+}
+
+fn check_constraint(regex: &Rc<Regex>, rspan: Span, alphabet: &[u8], out: &mut Vec<Diagnostic>) {
+    // `from_regex` extends the base alphabet with the regex's own symbols
+    // and returns a minimal complete DFA.
+    let dfa = Dfa::from_regex(regex, alphabet);
+    if ops::is_empty_lang(&dfa) {
+        out.push(Diagnostic {
+            code: "FC101",
+            severity: Severity::Error,
+            span: rspan,
+            message: format!("constraint language of /{regex}/ is empty"),
+            note: Some(
+                "the atom is unsatisfiable, making every conjunction containing it \
+                 unsatisfiable too"
+                    .to_string(),
+            ),
+        });
+        return;
+    }
+    if ops::is_empty_lang(&ops::complement(&dfa)) {
+        let sigma: String = dfa.alphabet.iter().map(|&c| c as char).collect();
+        out.push(Diagnostic {
+            code: "FC102",
+            severity: Severity::Warning,
+            span: rspan,
+            message: format!(
+                "constraint /{regex}/ accepts every word over {{{sigma}}}; the atom is \
+                 vacuous"
+            ),
+            note: Some("drop the constraint — it never filters anything".to_string()),
+        });
+        return;
+    }
+    if ops::is_finite_lang(&dfa) {
+        out.push(Diagnostic {
+            code: "FC103",
+            severity: Severity::Note,
+            span: rspan,
+            message: format!("constraint language of /{regex}/ is finite"),
+            note: Some(
+                "bounded regular constraints are expressible in pure FC (Lemma 5.3); \
+                 this formula does not need FC[REG]"
+                    .to_string(),
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{AnalysisConfig, Analyzer, Severity};
+    use crate::formula::{Formula, Term};
+    use crate::library;
+
+    fn codes(src: &str) -> Vec<&'static str> {
+        Analyzer::default()
+            .analyze_source(src)
+            .iter()
+            .map(|d| d.code)
+            .collect()
+    }
+
+    // FC101 — empty constraint language ----------------------------------
+
+    #[test]
+    fn fc101_fires_on_the_empty_language() {
+        let src = "E x: x in /!/";
+        let diags = Analyzer::default().analyze_source(src);
+        let d = diags.iter().find(|d| d.code == "FC101").expect("FC101");
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.span.slice(src), "/!/");
+    }
+
+    #[test]
+    fn fc101_silent_on_nonempty_languages() {
+        assert!(!codes("E x: x in /ab*/").contains(&"FC101"));
+        // ε-only is nonempty.
+        assert!(!codes("E x: x in /~/").contains(&"FC101"));
+    }
+
+    // FC102 — universal constraint ---------------------------------------
+
+    #[test]
+    fn fc102_fires_when_the_constraint_is_vacuous() {
+        let found = codes("E x: x in /(a|b)*/");
+        assert!(found.contains(&"FC102"), "{found:?}");
+    }
+
+    #[test]
+    fn fc102_respects_the_formula_alphabet() {
+        // /(a|b)*/ is universal in a formula that only ever mentions a and
+        // b — but not once the formula mentions c.
+        let found = codes(r#"E x, y: (x = "c".y) & (x in /(a|b)*/)"#);
+        assert!(!found.contains(&"FC102"), "{found:?}");
+    }
+
+    // FC103 — finite constraint language ---------------------------------
+
+    #[test]
+    fn fc103_fires_on_finite_languages() {
+        let src = "E x: x in /ab|ba|~/";
+        let diags = Analyzer::default().analyze_source(src);
+        let d = diags.iter().find(|d| d.code == "FC103").expect("FC103");
+        assert_eq!(d.severity, Severity::Note);
+        assert!(
+            d.note.as_deref().unwrap_or("").contains("Lemma 5.3"),
+            "{:?}",
+            d.note
+        );
+    }
+
+    #[test]
+    fn fc103_silent_on_infinite_languages() {
+        assert!(!codes("E x: x in /a*b/").contains(&"FC103"));
+    }
+
+    // FC104 — quantifier-rank blowup under desugaring ---------------------
+
+    #[test]
+    fn fc104_fires_when_desugaring_exceeds_the_budget() {
+        // x = y⁸: qr 1 desugars to qr 1+6 (six fresh prefix variables).
+        let src = "E y, x: x = y.y.y.y.y.y.y.y";
+        let diags = Analyzer::default().analyze_source(src);
+        let d = diags.iter().find(|d| d.code == "FC104").expect("FC104");
+        assert!(d.message.contains("from 2 to 8"), "{}", d.message);
+        assert!(
+            d.note.as_deref().unwrap_or("").contains("Theorem 3.5"),
+            "{:?}",
+            d.note
+        );
+    }
+
+    #[test]
+    fn fc104_respects_the_threshold() {
+        let src = "E y, x: x = y.y.y.y.y.y.y.y";
+        let config = AnalysisConfig {
+            qr_blowup_threshold: 6,
+            ..Default::default()
+        };
+        let found: Vec<_> = Analyzer::new(config)
+            .analyze_source(src)
+            .iter()
+            .map(|d| d.code)
+            .collect::<Vec<_>>();
+        assert!(!found.contains(&"FC104"), "{found:?}");
+        // Binary equations never blow up.
+        assert!(!codes("E x, y: x = y.y").contains(&"FC104"));
+    }
+
+    // The constraint rules also run on lifted (built) formulas ------------
+
+    #[test]
+    fn built_constraints_are_checked_too() {
+        let phi = Formula::exists(
+            &["x"],
+            Formula::constraint(Term::var("x"), fc_reglang::Regex::empty()),
+        );
+        let diags = Analyzer::default().analyze_formula(&phi);
+        assert!(diags.iter().any(|d| d.code == "FC101"), "{diags:?}");
+        // The library's FC[REG] formulas are clean.
+        let diags = Analyzer::default().analyze_formula(&library::phi_input_is_power_of(b"ab"));
+        assert!(
+            diags.iter().all(|d| d.code != "FC101" && d.code != "FC102"),
+            "{diags:?}"
+        );
+    }
+}

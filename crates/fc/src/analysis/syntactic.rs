@@ -1,0 +1,465 @@
+//! Syntactic lint rules FC001–FC007: everything decidable by walking the
+//! surface tree, without compiling constraint languages.
+
+use super::{AnalysisConfig, Diagnostic, Severity};
+use crate::formula::{Term, VarName};
+use crate::span::{SpannedFormula, SpannedNode, SpannedTerm};
+
+/// Runs all syntactic rules over `f`, appending findings to `out`.
+pub(super) fn check(f: &SpannedFormula, config: &AnalysisConfig, out: &mut Vec<Diagnostic>) {
+    let mut scope: Vec<VarName> = Vec::new();
+    walk(f, config, &mut scope, out);
+    if config.expect_sentence {
+        check_sentence(f, out);
+    }
+}
+
+fn walk(
+    f: &SpannedFormula,
+    config: &AnalysisConfig,
+    scope: &mut Vec<VarName>,
+    out: &mut Vec<Diagnostic>,
+) {
+    match &f.node {
+        SpannedNode::Eq(x, y, z) => {
+            check_constant_eq(
+                f,
+                x,
+                std::slice::from_ref(y).iter().chain(std::iter::once(z)),
+                out,
+            );
+        }
+        SpannedNode::EqChain(x, parts) => {
+            check_trivial_self_eq(f, x, parts, out);
+            check_constant_eq(f, x, parts.iter(), out);
+        }
+        SpannedNode::In(_, _, rspan) => {
+            if config.expect_pure_fc {
+                out.push(Diagnostic {
+                    code: "FC007",
+                    severity: Severity::Error,
+                    span: *rspan,
+                    message: "regular constraint in a context that expects pure FC".to_string(),
+                    note: Some(
+                        "pure FC has only word equations; drop the constraint or run \
+                         without --pure"
+                            .to_string(),
+                    ),
+                });
+            }
+        }
+        SpannedNode::Not(inner) => {
+            if let SpannedNode::Not(innermost) = &inner.node {
+                out.push(Diagnostic {
+                    code: "FC004",
+                    severity: Severity::Warning,
+                    span: f.span,
+                    message: "double negation; !!φ is equivalent to φ".to_string(),
+                    note: Some(format!(
+                        "the inner formula already is {}",
+                        innermost.to_formula()
+                    )),
+                });
+            }
+            walk(inner, config, scope, out);
+        }
+        SpannedNode::And(fs) => {
+            if fs.is_empty() {
+                out.push(constant_connective(f, true));
+            }
+            for g in fs {
+                walk(g, config, scope, out);
+            }
+        }
+        SpannedNode::Or(fs) => {
+            if fs.is_empty() {
+                out.push(constant_connective(f, false));
+            }
+            for g in fs {
+                walk(g, config, scope, out);
+            }
+        }
+        SpannedNode::Exists(v, vspan, body) | SpannedNode::Forall(v, vspan, body) => {
+            if scope.contains(v) {
+                out.push(Diagnostic {
+                    code: "FC002",
+                    severity: Severity::Warning,
+                    span: *vspan,
+                    message: format!("quantifier rebinds '{v}', shadowing the outer binding"),
+                    note: Some(
+                        "rename the inner variable; the outer one is unreachable inside \
+                         this scope"
+                            .to_string(),
+                    ),
+                });
+            }
+            if !occurs_free(body, v) {
+                if mentions(body, v) {
+                    out.push(Diagnostic {
+                        code: "FC001",
+                        severity: Severity::Warning,
+                        span: *vspan,
+                        message: format!(
+                            "quantified variable '{v}' is never used: every occurrence in \
+                             its scope is captured by an inner binder"
+                        ),
+                        note: Some("remove the quantifier or rename the inner binder".to_string()),
+                    });
+                } else {
+                    out.push(Diagnostic {
+                        code: "FC003",
+                        severity: Severity::Warning,
+                        span: *vspan,
+                        message: format!("vacuous quantifier: '{v}' does not occur in its scope"),
+                        note: Some(
+                            "in FC the quantifier still ranges over Facs(w), but the \
+                             subformula does not depend on it"
+                                .to_string(),
+                        ),
+                    });
+                }
+            }
+            scope.push(v.clone());
+            walk(body, config, scope, out);
+            scope.pop();
+        }
+    }
+}
+
+/// `true` iff `v` has a free occurrence in `f`.
+fn occurs_free(f: &SpannedFormula, v: &VarName) -> bool {
+    let term = |t: &SpannedTerm| matches!(&t.term, Term::Var(u) if u == v);
+    match &f.node {
+        SpannedNode::Eq(x, y, z) => term(x) || term(y) || term(z),
+        SpannedNode::EqChain(x, parts) => term(x) || parts.iter().any(term),
+        SpannedNode::In(x, _, _) => term(x),
+        SpannedNode::Not(inner) => occurs_free(inner, v),
+        SpannedNode::And(fs) | SpannedNode::Or(fs) => fs.iter().any(|g| occurs_free(g, v)),
+        SpannedNode::Exists(u, _, body) | SpannedNode::Forall(u, _, body) => {
+            u != v && occurs_free(body, v)
+        }
+    }
+}
+
+/// `true` iff the name `v` appears anywhere in `f` — as a variable
+/// occurrence or as a binder.
+fn mentions(f: &SpannedFormula, v: &VarName) -> bool {
+    let term = |t: &SpannedTerm| matches!(&t.term, Term::Var(u) if u == v);
+    match &f.node {
+        SpannedNode::Eq(x, y, z) => term(x) || term(y) || term(z),
+        SpannedNode::EqChain(x, parts) => term(x) || parts.iter().any(term),
+        SpannedNode::In(x, _, _) => term(x),
+        SpannedNode::Not(inner) => mentions(inner, v),
+        SpannedNode::And(fs) | SpannedNode::Or(fs) => fs.iter().any(|g| mentions(g, v)),
+        SpannedNode::Exists(u, _, body) | SpannedNode::Forall(u, _, body) => {
+            u == v || mentions(body, v)
+        }
+    }
+}
+
+fn constant_connective(f: &SpannedFormula, conjunction: bool) -> Diagnostic {
+    let (sym, name) = if conjunction {
+        ("⊤", "conjunction")
+    } else {
+        ("⊥", "disjunction")
+    };
+    Diagnostic {
+        code: "FC005",
+        severity: Severity::Warning,
+        span: f.span,
+        message: format!("empty {name} is the constant {sym}"),
+        note: None,
+    }
+}
+
+/// FC005 for `x = x`: a one-part chain equating a variable with itself.
+fn check_trivial_self_eq(
+    f: &SpannedFormula,
+    lhs: &SpannedTerm,
+    parts: &[SpannedTerm],
+    out: &mut Vec<Diagnostic>,
+) {
+    if let (Term::Var(x), [p]) = (&lhs.term, parts) {
+        if matches!(&p.term, Term::Var(y) if y == x) {
+            out.push(Diagnostic {
+                code: "FC005",
+                severity: Severity::Warning,
+                span: f.span,
+                message: format!("'{x} = {x}' is trivially true"),
+                note: None,
+            });
+        }
+    }
+}
+
+/// FC005 for ground equations: every term is a constant, so the atom is
+/// statically ⊤ or ⊥.
+fn check_constant_eq<'a>(
+    f: &SpannedFormula,
+    lhs: &SpannedTerm,
+    parts: impl Iterator<Item = &'a SpannedTerm>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let ground = |t: &SpannedTerm| -> Option<Vec<u8>> {
+        match &t.term {
+            Term::Var(_) => None,
+            Term::Sym(c) => Some(vec![*c]),
+            Term::Epsilon => Some(Vec::new()),
+        }
+    };
+    let Some(left) = ground(lhs) else { return };
+    let mut right = Vec::new();
+    for p in parts {
+        match ground(p) {
+            Some(w) => right.extend(w),
+            None => return,
+        }
+    }
+    let verdict = if left == right { "true" } else { "false" };
+    out.push(Diagnostic {
+        code: "FC005",
+        severity: Severity::Warning,
+        span: f.span,
+        message: format!("ground equation is always {verdict}"),
+        note: Some("both sides are constant words; replace the atom by ⊤/⊥".to_string()),
+    });
+}
+
+/// FC006: the formula was expected to be a sentence but has free
+/// variables. Points at the first free occurrence of the first free
+/// variable (when spans are available).
+fn check_sentence(f: &SpannedFormula, out: &mut Vec<Diagnostic>) {
+    let free = f.to_formula().free_vars();
+    if free.is_empty() {
+        return;
+    }
+    let names: Vec<String> = free.iter().map(|v| format!("'{v}'")).collect();
+    let span = first_free_occurrence(f, &free[0]).unwrap_or(f.span);
+    out.push(Diagnostic {
+        code: "FC006",
+        severity: Severity::Error,
+        span,
+        message: format!(
+            "expected a sentence, but {} occur{} free",
+            names.join(", "),
+            if names.len() == 1 { "s" } else { "" }
+        ),
+        note: Some("bind the variable(s) with E/A or evaluate with an assignment".to_string()),
+    });
+}
+
+/// The span of the first free occurrence of `v` in `f` (source order).
+fn first_free_occurrence(f: &SpannedFormula, v: &VarName) -> Option<crate::span::Span> {
+    let term = |t: &SpannedTerm| {
+        (matches!(&t.term, Term::Var(u) if u == v) && !t.span.is_dummy()).then_some(t.span)
+    };
+    match &f.node {
+        SpannedNode::Eq(x, y, z) => term(x).or_else(|| term(y)).or_else(|| term(z)),
+        SpannedNode::EqChain(x, parts) => term(x).or_else(|| parts.iter().find_map(term)),
+        SpannedNode::In(x, _, _) => term(x),
+        SpannedNode::Not(inner) => first_free_occurrence(inner, v),
+        SpannedNode::And(fs) | SpannedNode::Or(fs) => {
+            fs.iter().find_map(|g| first_free_occurrence(g, v))
+        }
+        SpannedNode::Exists(u, _, body) | SpannedNode::Forall(u, _, body) => {
+            if u == v {
+                None
+            } else {
+                first_free_occurrence(body, v)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{AnalysisConfig, Analyzer, Severity};
+    use crate::library;
+
+    fn codes(src: &str) -> Vec<&'static str> {
+        Analyzer::default()
+            .analyze_source(src)
+            .iter()
+            .map(|d| d.code)
+            .collect()
+    }
+
+    fn lint(config: AnalysisConfig, src: &str) -> Vec<&'static str> {
+        Analyzer::new(config)
+            .analyze_source(src)
+            .iter()
+            .map(|d| d.code)
+            .collect()
+    }
+
+    // FC001 — unused (captured) quantified variable ----------------------
+
+    #[test]
+    fn fc001_fires_when_every_occurrence_is_captured() {
+        // Outer x is only "used" under an inner E x that rebinds it.
+        let found = codes("E x: E x: x = eps");
+        assert!(found.contains(&"FC001"), "{found:?}");
+    }
+
+    #[test]
+    fn fc001_silent_when_the_variable_is_used() {
+        let found = codes("E x: x = eps");
+        assert!(!found.contains(&"FC001"), "{found:?}");
+        // A use before the rebinding also counts.
+        let found = codes("E x: (x = eps) & (E x: x = eps)");
+        assert!(!found.contains(&"FC001"), "{found:?}");
+    }
+
+    // FC002 — shadowing --------------------------------------------------
+
+    #[test]
+    fn fc002_fires_on_rebinding_in_scope() {
+        let src = "E x: E x: x = eps";
+        let diags = Analyzer::default().analyze_source(src);
+        let shadow = diags.iter().find(|d| d.code == "FC002").expect("FC002");
+        // The span is the *inner* binder identifier.
+        assert_eq!(shadow.span.start, 7);
+        assert_eq!(shadow.span.slice(src), "x");
+    }
+
+    #[test]
+    fn fc002_silent_for_sibling_scopes() {
+        // Same name in two disjoint scopes is fine.
+        let found = codes("(E x: x = eps) & (E x: x = \"a\".x)");
+        assert!(!found.contains(&"FC002"), "{found:?}");
+    }
+
+    // FC003 — vacuous quantifier -----------------------------------------
+
+    #[test]
+    fn fc003_fires_when_the_variable_never_occurs() {
+        let found = codes("E x, y: x = eps");
+        assert!(found.contains(&"FC003"), "{found:?}");
+        assert!(!found.contains(&"FC001"), "{found:?}");
+    }
+
+    #[test]
+    fn fc003_silent_when_the_variable_occurs() {
+        let found = codes("E x, y: x = y");
+        assert!(!found.contains(&"FC003"), "{found:?}");
+    }
+
+    // FC004 — double negation --------------------------------------------
+
+    #[test]
+    fn fc004_fires_on_written_double_negation() {
+        let found = codes("E x: !!(x = eps)");
+        assert!(found.contains(&"FC004"), "{found:?}");
+    }
+
+    #[test]
+    fn fc004_silent_on_single_negation_and_implication() {
+        let found = codes("E x: !(x = eps)");
+        assert!(!found.contains(&"FC004"), "{found:?}");
+        // `!a -> b` lowers via the same collapse as Formula::implies — the
+        // parser must not manufacture a double negation here.
+        let found = codes("E x: !(x = eps) -> x = \"a\"");
+        assert!(!found.contains(&"FC004"), "{found:?}");
+    }
+
+    // FC005 — constant subformulas ---------------------------------------
+
+    #[test]
+    fn fc005_fires_on_ground_and_self_equations() {
+        let found = codes(r#"E x: (x = eps) & ("a" = "a")"#);
+        assert!(found.contains(&"FC005"), "{found:?}");
+        let found = codes(r#"E x: (x = eps) & (eps = "a"."b")"#);
+        assert!(found.contains(&"FC005"), "{found:?}");
+        let found = codes("E x: x = x");
+        assert!(found.contains(&"FC005"), "{found:?}");
+    }
+
+    #[test]
+    fn fc005_silent_on_contentful_atoms() {
+        let found = codes(r#"E x: x = "a"."b""#);
+        assert!(!found.contains(&"FC005"), "{found:?}");
+        let found = codes("E x, y: x = y");
+        assert!(!found.contains(&"FC005"), "{found:?}");
+    }
+
+    #[test]
+    fn fc005_message_distinguishes_true_from_false() {
+        let diags = Analyzer::default().analyze_source(r#"E x: (x = eps) & (eps = "a")"#);
+        let d = diags.iter().find(|d| d.code == "FC005").expect("FC005");
+        assert!(d.message.contains("always false"), "{}", d.message);
+    }
+
+    // FC006 — free variables where a sentence was expected ---------------
+
+    #[test]
+    fn fc006_fires_only_with_expect_sentence() {
+        let src = "E x: x = y.y";
+        assert!(!codes(src).contains(&"FC006"));
+        let config = AnalysisConfig {
+            expect_sentence: true,
+            ..Default::default()
+        };
+        let diags = Analyzer::new(config).analyze_source(src);
+        let d = diags.iter().find(|d| d.code == "FC006").expect("FC006");
+        assert_eq!(d.severity, Severity::Error);
+        // Points at the first free occurrence of y.
+        assert_eq!(d.span.slice(src), "y");
+        assert_eq!(d.span.start, 9);
+    }
+
+    #[test]
+    fn fc006_silent_on_sentences() {
+        let config = AnalysisConfig {
+            expect_sentence: true,
+            ..Default::default()
+        };
+        assert!(!lint(config, "E x: x = x.x").contains(&"FC006"));
+    }
+
+    // FC007 — constraints where pure FC was expected ---------------------
+
+    #[test]
+    fn fc007_fires_only_with_expect_pure_fc() {
+        let src = "E x: x in /ab*/";
+        assert!(!codes(src).contains(&"FC007"));
+        let config = AnalysisConfig {
+            expect_pure_fc: true,
+            ..Default::default()
+        };
+        let diags = Analyzer::new(config).analyze_source(src);
+        let d = diags.iter().find(|d| d.code == "FC007").expect("FC007");
+        assert_eq!(d.span.slice(src), "/ab*/");
+    }
+
+    #[test]
+    fn fc007_silent_on_pure_formulas() {
+        let config = AnalysisConfig {
+            expect_pure_fc: true,
+            ..Default::default()
+        };
+        assert!(!lint(config, "E x: x = x.x").contains(&"FC007"));
+    }
+
+    // Lifted formulas ----------------------------------------------------
+
+    #[test]
+    fn lifted_formulas_are_analyzable_without_spans() {
+        let phi = library::phi_square();
+        let config = AnalysisConfig {
+            expect_sentence: true,
+            ..Default::default()
+        };
+        let diags = Analyzer::new(config).analyze_formula(&phi);
+        assert!(diags.is_empty(), "{diags:?}");
+        // A built formula with a vacuous quantifier still lints.
+        let bad = crate::Formula::exists(
+            &["x", "dead"],
+            crate::Formula::eq(crate::Term::var("x"), crate::Term::Epsilon),
+        );
+        let diags = Analyzer::default().analyze_formula(&bad);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, "FC003");
+        // And renders without a caret (no source to point into).
+        assert!(!diags[0].render_human(None).contains('^'));
+    }
+}

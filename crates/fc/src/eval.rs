@@ -52,7 +52,11 @@ impl<'a> EvalCtx<'a> {
                 Dfa::from_regex(&regex, &alpha)
             });
         }
-        EvalCtx { structure, dfas, guarded }
+        EvalCtx {
+            structure,
+            dfas,
+            guarded,
+        }
     }
 
     fn resolve(&self, term: &Term, sigma: &Assignment) -> FactorId {
@@ -287,11 +291,7 @@ impl<'a> EvalCtx<'a> {
                 &mut |local: &[Option<FactorId>]| {
                     // All block vars must be determined (covers() guarantees
                     // each occurs in the chain).
-                    if let Some(sol) = local
-                        .iter()
-                        .map(|o| *o)
-                        .collect::<Option<Vec<FactorId>>>()
-                    {
+                    if let Some(sol) = local.iter().copied().collect::<Option<Vec<FactorId>>>() {
                         if seen.insert(sol.clone()) {
                             out.push(sol);
                         }
@@ -326,10 +326,17 @@ impl<'a> EvalCtx<'a> {
             Some(slot) => match local[slot] {
                 Some(id) => {
                     let chunk = self.structure.bytes_of(id);
-                    if pos + chunk.len() <= target.len()
-                        && &target[pos..pos + chunk.len()] == chunk
+                    if pos + chunk.len() <= target.len() && &target[pos..pos + chunk.len()] == chunk
                     {
-                        self.match_parts(target, pos + chunk.len(), rest, sigma, is_block_var, local, emit);
+                        self.match_parts(
+                            target,
+                            pos + chunk.len(),
+                            rest,
+                            sigma,
+                            is_block_var,
+                            local,
+                            emit,
+                        );
                     }
                 }
                 None => {
@@ -339,7 +346,15 @@ impl<'a> EvalCtx<'a> {
                         // lookup always succeeds; guard anyway.
                         if let Some(id) = self.structure.id_of(chunk) {
                             local[slot] = Some(id);
-                            self.match_parts(target, pos + len, rest, sigma, is_block_var, local, emit);
+                            self.match_parts(
+                                target,
+                                pos + len,
+                                rest,
+                                sigma,
+                                is_block_var,
+                                local,
+                                emit,
+                            );
                             local[slot] = None;
                         }
                     }
@@ -352,7 +367,15 @@ impl<'a> EvalCtx<'a> {
                 }
                 let chunk = self.structure.bytes_of(id);
                 if pos + chunk.len() <= target.len() && &target[pos..pos + chunk.len()] == chunk {
-                    self.match_parts(target, pos + chunk.len(), rest, sigma, is_block_var, local, emit);
+                    self.match_parts(
+                        target,
+                        pos + chunk.len(),
+                        rest,
+                        sigma,
+                        is_block_var,
+                        local,
+                        emit,
+                    );
                 }
             }
         }
@@ -504,7 +527,11 @@ mod tests {
         for w in sigma.words_up_to(5) {
             let s = FactorStructure::new(w.clone(), &sigma);
             assert_eq!(chain.models(&s), desugared.models(&s), "w={w}");
-            assert_eq!(chain.models(&s), fc_words::is_factor(b"aba", w.bytes()), "w={w}");
+            assert_eq!(
+                chain.models(&s),
+                fc_words::is_factor(b"aba", w.bytes()),
+                "w={w}"
+            );
         }
     }
 
@@ -529,12 +556,18 @@ mod tests {
             ),
             F::exists(
                 &["x"],
-                F::forall(&["y"], F::implies(F::eq_cat(v("x"), v("y"), v("y")), F::eq(v("y"), v("y")))),
+                F::forall(
+                    &["y"],
+                    F::implies(F::eq_cat(v("x"), v("y"), v("y")), F::eq(v("y"), v("y"))),
+                ),
             ),
             F::forall(
                 &["z"],
                 F::or([
-                    F::not(F::eq_chain(v("z"), vec![Term::Sym(b'a'), v("z2"), Term::Sym(b'b')])),
+                    F::not(F::eq_chain(
+                        v("z"),
+                        vec![Term::Sym(b'a'), v("z2"), Term::Sym(b'b')],
+                    )),
                     F::eq(v("z2"), Term::Epsilon),
                 ]),
             ),
@@ -555,7 +588,11 @@ mod tests {
                     for fv in &free {
                         m.insert(fv.clone(), s.epsilon());
                     }
-                    assert_eq!(holds(phi, &s, &m), holds_naive(phi, &s, &m), "formula #{fi} w={w}");
+                    assert_eq!(
+                        holds(phi, &s, &m),
+                        holds_naive(phi, &s, &m),
+                        "formula #{fi} w={w}"
+                    );
                 }
             }
         }

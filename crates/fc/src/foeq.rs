@@ -227,7 +227,11 @@ pub struct FoeqSolver {
 impl FoeqSolver {
     /// Creates a solver over the position structures of `w` and `v`.
     pub fn new(w: impl Into<Word>, v: impl Into<Word>) -> FoeqSolver {
-        FoeqSolver { w: w.into(), v: v.into(), memo: HashMap::new() }
+        FoeqSolver {
+            w: w.into(),
+            v: v.into(),
+            memo: HashMap::new(),
+        }
     }
 
     /// `w ≡^{FO[EQ]}_k v`?
@@ -402,7 +406,12 @@ mod tests {
         let phi = Foeq::exists(
             &["a", "b", "c", "d"],
             Foeq::And(vec![
-                Foeq::FactorEq(Foeq::var("a"), Foeq::var("b"), Foeq::var("c"), Foeq::var("d")),
+                Foeq::FactorEq(
+                    Foeq::var("a"),
+                    Foeq::var("b"),
+                    Foeq::var("c"),
+                    Foeq::var("d"),
+                ),
                 Foeq::Less(Foeq::var("b"), Foeq::var("c")),
                 Foeq::Less(Foeq::var("a"), Foeq::var("b")),
             ]),

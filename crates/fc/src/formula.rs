@@ -108,7 +108,10 @@ impl Formula {
         Formula::Or(Vec::new())
     }
 
-    /// Negation (collapses double negation).
+    /// Negation (collapses double negation). An associated constructor
+    /// taking the formula by value, not `std::ops::Not` — negation here
+    /// builds a new AST node rather than operating on `self`.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: Formula) -> Formula {
         match f {
             Formula::Not(inner) => *inner,
@@ -188,9 +191,7 @@ impl Formula {
         match self {
             Formula::Eq(..) | Formula::EqChain(..) | Formula::In(..) => true,
             Formula::Not(_) | Formula::Forall(..) => false,
-            Formula::And(fs) | Formula::Or(fs) => {
-                fs.iter().all(Formula::is_existential_positive)
-            }
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().all(Formula::is_existential_positive),
             Formula::Exists(_, f) => f.is_existential_positive(),
         }
     }
@@ -478,7 +479,10 @@ mod tests {
                 Formula::eq(v("x"), Term::Sym(b'a')),
             ]),
         );
-        assert_eq!(f.free_vars().iter().map(|s| s.as_ref()).collect::<Vec<_>>(), vec!["y"]);
+        assert_eq!(
+            f.free_vars().iter().map(|s| s.as_ref()).collect::<Vec<_>>(),
+            vec!["y"]
+        );
         assert!(!f.is_sentence());
         let g = Formula::exists(&["x", "y"], Formula::eq_cat(v("x"), v("y"), v("y")));
         assert!(g.is_sentence());
@@ -509,7 +513,10 @@ mod tests {
         assert_eq!(atom.qr(), 0);
         let f = Formula::exists(&["x"], Formula::forall(&["y"], atom.clone()));
         assert_eq!(f.qr(), 2);
-        let g = Formula::and([f.clone(), Formula::not(Formula::exists(&["a"], atom.clone()))]);
+        let g = Formula::and([
+            f.clone(),
+            Formula::not(Formula::exists(&["a"], atom.clone())),
+        ]);
         assert_eq!(g.qr(), 2);
         // Prop 3.7's formula has qr 5 — checked in library tests.
     }
@@ -526,7 +533,10 @@ mod tests {
         // 0,1,2 parts → no fresh vars.
         assert_eq!(Formula::eq_chain(v("x"), vec![]).qr_desugared(), 0);
         assert_eq!(Formula::eq_chain(v("x"), vec![v("y")]).qr_desugared(), 0);
-        assert_eq!(Formula::eq_chain(v("x"), vec![v("y"), v("z")]).qr_desugared(), 0);
+        assert_eq!(
+            Formula::eq_chain(v("x"), vec![v("y"), v("z")]).qr_desugared(),
+            0
+        );
     }
 
     #[test]

@@ -38,11 +38,7 @@ pub fn first_language_disagreement(
 }
 
 /// ⟦φ⟧(w) rendered as word tuples in the order `vars`.
-pub fn relation_on(
-    phi: &Formula,
-    vars: &[&str],
-    structure: &FactorStructure,
-) -> Vec<Vec<Word>> {
+pub fn relation_on(phi: &Formula, vars: &[&str], structure: &FactorStructure) -> Vec<Vec<Word>> {
     let keys: Vec<VarName> = vars.iter().map(|v| Rc::from(*v)).collect();
     let mut out: Vec<Vec<Word>> = satisfying_assignments(phi, structure)
         .into_iter()
@@ -141,9 +137,7 @@ mod tests {
         // defines it.
         let phi = library::r_copy("x", "y");
         let s = FactorStructure::of_word("aabaab");
-        let bad = check_defines_relation(&phi, &["x", "y"], &s, |t| {
-            t[0] == t[1].concat(&t[1])
-        });
+        let bad = check_defines_relation(&phi, &["x", "y"], &s, |t| t[0] == t[1].concat(&t[1]));
         assert_eq!(bad, None);
     }
 

@@ -20,6 +20,7 @@
 //!   words);
 //! - [`language`]: windows `L(φ) ∩ Σ^{≤n}` and relation-definability checks.
 
+pub mod analysis;
 pub mod eval;
 pub mod foeq;
 pub mod formula;
@@ -28,6 +29,7 @@ pub mod library;
 pub mod normal_form;
 pub mod parser;
 pub mod reg_to_fc;
+pub mod span;
 pub mod structure;
 
 pub use eval::{holds, satisfying_assignments, Assignment};

@@ -113,10 +113,7 @@ pub fn phi_struc() -> Formula {
     let b = || Term::Sym(b'b');
     let long_shape = Formula::exists(
         &["__x1"],
-        Formula::eq_chain(
-            v("__u"),
-            vec![c(), a(), c(), a(), b(), c(), v("__x1"), c()],
-        ),
+        Formula::eq_chain(v("__u"), vec![c(), a(), c(), a(), b(), c(), v("__x1"), c()]),
     );
     Formula::exists(
         &["__u"],
@@ -141,10 +138,7 @@ pub fn phi_struc() -> Formula {
 ///  (φ_c(y₁) ∨ φ_c(y₂) ∨ φ_c(y₃) ∨ (y₃ ≐ y₂·y₁))`.
 pub fn phi_fib() -> Formula {
     let c = || Term::Sym(b'c');
-    let guard = Formula::eq_chain(
-        v("x"),
-        vec![c(), v("y1"), c(), v("y2"), c(), v("y3"), c()],
-    );
+    let guard = Formula::eq_chain(v("x"), vec![c(), v("y1"), c(), v("y2"), c(), v("y3"), c()]);
     let conclusion = Formula::or([
         phi_contains("y1", b'c'),
         phi_contains("y2", b'c'),
@@ -153,7 +147,10 @@ pub fn phi_fib() -> Formula {
     ]);
     Formula::and([
         phi_struc(),
-        Formula::forall(&["x", "y1", "y2", "y3"], Formula::implies(guard, conclusion)),
+        Formula::forall(
+            &["x", "y1", "y2", "y3"],
+            Formula::implies(guard, conclusion),
+        ),
     ])
 }
 
@@ -308,7 +305,14 @@ mod tests {
 
     #[test]
     fn square_language() {
-        for (w, want) in [("", true), ("aa", true), ("abab", true), ("aba", false), ("a", false), ("abba", false)] {
+        for (w, want) in [
+            ("", true),
+            ("aa", true),
+            ("abab", true),
+            ("aba", false),
+            ("a", false),
+            ("abba", false),
+        ] {
             assert_eq!(phi_square().models(&s(w)), want, "w={w}");
         }
     }
@@ -327,11 +331,11 @@ mod tests {
         let phi = phi_vbv();
         assert_eq!(phi.qr(), 5);
         for (w, want) in [
-            ("b", true),        // v = ε
-            ("aba", true),      // v = a
-            ("abbab", true),    // v = ab
+            ("b", true),     // v = ε
+            ("aba", true),   // v = a
+            ("abbab", true), // v = ab
             ("abab", false),
-            ("bb", false),      // v·b·v with v = ε is "b", bb is not of shape vbv? v=b: b·b·b no.
+            ("bb", false), // v·b·v with v = ε is "b", bb is not of shape vbv? v=b: b·b·b no.
             ("", false),
         ] {
             assert_eq!(phi.models(&s(w)), want, "w={w}");
@@ -364,7 +368,17 @@ mod tests {
     fn fib_formula_rejects_mutants() {
         let sigma = Alphabet::abc();
         let phi = phi_fib();
-        for bad in ["", "c", "cc", "cac", "cacbac", "cacabcabc", "cacabcaba", "acabc", "cacabcababc"] {
+        for bad in [
+            "",
+            "c",
+            "cc",
+            "cac",
+            "cacbac",
+            "cacabcabc",
+            "cacabcaba",
+            "acabc",
+            "cacabcababc",
+        ] {
             // NB: "cac" is actually L_fib's n = 0 member — handled below.
             if fc_words::fibonacci::is_l_fib(bad.as_bytes()) {
                 continue;
@@ -381,11 +395,7 @@ mod tests {
         let phi = phi_fib();
         for w in sigma.words_up_to(6) {
             let st = FactorStructure::new(w.clone(), &sigma);
-            assert_eq!(
-                phi.models(&st),
-                fibonacci::is_l_fib(w.bytes()),
-                "w={w}"
-            );
+            assert_eq!(phi.models(&st), fibonacci::is_l_fib(w.bytes()), "w={w}");
         }
     }
 
@@ -406,7 +416,10 @@ mod tests {
         let lit = on_whole_word(|x| phi_star_word_paper_literal(x, b"aa"));
         let fixed = on_whole_word(|x| phi_star_word(x, b"aa"));
         let st = s("aaa");
-        assert!(lit.models(&st), "paper-literal formula accepts aaa (the defect)");
+        assert!(
+            lit.models(&st),
+            "paper-literal formula accepts aaa (the defect)"
+        );
         assert!(!fixed.models(&st), "repaired formula rejects aaa");
         // Both agree on genuine (aa)* members.
         for w in ["", "aa", "aaaa", "aaaaaa"] {
@@ -425,7 +438,13 @@ mod tests {
     #[test]
     fn power_sentences() {
         let phi = phi_input_is_power_of(b"ab");
-        for (w, want) in [("ab", true), ("abab", true), ("", false), ("aba", false), ("ba", false)] {
+        for (w, want) in [
+            ("ab", true),
+            ("abab", true),
+            ("", false),
+            ("aba", false),
+            ("ba", false),
+        ] {
             assert_eq!(phi.models(&s(w)), want, "w={w}");
         }
         let eq = phi_input_equals(b"aba");

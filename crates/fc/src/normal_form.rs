@@ -43,7 +43,10 @@ pub fn is_nnf(f: &Formula) -> bool {
     match f {
         Formula::Eq(..) | Formula::EqChain(..) | Formula::In(..) => true,
         Formula::Not(inner) => {
-            matches!(**inner, Formula::Eq(..) | Formula::EqChain(..) | Formula::In(..))
+            matches!(
+                **inner,
+                Formula::Eq(..) | Formula::EqChain(..) | Formula::In(..)
+            )
         }
         Formula::And(fs) | Formula::Or(fs) => fs.iter().all(is_nnf),
         Formula::Exists(_, inner) | Formula::Forall(_, inner) => is_nnf(inner),
@@ -62,13 +65,16 @@ pub struct Prenex {
 impl Prenex {
     /// Rebuilds the ordinary formula.
     pub fn to_formula(&self) -> Formula {
-        self.prefix.iter().rev().fold(self.matrix.clone(), |acc, (ex, v)| {
-            if *ex {
-                Formula::Exists(v.clone(), Box::new(acc))
-            } else {
-                Formula::Forall(v.clone(), Box::new(acc))
-            }
-        })
+        self.prefix
+            .iter()
+            .rev()
+            .fold(self.matrix.clone(), |acc, (ex, v)| {
+                if *ex {
+                    Formula::Exists(v.clone(), Box::new(acc))
+                } else {
+                    Formula::Forall(v.clone(), Box::new(acc))
+                }
+            })
     }
 }
 
@@ -107,9 +113,10 @@ fn fresh_name(base: &str, used: &mut HashSet<VarName>, counter: &mut usize) -> V
 
 fn prenex_rec(f: &Formula, used: &mut HashSet<VarName>, counter: &mut usize) -> Prenex {
     match f {
-        Formula::Eq(..) | Formula::EqChain(..) | Formula::In(..) | Formula::Not(_) => {
-            Prenex { prefix: Vec::new(), matrix: f.clone() }
-        }
+        Formula::Eq(..) | Formula::EqChain(..) | Formula::In(..) | Formula::Not(_) => Prenex {
+            prefix: Vec::new(),
+            matrix: f.clone(),
+        },
         Formula::Exists(v, inner) | Formula::Forall(v, inner) => {
             let existential = matches!(f, Formula::Exists(..));
             // Rename the bound variable apart to make hoisting safe.
@@ -118,7 +125,10 @@ fn prenex_rec(f: &Formula, used: &mut HashSet<VarName>, counter: &mut usize) -> 
             let mut inner_pre = prenex_rec(&renamed, used, counter);
             let mut prefix = vec![(existential, fresh)];
             prefix.append(&mut inner_pre.prefix);
-            Prenex { prefix, matrix: inner_pre.matrix }
+            Prenex {
+                prefix,
+                matrix: inner_pre.matrix,
+            }
         }
         Formula::And(fs) | Formula::Or(fs) => {
             let conj = matches!(f, Formula::And(..));
@@ -155,9 +165,7 @@ fn substitute_var(f: &Formula, from: &VarName, to: &VarName) -> Formula {
         }
         Formula::In(x, g) => Formula::In(sub_term(x), g.clone()),
         Formula::Not(inner) => Formula::Not(Box::new(substitute_var(inner, from, to))),
-        Formula::And(fs) => {
-            Formula::And(fs.iter().map(|g| substitute_var(g, from, to)).collect())
-        }
+        Formula::And(fs) => Formula::And(fs.iter().map(|g| substitute_var(g, from, to)).collect()),
         Formula::Or(fs) => Formula::Or(fs.iter().map(|g| substitute_var(g, from, to)).collect()),
         Formula::Exists(v, inner) => {
             if v == from {
@@ -197,12 +205,21 @@ mod tests {
             // ¬∀x: ¬∃y: (x ≐ y·y)
             Formula::not(Formula::forall(
                 &["x"],
-                Formula::not(Formula::exists(&["y"], Formula::eq_cat(v("x"), v("y"), v("y")))),
+                Formula::not(Formula::exists(
+                    &["y"],
+                    Formula::eq_cat(v("x"), v("y"), v("y")),
+                )),
             )),
             // (∃x: x ≐ ab) ∧ (∃x: x ≐ ba) — same bound name in two blocks.
             Formula::and([
-                Formula::exists(&["x"], Formula::eq_cat(v("x"), Term::Sym(b'a'), Term::Sym(b'b'))),
-                Formula::exists(&["x"], Formula::eq_cat(v("x"), Term::Sym(b'b'), Term::Sym(b'a'))),
+                Formula::exists(
+                    &["x"],
+                    Formula::eq_cat(v("x"), Term::Sym(b'a'), Term::Sym(b'b')),
+                ),
+                Formula::exists(
+                    &["x"],
+                    Formula::eq_cat(v("x"), Term::Sym(b'b'), Term::Sym(b'a')),
+                ),
             ]),
             crate::library::phi_square(),
             crate::library::phi_cube_free(),

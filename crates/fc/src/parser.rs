@@ -16,6 +16,13 @@
 //! vars      := ident (',' ident)*
 //! ```
 //!
+//! The parser is span-tracking: [`parse_formula_spanned`] returns a
+//! [`SpannedFormula`] whose every node knows its byte range in the input,
+//! which is what `fc lint` diagnostics point at. [`parse_formula`] is the
+//! historical entry point — a thin wrapper that lowers the spanned tree to
+//! a plain [`Formula`] and renders errors (with byte offset and a
+//! caret-context line) into a `String`.
+//!
 //! Examples:
 //!
 //! ```
@@ -27,18 +34,69 @@
 //! ```
 
 use crate::formula::{Formula, Term};
+use crate::span::{caret_context, Span, SpannedFormula, SpannedNode, SpannedTerm};
 use fc_reglang::Regex;
+use std::rc::Rc;
+
+/// A structured parse failure: what went wrong and which bytes of the
+/// source it points at.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// The offending byte range (at end of input: `len..len+1`).
+    pub span: Span,
+    /// Human description of the failure.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Byte offset of the failure.
+    pub fn offset(&self) -> usize {
+        self.span.start
+    }
+
+    /// Renders the error with its byte offset and a caret-context line:
+    ///
+    /// ```text
+    /// parse error at byte 7: expected ':' after quantified variables
+    ///   E x, y (x = y.y)
+    ///          ^
+    /// ```
+    pub fn render(&self, src: &str) -> String {
+        let mut out = format!("parse error at byte {}: {}", self.span.start, self.message);
+        if let Some(ctx) = caret_context(src, self.span, "  ") {
+            out.push('\n');
+            out.push_str(&ctx);
+        }
+        out
+    }
+}
 
 /// Parses a formula from the ASCII concrete syntax.
 ///
 /// # Errors
-/// Returns a byte-offset-tagged message on malformed input.
+/// Returns a rendered message carrying the byte offset and a
+/// caret-context line pointing at the offending token.
 pub fn parse_formula(src: &str) -> Result<Formula, String> {
+    parse_formula_spanned(src)
+        .map(|f| f.to_formula())
+        .map_err(|e| e.render(src))
+}
+
+/// Parses a formula, keeping byte spans on every node (the entry point
+/// used by `fc lint` and the diagnostics in [`crate::analysis`]).
+///
+/// # Errors
+/// Returns a structured [`ParseError`] on malformed input.
+pub fn parse_formula_spanned(src: &str) -> Result<SpannedFormula, ParseError> {
     let tokens = tokenize(src)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        src_len: src.len(),
+    };
     let f = p.formula()?;
     if p.pos != p.tokens.len() {
-        return Err(format!("trailing input at token {}", p.pos));
+        return Err(p.error_here("trailing input after the formula"));
     }
     Ok(f)
 }
@@ -64,56 +122,85 @@ enum Tok {
     Colon,
 }
 
-fn tokenize(src: &str) -> Result<Vec<Tok>, String> {
+impl Tok {
+    fn describe(&self) -> String {
+        match self {
+            Tok::Ident(name) => format!("identifier '{name}'"),
+            Tok::Str(s) => format!("string \"{s}\""),
+            Tok::Regex(r) => format!("/{r}/"),
+            Tok::Eps => "'eps'".to_string(),
+            Tok::Exists => "quantifier 'E'".to_string(),
+            Tok::Forall => "quantifier 'A'".to_string(),
+            Tok::In => "'in'".to_string(),
+            Tok::LParen => "'('".to_string(),
+            Tok::RParen => "')'".to_string(),
+            Tok::Bang => "'!'".to_string(),
+            Tok::Amp => "'&'".to_string(),
+            Tok::Pipe => "'|'".to_string(),
+            Tok::Arrow => "'->'".to_string(),
+            Tok::Eq => "'='".to_string(),
+            Tok::Dot => "'.'".to_string(),
+            Tok::Comma => "','".to_string(),
+            Tok::Colon => "':'".to_string(),
+        }
+    }
+}
+
+fn tokenize(src: &str) -> Result<Vec<(Tok, Span)>, ParseError> {
     let bytes = src.as_bytes();
     let mut i = 0;
     let mut out = Vec::new();
+    let err = |i: usize, len: usize, msg: String| ParseError {
+        span: Span::new(i, i + len.max(1)),
+        message: msg,
+    };
     while i < bytes.len() {
         let c = bytes[i];
+        let single = |tok: Tok| (tok, Span::new(i, i + 1));
         match c {
             b' ' | b'\t' | b'\n' | b'\r' => i += 1,
             b'(' => {
-                out.push(Tok::LParen);
+                out.push(single(Tok::LParen));
                 i += 1;
             }
             b')' => {
-                out.push(Tok::RParen);
+                out.push(single(Tok::RParen));
                 i += 1;
             }
             b'!' => {
-                out.push(Tok::Bang);
+                out.push(single(Tok::Bang));
                 i += 1;
             }
             b'&' => {
-                out.push(Tok::Amp);
+                out.push(single(Tok::Amp));
                 i += 1;
             }
             b'|' => {
-                out.push(Tok::Pipe);
+                out.push(single(Tok::Pipe));
                 i += 1;
             }
             b'=' => {
-                out.push(Tok::Eq);
+                out.push(single(Tok::Eq));
                 i += 1;
             }
             b'.' => {
-                out.push(Tok::Dot);
+                out.push(single(Tok::Dot));
                 i += 1;
             }
             b',' => {
-                out.push(Tok::Comma);
+                out.push(single(Tok::Comma));
                 i += 1;
             }
             b':' => {
-                out.push(Tok::Colon);
+                out.push(single(Tok::Colon));
                 i += 1;
             }
             b'-' => {
                 if bytes.get(i + 1) == Some(&b'>') {
-                    out.push(Tok::Arrow);
+                    out.push((Tok::Arrow, Span::new(i, i + 2)));
                     i += 2;
                 } else {
-                    return Err(format!("stray '-' at byte {i}"));
+                    return Err(err(i, 1, "stray '-' (did you mean '->'?)".to_string()));
                 }
             }
             b'"' => {
@@ -121,8 +208,11 @@ fn tokenize(src: &str) -> Result<Vec<Tok>, String> {
                 let end = bytes[start..]
                     .iter()
                     .position(|&b| b == b'"')
-                    .ok_or_else(|| format!("unterminated string at byte {i}"))?;
-                out.push(Tok::Str(src[start..start + end].to_string()));
+                    .ok_or_else(|| err(i, 1, "unterminated string literal".to_string()))?;
+                out.push((
+                    Tok::Str(src[start..start + end].to_string()),
+                    Span::new(i, start + end + 1),
+                ));
                 i = start + end + 1;
             }
             b'/' => {
@@ -130,8 +220,11 @@ fn tokenize(src: &str) -> Result<Vec<Tok>, String> {
                 let end = bytes[start..]
                     .iter()
                     .position(|&b| b == b'/')
-                    .ok_or_else(|| format!("unterminated /regex/ at byte {i}"))?;
-                out.push(Tok::Regex(src[start..start + end].to_string()));
+                    .ok_or_else(|| err(i, 1, "unterminated /regex/ literal".to_string()))?;
+                out.push((
+                    Tok::Regex(src[start..start + end].to_string()),
+                    Span::new(i, start + end + 1),
+                ));
                 i = start + end + 1;
             }
             c if c.is_ascii_alphanumeric() || c == b'_' => {
@@ -140,116 +233,193 @@ fn tokenize(src: &str) -> Result<Vec<Tok>, String> {
                     i += 1;
                 }
                 let word = &src[start..i];
-                out.push(match word {
+                let tok = match word {
                     "E" | "EX" | "exists" => Tok::Exists,
                     "A" | "ALL" | "forall" => Tok::Forall,
                     "eps" | "epsilon" => Tok::Eps,
                     "in" => Tok::In,
                     _ => Tok::Ident(word.to_string()),
-                });
+                };
+                out.push((tok, Span::new(start, i)));
             }
-            other => return Err(format!("unexpected character '{}' at byte {i}", other as char)),
+            _ => {
+                // Decode the full (possibly multi-byte) character so the
+                // message and span never split a UTF-8 sequence.
+                let ch = src[i..].chars().next().expect("i is a char boundary");
+                return Err(err(
+                    i,
+                    ch.len_utf8(),
+                    format!("unexpected character '{ch}'"),
+                ));
+            }
         }
     }
     Ok(out)
 }
 
 struct Parser {
-    tokens: Vec<Tok>,
+    tokens: Vec<(Tok, Span)>,
     pos: usize,
+    src_len: usize,
 }
 
 impl Parser {
     fn peek(&self) -> Option<&Tok> {
-        self.tokens.get(self.pos)
+        self.tokens.get(self.pos).map(|(t, _)| t)
     }
 
-    fn eat(&mut self, t: &Tok) -> Result<(), String> {
-        if self.peek() == Some(t) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected {t:?} at token {}, found {:?}", self.pos, self.peek()))
+    /// Span of the current token, or a 1-byte span at end of input.
+    fn here(&self) -> Span {
+        match self.tokens.get(self.pos) {
+            Some((_, span)) => *span,
+            None => Span::new(self.src_len, self.src_len + 1),
         }
     }
 
-    fn formula(&mut self) -> Result<Formula, String> {
+    fn error_here(&self, expected: &str) -> ParseError {
+        let message = match self.peek() {
+            Some(t) => format!("{expected}, found {}", t.describe()),
+            None => format!("{expected}, found end of input"),
+        };
+        ParseError {
+            span: self.here(),
+            message,
+        }
+    }
+
+    fn eat(&mut self, t: &Tok, expected: &str) -> Result<Span, ParseError> {
+        if self.peek() == Some(t) {
+            let span = self.here();
+            self.pos += 1;
+            Ok(span)
+        } else {
+            Err(self.error_here(expected))
+        }
+    }
+
+    fn formula(&mut self) -> Result<SpannedFormula, ParseError> {
         match self.peek() {
             Some(Tok::Exists) | Some(Tok::Forall) => {
                 let existential = self.peek() == Some(&Tok::Exists);
+                let quant_span = self.here();
                 self.pos += 1;
                 let mut vars = vec![self.ident()?];
                 while self.peek() == Some(&Tok::Comma) {
                     self.pos += 1;
                     vars.push(self.ident()?);
                 }
-                self.eat(&Tok::Colon)?;
+                self.eat(&Tok::Colon, "expected ':' after quantified variables")?;
                 let body = self.formula()?;
-                let refs: Vec<&str> = vars.iter().map(String::as_str).collect();
-                Ok(if existential {
-                    Formula::exists(&refs, body)
-                } else {
-                    Formula::forall(&refs, body)
-                })
+                let end = body.span.end;
+                let mut out = body;
+                for (name, vspan) in vars.into_iter().rev() {
+                    let name: Rc<str> = Rc::from(name.as_str());
+                    let node = if existential {
+                        SpannedNode::Exists(name, vspan, Box::new(out))
+                    } else {
+                        SpannedNode::Forall(name, vspan, Box::new(out))
+                    };
+                    out = SpannedFormula {
+                        node,
+                        span: Span::new(quant_span.start, end),
+                    };
+                }
+                Ok(out)
             }
             _ => self.implication(),
         }
     }
 
-    fn implication(&mut self) -> Result<Formula, String> {
+    fn implication(&mut self) -> Result<SpannedFormula, ParseError> {
         let lhs = self.disjunction()?;
         if self.peek() == Some(&Tok::Arrow) {
             self.pos += 1;
             let rhs = self.implication()?;
-            Ok(Formula::implies(lhs, rhs))
+            let span = lhs.span.to_enclosing(rhs.span);
+            // `a -> b` is ¬a ∨ b; collapse a leading ¬ exactly like
+            // `Formula::implies` does, so `!a -> b` does not manufacture a
+            // double negation the linter would flag.
+            let lhs_span = lhs.span;
+            let negated = match lhs.node {
+                SpannedNode::Not(inner) => *inner,
+                node => SpannedFormula {
+                    node: SpannedNode::Not(Box::new(SpannedFormula {
+                        node,
+                        span: lhs_span,
+                    })),
+                    span: lhs_span,
+                },
+            };
+            Ok(SpannedFormula {
+                node: SpannedNode::Or(vec![negated, rhs]),
+                span,
+            })
         } else {
             Ok(lhs)
         }
     }
 
-    fn disjunction(&mut self) -> Result<Formula, String> {
+    fn disjunction(&mut self) -> Result<SpannedFormula, ParseError> {
         let mut parts = vec![self.conjunction()?];
         while self.peek() == Some(&Tok::Pipe) {
             self.pos += 1;
             parts.push(self.conjunction()?);
         }
         Ok(if parts.len() == 1 {
-            parts.pop().unwrap()
+            parts.pop().expect("non-empty")
         } else {
-            Formula::or(parts)
+            let span = parts[0].span.to_enclosing(parts[parts.len() - 1].span);
+            SpannedFormula {
+                node: SpannedNode::Or(parts),
+                span,
+            }
         })
     }
 
-    fn conjunction(&mut self) -> Result<Formula, String> {
+    fn conjunction(&mut self) -> Result<SpannedFormula, ParseError> {
         let mut parts = vec![self.unary()?];
         while self.peek() == Some(&Tok::Amp) {
             self.pos += 1;
             parts.push(self.unary()?);
         }
         Ok(if parts.len() == 1 {
-            parts.pop().unwrap()
+            parts.pop().expect("non-empty")
         } else {
-            Formula::and(parts)
+            let span = parts[0].span.to_enclosing(parts[parts.len() - 1].span);
+            SpannedFormula {
+                node: SpannedNode::And(parts),
+                span,
+            }
         })
     }
 
-    fn unary(&mut self) -> Result<Formula, String> {
+    fn unary(&mut self) -> Result<SpannedFormula, ParseError> {
         match self.peek() {
             Some(Tok::Bang) => {
+                let bang = self.here();
                 self.pos += 1;
-                Ok(Formula::not(self.unary()?))
+                let inner = self.unary()?;
+                let span = bang.to_enclosing(inner.span);
+                Ok(SpannedFormula {
+                    node: SpannedNode::Not(Box::new(inner)),
+                    span,
+                })
             }
             Some(Tok::LParen) => {
+                let open = self.here();
                 self.pos += 1;
                 let f = self.formula()?;
-                self.eat(&Tok::RParen)?;
-                Ok(f)
+                let close = self.eat(&Tok::RParen, "expected ')'")?;
+                Ok(SpannedFormula {
+                    node: f.node,
+                    span: open.to_enclosing(close),
+                })
             }
             _ => self.atom(),
         }
     }
 
-    fn atom(&mut self) -> Result<Formula, String> {
+    fn atom(&mut self) -> Result<SpannedFormula, ParseError> {
         let lhs = self.term()?;
         match self.peek() {
             Some(Tok::Eq) => {
@@ -260,80 +430,96 @@ impl Parser {
                     self.pos += 1;
                     self.chain_part(&mut parts)?;
                 }
-                // Binary chains become plain Eq atoms for rank fidelity.
-                Ok(match parts.len() {
-                    0 => Formula::eq(lhs, Term::Epsilon),
-                    1 => Formula::eq(lhs, parts.pop().unwrap()),
-                    2 => {
-                        let z = parts.pop().unwrap();
-                        let y = parts.pop().unwrap();
-                        Formula::eq_cat(lhs, y, z)
-                    }
-                    _ => Formula::eq_chain(lhs, parts),
+                let end = parts.last().map_or(self.here().start, |p| p.span.end);
+                let span = Span::new(lhs.span.start, end.max(lhs.span.end));
+                Ok(SpannedFormula {
+                    node: SpannedNode::EqChain(lhs, parts),
+                    span,
                 })
             }
             Some(Tok::In) => {
                 self.pos += 1;
                 match self.peek().cloned() {
                     Some(Tok::Regex(r)) => {
+                        let rspan = self.here();
                         self.pos += 1;
-                        let regex = Regex::parse(&r)
-                            .map_err(|e| format!("bad regex /{r}/: {e}"))?;
-                        Ok(Formula::constraint(lhs, regex))
+                        let regex = Regex::parse(&r).map_err(|e| ParseError {
+                            span: rspan,
+                            message: format!("bad regex /{r}/: {e}"),
+                        })?;
+                        let span = lhs.span.to_enclosing(rspan);
+                        Ok(SpannedFormula {
+                            node: SpannedNode::In(lhs, regex, rspan),
+                            span,
+                        })
                     }
-                    other => Err(format!("expected /regex/ after 'in', found {other:?}")),
+                    _ => Err(self.error_here("expected /regex/ after 'in'")),
                 }
             }
-            other => Err(format!("expected '=' or 'in' at token {}, found {other:?}", self.pos)),
+            _ => Err(self.error_here("expected '=' or 'in' after the left-hand term")),
         }
     }
 
-    fn ident(&mut self) -> Result<String, String> {
+    fn ident(&mut self) -> Result<(String, Span), ParseError> {
         match self.peek().cloned() {
             Some(Tok::Ident(name)) => {
+                let span = self.here();
                 self.pos += 1;
-                Ok(name)
+                Ok((name, span))
             }
-            other => Err(format!(
-                "expected identifier at token {}, found {other:?}",
-                self.pos
-            )),
+            _ => Err(self.error_here("expected a variable identifier")),
         }
     }
 
-    fn term(&mut self) -> Result<Term, String> {
+    fn term(&mut self) -> Result<SpannedTerm, ParseError> {
+        let span = self.here();
         match self.peek().cloned() {
             Some(Tok::Eps) => {
                 self.pos += 1;
-                Ok(Term::Epsilon)
+                Ok(SpannedTerm {
+                    term: Term::Epsilon,
+                    span,
+                })
             }
             Some(Tok::Ident(name)) => {
                 self.pos += 1;
-                Ok(Term::var(&name))
+                Ok(SpannedTerm {
+                    term: Term::var(&name),
+                    span,
+                })
             }
             Some(Tok::Str(s)) => {
                 if s.len() == 1 {
                     self.pos += 1;
-                    Ok(Term::Sym(s.as_bytes()[0]))
+                    Ok(SpannedTerm {
+                        term: Term::Sym(s.as_bytes()[0]),
+                        span,
+                    })
                 } else {
-                    Err(format!(
-                        "string \"{s}\" used in term position must be a single letter"
-                    ))
+                    Err(ParseError {
+                        span,
+                        message: format!(
+                            "string \"{s}\" used in term position must be a single letter"
+                        ),
+                    })
                 }
             }
-            other => Err(format!("expected term at token {}, found {other:?}", self.pos)),
+            _ => Err(self.error_here("expected a term (identifier, 'eps' or \"letter\")")),
         }
     }
 
-    fn chain_part(&mut self, out: &mut Vec<Term>) -> Result<(), String> {
+    fn chain_part(&mut self, out: &mut Vec<SpannedTerm>) -> Result<(), ParseError> {
         match self.peek().cloned() {
             Some(Tok::Str(s)) => {
+                let span = self.here();
                 self.pos += 1;
-                if s.is_empty() {
-                    // "" contributes nothing (ε in a chain).
-                } else {
-                    out.extend(s.bytes().map(Term::Sym));
-                }
+                // "" contributes nothing (ε in a chain); multi-letter
+                // strings expand to one symbol term per letter, all
+                // pointing at the string literal.
+                out.extend(s.bytes().map(|c| SpannedTerm {
+                    term: Term::Sym(c),
+                    span,
+                }));
                 Ok(())
             }
             _ => {
@@ -376,10 +562,8 @@ mod tests {
 
     #[test]
     fn parses_the_cube_free_sentence() {
-        let parsed = parse_formula(
-            r#"A z: !(z = eps) -> !(E x, y: (x = z.y) & (y = z.z))"#,
-        )
-        .unwrap();
+        let parsed =
+            parse_formula(r#"A z: !(z = eps) -> !(E x, y: (x = z.y) & (y = z.z))"#).unwrap();
         agree_on_window(&parsed, &library::phi_cube_free(), 5);
     }
 
@@ -412,8 +596,10 @@ mod tests {
     #[test]
     fn quantifier_rank_is_faithful() {
         // Binary atoms stay binary (rank unaffected by parsing).
-        let parsed = parse_formula(r#"E x, y, z: (y = x.z) & (z = "b".x) &
-            !(E z1, z2: ((z1 = z2.y) | (z1 = y.z2)) & !(z2 = eps))"#)
+        let parsed = parse_formula(
+            r#"E x, y, z: (y = x.z) & (z = "b".x) &
+            !(E z1, z2: ((z1 = z2.y) | (z1 = y.z2)) & !(z2 = eps))"#,
+        )
         .unwrap();
         assert_eq!(parsed.qr(), 5);
         agree_on_window(&parsed, &library::phi_vbv(), 5);
@@ -421,13 +607,61 @@ mod tests {
 
     #[test]
     fn error_messages_are_positioned() {
-        assert!(parse_formula("E x").is_err());
-        assert!(parse_formula("x = ").is_err());
-        assert!(parse_formula("x in abc").is_err());
-        assert!(parse_formula(r#"x = "ab" extra"#).is_err());
-        assert!(parse_formula("(x = eps").is_err());
-        assert!(parse_formula("-x").is_err());
-        assert!(parse_formula(r#"E x: "ab" = x"#).is_err()); // multi-letter term lhs
+        for (src, expect_at) in [
+            ("E x", "at byte 3"),               // missing ':' at end of input
+            ("x = ", "at byte 4"),              // missing chain part
+            ("x in abc", "at byte 5"),          // 'abc' is not a /regex/
+            (r#"x = "ab" extra"#, "at byte 9"), // trailing input
+            ("(x = eps", "at byte 8"),          // unclosed paren
+            ("-x", "at byte 0"),                // stray '-'
+            (r#"E x: "ab" = x"#, "at byte 5"),  // multi-letter term lhs
+        ] {
+            let err = parse_formula(src).unwrap_err();
+            assert!(err.contains("parse error"), "src={src} err={err}");
+            assert!(err.contains(expect_at), "src={src} err={err}");
+        }
+    }
+
+    #[test]
+    fn non_ascii_input_errors_without_panicking() {
+        // '∃' is 3 bytes; the error must span the whole character and the
+        // rendered caret line must not slice mid-character.
+        let err = parse_formula("∃x: x = eps").unwrap_err();
+        assert!(err.contains("unexpected character '∃'"), "{err}");
+        assert!(err.contains("at byte 0"), "{err}");
+        let spanned = parse_formula_spanned("∃x: x = eps").unwrap_err();
+        assert_eq!(spanned.span, Span::new(0, 3));
+        // Later in the string too, after a multi-byte prefix.
+        let err = parse_formula("x = eps & §").unwrap_err();
+        assert!(err.contains("unexpected character '§'"), "{err}");
+    }
+
+    #[test]
+    fn errors_carry_a_caret_context_line() {
+        let err = parse_formula("E x, y (x = y.y)").unwrap_err();
+        let lines: Vec<&str> = err.lines().collect();
+        assert_eq!(lines.len(), 3, "{err}");
+        assert!(lines[0].starts_with("parse error at byte 7:"), "{err}");
+        assert_eq!(lines[1], "  E x, y (x = y.y)");
+        assert_eq!(lines[2], "         ^");
+    }
+
+    #[test]
+    fn spanned_nodes_resolve_to_their_source_tokens() {
+        let src = r#"E x: x in /(ab)+/"#;
+        let f = parse_formula_spanned(src).unwrap();
+        // Root: the quantifier, spanning the whole source.
+        assert_eq!(f.span.slice(src), src);
+        let SpannedNode::Exists(v, vspan, body) = &f.node else {
+            panic!("expected Exists, got {:?}", f.node);
+        };
+        assert_eq!(v.as_ref(), "x");
+        assert_eq!(vspan.slice(src), "x");
+        let SpannedNode::In(t, _, rspan) = &body.node else {
+            panic!("expected In, got {:?}", body.node);
+        };
+        assert_eq!(t.span.slice(src), "x");
+        assert_eq!(rspan.slice(src), "/(ab)+/");
     }
 
     #[test]
@@ -450,6 +684,23 @@ mod tests {
         let mut m = Assignment::new();
         m.insert(std::rc::Rc::from("x"), s.epsilon());
         assert!(holds(&f, &s, &m));
+    }
+
+    #[test]
+    fn lowering_matches_historical_normalization() {
+        // Binary chains become Eq atoms, double negation collapses,
+        // nested conjunctions flatten — exactly as before the span
+        // upgrade.
+        let f = parse_formula("!!(x = y.z)").unwrap();
+        assert_eq!(
+            f,
+            Formula::eq_cat(Term::var("x"), Term::var("y"), Term::var("z"))
+        );
+        let g = parse_formula("x = eps & (y = eps & z = eps)").unwrap();
+        match g {
+            Formula::And(parts) => assert_eq!(parts.len(), 3),
+            other => panic!("expected flattened And, got {other}"),
+        }
     }
 }
 

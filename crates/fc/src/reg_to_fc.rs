@@ -34,9 +34,7 @@ fn translate(x: &str, expr: &BoundedExpr, fresh: &mut usize) -> Formula {
                 .map(|w| Formula::eq_word(Term::var(x), w.bytes())),
         ),
         BoundedExpr::StarWord(w) => phi_star_word(x, w.bytes()),
-        BoundedExpr::Union(parts) => {
-            Formula::or(parts.iter().map(|p| translate(x, p, fresh)))
-        }
+        BoundedExpr::Union(parts) => Formula::or(parts.iter().map(|p| translate(x, p, fresh))),
         BoundedExpr::Concat(parts) => {
             if parts.is_empty() {
                 return Formula::eq(Term::var(x), Term::Epsilon);
@@ -52,10 +50,8 @@ fn translate(x: &str, expr: &BoundedExpr, fresh: &mut usize) -> Formula {
                     format!("__bc{fresh}", fresh = *fresh)
                 })
                 .collect();
-            let chain = Formula::eq_chain(
-                Term::var(x),
-                names.iter().map(|n| Term::var(n)).collect(),
-            );
+            let chain =
+                Formula::eq_chain(Term::var(x), names.iter().map(|n| Term::var(n)).collect());
             let mut conjuncts = vec![chain];
             for (n, p) in names.iter().zip(parts.iter()) {
                 conjuncts.push(translate(n, p, fresh));
@@ -287,9 +283,7 @@ mod simple_tests {
             Formula::and([Formula::constraint(Term::var("x"), gamma)]),
         );
         assert!(!phi.is_pure_fc());
-        let pure = eliminate_simple_constraints(&phi, |_| {
-            Some(SimpleRegex::contains("ab"))
-        });
+        let pure = eliminate_simple_constraints(&phi, |_| Some(SimpleRegex::contains("ab")));
         assert!(pure.is_pure_fc());
         // ∃x ⊑ w with ab ⊑ x ⟺ ab ⊑ w.
         let sigma = Alphabet::ab();

@@ -1,0 +1,251 @@
+//! Byte-offset source spans and the span-carrying FC AST.
+//!
+//! The plain [`Formula`] AST is optimized for semantics (smart
+//! constructors flatten connectives and collapse double negation), which
+//! destroys exactly the surface structure a linter needs. The parser
+//! therefore produces a [`SpannedFormula`] — a faithful surface tree where
+//! every node and term remembers the byte range it came from — and lowers
+//! it to a [`Formula`] on demand. Programmatically built formulas can be
+//! *lifted* into the spanned representation (with [`Span::DUMMY`] spans)
+//! so the analysis rules in [`crate::analysis`] run on either source.
+
+use crate::formula::{Formula, Term, VarName};
+use fc_reglang::Regex;
+use std::rc::Rc;
+
+/// A half-open byte range `start..end` into the source string.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Span {
+    /// First byte of the spanned region.
+    pub start: usize,
+    /// One past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// The span used for AST nodes that have no source text (lifted
+    /// formulas, desugared helpers).
+    pub const DUMMY: Span = Span { start: 0, end: 0 };
+
+    /// A span covering `start..end`.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// `true` for [`Span::DUMMY`].
+    pub fn is_dummy(&self) -> bool {
+        self.start == 0 && self.end == 0
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to_enclosing(&self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// The source text this span points at (empty if out of range).
+    pub fn slice<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+/// Renders the line of `src` containing `span` plus a caret line marking
+/// the spanned bytes, indented by `indent`. Returns `None` for dummy or
+/// out-of-range spans.
+pub fn caret_context(src: &str, span: Span, indent: &str) -> Option<String> {
+    if span.is_dummy() {
+        return None;
+    }
+    // Spans may come from arbitrary byte offsets; snap them to char
+    // boundaries so slicing can never panic on multi-byte input.
+    let start = floor_char_boundary(src, span.start);
+    let line_start = src[..start].rfind('\n').map_or(0, |i| i + 1);
+    let line_end = src[line_start..]
+        .find('\n')
+        .map_or(src.len(), |i| line_start + i);
+    let line = &src[line_start..line_end];
+    // Caret width in characters, clamped to the line.
+    let col = src[line_start..start].chars().count();
+    let span_end = ceil_char_boundary(src, span.end.clamp(start, line_end));
+    let width = src[start..span_end].chars().count().max(1);
+    let mut out = String::new();
+    out.push_str(indent);
+    out.push_str(line);
+    out.push('\n');
+    out.push_str(indent);
+    out.extend(std::iter::repeat_n(' ', col));
+    out.extend(std::iter::repeat_n('^', width));
+    Some(out)
+}
+
+/// The largest char boundary `≤ i` (clamped to `src.len()`).
+fn floor_char_boundary(src: &str, i: usize) -> usize {
+    let mut i = i.min(src.len());
+    while i > 0 && !src.is_char_boundary(i) {
+        i -= 1;
+    }
+    i
+}
+
+/// The smallest char boundary `≥ i` (clamped to `src.len()`).
+fn ceil_char_boundary(src: &str, i: usize) -> usize {
+    let mut i = i.min(src.len());
+    while i < src.len() && !src.is_char_boundary(i) {
+        i += 1;
+    }
+    i
+}
+
+/// A term together with its source span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpannedTerm {
+    /// The term.
+    pub term: Term,
+    /// Where it appeared.
+    pub span: Span,
+}
+
+impl SpannedTerm {
+    /// A term with a dummy span (for lifted formulas).
+    pub fn lifted(term: Term) -> SpannedTerm {
+        SpannedTerm {
+            term,
+            span: Span::DUMMY,
+        }
+    }
+}
+
+/// A formula node together with its source span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpannedFormula {
+    /// The node.
+    pub node: SpannedNode,
+    /// Byte range of the whole subformula.
+    pub span: Span,
+}
+
+/// The surface-faithful counterpart of [`Formula`]: connectives are kept
+/// exactly as written (no flattening, no double-negation collapse), and
+/// quantifier binders and regex literals carry their own spans.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SpannedNode {
+    /// `lhs ≐ y·z`.
+    Eq(SpannedTerm, SpannedTerm, SpannedTerm),
+    /// Wide equation `lhs ≐ t₁⋯t_m` (also arities 0–2, before the
+    /// parser's arity normalization).
+    EqChain(SpannedTerm, Vec<SpannedTerm>),
+    /// Regular constraint; the trailing span covers the `/regex/` literal.
+    In(SpannedTerm, Rc<Regex>, Span),
+    /// Negation.
+    Not(Box<SpannedFormula>),
+    /// n-ary conjunction.
+    And(Vec<SpannedFormula>),
+    /// n-ary disjunction.
+    Or(Vec<SpannedFormula>),
+    /// `∃v: body`; the span is the binder identifier's.
+    Exists(VarName, Span, Box<SpannedFormula>),
+    /// `∀v: body`; the span is the binder identifier's.
+    Forall(VarName, Span, Box<SpannedFormula>),
+}
+
+impl SpannedFormula {
+    /// Lowers to the plain AST, applying the same normalizations the
+    /// parser historically applied: `Formula::and`/`Formula::or`
+    /// flattening, `Formula::not` double-negation collapse, and
+    /// chain-arity normalization (0/1/2-part chains become `Eq` atoms).
+    pub fn to_formula(&self) -> Formula {
+        match &self.node {
+            SpannedNode::Eq(x, y, z) => Formula::Eq(x.term.clone(), y.term.clone(), z.term.clone()),
+            SpannedNode::EqChain(x, parts) => {
+                let lhs = x.term.clone();
+                match parts.len() {
+                    0 => Formula::eq(lhs, Term::Epsilon),
+                    1 => Formula::eq(lhs, parts[0].term.clone()),
+                    2 => Formula::eq_cat(lhs, parts[0].term.clone(), parts[1].term.clone()),
+                    _ => Formula::eq_chain(lhs, parts.iter().map(|p| p.term.clone()).collect()),
+                }
+            }
+            SpannedNode::In(x, g, _) => Formula::constraint(x.term.clone(), g.clone()),
+            SpannedNode::Not(f) => Formula::not(f.to_formula()),
+            SpannedNode::And(fs) => Formula::and(fs.iter().map(SpannedFormula::to_formula)),
+            SpannedNode::Or(fs) => Formula::or(fs.iter().map(SpannedFormula::to_formula)),
+            SpannedNode::Exists(v, _, f) => Formula::Exists(v.clone(), Box::new(f.to_formula())),
+            SpannedNode::Forall(v, _, f) => Formula::Forall(v.clone(), Box::new(f.to_formula())),
+        }
+    }
+
+    /// Lifts a plain formula into the spanned representation with
+    /// [`Span::DUMMY`] everywhere, so analyses accept built formulas.
+    pub fn lift(f: &Formula) -> SpannedFormula {
+        let t = |t: &Term| SpannedTerm::lifted(t.clone());
+        let node = match f {
+            Formula::Eq(x, y, z) => SpannedNode::Eq(t(x), t(y), t(z)),
+            Formula::EqChain(x, parts) => SpannedNode::EqChain(t(x), parts.iter().map(t).collect()),
+            Formula::In(x, g) => SpannedNode::In(t(x), g.clone(), Span::DUMMY),
+            Formula::Not(f) => SpannedNode::Not(Box::new(SpannedFormula::lift(f))),
+            Formula::And(fs) => SpannedNode::And(fs.iter().map(SpannedFormula::lift).collect()),
+            Formula::Or(fs) => SpannedNode::Or(fs.iter().map(SpannedFormula::lift).collect()),
+            Formula::Exists(v, f) => {
+                SpannedNode::Exists(v.clone(), Span::DUMMY, Box::new(SpannedFormula::lift(f)))
+            }
+            Formula::Forall(v, f) => {
+                SpannedNode::Forall(v.clone(), Span::DUMMY, Box::new(SpannedFormula::lift(f)))
+            }
+        };
+        SpannedFormula {
+            node,
+            span: Span::DUMMY,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caret_points_at_the_token() {
+        let src = "E x: x in /ab*/";
+        let ctx = caret_context(src, Span::new(10, 15), "  ").unwrap();
+        let lines: Vec<&str> = ctx.lines().collect();
+        assert_eq!(lines[0], "  E x: x in /ab*/");
+        assert_eq!(lines[1], "            ^^^^^");
+    }
+
+    #[test]
+    fn caret_handles_multiline_sources() {
+        let src = "E x:\n  x = y.y";
+        let ctx = caret_context(src, Span::new(9, 10), "").unwrap();
+        assert_eq!(ctx, "  x = y.y\n    ^");
+    }
+
+    #[test]
+    fn caret_context_snaps_misaligned_spans_to_char_boundaries() {
+        // A span that starts or ends inside a multi-byte character must
+        // render (widened to whole characters) instead of panicking.
+        let src = "x = ∃y";
+        let ctx = caret_context(src, Span::new(5, 6), "  ").unwrap();
+        assert_eq!(ctx, "  x = ∃y\n      ^");
+        // Span running past the end of the source is clamped.
+        let ctx = caret_context(src, Span::new(4, 99), "  ").unwrap();
+        assert_eq!(ctx, "  x = ∃y\n      ^^");
+    }
+
+    #[test]
+    fn lift_then_lower_is_identity_modulo_normalization() {
+        let phi = crate::library::phi_square();
+        let lifted = SpannedFormula::lift(&phi);
+        assert_eq!(lifted.to_formula(), phi);
+    }
+
+    #[test]
+    fn enclosing_spans() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 12);
+        assert_eq!(a.to_enclosing(b), Span::new(3, 12));
+        assert!(Span::DUMMY.is_dummy());
+        assert!(!a.is_dummy());
+    }
+}

@@ -62,7 +62,13 @@ impl FactorStructure {
                 (c, id)
             })
             .collect();
-        FactorStructure { word, sigma, factors, index, constants }
+        FactorStructure {
+            word,
+            sigma,
+            factors,
+            index,
+            constants,
+        }
     }
 
     /// Builds 𝔄_w using exactly the symbols occurring in `w` as Σ.

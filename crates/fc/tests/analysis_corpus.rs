@@ -1,0 +1,110 @@
+//! Runs the fc-analyze linter over every formula in the library: the
+//! paper's own formulas must come out clean (no errors, no warnings),
+//! and lowering through the concrete syntax must not change the verdicts.
+
+use fc_logic::analysis::{counts, AnalysisConfig, Analyzer, Severity};
+use fc_logic::parser::{parse_formula_spanned, to_source};
+use fc_logic::{library, Formula};
+
+/// The whole corpus, with the configuration each formula should be
+/// lint-clean under (sentences get `expect_sentence`).
+fn corpus() -> Vec<(&'static str, Formula, bool)> {
+    vec![
+        ("phi_whole_word", library::phi_whole_word("x"), false),
+        ("phi_square", library::phi_square(), true),
+        ("r_copy", library::r_copy("x", "y"), false),
+        ("r_k_copies", library::r_k_copies("x", "y", 4), false),
+        ("phi_cube_free", library::phi_cube_free(), true),
+        ("phi_vbv", library::phi_vbv(), true),
+        ("phi_contains", library::phi_contains("x", b'a'), false),
+        ("phi_struc", library::phi_struc(), true),
+        ("phi_fib", library::phi_fib(), true),
+        (
+            "phi_star_primitive",
+            library::phi_star_primitive("x", b"ab"),
+            false,
+        ),
+        ("phi_star_word", library::phi_star_word("x", b"ab"), false),
+        (
+            "phi_star_word_paper_literal",
+            library::phi_star_word_paper_literal("x", b"ab"),
+            false,
+        ),
+        (
+            "phi_input_is_power_of",
+            library::phi_input_is_power_of(b"ab"),
+            true,
+        ),
+        ("phi_input_equals", library::phi_input_equals(b"aba"), true),
+        (
+            "constraint_from_pattern",
+            library::constraint_from_pattern("x", "(ab)+"),
+            false,
+        ),
+    ]
+}
+
+#[test]
+fn library_formulas_are_lint_clean() {
+    for (name, phi, is_sentence) in corpus() {
+        let mut config = AnalysisConfig {
+            expect_sentence: is_sentence,
+            ..Default::default()
+        };
+        if name == "phi_struc" {
+            // True positive, asserted separately below.
+            config.allow.insert("FC104".to_string());
+        }
+        let diags = Analyzer::new(config).analyze_formula(&phi);
+        let worst: Vec<String> = diags
+            .iter()
+            .filter(|d| d.severity >= Severity::Warning)
+            .map(|d| format!("{name}: {}", d.render_human(None)))
+            .collect();
+        assert!(worst.is_empty(), "{}", worst.join("\n"));
+    }
+}
+
+#[test]
+fn verdicts_survive_the_concrete_syntax_round_trip() {
+    // Lint findings on the built formula and on its re-parsed source form
+    // must agree code-for-code (the parser adds no accidental structure).
+    for (name, phi, _) in corpus() {
+        let src = to_source(&phi);
+        let spanned = parse_formula_spanned(&src).unwrap_or_else(|e| panic!("{name}: {e:?}"));
+        let analyzer = Analyzer::default();
+        let mut built: Vec<&str> = analyzer
+            .analyze_formula(&phi)
+            .iter()
+            .map(|d| d.code)
+            .collect();
+        let mut parsed: Vec<&str> = analyzer.analyze(&spanned).iter().map(|d| d.code).collect();
+        built.sort_unstable();
+        parsed.sort_unstable();
+        assert_eq!(
+            built, parsed,
+            "{name}: lint verdicts changed across to_source/parse"
+        );
+    }
+}
+
+#[test]
+fn phi_struc_is_a_true_fc104_positive() {
+    // φ_struc uses a five-part wide equation; Theorem 3.5's desugaring
+    // pays one quantifier per extra part, so qr jumps from 3 to 8 — the
+    // exact phenomenon FC104 warns about.
+    let diags = Analyzer::default().analyze_formula(&library::phi_struc());
+    let d = diags
+        .iter()
+        .find(|d| d.code == "FC104")
+        .expect("FC104 fires on phi_struc");
+    assert!(d.message.contains("from 3 to 8"), "{}", d.message);
+}
+
+#[test]
+fn corpus_counts_are_all_zero_errors() {
+    for (name, phi, _) in corpus() {
+        let (errors, _, _) = counts(&Analyzer::default().analyze_formula(&phi));
+        assert_eq!(errors, 0, "{name} has lint errors");
+    }
+}

@@ -179,4 +179,51 @@ proptest! {
             "src={} w={}", src, w
         );
     }
+
+    #[test]
+    fn round_trip_preserves_qr_and_free_vars(phi in formula()) {
+        // The span-tracking parser lowers through the same smart
+        // constructors `to_source`'s input was built with, so the measured
+        // invariants — quantifier rank (plain and desugared) and the free
+        // variable set — must survive the printer/parser cycle exactly.
+        let src = fc_logic::parser::to_source(&phi);
+        let back = fc_logic::parser::parse_formula(&src)
+            .unwrap_or_else(|e| panic!("{src}: {e}"));
+        prop_assert_eq!(phi.qr(), back.qr(), "src={}", src);
+        prop_assert_eq!(phi.qr_desugared(), back.qr_desugared(), "src={}", src);
+        let mut fv_phi = phi.free_vars();
+        let mut fv_back = back.free_vars();
+        fv_phi.sort();
+        fv_back.sort();
+        prop_assert_eq!(fv_phi, fv_back, "src={}", src);
+    }
+
+    #[test]
+    fn spanned_parse_agrees_with_plain_parse(phi in formula()) {
+        // parse_formula is specified to be exactly
+        // parse_formula_spanned(..).to_formula().
+        let src = fc_logic::parser::to_source(&phi);
+        let plain = fc_logic::parser::parse_formula(&src)
+            .unwrap_or_else(|e| panic!("{src}: {e}"));
+        let spanned = fc_logic::parser::parse_formula_spanned(&src)
+            .unwrap_or_else(|e| panic!("{src}: {e:?}"));
+        prop_assert_eq!(plain, spanned.to_formula(), "src={}", src);
+    }
+
+    #[test]
+    fn lift_lower_preserves_lint_verdicts(phi in formula()) {
+        // Analyzing a built formula (via lift) gives the same rule codes
+        // as analyzing its parsed source text, up to FC004/FC005 findings
+        // that the smart constructors erase before `lift` ever runs.
+        use fc_logic::analysis::Analyzer;
+        let analyzer = Analyzer::default();
+        let lifted: Vec<&str> = analyzer.analyze_formula(&phi).iter().map(|d| d.code).collect();
+        let src = fc_logic::parser::to_source(&phi);
+        let parsed: Vec<&str> = analyzer.analyze_source(&src).iter().map(|d| d.code).collect();
+        let mut a = lifted;
+        let mut b = parsed;
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b, "src={}", src);
+    }
 }

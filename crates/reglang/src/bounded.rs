@@ -101,8 +101,7 @@ pub fn bounded_witness(d: &Dfa) -> Option<Vec<Word>> {
     // starting from its smallest member, follow the unique internal edge.
     let cycle_label = |scc: usize| -> Option<Vec<u8>> {
         let qs = &members[scc];
-        let nontrivial = qs.len() > 1
-            || (0..k).any(|s| d.delta[qs[0] * k + s] == qs[0]);
+        let nontrivial = qs.len() > 1 || (0..k).any(|s| d.delta[qs[0] * k + s] == qs[0]);
         if !nontrivial {
             return None;
         }
@@ -197,9 +196,7 @@ impl BoundedExpr {
         match self {
             BoundedExpr::Finite(words) => Regex::finite(words.iter()),
             BoundedExpr::StarWord(w) => Regex::star(Regex::word(w.bytes())),
-            BoundedExpr::Concat(parts) => {
-                Regex::concat_all(parts.iter().map(|p| p.to_regex()))
-            }
+            BoundedExpr::Concat(parts) => Regex::concat_all(parts.iter().map(|p| p.to_regex())),
             BoundedExpr::Union(parts) => Regex::union_all(parts.iter().map(|p| p.to_regex())),
         }
     }
@@ -216,7 +213,7 @@ impl BoundedExpr {
                 if u.is_empty() {
                     return false;
                 }
-                w.len() % u.len() == 0 && w.chunks(u.len()).all(|c| c == u.bytes())
+                w.len().is_multiple_of(u.len()) && w.chunks(u.len()).all(|c| c == u.bytes())
             }
             BoundedExpr::Concat(parts) => {
                 // DP over split positions.
@@ -257,7 +254,9 @@ mod tests {
     #[test]
     fn bounded_examples() {
         // Bounded: finite languages, a*, a*b*, (ab)*, a*b*a*.
-        for src in ["!", "~", "ab|ba", "a*", "a*b*", "(ab)*", "a*b*a*", "(aab)*b*"] {
+        for src in [
+            "!", "~", "ab|ba", "a*", "a*b*", "(ab)*", "a*b*a*", "(aab)*b*",
+        ] {
             assert!(is_bounded(&dfa(src)), "{src} should be bounded");
         }
         // Unbounded: Σ*, (a|b)(a|b)*, (a|bb)*, (a*b*)* = Σ*.

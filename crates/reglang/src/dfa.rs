@@ -43,7 +43,8 @@ impl Dfa {
     /// alphabet (then the word is rejected outright).
     #[inline]
     pub fn next(&self, q: usize, c: u8) -> Option<usize> {
-        self.sym_index(c).map(|i| self.delta[q * self.alphabet.len() + i])
+        self.sym_index(c)
+            .map(|i| self.delta[q * self.alphabet.len() + i])
     }
 
     /// Membership test.
@@ -94,7 +95,12 @@ impl Dfa {
             q += 1;
         }
         debug_assert_eq!(delta.len(), sets.len() * k);
-        Dfa { alphabet: alpha, delta, accepting, start: 0 }
+        Dfa {
+            alphabet: alpha,
+            delta,
+            accepting,
+            start: 0,
+        }
     }
 
     /// Builds a minimal complete DFA for a regex over the given alphabet.
@@ -161,7 +167,12 @@ impl Dfa {
         }
         let start = class[new_of_old[self.start]];
         old_of_new.clear();
-        Dfa { alphabet: self.alphabet.clone(), delta, accepting, start }
+        Dfa {
+            alphabet: self.alphabet.clone(),
+            delta,
+            accepting,
+            start,
+        }
     }
 
     /// Which states are reachable from the start state.
@@ -300,7 +311,15 @@ mod tests {
 
     #[test]
     fn dfa_agrees_with_nfa_exhaustively() {
-        let patterns = ["(a|b)*abb", "(ab)*", "a*b*", "a+b?a", "~", "!", "(a|b)(a|b)"];
+        let patterns = [
+            "(a|b)*abb",
+            "(ab)*",
+            "a*b*",
+            "a+b?a",
+            "~",
+            "!",
+            "(a|b)(a|b)",
+        ];
         let sigma = Alphabet::ab();
         for src in patterns {
             let re = Regex::parse(src).unwrap();

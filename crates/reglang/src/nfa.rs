@@ -26,7 +26,11 @@ pub struct Nfa {
 impl Nfa {
     /// Compiles a regex into a Thompson NFA (O(|γ|) states).
     pub fn from_regex(re: &Regex) -> Nfa {
-        let mut nfa = Nfa { edges: Vec::new(), start: 0, accept: 0 };
+        let mut nfa = Nfa {
+            edges: Vec::new(),
+            start: 0,
+            accept: 0,
+        };
         let (s, a) = nfa.build(re);
         nfa.start = s;
         nfa.accept = a;
@@ -180,11 +184,23 @@ mod tests {
     #[test]
     fn classic_patterns() {
         // (a|b)*abb — ends with abb
-        for (w, want) in [("abb", true), ("aabb", true), ("babb", true), ("ab", false), ("abba", false)] {
+        for (w, want) in [
+            ("abb", true),
+            ("aabb", true),
+            ("babb", true),
+            ("ab", false),
+            ("abba", false),
+        ] {
             assert_eq!(accepts("(a|b)*abb", w), want, "w={w}");
         }
         // (ab)* — even alternating
-        for (w, want) in [("", true), ("ab", true), ("abab", true), ("aba", false), ("ba", false)] {
+        for (w, want) in [
+            ("", true),
+            ("ab", true),
+            ("abab", true),
+            ("aba", false),
+            ("ba", false),
+        ] {
             assert_eq!(accepts("(ab)*", w), want, "w={w}");
         }
     }

@@ -51,7 +51,12 @@ pub fn product(a: &Dfa, b: &Dfa, op: BoolOp) -> Dfa {
         }
         q += 1;
     }
-    Dfa { alphabet: a.alphabet.clone(), delta, accepting, start: 0 }
+    Dfa {
+        alphabet: a.alphabet.clone(),
+        delta,
+        accepting,
+        start: 0,
+    }
 }
 
 /// Rebuilds `d` over a (super-)alphabet: symbols not previously in the
@@ -81,7 +86,12 @@ pub fn align_alphabet(d: &Dfa, alphabet: &[u8]) -> Dfa {
     }
     let mut accepting = d.accepting.clone();
     accepting.push(false);
-    Dfa { alphabet: alpha, delta, accepting, start: d.start }
+    Dfa {
+        alphabet: alpha,
+        delta,
+        accepting,
+        start: d.start,
+    }
 }
 
 /// Complement with respect to the DFA's own alphabet.
@@ -163,7 +173,11 @@ pub fn shortest_word(d: &Dfa) -> Option<Vec<u8>> {
     let mut seen = vec![false; n];
     let mut queue = std::collections::VecDeque::from([d.start]);
     seen[d.start] = true;
-    let mut hit = if d.accepting[d.start] { Some(d.start) } else { None };
+    let mut hit = if d.accepting[d.start] {
+        Some(d.start)
+    } else {
+        None
+    };
     'bfs: while let Some(q) = queue.pop_front() {
         if hit.is_some() {
             break;
@@ -212,7 +226,11 @@ mod tests {
     #[test]
     fn product_semantics_exhaustive() {
         let sigma = Alphabet::ab();
-        let pairs = [("a*", "(a|b)*b?"), ("(ab)*", "a*b*"), ("(a|b)*abb", "(a|b)*b")];
+        let pairs = [
+            ("a*", "(a|b)*b?"),
+            ("(ab)*", "a*b*"),
+            ("(a|b)*abb", "(a|b)*b"),
+        ];
         for (sa, sb) in pairs {
             let a = dfa(sa);
             let b = dfa(sb);

@@ -153,7 +153,10 @@ impl Regex {
     /// # Errors
     /// Returns a human-readable message on malformed input.
     pub fn parse(src: &str) -> Result<Rc<Regex>, String> {
-        let mut p = Parser { bytes: src.as_bytes(), pos: 0 };
+        let mut p = Parser {
+            bytes: src.as_bytes(),
+            pos: 0,
+        };
         let r = p.parse_union()?;
         if p.pos != p.bytes.len() {
             return Err(format!("trailing input at byte {}", p.pos));
@@ -270,7 +273,10 @@ impl Parser<'_> {
                 self.pos += 1;
                 Ok(Regex::sym(c))
             }
-            Some(c) => Err(format!("unexpected character '{}' at byte {}", c as char, self.pos)),
+            Some(c) => Err(format!(
+                "unexpected character '{}' at byte {}",
+                c as char, self.pos
+            )),
         }
     }
 }
@@ -281,9 +287,18 @@ mod tests {
 
     #[test]
     fn smart_constructors_simplify() {
-        assert_eq!(*Regex::concat(Regex::empty(), Regex::sym(b'a')), Regex::Empty);
-        assert_eq!(*Regex::concat(Regex::epsilon(), Regex::sym(b'a')), Regex::Sym(b'a'));
-        assert_eq!(*Regex::union(Regex::empty(), Regex::sym(b'a')), Regex::Sym(b'a'));
+        assert_eq!(
+            *Regex::concat(Regex::empty(), Regex::sym(b'a')),
+            Regex::Empty
+        );
+        assert_eq!(
+            *Regex::concat(Regex::epsilon(), Regex::sym(b'a')),
+            Regex::Sym(b'a')
+        );
+        assert_eq!(
+            *Regex::union(Regex::empty(), Regex::sym(b'a')),
+            Regex::Sym(b'a')
+        );
         assert_eq!(*Regex::star(Regex::epsilon()), Regex::Epsilon);
         assert_eq!(*Regex::star(Regex::empty()), Regex::Epsilon);
         let s = Regex::star(Regex::sym(b'a'));
@@ -292,7 +307,17 @@ mod tests {
 
     #[test]
     fn parser_roundtrips() {
-        for src in ["a", "ab", "a|b", "(a|b)*abb", "a*b+c?", "~", "!", "((a))", "a(b|c)d"] {
+        for src in [
+            "a",
+            "ab",
+            "a|b",
+            "(a|b)*abb",
+            "a*b+c?",
+            "~",
+            "!",
+            "((a))",
+            "a(b|c)d",
+        ] {
             let r = Regex::parse(src).unwrap_or_else(|e| panic!("{src}: {e}"));
             // Display then reparse is a fixed point of printing (ASTs may
             // differ in concat associativity, which is language-irrelevant).

@@ -58,11 +58,7 @@ impl SimpleRegex {
 
     /// The classic "x contains u as a factor" pattern `Σ*·u·Σ*`.
     pub fn contains(u: impl Into<Word>) -> SimpleRegex {
-        SimpleRegex::from_parts([
-            SimplePart::Gap,
-            SimplePart::Word(u.into()),
-            SimplePart::Gap,
-        ])
+        SimpleRegex::from_parts([SimplePart::Gap, SimplePart::Word(u.into()), SimplePart::Gap])
     }
 
     /// `u·Σ*` — "starts with u".

@@ -46,7 +46,9 @@ fn reps(s: &str, n: usize) -> Word {
 /// `aⁿbⁿ` (Example 4.5).
 pub fn is_anbn(w: &[u8]) -> bool {
     let n = w.len() / 2;
-    w.len() % 2 == 0 && w[..n].iter().all(|&c| c == b'a') && w[n..].iter().all(|&c| c == b'b')
+    w.len().is_multiple_of(2)
+        && w[..n].iter().all(|&c| c == b'a')
+        && w[n..].iter().all(|&c| c == b'b')
 }
 
 /// L₁ = `{aⁿ(ba)ⁿ}`.
@@ -61,7 +63,7 @@ pub fn is_l2(w: &[u8]) -> bool {
         return false;
     }
     let rest = &w[i..];
-    if rest.len() % 2 != 0 {
+    if !rest.len().is_multiple_of(2) {
         return false;
     }
     let j = rest.len() / 2;
@@ -105,8 +107,13 @@ pub fn is_l5(w: &[u8]) -> bool {
 
 /// L₆ = `{aⁿbⁿ(ab)ⁿ}`.
 pub fn is_l6(w: &[u8]) -> bool {
-    (0..=w.len() / 4 + 1)
-        .any(|n| reps("a", n).concat(&reps("b", n)).concat(&reps("ab", n)).bytes() == w)
+    (0..=w.len() / 4 + 1).any(|n| {
+        reps("a", n)
+            .concat(&reps("b", n))
+            .concat(&reps("ab", n))
+            .bytes()
+            == w
+    })
 }
 
 /// The catalogue of Lemma 4.15 languages plus `aⁿbⁿ`.
@@ -243,7 +250,7 @@ mod tests {
     #[test]
     fn l3_semantics() {
         // b^n a^m b^{n+m}
-        assert!(is_l3(b"abb") == false); // a¹b¹: tail "bb"? w=abb: n=0,m=1,tail="bb" len 2 ≠ 1 → false ✓
+        assert!(!is_l3(b"abb")); // a¹b¹: tail "bb"? w=abb: n=0,m=1,tail="bb" len 2 ≠ 1 → false ✓
         assert!(is_l3(b"ab")); // n=0, m=1, tail "b" len 1 = 0+1 ✓
         assert!(is_l3(b"bbabbb")); // n=2, m=1, tail b³ = 2+1 ✓
         assert!(!is_l3(b"bbabb"));

@@ -103,12 +103,7 @@ pub fn psi2_scatt() -> ReductionCase {
     ReductionCase {
         relation: "Scatt",
         language: "L2",
-        spanner: Spanner::rel_select(
-            &["x", "y"],
-            "Scatt",
-            |c| relations::scatt(c[0], c[1]),
-            base,
-        ),
+        spanner: Spanner::rel_select(&["x", "y"], "Scatt", |c| relations::scatt(c[0], c[1]), base),
         member: languages::is_l2,
         bounding: vec![Word::from("a"), Word::from("ba")],
     }
@@ -283,7 +278,11 @@ mod tests {
         for case in all_reductions() {
             // Keep the window modest: spanner evaluation is polynomial but
             // the window is exponential.
-            let max_len = if case.relation == "Perm" || case.relation == "Rev" { 12 } else { 8 };
+            let max_len = if case.relation == "Perm" || case.relation == "Rev" {
+                12
+            } else {
+                8
+            };
             // Perm/Rev need length-12 members; enumerate the binary window
             // only up to 8 and additionally test explicit members.
             let window_len = max_len.min(8);

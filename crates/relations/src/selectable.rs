@@ -121,9 +121,7 @@ pub fn in_ab_star() -> SelectableRelation {
         name: "In-(ab)*",
         arity: 1,
         formula: library::phi_star_word("x1", b"ab"),
-        predicate: |t| {
-            t[0].len() % 2 == 0 && t[0].bytes().chunks(2).all(|c| c == b"ab")
-        },
+        predicate: |t| t[0].len() % 2 == 0 && t[0].bytes().chunks(2).all(|c| c == b"ab"),
     }
 }
 
@@ -152,7 +150,12 @@ mod tests {
         for rel in all_selectable() {
             let word = if rel.arity >= 3 { "abaa" } else { "aabab" };
             let bad = rel.check(word);
-            assert!(bad.is_none(), "{}: counterexample {:?} on {word}", rel.name, bad);
+            assert!(
+                bad.is_none(),
+                "{}: counterexample {:?} on {word}",
+                rel.name,
+                bad
+            );
         }
     }
 

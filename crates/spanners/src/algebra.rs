@@ -103,8 +103,12 @@ pub fn difference(a: &SpanRelation, b: &SpanRelation) -> SpanRelation {
 /// and `y` have the **same content** in the document (possibly at
 /// different positions) — the text-specific operator of core spanners.
 pub fn eq_select(rel: &SpanRelation, doc: &[u8], x: &str, y: &str) -> SpanRelation {
-    let ix = rel.index_of(x).unwrap_or_else(|| panic!("ζ=: {x} not in schema"));
-    let iy = rel.index_of(y).unwrap_or_else(|| panic!("ζ=: {y} not in schema"));
+    let ix = rel
+        .index_of(x)
+        .unwrap_or_else(|| panic!("ζ=: {x} not in schema"));
+    let iy = rel
+        .index_of(y)
+        .unwrap_or_else(|| panic!("ζ=: {y} not in schema"));
     let mut out = SpanRelation::empty(rel.schema.iter().cloned());
     for t in &rel.tuples {
         if t[ix].content(doc) == t[iy].content(doc) {
@@ -125,7 +129,10 @@ pub fn rel_select(
 ) -> SpanRelation {
     let indices: Vec<usize> = vars
         .iter()
-        .map(|v| rel.index_of(v).unwrap_or_else(|| panic!("ζ^R: {v} not in schema")))
+        .map(|v| {
+            rel.index_of(v)
+                .unwrap_or_else(|| panic!("ζ^R: {v} not in schema"))
+        })
         .collect();
     let mut out = SpanRelation::empty(rel.schema.iter().cloned());
     for t in &rel.tuples {
@@ -150,12 +157,7 @@ pub fn universal(doc: &[u8], vars: &[&str]) -> SpanRelation {
     let mut out = SpanRelation::empty(vars.iter().map(|v| v.to_string()));
     let k = out.schema.len();
     let mut tuple = vec![Span::new(0, 0); k];
-    fn rec(
-        spans: &[Span],
-        tuple: &mut Vec<Span>,
-        depth: usize,
-        out: &mut SpanRelation,
-    ) {
+    fn rec(spans: &[Span], tuple: &mut Vec<Span>, depth: usize, out: &mut SpanRelation) {
         if depth == tuple.len() {
             out.tuples.insert(tuple.clone());
             return;
@@ -246,10 +248,7 @@ mod tests {
         // ζ^len: |x| = |y| — the relation the paper proves unattainable.
         let z = rel_select(&a, doc, &["x", "y"], |c| c[0].len() == c[1].len());
         assert!(z.len() < a.len());
-        assert!(z
-            .tuples
-            .iter()
-            .all(|t| t[0].len() == t[1].len()));
+        assert!(z.tuples.iter().all(|t| t[0].len() == t[1].len()));
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! generalized core spanners.
 
 use crate::spanner::Spanner;
-use fc_logic::{eval, Formula, FactorStructure};
+use fc_logic::{eval, FactorStructure, Formula};
 use fc_words::{Alphabet, Word};
 
 /// Compares the Boolean behaviour of a spanner and an FC[REG] sentence on
@@ -49,7 +49,10 @@ pub fn first_relation_disagreement(
     let rel = spanner.evaluate(doc.bytes());
     let indices: Vec<usize> = vars
         .iter()
-        .map(|v| rel.index_of(v).unwrap_or_else(|| panic!("{v} not in spanner schema")))
+        .map(|v| {
+            rel.index_of(v)
+                .unwrap_or_else(|| panic!("{v} not in spanner schema"))
+        })
         .collect();
     let mut from_spanner: Vec<Vec<Word>> = rel
         .tuples
@@ -119,11 +122,7 @@ mod tests {
         // Wrap in Σ*·…·Σ* so x ranges over all factors.
         let spanner = Rc::new(Spanner::Project(
             vec!["x".into(), "y".into()],
-            Spanner::eq_select(
-                "y",
-                "y2",
-                Spanner::regex(RegexFormula::extractor(inner)),
-            ),
+            Spanner::eq_select("y", "y2", Spanner::regex(RegexFormula::extractor(inner))),
         ));
         let formula = library::r_copy("x", "y");
         let doc = Word::from("aabaab");

@@ -40,12 +40,13 @@ fn rewrite(s: &Rc<Spanner>) -> Rc<Spanner> {
         Spanner::Project(v, a) => Rc::new(Spanner::Project(v.clone(), rewrite(a))),
         Spanner::Join(a, b) => Rc::new(Spanner::Join(rewrite(a), rewrite(b))),
         Spanner::Difference(a, b) => Rc::new(Spanner::Difference(rewrite(a), rewrite(b))),
-        Spanner::EqSelect(x, y, a) => {
-            Rc::new(Spanner::EqSelect(x.clone(), y.clone(), rewrite(a)))
-        }
-        Spanner::RelSelect(v, n, p, a) => {
-            Rc::new(Spanner::RelSelect(v.clone(), n.clone(), p.clone(), rewrite(a)))
-        }
+        Spanner::EqSelect(x, y, a) => Rc::new(Spanner::EqSelect(x.clone(), y.clone(), rewrite(a))),
+        Spanner::RelSelect(v, n, p, a) => Rc::new(Spanner::RelSelect(
+            v.clone(),
+            n.clone(),
+            p.clone(),
+            rewrite(a),
+        )),
     };
     apply_rules(&node)
 }
@@ -69,22 +70,14 @@ fn apply_rules(s: &Rc<Spanner>) -> Rc<Spanner> {
                 let sb: BTreeSet<String> = b.schema().into_iter().collect();
                 if sa.contains(x) && sa.contains(y) {
                     return Rc::new(Spanner::Join(
-                        apply_rules(&Rc::new(Spanner::EqSelect(
-                            x.clone(),
-                            y.clone(),
-                            a.clone(),
-                        ))),
+                        apply_rules(&Rc::new(Spanner::EqSelect(x.clone(), y.clone(), a.clone()))),
                         b.clone(),
                     ));
                 }
                 if sb.contains(x) && sb.contains(y) {
                     return Rc::new(Spanner::Join(
                         a.clone(),
-                        apply_rules(&Rc::new(Spanner::EqSelect(
-                            x.clone(),
-                            y.clone(),
-                            b.clone(),
-                        ))),
+                        apply_rules(&Rc::new(Spanner::EqSelect(x.clone(), y.clone(), b.clone()))),
                     ));
                 }
             }
@@ -250,10 +243,20 @@ mod tests {
 
     #[test]
     fn rel_select_identity_is_pointer_based() {
-        let p = Spanner::rel_select(&["x", "y"], "len", |c| c[0].len() == c[1].len(), two_split());
+        let p = Spanner::rel_select(
+            &["x", "y"],
+            "len",
+            |c| c[0].len() == c[1].len(),
+            two_split(),
+        );
         // Same Rc: equal; rebuilt predicate: not equated (sound).
         assert!(structurally_equal(&p, &p.clone()));
-        let q = Spanner::rel_select(&["x", "y"], "len", |c| c[0].len() == c[1].len(), two_split());
+        let q = Spanner::rel_select(
+            &["x", "y"],
+            "len",
+            |c| c[0].len() == c[1].len(),
+            two_split(),
+        );
         assert!(!structurally_equal(&p, &q));
         assert_equivalent(&p, &["", "ab", "aba"]);
     }

@@ -59,14 +59,12 @@ impl RegexFormula {
             Regex::Empty => RegexFormula::Empty,
             Regex::Epsilon => RegexFormula::Epsilon,
             Regex::Sym(c) => RegexFormula::Sym(*c),
-            Regex::Concat(l, r) => RegexFormula::Concat(
-                RegexFormula::from_regex(l),
-                RegexFormula::from_regex(r),
-            ),
-            Regex::Union(l, r) => RegexFormula::Union(
-                RegexFormula::from_regex(l),
-                RegexFormula::from_regex(r),
-            ),
+            Regex::Concat(l, r) => {
+                RegexFormula::Concat(RegexFormula::from_regex(l), RegexFormula::from_regex(r))
+            }
+            Regex::Union(l, r) => {
+                RegexFormula::Union(RegexFormula::from_regex(l), RegexFormula::from_regex(r))
+            }
             Regex::Star(i) => RegexFormula::Star(RegexFormula::from_regex(i)),
         })
     }
@@ -185,7 +183,10 @@ impl RegexFormula {
             .unwrap_or_else(|e| panic!("non-functional regex formula: {e}"));
         let vars = self.variables();
         let mut relation = SpanRelation::empty(vars.iter().cloned());
-        let mut matcher = Matcher { doc, memo: HashMap::new() };
+        let mut matcher = Matcher {
+            doc,
+            memo: HashMap::new(),
+        };
         for captures in matcher.matches(self, 0, doc.len()).iter() {
             let tuple: Vec<Span> = relation
                 .schema
@@ -399,7 +400,8 @@ mod tests {
         )));
         assert!(bad.check_functional().is_err());
         // Nested same-name capture.
-        let bad = RegexFormula::capture("x", RegexFormula::capture("x", RegexFormula::pattern("a")));
+        let bad =
+            RegexFormula::capture("x", RegexFormula::capture("x", RegexFormula::pattern("a")));
         assert!(bad.check_functional().is_err());
     }
 
@@ -448,9 +450,7 @@ impl RegexFormula {
             RegexFormula::Empty => Some(Regex::empty()),
             RegexFormula::Epsilon => Some(Regex::epsilon()),
             RegexFormula::Sym(c) => Some(Regex::sym(*c)),
-            RegexFormula::AnySym => Some(Regex::union_all(
-                alphabet.iter().map(|&a| Regex::sym(a)),
-            )),
+            RegexFormula::AnySym => Some(Regex::union_all(alphabet.iter().map(|&a| Regex::sym(a)))),
             RegexFormula::Concat(l, r) => Some(Regex::concat(
                 l.to_plain_regex(alphabet)?,
                 r.to_plain_regex(alphabet)?,

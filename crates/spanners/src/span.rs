@@ -62,14 +62,20 @@ impl SpanRelation {
         let mut schema: Vec<String> = schema.into_iter().collect();
         schema.sort();
         schema.dedup();
-        SpanRelation { schema, tuples: BTreeSet::new() }
+        SpanRelation {
+            schema,
+            tuples: BTreeSet::new(),
+        }
     }
 
     /// The Boolean relation {⟨⟩} (schema-less, non-empty) — "true".
     pub fn unit() -> SpanRelation {
         let mut tuples = BTreeSet::new();
         tuples.insert(Vec::new());
-        SpanRelation { schema: Vec::new(), tuples }
+        SpanRelation {
+            schema: Vec::new(),
+            tuples,
+        }
     }
 
     /// Number of tuples.
@@ -109,13 +115,7 @@ impl SpanRelation {
         for t in &self.tuples {
             let cells: Vec<String> = t
                 .iter()
-                .map(|s| {
-                    format!(
-                        "{}={:?}",
-                        s,
-                        String::from_utf8_lossy(s.content(doc))
-                    )
-                })
+                .map(|s| format!("{}={:?}", s, String::from_utf8_lossy(s.content(doc))))
                 .collect();
             out.push_str(&format!("  ({})\n", cells.join(", ")));
         }

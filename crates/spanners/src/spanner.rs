@@ -127,12 +127,8 @@ impl Spanner {
                 algebra::project(&inner.evaluate(doc), &refs)
             }
             Spanner::Join(a, b) => algebra::join(&a.evaluate(doc), &b.evaluate(doc)),
-            Spanner::Difference(a, b) => {
-                algebra::difference(&a.evaluate(doc), &b.evaluate(doc))
-            }
-            Spanner::EqSelect(x, y, inner) => {
-                algebra::eq_select(&inner.evaluate(doc), doc, x, y)
-            }
+            Spanner::Difference(a, b) => algebra::difference(&a.evaluate(doc), &b.evaluate(doc)),
+            Spanner::EqSelect(x, y, inner) => algebra::eq_select(&inner.evaluate(doc), doc, x, y),
             Spanner::RelSelect(vars, _, pred, inner) => {
                 let refs: Vec<&str> = vars.iter().map(String::as_str).collect();
                 algebra::rel_select(&inner.evaluate(doc), doc, &refs, |c| pred(c))

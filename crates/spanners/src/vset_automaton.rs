@@ -76,7 +76,10 @@ impl VSetAutomaton {
     }
 
     fn var_id(&self, name: &str) -> usize {
-        self.variables.iter().position(|v| v == name).expect("known variable")
+        self.variables
+            .iter()
+            .position(|v| v == name)
+            .expect("known variable")
     }
 
     fn new_state(&mut self) -> usize {
@@ -155,20 +158,20 @@ impl VSetAutomaton {
         // Search state: (automaton state, position, per-var open/close).
         type Marks = Vec<(Option<usize>, Option<usize>)>;
         let mut visited: HashSet<(usize, usize, Marks)> = HashSet::new();
-        let mut stack: Vec<(usize, usize, Marks)> =
-            vec![(self.start, 0, vec![(None, None); k])];
+        let mut stack: Vec<(usize, usize, Marks)> = vec![(self.start, 0, vec![(None, None); k])];
         while let Some((q, pos, marks)) = stack.pop() {
             if !visited.insert((q, pos, marks.clone())) {
                 continue;
             }
-            if q == self.accept && pos == doc.len() {
-                if marks.iter().all(|&(o, c)| o.is_some() && c.is_some()) {
-                    let tuple: Vec<Span> = marks
-                        .iter()
-                        .map(|&(o, c)| Span::new(o.unwrap(), c.unwrap()))
-                        .collect();
-                    relation.tuples.insert(tuple);
-                }
+            if q == self.accept
+                && pos == doc.len()
+                && marks.iter().all(|&(o, c)| o.is_some() && c.is_some())
+            {
+                let tuple: Vec<Span> = marks
+                    .iter()
+                    .map(|&(o, c)| Span::new(o.unwrap(), c.unwrap()))
+                    .collect();
+                relation.tuples.insert(tuple);
             }
             for (label, t) in &self.edges[q] {
                 match label {
@@ -218,7 +221,12 @@ mod tests {
     fn cross_check(f: &RF, doc: &[u8]) {
         let direct = f.evaluate(doc);
         let automaton = VSetAutomaton::compile(f).evaluate(doc);
-        assert_eq!(direct, automaton, "doc={:?} f={f:?}", String::from_utf8_lossy(doc));
+        assert_eq!(
+            direct,
+            automaton,
+            "doc={:?} f={f:?}",
+            String::from_utf8_lossy(doc)
+        );
     }
 
     #[test]
@@ -261,7 +269,10 @@ mod tests {
                 RF::capture("x", RF::pattern("a*")),
                 RF::capture("y", RF::pattern("(ba)*")),
             ]),
-            RF::capture("x", RF::cat([RF::capture("y", RF::any_star()), RF::any_star()])),
+            RF::capture(
+                "x",
+                RF::cat([RF::capture("y", RF::any_star()), RF::any_star()]),
+            ),
         ];
         for f in &formulas {
             for w in sigma.words_up_to(5) {

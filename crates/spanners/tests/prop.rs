@@ -16,7 +16,9 @@ fn doc(max_len: usize) -> impl Strategy<Value = Word> {
 
 /// A random span relation over schema {x, y} with spans valid for `len`.
 fn relation(len: usize) -> impl Strategy<Value = SpanRelation> {
-    let span = (0..=len).prop_flat_map(move |i| (Just(i), i..=len)).prop_map(|(i, j)| Span::new(i, j));
+    let span = (0..=len)
+        .prop_flat_map(move |i| (Just(i), i..=len))
+        .prop_map(|(i, j)| Span::new(i, j));
     prop::collection::btree_set((span.clone(), span), 0..8).prop_map(|tuples| {
         let mut rel = SpanRelation::empty(["x".to_string(), "y".to_string()]);
         for (sx, sy) in tuples {
@@ -164,7 +166,9 @@ fn spanner_expr() -> impl Strategy<Value = Rc<Spanner>> {
     leaf.prop_recursive(3, 12, 2, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Rc::new(Spanner::Join(a, b))),
-            inner.clone().prop_map(|a| Rc::new(Spanner::Union(a.clone(), a))),
+            inner
+                .clone()
+                .prop_map(|a| Rc::new(Spanner::Union(a.clone(), a))),
             inner.clone().prop_map(|a| {
                 let schema = a.schema();
                 let keep: Vec<String> = schema.into_iter().take(1).collect();
@@ -176,7 +180,9 @@ fn spanner_expr() -> impl Strategy<Value = Rc<Spanner>> {
                 let y = schema.last().unwrap().clone();
                 Rc::new(Spanner::EqSelect(x, y, a))
             }),
-            inner.clone().prop_map(|a| Rc::new(Spanner::Difference(a.clone(), a))),
+            inner
+                .clone()
+                .prop_map(|a| Rc::new(Spanner::Difference(a.clone(), a))),
         ]
     })
 }

@@ -27,10 +27,12 @@ pub fn commutation_root(u: &[u8], v: &[u8]) -> Option<Word> {
     // its length divides gcd(|u|, |v|).
     let base = if u.is_empty() { v } else { u };
     let (root, _) = primitive_root(base);
-    debug_assert!(u.is_empty() || v.is_empty() || {
-        let g = gcd(u.len(), v.len());
-        root.len() <= g && g % root.len() == 0
-    });
+    debug_assert!(
+        u.is_empty() || v.is_empty() || {
+            let g = gcd(u.len(), v.len());
+            root.len() <= g && g.is_multiple_of(root.len())
+        }
+    );
     Some(root)
 }
 

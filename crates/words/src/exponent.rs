@@ -42,8 +42,7 @@ pub fn exp(w: &[u8], u: &[u8]) -> usize {
         return 0;
     }
     use std::collections::HashMap;
-    let pos_index: HashMap<usize, usize> =
-        occ.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+    let pos_index: HashMap<usize, usize> = occ.iter().enumerate().map(|(i, &p)| (p, i)).collect();
     let mut chain = vec![1usize; occ.len()];
     let mut best = 1usize;
     for i in (0..occ.len()).rev() {
@@ -72,7 +71,8 @@ impl PowerFactorisation {
     /// Reassembles `u₁ · wᵉ · u₂` (for verification and for the Primitive
     /// Power strategy, which swaps the exponent).
     pub fn assemble(&self, w: &[u8]) -> Word {
-        let mut v = Vec::with_capacity(self.left.len() + w.len() * self.exponent + self.right.len());
+        let mut v =
+            Vec::with_capacity(self.left.len() + w.len() * self.exponent + self.right.len());
         v.extend_from_slice(self.left.bytes());
         for _ in 0..self.exponent {
             v.extend_from_slice(w);
@@ -84,7 +84,11 @@ impl PowerFactorisation {
     /// Reassembles with a different exponent (Duplicator's move in the
     /// Primitive Power Lemma, Fig. 2/3 of the paper).
     pub fn with_exponent(&self, exponent: usize) -> PowerFactorisation {
-        PowerFactorisation { left: self.left.clone(), exponent, right: self.right.clone() }
+        PowerFactorisation {
+            left: self.left.clone(),
+            exponent,
+            right: self.right.clone(),
+        }
     }
 }
 
@@ -180,7 +184,11 @@ mod tests {
         let ws: Vec<Word> = sigma.words_up_to(3).filter(|w| !w.is_empty()).collect();
         for u in sigma.words_up_to(8) {
             for w in &ws {
-                assert_eq!(exp(w.bytes(), u.bytes()), naive_exp(w.bytes(), u.bytes()), "w={w} u={u}");
+                assert_eq!(
+                    exp(w.bytes(), u.bytes()),
+                    naive_exp(w.bytes(), u.bytes()),
+                    "w={w} u={u}"
+                );
             }
         }
     }

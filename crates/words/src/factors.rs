@@ -73,7 +73,11 @@ pub fn max_common_factor_len(u: &[u8], v: &[u8]) -> usize {
     let mut cur = vec![0usize; m + 1];
     for i in 1..=n {
         for j in 1..=m {
-            cur[j] = if u[i - 1] == v[j - 1] { prev[j - 1] + 1 } else { 0 };
+            cur[j] = if u[i - 1] == v[j - 1] {
+                prev[j - 1] + 1
+            } else {
+                0
+            };
             best = best.max(cur[j]);
         }
         std::mem::swap(&mut prev, &mut cur);
@@ -111,7 +115,11 @@ impl FactorIndex {
     /// Builds the suffix automaton of `w` in O(|w|·log|Σ|).
     pub fn build(w: &[u8]) -> Self {
         let mut states = Vec::with_capacity(2 * w.len().max(1));
-        states.push(SamState { len: 0, link: -1, next: BTreeMap::new() });
+        states.push(SamState {
+            len: 0,
+            link: -1,
+            next: BTreeMap::new(),
+        });
         let mut last = 0usize;
         for &c in w {
             let cur = states.len();
@@ -149,7 +157,10 @@ impl FactorIndex {
             }
             last = cur;
         }
-        FactorIndex { states, word_len: w.len() }
+        FactorIndex {
+            states,
+            word_len: w.len(),
+        }
     }
 
     /// Length of the indexed word.

@@ -58,7 +58,10 @@ pub fn duval(w: &[u8]) -> Vec<Word> {
 /// Panics if `w` is not primitive (imprimitive words have no Lyndon
 /// conjugate).
 pub fn lyndon_conjugate(w: &[u8]) -> Word {
-    assert!(is_primitive(w), "only primitive words have a Lyndon conjugate");
+    assert!(
+        is_primitive(w),
+        "only primitive words have a Lyndon conjugate"
+    );
     Word::from(w)
         .conjugates()
         .into_iter()
@@ -153,7 +156,10 @@ mod tests {
     fn lyndon_counts_match_enumeration() {
         let sigma = Alphabet::ab();
         for n in 1..=9usize {
-            let brute = sigma.words_of_len(n).filter(|w| is_lyndon(w.bytes())).count() as u64;
+            let brute = sigma
+                .words_of_len(n)
+                .filter(|w| is_lyndon(w.bytes()))
+                .count() as u64;
             assert_eq!(count_lyndon(n, 2), brute, "n={n}");
         }
     }

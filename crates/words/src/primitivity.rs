@@ -33,7 +33,7 @@ pub fn is_primitive(w: &[u8]) -> bool {
     }
     let p = smallest_period(w);
     // w = z^k with |z| = p iff p divides |w|; primitive iff that forces k = 1.
-    p == w.len() || w.len() % p != 0
+    p == w.len() || !w.len().is_multiple_of(p)
 }
 
 /// The primitive root of `w ∈ Σ⁺`: the unique primitive `z` with `w = z^k`.
@@ -45,7 +45,7 @@ pub fn primitive_root(w: &[u8]) -> (Word, usize) {
         return (Word::epsilon(), 0);
     }
     let p = smallest_period(w);
-    if w.len() % p == 0 {
+    if w.len().is_multiple_of(p) {
         (Word::from(&w[..p]), w.len() / p)
     } else {
         (Word::from(w), 1)
@@ -60,7 +60,9 @@ pub fn occurs_nontrivially_in_square(w: &[u8]) -> bool {
         return false;
     }
     let sq = [w, w].concat();
-    search::find_all(&sq, w).iter().any(|&i| i != 0 && i != w.len())
+    search::find_all(&sq, w)
+        .iter()
+        .any(|&i| i != 0 && i != w.len())
 }
 
 /// Executable check of Lemma D.1 for a fixed `w` and exponent bound:
@@ -101,7 +103,7 @@ mod tests {
             return false;
         }
         for d in 1..w.len() {
-            if w.len() % d == 0 {
+            if w.len().is_multiple_of(d) {
                 let z = &w[..d];
                 if Word::from(z).pow(w.len() / d).bytes() == w {
                     return false;
@@ -134,7 +136,11 @@ mod tests {
     fn primitivity_matches_naive_exhaustively() {
         let sigma = crate::alphabet::Alphabet::ab();
         for w in sigma.words_up_to(10) {
-            assert_eq!(is_primitive(w.bytes()), naive_is_primitive(w.bytes()), "w={w}");
+            assert_eq!(
+                is_primitive(w.bytes()),
+                naive_is_primitive(w.bytes()),
+                "w={w}"
+            );
         }
     }
 
@@ -179,7 +185,11 @@ mod tests {
     #[test]
     fn interior_occurrence_lemma_holds_for_primitive_words() {
         for w in ["a", "ab", "aab", "aabba", "abaabb", "bbaaba"] {
-            assert_eq!(check_interior_occurrence_lemma(w.as_bytes(), 4), Ok(()), "w={w}");
+            assert_eq!(
+                check_interior_occurrence_lemma(w.as_bytes(), 4),
+                Ok(()),
+                "w={w}"
+            );
         }
     }
 
@@ -199,9 +209,9 @@ pub fn moebius(n: usize) -> i64 {
     let mut factors = 0usize;
     let mut p = 2usize;
     while p * p <= n {
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             n /= p;
-            if n % p == 0 {
+            if n.is_multiple_of(p) {
                 return 0; // squared prime factor
             }
             factors += 1;
@@ -211,7 +221,7 @@ pub fn moebius(n: usize) -> i64 {
     if n > 1 {
         factors += 1;
     }
-    if factors % 2 == 0 {
+    if factors.is_multiple_of(2) {
         1
     } else {
         -1
@@ -227,7 +237,7 @@ pub fn count_primitive(n: usize, k: usize) -> u64 {
     assert!(n >= 1);
     let mut total: i128 = 0;
     for d in 1..=n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             let mu = moebius(d) as i128;
             total += mu * (k as i128).pow((n / d) as u32);
         }

@@ -11,11 +11,9 @@
 //! (semilinear sets), membership, and the "outgrows every semilinear set"
 //! argument in executable form.
 
-use serde::{Deserialize, Serialize};
-
 /// A linear set `{ m₀ + Σᵢ mᵢ·nᵢ : nᵢ ≥ 0 }` with offset `m₀` and periods
 /// `mᵢ` (zero periods are allowed but pruned).
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct LinearSet {
     /// The offset m₀.
     pub offset: u64,
@@ -34,7 +32,10 @@ impl LinearSet {
 
     /// The singleton {m₀}.
     pub fn singleton(offset: u64) -> Self {
-        LinearSet { offset, periods: Vec::new() }
+        LinearSet {
+            offset,
+            periods: Vec::new(),
+        }
     }
 
     /// Membership test via bounded coin-change (exact).
@@ -51,7 +52,7 @@ impl LinearSet {
         }
         // With a single period p: target divisible by p.
         if self.periods.len() == 1 {
-            return target % self.periods[0] == 0;
+            return target.is_multiple_of(self.periods[0]);
         }
         // General: reachability DP up to target (targets here are small).
         let t = target as usize;
@@ -89,7 +90,7 @@ fn gcd64(mut a: u64, mut b: u64) -> u64 {
 }
 
 /// A semilinear set: a finite union of linear sets.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct SemilinearSet {
     /// The constituent linear sets.
     pub parts: Vec<LinearSet>,
@@ -103,12 +104,16 @@ impl SemilinearSet {
 
     /// A union of linear sets.
     pub fn new(parts: impl IntoIterator<Item = LinearSet>) -> Self {
-        SemilinearSet { parts: parts.into_iter().collect() }
+        SemilinearSet {
+            parts: parts.into_iter().collect(),
+        }
     }
 
     /// A finite set {n₁, …}.
     pub fn finite(values: impl IntoIterator<Item = u64>) -> Self {
-        SemilinearSet { parts: values.into_iter().map(LinearSet::singleton).collect() }
+        SemilinearSet {
+            parts: values.into_iter().map(LinearSet::singleton).collect(),
+        }
     }
 
     /// Membership.
@@ -162,8 +167,13 @@ impl SemilinearSet {
                             parts.push(LinearSet::singleton(i as u64));
                         }
                     }
-                    for i in threshold..threshold + period {
-                        if i < n && profile[i] {
+                    for (i, &m) in profile
+                        .iter()
+                        .enumerate()
+                        .take(threshold + period)
+                        .skip(threshold)
+                    {
+                        if m {
                             parts.push(LinearSet::new(i as u64, [period as u64]));
                         }
                     }
@@ -257,9 +267,9 @@ mod tests {
     fn refutation_of_powers_of_two() {
         // Any eventually-periodic candidate disagrees with {2ⁿ} somewhere.
         let candidates = [
-            SemilinearSet::new([LinearSet::new(1, [1])]),      // all ≥ 1
-            SemilinearSet::new([LinearSet::new(2, [2])]),      // evens ≥ 2
-            SemilinearSet::finite([1, 2, 4, 8, 16, 32, 64]),   // finite prefix
+            SemilinearSet::new([LinearSet::new(1, [1])]), // all ≥ 1
+            SemilinearSet::new([LinearSet::new(2, [2])]), // evens ≥ 2
+            SemilinearSet::finite([1, 2, 4, 8, 16, 32, 64]), // finite prefix
             SemilinearSet::new([LinearSet::new(0, [4])]),
         ];
         for c in &candidates {

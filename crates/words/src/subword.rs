@@ -102,7 +102,9 @@ impl Morphism {
     /// Builds a morphism from letter images. Letters without an image map
     /// to themselves.
     pub fn new(images: impl IntoIterator<Item = (u8, Word)>) -> Self {
-        Morphism { images: images.into_iter().collect() }
+        Morphism {
+            images: images.into_iter().collect(),
+        }
     }
 
     /// The morphism of Theorem 5.5's Morph_h proof: `a ↦ b, b ↦ b`.
@@ -194,7 +196,11 @@ mod tests {
                 let all = shuffle_product(x.bytes(), y.bytes());
                 for z in sigma.words_up_to(6) {
                     let member = all.contains(&z);
-                    assert_eq!(is_shuffle(x.bytes(), y.bytes(), z.bytes()), member, "x={x} y={y} z={z}");
+                    assert_eq!(
+                        is_shuffle(x.bytes(), y.bytes(), z.bytes()),
+                        member,
+                        "x={x} y={y} z={z}"
+                    );
                 }
             }
         }
@@ -227,7 +233,10 @@ mod tests {
         let sigma = Alphabet::ab();
         for x in sigma.words_up_to(4) {
             for y in sigma.words_up_to(3) {
-                assert_eq!(h.apply(x.concat(&y).bytes()), h.apply(x.bytes()).concat(&h.apply(y.bytes())));
+                assert_eq!(
+                    h.apply(x.concat(&y).bytes()),
+                    h.apply(x.bytes()).concat(&h.apply(y.bytes()))
+                );
             }
         }
     }

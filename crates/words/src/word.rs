@@ -283,7 +283,12 @@ mod tests {
 
     #[test]
     fn concat_all_words() {
-        let parts = [Word::from("a"), Word::from("bb"), Word::epsilon(), Word::from("c")];
+        let parts = [
+            Word::from("a"),
+            Word::from("bb"),
+            Word::epsilon(),
+            Word::from("c"),
+        ];
         assert_eq!(concat_all(parts.iter()).as_str(), "abbc");
     }
 }

@@ -5,7 +5,9 @@
 use fc_words::conjugacy::{are_conjugate, are_coprimitive};
 use fc_words::exponent::{check_expo_increase, exp, power_factorisation};
 use fc_words::factors::{factor_set, is_factor, FactorIndex};
-use fc_words::periodicity::{all_periods, fine_wilf_holds, has_period, longest_border, smallest_period};
+use fc_words::periodicity::{
+    all_periods, fine_wilf_holds, has_period, longest_border, smallest_period,
+};
 use fc_words::primitivity::{is_primitive, primitive_root};
 use fc_words::subword::{is_permutation, is_scattered_subword, is_shuffle, shuffle_product};
 use fc_words::Word;

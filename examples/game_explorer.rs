@@ -20,7 +20,11 @@ fn side_name(s: Side) -> &'static str {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let w = args.get(1).map(String::as_str).unwrap_or("aaaa").to_string();
+    let w = args
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or("aaaa")
+        .to_string();
     let v = args.get(2).map(String::as_str).unwrap_or("aaa").to_string();
     let k: u32 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(2);
 
@@ -34,12 +38,21 @@ fn main() {
     match solver.distinguishing_rounds(k) {
         Some(min_k) => {
             println!("\nSpoiler wins with {min_k} round(s); a winning line:");
-            for (i, mv) in solver.spoiler_winning_line(min_k).unwrap().iter().enumerate() {
+            for (i, mv) in solver
+                .spoiler_winning_line(min_k)
+                .unwrap()
+                .iter()
+                .enumerate()
+            {
                 let word = match mv.side {
                     Side::A => solver.game().a.render(mv.element),
                     Side::B => solver.game().b.render(mv.element),
                 };
-                println!("  round {}: Spoiler picks {}:{word}", i + 1, side_name(mv.side));
+                println!(
+                    "  round {}: Spoiler picks {}:{word}",
+                    i + 1,
+                    side_name(mv.side)
+                );
             }
         }
         None => {
@@ -58,8 +71,7 @@ fn main() {
     let (p, q) = (12usize, 14usize);
     let lookup_game = GamePair::of(&"a".repeat(q), &"a".repeat(p));
     let lookup = UnaryEndAlignedStrategy::new(q, p, 7);
-    let mut strat =
-        PrimitivePowerStrategy::new(Word::from("ab"), lookup_game, Box::new(lookup));
+    let mut strat = PrimitivePowerStrategy::new(Word::from("ab"), lookup_game, Box::new(lookup));
     let composed = strat.composed_game();
     println!("game: (ab)^{q} vs (ab)^{p}, rank 1");
     let picks = ["bababa", "abab", "babababababababababababa"];

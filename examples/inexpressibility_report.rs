@@ -26,7 +26,11 @@ fn main() {
     }
     println!("\n==== {pass} experiments ok, {fail} failed ====");
     if let Some(path) = args.get(2) {
-        let json = serde_json::to_string_pretty(&reports).expect("serialize");
+        let lines: Vec<String> = reports
+            .iter()
+            .map(|r| format!("  {}", r.to_json()))
+            .collect();
+        let json = format!("[\n{}\n]\n", lines.join(",\n"));
         std::fs::write(path, json).expect("write archive");
         println!("archive written to {path}");
     }

@@ -16,11 +16,20 @@ fn main() {
     let src = r#"E x, y: (x = y.y) & !(E z1, z2: ((z1 = z2.x) | (z1 = x.z2)) & !(z2 = eps))"#;
     let phi = parse_formula(src).expect("parse");
     println!("parsed: {phi}");
-    println!("qr = {}, pure FC = {}, sentence = {}\n", phi.qr(), phi.is_pure_fc(), phi.is_sentence());
+    println!(
+        "qr = {}, pure FC = {}, sentence = {}\n",
+        phi.qr(),
+        phi.is_pure_fc(),
+        phi.is_sentence()
+    );
 
     for w in ["abab", "aba", "aabb", ""] {
         let s = FactorStructure::of_word(if w.is_empty() { "a" } else { w });
-        let s = if w.is_empty() { FactorStructure::of_str("", s.alphabet()) } else { s };
+        let s = if w.is_empty() {
+            FactorStructure::of_str("", s.alphabet())
+        } else {
+            s
+        };
         println!("  {w:6} ⊨ φ_ww ? {}", holds(&phi, &s, &Assignment::new()));
     }
 

@@ -62,7 +62,10 @@ fn main() {
 
     // 5. And a positive equivalence: the minimal rank-2 unary pair.
     let mut solver = EfSolver::of(&"a".repeat(12), &"a".repeat(14));
-    println!("\na¹² ≡₂ a¹⁴ ? {} (the minimal rank-2 pair, experiment E03)", solver.equivalent(2));
+    println!(
+        "\na¹² ≡₂ a¹⁴ ? {} (the minimal rank-2 pair, experiment E03)",
+        solver.equivalent(2)
+    );
 
     // 6. FC can express surprising languages: the Fibonacci chain L_fib.
     let phi_fib = library::phi_fib();

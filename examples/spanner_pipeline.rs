@@ -34,7 +34,11 @@ fn main() {
 
     // 3. Join: all (x, y) pairs — regular spanners are closed under ⋈.
     let joined = Rc::new(Spanner::Join(occurrences.clone(), second.clone()));
-    println!("\nγ₁ ⋈ γ₂ has {} tuples (class: {:?})", joined.evaluate(doc).len(), joined.class());
+    println!(
+        "\nγ₁ ⋈ γ₂ has {} tuples (class: {:?})",
+        joined.evaluate(doc).len(),
+        joined.class()
+    );
 
     // 4. Equality selection: pairs of *distinct positions with equal text*.
     let both = Spanner::regex(RegexFormula::extractor(RegexFormula::cat([
@@ -64,12 +68,7 @@ fn main() {
         RegexFormula::capture("x", RegexFormula::any_star()),
         RegexFormula::capture("y", RegexFormula::any_star()),
     ]));
-    let len_eq = Spanner::rel_select(
-        &["x", "y"],
-        "len",
-        |c| c[0].len() == c[1].len(),
-        split,
-    );
+    let len_eq = Spanner::rel_select(&["x", "y"], "len", |c| c[0].len() == c[1].len(), split);
     println!(
         "\nζ^len over all 2-splits: class {:?} — provably NOT expressible as a \
          generalized core spanner",

@@ -60,10 +60,12 @@ fn main() {
     println!("\n=== the Lemma 3.6 collision ===");
     match pow2::pow2_collision(1, limit) {
         Some(class) => {
-            let pows: Vec<usize> = class.iter().copied().filter(|&n| n > 0 && n & (n - 1) == 0).collect();
-            println!(
-                "rank-1 class {class:?} contains powers of two {pows:?} *and* non-powers —"
-            );
+            let pows: Vec<usize> = class
+                .iter()
+                .copied()
+                .filter(|&n| n > 0 && n & (n - 1) == 0)
+                .collect();
+            println!("rank-1 class {class:?} contains powers of two {pows:?} *and* non-powers —");
             println!("any rank-1 sentence accepting all of L_pow accepts a non-member. ∎");
         }
         None => println!("no collision on this window"),

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Local CI: formatting, lints, and the tier-1 test suite.
+# Usage: scripts/check.sh          (from the repo root)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (workspace, all targets, -D warnings)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release --offline
+cargo test -q --offline
+
+echo "All checks passed."

@@ -3,11 +3,21 @@
 //! ```text
 //! fc check  '<formula>' <word>        model-check a sentence on a word
 //! fc solve  '<formula>' <word>        print all satisfying assignments
+//! fc lint   '<formula>' [flags]       diagnostics (see docs/ANALYSIS.md)
 //! fc game   <w> <v> <k>               decide w ≡_k v, show a winning line
 //! fc classes <k> <max_exponent>       unary ≡_k class table (Lemma 3.6)
 //! fc fooling <lang> <k> [limit]       fooling pair for anbn | L1..L6
 //! fc bounded '<regex>'                boundedness of a regular language
 //! ```
+//!
+//! `fc lint` flags: `--json` (machine-readable report), `--deny-warnings`
+//! (warnings fail the exit code), `--sentence` (require a sentence, FC006),
+//! `--pure` (forbid regular constraints, FC007), `--allow <CODE>`
+//! (suppress a rule), `--qr-budget <N>` (FC104 threshold), `--no-semantic`
+//! (skip the DFA-backed rules), `--rules` (print the rule registry).
+//! Exit codes: 0 clean, 1 findings (errors, or warnings under
+//! `--deny-warnings`), 2 usage error. `fc check` and `fc solve` run the
+//! same analysis first: lint errors abort, warnings go to stderr.
 //!
 //! Formula syntax: see `fc_logic::parser` — e.g.
 //! `fc check 'E x, y: x = y.y & !(E z1, z2: ((z1 = z2.x) | (z1 = x.z2)) & !(z2 = eps))' abab`
@@ -15,9 +25,10 @@
 use fc_suite::games::pow2;
 use fc_suite::games::solver::EfSolver;
 use fc_suite::games::Side;
+use fc_suite::logic::analysis::{self, AnalysisConfig, Analyzer, Severity};
 use fc_suite::logic::eval::{holds, satisfying_assignments, Assignment};
 use fc_suite::logic::parser::parse_formula;
-use fc_suite::logic::FactorStructure;
+use fc_suite::logic::{FactorStructure, Formula};
 use fc_suite::reglang::{bounded, Dfa, Regex};
 use fc_suite::relations::languages;
 use fc_suite::words::{Alphabet, Word};
@@ -28,12 +39,13 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("check") => cmd_check(&args[1..]),
         Some("solve") => cmd_solve(&args[1..]),
+        Some("lint") => return cmd_lint(&args[1..]),
         Some("game") => cmd_game(&args[1..]),
         Some("classes") => cmd_classes(&args[1..]),
         Some("fooling") => cmd_fooling(&args[1..]),
         Some("bounded") => cmd_bounded(&args[1..]),
         _ => {
-            eprintln!("usage: fc <check|solve|game|classes|fooling|bounded> …");
+            eprintln!("usage: fc <check|solve|lint|game|classes|fooling|bounded> …");
             eprintln!("see the module docs (src/bin/fc.rs) for details");
             return ExitCode::from(2);
         }
@@ -48,26 +60,57 @@ fn main() -> ExitCode {
 }
 
 fn need<'a>(args: &'a [String], i: usize, what: &str) -> Result<&'a str, String> {
-    args.get(i).map(String::as_str).ok_or_else(|| format!("missing argument: {what}"))
+    args.get(i)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing argument: {what}"))
+}
+
+/// Runs the analyzer before evaluation: lint errors (including parse
+/// errors, FC000) abort the command; warnings and notes go to stderr.
+fn lint_gate(src: &str, expect_sentence: bool) -> Result<Formula, String> {
+    let config = AnalysisConfig {
+        expect_sentence,
+        ..Default::default()
+    };
+    let diags = Analyzer::new(config).analyze_source(src);
+    let (errors, _, _) = analysis::counts(&diags);
+    if errors > 0 {
+        let rendered: Vec<String> = diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .map(|d| d.render_human(Some(src)))
+            .collect();
+        let hint = if diags.iter().any(|d| d.code == "FC006") {
+            "\nhint: use `fc solve` to enumerate assignments for open formulas"
+        } else {
+            ""
+        };
+        return Err(format!(
+            "formula rejected by lint:\n{}{hint}",
+            rendered.join("\n")
+        ));
+    }
+    for d in &diags {
+        eprintln!("{}", d.render_human(Some(src)));
+    }
+    parse_formula(src)
 }
 
 fn cmd_check(args: &[String]) -> Result<(), String> {
-    let phi = parse_formula(need(args, 0, "formula")?)?;
+    let phi = lint_gate(need(args, 0, "formula")?, true)?;
     let word = need(args, 1, "word")?;
-    if !phi.is_sentence() {
-        return Err(format!(
-            "formula has free variables {:?}; use `fc solve` instead",
-            phi.free_vars()
-        ));
-    }
     let s = FactorStructure::of_word(word);
     let verdict = holds(&phi, &s, &Assignment::new());
-    println!("{word} ⊨ φ ? {verdict}   (qr = {}, desugared qr = {})", phi.qr(), phi.qr_desugared());
+    println!(
+        "{word} ⊨ φ ? {verdict}   (qr = {}, desugared qr = {})",
+        phi.qr(),
+        phi.qr_desugared()
+    );
     Ok(())
 }
 
 fn cmd_solve(args: &[String]) -> Result<(), String> {
-    let phi = parse_formula(need(args, 0, "formula")?)?;
+    let phi = lint_gate(need(args, 0, "formula")?, false)?;
     let word = need(args, 1, "word")?;
     let s = FactorStructure::of_word(word);
     let sols = satisfying_assignments(&phi, &s);
@@ -85,13 +128,105 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_lint(args: &[String]) -> ExitCode {
+    let usage = |msg: &str| -> ExitCode {
+        eprintln!("{msg}");
+        eprintln!(
+            "usage: fc lint '<formula>' [--json] [--deny-warnings] [--sentence] [--pure] \
+             [--allow <CODE>] [--qr-budget <N>] [--no-semantic] [--rules]"
+        );
+        ExitCode::from(2)
+    };
+    let mut config = AnalysisConfig::default();
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut show_rules = false;
+    let mut formula: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--sentence" => config.expect_sentence = true,
+            "--pure" => config.expect_pure_fc = true,
+            "--no-semantic" => config.semantic = false,
+            "--rules" => show_rules = true,
+            "--allow" => match it.next() {
+                Some(code) => {
+                    if analysis::rule(code).is_none() {
+                        return usage(&format!("--allow: unknown rule code '{code}'"));
+                    }
+                    config.allow.insert(code.clone());
+                }
+                None => return usage("--allow needs a rule code (e.g. FC103)"),
+            },
+            "--qr-budget" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => config.qr_blowup_threshold = n,
+                None => return usage("--qr-budget needs a number"),
+            },
+            flag if flag.starts_with("--") => {
+                return usage(&format!("unknown flag '{flag}'"));
+            }
+            src => {
+                if formula.replace(src).is_some() {
+                    return usage("expected exactly one formula argument");
+                }
+            }
+        }
+    }
+    if show_rules {
+        println!("{:<6} {:<28} {:<8} summary", "code", "name", "severity");
+        for r in analysis::rules() {
+            println!(
+                "{:<6} {:<28} {:<8} {}",
+                r.code,
+                r.name,
+                r.default_severity.as_str(),
+                r.summary.split_whitespace().collect::<Vec<_>>().join(" ")
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+    let Some(src) = formula else {
+        return usage("missing formula argument");
+    };
+    let diags = Analyzer::new(config).analyze_source(src);
+    let (errors, warnings, notes) = analysis::counts(&diags);
+    if json {
+        let body: Vec<String> = diags.iter().map(analysis::Diagnostic::to_json).collect();
+        println!(
+            "{{\"formula\":\"{}\",\"diagnostics\":[{}],\"counts\":{{\"error\":{errors},\"warning\":{warnings},\"note\":{notes}}}}}",
+            analysis::json_escape(src),
+            body.join(",")
+        );
+    } else {
+        for d in &diags {
+            println!("{}", d.render_human(Some(src)));
+        }
+        println!(
+            "{} error(s), {} warning(s), {} note(s)",
+            errors, warnings, notes
+        );
+    }
+    if errors > 0 || (deny_warnings && warnings > 0) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn cmd_game(args: &[String]) -> Result<(), String> {
     let w = need(args, 0, "w")?;
     let v = need(args, 1, "v")?;
-    let k: u32 = need(args, 2, "k")?.parse().map_err(|_| "k must be a number".to_string())?;
+    let k: u32 = need(args, 2, "k")?
+        .parse()
+        .map_err(|_| "k must be a number".to_string())?;
     let mut solver = EfSolver::of(w, v);
     let verdict = solver.equivalent(k);
-    println!("{w} ≡_{k} {v} ? {verdict}   ({} states explored)", solver.states_explored());
+    println!(
+        "{w} ≡_{k} {v} ? {verdict}   ({} states explored)",
+        solver.states_explored()
+    );
     if !verdict {
         if let Some(line) = solver.spoiler_winning_line(k) {
             println!("Spoiler winning line:");
@@ -122,9 +257,12 @@ fn cmd_game(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_classes(args: &[String]) -> Result<(), String> {
-    let k: u32 = need(args, 0, "k")?.parse().map_err(|_| "k must be a number".to_string())?;
-    let limit: usize =
-        need(args, 1, "max exponent")?.parse().map_err(|_| "limit must be a number".to_string())?;
+    let k: u32 = need(args, 0, "k")?
+        .parse()
+        .map_err(|_| "k must be a number".to_string())?;
+    let limit: usize = need(args, 1, "max exponent")?
+        .parse()
+        .map_err(|_| "limit must be a number".to_string())?;
     let classes = pow2::unary_classes(k, limit);
     println!("≡_{k} classes of a^0 .. a^{limit}:");
     println!("{}", pow2::render_classes(&classes));
@@ -137,7 +275,9 @@ fn cmd_classes(args: &[String]) -> Result<(), String> {
 
 fn cmd_fooling(args: &[String]) -> Result<(), String> {
     let name = need(args, 0, "language (anbn|L1..L6)")?;
-    let k: u32 = need(args, 1, "k")?.parse().map_err(|_| "k must be a number".to_string())?;
+    let k: u32 = need(args, 1, "k")?
+        .parse()
+        .map_err(|_| "k must be a number".to_string())?;
     let limit: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(16);
     let catalogue = languages::catalogue();
     let lang = catalogue
@@ -174,7 +314,11 @@ fn cmd_bounded(args: &[String]) -> Result<(), String> {
         if rendered.len() <= 24 {
             println!("witness: {}", rendered.join("·"));
         } else {
-            println!("witness: {}· … ({} factors)", rendered[..8].join("·"), rendered.len());
+            println!(
+                "witness: {}· … ({} factors)",
+                rendered[..8].join("·"),
+                rendered.len()
+            );
         }
     } else {
         println!("L({pattern}) is UNBOUNDED");

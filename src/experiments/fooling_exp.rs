@@ -24,12 +24,18 @@ pub fn e08_anbn(effort: Effort) -> ExperimentReport {
                     ),
                 );
             }
-            None => rep.check(false, format!("k={k}: no fooling pair within exponent {limit}")),
+            None => rep.check(
+                false,
+                format!("k={k}: no fooling pair within exponent {limit}"),
+            ),
         }
     }
     // Claim C.2's intermediate step: prefix pairs.
     if let Some((p, q)) = inst.find_prefix_pair(1, 10) {
-        rep.check(true, format!("prefix pair: a^{p} ≡₁ a^{q} (Pseudo-Congruence feed)"));
+        rep.check(
+            true,
+            format!("prefix pair: a^{p} ≡₁ a^{q} (Pseudo-Congruence feed)"),
+        );
     } else {
         rep.check(false, "no prefix pair found");
     }
@@ -51,11 +57,16 @@ pub fn e09_a_ba(effort: Effort) -> ExperimentReport {
                 let verified = inst.verify(&pair, 2 * limit).is_ok();
                 rep.check(
                     verified,
-                    format!("k={k}: a^{}(ba)^{} ≡_{k} a^{}(ba)^{} (p={}, q={})",
-                        pair.p, pair.p, pair.q, pair.p, pair.p, pair.q),
+                    format!(
+                        "k={k}: a^{}(ba)^{} ≡_{k} a^{}(ba)^{} (p={}, q={})",
+                        pair.p, pair.p, pair.q, pair.p, pair.p, pair.q
+                    ),
                 );
             }
-            None => rep.check(false, format!("k={k}: no fooling pair within exponent {limit}")),
+            None => rep.check(
+                false,
+                format!("k={k}: no fooling pair within exponent {limit}"),
+            ),
         }
     }
     rep
@@ -134,7 +145,10 @@ pub fn e15_l1_to_l6(effort: Effort) -> ExperimentReport {
                 ),
                 None => rep.check(
                     false,
-                    format!("{}: no rank-{k} fooling pair within exponent {limit}", lang.name),
+                    format!(
+                        "{}: no rank-{k} fooling pair within exponent {limit}",
+                        lang.name
+                    ),
                 ),
             }
         }

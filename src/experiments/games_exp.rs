@@ -27,8 +27,13 @@ pub fn e01_even_odd(effort: Effort) -> ExperimentReport {
         let min_k = solver.distinguishing_rounds(2);
         rep.check(
             spoiler_wins_2,
-            format!("a^{} ≢₂ a^{} (minimal distinguishing k = {:?}, states explored = {})",
-                2 * i, 2 * i - 1, min_k, solver.states_explored()),
+            format!(
+                "a^{} ≢₂ a^{} (minimal distinguishing k = {:?}, states explored = {})",
+                2 * i,
+                2 * i - 1,
+                min_k,
+                solver.states_explored()
+            ),
         );
     }
     rep
@@ -45,24 +50,45 @@ pub fn e03_pow2(effort: Effort) -> ExperimentReport {
     for k in 0..=ranks {
         match pow2::minimal_unary_pair(k, limit) {
             Some((p, q)) => rep.row(format!("k={k}: minimal pair a^{p} ≡_{k} a^{q}")),
-            None => rep.row(format!("k={k}: no pair with exponents ≤ {limit} (search exhausted)")),
+            None => rep.row(format!(
+                "k={k}: no pair with exponents ≤ {limit} (search exhausted)"
+            )),
         }
     }
     rep.row("rank 3: minimal pair exceeds exhaustive search range (≥ 40); see DESIGN notes");
     for k in 0..=ranks {
         let classes = pow2::unary_classes(k, limit.min(16));
-        rep.row(format!("k={k}: {} classes of a^0..a^{}", classes.len(), limit.min(16)));
+        rep.row(format!(
+            "k={k}: {} classes of a^0..a^{}",
+            classes.len(),
+            limit.min(16)
+        ));
     }
     // The tail class is semilinear — fit it at rank 1.
     match pow2::fit_tail_class(1, 12) {
-        Some(s) => rep.check(true, format!("rank-1 tail class fits a semilinear set with {} parts", s.parts.len())),
-        None => rep.check(false, "rank-1 tail class is not eventually periodic on the window"),
+        Some(s) => rep.check(
+            true,
+            format!(
+                "rank-1 tail class fits a semilinear set with {} parts",
+                s.parts.len()
+            ),
+        ),
+        None => rep.check(
+            false,
+            "rank-1 tail class is not eventually periodic on the window",
+        ),
     }
     // Powers-of-two collide with a non-power inside one class (the engine
     // of Lemma 3.6's refutation).
     match pow2::pow2_collision(1, 12) {
-        Some(class) => rep.check(true, format!("rank-1 class mixing powers and non-powers of 2: {class:?}")),
-        None => rep.check(false, "no collision found — would contradict Lemma 3.6's argument"),
+        Some(class) => rep.check(
+            true,
+            format!("rank-1 class mixing powers and non-powers of 2: {class:?}"),
+        ),
+        None => rep.check(
+            false,
+            "no collision found — would contradict Lemma 3.6's argument",
+        ),
     }
     rep
 }
@@ -104,12 +130,31 @@ pub fn e07_pseudo_congruence(effort: Effort) -> ExperimentReport {
     let mut rep = ExperimentReport::new();
     // (w1, v1, w2, v2, k, r): composition instances.
     let instances: Vec<(String, String, String, String, u32, u32)> = match effort {
-        Effort::Quick => vec![
-            ("a".repeat(14), "a".repeat(12), "b".repeat(12), "b".repeat(12), 1, 0),
-        ],
+        Effort::Quick => vec![(
+            "a".repeat(14),
+            "a".repeat(12),
+            "b".repeat(12),
+            "b".repeat(12),
+            1,
+            0,
+        )],
         Effort::Full => vec![
-            ("a".repeat(14), "a".repeat(12), "b".repeat(12), "b".repeat(12), 1, 0),
-            ("a".repeat(14), "a".repeat(12), "ba".repeat(12), "ba".repeat(12), 1, 1),
+            (
+                "a".repeat(14),
+                "a".repeat(12),
+                "b".repeat(12),
+                "b".repeat(12),
+                1,
+                0,
+            ),
+            (
+                "a".repeat(14),
+                "a".repeat(12),
+                "ba".repeat(12),
+                "ba".repeat(12),
+                1,
+                1,
+            ),
             ("ab".into(), "ab".into(), "ba".into(), "ba".into(), 2, 2),
         ],
     };
@@ -141,11 +186,7 @@ pub fn e07_pseudo_congruence(effort: Effort) -> ExperimentReport {
         let pre = strat.check_preconditions();
         let composed = strat.composed_game();
         let validated = validate_strategy(&composed, &strat, k).is_none();
-        let confirmed = equivalent(
-            composed.a.word().as_str(),
-            composed.b.word().as_str(),
-            k,
-        );
+        let confirmed = equivalent(composed.a.word().as_str(), composed.b.word().as_str(), k);
         rep.check(
             pre.is_some() && validated && confirmed,
             format!(
@@ -169,18 +210,10 @@ pub fn e11_primitive_power(effort: Effort) -> ExperimentReport {
     for root in roots {
         let lookup_game = GamePair::of(&"a".repeat(q), &"a".repeat(p));
         let lookup = UnaryEndAlignedStrategy::new(q, p, 7);
-        let strat = PrimitivePowerStrategy::new(
-            Word::from(root),
-            lookup_game,
-            Box::new(lookup),
-        );
+        let strat = PrimitivePowerStrategy::new(Word::from(root), lookup_game, Box::new(lookup));
         let composed = strat.composed_game();
         let validated = validate_strategy(&composed, &strat, k).is_none();
-        let confirmed = equivalent(
-            composed.a.word().as_str(),
-            composed.b.word().as_str(),
-            k,
-        );
+        let confirmed = equivalent(composed.a.word().as_str(), composed.b.word().as_str(), k);
         rep.check(
             validated && confirmed,
             format!("({root})^{q} ≡_{k} ({root})^{p} via unary look-up (validated = {validated}, solver = {confirmed})"),
@@ -222,7 +255,10 @@ pub fn e12_all_words(effort: Effort) -> ExperimentReport {
                 true,
                 format!("w = {w}: w^{e} = root^{p} ≡_{k} root^{q} (root = {root}, q ≠ p)"),
             ),
-            None => rep.check(false, format!("w = {w}: no pumped equivalent found (search bound too small?)")),
+            None => rep.check(
+                false,
+                format!("w = {w}: no pumped equivalent found (search bound too small?)"),
+            ),
         }
     }
     rep
@@ -240,13 +276,15 @@ pub fn figures(_effort: Effort) -> ExperimentReport {
     // Figure 2: the primitive-power response, from a live game.
     let lookup_game = GamePair::of(&"a".repeat(14), &"a".repeat(12));
     let lookup = UnaryEndAlignedStrategy::new(14, 12, 7);
-    let mut strat =
-        PrimitivePowerStrategy::new(Word::from("ab"), lookup_game, Box::new(lookup));
+    let mut strat = PrimitivePowerStrategy::new(Word::from("ab"), lookup_game, Box::new(lookup));
     let composed = strat.composed_game();
     let u = composed.a.id_of(b"babababababababababababa").expect("u");
     let (transcript, ok) = play_line(&composed, &mut strat, &[(Side::A, u)]);
     let d = transcript[0].duplicator;
-    rep.check(ok, "Fig 2 live trace (Spoiler u₁·wⁿ·u₂ → Duplicator u₁·wᵐ·u₂):");
+    rep.check(
+        ok,
+        "Fig 2 live trace (Spoiler u₁·wⁿ·u₂ → Duplicator u₁·wᵐ·u₂):",
+    );
     rep.row(format!(
         "        Spoiler  A: {}  (= b·(ab)¹¹·a, exp = 11)",
         composed.a.render(u)
@@ -282,11 +320,7 @@ pub fn e19_existential(effort: Effort) -> ExperimentReport {
             for k in 0..=2u32 {
                 if equivalent(w.as_str(), v.as_str(), k) {
                     checked += 1;
-                    let mut s = ExistentialSolver::new(GamePair::new(
-                        w.clone(),
-                        v.clone(),
-                        &sigma,
-                    ));
+                    let mut s = ExistentialSolver::new(GamePair::new(w.clone(), v.clone(), &sigma));
                     if !s.simulates(k) {
                         violations += 1;
                     }
@@ -428,7 +462,11 @@ pub fn e24_class_tables(effort: Effort) -> ExperimentReport {
     let full_resolution = counts[2] == words.len();
     rep.row(format!(
         "rank 2 {} the window of length-≤{max_len} words",
-        if full_resolution { "fully resolves" } else { "does not yet resolve" }
+        if full_resolution {
+            "fully resolves"
+        } else {
+            "does not yet resolve"
+        }
     ));
     // Equivalence-relation laws hold (Theorem 3.5 corollary).
     let unary_words: Vec<Word> = fc_words::Alphabet::unary().words_up_to(6).collect();

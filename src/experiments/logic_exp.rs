@@ -74,11 +74,7 @@ pub fn e02_ef_theorem(effort: Effort) -> ExperimentReport {
     let mut violations = 0usize;
     for (i, w) in words.iter().enumerate() {
         for u in words.iter().skip(i + 1) {
-            let mut solver = EfSolver::new(GamePair::new(
-                w.clone(),
-                u.clone(),
-                &sigma,
-            ));
+            let mut solver = EfSolver::new(GamePair::new(w.clone(), u.clone(), &sigma));
             for k in 0..=2u32 {
                 let equiv = solver.equivalent(k);
                 if !equiv {
@@ -107,7 +103,9 @@ pub fn e02_ef_theorem(effort: Effort) -> ExperimentReport {
     }
     rep.check(
         violations == 0,
-        format!("EF theorem respected on {checked} (pair, sentence) combinations over Σ^≤{max_len}"),
+        format!(
+            "EF theorem respected on {checked} (pair, sentence) combinations over Σ^≤{max_len}"
+        ),
     );
     rep
 }
@@ -128,8 +126,14 @@ pub fn e04_not_congruence(effort: Effort) -> ExperimentReport {
             if p == q {
                 continue;
             }
-            let wp = Word::from("a").pow(p).concat(&Word::from("b")).concat(&Word::from("a").pow(p));
-            let wq = Word::from("a").pow(q).concat(&Word::from("b")).concat(&Word::from("a").pow(p));
+            let wp = Word::from("a")
+                .pow(p)
+                .concat(&Word::from("b"))
+                .concat(&Word::from("a").pow(p));
+            let wq = Word::from("a")
+                .pow(q)
+                .concat(&Word::from("b"))
+                .concat(&Word::from("a").pow(p));
             let sp = FactorStructure::new(wp.clone(), &sigma);
             let sq = FactorStructure::new(wq.clone(), &sigma);
             let ok = holds(&phi, &sp, &Assignment::new()) && !holds(&phi, &sq, &Assignment::new());
@@ -138,7 +142,10 @@ pub fn e04_not_congruence(effort: Effort) -> ExperimentReport {
             }
         }
     }
-    rep.check(true, format!("φ separates aᵖbaᵖ from a^q·b·aᵖ for all p ≠ q ≤ {max_p}"));
+    rep.check(
+        true,
+        format!("φ separates aᵖbaᵖ from a^q·b·aᵖ for all p ≠ q ≤ {max_p}"),
+    );
     // The congruence failure, stated with the solver: a^12 ≡_1 a^14 and
     // b·a^12 ≡_1 b·a^12, yet a^12·b·a^12 ≢ a^14·b·a^12 at rank 5 (already
     // at lower ranks here).
@@ -147,8 +154,13 @@ pub fn e04_not_congruence(effort: Effort) -> ExperimentReport {
         &format!("{}b{}", "a".repeat(14), "a".repeat(12)),
     );
     match s.distinguishing_rounds(2) {
-        Some(k) => rep.check(true, format!("solver distinguishes the concatenations at rank {k}")),
-        None => rep.row("solver cannot distinguish within 2 rounds (formula needs rank 5)".to_string()),
+        Some(k) => rep.check(
+            true,
+            format!("solver distinguishes the concatenations at rank {k}"),
+        ),
+        None => {
+            rep.row("solver cannot distinguish within 2 rounds (formula needs rank 5)".to_string())
+        }
     }
     rep
 }
@@ -170,7 +182,11 @@ pub fn e05_fib(effort: Effort) -> ExperimentReport {
         let ok = holds(&phi, &st, &Assignment::new());
         rep.check(
             ok,
-            format!("accepts c·F₀·c⋯F_{n}·c (len {}) in {:?}", member.len(), t.elapsed()),
+            format!(
+                "accepts c·F₀·c⋯F_{n}·c (len {}) in {:?}",
+                member.len(),
+                t.elapsed()
+            ),
         );
     }
     // Mutants.
@@ -193,7 +209,10 @@ pub fn e05_fib(effort: Effort) -> ExperimentReport {
             rejected += 1;
         }
     }
-    rep.check(rejected == total, format!("rejects {rejected}/{total} single-symbol mutants of the n = 3 member"));
+    rep.check(
+        rejected == total,
+        format!("rejects {rejected}/{total} single-symbol mutants of the n = 3 member"),
+    );
     // Window equality.
     let window_len = match effort {
         Effort::Quick => 5,
@@ -202,7 +221,10 @@ pub fn e05_fib(effort: Effort) -> ExperimentReport {
     let bad = fc_logic::language::first_language_disagreement(&phi, &sigma, window_len, |w| {
         fibonacci::is_l_fib(w.bytes())
     });
-    rep.check(bad.is_none(), format!("L(φ_fib) = L_fib on Σ^≤{window_len} (counterexample: {bad:?})"));
+    rep.check(
+        bad.is_none(),
+        format!("L(φ_fib) = L_fib on Σ^≤{window_len} (counterexample: {bad:?})"),
+    );
     // Ablation: guarded vs naive on a small member.
     let member = fibonacci::l_fib_member(2);
     let st = FactorStructure::new(member.clone(), &sigma);
@@ -231,8 +253,14 @@ pub fn e16_bounded_transfer(effort: Effort) -> ExperimentReport {
     let cases: Vec<(&str, BoundedExpr)> = vec![
         ("(ab)*", BoundedExpr::star("ab")),
         ("(aa)*", BoundedExpr::star("aa")),
-        ("a*b*", BoundedExpr::Concat(vec![BoundedExpr::star("a"), BoundedExpr::star("b")])),
-        ("a*(ba)*", BoundedExpr::Concat(vec![BoundedExpr::star("a"), BoundedExpr::star("ba")])),
+        (
+            "a*b*",
+            BoundedExpr::Concat(vec![BoundedExpr::star("a"), BoundedExpr::star("b")]),
+        ),
+        (
+            "a*(ba)*",
+            BoundedExpr::Concat(vec![BoundedExpr::star("a"), BoundedExpr::star("ba")]),
+        ),
         (
             "ab ∪ (aa)*b",
             BoundedExpr::Union(vec![
@@ -247,7 +275,10 @@ pub fn e16_bounded_transfer(effort: Effort) -> ExperimentReport {
         let bad = fc_logic::language::first_language_disagreement(&phi, &sigma, window, |w| {
             dfa.accepts(w.bytes())
         });
-        rep.check(bad.is_none(), format!("{name}: FC translation exact on Σ^≤{window} ({bad:?})"));
+        rep.check(
+            bad.is_none(),
+            format!("{name}: FC translation exact on Σ^≤{window} ({bad:?})"),
+        );
     }
     // The Claim C.1 defect: the paper-literal φ_{(aa)*} accepts aaa.
     let lit = library::on_whole_word(|x| library::phi_star_word_paper_literal(x, b"aa"));
@@ -374,7 +405,10 @@ pub fn e23_simple_regex(effort: Effort) -> ExperimentReport {
         let bad = fc_logic::language::first_language_disagreement(&phi, &sigma, window, |w| {
             p.contains_word(w.bytes())
         });
-        rep.check(bad.is_none(), format!("{name}: FC translation exact on Σ^≤{window} ({bad:?})"));
+        rep.check(
+            bad.is_none(),
+            format!("{name}: FC translation exact on Σ^≤{window} ({bad:?})"),
+        );
     }
     // Incomparability with the bounded class (why §7 lists it separately).
     let contains = SimpleRegex::contains("ab");

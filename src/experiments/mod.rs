@@ -22,39 +22,131 @@ pub mod words_exp;
 use crate::report::{Effort, ExperimentReport};
 
 /// A registered experiment: (id, title, runner).
-pub type Entry = (
-    &'static str,
-    &'static str,
-    fn(Effort) -> ExperimentReport,
-);
+pub type Entry = (&'static str, &'static str, fn(Effort) -> ExperimentReport);
 
 /// All experiments, in id order.
 pub fn registry() -> Vec<Entry> {
     vec![
-        ("E01", "Example 3.3: Spoiler wins 2 rounds on a^{2i} vs a^{2i-1}", games_exp::e01_even_odd),
-        ("E02", "Theorem 3.5: EF games ⟺ rank-k sentences (cross-check)", logic_exp::e02_ef_theorem),
-        ("E03", "Lemma 3.6: unary ≡_k witnesses and class tables", games_exp::e03_pow2),
-        ("E04", "Prop 3.7: ≡_k is not a congruence (qr-5 formula)", logic_exp::e04_not_congruence),
-        ("E05", "Prop 4.1: L_fib is FC-expressible", logic_exp::e05_fib),
-        ("E06", "Lemmas 4.2/4.3: forced responses and prefix/suffix preservation", games_exp::e06_structural_lemmas),
-        ("E07", "Lemma 4.4: Pseudo-Congruence strategy composition", games_exp::e07_pseudo_congruence),
-        ("E08", "Example 4.5: aⁿbⁿ ∉ L(FC) via fooling pairs", fooling_exp::e08_anbn),
+        (
+            "E01",
+            "Example 3.3: Spoiler wins 2 rounds on a^{2i} vs a^{2i-1}",
+            games_exp::e01_even_odd,
+        ),
+        (
+            "E02",
+            "Theorem 3.5: EF games ⟺ rank-k sentences (cross-check)",
+            logic_exp::e02_ef_theorem,
+        ),
+        (
+            "E03",
+            "Lemma 3.6: unary ≡_k witnesses and class tables",
+            games_exp::e03_pow2,
+        ),
+        (
+            "E04",
+            "Prop 3.7: ≡_k is not a congruence (qr-5 formula)",
+            logic_exp::e04_not_congruence,
+        ),
+        (
+            "E05",
+            "Prop 4.1: L_fib is FC-expressible",
+            logic_exp::e05_fib,
+        ),
+        (
+            "E06",
+            "Lemmas 4.2/4.3: forced responses and prefix/suffix preservation",
+            games_exp::e06_structural_lemmas,
+        ),
+        (
+            "E07",
+            "Lemma 4.4: Pseudo-Congruence strategy composition",
+            games_exp::e07_pseudo_congruence,
+        ),
+        (
+            "E08",
+            "Example 4.5: aⁿbⁿ ∉ L(FC) via fooling pairs",
+            fooling_exp::e08_anbn,
+        ),
         ("E09", "Prop 4.6: aⁿ(ba)ⁿ ∉ L(FC)", fooling_exp::e09_a_ba),
-        ("E10", "Lemmas 4.7/4.8/D.1–D.4: primitive-word toolbox", words_exp::e10_primitive_toolbox),
-        ("E11", "Lemma 4.9: Primitive Power strategy", games_exp::e11_primitive_power),
-        ("E12", "Prop 4.10: every word is ≡_k-pumpable", games_exp::e12_all_words),
-        ("E13", "Lemmas 4.11/4.12: periodicity and co-primitivity", words_exp::e13_coprimitivity),
-        ("E14", "Lemma 4.13/Prop 4.14: the Fooling Lemma driver", fooling_exp::e14_fooling_driver),
-        ("E15", "Lemma 4.15: L1…L6 are not FC languages", fooling_exp::e15_l1_to_l6),
-        ("E16", "Lemma 5.3: bounded regular constraints eliminate into FC", logic_exp::e16_bounded_transfer),
-        ("E17", "Theorem 5.5: eight relations are not selectable", spanner_exp::e17_reductions),
-        ("E18", "§6 closure: |w|_a = |w|_b via intersection with a*b*", spanner_exp::e18_closure),
-        ("E19", "§7 extension: existential games and the EP fragment", games_exp::e19_existential),
-        ("E20", "§7 extension: pebble games for finite-variable FC", games_exp::e20_pebble),
-        ("E21", "§1 comparison: FO[EQ] positional logic and its games", logic_exp::e21_foeq),
-        ("E23", "FP19 Lemma 5.5: simple regular expressions eliminate into FC", logic_exp::e23_simple_regex),
-        ("E22", "Theorem 3.5, constructively: distinguishing-formula certificates", games_exp::e22_certificates),
-        ("E24", "Hintikka class tables: rank-k resolution over word windows", games_exp::e24_class_tables),
-        ("F1-3", "Figures 1–3: strategy diagrams from live transcripts", games_exp::figures),
+        (
+            "E10",
+            "Lemmas 4.7/4.8/D.1–D.4: primitive-word toolbox",
+            words_exp::e10_primitive_toolbox,
+        ),
+        (
+            "E11",
+            "Lemma 4.9: Primitive Power strategy",
+            games_exp::e11_primitive_power,
+        ),
+        (
+            "E12",
+            "Prop 4.10: every word is ≡_k-pumpable",
+            games_exp::e12_all_words,
+        ),
+        (
+            "E13",
+            "Lemmas 4.11/4.12: periodicity and co-primitivity",
+            words_exp::e13_coprimitivity,
+        ),
+        (
+            "E14",
+            "Lemma 4.13/Prop 4.14: the Fooling Lemma driver",
+            fooling_exp::e14_fooling_driver,
+        ),
+        (
+            "E15",
+            "Lemma 4.15: L1…L6 are not FC languages",
+            fooling_exp::e15_l1_to_l6,
+        ),
+        (
+            "E16",
+            "Lemma 5.3: bounded regular constraints eliminate into FC",
+            logic_exp::e16_bounded_transfer,
+        ),
+        (
+            "E17",
+            "Theorem 5.5: eight relations are not selectable",
+            spanner_exp::e17_reductions,
+        ),
+        (
+            "E18",
+            "§6 closure: |w|_a = |w|_b via intersection with a*b*",
+            spanner_exp::e18_closure,
+        ),
+        (
+            "E19",
+            "§7 extension: existential games and the EP fragment",
+            games_exp::e19_existential,
+        ),
+        (
+            "E20",
+            "§7 extension: pebble games for finite-variable FC",
+            games_exp::e20_pebble,
+        ),
+        (
+            "E21",
+            "§1 comparison: FO[EQ] positional logic and its games",
+            logic_exp::e21_foeq,
+        ),
+        (
+            "E23",
+            "FP19 Lemma 5.5: simple regular expressions eliminate into FC",
+            logic_exp::e23_simple_regex,
+        ),
+        (
+            "E22",
+            "Theorem 3.5, constructively: distinguishing-formula certificates",
+            games_exp::e22_certificates,
+        ),
+        (
+            "E24",
+            "Hintikka class tables: rank-k resolution over word windows",
+            games_exp::e24_class_tables,
+        ),
+        (
+            "F1-3",
+            "Figures 1–3: strategy diagrams from live transcripts",
+            games_exp::figures,
+        ),
     ]
 }

@@ -1,7 +1,9 @@
 //! Word-combinatorics experiments: E10, E13.
 
 use crate::report::{Effort, ExperimentReport};
-use fc_words::conjugacy::{are_conjugate, are_coprimitive, check_stabilisation, common_factor_bound};
+use fc_words::conjugacy::{
+    are_conjugate, are_coprimitive, check_stabilisation, common_factor_bound,
+};
 use fc_words::exponent::{check_expo_increase, exp, power_factorisation};
 use fc_words::periodicity::{check_periodicity_lemma, longest_common_omega_factor};
 use fc_words::primitivity::{check_interior_occurrence_lemma, is_primitive};
@@ -113,7 +115,10 @@ pub fn e13_coprimitivity(effort: Effort) -> ExperimentReport {
         .words_up_to(max_len)
         .filter(|w| is_primitive(w.bytes()))
         .collect();
-    rep.row(format!("{} primitive words of length ≤ {max_len}", prims.len()));
+    rep.row(format!(
+        "{} primitive words of length ≤ {max_len}",
+        prims.len()
+    ));
 
     let mut pairs = 0;
     let mut lemma_4_11_failures = 0;
@@ -142,7 +147,12 @@ pub fn e13_coprimitivity(effort: Effort) -> ExperimentReport {
     );
 
     // Lemma 4.12 (2): stabilisation, spot-checked on the paper's pairs.
-    for (w, v) in [("aba", "bba"), ("abaabb", "bbaaba"), ("a", "b"), ("ab", "ba")] {
+    for (w, v) in [
+        ("aba", "bba"),
+        ("abaabb", "bbaaba"),
+        ("a", "b"),
+        ("ab", "ba"),
+    ] {
         rep.check(
             check_stabilisation(w.as_bytes(), v.as_bytes(), 2),
             format!("stabilisation behaviour correct for ({w}, {v})"),

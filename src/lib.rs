@@ -14,6 +14,7 @@ pub use fc_spanners as spanners;
 pub use fc_words as words;
 
 pub mod experiments;
+pub mod json;
 pub mod report;
 
 pub use report::{Effort, ExperimentReport, Status};
@@ -40,7 +41,11 @@ mod tests {
     #[test]
     fn registry_is_populated() {
         let reg = experiments::registry();
-        assert!(reg.len() >= 18, "expected ≥ 18 experiments, got {}", reg.len());
+        assert!(
+            reg.len() >= 18,
+            "expected ≥ 18 experiments, got {}",
+            reg.len()
+        );
         // ids unique
         let mut ids: Vec<&str> = reg.iter().map(|(id, _, _)| *id).collect();
         ids.sort();

@@ -1,10 +1,10 @@
 //! Experiment report types — the structured output the harness serializes
 //! so EXPERIMENTS.md rows are regenerable and diffable.
 
-use serde::{Deserialize, Serialize};
+use crate::json::{self, Value};
 
 /// How much compute an experiment run may spend.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Effort {
     /// CI-sized: seconds per experiment.
     Quick,
@@ -13,7 +13,7 @@ pub enum Effort {
 }
 
 /// Outcome of an experiment.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Status {
     /// Every check of the experiment held.
     Pass,
@@ -25,7 +25,7 @@ pub enum Status {
 }
 
 /// One experiment's structured result.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ExperimentReport {
     /// Experiment id (E01…E18, F1…).
     pub id: String,
@@ -71,6 +71,60 @@ impl ExperimentReport {
             self.status = Status::Partial;
         }
         self.rows.push(format!("(partial: {})", why.into()));
+    }
+
+    /// Serializes to a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        Value::object([
+            ("id", Value::String(self.id.clone())),
+            ("title", Value::String(self.title.clone())),
+            ("status", Value::String(format!("{:?}", self.status))),
+            (
+                "rows",
+                Value::Array(self.rows.iter().map(|r| Value::String(r.clone())).collect()),
+            ),
+            ("elapsed_ms", Value::Number(self.elapsed_ms as f64)),
+        ])
+        .to_string()
+    }
+
+    /// Parses a report serialized by [`ExperimentReport::to_json`].
+    ///
+    /// # Errors
+    /// Reports malformed JSON or missing/ill-typed fields.
+    pub fn from_json(text: &str) -> Result<ExperimentReport, String> {
+        let v = json::parse(text)?;
+        let field = |name: &str| v.get(name).ok_or_else(|| format!("missing field {name}"));
+        let status = match field("status")?.as_str() {
+            Some("Pass") => Status::Pass,
+            Some("Fail") => Status::Fail,
+            Some("Partial") => Status::Partial,
+            other => return Err(format!("bad status {other:?}")),
+        };
+        Ok(ExperimentReport {
+            id: field("id")?
+                .as_str()
+                .ok_or("id must be a string")?
+                .to_string(),
+            title: field("title")?
+                .as_str()
+                .ok_or("title must be a string")?
+                .to_string(),
+            status,
+            rows: field("rows")?
+                .as_array()
+                .ok_or("rows must be an array")?
+                .iter()
+                .map(|r| {
+                    r.as_str()
+                        .map(str::to_string)
+                        .ok_or("rows must hold strings")
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            elapsed_ms: field("elapsed_ms")?
+                .as_f64()
+                .ok_or("elapsed_ms must be a number")? as u64,
+        })
     }
 
     /// Renders as plain text.
@@ -121,9 +175,10 @@ mod tests {
         let mut r = ExperimentReport::new();
         r.id = "E01".into();
         r.check(true, "ok");
-        let json = serde_json::to_string(&r).unwrap();
-        let back: ExperimentReport = serde_json::from_str(&json).unwrap();
+        let json = r.to_json();
+        let back = ExperimentReport::from_json(&json).unwrap();
         assert_eq!(back.id, "E01");
         assert_eq!(back.rows.len(), 1);
+        assert_eq!(back.status, Status::Pass);
     }
 }

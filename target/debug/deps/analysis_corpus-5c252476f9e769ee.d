@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analysis_corpus-5c252476f9e769ee.d: crates/fc/tests/analysis_corpus.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis_corpus-5c252476f9e769ee.rmeta: crates/fc/tests/analysis_corpus.rs Cargo.toml
+
+crates/fc/tests/analysis_corpus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_corpus-e451fbd766ecab0f.d: crates/fc/tests/analysis_corpus.rs
+
+/root/repo/target/debug/deps/analysis_corpus-e451fbd766ecab0f: crates/fc/tests/analysis_corpus.rs
+
+crates/fc/tests/analysis_corpus.rs:

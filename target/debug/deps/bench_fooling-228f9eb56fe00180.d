@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_fooling-228f9eb56fe00180.d: crates/bench/benches/bench_fooling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_fooling-228f9eb56fe00180.rmeta: crates/bench/benches/bench_fooling.rs Cargo.toml
+
+crates/bench/benches/bench_fooling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_modelcheck-e757db51337786c3.d: crates/bench/benches/bench_modelcheck.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_modelcheck-e757db51337786c3.rmeta: crates/bench/benches/bench_modelcheck.rs Cargo.toml
+
+crates/bench/benches/bench_modelcheck.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

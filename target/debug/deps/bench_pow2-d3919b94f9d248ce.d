@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_pow2-d3919b94f9d248ce.d: crates/bench/benches/bench_pow2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_pow2-d3919b94f9d248ce.rmeta: crates/bench/benches/bench_pow2.rs Cargo.toml
+
+crates/bench/benches/bench_pow2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

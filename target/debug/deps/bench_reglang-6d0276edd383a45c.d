@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_reglang-6d0276edd383a45c.d: crates/bench/benches/bench_reglang.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_reglang-6d0276edd383a45c.rmeta: crates/bench/benches/bench_reglang.rs Cargo.toml
+
+crates/bench/benches/bench_reglang.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_solver-596fc030a5f538a9.d: crates/bench/benches/bench_solver.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_solver-596fc030a5f538a9.rmeta: crates/bench/benches/bench_solver.rs Cargo.toml
+
+crates/bench/benches/bench_solver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_spanners-532841a9dfe6abc5.d: crates/bench/benches/bench_spanners.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_spanners-532841a9dfe6abc5.rmeta: crates/bench/benches/bench_spanners.rs Cargo.toml
+
+crates/bench/benches/bench_spanners.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_strategy-2f67440df5de9945.d: crates/bench/benches/bench_strategy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_strategy-2f67440df5de9945.rmeta: crates/bench/benches/bench_strategy.rs Cargo.toml
+
+crates/bench/benches/bench_strategy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_words-1f4882832b678aac.d: crates/bench/benches/bench_words.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_words-1f4882832b678aac.rmeta: crates/bench/benches/bench_words.rs Cargo.toml
+
+crates/bench/benches/bench_words.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

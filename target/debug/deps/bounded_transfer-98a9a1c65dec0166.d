@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bounded_transfer-98a9a1c65dec0166.d: tests/bounded_transfer.rs
+
+/root/repo/target/debug/deps/bounded_transfer-98a9a1c65dec0166: tests/bounded_transfer.rs
+
+tests/bounded_transfer.rs:

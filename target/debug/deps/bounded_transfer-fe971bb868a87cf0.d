@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bounded_transfer-fe971bb868a87cf0.d: tests/bounded_transfer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbounded_transfer-fe971bb868a87cf0.rmeta: tests/bounded_transfer.rs Cargo.toml
+
+tests/bounded_transfer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

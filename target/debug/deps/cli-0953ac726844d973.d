@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-0953ac726844d973.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-0953ac726844d973: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_fc=/root/repo/target/debug/fc

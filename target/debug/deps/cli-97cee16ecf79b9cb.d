@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-97cee16ecf79b9cb.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-97cee16ecf79b9cb.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_fc=placeholder:fc
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ef_theorem-3c9c535693b7365d.d: tests/ef_theorem.rs Cargo.toml
+
+/root/repo/target/debug/deps/libef_theorem-3c9c535693b7365d.rmeta: tests/ef_theorem.rs Cargo.toml
+
+tests/ef_theorem.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

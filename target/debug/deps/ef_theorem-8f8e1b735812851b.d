@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ef_theorem-8f8e1b735812851b.d: tests/ef_theorem.rs
+
+/root/repo/target/debug/deps/ef_theorem-8f8e1b735812851b: tests/ef_theorem.rs
+
+tests/ef_theorem.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/experiment_registry-643c15b50a068f8e.d: tests/experiment_registry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiment_registry-643c15b50a068f8e.rmeta: tests/experiment_registry.rs Cargo.toml
+
+tests/experiment_registry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

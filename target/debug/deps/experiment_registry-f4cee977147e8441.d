@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiment_registry-f4cee977147e8441.d: tests/experiment_registry.rs
+
+/root/repo/target/debug/deps/experiment_registry-f4cee977147e8441: tests/experiment_registry.rs
+
+tests/experiment_registry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fc-171f20e2d44f0494.d: src/bin/fc.rs
+
+/root/repo/target/debug/deps/fc-171f20e2d44f0494: src/bin/fc.rs
+
+src/bin/fc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fc-6e463b4d0b30f2a2.d: src/bin/fc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfc-6e463b4d0b30f2a2.rmeta: src/bin/fc.rs Cargo.toml
+
+src/bin/fc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fc-ff34fff1c0bc483c.d: src/bin/fc.rs
+
+/root/repo/target/debug/deps/fc-ff34fff1c0bc483c: src/bin/fc.rs
+
+src/bin/fc.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fc_bench-192cd0c2cd55c8e0.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfc_bench-192cd0c2cd55c8e0.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfc_bench-192cd0c2cd55c8e0.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

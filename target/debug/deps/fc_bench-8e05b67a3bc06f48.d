@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fc_bench-8e05b67a3bc06f48.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/fc_bench-8e05b67a3bc06f48: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/fc_games-70902c05f56152f4.d: crates/core/src/lib.rs crates/core/src/arena.rs crates/core/src/certificate.rs crates/core/src/existential.rs crates/core/src/fooling.rs crates/core/src/hintikka.rs crates/core/src/lemmas.rs crates/core/src/partial_iso.rs crates/core/src/pebble.rs crates/core/src/pow2.rs crates/core/src/solver.rs crates/core/src/strategies/mod.rs crates/core/src/strategies/chain.rs crates/core/src/strategies/identity.rs crates/core/src/strategies/primitive_power.rs crates/core/src/strategies/pseudo_congruence.rs crates/core/src/strategies/table.rs crates/core/src/strategies/unary.rs crates/core/src/strategy.rs crates/core/src/trace.rs
+
+/root/repo/target/debug/deps/libfc_games-70902c05f56152f4.rlib: crates/core/src/lib.rs crates/core/src/arena.rs crates/core/src/certificate.rs crates/core/src/existential.rs crates/core/src/fooling.rs crates/core/src/hintikka.rs crates/core/src/lemmas.rs crates/core/src/partial_iso.rs crates/core/src/pebble.rs crates/core/src/pow2.rs crates/core/src/solver.rs crates/core/src/strategies/mod.rs crates/core/src/strategies/chain.rs crates/core/src/strategies/identity.rs crates/core/src/strategies/primitive_power.rs crates/core/src/strategies/pseudo_congruence.rs crates/core/src/strategies/table.rs crates/core/src/strategies/unary.rs crates/core/src/strategy.rs crates/core/src/trace.rs
+
+/root/repo/target/debug/deps/libfc_games-70902c05f56152f4.rmeta: crates/core/src/lib.rs crates/core/src/arena.rs crates/core/src/certificate.rs crates/core/src/existential.rs crates/core/src/fooling.rs crates/core/src/hintikka.rs crates/core/src/lemmas.rs crates/core/src/partial_iso.rs crates/core/src/pebble.rs crates/core/src/pow2.rs crates/core/src/solver.rs crates/core/src/strategies/mod.rs crates/core/src/strategies/chain.rs crates/core/src/strategies/identity.rs crates/core/src/strategies/primitive_power.rs crates/core/src/strategies/pseudo_congruence.rs crates/core/src/strategies/table.rs crates/core/src/strategies/unary.rs crates/core/src/strategy.rs crates/core/src/trace.rs
+
+crates/core/src/lib.rs:
+crates/core/src/arena.rs:
+crates/core/src/certificate.rs:
+crates/core/src/existential.rs:
+crates/core/src/fooling.rs:
+crates/core/src/hintikka.rs:
+crates/core/src/lemmas.rs:
+crates/core/src/partial_iso.rs:
+crates/core/src/pebble.rs:
+crates/core/src/pow2.rs:
+crates/core/src/solver.rs:
+crates/core/src/strategies/mod.rs:
+crates/core/src/strategies/chain.rs:
+crates/core/src/strategies/identity.rs:
+crates/core/src/strategies/primitive_power.rs:
+crates/core/src/strategies/pseudo_congruence.rs:
+crates/core/src/strategies/table.rs:
+crates/core/src/strategies/unary.rs:
+crates/core/src/strategy.rs:
+crates/core/src/trace.rs:

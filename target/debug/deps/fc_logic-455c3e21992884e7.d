@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/fc_logic-455c3e21992884e7.d: crates/fc/src/lib.rs crates/fc/src/analysis/mod.rs crates/fc/src/analysis/semantic.rs crates/fc/src/analysis/syntactic.rs crates/fc/src/eval.rs crates/fc/src/foeq.rs crates/fc/src/formula.rs crates/fc/src/language.rs crates/fc/src/library.rs crates/fc/src/normal_form.rs crates/fc/src/parser.rs crates/fc/src/reg_to_fc.rs crates/fc/src/span.rs crates/fc/src/structure.rs
+
+/root/repo/target/debug/deps/fc_logic-455c3e21992884e7: crates/fc/src/lib.rs crates/fc/src/analysis/mod.rs crates/fc/src/analysis/semantic.rs crates/fc/src/analysis/syntactic.rs crates/fc/src/eval.rs crates/fc/src/foeq.rs crates/fc/src/formula.rs crates/fc/src/language.rs crates/fc/src/library.rs crates/fc/src/normal_form.rs crates/fc/src/parser.rs crates/fc/src/reg_to_fc.rs crates/fc/src/span.rs crates/fc/src/structure.rs
+
+crates/fc/src/lib.rs:
+crates/fc/src/analysis/mod.rs:
+crates/fc/src/analysis/semantic.rs:
+crates/fc/src/analysis/syntactic.rs:
+crates/fc/src/eval.rs:
+crates/fc/src/foeq.rs:
+crates/fc/src/formula.rs:
+crates/fc/src/language.rs:
+crates/fc/src/library.rs:
+crates/fc/src/normal_form.rs:
+crates/fc/src/parser.rs:
+crates/fc/src/reg_to_fc.rs:
+crates/fc/src/span.rs:
+crates/fc/src/structure.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/fc_logic-78650c6ae829d49d.d: crates/fc/src/lib.rs crates/fc/src/analysis/mod.rs crates/fc/src/analysis/semantic.rs crates/fc/src/analysis/syntactic.rs crates/fc/src/eval.rs crates/fc/src/foeq.rs crates/fc/src/formula.rs crates/fc/src/language.rs crates/fc/src/library.rs crates/fc/src/normal_form.rs crates/fc/src/parser.rs crates/fc/src/reg_to_fc.rs crates/fc/src/span.rs crates/fc/src/structure.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfc_logic-78650c6ae829d49d.rmeta: crates/fc/src/lib.rs crates/fc/src/analysis/mod.rs crates/fc/src/analysis/semantic.rs crates/fc/src/analysis/syntactic.rs crates/fc/src/eval.rs crates/fc/src/foeq.rs crates/fc/src/formula.rs crates/fc/src/language.rs crates/fc/src/library.rs crates/fc/src/normal_form.rs crates/fc/src/parser.rs crates/fc/src/reg_to_fc.rs crates/fc/src/span.rs crates/fc/src/structure.rs Cargo.toml
+
+crates/fc/src/lib.rs:
+crates/fc/src/analysis/mod.rs:
+crates/fc/src/analysis/semantic.rs:
+crates/fc/src/analysis/syntactic.rs:
+crates/fc/src/eval.rs:
+crates/fc/src/foeq.rs:
+crates/fc/src/formula.rs:
+crates/fc/src/language.rs:
+crates/fc/src/library.rs:
+crates/fc/src/normal_form.rs:
+crates/fc/src/parser.rs:
+crates/fc/src/reg_to_fc.rs:
+crates/fc/src/span.rs:
+crates/fc/src/structure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

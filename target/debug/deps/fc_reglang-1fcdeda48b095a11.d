@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/fc_reglang-1fcdeda48b095a11.d: crates/reglang/src/lib.rs crates/reglang/src/bounded.rs crates/reglang/src/derivative.rs crates/reglang/src/dfa.rs crates/reglang/src/enumerate.rs crates/reglang/src/nfa.rs crates/reglang/src/ops.rs crates/reglang/src/regex.rs crates/reglang/src/simple.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfc_reglang-1fcdeda48b095a11.rmeta: crates/reglang/src/lib.rs crates/reglang/src/bounded.rs crates/reglang/src/derivative.rs crates/reglang/src/dfa.rs crates/reglang/src/enumerate.rs crates/reglang/src/nfa.rs crates/reglang/src/ops.rs crates/reglang/src/regex.rs crates/reglang/src/simple.rs Cargo.toml
+
+crates/reglang/src/lib.rs:
+crates/reglang/src/bounded.rs:
+crates/reglang/src/derivative.rs:
+crates/reglang/src/dfa.rs:
+crates/reglang/src/enumerate.rs:
+crates/reglang/src/nfa.rs:
+crates/reglang/src/ops.rs:
+crates/reglang/src/regex.rs:
+crates/reglang/src/simple.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

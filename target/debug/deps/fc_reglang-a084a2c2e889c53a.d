@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fc_reglang-a084a2c2e889c53a.d: crates/reglang/src/lib.rs crates/reglang/src/bounded.rs crates/reglang/src/derivative.rs crates/reglang/src/dfa.rs crates/reglang/src/enumerate.rs crates/reglang/src/nfa.rs crates/reglang/src/ops.rs crates/reglang/src/regex.rs crates/reglang/src/simple.rs
+
+/root/repo/target/debug/deps/libfc_reglang-a084a2c2e889c53a.rlib: crates/reglang/src/lib.rs crates/reglang/src/bounded.rs crates/reglang/src/derivative.rs crates/reglang/src/dfa.rs crates/reglang/src/enumerate.rs crates/reglang/src/nfa.rs crates/reglang/src/ops.rs crates/reglang/src/regex.rs crates/reglang/src/simple.rs
+
+/root/repo/target/debug/deps/libfc_reglang-a084a2c2e889c53a.rmeta: crates/reglang/src/lib.rs crates/reglang/src/bounded.rs crates/reglang/src/derivative.rs crates/reglang/src/dfa.rs crates/reglang/src/enumerate.rs crates/reglang/src/nfa.rs crates/reglang/src/ops.rs crates/reglang/src/regex.rs crates/reglang/src/simple.rs
+
+crates/reglang/src/lib.rs:
+crates/reglang/src/bounded.rs:
+crates/reglang/src/derivative.rs:
+crates/reglang/src/dfa.rs:
+crates/reglang/src/enumerate.rs:
+crates/reglang/src/nfa.rs:
+crates/reglang/src/ops.rs:
+crates/reglang/src/regex.rs:
+crates/reglang/src/simple.rs:

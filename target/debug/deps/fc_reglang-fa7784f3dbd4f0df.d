@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fc_reglang-fa7784f3dbd4f0df.d: crates/reglang/src/lib.rs crates/reglang/src/bounded.rs crates/reglang/src/derivative.rs crates/reglang/src/dfa.rs crates/reglang/src/enumerate.rs crates/reglang/src/nfa.rs crates/reglang/src/ops.rs crates/reglang/src/regex.rs crates/reglang/src/simple.rs
+
+/root/repo/target/debug/deps/fc_reglang-fa7784f3dbd4f0df: crates/reglang/src/lib.rs crates/reglang/src/bounded.rs crates/reglang/src/derivative.rs crates/reglang/src/dfa.rs crates/reglang/src/enumerate.rs crates/reglang/src/nfa.rs crates/reglang/src/ops.rs crates/reglang/src/regex.rs crates/reglang/src/simple.rs
+
+crates/reglang/src/lib.rs:
+crates/reglang/src/bounded.rs:
+crates/reglang/src/derivative.rs:
+crates/reglang/src/dfa.rs:
+crates/reglang/src/enumerate.rs:
+crates/reglang/src/nfa.rs:
+crates/reglang/src/ops.rs:
+crates/reglang/src/regex.rs:
+crates/reglang/src/simple.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fc_relations-662067cd2a8f7d51.d: crates/relations/src/lib.rs crates/relations/src/closure.rs crates/relations/src/languages.rs crates/relations/src/reductions.rs crates/relations/src/relations.rs crates/relations/src/selectable.rs
+
+/root/repo/target/debug/deps/fc_relations-662067cd2a8f7d51: crates/relations/src/lib.rs crates/relations/src/closure.rs crates/relations/src/languages.rs crates/relations/src/reductions.rs crates/relations/src/relations.rs crates/relations/src/selectable.rs
+
+crates/relations/src/lib.rs:
+crates/relations/src/closure.rs:
+crates/relations/src/languages.rs:
+crates/relations/src/reductions.rs:
+crates/relations/src/relations.rs:
+crates/relations/src/selectable.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fc_relations-7d9d07aa6eb3aaaa.d: crates/relations/src/lib.rs crates/relations/src/closure.rs crates/relations/src/languages.rs crates/relations/src/reductions.rs crates/relations/src/relations.rs crates/relations/src/selectable.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfc_relations-7d9d07aa6eb3aaaa.rmeta: crates/relations/src/lib.rs crates/relations/src/closure.rs crates/relations/src/languages.rs crates/relations/src/reductions.rs crates/relations/src/relations.rs crates/relations/src/selectable.rs Cargo.toml
+
+crates/relations/src/lib.rs:
+crates/relations/src/closure.rs:
+crates/relations/src/languages.rs:
+crates/relations/src/reductions.rs:
+crates/relations/src/relations.rs:
+crates/relations/src/selectable.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

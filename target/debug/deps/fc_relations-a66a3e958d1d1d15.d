@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fc_relations-a66a3e958d1d1d15.d: crates/relations/src/lib.rs crates/relations/src/closure.rs crates/relations/src/languages.rs crates/relations/src/reductions.rs crates/relations/src/relations.rs crates/relations/src/selectable.rs
+
+/root/repo/target/debug/deps/libfc_relations-a66a3e958d1d1d15.rlib: crates/relations/src/lib.rs crates/relations/src/closure.rs crates/relations/src/languages.rs crates/relations/src/reductions.rs crates/relations/src/relations.rs crates/relations/src/selectable.rs
+
+/root/repo/target/debug/deps/libfc_relations-a66a3e958d1d1d15.rmeta: crates/relations/src/lib.rs crates/relations/src/closure.rs crates/relations/src/languages.rs crates/relations/src/reductions.rs crates/relations/src/relations.rs crates/relations/src/selectable.rs
+
+crates/relations/src/lib.rs:
+crates/relations/src/closure.rs:
+crates/relations/src/languages.rs:
+crates/relations/src/reductions.rs:
+crates/relations/src/relations.rs:
+crates/relations/src/selectable.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fc_spanners-034f7c67af623ff3.d: crates/spanners/src/lib.rs crates/spanners/src/algebra.rs crates/spanners/src/correspond.rs crates/spanners/src/optimize.rs crates/spanners/src/regex_formula.rs crates/spanners/src/span.rs crates/spanners/src/spanner.rs crates/spanners/src/vset_automaton.rs
+
+/root/repo/target/debug/deps/fc_spanners-034f7c67af623ff3: crates/spanners/src/lib.rs crates/spanners/src/algebra.rs crates/spanners/src/correspond.rs crates/spanners/src/optimize.rs crates/spanners/src/regex_formula.rs crates/spanners/src/span.rs crates/spanners/src/spanner.rs crates/spanners/src/vset_automaton.rs
+
+crates/spanners/src/lib.rs:
+crates/spanners/src/algebra.rs:
+crates/spanners/src/correspond.rs:
+crates/spanners/src/optimize.rs:
+crates/spanners/src/regex_formula.rs:
+crates/spanners/src/span.rs:
+crates/spanners/src/spanner.rs:
+crates/spanners/src/vset_automaton.rs:

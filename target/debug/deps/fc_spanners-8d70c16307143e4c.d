@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fc_spanners-8d70c16307143e4c.d: crates/spanners/src/lib.rs crates/spanners/src/algebra.rs crates/spanners/src/correspond.rs crates/spanners/src/optimize.rs crates/spanners/src/regex_formula.rs crates/spanners/src/span.rs crates/spanners/src/spanner.rs crates/spanners/src/vset_automaton.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfc_spanners-8d70c16307143e4c.rmeta: crates/spanners/src/lib.rs crates/spanners/src/algebra.rs crates/spanners/src/correspond.rs crates/spanners/src/optimize.rs crates/spanners/src/regex_formula.rs crates/spanners/src/span.rs crates/spanners/src/spanner.rs crates/spanners/src/vset_automaton.rs Cargo.toml
+
+crates/spanners/src/lib.rs:
+crates/spanners/src/algebra.rs:
+crates/spanners/src/correspond.rs:
+crates/spanners/src/optimize.rs:
+crates/spanners/src/regex_formula.rs:
+crates/spanners/src/span.rs:
+crates/spanners/src/spanner.rs:
+crates/spanners/src/vset_automaton.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

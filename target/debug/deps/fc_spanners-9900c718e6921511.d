@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fc_spanners-9900c718e6921511.d: crates/spanners/src/lib.rs crates/spanners/src/algebra.rs crates/spanners/src/correspond.rs crates/spanners/src/optimize.rs crates/spanners/src/regex_formula.rs crates/spanners/src/span.rs crates/spanners/src/spanner.rs crates/spanners/src/vset_automaton.rs
+
+/root/repo/target/debug/deps/libfc_spanners-9900c718e6921511.rlib: crates/spanners/src/lib.rs crates/spanners/src/algebra.rs crates/spanners/src/correspond.rs crates/spanners/src/optimize.rs crates/spanners/src/regex_formula.rs crates/spanners/src/span.rs crates/spanners/src/spanner.rs crates/spanners/src/vset_automaton.rs
+
+/root/repo/target/debug/deps/libfc_spanners-9900c718e6921511.rmeta: crates/spanners/src/lib.rs crates/spanners/src/algebra.rs crates/spanners/src/correspond.rs crates/spanners/src/optimize.rs crates/spanners/src/regex_formula.rs crates/spanners/src/span.rs crates/spanners/src/spanner.rs crates/spanners/src/vset_automaton.rs
+
+crates/spanners/src/lib.rs:
+crates/spanners/src/algebra.rs:
+crates/spanners/src/correspond.rs:
+crates/spanners/src/optimize.rs:
+crates/spanners/src/regex_formula.rs:
+crates/spanners/src/span.rs:
+crates/spanners/src/spanner.rs:
+crates/spanners/src/vset_automaton.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fc_suite-53822d803fd12c57.d: src/lib.rs src/experiments/mod.rs src/experiments/fooling_exp.rs src/experiments/games_exp.rs src/experiments/logic_exp.rs src/experiments/spanner_exp.rs src/experiments/words_exp.rs src/json.rs src/report.rs
+
+/root/repo/target/debug/deps/fc_suite-53822d803fd12c57: src/lib.rs src/experiments/mod.rs src/experiments/fooling_exp.rs src/experiments/games_exp.rs src/experiments/logic_exp.rs src/experiments/spanner_exp.rs src/experiments/words_exp.rs src/json.rs src/report.rs
+
+src/lib.rs:
+src/experiments/mod.rs:
+src/experiments/fooling_exp.rs:
+src/experiments/games_exp.rs:
+src/experiments/logic_exp.rs:
+src/experiments/spanner_exp.rs:
+src/experiments/words_exp.rs:
+src/json.rs:
+src/report.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fc_suite-7e22ed6d5828376d.d: src/lib.rs src/experiments/mod.rs src/experiments/fooling_exp.rs src/experiments/games_exp.rs src/experiments/logic_exp.rs src/experiments/spanner_exp.rs src/experiments/words_exp.rs src/json.rs src/report.rs
+
+/root/repo/target/debug/deps/libfc_suite-7e22ed6d5828376d.rlib: src/lib.rs src/experiments/mod.rs src/experiments/fooling_exp.rs src/experiments/games_exp.rs src/experiments/logic_exp.rs src/experiments/spanner_exp.rs src/experiments/words_exp.rs src/json.rs src/report.rs
+
+/root/repo/target/debug/deps/libfc_suite-7e22ed6d5828376d.rmeta: src/lib.rs src/experiments/mod.rs src/experiments/fooling_exp.rs src/experiments/games_exp.rs src/experiments/logic_exp.rs src/experiments/spanner_exp.rs src/experiments/words_exp.rs src/json.rs src/report.rs
+
+src/lib.rs:
+src/experiments/mod.rs:
+src/experiments/fooling_exp.rs:
+src/experiments/games_exp.rs:
+src/experiments/logic_exp.rs:
+src/experiments/spanner_exp.rs:
+src/experiments/words_exp.rs:
+src/json.rs:
+src/report.rs:

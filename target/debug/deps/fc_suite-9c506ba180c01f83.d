@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/fc_suite-9c506ba180c01f83.d: src/lib.rs src/experiments/mod.rs src/experiments/fooling_exp.rs src/experiments/games_exp.rs src/experiments/logic_exp.rs src/experiments/spanner_exp.rs src/experiments/words_exp.rs src/json.rs src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfc_suite-9c506ba180c01f83.rmeta: src/lib.rs src/experiments/mod.rs src/experiments/fooling_exp.rs src/experiments/games_exp.rs src/experiments/logic_exp.rs src/experiments/spanner_exp.rs src/experiments/words_exp.rs src/json.rs src/report.rs Cargo.toml
+
+src/lib.rs:
+src/experiments/mod.rs:
+src/experiments/fooling_exp.rs:
+src/experiments/games_exp.rs:
+src/experiments/logic_exp.rs:
+src/experiments/spanner_exp.rs:
+src/experiments/words_exp.rs:
+src/json.rs:
+src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/fc_words-182b0d03ec4cb454.d: crates/words/src/lib.rs crates/words/src/alphabet.rs crates/words/src/conjugacy.rs crates/words/src/equations.rs crates/words/src/exponent.rs crates/words/src/factors.rs crates/words/src/fibonacci.rs crates/words/src/lyndon.rs crates/words/src/periodicity.rs crates/words/src/primitivity.rs crates/words/src/search.rs crates/words/src/semilinear.rs crates/words/src/subword.rs crates/words/src/word.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfc_words-182b0d03ec4cb454.rmeta: crates/words/src/lib.rs crates/words/src/alphabet.rs crates/words/src/conjugacy.rs crates/words/src/equations.rs crates/words/src/exponent.rs crates/words/src/factors.rs crates/words/src/fibonacci.rs crates/words/src/lyndon.rs crates/words/src/periodicity.rs crates/words/src/primitivity.rs crates/words/src/search.rs crates/words/src/semilinear.rs crates/words/src/subword.rs crates/words/src/word.rs Cargo.toml
+
+crates/words/src/lib.rs:
+crates/words/src/alphabet.rs:
+crates/words/src/conjugacy.rs:
+crates/words/src/equations.rs:
+crates/words/src/exponent.rs:
+crates/words/src/factors.rs:
+crates/words/src/fibonacci.rs:
+crates/words/src/lyndon.rs:
+crates/words/src/periodicity.rs:
+crates/words/src/primitivity.rs:
+crates/words/src/search.rs:
+crates/words/src/semilinear.rs:
+crates/words/src/subword.rs:
+crates/words/src/word.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

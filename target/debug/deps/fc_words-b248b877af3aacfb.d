@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/fc_words-b248b877af3aacfb.d: crates/words/src/lib.rs crates/words/src/alphabet.rs crates/words/src/conjugacy.rs crates/words/src/equations.rs crates/words/src/exponent.rs crates/words/src/factors.rs crates/words/src/fibonacci.rs crates/words/src/lyndon.rs crates/words/src/periodicity.rs crates/words/src/primitivity.rs crates/words/src/search.rs crates/words/src/semilinear.rs crates/words/src/subword.rs crates/words/src/word.rs
+
+/root/repo/target/debug/deps/fc_words-b248b877af3aacfb: crates/words/src/lib.rs crates/words/src/alphabet.rs crates/words/src/conjugacy.rs crates/words/src/equations.rs crates/words/src/exponent.rs crates/words/src/factors.rs crates/words/src/fibonacci.rs crates/words/src/lyndon.rs crates/words/src/periodicity.rs crates/words/src/primitivity.rs crates/words/src/search.rs crates/words/src/semilinear.rs crates/words/src/subword.rs crates/words/src/word.rs
+
+crates/words/src/lib.rs:
+crates/words/src/alphabet.rs:
+crates/words/src/conjugacy.rs:
+crates/words/src/equations.rs:
+crates/words/src/exponent.rs:
+crates/words/src/factors.rs:
+crates/words/src/fibonacci.rs:
+crates/words/src/lyndon.rs:
+crates/words/src/periodicity.rs:
+crates/words/src/primitivity.rs:
+crates/words/src/search.rs:
+crates/words/src/semilinear.rs:
+crates/words/src/subword.rs:
+crates/words/src/word.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fooling_endtoend-910a53a4eedfa90f.d: tests/fooling_endtoend.rs
+
+/root/repo/target/debug/deps/fooling_endtoend-910a53a4eedfa90f: tests/fooling_endtoend.rs
+
+tests/fooling_endtoend.rs:

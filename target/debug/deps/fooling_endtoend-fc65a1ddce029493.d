@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fooling_endtoend-fc65a1ddce029493.d: tests/fooling_endtoend.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfooling_endtoend-fc65a1ddce029493.rmeta: tests/fooling_endtoend.rs Cargo.toml
+
+tests/fooling_endtoend.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

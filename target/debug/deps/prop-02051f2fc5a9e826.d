@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-02051f2fc5a9e826.d: crates/core/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-02051f2fc5a9e826: crates/core/tests/prop.rs
+
+crates/core/tests/prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-2d16a87c9a25b197.d: crates/words/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-2d16a87c9a25b197.rmeta: crates/words/tests/prop.rs Cargo.toml
+
+crates/words/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

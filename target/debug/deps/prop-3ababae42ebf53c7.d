@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-3ababae42ebf53c7.d: crates/reglang/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-3ababae42ebf53c7.rmeta: crates/reglang/tests/prop.rs Cargo.toml
+
+crates/reglang/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-483ab214df41710e.d: crates/fc/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-483ab214df41710e: crates/fc/tests/prop.rs
+
+crates/fc/tests/prop.rs:

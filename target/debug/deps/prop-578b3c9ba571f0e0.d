@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-578b3c9ba571f0e0.d: crates/reglang/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-578b3c9ba571f0e0: crates/reglang/tests/prop.rs
+
+crates/reglang/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-64d56ecb65a7f3e8.d: crates/relations/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-64d56ecb65a7f3e8: crates/relations/tests/prop.rs
+
+crates/relations/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-8b8b0f7538bfa293.d: crates/words/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-8b8b0f7538bfa293: crates/words/tests/prop.rs
+
+crates/words/tests/prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-aa31f55891130418.d: crates/fc/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-aa31f55891130418.rmeta: crates/fc/tests/prop.rs Cargo.toml
+
+crates/fc/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

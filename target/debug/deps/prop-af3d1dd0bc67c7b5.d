@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-af3d1dd0bc67c7b5.d: crates/spanners/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-af3d1dd0bc67c7b5.rmeta: crates/spanners/tests/prop.rs Cargo.toml
+
+crates/spanners/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

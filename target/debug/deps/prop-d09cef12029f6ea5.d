@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-d09cef12029f6ea5.d: crates/relations/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-d09cef12029f6ea5.rmeta: crates/relations/tests/prop.rs Cargo.toml
+
+crates/relations/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-d9968c3e9bdaee60.d: crates/spanners/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-d9968c3e9bdaee60: crates/spanners/tests/prop.rs
+
+crates/spanners/tests/prop.rs:

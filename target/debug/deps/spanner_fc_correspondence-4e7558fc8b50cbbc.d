@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spanner_fc_correspondence-4e7558fc8b50cbbc.d: tests/spanner_fc_correspondence.rs
+
+/root/repo/target/debug/deps/spanner_fc_correspondence-4e7558fc8b50cbbc: tests/spanner_fc_correspondence.rs
+
+tests/spanner_fc_correspondence.rs:

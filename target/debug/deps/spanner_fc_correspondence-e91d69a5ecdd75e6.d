@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spanner_fc_correspondence-e91d69a5ecdd75e6.d: tests/spanner_fc_correspondence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspanner_fc_correspondence-e91d69a5ecdd75e6.rmeta: tests/spanner_fc_correspondence.rs Cargo.toml
+
+tests/spanner_fc_correspondence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/strategy_compositions-43db72de7f3c169a.d: tests/strategy_compositions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstrategy_compositions-43db72de7f3c169a.rmeta: tests/strategy_compositions.rs Cargo.toml
+
+tests/strategy_compositions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

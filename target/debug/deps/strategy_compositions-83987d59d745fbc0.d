@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/strategy_compositions-83987d59d745fbc0.d: tests/strategy_compositions.rs
+
+/root/repo/target/debug/deps/strategy_compositions-83987d59d745fbc0: tests/strategy_compositions.rs
+
+tests/strategy_compositions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fooling_pairs-289e124cf2d31bfe.d: examples/fooling_pairs.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfooling_pairs-289e124cf2d31bfe.rmeta: examples/fooling_pairs.rs Cargo.toml
+
+examples/fooling_pairs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

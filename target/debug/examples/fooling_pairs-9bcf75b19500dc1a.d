@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fooling_pairs-9bcf75b19500dc1a.d: examples/fooling_pairs.rs
+
+/root/repo/target/debug/examples/fooling_pairs-9bcf75b19500dc1a: examples/fooling_pairs.rs
+
+examples/fooling_pairs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/game_explorer-53570650bafd61bc.d: examples/game_explorer.rs
+
+/root/repo/target/debug/examples/game_explorer-53570650bafd61bc: examples/game_explorer.rs
+
+examples/game_explorer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/game_explorer-ae7088262c1032df.d: examples/game_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgame_explorer-ae7088262c1032df.rmeta: examples/game_explorer.rs Cargo.toml
+
+examples/game_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/inexpressibility_report-8171dd87b82b7c18.d: examples/inexpressibility_report.rs
+
+/root/repo/target/debug/examples/inexpressibility_report-8171dd87b82b7c18: examples/inexpressibility_report.rs
+
+examples/inexpressibility_report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/inexpressibility_report-b1e3800a76d7ada7.d: examples/inexpressibility_report.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinexpressibility_report-b1e3800a76d7ada7.rmeta: examples/inexpressibility_report.rs Cargo.toml
+
+examples/inexpressibility_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

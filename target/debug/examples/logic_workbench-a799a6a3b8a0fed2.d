@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/logic_workbench-a799a6a3b8a0fed2.d: examples/logic_workbench.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblogic_workbench-a799a6a3b8a0fed2.rmeta: examples/logic_workbench.rs Cargo.toml
+
+examples/logic_workbench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/logic_workbench-e72e6ad0191ed12a.d: examples/logic_workbench.rs
+
+/root/repo/target/debug/examples/logic_workbench-e72e6ad0191ed12a: examples/logic_workbench.rs
+
+examples/logic_workbench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/probe-24c634e8a65c5e42.d: crates/core/examples/probe.rs
+
+/root/repo/target/debug/examples/probe-24c634e8a65c5e42: crates/core/examples/probe.rs
+
+crates/core/examples/probe.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/probe-790e8b4b83118bbd.d: crates/core/examples/probe.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprobe-790e8b4b83118bbd.rmeta: crates/core/examples/probe.rs Cargo.toml
+
+crates/core/examples/probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

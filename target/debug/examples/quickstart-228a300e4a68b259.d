@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-228a300e4a68b259.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-228a300e4a68b259: examples/quickstart.rs
+
+examples/quickstart.rs:

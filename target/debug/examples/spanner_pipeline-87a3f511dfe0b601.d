@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/spanner_pipeline-87a3f511dfe0b601.d: examples/spanner_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libspanner_pipeline-87a3f511dfe0b601.rmeta: examples/spanner_pipeline.rs Cargo.toml
+
+examples/spanner_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

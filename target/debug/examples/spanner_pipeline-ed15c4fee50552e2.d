@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spanner_pipeline-ed15c4fee50552e2.d: examples/spanner_pipeline.rs
+
+/root/repo/target/debug/examples/spanner_pipeline-ed15c4fee50552e2: examples/spanner_pipeline.rs
+
+examples/spanner_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/unary_arithmetic-291df68b65462ed8.d: examples/unary_arithmetic.rs Cargo.toml
+
+/root/repo/target/debug/examples/libunary_arithmetic-291df68b65462ed8.rmeta: examples/unary_arithmetic.rs Cargo.toml
+
+examples/unary_arithmetic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/unary_arithmetic-cb51991e67693f22.d: examples/unary_arithmetic.rs
+
+/root/repo/target/debug/examples/unary_arithmetic-cb51991e67693f22: examples/unary_arithmetic.rs
+
+examples/unary_arithmetic.rs:

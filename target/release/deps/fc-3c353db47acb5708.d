@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fc-3c353db47acb5708.d: src/bin/fc.rs
+
+/root/repo/target/release/deps/fc-3c353db47acb5708: src/bin/fc.rs
+
+src/bin/fc.rs:

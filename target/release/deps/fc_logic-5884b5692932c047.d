@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/fc_logic-5884b5692932c047.d: crates/fc/src/lib.rs crates/fc/src/analysis/mod.rs crates/fc/src/analysis/semantic.rs crates/fc/src/analysis/syntactic.rs crates/fc/src/eval.rs crates/fc/src/foeq.rs crates/fc/src/formula.rs crates/fc/src/language.rs crates/fc/src/library.rs crates/fc/src/normal_form.rs crates/fc/src/parser.rs crates/fc/src/reg_to_fc.rs crates/fc/src/span.rs crates/fc/src/structure.rs
+
+/root/repo/target/release/deps/libfc_logic-5884b5692932c047.rlib: crates/fc/src/lib.rs crates/fc/src/analysis/mod.rs crates/fc/src/analysis/semantic.rs crates/fc/src/analysis/syntactic.rs crates/fc/src/eval.rs crates/fc/src/foeq.rs crates/fc/src/formula.rs crates/fc/src/language.rs crates/fc/src/library.rs crates/fc/src/normal_form.rs crates/fc/src/parser.rs crates/fc/src/reg_to_fc.rs crates/fc/src/span.rs crates/fc/src/structure.rs
+
+/root/repo/target/release/deps/libfc_logic-5884b5692932c047.rmeta: crates/fc/src/lib.rs crates/fc/src/analysis/mod.rs crates/fc/src/analysis/semantic.rs crates/fc/src/analysis/syntactic.rs crates/fc/src/eval.rs crates/fc/src/foeq.rs crates/fc/src/formula.rs crates/fc/src/language.rs crates/fc/src/library.rs crates/fc/src/normal_form.rs crates/fc/src/parser.rs crates/fc/src/reg_to_fc.rs crates/fc/src/span.rs crates/fc/src/structure.rs
+
+crates/fc/src/lib.rs:
+crates/fc/src/analysis/mod.rs:
+crates/fc/src/analysis/semantic.rs:
+crates/fc/src/analysis/syntactic.rs:
+crates/fc/src/eval.rs:
+crates/fc/src/foeq.rs:
+crates/fc/src/formula.rs:
+crates/fc/src/language.rs:
+crates/fc/src/library.rs:
+crates/fc/src/normal_form.rs:
+crates/fc/src/parser.rs:
+crates/fc/src/reg_to_fc.rs:
+crates/fc/src/span.rs:
+crates/fc/src/structure.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/fc_reglang-1ce3604418a2cda3.d: crates/reglang/src/lib.rs crates/reglang/src/bounded.rs crates/reglang/src/derivative.rs crates/reglang/src/dfa.rs crates/reglang/src/enumerate.rs crates/reglang/src/nfa.rs crates/reglang/src/ops.rs crates/reglang/src/regex.rs crates/reglang/src/simple.rs
+
+/root/repo/target/release/deps/libfc_reglang-1ce3604418a2cda3.rlib: crates/reglang/src/lib.rs crates/reglang/src/bounded.rs crates/reglang/src/derivative.rs crates/reglang/src/dfa.rs crates/reglang/src/enumerate.rs crates/reglang/src/nfa.rs crates/reglang/src/ops.rs crates/reglang/src/regex.rs crates/reglang/src/simple.rs
+
+/root/repo/target/release/deps/libfc_reglang-1ce3604418a2cda3.rmeta: crates/reglang/src/lib.rs crates/reglang/src/bounded.rs crates/reglang/src/derivative.rs crates/reglang/src/dfa.rs crates/reglang/src/enumerate.rs crates/reglang/src/nfa.rs crates/reglang/src/ops.rs crates/reglang/src/regex.rs crates/reglang/src/simple.rs
+
+crates/reglang/src/lib.rs:
+crates/reglang/src/bounded.rs:
+crates/reglang/src/derivative.rs:
+crates/reglang/src/dfa.rs:
+crates/reglang/src/enumerate.rs:
+crates/reglang/src/nfa.rs:
+crates/reglang/src/ops.rs:
+crates/reglang/src/regex.rs:
+crates/reglang/src/simple.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/fc_relations-7ed8482048a73030.d: crates/relations/src/lib.rs crates/relations/src/closure.rs crates/relations/src/languages.rs crates/relations/src/reductions.rs crates/relations/src/relations.rs crates/relations/src/selectable.rs
+
+/root/repo/target/release/deps/libfc_relations-7ed8482048a73030.rlib: crates/relations/src/lib.rs crates/relations/src/closure.rs crates/relations/src/languages.rs crates/relations/src/reductions.rs crates/relations/src/relations.rs crates/relations/src/selectable.rs
+
+/root/repo/target/release/deps/libfc_relations-7ed8482048a73030.rmeta: crates/relations/src/lib.rs crates/relations/src/closure.rs crates/relations/src/languages.rs crates/relations/src/reductions.rs crates/relations/src/relations.rs crates/relations/src/selectable.rs
+
+crates/relations/src/lib.rs:
+crates/relations/src/closure.rs:
+crates/relations/src/languages.rs:
+crates/relations/src/reductions.rs:
+crates/relations/src/relations.rs:
+crates/relations/src/selectable.rs:

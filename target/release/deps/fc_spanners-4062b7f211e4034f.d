@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/fc_spanners-4062b7f211e4034f.d: crates/spanners/src/lib.rs crates/spanners/src/algebra.rs crates/spanners/src/correspond.rs crates/spanners/src/optimize.rs crates/spanners/src/regex_formula.rs crates/spanners/src/span.rs crates/spanners/src/spanner.rs crates/spanners/src/vset_automaton.rs
+
+/root/repo/target/release/deps/libfc_spanners-4062b7f211e4034f.rlib: crates/spanners/src/lib.rs crates/spanners/src/algebra.rs crates/spanners/src/correspond.rs crates/spanners/src/optimize.rs crates/spanners/src/regex_formula.rs crates/spanners/src/span.rs crates/spanners/src/spanner.rs crates/spanners/src/vset_automaton.rs
+
+/root/repo/target/release/deps/libfc_spanners-4062b7f211e4034f.rmeta: crates/spanners/src/lib.rs crates/spanners/src/algebra.rs crates/spanners/src/correspond.rs crates/spanners/src/optimize.rs crates/spanners/src/regex_formula.rs crates/spanners/src/span.rs crates/spanners/src/spanner.rs crates/spanners/src/vset_automaton.rs
+
+crates/spanners/src/lib.rs:
+crates/spanners/src/algebra.rs:
+crates/spanners/src/correspond.rs:
+crates/spanners/src/optimize.rs:
+crates/spanners/src/regex_formula.rs:
+crates/spanners/src/span.rs:
+crates/spanners/src/spanner.rs:
+crates/spanners/src/vset_automaton.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/fc_suite-1cd43c46879955b3.d: src/lib.rs src/experiments/mod.rs src/experiments/fooling_exp.rs src/experiments/games_exp.rs src/experiments/logic_exp.rs src/experiments/spanner_exp.rs src/experiments/words_exp.rs src/json.rs src/report.rs
+
+/root/repo/target/release/deps/libfc_suite-1cd43c46879955b3.rlib: src/lib.rs src/experiments/mod.rs src/experiments/fooling_exp.rs src/experiments/games_exp.rs src/experiments/logic_exp.rs src/experiments/spanner_exp.rs src/experiments/words_exp.rs src/json.rs src/report.rs
+
+/root/repo/target/release/deps/libfc_suite-1cd43c46879955b3.rmeta: src/lib.rs src/experiments/mod.rs src/experiments/fooling_exp.rs src/experiments/games_exp.rs src/experiments/logic_exp.rs src/experiments/spanner_exp.rs src/experiments/words_exp.rs src/json.rs src/report.rs
+
+src/lib.rs:
+src/experiments/mod.rs:
+src/experiments/fooling_exp.rs:
+src/experiments/games_exp.rs:
+src/experiments/logic_exp.rs:
+src/experiments/spanner_exp.rs:
+src/experiments/words_exp.rs:
+src/json.rs:
+src/report.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/fc_words-0d4e3ff244e4b1dc.d: crates/words/src/lib.rs crates/words/src/alphabet.rs crates/words/src/conjugacy.rs crates/words/src/equations.rs crates/words/src/exponent.rs crates/words/src/factors.rs crates/words/src/fibonacci.rs crates/words/src/lyndon.rs crates/words/src/periodicity.rs crates/words/src/primitivity.rs crates/words/src/search.rs crates/words/src/semilinear.rs crates/words/src/subword.rs crates/words/src/word.rs
+
+/root/repo/target/release/deps/libfc_words-0d4e3ff244e4b1dc.rlib: crates/words/src/lib.rs crates/words/src/alphabet.rs crates/words/src/conjugacy.rs crates/words/src/equations.rs crates/words/src/exponent.rs crates/words/src/factors.rs crates/words/src/fibonacci.rs crates/words/src/lyndon.rs crates/words/src/periodicity.rs crates/words/src/primitivity.rs crates/words/src/search.rs crates/words/src/semilinear.rs crates/words/src/subword.rs crates/words/src/word.rs
+
+/root/repo/target/release/deps/libfc_words-0d4e3ff244e4b1dc.rmeta: crates/words/src/lib.rs crates/words/src/alphabet.rs crates/words/src/conjugacy.rs crates/words/src/equations.rs crates/words/src/exponent.rs crates/words/src/factors.rs crates/words/src/fibonacci.rs crates/words/src/lyndon.rs crates/words/src/periodicity.rs crates/words/src/primitivity.rs crates/words/src/search.rs crates/words/src/semilinear.rs crates/words/src/subword.rs crates/words/src/word.rs
+
+crates/words/src/lib.rs:
+crates/words/src/alphabet.rs:
+crates/words/src/conjugacy.rs:
+crates/words/src/equations.rs:
+crates/words/src/exponent.rs:
+crates/words/src/factors.rs:
+crates/words/src/fibonacci.rs:
+crates/words/src/lyndon.rs:
+crates/words/src/periodicity.rs:
+crates/words/src/primitivity.rs:
+crates/words/src/search.rs:
+crates/words/src/semilinear.rs:
+crates/words/src/subword.rs:
+crates/words/src/word.rs:

@@ -16,7 +16,10 @@ fn decision_witness_translation_roundtrip() {
     let sigma = Alphabet::ab();
     let cases: Vec<(&str, BoundedExpr)> = vec![
         ("(ab)*", BoundedExpr::star("ab")),
-        ("a*b*", BoundedExpr::Concat(vec![BoundedExpr::star("a"), BoundedExpr::star("b")])),
+        (
+            "a*b*",
+            BoundedExpr::Concat(vec![BoundedExpr::star("a"), BoundedExpr::star("b")]),
+        ),
         (
             "(aab)*b*",
             BoundedExpr::Concat(vec![BoundedExpr::star("aab"), BoundedExpr::star("b")]),
@@ -110,6 +113,10 @@ fn imprimitive_star_translation_is_exact_end_to_end() {
     let phi = on_whole_word(|x| bounded_to_fc(x, &expr));
     for w in sigma.words_up_to(8) {
         let st = FactorStructure::new(w.clone(), &sigma);
-        assert_eq!(holds(&phi, &st, &Assignment::new()), dfa.accepts(w.bytes()), "w={w}");
+        assert_eq!(
+            holds(&phi, &st, &Assignment::new()),
+            dfa.accepts(w.bytes()),
+            "w={w}"
+        );
     }
 }

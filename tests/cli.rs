@@ -75,3 +75,144 @@ fn bad_usage_fails_with_message() {
     assert!(!ok);
     assert!(!stderr.is_empty());
 }
+
+fn fc_code(args: &[&str]) -> (String, String, i32) {
+    let out = Command::new(env!("CARGO_BIN_EXE_fc"))
+        .args(args)
+        .output()
+        .expect("spawn fc");
+    (
+        String::from_utf8_lossy(&out.stdout).to_string(),
+        String::from_utf8_lossy(&out.stderr).to_string(),
+        out.status.code().expect("exit code"),
+    )
+}
+
+#[test]
+fn lint_clean_formula_exits_zero() {
+    let (stdout, _, code) = fc_code(&["lint", "E x, y: y = x.x"]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(
+        stdout.contains("0 error(s), 0 warning(s), 0 note(s)"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn lint_deny_warnings_turns_warnings_into_failure() {
+    // A vacuous quantifier is a warning: exit 0 normally, 1 under
+    // --deny-warnings.
+    let (stdout, _, code) = fc_code(&["lint", "E x, y: x = eps"]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("warning[FC003]"), "{stdout}");
+    let (stdout, _, code) = fc_code(&["lint", "E x, y: x = eps", "--deny-warnings"]);
+    assert_eq!(code, 1, "{stdout}");
+}
+
+#[test]
+fn lint_errors_exit_one_even_without_deny() {
+    let (stdout, _, code) = fc_code(&["lint", "E x: x in /!/"]);
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("error[FC101]"), "{stdout}");
+}
+
+#[test]
+fn lint_usage_errors_exit_two() {
+    let (_, stderr, code) = fc_code(&["lint", "--frobnicate", "x = eps"]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("usage"), "{stderr}");
+    let (_, _, code) = fc_code(&["lint"]);
+    assert_eq!(code, 2);
+    let (_, stderr, code) = fc_code(&["lint", "x = eps", "--allow", "FC999"]);
+    assert_eq!(code, 2, "{stderr}");
+    let (_, _, code) = fc_code(&["lint", "x = eps", "--qr-budget", "many"]);
+    assert_eq!(code, 2);
+}
+
+#[test]
+fn lint_json_output_is_stable_and_parseable() {
+    let src = "E x: E x: x = eps";
+    let (stdout, _, code) = fc_code(&["lint", src, "--json"]);
+    assert_eq!(code, 0, "{stdout}");
+    let v = fc_suite::json::parse(&stdout).expect("valid JSON");
+    assert_eq!(v.get("formula").and_then(|f| f.as_str()), Some(src));
+    let diags = v
+        .get("diagnostics")
+        .and_then(|d| d.as_array())
+        .expect("diagnostics");
+    assert_eq!(diags.len(), 2, "{stdout}");
+    let codes: Vec<&str> = diags
+        .iter()
+        .filter_map(|d| d.get("code").and_then(|c| c.as_str()))
+        .collect();
+    assert_eq!(codes, ["FC001", "FC002"], "{stdout}");
+    for d in diags {
+        for key in ["code", "severity", "start", "end", "message"] {
+            assert!(d.get(key).is_some(), "missing {key} in {stdout}");
+        }
+    }
+    let counts = v.get("counts").expect("counts");
+    assert_eq!(
+        counts.get("warning").and_then(|n| n.as_f64()),
+        Some(2.0),
+        "{stdout}"
+    );
+    // Byte-stable across runs.
+    let (again, _, _) = fc_code(&["lint", src, "--json"]);
+    assert_eq!(stdout, again);
+}
+
+#[test]
+fn lint_json_reports_parse_errors_as_fc000() {
+    let (stdout, _, code) = fc_code(&["lint", "E x x = eps", "--json"]);
+    assert_eq!(code, 1, "{stdout}");
+    let v = fc_suite::json::parse(&stdout).expect("valid JSON");
+    let diags = v
+        .get("diagnostics")
+        .and_then(|d| d.as_array())
+        .expect("diagnostics");
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].get("code").and_then(|c| c.as_str()), Some("FC000"));
+    assert_eq!(diags[0].get("start").and_then(|s| s.as_f64()), Some(4.0));
+}
+
+#[test]
+fn lint_flags_tune_the_analysis() {
+    // --sentence promotes free variables to an error…
+    let (stdout, _, code) = fc_code(&["lint", "x = y.y", "--sentence"]);
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("error[FC006]"), "{stdout}");
+    // …--pure rejects constraints…
+    let (stdout, _, code) = fc_code(&["lint", "E x: x in /ab*/", "--pure"]);
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("error[FC007]"), "{stdout}");
+    // …and --allow suppresses a rule.
+    let (stdout, _, code) = fc_code(&["lint", "E x, y: x = eps", "--allow", "FC003"]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(!stdout.contains("FC003"), "{stdout}");
+}
+
+#[test]
+fn lint_rules_prints_the_registry() {
+    let (stdout, _, code) = fc_code(&["lint", "--rules"]);
+    assert_eq!(code, 0);
+    for code in ["FC000", "FC001", "FC104"] {
+        assert!(stdout.contains(code), "{stdout}");
+    }
+}
+
+#[test]
+fn check_and_solve_are_lint_gated() {
+    // Lint errors abort `fc check` before evaluation…
+    let (_, stderr, ok) = fc(&["check", "E x: x in /!/", "ab"]);
+    assert!(!ok);
+    assert!(stderr.contains("FC101"), "{stderr}");
+    // …and `fc solve` too, while warnings only go to stderr.
+    let (_, stderr, ok) = fc(&["solve", "E y: x = y.y", "aa"]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("FC002") || stderr.is_empty(), "{stderr}");
+    let (stdout, stderr, ok) = fc(&["solve", "E u: (u = eps) & (x = x)", "a"]);
+    assert!(ok);
+    assert!(stderr.contains("FC005"), "{stderr}");
+    assert!(stdout.contains("assignment"), "{stdout}");
+}

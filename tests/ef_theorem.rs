@@ -66,8 +66,7 @@ fn solver_equivalence_implies_sentence_agreement() {
     let battery = battery();
     for (i, w) in words.iter().enumerate() {
         for u in words.iter().skip(i + 1) {
-            let mut solver =
-                EfSolver::new(GamePair::new(w.clone(), u.clone(), &sigma));
+            let mut solver = EfSolver::new(GamePair::new(w.clone(), u.clone(), &sigma));
             let sw = FactorStructure::new(w.clone(), &sigma);
             let su = FactorStructure::new(u.clone(), &sigma);
             for k in 0..=2u32 {
@@ -98,11 +97,10 @@ fn sentence_separation_implies_solver_distinction() {
             let sw = FactorStructure::new(w.clone(), &sigma);
             let su = FactorStructure::new(u.clone(), &sigma);
             for (phi, rank) in &battery {
-                let separated = holds(phi, &sw, &Assignment::new())
-                    != holds(phi, &su, &Assignment::new());
+                let separated =
+                    holds(phi, &sw, &Assignment::new()) != holds(phi, &su, &Assignment::new());
                 if separated {
-                    let mut solver =
-                        EfSolver::new(GamePair::new(w.clone(), u.clone(), &sigma));
+                    let mut solver = EfSolver::new(GamePair::new(w.clone(), u.clone(), &sigma));
                     assert!(
                         !solver.equivalent(*rank),
                         "φ={phi} (rank {rank}) separates {w} / {u} but solver says ≡_{rank}"

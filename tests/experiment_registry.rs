@@ -12,12 +12,20 @@ fn quick_registry_passes() {
         .filter(|r| r.status == Status::Fail)
         .map(|r| format!("{}:\n{}", r.id, r.render()))
         .collect();
-    assert!(failures.is_empty(), "failing experiments:\n{}", failures.join("\n"));
+    assert!(
+        failures.is_empty(),
+        "failing experiments:\n{}",
+        failures.join("\n")
+    );
 }
 
 #[test]
 fn reports_serialize() {
     let reports = run_all(Effort::Quick);
-    let json = serde_json::to_string(&reports).expect("serialize");
+    let json: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
+    let json = json.join("\n");
     assert!(json.contains("E15"));
+    for line in json.lines() {
+        fc_suite::report::ExperimentReport::from_json(line).expect("round-trip");
+    }
 }

@@ -11,8 +11,16 @@ fn every_catalogue_language_has_a_rank_1_fooling_pair() {
         let pair = lang
             .fooling_pair(1, 16)
             .unwrap_or_else(|| panic!("{}: no rank-1 fooling pair within exponent 16", lang.name));
-        assert!((lang.member)(pair.inside.bytes()), "{}: inside not a member", lang.name);
-        assert!(!(lang.member)(pair.outside.bytes()), "{}: outside is a member", lang.name);
+        assert!(
+            (lang.member)(pair.inside.bytes()),
+            "{}: inside not a member",
+            lang.name
+        );
+        assert!(
+            !(lang.member)(pair.outside.bytes()),
+            "{}: outside is a member",
+            lang.name
+        );
         // Independent re-confirmation with a fresh solver.
         assert!(
             equivalent(pair.inside.as_str(), pair.outside.as_str(), 1),
@@ -50,7 +58,11 @@ fn higher_rank_pairs_need_larger_exponents() {
     // requires the (12, 14) scale — monotonicity of the witness size.
     let inst = FoolingInstance::new("", "a", "", "b", "", |p| p).expect("co-primitive");
     let p1 = inst.fooling_pair(1, 16).expect("rank-1 pair");
-    assert!(p1.q <= 8, "rank-1 pair should be small, got {:?}", (p1.p, p1.q));
+    assert!(
+        p1.q <= 8,
+        "rank-1 pair should be small, got {:?}",
+        (p1.p, p1.q)
+    );
     // Rank-2 within small exponents must NOT exist (12 is the minimum).
     assert!(
         inst.fooling_pair(2, 11).is_none(),

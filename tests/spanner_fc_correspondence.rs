@@ -25,7 +25,10 @@ fn square_language_three_ways() {
     );
     let sentence = library::phi_square();
     let sigma = Alphabet::ab();
-    assert_eq!(first_boolean_disagreement(&spanner, &sentence, &sigma, 6), None);
+    assert_eq!(
+        first_boolean_disagreement(&spanner, &sentence, &sigma, 6),
+        None
+    );
     for w in sigma.words_up_to(6) {
         let direct = w.len() % 2 == 0 && {
             let (a, b) = w.bytes().split_at(w.len() / 2);
@@ -42,7 +45,10 @@ fn regular_constraint_matches_regular_spanner() {
     let sentence = library::on_whole_word(|x| Formula::constraint(v(x), gamma.clone()));
     let spanner = Spanner::regex(RegexFormula::pattern("(ab)*"));
     let sigma = Alphabet::ab();
-    assert_eq!(first_boolean_disagreement(&spanner, &sentence, &sigma, 6), None);
+    assert_eq!(
+        first_boolean_disagreement(&spanner, &sentence, &sigma, 6),
+        None
+    );
 }
 
 #[test]
@@ -67,12 +73,21 @@ fn union_and_join_mirror_disjunction_and_conjunction() {
         )
     });
     let phi_b = library::on_whole_word(|x| {
-        Formula::exists(&["u1"], Formula::eq_chain(v(x), vec![v("u1"), Term::Sym(b'b')]))
+        Formula::exists(
+            &["u1"],
+            Formula::eq_chain(v(x), vec![v("u1"), Term::Sym(b'b')]),
+        )
     });
     let phi_either = Formula::or([phi_aa.clone(), phi_b.clone()]);
     let phi_both = Formula::and([phi_aa, phi_b]);
-    assert_eq!(first_boolean_disagreement(&either, &phi_either, &sigma, 5), None);
-    assert_eq!(first_boolean_disagreement(&both, &phi_both, &sigma, 5), None);
+    assert_eq!(
+        first_boolean_disagreement(&either, &phi_either, &sigma, 5),
+        None
+    );
+    assert_eq!(
+        first_boolean_disagreement(&both, &phi_both, &sigma, 5),
+        None
+    );
 }
 
 #[test]
@@ -116,5 +131,8 @@ fn difference_gives_generalized_core_power() {
     let squares_bool = Rc::new(Spanner::Project(vec![], squares));
     let non_squares = Rc::new(Spanner::Difference(all, squares_bool));
     let phi = Formula::not(library::phi_square());
-    assert_eq!(first_boolean_disagreement(&non_squares, &phi, &sigma, 5), None);
+    assert_eq!(
+        first_boolean_disagreement(&non_squares, &phi, &sigma, 5),
+        None
+    );
 }

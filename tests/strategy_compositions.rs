@@ -18,7 +18,11 @@ fn pseudo_congruence_on_the_anbn_scaffold() {
     let g1 = TableStrategy::new(game1.clone(), k + 2);
     let g2 = TableStrategy::new(game2.clone(), k + 2);
     let strat = PseudoCongruenceStrategy::new(game1, game2, Box::new(g1), Box::new(g2));
-    assert_eq!(strat.check_preconditions(), Some(0), "r = 0 for a-block vs b-block");
+    assert_eq!(
+        strat.check_preconditions(),
+        Some(0),
+        "r = 0 for a-block vs b-block"
+    );
     let composed = strat.composed_game();
     let failure = validate_strategy(&composed, &strat, k);
     assert!(failure.is_none(), "{}", failure.unwrap().render(&composed));
@@ -55,8 +59,7 @@ fn primitive_power_for_multiple_roots() {
     for root in ["ab", "aab", "ba"] {
         let lookup_game = GamePair::of(&"a".repeat(q), &"a".repeat(p));
         let lookup = UnaryEndAlignedStrategy::new(q, p, 7);
-        let strat =
-            PrimitivePowerStrategy::new(Word::from(root), lookup_game, Box::new(lookup));
+        let strat = PrimitivePowerStrategy::new(Word::from(root), lookup_game, Box::new(lookup));
         let composed = strat.composed_game();
         let failure = validate_strategy(&composed, &strat, k);
         assert!(
