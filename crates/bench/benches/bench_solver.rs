@@ -61,5 +61,38 @@ fn solver_random(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, solver_unary, solver_periodic, solver_random);
+/// The E08 fooling confirmation `a¹²b¹² ≡₂ a¹⁴b¹²` — 47 s on the
+/// pre-optimization solver, now a routine benchmark point. The counter
+/// totals (states / memo hits / pruned moves) are printed once so the
+/// inexpressibility report can cite them.
+fn solver_e08(c: &mut Criterion) {
+    let pair = || {
+        GamePair::new(
+            format!("{}{}", "a".repeat(12), "b".repeat(12)),
+            format!("{}{}", "a".repeat(14), "b".repeat(12)),
+            &Alphabet::ab(),
+        )
+    };
+    let mut s = EfSolver::new(pair());
+    assert!(s.equivalent(2));
+    let stats = s.stats();
+    println!(
+        "P1/E08 counters: {} states, {} memo hits, {} pruned moves, {:.3?} wall",
+        stats.states_explored, stats.memo_hits, stats.pruned_moves, stats.wall
+    );
+    let mut g = c.benchmark_group("P1-solver-e08");
+    g.sample_size(10);
+    g.bench_function("a12b12-vs-a14b12-k2", |b| {
+        b.iter(|| EfSolver::new(pair()).equivalent(2))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    solver_unary,
+    solver_periodic,
+    solver_random,
+    solver_e08
+);
 criterion_main!(benches);

@@ -4,11 +4,18 @@
 //! vector seeding of §3 (the winning condition appends ⟨𝔄⟩, ⟨𝔅⟩ to the
 //! chosen tuples, so the game *starts* from those pairs). Both the exact
 //! solver and the strategy validator operate on a `GamePair`.
+//!
+//! The structures are shared via `Arc`, so a `GamePair` clone is two
+//! pointer bumps — cheap enough to hand one to every worker thread of the
+//! solver's parallel top-level search. Mirror translations (same factor
+//! word on the other side) are precomputed in both directions at build
+//! time, making [`GamePair::mirror`] an O(1) array lookup.
 
-use crate::partial_iso::{check_partial_iso, consistent_extension, Pair};
+use crate::partial_iso::Pair;
+use crate::partial_iso::{check_partial_iso, consistent_extension, consistent_extension_seeded};
 use fc_logic::{FactorId, FactorStructure};
 use fc_words::{Alphabet, Word};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Which structure a move is played in.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -34,11 +41,15 @@ impl Side {
 #[derive(Clone)]
 pub struct GamePair {
     /// 𝔄_w.
-    pub a: Rc<FactorStructure>,
+    pub a: Arc<FactorStructure>,
     /// 𝔅_v.
-    pub b: Rc<FactorStructure>,
+    pub b: Arc<FactorStructure>,
     /// The constant pairs (⟨𝔄⟩ zipped with ⟨𝔅⟩).
     pub constant_pairs: Vec<Pair>,
+    /// Per 𝔄-element: the 𝔅-id of the same factor word, or ⊥ if absent.
+    mirror_ab: Vec<FactorId>,
+    /// Per 𝔅-element: the 𝔄-id of the same factor word, or ⊥ if absent.
+    mirror_ba: Vec<FactorId>,
 }
 
 impl GamePair {
@@ -48,23 +59,53 @@ impl GamePair {
         let w: Word = w.into();
         let v: Word = v.into();
         let sigma = sigma.extended_by(&w).extended_by(&v);
-        let a = Rc::new(FactorStructure::new(w, &sigma));
-        let b = Rc::new(FactorStructure::new(v, &sigma));
+        let a = Arc::new(FactorStructure::new(w, &sigma));
+        let b = Arc::new(FactorStructure::new(v, &sigma));
         let constant_pairs = a
             .constants_vector()
             .into_iter()
             .zip(b.constants_vector())
             .collect();
+        GamePair::from_parts(a, b, constant_pairs)
+    }
+
+    /// Assembles a game from pre-built structures and seeding (used by the
+    /// solver's role-swapping callers); computes the mirror tables.
+    pub fn from_parts(
+        a: Arc<FactorStructure>,
+        b: Arc<FactorStructure>,
+        constant_pairs: Vec<Pair>,
+    ) -> GamePair {
+        let mirror_into = |from: &FactorStructure, to: &FactorStructure| -> Vec<FactorId> {
+            from.universe()
+                .map(|id| to.id_of(from.bytes_of(id)).unwrap_or(FactorId::BOTTOM))
+                .collect()
+        };
+        let mirror_ab = mirror_into(&a, &b);
+        let mirror_ba = mirror_into(&b, &a);
         GamePair {
             a,
             b,
             constant_pairs,
+            mirror_ab,
+            mirror_ba,
         }
     }
 
     /// Builds the game from two strings over their joint alphabet.
     pub fn of(w: &str, v: &str) -> GamePair {
         GamePair::new(Word::from(w), Word::from(v), &Alphabet::from_symbols(b""))
+    }
+
+    /// The same game with the roles of 𝔄 and 𝔅 exchanged.
+    pub fn swapped(&self) -> GamePair {
+        GamePair {
+            a: self.b.clone(),
+            b: self.a.clone(),
+            constant_pairs: self.constant_pairs.iter().map(|&(x, y)| (y, x)).collect(),
+            mirror_ab: self.mirror_ba.clone(),
+            mirror_ba: self.mirror_ab.clone(),
+        }
     }
 
     /// `true` iff the constant seeding itself is a partial isomorphism
@@ -79,6 +120,13 @@ impl GamePair {
         consistent_extension(&self.a, &self.b, pairs, new)
     }
 
+    /// [`GamePair::consistent`] for a solver state: the constant seeding is
+    /// implicit, `played` holds only the packed moves made so far.
+    #[inline]
+    pub fn consistent_seeded(&self, played: &[u64], new: Pair) -> bool {
+        consistent_extension_seeded(&self.a, &self.b, &self.constant_pairs, played, new)
+    }
+
     /// The structure on `side`.
     pub fn structure(&self, side: Side) -> &FactorStructure {
         match side {
@@ -88,13 +136,21 @@ impl GamePair {
     }
 
     /// Translates an element of `side` into the same word on the other
-    /// side, if that word is also a factor there (⊥ ↦ ⊥).
+    /// side, if that word is also a factor there (⊥ ↦ ⊥). O(1).
+    #[inline]
     pub fn mirror(&self, side: Side, id: FactorId) -> Option<FactorId> {
         if id.is_bottom() {
             return Some(FactorId::BOTTOM);
         }
-        let bytes = self.structure(side).bytes_of(id);
-        self.structure(side.other()).id_of(bytes)
+        let m = match side {
+            Side::A => self.mirror_ab[id.0 as usize],
+            Side::B => self.mirror_ba[id.0 as usize],
+        };
+        if m.is_bottom() {
+            None
+        } else {
+            Some(m)
+        }
     }
 
     /// Orders a pair `(spoiler element, duplicator response)` into an
@@ -146,6 +202,30 @@ mod tests {
         assert_eq!(g.mirror(Side::A, full), None);
         // ⊥ mirrors to ⊥.
         assert_eq!(g.mirror(Side::B, FactorId::BOTTOM), Some(FactorId::BOTTOM));
+    }
+
+    #[test]
+    fn mirror_table_matches_interner() {
+        let g = GamePair::of("abaabb", "babaa");
+        for side in [Side::A, Side::B] {
+            for id in g.structure(side).universe() {
+                let expected = g
+                    .structure(side.other())
+                    .id_of(g.structure(side).bytes_of(id));
+                assert_eq!(g.mirror(side, id), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn swapped_game_flips_roles() {
+        let g = GamePair::of("abaab", "aab");
+        let s = g.swapped();
+        assert_eq!(s.a.word(), g.b.word());
+        assert_eq!(s.b.word(), g.a.word());
+        for id in s.a.universe() {
+            assert_eq!(s.mirror(Side::A, id), g.mirror(Side::B, id));
+        }
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub fn distinguishing_sentence(w: &str, v: &str, k: u32) -> Option<Formula> {
     let game = GamePair::of(w, v);
     let mut ctx = CertCtx {
         solver_ab: EfSolver::new(game.clone()),
-        solver_ba: EfSolver::new(swap_game(&game)),
+        solver_ba: EfSolver::new(game.swapped()),
         game,
         fresh: 0,
     };
@@ -56,14 +56,6 @@ struct CertCtx {
     solver_ab: EfSolver,
     solver_ba: EfSolver,
     fresh: usize,
-}
-
-fn swap_game(game: &GamePair) -> GamePair {
-    GamePair {
-        a: game.b.clone(),
-        b: game.a.clone(),
-        constant_pairs: game.constant_pairs.iter().map(|&(x, y)| (y, x)).collect(),
-    }
 }
 
 impl CertCtx {
@@ -119,8 +111,8 @@ impl CertCtx {
         &self,
         swapped: bool,
     ) -> (
-        std::rc::Rc<fc_logic::FactorStructure>,
-        std::rc::Rc<fc_logic::FactorStructure>,
+        std::sync::Arc<fc_logic::FactorStructure>,
+        std::sync::Arc<fc_logic::FactorStructure>,
     ) {
         if swapped {
             (self.game.b.clone(), self.game.a.clone())

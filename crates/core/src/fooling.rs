@@ -109,7 +109,7 @@ impl FoolingInstance {
                     self.prefix(q),
                     &Alphabet::from_symbols(b""),
                 ));
-                if solver.equivalent(k) {
+                if solver.equivalent_auto(k) {
                     return Some((p, q));
                 }
             }
@@ -134,7 +134,7 @@ impl FoolingInstance {
                     outside.clone(),
                     &Alphabet::from_symbols(b""),
                 ));
-                if solver.equivalent(k) {
+                if solver.equivalent_auto(k) {
                     return Some(FoolingPair {
                         inside,
                         outside,
@@ -162,7 +162,7 @@ impl FoolingInstance {
             pair.outside.clone(),
             &Alphabet::from_symbols(b""),
         ));
-        if !solver.equivalent(pair.k) {
+        if !solver.equivalent_auto(pair.k) {
             return Err(format!("{} ≢_{} {}", pair.inside, pair.k, pair.outside));
         }
         Ok(())

@@ -25,6 +25,8 @@
 //! - [`fooling`]: the Fooling Lemma (Lemma 4.13) driver — constructs
 //!   fooling pairs `(w ∈ L, v ∉ L, w ≡_k v)` and confirms them with the
 //!   solver;
+//! - [`reference`]: the deliberately naive definitional solver the
+//!   optimized one is differentially tested against;
 //! - [`existential`]: one-sided (existential-positive) games — the §7
 //!   route towards core-spanner inexpressibility;
 //! - [`pebble`]: p-pebble games for finite-variable FC (§7).
@@ -38,6 +40,7 @@ pub mod lemmas;
 pub mod partial_iso;
 pub mod pebble;
 pub mod pow2;
+pub mod reference;
 pub mod solver;
 pub mod strategies;
 pub mod strategy;

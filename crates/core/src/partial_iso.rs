@@ -15,6 +15,20 @@ use fc_logic::{FactorId, FactorStructure};
 /// A matched pair of chosen elements.
 pub type Pair = (FactorId, FactorId);
 
+/// Packs a pair into one `u64` (𝔄-id in the high half). The packing is
+/// order-preserving: `pack(p) < pack(q) ⟺ p < q` lexicographically, so a
+/// sorted packed state is a sorted pair state.
+#[inline]
+pub fn pack_pair(p: Pair) -> u64 {
+    ((p.0 .0 as u64) << 32) | p.1 .0 as u64
+}
+
+/// Inverse of [`pack_pair`].
+#[inline]
+pub fn unpack_pair(x: u64) -> Pair {
+    (FactorId((x >> 32) as u32), FactorId(x as u32))
+}
+
 /// The outcome of a partial-isomorphism check: either fine, or the first
 /// violated condition with the offending indices.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -82,36 +96,85 @@ pub fn consistent_extension(
     pairs: &[Pair],
     new: Pair,
 ) -> bool {
+    extension_ok(a, b, |i| pairs[i], pairs.len(), new)
+}
+
+/// [`consistent_extension`] over a game state split into the constant
+/// seeding (`base`, plain pairs) and the packed played pairs (`played`) —
+/// the solver's hot path, avoiding any concatenation of the two slices.
+pub fn consistent_extension_seeded(
+    a: &FactorStructure,
+    b: &FactorStructure,
+    base: &[Pair],
+    played: &[u64],
+    new: Pair,
+) -> bool {
+    let nb = base.len();
+    extension_ok(
+        a,
+        b,
+        |i| {
+            if i < nb {
+                base[i]
+            } else {
+                unpack_pair(played[i - nb])
+            }
+        },
+        nb + played.len(),
+        new,
+    )
+}
+
+/// Shared core of the incremental checks: `get(0..n)` enumerates the
+/// existing pairs; `new` is the candidate extension. Instead of filtering
+/// the (n+1)³ triple space for triples touching `new` (the old O(n³)
+/// loop), the three positions `new` can occupy are enumerated directly —
+/// (n+1)² + n(n+1) + n² = 3n² + 3n + 1 triples, each an O(1) concat-table
+/// probe.
+#[inline]
+fn extension_ok(
+    a: &FactorStructure,
+    b: &FactorStructure,
+    get: impl Fn(usize) -> Pair,
+    n: usize,
+    new: Pair,
+) -> bool {
     let (na, nb) = new;
     // Equality pattern against existing pairs.
-    for &(ai, bi) in pairs {
+    for i in 0..n {
+        let (ai, bi) = get(i);
         if (na == ai) != (nb == bi) {
             return false;
         }
     }
-    // Concatenation triples involving the new pair in ≥ 1 position.
-    // Build the extended list view lazily.
-    let ext_len = pairs.len() + 1;
-    let get = |i: usize| -> Pair {
-        if i < pairs.len() {
-            pairs[i]
-        } else {
-            new
+    // Triples with `new` in the result slot: (new, i, j) over the extension.
+    let ext = |i: usize| if i < n { get(i) } else { new };
+    for i in 0..=n {
+        let (ia, ib) = ext(i);
+        for j in 0..=n {
+            let (ja, jb) = ext(j);
+            if a.concat_holds(na, ia, ja) != b.concat_holds(nb, ib, jb) {
+                return false;
+            }
         }
-    };
-    let newi = ext_len - 1;
-    for l in 0..ext_len {
-        for i in 0..ext_len {
-            for j in 0..ext_len {
-                if l != newi && i != newi && j != newi {
-                    continue;
-                }
-                let (la, lb) = get(l);
-                let (ia, ib) = get(i);
-                let (ja, jb) = get(j);
-                if a.concat_holds(la, ia, ja) != b.concat_holds(lb, ib, jb) {
-                    return false;
-                }
+    }
+    // `new` in the left operand slot, result ranging over the old pairs.
+    for l in 0..n {
+        let (la, lb) = get(l);
+        for j in 0..=n {
+            let (ja, jb) = ext(j);
+            if a.concat_holds(la, na, ja) != b.concat_holds(lb, nb, jb) {
+                return false;
+            }
+        }
+    }
+    // `new` in the right operand slot only.
+    for l in 0..n {
+        let (la, lb) = get(l);
+        for i in 0..n {
+            let (ia, ib) = get(i);
+            if a.concat_holds(la, ia, na) != b.concat_holds(lb, ib, nb) {
+                return false;
             }
         }
     }

@@ -1,0 +1,75 @@
+//! The definitional reference solver — deliberately naive.
+//!
+//! This module re-implements the `𝔄_w ≡_k 𝔅_v` decision exactly as §3
+//! states it, with **no** memoization, pruning, packing, or incremental
+//! checking: every candidate position is validated by running the full
+//! [`check_partial_iso`] over the complete pair list (constant seeding
+//! included). It is exponentially slower than [`crate::solver::EfSolver`]
+//! and exists for one purpose: the optimized solver is differentially
+//! tested against it on exhaustive small windows (`tests/differential.rs`
+//! and the property suite), so every optimization must preserve the
+//! definitional semantics verbatim.
+
+use crate::arena::{GamePair, Side};
+use crate::partial_iso::{check_partial_iso, Pair};
+use fc_logic::FactorId;
+
+/// Decides `w ≡_k v` by the definitional alternating search.
+pub fn naive_equivalent(w: &str, v: &str, k: u32) -> bool {
+    let game = GamePair::of(w, v);
+    naive_game_equivalent(&game, k)
+}
+
+/// Decides the game verdict for a pre-built [`GamePair`].
+pub fn naive_game_equivalent(game: &GamePair, k: u32) -> bool {
+    let seed = game.constant_pairs.clone();
+    if check_partial_iso(&game.a, &game.b, &seed).is_err() {
+        return false;
+    }
+    wins(game, &seed, k)
+}
+
+/// Duplicator wins `k` more rounds from `pairs` (a full pair list, seeded
+/// with the constants, already a partial isomorphism).
+fn wins(game: &GamePair, pairs: &[Pair], k: u32) -> bool {
+    if k == 0 {
+        return true;
+    }
+    for side in [Side::A, Side::B] {
+        let mut spoiler_moves: Vec<FactorId> = game.structure(side).universe().collect();
+        spoiler_moves.push(FactorId::BOTTOM);
+        for element in spoiler_moves {
+            let mut responses: Vec<FactorId> = game.structure(side.other()).universe().collect();
+            responses.push(FactorId::BOTTOM);
+            let survives = responses.into_iter().any(|response| {
+                let pair = game.as_ab_pair(side, element, response);
+                let mut next = pairs.to_vec();
+                next.push(pair);
+                check_partial_iso(&game.a, &game.b, &next).is_ok() && wins(game, &next, k - 1)
+            });
+            if !survives {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_reproduces_known_verdicts() {
+        assert!(naive_equivalent("aaa", "aaaa", 1));
+        assert!(!naive_equivalent("a", "aa", 1));
+        assert!(!naive_equivalent("ab", "ba", 1));
+        assert!(equivalent_on(&["ab", "ba"], 0));
+        assert!(!naive_equivalent("", "a", 0));
+        assert!(!naive_equivalent("aa", "aaa", 2));
+    }
+
+    fn equivalent_on(pair: &[&str; 2], k: u32) -> bool {
+        naive_equivalent(pair[0], pair[1], k)
+    }
+}

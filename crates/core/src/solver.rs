@@ -9,22 +9,70 @@
 //!
 //! By Theorem 3.5, the verdict coincides with "`w` and `v` agree on every
 //! FC sentence of quantifier rank ≤ k"; the integration tests validate
-//! this against the model checker for small ranks.
+//! this against the model checker for small ranks, and a differential
+//! suite validates this optimized search against the definitional
+//! reference solver in [`crate::reference`].
 //!
 //! Complexity is `O((|U_A|·|U_B|)^k)` in the worst case — exponential in
-//! the round count, as the theory demands. The crate's strategies exist
-//! precisely to beat this on structured instances; `fc-bench` measures the
-//! crossover.
+//! the round count, as the theory demands. This implementation makes the
+//! search constant-factor lean (see `docs/SOLVER.md`):
+//!
+//! - **id arithmetic** — every atom probe is an O(1) lookup into the
+//!   per-structure concatenation tables built by `FactorStructure`;
+//! - **packed states** — a game state is the sorted vector of played
+//!   pairs, each packed into one `u64`; the constant seeding is identical
+//!   in every state and lives outside the memo keys, which are probed by
+//!   borrowed slice (no clone per lookup);
+//! - **move pruning** — Spoiler moves that replay a pinned element are
+//!   forced replays and collapse into a single memoized check (usually
+//!   skipped outright by a monotonicity argument), and identical-word
+//!   subgames are accepted immediately via the identity strategy;
+//! - **parallel top level** — [`EfSolver::equivalent_par`] fans the
+//!   top-level Spoiler moves out over `std::thread::scope` workers with
+//!   sharded (per-worker) memo tables.
+//!
+//! The crate's strategies exist precisely to beat the exponential search
+//! on structured instances; `fc-bench` measures the crossover.
 
 use crate::arena::{GamePair, Side};
-use crate::partial_iso::Pair;
+use crate::partial_iso::{pack_pair, unpack_pair, Pair};
 use fc_logic::FactorId;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Counters exposed by the solver for benchmarks and reports.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolverStats {
+    /// Number of distinct (state, k) entries computed (memo inserts).
+    pub states_explored: u64,
+    /// Number of memo-table hits.
+    pub memo_hits: u64,
+    /// Number of Spoiler moves discharged by pruning instead of search.
+    pub pruned_moves: u64,
+    /// Wall time accumulated inside `equivalent`/`equivalent_par`.
+    pub wall: Duration,
+}
+
+impl SolverStats {
+    fn absorb(&mut self, other: &SolverStats) {
+        self.states_explored += other.states_explored;
+        self.memo_hits += other.memo_hits;
+        self.pruned_moves += other.pruned_moves;
+        // wall time is measured by the coordinating call, not summed over
+        // workers.
+    }
+}
 
 /// A memoizing exact solver bound to one [`GamePair`].
 pub struct EfSolver {
     game: GamePair,
-    memo: HashMap<(Vec<Pair>, u32), bool>,
+    /// `memo[k]` maps a packed played-pair state to the verdict of the
+    /// k-rounds-remaining subgame. Keys are probed via `&[u64]` borrows.
+    memo: Vec<HashMap<Box<[u64]>, bool>>,
+    stats: SolverStats,
+    /// `w == v`: enables the identity-strategy early accept.
+    identical: bool,
 }
 
 /// One step of a Spoiler winning line (for traces and reports).
@@ -39,9 +87,12 @@ pub struct SpoilerMove {
 impl EfSolver {
     /// Creates a solver for the game over `game`.
     pub fn new(game: GamePair) -> EfSolver {
+        let identical = game.a.word() == game.b.word();
         EfSolver {
             game,
-            memo: HashMap::new(),
+            memo: Vec::new(),
+            stats: SolverStats::default(),
+            identical,
         }
     }
 
@@ -58,17 +109,101 @@ impl EfSolver {
 
     /// Decides `w ≡_k v`.
     pub fn equivalent(&mut self, k: u32) -> bool {
+        let t0 = Instant::now();
+        let verdict = if self.game.constants_consistent() {
+            self.duplicator_wins(Vec::new(), k)
+        } else {
+            false
+        };
+        self.stats.wall += t0.elapsed();
+        verdict
+    }
+
+    /// Decides `w ≡_k v`, fanning the top-level Spoiler moves out over
+    /// `threads` worker threads. Each worker owns a private solver — the
+    /// memo is *sharded*, trading cross-move sharing at the top level for
+    /// lock-free exploration; verdicts are combined with a conjunction
+    /// (Duplicator must survive every top-level move). Counters from all
+    /// shards are absorbed into this solver's [`SolverStats`].
+    pub fn equivalent_par(&mut self, k: u32, threads: usize) -> bool {
+        let t0 = Instant::now();
         if !self.game.constants_consistent() {
+            self.stats.wall += t0.elapsed();
             return false;
         }
-        let state = canonical(&self.game.constant_pairs);
-        self.duplicator_wins(state, k)
+        if k == 0 {
+            self.stats.wall += t0.elapsed();
+            return true;
+        }
+        // Top-level non-replay moves (replays are discharged by the same
+        // monotonicity argument as in the sequential search).
+        let mut moves: Vec<(Side, FactorId)> = Vec::new();
+        for side in [Side::A, Side::B] {
+            for element in self.moves_on(side) {
+                if self.is_pinned(side, &[], element) {
+                    self.stats.pruned_moves += 1;
+                } else {
+                    moves.push((side, element));
+                }
+            }
+        }
+        if moves.is_empty() || threads <= 1 {
+            // Degenerate games (every element pinned) or no parallelism:
+            // the sequential path handles both.
+            self.stats.wall += t0.elapsed();
+            return self.equivalent(k);
+        }
+        let spoiler_won = AtomicBool::new(false);
+        let shard_stats: Vec<SolverStats> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let game = self.game.clone();
+                    let moves = &moves;
+                    let flag = &spoiler_won;
+                    scope.spawn(move || {
+                        let mut shard = EfSolver::new(game);
+                        for (i, &(side, element)) in moves.iter().enumerate() {
+                            if i % threads != t {
+                                continue;
+                            }
+                            if flag.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            if shard.best_response_packed(&[], side, element, k).is_none() {
+                                flag.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                        shard.stats
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for s in &shard_stats {
+            self.stats.absorb(s);
+        }
+        self.stats.wall += t0.elapsed();
+        !spoiler_won.load(Ordering::Relaxed)
+    }
+
+    /// [`EfSolver::equivalent_par`] with one worker per available CPU.
+    pub fn equivalent_auto(&mut self, k: u32) -> bool {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if threads > 1 {
+            self.equivalent_par(k, threads)
+        } else {
+            self.equivalent(k)
+        }
     }
 
     /// Duplicator wins `k` more rounds continuing from an arbitrary
     /// consistent mid-game `state` (pairs including the constant seeding).
     pub fn wins_from(&mut self, state: &[Pair], k: u32) -> bool {
-        self.duplicator_wins(canonical(state), k)
+        let played = self.pack_played(state);
+        self.duplicator_wins(played, k)
     }
 
     /// The least `k ≤ max_k` such that Spoiler wins the `k`-round game, or
@@ -77,33 +212,116 @@ impl EfSolver {
         (0..=max_k).find(|&k| !self.equivalent(k))
     }
 
-    /// Duplicator wins the `k`-round game continued from `state`
-    /// (a canonical, consistent pair set).
-    fn duplicator_wins(&mut self, state: Vec<Pair>, k: u32) -> bool {
+    /// Strips the constant seeding (identical in every state) from a full
+    /// pair list and packs the remainder into canonical (sorted, deduped)
+    /// form.
+    fn pack_played(&self, state: &[Pair]) -> Vec<u64> {
+        let mut played: Vec<u64> = state
+            .iter()
+            .filter(|p| !self.game.constant_pairs.contains(p))
+            .map(|&p| pack_pair(p))
+            .collect();
+        played.sort_unstable();
+        played.dedup();
+        played
+    }
+
+    /// Duplicator wins the `k`-round game continued from the packed,
+    /// canonical played-pair state.
+    fn duplicator_wins(&mut self, state: Vec<u64>, k: u32) -> bool {
         if k == 0 {
             return true;
         }
-        if let Some(&cached) = self.memo.get(&(state.clone(), k)) {
+        // Mirror-closed early accept. Soundness: `identical` means the two
+        // structures are built from the same word over the same Σ, so they
+        // intern the same factors with the same ids. If additionally every
+        // played pair maps an element to itself (and the constant pairs do
+        // so by construction), the identity map wins all remaining rounds:
+        // whatever Spoiler plays, Duplicator copies it on the other side,
+        // and every atom trivially evaluates identically on both sides.
+        // The differential suite exercises this against the reference
+        // solver on all identical-word instances of the window.
+        if self.identical
+            && state.iter().all(|&p| {
+                let (x, y) = unpack_pair(p);
+                x == y
+            })
+        {
+            self.stats.pruned_moves += 1;
+            return true;
+        }
+        let ki = k as usize;
+        if ki >= self.memo.len() {
+            self.memo.resize_with(ki + 1, HashMap::new);
+        } else if let Some(&cached) = self.memo[ki].get(state.as_slice()) {
+            self.stats.memo_hits += 1;
             return cached;
         }
-        let mut result = true;
-        'spoiler: for side in [Side::A, Side::B] {
-            for element in self.spoiler_moves(side) {
-                if self.best_response_from(&state, side, element, k).is_none() {
-                    result = false;
-                    break 'spoiler;
-                }
-            }
-        }
-        self.memo.insert((state, k), result);
+        let result = self.search_spoiler_moves(&state, k);
+        self.stats.states_explored += 1;
+        self.memo[ki].insert(state.into_boxed_slice(), result);
         result
     }
 
+    /// The ∀-Spoiler layer: `true` iff every Spoiler move admits a winning
+    /// Duplicator response.
+    fn search_spoiler_moves(&mut self, state: &[u64], k: u32) -> bool {
+        let mut had_replay = false;
+        let mut had_fresh = false;
+        for side in [Side::A, Side::B] {
+            for element in self.moves_on(side) {
+                if self.is_pinned(side, state, element) {
+                    // Replay pruning. If `element` is already pinned by a
+                    // pair (element, r₀) of the state (or the constant
+                    // seeding), the equality pattern of Definition 3.1
+                    // forces Duplicator's response to be exactly r₀ — any
+                    // other response r makes (element = element) ⇎ (r = r₀).
+                    // Replaying (element, r₀) leaves the canonical state
+                    // unchanged, so the move's outcome is precisely
+                    // `duplicator_wins(state, k−1)`; all replay moves on
+                    // both sides collapse into that single check.
+                    self.stats.pruned_moves += 1;
+                    had_replay = true;
+                    continue;
+                }
+                had_fresh = true;
+                if self.best_response_packed(state, side, element, k).is_none() {
+                    return false;
+                }
+            }
+        }
+        // Discharging the collapsed replay check. If some fresh move
+        // succeeded, its witness says wins(state ∪ {p}, k−1) for a strict
+        // superset state — and winning from a superstate implies winning
+        // from the substate (restrict the superstate strategy: any tuple
+        // set that is a partial isomorphism stays one after dropping
+        // pairs, because Definition 3.1 quantifies universally over the
+        // pairs). So wins(state, k−1) holds and the replay check is free.
+        // Only when *every* element of both universes is pinned (tiny
+        // games) must it be computed explicitly.
+        if had_replay && !had_fresh {
+            return self.duplicator_wins(state.to_vec(), k - 1);
+        }
+        true
+    }
+
     /// All Spoiler options on a side: every universe element plus ⊥.
-    fn spoiler_moves(&self, side: Side) -> Vec<FactorId> {
-        let mut v: Vec<FactorId> = self.game.structure(side).universe().collect();
-        v.push(FactorId::BOTTOM);
-        v
+    fn moves_on(&self, side: Side) -> impl Iterator<Item = FactorId> {
+        let n = self.game.structure(side).universe_len() as u32;
+        (0..n)
+            .map(FactorId)
+            .chain(std::iter::once(FactorId::BOTTOM))
+    }
+
+    /// `true` iff `element` already occurs on `side` in the constant
+    /// seeding or the played state.
+    fn is_pinned(&self, side: Side, state: &[u64], element: FactorId) -> bool {
+        let pick = |p: Pair| match side {
+            Side::A => p.0,
+            Side::B => p.1,
+        };
+        self.game.constant_pairs.iter().any(|&p| pick(p) == element)
+            || state.iter().any(|&x| pick(unpack_pair(x)) == element)
     }
 
     /// A winning Duplicator response to Spoiler playing `element` on
@@ -111,6 +329,7 @@ impl EfSolver {
     /// from `state` — or `None` if every response loses.
     ///
     /// Public so solver-backed table strategies can replay optimal moves.
+    /// `state` is a full pair list including the constant seeding.
     pub fn best_response_from(
         &mut self,
         state: &[Pair],
@@ -118,43 +337,83 @@ impl EfSolver {
         element: FactorId,
         k: u32,
     ) -> Option<FactorId> {
+        let played = self.pack_played(state);
+        self.best_response_packed(&played, side, element, k)
+    }
+
+    /// Core response search over a packed state. Candidates are tried
+    /// best-first: the mirrored element (computed once), then the rest of
+    /// the opposite universe, then ⊥.
+    fn best_response_packed(
+        &mut self,
+        state: &[u64],
+        side: Side,
+        element: FactorId,
+        k: u32,
+    ) -> Option<FactorId> {
         debug_assert!(k >= 1);
-        for response in self.duplicator_options(side, element) {
-            let new_pair = self.game.as_ab_pair(side, element, response);
-            if !self.game.consistent(state, new_pair) {
+        let mirror = self.game.mirror(side, element);
+        if let Some(m) = mirror {
+            if self.try_response(state, side, element, m, k) {
+                return Some(m);
+            }
+        }
+        let n = self.game.structure(side.other()).universe_len() as u32;
+        for raw in 0..n {
+            let response = FactorId(raw);
+            if Some(response) == mirror {
                 continue;
             }
-            let mut next = state.to_vec();
-            if !next.contains(&new_pair) {
-                next.push(new_pair);
-                next.sort_unstable();
-            }
-            if self.duplicator_wins(next, k - 1) {
+            if self.try_response(state, side, element, response, k) {
                 return Some(response);
+            }
+        }
+        if !element.is_bottom() && mirror != Some(FactorId::BOTTOM) {
+            // ⊥ as response to a non-⊥ element is never consistent with the
+            // ε constant pair, but keep it for completeness.
+            if self.try_response(state, side, element, FactorId::BOTTOM, k) {
+                return Some(FactorId::BOTTOM);
             }
         }
         None
     }
 
-    /// Candidate responses, best-first: the mirrored element (same word on
-    /// the other side) if it exists, then all other elements, then ⊥.
-    fn duplicator_options(&self, spoiler_side: Side, element: FactorId) -> Vec<FactorId> {
-        let other = spoiler_side.other();
-        let mut opts = Vec::with_capacity(self.game.structure(other).universe_len() + 1);
-        if let Some(mirror) = self.game.mirror(spoiler_side, element) {
-            opts.push(mirror);
+    /// Checks one candidate response: consistency of the extension, then
+    /// the recursive subgame.
+    fn try_response(
+        &mut self,
+        state: &[u64],
+        side: Side,
+        element: FactorId,
+        response: FactorId,
+        k: u32,
+    ) -> bool {
+        let new_pair = self.game.as_ab_pair(side, element, response);
+        if !self.game.consistent_seeded(state, new_pair) {
+            return false;
         }
-        for id in self.game.structure(other).universe() {
-            if Some(id) != self.game.mirror(spoiler_side, element) {
-                opts.push(id);
+        self.duplicator_wins(extended(state, pack_pair(new_pair)), k - 1)
+    }
+
+    /// Any consistent response (used to extend a Spoiler winning line even
+    /// through positions where every response loses eventually).
+    fn salvage_response(&self, state: &[u64], side: Side, element: FactorId) -> Option<FactorId> {
+        let ok = |r: FactorId| {
+            self.game
+                .consistent_seeded(state, self.game.as_ab_pair(side, element, r))
+        };
+        let mirror = self.game.mirror(side, element);
+        if let Some(m) = mirror {
+            if ok(m) {
+                return Some(m);
             }
         }
-        if !element.is_bottom() {
-            // ⊥ as response to a non-⊥ element is never consistent with the
-            // ε constant pair, but keep it for completeness.
-            opts.push(FactorId::BOTTOM);
-        }
-        opts
+        let n = self.game.structure(side.other()).universe_len() as u32;
+        (0..n)
+            .map(FactorId)
+            .filter(|&r| Some(r) != mirror)
+            .chain((!element.is_bottom()).then_some(FactorId::BOTTOM))
+            .find(|&r| ok(r))
     }
 
     /// A Spoiler winning line of length ≤ k (a sequence of moves such that
@@ -168,37 +427,28 @@ impl EfSolver {
             return Some(Vec::new());
         }
         let mut line = Vec::new();
-        let mut state = canonical(&self.game.constant_pairs);
+        let mut state: Vec<u64> = Vec::new();
         let mut rounds = k;
         'outer: while rounds > 0 {
             for side in [Side::A, Side::B] {
-                for element in self.spoiler_moves(side) {
+                for element in self.moves_on(side) {
                     if self
-                        .best_response_from(&state, side, element, rounds)
-                        .is_none()
+                        .best_response_packed(&state, side, element, rounds)
+                        .is_some()
                     {
-                        line.push(SpoilerMove { side, element });
-                        // Extend the state with Duplicator's *least bad*
-                        // response that keeps the partial isomorphism if
-                        // any (otherwise Spoiler already won).
-                        let salvage =
-                            self.duplicator_options(side, element)
-                                .into_iter()
-                                .find(|&r| {
-                                    let p = self.game.as_ab_pair(side, element, r);
-                                    self.game.consistent(&state, p)
-                                });
-                        match salvage {
-                            None => return Some(line),
-                            Some(r) => {
-                                let p = self.game.as_ab_pair(side, element, r);
-                                if !state.contains(&p) {
-                                    state.push(p);
-                                    state.sort_unstable();
-                                }
-                                rounds -= 1;
-                                continue 'outer;
-                            }
+                        continue;
+                    }
+                    line.push(SpoilerMove { side, element });
+                    // Extend the state with Duplicator's *least bad*
+                    // response that keeps the partial isomorphism if
+                    // any (otherwise Spoiler already won).
+                    match self.salvage_response(&state, side, element) {
+                        None => return Some(line),
+                        Some(r) => {
+                            let p = pack_pair(self.game.as_ab_pair(side, element, r));
+                            state = extended(&state, p);
+                            rounds -= 1;
+                            continue 'outer;
                         }
                     }
                 }
@@ -208,17 +458,31 @@ impl EfSolver {
         Some(line)
     }
 
-    /// Size of the memo table (for benchmarks and reports).
+    /// Number of distinct solver states computed so far (for benchmarks
+    /// and reports). Counter-based, so it also reflects work done inside
+    /// the sharded memo tables of [`EfSolver::equivalent_par`].
     pub fn states_explored(&self) -> usize {
-        self.memo.len()
+        self.stats.states_explored as usize
+    }
+
+    /// All counters (states, memo hits, pruned moves, wall time).
+    pub fn stats(&self) -> SolverStats {
+        self.stats
     }
 }
 
-fn canonical(pairs: &[Pair]) -> Vec<Pair> {
-    let mut v = pairs.to_vec();
-    v.sort_unstable();
-    v.dedup();
-    v
+/// `state ∪ {p}` in canonical (sorted, deduped) packed form.
+fn extended(state: &[u64], p: u64) -> Vec<u64> {
+    match state.binary_search(&p) {
+        Ok(_) => state.to_vec(),
+        Err(pos) => {
+            let mut v = Vec::with_capacity(state.len() + 1);
+            v.extend_from_slice(&state[..pos]);
+            v.push(p);
+            v.extend_from_slice(&state[pos..]);
+            v
+        }
+    }
 }
 
 /// Decides `w ≡_k v` in one call (fresh solver).
@@ -298,20 +562,13 @@ mod tests {
         // If w ≡_k v then w ≡_j v for j ≤ k.
         let pairs = [("aaaa", "aaaaa"), ("ab", "ba"), ("aab", "aba")];
         for (w, v) in pairs {
-            let mut prev = true;
             for k in (0..=3).rev() {
-                let e = equivalent(w, v, k);
-                if prev {
-                    // once false at high k it can become true at lower k,
-                    // but not the converse
-                }
-                if e {
+                if equivalent(w, v, k) {
                     // all lower ranks must also be equivalent
                     for j in 0..k {
                         assert!(equivalent(w, v, j), "w={w} v={v} j={j} k={k}");
                     }
                 }
-                prev = e;
             }
         }
     }
@@ -331,5 +588,39 @@ mod tests {
         assert!(!equivalent("", "a", 1));
         // ≡_0: "" lacks the letter a, so the constant atom distinguishes.
         assert!(!equivalent("", "a", 0));
+    }
+
+    #[test]
+    fn parallel_agrees_with_sequential() {
+        let cases = [
+            ("aaa", "aaaa", 1),
+            ("a", "aa", 1),
+            ("ab", "ba", 1),
+            ("aab", "aba", 2),
+            ("abab", "abba", 2),
+            ("aaaa", "aaa", 2),
+            ("", "a", 1),
+            ("abc", "ab", 2),
+        ];
+        for (w, v, k) in cases {
+            for rounds in 0..=k {
+                let seq = EfSolver::of(w, v).equivalent(rounds);
+                for threads in [1usize, 2, 3, 7] {
+                    let par = EfSolver::of(w, v).equivalent_par(rounds, threads);
+                    assert_eq!(seq, par, "w={w} v={v} k={rounds} threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_counters_populate() {
+        let mut s = EfSolver::of("aabb", "abab");
+        let _ = s.equivalent(2);
+        let st = s.stats();
+        assert!(st.states_explored > 0);
+        assert!(st.pruned_moves > 0, "replay pruning should fire");
+        assert!(st.wall > Duration::ZERO);
+        assert_eq!(s.states_explored(), st.states_explored as usize);
     }
 }

@@ -6,21 +6,21 @@
 //! (e.g. Lemma 3.6's `aᵖ ≡_k a^q`) become the playable look-up games that
 //! the Pseudo-Congruence and Primitive Power compositions consume.
 //!
-//! All clones of a table strategy share one memo table (via `Rc<RefCell>`),
-//! so exhaustive validation does not re-solve subgames.
+//! All clones of a table strategy share one memo table (via `Arc<Mutex>`,
+//! so clones may be handed to worker threads), and exhaustive validation
+//! does not re-solve subgames.
 
 use crate::arena::{GamePair, Side};
 use crate::partial_iso::Pair;
 use crate::solver::EfSolver;
 use crate::strategy::DuplicatorStrategy;
 use fc_logic::FactorId;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Optimal Duplicator play for a fixed game and round budget.
 #[derive(Clone)]
 pub struct TableStrategy {
-    solver: Rc<RefCell<EfSolver>>,
+    solver: Arc<Mutex<EfSolver>>,
     pairs: Vec<Pair>,
     remaining: u32,
 }
@@ -36,7 +36,7 @@ impl TableStrategy {
         pairs.sort_unstable();
         pairs.dedup();
         TableStrategy {
-            solver: Rc::new(RefCell::new(EfSolver::new(game))),
+            solver: Arc::new(Mutex::new(EfSolver::new(game))),
             pairs,
             remaining: rounds,
         }
@@ -45,7 +45,7 @@ impl TableStrategy {
     /// Builds the strategy only if the solver confirms `w ≡_rounds v`.
     pub fn for_equivalent(game: GamePair, rounds: u32) -> Option<TableStrategy> {
         let s = TableStrategy::new(game, rounds);
-        if s.solver.borrow_mut().equivalent(rounds) {
+        if s.solver.lock().unwrap().equivalent(rounds) {
             Some(s)
         } else {
             None
@@ -59,14 +59,14 @@ impl TableStrategy {
 
     /// The game this strategy plays on.
     pub fn game(&self) -> GamePair {
-        self.solver.borrow().game().clone()
+        self.solver.lock().unwrap().game().clone()
     }
 }
 
 impl DuplicatorStrategy for TableStrategy {
     fn respond(&mut self, _game: &GamePair, side: Side, element: FactorId) -> FactorId {
         let budget = self.remaining.max(1);
-        let mut solver = self.solver.borrow_mut();
+        let mut solver = self.solver.lock().unwrap();
         let response = solver
             .best_response_from(&self.pairs, side, element, budget)
             .or_else(|| {

@@ -1,0 +1,145 @@
+//! Differential validation of the optimized solver.
+//!
+//! The exact solver in `fc_games::solver` is aggressively optimized
+//! (concat tables, packed memo states, replay pruning, mirror-closed early
+//! accepts, a parallel top level). Every one of those optimizations must
+//! be *semantically invisible*: this suite compares the optimized verdicts
+//! against the deliberately naive definitional solver
+//! ([`fc_games::reference`]) on the exhaustive window of all word pairs
+//! over Σ = {a, b} with |w| ≤ 4, for every rank k ≤ 2, and additionally
+//! checks that the parallel and sequential searches agree and that
+//! Spoiler winning lines remain valid under pruning.
+
+use fc_games::partial_iso::Pair;
+use fc_games::reference::naive_game_equivalent;
+use fc_games::solver::EfSolver;
+use fc_games::{GamePair, Side};
+use fc_logic::FactorId;
+use fc_words::Alphabet;
+
+/// All words over {a, b} of length ≤ `max_len` (including ε).
+fn window(max_len: usize) -> Vec<String> {
+    let mut words = vec![String::new()];
+    let mut frontier = vec![String::new()];
+    for _ in 0..max_len {
+        let mut next = Vec::new();
+        for w in &frontier {
+            for c in ['a', 'b'] {
+                let mut x = w.clone();
+                x.push(c);
+                next.push(x);
+            }
+        }
+        words.extend(next.iter().cloned());
+        frontier = next;
+    }
+    words
+}
+
+/// The fixed Σ = {a, b} game — letters missing from a word exercise the
+/// ⊥-valued constant pairs.
+fn game(w: &str, v: &str) -> GamePair {
+    GamePair::new(w, v, &Alphabet::ab())
+}
+
+#[test]
+fn optimized_matches_naive_reference_on_window() {
+    let words = window(4);
+    let mut checked = 0usize;
+    for (i, w) in words.iter().enumerate() {
+        // Verdicts are symmetric in (w, v) — the j < i half of the square
+        // re-runs the same games with the roles swapped, which the
+        // parallel/line tests below cover; the reference solver is slow
+        // enough that skipping the mirrored duplicates matters.
+        for v in words.iter().skip(i) {
+            let g = game(w, v);
+            for k in 0..=2u32 {
+                let fast = EfSolver::new(g.clone()).equivalent(k);
+                let slow = naive_game_equivalent(&g, k);
+                assert_eq!(fast, slow, "w={w:?} v={v:?} k={k}");
+                checked += 1;
+            }
+        }
+    }
+    // 31 words over {a,b}^{≤4}: 31·32/2 unordered pairs × 3 ranks.
+    assert_eq!(checked, 31 * 32 / 2 * 3);
+}
+
+#[test]
+fn parallel_matches_sequential_on_window() {
+    let words = window(4);
+    for w in &words {
+        for v in &words {
+            let g = game(w, v);
+            for k in 0..=2u32 {
+                let seq = EfSolver::new(g.clone()).equivalent(k);
+                let par = EfSolver::new(g.clone()).equivalent_par(k, 3);
+                assert_eq!(seq, par, "w={w:?} v={v:?} k={k}");
+            }
+        }
+    }
+}
+
+/// Any consistent Duplicator response extending `state`, or `None`.
+fn salvage(g: &GamePair, state: &[Pair], side: Side, element: FactorId) -> Option<FactorId> {
+    let mut candidates: Vec<FactorId> = g.structure(side.other()).universe().collect();
+    candidates.push(FactorId::BOTTOM);
+    candidates
+        .into_iter()
+        .find(|&r| g.consistent(state, g.as_ab_pair(side, element, r)))
+}
+
+#[test]
+fn spoiler_winning_lines_remain_valid_under_pruning() {
+    let words = window(4);
+    let mut lines_checked = 0usize;
+    for (i, w) in words.iter().enumerate() {
+        for v in words.iter().skip(i + 1) {
+            let g = game(w, v);
+            for k in 1..=2u32 {
+                let mut solver = EfSolver::new(g.clone());
+                if solver.equivalent(k) {
+                    continue;
+                }
+                let line = solver
+                    .spoiler_winning_line(k)
+                    .expect("inequivalent pair must yield a line");
+                assert!(line.len() as u32 <= k, "w={w:?} v={v:?} k={k}");
+                if !g.constants_consistent() {
+                    // Rank-0 loss: the empty line is the certificate.
+                    assert!(line.is_empty());
+                    continue;
+                }
+                // Walk the line: each move must be winning for Spoiler
+                // (no Duplicator response survives optimal play).
+                let mut state = g.constant_pairs.clone();
+                let mut remaining = k;
+                for (step, mv) in line.iter().enumerate() {
+                    assert!(remaining > 0, "line longer than budget");
+                    assert!(
+                        solver
+                            .best_response_from(&state, mv.side, mv.element, remaining)
+                            .is_none(),
+                        "w={w:?} v={v:?} k={k} step={step}: move not winning"
+                    );
+                    match salvage(&g, &state, mv.side, mv.element) {
+                        Some(r) => {
+                            let p = g.as_ab_pair(mv.side, mv.element, r);
+                            if !state.contains(&p) {
+                                state.push(p);
+                            }
+                            remaining -= 1;
+                        }
+                        None => {
+                            // No consistent response at all — Spoiler has
+                            // won outright, so this must be the last move.
+                            assert_eq!(step + 1, line.len());
+                        }
+                    }
+                }
+                lines_checked += 1;
+            }
+        }
+    }
+    assert!(lines_checked > 100, "window should produce many lines");
+}

@@ -1,0 +1,35 @@
+//! Hot-path perf smoke: the E08 fooling confirmation must stay fast.
+//!
+//! `a¹²b¹² ≡₂ a¹⁴b¹²` took 47 s (release) on the pre-optimization solver;
+//! the optimized solver decides it in well under a second. The budget here
+//! is deliberately generous (it must also pass unoptimized debug builds of
+//! the *optimized* code on slow CI), but any return to the old
+//! byte-comparison search blows through it by an order of magnitude —
+//! `scripts/check.sh` runs this test in release mode as a tripwire.
+
+use fc_games::solver::EfSolver;
+use fc_games::GamePair;
+use fc_words::Alphabet;
+use std::time::{Duration, Instant};
+
+#[test]
+fn e08_rank2_confirmation_within_budget() {
+    let budget = Duration::from_secs(30);
+    let start = Instant::now();
+    let mut solver = EfSolver::new(GamePair::new(
+        format!("{}{}", "a".repeat(12), "b".repeat(12)),
+        format!("{}{}", "a".repeat(14), "b".repeat(12)),
+        &Alphabet::ab(),
+    ));
+    assert!(solver.equivalent(2), "E08 verdict regressed");
+    let elapsed = start.elapsed();
+    let stats = solver.stats();
+    println!(
+        "E08 a12b12 ≡₂ a14b12: {elapsed:.3?} wall, {} states, {} memo hits, {} pruned",
+        stats.states_explored, stats.memo_hits, stats.pruned_moves
+    );
+    assert!(
+        elapsed < budget,
+        "solver perf regression: E08 took {elapsed:?} (budget {budget:?})"
+    );
+}

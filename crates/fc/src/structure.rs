@@ -40,6 +40,14 @@ pub struct FactorStructure {
     index: HashMap<Word, FactorId>,
     /// Per alphabet letter: the id of the single-letter factor, or ⊥.
     constants: Vec<(u8, FactorId)>,
+    /// Dense byte-indexed constant interpretations (⊥ for non-letters and
+    /// letters absent from `w`): `constant()` in O(1).
+    constant_table: Vec<FactorId>,
+    /// Dense concatenation table: `concat_table[b·n + c]` is the id of the
+    /// factor `b · c`, or ⊥ when the concatenation is not a factor of `w`.
+    /// Filled at build time by indexing every factor's length-splits, so
+    /// `R∘` membership and `concat_id` are O(1) array lookups.
+    concat_table: Vec<FactorId>,
 }
 
 impl FactorStructure {
@@ -47,27 +55,46 @@ impl FactorStructure {
     pub fn new(word: Word, sigma: &Alphabet) -> FactorStructure {
         let sigma = sigma.extended_by(&word);
         let factors = factors_of(word.bytes());
-        let mut index = HashMap::with_capacity(factors.len());
+        let n = factors.len();
+        let mut index = HashMap::with_capacity(n);
         for (i, f) in factors.iter().enumerate() {
             index.insert(f.clone(), FactorId(i as u32));
         }
-        let constants = sigma
+        let constants: Vec<(u8, FactorId)> = sigma
             .symbols()
             .iter()
             .map(|&c| {
                 let id = index
-                    .get(&Word::symbol(c))
+                    .get([c].as_slice())
                     .copied()
                     .unwrap_or(FactorId::BOTTOM);
                 (c, id)
             })
             .collect();
+        let mut constant_table = vec![FactorId::BOTTOM; 256];
+        for &(c, id) in &constants {
+            constant_table[c as usize] = id;
+        }
+        // Every split u = u[..i] · u[i..] of a factor u has factor halves,
+        // so one pass over all (factor, split point) pairs enumerates R∘
+        // exactly: concat_table[b·n + c] = a ⟺ (a, b, c) ∈ R∘.
+        let mut concat_table = vec![FactorId::BOTTOM; n * n];
+        for (a, f) in factors.iter().enumerate() {
+            let bytes = f.bytes();
+            for split in 0..=bytes.len() {
+                let b = index[&bytes[..split]];
+                let c = index[&bytes[split..]];
+                concat_table[b.0 as usize * n + c.0 as usize] = FactorId(a as u32);
+            }
+        }
         FactorStructure {
             word,
             sigma,
             factors,
             index,
             constants,
+            constant_table,
+            concat_table,
         }
     }
 
@@ -113,13 +140,10 @@ impl FactorStructure {
     }
 
     /// The interpretation `a^{𝔄_w}` of a letter constant: the single-letter
-    /// factor if the letter occurs in `w`, else ⊥.
+    /// factor if the letter occurs in `w`, else ⊥. O(1).
+    #[inline]
     pub fn constant(&self, sym: u8) -> FactorId {
-        self.constants
-            .iter()
-            .find(|&&(c, _)| c == sym)
-            .map(|&(_, id)| id)
-            .unwrap_or(FactorId::BOTTOM)
+        self.constant_table[sym as usize]
     }
 
     /// The constants vector ⟨𝔄_w⟩ = (a₁^{𝔄}, …, a_m^{𝔄}, ε^{𝔄}) used in the
@@ -153,35 +177,42 @@ impl FactorStructure {
         self.bytes_of(id).len()
     }
 
-    /// The id of a factor, if `u ⊑ w`.
+    /// The id of a factor, if `u ⊑ w`. Allocation-free: the interner is
+    /// probed through the `Borrow<[u8]>` impl on [`Word`].
+    #[inline]
     pub fn id_of(&self, u: &[u8]) -> Option<FactorId> {
-        // Fast path: very short or too-long candidates.
+        // Fast path: too-long candidates cannot be factors.
         if u.len() > self.word.len() {
             return None;
         }
-        self.index.get(&Word::from(u)).copied()
+        self.index.get(u).copied()
     }
 
     /// R∘ membership: `a = b · c` with all three in `Facs(w)`.
-    /// Any ⊥ argument makes this false.
+    /// Any ⊥ argument makes this false. O(1) via the concat table.
+    #[inline]
     pub fn concat_holds(&self, a: FactorId, b: FactorId, c: FactorId) -> bool {
         if a.is_bottom() || b.is_bottom() || c.is_bottom() {
             return false;
         }
-        let (ba, bb, bc) = (self.bytes_of(a), self.bytes_of(b), self.bytes_of(c));
-        ba.len() == bb.len() + bc.len() && ba.starts_with(bb) && ba.ends_with(bc)
+        let n = self.factors.len();
+        self.concat_table[b.0 as usize * n + c.0 as usize] == a
     }
 
     /// The id of `b · c` if the concatenation is again a factor of `w`.
+    /// O(1) via the concat table.
+    #[inline]
     pub fn concat_id(&self, b: FactorId, c: FactorId) -> Option<FactorId> {
         if b.is_bottom() || c.is_bottom() {
             return None;
         }
-        let (bb, bc) = (self.bytes_of(b), self.bytes_of(c));
-        let mut v = Vec::with_capacity(bb.len() + bc.len());
-        v.extend_from_slice(bb);
-        v.extend_from_slice(bc);
-        self.id_of(&v)
+        let n = self.factors.len();
+        let id = self.concat_table[b.0 as usize * n + c.0 as usize];
+        if id.is_bottom() {
+            None
+        } else {
+            Some(id)
+        }
     }
 
     /// The id of the full word `w` itself.
@@ -276,6 +307,33 @@ mod tests {
         assert!(s.is_suffix(s.id_of(b"aab").unwrap()));
         assert!(s.is_suffix(s.id_of(b"abaab").unwrap()));
         assert!(s.is_prefix(s.epsilon()) && s.is_suffix(s.epsilon()));
+    }
+
+    #[test]
+    fn concat_table_matches_byte_definition() {
+        // The O(1) table must agree with the definitional byte check
+        // (length split + prefix/suffix match) on every triple.
+        for w in ["", "a", "abaab", "aabbab", "abcacb"] {
+            let s = FactorStructure::of_str(w, &Alphabet::abc());
+            let ids: Vec<FactorId> = s.universe().collect();
+            for &a in &ids {
+                for &b in &ids {
+                    for &c in &ids {
+                        let (ba, bb, bc) = (s.bytes_of(a), s.bytes_of(b), s.bytes_of(c));
+                        let naive = ba.len() == bb.len() + bc.len()
+                            && ba.starts_with(bb)
+                            && ba.ends_with(bc);
+                        assert_eq!(
+                            s.concat_holds(a, b, c),
+                            naive,
+                            "w={w} a={ba:?} b={bb:?} c={bc:?}"
+                        );
+                        let bytes: Vec<u8> = [bb, bc].concat();
+                        assert_eq!(s.concat_id(b, c), s.id_of(&bytes));
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -158,6 +158,16 @@ impl Deref for Word {
     }
 }
 
+/// `Word` hashes and compares exactly like its underlying byte slice
+/// (`Vec<u8>`'s `Hash`/`Eq` delegate to `[u8]`), so hash maps keyed by
+/// `Word` can be probed with a borrowed `&[u8]` — no allocation per lookup.
+impl std::borrow::Borrow<[u8]> for Word {
+    #[inline]
+    fn borrow(&self) -> &[u8] {
+        &self.0
+    }
+}
+
 impl From<&str> for Word {
     fn from(s: &str) -> Self {
         Word(s.as_bytes().to_vec())

@@ -15,4 +15,7 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release --offline
 cargo test -q --offline
 
+echo "==> solver perf smoke (E08 a^12 b^12 ≡₂ a^14 b^12, release, generous budget)"
+cargo test -q --offline --release -p fc-games --test perf_smoke -- --nocapture
+
 echo "All checks passed."

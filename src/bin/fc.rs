@@ -222,10 +222,14 @@ fn cmd_game(args: &[String]) -> Result<(), String> {
         .parse()
         .map_err(|_| "k must be a number".to_string())?;
     let mut solver = EfSolver::of(w, v);
-    let verdict = solver.equivalent(k);
+    let verdict = solver.equivalent_auto(k);
+    let stats = solver.stats();
     println!(
-        "{w} ≡_{k} {v} ? {verdict}   ({} states explored)",
-        solver.states_explored()
+        "{w} ≡_{k} {v} ? {verdict}   ({} states explored, {} memo hits, {} moves pruned, {:.3?} wall)",
+        solver.states_explored(),
+        stats.memo_hits,
+        stats.pruned_moves,
+        stats.wall
     );
     if !verdict {
         if let Some(line) = solver.spoiler_winning_line(k) {

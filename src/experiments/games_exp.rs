@@ -25,14 +25,19 @@ pub fn e01_even_odd(effort: Effort) -> ExperimentReport {
         let mut solver = EfSolver::of(&w, &v);
         let spoiler_wins_2 = !solver.equivalent(2);
         let min_k = solver.distinguishing_rounds(2);
+        let stats = solver.stats();
         rep.check(
             spoiler_wins_2,
             format!(
-                "a^{} ≢₂ a^{} (minimal distinguishing k = {:?}, states explored = {})",
+                "a^{} ≢₂ a^{} (minimal distinguishing k = {:?}, states explored = {}, \
+                 memo hits = {}, moves pruned = {}, wall = {:.3?})",
                 2 * i,
                 2 * i - 1,
                 min_k,
-                solver.states_explored()
+                solver.states_explored(),
+                stats.memo_hits,
+                stats.pruned_moves,
+                stats.wall
             ),
         );
     }
