@@ -1,8 +1,9 @@
-//! P3 — FC model checking: scaling and the guarded-vs-naive ablation.
+//! P3 — FC model checking: scaling, the guarded-vs-naive ablation, and
+//! the compile-once-vs-recompile window ablation for the staged engine.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fc_logic::eval::{holds, holds_naive, Assignment};
-use fc_logic::{library, FactorStructure};
+use fc_logic::{language, library, FactorStructure, Plan};
 use fc_words::{fibonacci, Alphabet};
 
 fn square_language(c: &mut Criterion) {
@@ -56,5 +57,75 @@ fn vbv_rank5(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, square_language, fib_guarded_vs_naive, vbv_rank5);
+/// The tentpole ablation: sweeping L(φ) over a whole window Σ^{≤n}
+/// (a) recompiling per word — what `holds` in a loop used to cost,
+/// (b) compiling one plan and reusing it, and
+/// (c) the same one plan fanned out across threads.
+fn window_plan_reuse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("P3-window-plan-reuse");
+    g.sample_size(10);
+    let sigma = Alphabet::ab();
+    // Two workloads: a pure word-equation sentence (compile is cheap,
+    // reuse saves only the lowering) and a regex-heavy sentence from the
+    // bounded-transfer layer (per-word recompilation rebuilds every DFA,
+    // which is exactly the rework the plan hoists out of the loop).
+    let equational = library::phi_square();
+    let regex_heavy = library::on_whole_word(|x| {
+        fc_logic::Formula::and([
+            library::constraint_from_pattern(x, "(a|b)*"),
+            fc_logic::Formula::or([
+                library::constraint_from_pattern(x, "(ab)*"),
+                library::constraint_from_pattern(x, "a*(ba)*"),
+            ]),
+        ])
+    });
+    for (tag, phi, max_len) in [
+        ("equational", &equational, 8usize),
+        ("regex-heavy", &regex_heavy, 6),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("recompile-per-word", tag),
+            &max_len,
+            |b, &n| {
+                b.iter(|| {
+                    sigma
+                        .words_up_to(n)
+                        .filter(|w| {
+                            let s = FactorStructure::new(w.clone(), &sigma);
+                            holds(phi, &s, &Assignment::new())
+                        })
+                        .count()
+                })
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("one-plan", tag), &max_len, |b, &n| {
+            b.iter(|| language::language_window(phi, &sigma, n).len())
+        });
+        g.bench_with_input(BenchmarkId::new("one-plan-par4", tag), &max_len, |b, &n| {
+            b.iter(|| language::language_window_par(phi, &sigma, n, 4).len())
+        });
+    }
+    g.finish();
+}
+
+/// Plan compilation itself: the fixed cost the window sweep amortises.
+fn plan_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("P3-plan-compile");
+    let fib = library::phi_fib();
+    g.bench_function("phi_fib", |b| b.iter(|| Plan::compile(&fib).node_count()));
+    let square = library::phi_square();
+    g.bench_function("phi_square", |b| {
+        b.iter(|| Plan::compile(&square).node_count())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    square_language,
+    fib_guarded_vs_naive,
+    vbv_rank5,
+    window_plan_reuse,
+    plan_compile
+);
 criterion_main!(benches);

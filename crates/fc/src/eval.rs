@@ -3,60 +3,75 @@
 //! Quantifiers range over `Facs(w)` (never ⊥, per the paper's convention
 //! `σ(x) ≠ ⊥`). Atoms `x ≐ y·z` hold when `(σx, σy, σz) ∈ R∘`; any ⊥
 //! argument falsifies an atom. Regular constraints `(x ∈̇ γ)` hold when
-//! `σ(x) ⊑ w` (automatic) and `σ(x) ∈ L(γ)` — each distinct regex is
-//! compiled to a DFA once per evaluation.
+//! `σ(x) ⊑ w` (automatic) and `σ(x) ∈ L(γ)`.
 //!
-//! ## Guarded-quantifier optimization
+//! [`holds`] and [`satisfying_assignments`] are thin wrappers over the
+//! compiled pipeline in [`crate::plan`]: the formula is lowered once into
+//! a [`crate::plan::Plan`] (slot frames, structurally deduplicated DFAs,
+//! guard-directed quantifier blocks) and executed against the structure.
+//! Callers evaluating one formula against many words should compile the
+//! plan themselves — or use the windowed helpers in [`crate::language`],
+//! which do — so the lowering cost is paid once per formula instead of
+//! once per word.
 //!
-//! The reference semantics is the naive `O(|Facs(w)|^{qr})` recursion
-//! ([`holds_naive`]). On top of it, [`holds`] applies a *guard-directed*
-//! strategy: a quantifier block whose body is guarded by a word equation
-//! (`∃v⃗: (x ≐ t₁⋯t_m) ∧ ψ` or `∀v⃗: (x ≐ t₁⋯t_m) → ψ`) is evaluated by
-//! enumerating only the **solutions of the equation** (splits of the
-//! left-hand side's bytes across the parts), not the full `|U|^{|v⃗|}`
-//! grid. This is the standard pattern-matching view of word equations and
-//! is what makes the paper's φ_fib checkable on real members of `L_fib`.
-//! Integration tests assert both evaluators agree wherever the naive one
-//! is feasible.
+//! [`holds_naive`] is the *definitional reference*: a direct recursive
+//! transcription of Definition 2.2 with plain `O(|Facs(w)|^{qr})`
+//! quantifier enumeration and none of the plan's optimizations. It exists
+//! so the differential tests (`tests/plan_diff.rs`, the proptests) can
+//! check the compiled evaluator against something independently simple.
+//! Its DFA cache is keyed by **structural** regex identity — the old
+//! interpreter keyed by `Rc::as_ptr`, so structurally identical regexes
+//! in cloned or independently built formulas compiled separate DFAs, and
+//! a dropped/reallocated `Rc` could alias a stale key.
 
 use crate::formula::{Formula, Term, VarName};
+use crate::plan::Plan;
 use crate::structure::{FactorId, FactorStructure};
 use fc_reglang::{Dfa, Regex};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
 /// A variable assignment σ (restricted to the variables of interest).
 pub type Assignment = BTreeMap<VarName, FactorId>;
 
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum Quant {
-    Exists,
-    Forall,
+/// `(𝔄_w, σ) ⊨ φ`, via the compiled evaluator.
+/// Free variables of `φ` must all be bound in `sigma`.
+pub fn holds(formula: &Formula, structure: &FactorStructure, sigma: &Assignment) -> bool {
+    Plan::compile(formula).eval(structure, sigma)
 }
 
-struct EvalCtx<'a> {
+/// ⟦φ⟧(w): all assignments of the free variables of `φ` (to factors of `w`)
+/// that satisfy the formula, in lexicographic order of the assignment.
+pub fn satisfying_assignments(formula: &Formula, structure: &FactorStructure) -> Vec<Assignment> {
+    Plan::compile(formula).satisfying_assignments(structure)
+}
+
+/// Reference semantics: a direct transcription of Definition 2.2 with
+/// plain `O(|U|^{qr})` enumeration — no guard-directed blocks, no slot
+/// frames, no plan. Used by differential tests and ablation benchmarks.
+pub fn holds_naive(formula: &Formula, structure: &FactorStructure, sigma: &Assignment) -> bool {
+    let ctx = NaiveCtx::new(formula, structure);
+    let mut sigma = sigma.clone();
+    ctx.eval(formula, &mut sigma)
+}
+
+struct NaiveCtx<'a> {
     structure: &'a FactorStructure,
-    /// Compiled DFAs for the regular constraints, keyed by regex identity.
-    dfas: HashMap<*const Regex, Dfa>,
-    guarded: bool,
+    /// Compiled DFAs keyed by structural regex identity (the map hashes
+    /// through the `Rc`).
+    dfas: HashMap<Rc<Regex>, Dfa>,
 }
 
-impl<'a> EvalCtx<'a> {
-    fn new(formula: &Formula, structure: &'a FactorStructure, guarded: bool) -> Self {
+impl<'a> NaiveCtx<'a> {
+    fn new(formula: &Formula, structure: &'a FactorStructure) -> Self {
         let mut dfas = HashMap::new();
         for (_, regex) in formula.constraints() {
-            let key = Rc::as_ptr(&regex);
-            dfas.entry(key).or_insert_with(|| {
-                let mut alpha = structure.alphabet().symbols().to_vec();
-                alpha.extend(regex.symbols());
-                Dfa::from_regex(&regex, &alpha)
-            });
+            dfas.entry(regex.clone())
+                // `Regex::symbols()` is sorted and deduplicated; symbols of
+                // `w` outside the regex's alphabet reject in `accepts`.
+                .or_insert_with_key(|re| Dfa::from_regex(re, &re.symbols()));
         }
-        EvalCtx {
-            structure,
-            dfas,
-            guarded,
-        }
+        NaiveCtx { structure, dfas }
     }
 
     fn resolve(&self, term: &Term, sigma: &Assignment) -> FactorId {
@@ -105,18 +120,12 @@ impl<'a> EvalCtx<'a> {
                 if id.is_bottom() {
                     return false;
                 }
-                let dfa = &self.dfas[&Rc::as_ptr(regex)];
-                dfa.accepts(self.structure.bytes_of(id))
+                self.dfas[regex].accepts(self.structure.bytes_of(id))
             }
             Formula::Not(inner) => !self.eval(inner, sigma),
             Formula::And(fs) => fs.iter().all(|g| self.eval(g, sigma)),
             Formula::Or(fs) => fs.iter().any(|g| self.eval(g, sigma)),
             Formula::Exists(v, inner) => {
-                if self.guarded {
-                    if let Some(result) = self.try_guarded(Quant::Exists, f, sigma) {
-                        return result;
-                    }
-                }
                 let saved = sigma.get(v).copied();
                 let mut found = false;
                 for u in self.structure.universe() {
@@ -130,11 +139,6 @@ impl<'a> EvalCtx<'a> {
                 found
             }
             Formula::Forall(v, inner) => {
-                if self.guarded {
-                    if let Some(result) = self.try_guarded(Quant::Forall, f, sigma) {
-                        return result;
-                    }
-                }
                 let saved = sigma.get(v).copied();
                 let mut all = true;
                 for u in self.structure.universe() {
@@ -149,260 +153,6 @@ impl<'a> EvalCtx<'a> {
             }
         }
     }
-
-    /// Attempts guard-directed evaluation of a quantifier block.
-    /// Returns `None` when the block does not fit the guarded shape (then
-    /// the caller falls back to plain enumeration).
-    fn try_guarded(&self, kind: Quant, f: &Formula, sigma: &mut Assignment) -> Option<bool> {
-        // Collect the maximal block of same-kind quantifiers.
-        let mut vars: Vec<VarName> = Vec::new();
-        let mut body = f;
-        loop {
-            match (kind, body) {
-                (Quant::Exists, Formula::Exists(v, inner)) => {
-                    vars.push(v.clone());
-                    body = inner;
-                }
-                (Quant::Forall, Formula::Forall(v, inner)) => {
-                    vars.push(v.clone());
-                    body = inner;
-                }
-                _ => break,
-            }
-        }
-        if vars.is_empty() {
-            return None;
-        }
-        // Duplicate names in a block (shadowing) — bail out; plain
-        // enumeration handles it correctly.
-        let var_set: HashSet<&VarName> = vars.iter().collect();
-        if var_set.len() != vars.len() {
-            return None;
-        }
-
-        // Locate a guard chain covering all block variables.
-        let (items, guard_idx, chain): (&[Formula], usize, (Term, Vec<Term>)) = match (kind, body) {
-            (Quant::Exists, Formula::And(items)) => {
-                let found = items.iter().enumerate().find_map(|(i, item)| {
-                    as_chain(item).and_then(|ch| covers(&ch, &var_set).then_some((i, ch)))
-                })?;
-                (items, found.0, found.1)
-            }
-            (Quant::Forall, Formula::Or(items)) => {
-                let found = items.iter().enumerate().find_map(|(i, item)| match item {
-                    Formula::Not(inner) => {
-                        as_chain(inner).and_then(|ch| covers(&ch, &var_set).then_some((i, ch)))
-                    }
-                    _ => None,
-                })?;
-                (items, found.0, found.1)
-            }
-            _ => return None,
-        };
-
-        // Enumerate the guard's solutions over the block variables.
-        let solutions = self.chain_solutions(&chain.0, &chain.1, &vars, sigma);
-
-        // Save outer bindings for block vars.
-        let saved: Vec<Option<FactorId>> = vars.iter().map(|v| sigma.get(v).copied()).collect();
-        let mut result = kind == Quant::Forall; // ∀ vacuously true, ∃ false
-        'solutions: for sol in &solutions {
-            for (v, id) in vars.iter().zip(sol.iter()) {
-                sigma.insert(v.clone(), *id);
-            }
-            match kind {
-                Quant::Exists => {
-                    // Remaining conjuncts must hold (the guard already does).
-                    let rest_ok = items
-                        .iter()
-                        .enumerate()
-                        .filter(|&(i, _)| i != guard_idx)
-                        .all(|(_, g)| self.eval(g, sigma));
-                    if rest_ok {
-                        result = true;
-                        break 'solutions;
-                    }
-                }
-                Quant::Forall => {
-                    // Some other disjunct must hold (¬guard is false here).
-                    let rest_ok = items
-                        .iter()
-                        .enumerate()
-                        .filter(|&(i, _)| i != guard_idx)
-                        .any(|(_, g)| self.eval(g, sigma));
-                    if !rest_ok {
-                        result = false;
-                        break 'solutions;
-                    }
-                }
-            }
-        }
-        for (v, old) in vars.iter().zip(saved) {
-            restore(sigma, v, old);
-        }
-        Some(result)
-    }
-
-    /// All assignments of `vars` (as id-tuples, in `vars` order) solving
-    /// `lhs ≐ parts₁⋯parts_m`, given the outer assignment `sigma`.
-    fn chain_solutions(
-        &self,
-        lhs: &Term,
-        parts: &[Term],
-        vars: &[VarName],
-        sigma: &Assignment,
-    ) -> Vec<Vec<FactorId>> {
-        let var_pos: HashMap<&VarName, usize> =
-            vars.iter().enumerate().map(|(i, v)| (v, i)).collect();
-        // Block vars shadow any outer binding of the same name, so the check
-        // must consult the block before the outer assignment.
-        let is_block_var = |t: &Term| -> Option<usize> {
-            if let Term::Var(v) = t {
-                return var_pos.get(v).copied();
-            }
-            None
-        };
-        let mut out: Vec<Vec<FactorId>> = Vec::new();
-        let mut seen: HashSet<Vec<FactorId>> = HashSet::new();
-        let mut local: Vec<Option<FactorId>> = vec![None; vars.len()];
-
-        let lhs_candidates: Vec<FactorId> = match is_block_var(lhs) {
-            Some(_) => self.structure.universe().collect(),
-            None => {
-                let id = self.resolve(lhs, sigma);
-                if id.is_bottom() {
-                    return out;
-                }
-                vec![id]
-            }
-        };
-        for lhs_id in lhs_candidates {
-            if let Some(slot) = is_block_var(lhs) {
-                local[slot] = Some(lhs_id);
-            }
-            let target = self.structure.bytes_of(lhs_id).to_vec();
-            self.match_parts(
-                &target,
-                0,
-                parts,
-                sigma,
-                &is_block_var,
-                &mut local,
-                &mut |local: &[Option<FactorId>]| {
-                    // All block vars must be determined (covers() guarantees
-                    // each occurs in the chain).
-                    if let Some(sol) = local.iter().copied().collect::<Option<Vec<FactorId>>>() {
-                        if seen.insert(sol.clone()) {
-                            out.push(sol);
-                        }
-                    }
-                },
-            );
-            if let Some(slot) = is_block_var(lhs) {
-                local[slot] = None;
-            }
-        }
-        out
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn match_parts(
-        &self,
-        target: &[u8],
-        pos: usize,
-        parts: &[Term],
-        sigma: &Assignment,
-        is_block_var: &impl Fn(&Term) -> Option<usize>,
-        local: &mut Vec<Option<FactorId>>,
-        emit: &mut impl FnMut(&[Option<FactorId>]),
-    ) {
-        let Some((first, rest)) = parts.split_first() else {
-            if pos == target.len() {
-                emit(local);
-            }
-            return;
-        };
-        match is_block_var(first) {
-            Some(slot) => match local[slot] {
-                Some(id) => {
-                    let chunk = self.structure.bytes_of(id);
-                    if pos + chunk.len() <= target.len() && &target[pos..pos + chunk.len()] == chunk
-                    {
-                        self.match_parts(
-                            target,
-                            pos + chunk.len(),
-                            rest,
-                            sigma,
-                            is_block_var,
-                            local,
-                            emit,
-                        );
-                    }
-                }
-                None => {
-                    for len in 0..=target.len() - pos {
-                        let chunk = &target[pos..pos + len];
-                        // Any substring of a factor is a factor, so the id
-                        // lookup always succeeds; guard anyway.
-                        if let Some(id) = self.structure.id_of(chunk) {
-                            local[slot] = Some(id);
-                            self.match_parts(
-                                target,
-                                pos + len,
-                                rest,
-                                sigma,
-                                is_block_var,
-                                local,
-                                emit,
-                            );
-                            local[slot] = None;
-                        }
-                    }
-                }
-            },
-            None => {
-                let id = self.resolve(first, sigma);
-                if id.is_bottom() {
-                    return;
-                }
-                let chunk = self.structure.bytes_of(id);
-                if pos + chunk.len() <= target.len() && &target[pos..pos + chunk.len()] == chunk {
-                    self.match_parts(
-                        target,
-                        pos + chunk.len(),
-                        rest,
-                        sigma,
-                        is_block_var,
-                        local,
-                        emit,
-                    );
-                }
-            }
-        }
-    }
-}
-
-/// Views an atom as a chain `(lhs, parts)`: `x ≐ y·z` ↦ `(x, [y, z])`.
-fn as_chain(f: &Formula) -> Option<(Term, Vec<Term>)> {
-    match f {
-        Formula::Eq(x, y, z) => Some((x.clone(), vec![y.clone(), z.clone()])),
-        Formula::EqChain(x, parts) => Some((x.clone(), parts.clone())),
-        _ => None,
-    }
-}
-
-/// `true` iff every block variable occurs in the chain.
-fn covers(chain: &(Term, Vec<Term>), vars: &HashSet<&VarName>) -> bool {
-    let mut seen: HashSet<&VarName> = HashSet::new();
-    if let Term::Var(v) = &chain.0 {
-        seen.insert(v);
-    }
-    for t in &chain.1 {
-        if let Term::Var(v) = t {
-            seen.insert(v);
-        }
-    }
-    vars.iter().all(|v| seen.contains(*v))
 }
 
 fn restore(sigma: &mut Assignment, v: &VarName, saved: Option<FactorId>) {
@@ -414,54 +164,6 @@ fn restore(sigma: &mut Assignment, v: &VarName, saved: Option<FactorId>) {
             sigma.remove(v);
         }
     }
-}
-
-/// `(𝔄_w, σ) ⊨ φ` with the guard-directed evaluator.
-/// Free variables of `φ` must all be bound in `sigma`.
-pub fn holds(formula: &Formula, structure: &FactorStructure, sigma: &Assignment) -> bool {
-    let ctx = EvalCtx::new(formula, structure, true);
-    let mut sigma = sigma.clone();
-    ctx.eval(formula, &mut sigma)
-}
-
-/// Reference semantics: plain `O(|U|^{qr})` enumeration, no guard
-/// optimization. Used by tests and ablation benchmarks.
-pub fn holds_naive(formula: &Formula, structure: &FactorStructure, sigma: &Assignment) -> bool {
-    let ctx = EvalCtx::new(formula, structure, false);
-    let mut sigma = sigma.clone();
-    ctx.eval(formula, &mut sigma)
-}
-
-/// ⟦φ⟧(w): all assignments of the free variables of `φ` (to factors of `w`)
-/// that satisfy the formula, in lexicographic order of the assignment.
-pub fn satisfying_assignments(formula: &Formula, structure: &FactorStructure) -> Vec<Assignment> {
-    let free = formula.free_vars();
-    let ctx = EvalCtx::new(formula, structure, true);
-    let mut out = Vec::new();
-    let mut sigma = Assignment::new();
-    enumerate(&ctx, formula, &free, 0, &mut sigma, &mut out);
-    out
-}
-
-fn enumerate(
-    ctx: &EvalCtx<'_>,
-    formula: &Formula,
-    free: &[VarName],
-    i: usize,
-    sigma: &mut Assignment,
-    out: &mut Vec<Assignment>,
-) {
-    if i == free.len() {
-        if ctx.eval(formula, sigma) {
-            out.push(sigma.clone());
-        }
-        return;
-    }
-    for u in ctx.structure.universe() {
-        sigma.insert(free[i].clone(), u);
-        enumerate(ctx, formula, free, i + 1, sigma, out);
-    }
-    sigma.remove(&free[i]);
 }
 
 #[cfg(test)]
@@ -536,7 +238,7 @@ mod tests {
     }
 
     #[test]
-    fn guarded_and_naive_agree_on_random_formulas() {
+    fn compiled_and_naive_agree_on_mixed_shapes() {
         let sigma = Alphabet::ab();
         // A grab-bag of shapes exercising guarded paths and fallbacks.
         let formulas = [
@@ -599,7 +301,7 @@ mod tests {
     }
 
     #[test]
-    fn guarded_forall_with_shadowed_vars_falls_back() {
+    fn quantified_blocks_with_shadowed_vars() {
         // ∀x ∀x: (x ≐ ε) — inner x shadows outer; only ε satisfies.
         let phi = F::forall(&["x", "x"], F::eq(v("x"), Term::Epsilon));
         assert!(!phi.models(&structure("a")));
@@ -663,5 +365,12 @@ mod tests {
     fn unbound_variable_panics() {
         let phi = F::eq(v("x"), Term::Epsilon);
         holds(&phi, &structure("a"), &Assignment::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound variable")]
+    fn unbound_variable_panics_naive() {
+        let phi = F::eq(v("x"), Term::Epsilon);
+        holds_naive(&phi, &structure("a"), &Assignment::new());
     }
 }

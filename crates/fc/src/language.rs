@@ -4,23 +4,99 @@
 //! compares `L(φ) ∩ Σ^{≤n}` against reference predicates, and checks
 //! relation definability per the paper's Definition (§2): `φ_R` defines `R`
 //! iff for every `w`, `⟦φ_R⟧(w) = R ∩ Facs(w)^k`.
+//!
+//! Every windowed helper compiles its formula into a [`Plan`] **once** and
+//! reuses it for every word in the window — the dominant cost of the old
+//! per-word `holds()` loop was recompiling DFAs and re-discovering guard
+//! structure `|Σ^{≤n}|` times. The `_par` variants fan the window out over
+//! `std::thread::scope` workers sharing the one plan (mirroring the EF
+//! solver's `equivalent_par`); `_auto` uses one worker per available CPU.
+//! Parallel results are exactly equal to sequential ones (regression
+//! tests assert this): window order is preserved by giving workers
+//! contiguous chunks, and disagreement search minimizes the hit index
+//! across workers.
 
-use crate::eval::{holds, satisfying_assignments, Assignment};
+use crate::eval::Assignment;
 use crate::formula::{Formula, VarName};
+use crate::plan::{EvalStats, Plan};
 use crate::structure::FactorStructure;
 use fc_words::{Alphabet, Word};
 use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// `L(φ) ∩ Σ^{≤max_len}` for a sentence `φ`, in (length, lex) order.
 pub fn language_window(phi: &Formula, sigma: &Alphabet, max_len: usize) -> Vec<Word> {
     assert!(phi.is_sentence(), "language_window requires a sentence");
+    let plan = Plan::compile(phi);
     sigma
+        .words_up_to(max_len)
+        .filter(|w| plan.eval(&FactorStructure::new(w.clone(), sigma), &Assignment::new()))
+        .collect()
+}
+
+/// [`language_window`] that also accumulates [`EvalStats`] across the
+/// whole window (plan shape + total frames/guard hits/DFA checks/wall).
+pub fn language_window_stats(
+    phi: &Formula,
+    sigma: &Alphabet,
+    max_len: usize,
+) -> (Vec<Word>, EvalStats) {
+    assert!(phi.is_sentence(), "language_window requires a sentence");
+    let plan = Plan::compile(phi);
+    let mut stats = EvalStats::default();
+    let window = sigma
         .words_up_to(max_len)
         .filter(|w| {
             let s = FactorStructure::new(w.clone(), sigma);
-            holds(phi, &s, &Assignment::new())
+            plan.eval_with_stats(&s, &Assignment::new(), &mut stats)
         })
-        .collect()
+        .collect();
+    (window, stats)
+}
+
+/// [`language_window`] with the window fanned out over `workers` threads
+/// sharing one compiled plan. Output is identical to the sequential
+/// version: workers take contiguous chunks, concatenated in order.
+pub fn language_window_par(
+    phi: &Formula,
+    sigma: &Alphabet,
+    max_len: usize,
+    workers: usize,
+) -> Vec<Word> {
+    assert!(phi.is_sentence(), "language_window requires a sentence");
+    let words: Vec<Word> = sigma.words_up_to(max_len).collect();
+    if workers <= 1 || words.len() < 2 {
+        return language_window(phi, sigma, max_len);
+    }
+    let plan = Plan::compile(phi);
+    let chunk_len = words.len().div_ceil(workers);
+    let kept: Vec<Vec<Word>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = words
+            .chunks(chunk_len)
+            .map(|chunk| {
+                let plan = &plan;
+                scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .filter(|w| {
+                            plan.eval(
+                                &FactorStructure::new((*w).clone(), sigma),
+                                &Assignment::new(),
+                            )
+                        })
+                        .cloned()
+                        .collect::<Vec<Word>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    kept.into_iter().flatten().collect()
+}
+
+/// [`language_window_par`] with one worker per available CPU.
+pub fn language_window_auto(phi: &Formula, sigma: &Alphabet, max_len: usize) -> Vec<Word> {
+    language_window_par(phi, sigma, max_len, available_workers())
 }
 
 /// The first word (in (length, lex) order, up to `max_len`) on which the
@@ -31,16 +107,86 @@ pub fn first_language_disagreement(
     max_len: usize,
     reference: impl Fn(&Word) -> bool,
 ) -> Option<Word> {
+    let plan = Plan::compile(phi);
     sigma.words_up_to(max_len).find(|w| {
         let s = FactorStructure::new(w.clone(), sigma);
-        holds(phi, &s, &Assignment::new()) != reference(w)
+        plan.eval(&s, &Assignment::new()) != reference(w)
     })
+}
+
+/// [`first_language_disagreement`] parallelized over `workers` threads.
+/// Returns exactly the sequential answer: workers stride the window and
+/// minimize the disagreement index atomically, so the (length, lex)-first
+/// hit wins regardless of scheduling.
+pub fn first_language_disagreement_par(
+    phi: &Formula,
+    sigma: &Alphabet,
+    max_len: usize,
+    workers: usize,
+    reference: impl Fn(&Word) -> bool + Sync,
+) -> Option<Word> {
+    let words: Vec<Word> = sigma.words_up_to(max_len).collect();
+    if workers <= 1 || words.len() < 2 {
+        return first_language_disagreement(phi, sigma, max_len, reference);
+    }
+    let plan = Plan::compile(phi);
+    let best = AtomicUsize::new(usize::MAX);
+    std::thread::scope(|scope| {
+        for t in 0..workers {
+            let plan = &plan;
+            let words = &words;
+            let best = &best;
+            let reference = &reference;
+            scope.spawn(move || {
+                for (i, w) in words.iter().enumerate() {
+                    if i % workers != t {
+                        continue;
+                    }
+                    // Indices are visited in increasing order per worker:
+                    // anything at or past the current global best cannot
+                    // improve it.
+                    if best.load(Ordering::Relaxed) <= i {
+                        break;
+                    }
+                    let s = FactorStructure::new(w.clone(), sigma);
+                    if plan.eval(&s, &Assignment::new()) != reference(w) {
+                        best.fetch_min(i, Ordering::Relaxed);
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    let i = best.load(Ordering::Relaxed);
+    (i != usize::MAX).then(|| words[i].clone())
+}
+
+/// [`first_language_disagreement_par`] with one worker per available CPU.
+pub fn first_language_disagreement_auto(
+    phi: &Formula,
+    sigma: &Alphabet,
+    max_len: usize,
+    reference: impl Fn(&Word) -> bool + Sync,
+) -> Option<Word> {
+    first_language_disagreement_par(phi, sigma, max_len, available_workers(), reference)
+}
+
+fn available_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// ⟦φ⟧(w) rendered as word tuples in the order `vars`.
 pub fn relation_on(phi: &Formula, vars: &[&str], structure: &FactorStructure) -> Vec<Vec<Word>> {
+    relation_on_plan(&Plan::compile(phi), vars, structure)
+}
+
+/// [`relation_on`] over a precompiled plan (one compilation per window).
+pub fn relation_on_plan(plan: &Plan, vars: &[&str], structure: &FactorStructure) -> Vec<Vec<Word>> {
     let keys: Vec<VarName> = vars.iter().map(|v| Rc::from(*v)).collect();
-    let mut out: Vec<Vec<Word>> = satisfying_assignments(phi, structure)
+    let mut out: Vec<Vec<Word>> = plan
+        .satisfying_assignments(structure)
         .into_iter()
         .map(|m| {
             keys.iter()
@@ -63,7 +209,18 @@ pub fn check_defines_relation(
     structure: &FactorStructure,
     relation: impl Fn(&[Word]) -> bool,
 ) -> Option<(Vec<Word>, bool)> {
-    let got = relation_on(phi, vars, structure);
+    check_defines_relation_plan(&Plan::compile(phi), vars, structure, relation)
+}
+
+/// [`check_defines_relation`] over a precompiled plan — the form the
+/// window checks in `fc-relations` use, compiling once per window.
+pub fn check_defines_relation_plan(
+    plan: &Plan,
+    vars: &[&str],
+    structure: &FactorStructure,
+    relation: impl Fn(&[Word]) -> bool,
+) -> Option<(Vec<Word>, bool)> {
+    let got = relation_on_plan(plan, vars, structure);
     // formula ⊆ relation
     for t in &got {
         if !relation(t) {
@@ -115,6 +272,35 @@ mod tests {
     }
 
     #[test]
+    fn parallel_window_equals_sequential() {
+        let sigma = Alphabet::ab();
+        for phi in [
+            library::phi_square(),
+            library::phi_cube_free(),
+            library::phi_input_is_power_of(b"ab"),
+        ] {
+            let seq = language_window(&phi, &sigma, 5);
+            for workers in [2, 3, 8] {
+                assert_eq!(
+                    language_window_par(&phi, &sigma, 5, workers),
+                    seq,
+                    "workers={workers}"
+                );
+            }
+            assert_eq!(language_window_auto(&phi, &sigma, 5), seq);
+        }
+    }
+
+    #[test]
+    fn window_stats_accumulate() {
+        let sigma = Alphabet::ab();
+        let (window, stats) = language_window_stats(&library::phi_square(), &sigma, 4);
+        assert_eq!(window, language_window(&library::phi_square(), &sigma, 4));
+        assert!(stats.plan_nodes > 0);
+        assert!(stats.frames_explored + stats.guard_hits > 0);
+    }
+
+    #[test]
     fn disagreement_detection() {
         let sigma = Alphabet::ab();
         let phi = library::phi_square();
@@ -129,6 +315,34 @@ mod tests {
         // Wrong reference → flags a word.
         let bad = first_language_disagreement(&phi, &sigma, 4, |w| w.is_empty());
         assert_eq!(bad.unwrap().as_str(), "aa");
+    }
+
+    #[test]
+    fn parallel_disagreement_equals_sequential() {
+        let sigma = Alphabet::ab();
+        let phi = library::phi_square();
+        let correct = |w: &Word| {
+            w.len().is_multiple_of(2) && {
+                let (a, b) = w.bytes().split_at(w.len() / 2);
+                a == b
+            }
+        };
+        for workers in [2, 3, 8] {
+            assert_eq!(
+                first_language_disagreement_par(&phi, &sigma, 5, workers, correct),
+                None,
+                "workers={workers}"
+            );
+            // The sequential-first hit must win even when later-index
+            // disagreements are found first by other workers.
+            let bad =
+                first_language_disagreement_par(&phi, &sigma, 5, workers, |w: &Word| w.is_empty());
+            assert_eq!(bad.unwrap().as_str(), "aa", "workers={workers}");
+        }
+        assert_eq!(
+            first_language_disagreement_auto(&phi, &sigma, 5, correct),
+            None
+        );
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!   quantifier rank, desugaring into pure binary FC;
 //! - [`structure`]: the factor structure 𝔄_w with an interned universe;
 //! - [`eval`]: the model checker — sentences, assignments, ⟦φ⟧(w);
+//! - [`plan`]: the compiled evaluation pipeline — lower a formula once
+//!   into a slot-frame [`plan::Plan`] (structurally deduplicated DFAs,
+//!   guard-directed quantifier blocks) and execute it per word;
 //! - [`library`]: the paper's concrete formulas (φ_w, φ_ww, R_copy, the
 //!   quantifier-rank-5 formula of Prop 3.7, φ_fib of Prop 4.1, φ_{w*}, …);
 //! - [`reg_to_fc`]: Lemma 5.3's translation of bounded regular constraints
@@ -28,10 +31,12 @@ pub mod language;
 pub mod library;
 pub mod normal_form;
 pub mod parser;
+pub mod plan;
 pub mod reg_to_fc;
 pub mod span;
 pub mod structure;
 
 pub use eval::{holds, satisfying_assignments, Assignment};
 pub use formula::{Formula, Term, VarName};
+pub use plan::{EvalStats, Plan};
 pub use structure::{FactorId, FactorStructure};

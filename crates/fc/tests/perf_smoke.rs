@@ -1,0 +1,48 @@
+//! Release-mode performance smoke: model checking φ_fib on the n = 4
+//! member of L_fib must finish comfortably inside a generous budget.
+//!
+//! This is a regression tripwire for the staged evaluator, not a
+//! benchmark: before guard-directed evaluation this check was
+//! astronomically out of reach (the naive grid is |U|^{#quantifiers}),
+//! and a plan-layer regression that silently dropped guard blocks would
+//! blow the budget by orders of magnitude. `scripts/check.sh` runs this
+//! with `--release`; in debug builds the test is skipped so `cargo test`
+//! stays fast.
+
+use fc_logic::eval::Assignment;
+use fc_logic::plan::{EvalStats, Plan};
+use fc_logic::{library, FactorStructure};
+use fc_words::{fibonacci, Alphabet};
+use std::time::{Duration, Instant};
+
+#[test]
+fn phi_fib_accepts_the_n4_member_within_budget() {
+    if cfg!(debug_assertions) {
+        eprintln!("perf smoke skipped in debug build (run with --release)");
+        return;
+    }
+    let budget = Duration::from_secs(30);
+    let phi = library::phi_fib();
+    let member = fibonacci::l_fib_member(4);
+    let sigma = Alphabet::abc();
+
+    let t = Instant::now();
+    let plan = Plan::compile(&phi);
+    let compile_time = t.elapsed();
+
+    let s = FactorStructure::new(member.clone(), &sigma);
+    let mut stats = EvalStats::default();
+    let accepted = plan.eval_with_stats(&s, &Assignment::new(), &mut stats);
+    let total = t.elapsed();
+
+    assert!(accepted, "φ_fib rejected the n = 4 member of L_fib");
+    eprintln!(
+        "perf smoke: |w| = {}, compile {compile_time:.2?}, total {total:.2?}; {}",
+        member.len(),
+        stats.render()
+    );
+    assert!(
+        total < budget,
+        "φ_fib on the n = 4 member took {total:?} (budget {budget:?})"
+    );
+}

@@ -1,0 +1,174 @@
+//! Exhaustive differential suite: the compiled plan against the
+//! definitional interpreter [`holds_naive`], over the paper's whole
+//! formula library and every word of a small window — for open formulas,
+//! additionally over **every** assignment of the free variables.
+//!
+//! This is the ground-truth check behind `docs/EVAL.md`'s soundness
+//! argument: guard-directed blocks, slot frames, and structurally-deduped
+//! DFAs are pure evaluation strategy; the truth value they compute must be
+//! the textbook one on every input we can afford to enumerate.
+
+use fc_logic::eval::{holds_naive, Assignment};
+use fc_logic::{library, FactorStructure, Formula, Plan};
+use fc_words::Alphabet;
+use std::rc::Rc;
+
+/// The library corpus with, per formula, the alphabet it speaks about and
+/// the window length the *naive* evaluator can afford (its cost is
+/// |U|^{#quantifiers} per word, so the Fibonacci-layer sentences get a
+/// shorter window; everything else runs the full Σ^{≤4}).
+fn corpus() -> Vec<(&'static str, Formula, Alphabet, usize)> {
+    let ab = Alphabet::ab();
+    let abc = Alphabet::abc();
+    vec![
+        (
+            "phi_whole_word",
+            library::phi_whole_word("x"),
+            ab.clone(),
+            4,
+        ),
+        ("phi_square", library::phi_square(), ab.clone(), 4),
+        ("r_copy", library::r_copy("x", "y"), ab.clone(), 4),
+        (
+            "r_k_copies",
+            library::r_k_copies("x", "y", 3),
+            ab.clone(),
+            4,
+        ),
+        ("phi_cube_free", library::phi_cube_free(), ab.clone(), 4),
+        ("phi_vbv", library::phi_vbv(), ab.clone(), 4),
+        (
+            "phi_contains",
+            library::phi_contains("x", b'a'),
+            ab.clone(),
+            4,
+        ),
+        ("phi_struc", library::phi_struc(), abc.clone(), 3),
+        ("phi_fib", library::phi_fib(), abc.clone(), 3),
+        (
+            "phi_star_primitive",
+            library::phi_star_primitive("x", b"ab"),
+            ab.clone(),
+            4,
+        ),
+        (
+            "phi_star_word",
+            library::phi_star_word("x", b"ab"),
+            ab.clone(),
+            4,
+        ),
+        (
+            "phi_star_word_paper_literal",
+            library::phi_star_word_paper_literal("x", b"ab"),
+            ab.clone(),
+            4,
+        ),
+        (
+            "phi_input_is_power_of",
+            library::phi_input_is_power_of(b"ab"),
+            ab.clone(),
+            4,
+        ),
+        (
+            "phi_input_equals",
+            library::phi_input_equals(b"aba"),
+            ab.clone(),
+            4,
+        ),
+        (
+            "constraint_from_pattern",
+            library::constraint_from_pattern("x", "(ab)+"),
+            ab.clone(),
+            4,
+        ),
+    ]
+}
+
+/// Every assignment of `vars` over the structure's universe, in no
+/// particular order (the empty assignment if `vars` is empty).
+fn all_assignments(vars: &[Rc<str>], s: &FactorStructure) -> Vec<Assignment> {
+    let mut out = vec![Assignment::new()];
+    for v in vars {
+        let mut next = Vec::new();
+        for m in &out {
+            for id in s.universe() {
+                let mut m2 = m.clone();
+                m2.insert(v.clone(), id);
+                next.push(m2);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+#[test]
+fn plan_matches_naive_on_the_whole_library() {
+    for (name, phi, sigma, max_len) in corpus() {
+        let plan = Plan::compile(&phi);
+        let mut vars = phi.free_vars();
+        vars.sort();
+        let mut checked = 0u64;
+        for w in sigma.words_up_to(max_len) {
+            let s = FactorStructure::new(w.clone(), &sigma);
+            for m in all_assignments(&vars, &s) {
+                let compiled = plan.eval(&s, &m);
+                let reference = holds_naive(&phi, &s, &m);
+                assert_eq!(
+                    compiled, reference,
+                    "{name} on w={w} m={m:?}: plan={compiled}, naive={reference}"
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "{name}: empty differential window");
+    }
+}
+
+#[test]
+fn plan_enumeration_matches_brute_force() {
+    // `satisfying_assignments` must return exactly the assignments the
+    // naive evaluator approves, in the documented order (free variables
+    // sorted by name, universe ascending per variable).
+    let sigma = Alphabet::ab();
+    for (name, phi) in [
+        ("r_copy", library::r_copy("x", "y")),
+        ("phi_whole_word", library::phi_whole_word("x")),
+        ("phi_contains", library::phi_contains("x", b'b')),
+    ] {
+        let plan = Plan::compile(&phi);
+        let mut vars = phi.free_vars();
+        vars.sort();
+        for w in sigma.words_up_to(4) {
+            let s = FactorStructure::new(w.clone(), &sigma);
+            // Both sides enumerate sorted-name-major, universe-ascending,
+            // so the comparison pins the order as well as the set.
+            let brute: Vec<Assignment> = all_assignments(&vars, &s)
+                .into_iter()
+                .filter(|m| holds_naive(&phi, &s, m))
+                .collect();
+            let enumerated = plan.satisfying_assignments(&s);
+            assert_eq!(
+                enumerated, brute,
+                "{name} on w={w}: enumeration differs from brute force"
+            );
+        }
+    }
+}
+
+#[test]
+fn sentences_need_no_assignment() {
+    // The plan path must agree with the naive one on sentences when
+    // called with the canonical empty assignment.
+    let sigma = Alphabet::abc();
+    let phi = library::phi_fib();
+    let plan = Plan::compile(&phi);
+    for w in sigma.words_up_to(3) {
+        let s = FactorStructure::new(w.clone(), &sigma);
+        assert_eq!(
+            plan.eval(&s, &Assignment::new()),
+            holds_naive(&phi, &s, &Assignment::new()),
+            "phi_fib on {w}"
+        );
+    }
+}

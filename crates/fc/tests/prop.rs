@@ -3,9 +3,11 @@
 //! semantic laws.
 
 use fc_logic::eval::{holds, holds_naive, satisfying_assignments, Assignment};
-use fc_logic::{FactorStructure, Formula, Term};
+use fc_logic::{FactorStructure, Formula, Plan, Term};
+use fc_reglang::Regex;
 use fc_words::{Alphabet, Word};
 use proptest::prelude::*;
+use std::rc::Rc;
 
 fn word(max_len: usize) -> impl Strategy<Value = Word> {
     prop::collection::vec(prop::sample::select(vec![b'a', b'b']), 0..=max_len)
@@ -41,6 +43,54 @@ fn formula() -> impl Strategy<Value = Formula> {
                 .prop_map(|(v, f)| Formula::Forall(std::rc::Rc::from(v), Box::new(f))),
         ]
     })
+}
+
+/// Random regular expressions over {a, b}, small enough that DFA
+/// construction stays cheap but deep enough to exercise ε/∅ smart
+/// constructors, unions with repeated subterms (dedup bait), and stars.
+fn regex() -> impl Strategy<Value = Rc<Regex>> {
+    let leaf = prop_oneof![
+        Just(Regex::sym(b'a')),
+        Just(Regex::sym(b'b')),
+        Just(Regex::epsilon()),
+        Just(Regex::empty()),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Regex::concat(l, r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Regex::union(l, r)),
+            inner.prop_map(Regex::star),
+        ]
+    })
+}
+
+/// Like [`formula`], but with regular constraints `(t ∈̇ γ)` in the atom
+/// pool — the FC[REG] fragment the compiled plan caches DFAs for.
+fn formula_reg() -> impl Strategy<Value = Formula> {
+    let atom = prop_oneof![
+        (term(), term(), term()).prop_map(|(a, b, c)| Formula::Eq(a, b, c)),
+        (term(), prop::collection::vec(term(), 0..4)).prop_map(|(l, ps)| Formula::EqChain(l, ps)),
+        (term(), regex()).prop_map(|(t, g)| Formula::In(t, g)),
+    ];
+    atom.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| Formula::Not(Box::new(f))),
+            prop::collection::vec(inner.clone(), 0..3).prop_map(Formula::And),
+            prop::collection::vec(inner.clone(), 0..3).prop_map(Formula::Or),
+            (prop::sample::select(VARS.to_vec()), inner.clone())
+                .prop_map(|(v, f)| Formula::Exists(std::rc::Rc::from(v), Box::new(f))),
+            (prop::sample::select(VARS.to_vec()), inner)
+                .prop_map(|(v, f)| Formula::Forall(std::rc::Rc::from(v), Box::new(f))),
+        ]
+    })
+}
+
+/// Closes a formula into a sentence by existentially quantifying every
+/// free variable.
+fn to_sentence(phi: &Formula) -> Formula {
+    phi.free_vars()
+        .into_iter()
+        .fold(phi.clone(), |acc, v| Formula::Exists(v, Box::new(acc)))
 }
 
 /// Closes a formula by binding all free variables to ε in the assignment.
@@ -208,6 +258,57 @@ proptest! {
         let spanned = fc_logic::parser::parse_formula_spanned(&src)
             .unwrap_or_else(|e| panic!("{src}: {e:?}"));
         prop_assert_eq!(plain, spanned.to_formula(), "src={}", src);
+    }
+
+    #[test]
+    fn compiled_plan_agrees_with_naive_on_fc_reg(phi in formula_reg(), w in word(4)) {
+        // The central soundness property of the staged engine: one
+        // compiled plan (slots, deduped DFAs, guard blocks) computes the
+        // same truth value as the definitional interpreter, now on
+        // formulas *with* regular constraints.
+        let s = FactorStructure::new(w.clone(), &Alphabet::ab());
+        let m = close(&phi, &s);
+        let plan = Plan::compile(&phi);
+        prop_assert_eq!(
+            plan.eval(&s, &m),
+            holds_naive(&phi, &s, &m),
+            "phi={} w={}", phi, w
+        );
+    }
+
+    #[test]
+    fn plan_reuse_across_a_window_matches_per_word_naive(phi in formula_reg()) {
+        // One plan, many words: compiling once and sweeping the window
+        // must match recompiling (or interpreting) per word.
+        let sentence = to_sentence(&phi);
+        let plan = Plan::compile(&sentence);
+        let sigma = Alphabet::ab();
+        for word in sigma.words_up_to(3) {
+            let s = FactorStructure::new(word.clone(), &sigma);
+            prop_assert_eq!(
+                plan.eval(&s, &Assignment::new()),
+                holds_naive(&sentence, &s, &Assignment::new()),
+                "phi={} word={}", sentence, word
+            );
+        }
+    }
+
+    #[test]
+    fn plan_solutions_hold_under_the_naive_evaluator(phi in formula_reg(), w in word(3)) {
+        let s = FactorStructure::new(w.clone(), &Alphabet::ab());
+        let plan = Plan::compile(&phi);
+        for m in plan.satisfying_assignments(&s).iter().take(8) {
+            prop_assert!(holds_naive(&phi, &s, m), "phi={} w={} m={:?}", phi, w, m);
+        }
+    }
+
+    #[test]
+    fn parallel_window_equals_sequential_on_random_sentences(phi in formula_reg(), workers in 2usize..5) {
+        let sentence = to_sentence(&phi);
+        let sigma = Alphabet::ab();
+        let seq = fc_logic::language::language_window(&sentence, &sigma, 3);
+        let par = fc_logic::language::language_window_par(&sentence, &sigma, 3, workers);
+        prop_assert_eq!(seq, par, "phi={} workers={}", sentence, workers);
     }
 
     #[test]

@@ -9,8 +9,8 @@
 //! definability condition `⟦φ_R⟧(w) = R ∩ Facs(w)^k` on concrete words —
 //! the exact counterpart of Theorem 5.5's negative battery.
 
-use fc_logic::language::check_defines_relation;
-use fc_logic::{library, FactorStructure, Formula, Term};
+use fc_logic::language::check_defines_relation_plan;
+use fc_logic::{library, FactorStructure, Formula, Plan, Term};
 use fc_words::Word;
 
 fn v(name: &str) -> Term {
@@ -32,12 +32,28 @@ pub struct SelectableRelation {
 impl SelectableRelation {
     /// Verifies `⟦φ⟧(w) = R ∩ Facs(w)^k` on one word; `None` means exact.
     pub fn check(&self, w: &str) -> Option<(Vec<Word>, bool)> {
-        let structure = FactorStructure::of_word(w);
+        self.check_window(std::iter::once(w)).map(|(_, t)| t)
+    }
+
+    /// Verifies the definability condition on every word of a window,
+    /// compiling the formula **once** for the whole sweep. Returns the
+    /// first `(word, counterexample)`; `None` means exact everywhere.
+    pub fn check_window<'w>(
+        &self,
+        words: impl IntoIterator<Item = &'w str>,
+    ) -> Option<(String, (Vec<Word>, bool))> {
+        let plan = Plan::compile(&self.formula);
         let vars: Vec<String> = (1..=self.arity).map(|i| format!("x{i}")).collect();
         let var_refs: Vec<&str> = vars.iter().map(String::as_str).collect();
-        check_defines_relation(&self.formula, &var_refs, &structure, |t| {
-            (self.predicate)(t)
-        })
+        for w in words {
+            let structure = FactorStructure::of_word(w);
+            if let Some(bad) =
+                check_defines_relation_plan(&plan, &var_refs, &structure, |t| (self.predicate)(t))
+            {
+                return Some((w.to_string(), bad));
+            }
+        }
+        None
     }
 }
 
@@ -169,6 +185,22 @@ mod tests {
             predicate: |t| t[0] == t[1],
         };
         assert!(wrong.check("aa").is_some());
+    }
+
+    #[test]
+    fn window_check_reuses_one_plan() {
+        let rel = copy();
+        // Exact on every word of the window…
+        assert!(rel.check_window(["", "a", "aa", "aabab"]).is_none());
+        // …and a wrong claim is attributed to the first failing word.
+        let wrong = SelectableRelation {
+            name: "broken",
+            arity: 2,
+            formula: library::r_copy("x1", "x2"),
+            predicate: |t| t[0] == t[1],
+        };
+        let (word, _) = wrong.check_window(["", "aa", "ab"]).unwrap();
+        assert_eq!(word, "aa");
     }
 
     #[test]

@@ -12,20 +12,22 @@
 //! generalized core spanners.
 
 use crate::spanner::Spanner;
-use fc_logic::{eval, FactorStructure, Formula};
+use fc_logic::{eval, FactorStructure, Formula, Plan};
 use fc_words::{Alphabet, Word};
 
 /// Compares the Boolean behaviour of a spanner and an FC[REG] sentence on
-/// all words of Σ^{≤max_len}; returns the first disagreement.
+/// all words of Σ^{≤max_len}; returns the first disagreement. The
+/// sentence is compiled once for the whole window.
 pub fn first_boolean_disagreement(
     spanner: &Spanner,
     sentence: &Formula,
     sigma: &Alphabet,
     max_len: usize,
 ) -> Option<Word> {
+    let plan = Plan::compile(sentence);
     sigma.words_up_to(max_len).find(|w| {
         let s = FactorStructure::new(w.clone(), sigma);
-        let formula_accepts = eval::holds(sentence, &s, &eval::Assignment::new());
+        let formula_accepts = plan.eval(&s, &eval::Assignment::new());
         spanner.accepts(w.bytes()) != formula_accepts
     })
 }
@@ -42,9 +44,8 @@ pub fn first_relation_disagreement(
     sigma: &Alphabet,
 ) -> Option<String> {
     let structure = FactorStructure::new(doc.clone(), sigma);
-    let mut from_formula = fc_logic::language::relation_on(formula, vars, &structure);
-    from_formula.sort();
-    from_formula.dedup();
+    // Already sorted and deduplicated by `relation_on`.
+    let from_formula = fc_logic::language::relation_on(formula, vars, &structure);
 
     let rel = spanner.evaluate(doc.bytes());
     let indices: Vec<usize> = vars

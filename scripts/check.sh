@@ -18,4 +18,7 @@ cargo test -q --offline
 echo "==> solver perf smoke (E08 a^12 b^12 ≡₂ a^14 b^12, release, generous budget)"
 cargo test -q --offline --release -p fc-games --test perf_smoke -- --nocapture
 
+echo "==> eval perf smoke (phi_fib accepts the n = 4 member, release, generous budget)"
+cargo test -q --offline --release -p fc-logic --test perf_smoke -- --nocapture
+
 echo "All checks passed."

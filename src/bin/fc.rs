@@ -1,8 +1,8 @@
 //! `fc` — command-line front end for the FC / EF-games toolkit.
 //!
 //! ```text
-//! fc check  '<formula>' <word>        model-check a sentence on a word
-//! fc solve  '<formula>' <word>        print all satisfying assignments
+//! fc check  '<formula>' <word> [--stats]   model-check a sentence on a word
+//! fc solve  '<formula>' <word> [--stats]   print all satisfying assignments
 //! fc lint   '<formula>' [flags]       diagnostics (see docs/ANALYSIS.md)
 //! fc game   <w> <v> <k>               decide w ≡_k v, show a winning line
 //! fc classes <k> <max_exponent>       unary ≡_k class table (Lemma 3.6)
@@ -18,6 +18,8 @@
 //! Exit codes: 0 clean, 1 findings (errors, or warnings under
 //! `--deny-warnings`), 2 usage error. `fc check` and `fc solve` run the
 //! same analysis first: lint errors abort, warnings go to stderr.
+//! With `--stats`, both print the compiled evaluator's `EvalStats` line
+//! (plan size, DFA count, frames explored, guard hits, wall time).
 //!
 //! Formula syntax: see `fc_logic::parser` — e.g.
 //! `fc check 'E x, y: x = y.y & !(E z1, z2: ((z1 = z2.x) | (z1 = x.z2)) & !(z2 = eps))' abab`
@@ -26,8 +28,9 @@ use fc_suite::games::pow2;
 use fc_suite::games::solver::EfSolver;
 use fc_suite::games::Side;
 use fc_suite::logic::analysis::{self, AnalysisConfig, Analyzer, Severity};
-use fc_suite::logic::eval::{holds, satisfying_assignments, Assignment};
+use fc_suite::logic::eval::Assignment;
 use fc_suite::logic::parser::parse_formula;
+use fc_suite::logic::plan::{EvalStats, Plan};
 use fc_suite::logic::{FactorStructure, Formula};
 use fc_suite::reglang::{bounded, Dfa, Regex};
 use fc_suite::relations::languages;
@@ -96,24 +99,48 @@ fn lint_gate(src: &str, expect_sentence: bool) -> Result<Formula, String> {
     parse_formula(src)
 }
 
+/// Splits `args` into positional arguments and the `--stats` flag
+/// (shared by `fc check` and `fc solve`).
+fn split_stats_flag(args: &[String]) -> Result<(Vec<&str>, bool), String> {
+    let mut pos = Vec::new();
+    let mut stats = false;
+    for a in args {
+        match a.as_str() {
+            "--stats" => stats = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
+            other => pos.push(other),
+        }
+    }
+    Ok((pos, stats))
+}
+
 fn cmd_check(args: &[String]) -> Result<(), String> {
-    let phi = lint_gate(need(args, 0, "formula")?, true)?;
-    let word = need(args, 1, "word")?;
+    let (pos, want_stats) = split_stats_flag(args)?;
+    let phi = lint_gate(pos.first().ok_or("missing argument: formula")?, true)?;
+    let word = *pos.get(1).ok_or("missing argument: word")?;
     let s = FactorStructure::of_word(word);
-    let verdict = holds(&phi, &s, &Assignment::new());
+    let plan = Plan::compile(&phi);
+    let mut stats = EvalStats::default();
+    let verdict = plan.eval_with_stats(&s, &Assignment::new(), &mut stats);
     println!(
         "{word} ⊨ φ ? {verdict}   (qr = {}, desugared qr = {})",
         phi.qr(),
         phi.qr_desugared()
     );
+    if want_stats {
+        println!("stats: {}", stats.render());
+    }
     Ok(())
 }
 
 fn cmd_solve(args: &[String]) -> Result<(), String> {
-    let phi = lint_gate(need(args, 0, "formula")?, false)?;
-    let word = need(args, 1, "word")?;
+    let (pos, want_stats) = split_stats_flag(args)?;
+    let phi = lint_gate(pos.first().ok_or("missing argument: formula")?, false)?;
+    let word = *pos.get(1).ok_or("missing argument: word")?;
     let s = FactorStructure::of_word(word);
-    let sols = satisfying_assignments(&phi, &s);
+    let plan = Plan::compile(&phi);
+    let mut stats = EvalStats::default();
+    let sols = plan.satisfying_assignments_with_stats(&s, &mut stats);
     println!("⟦φ⟧({word}) has {} assignment(s):", sols.len());
     for m in sols.iter().take(50) {
         let cells: Vec<String> = m
@@ -124,6 +151,9 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
     }
     if sols.len() > 50 {
         println!("  … and {} more", sols.len() - 50);
+    }
+    if want_stats {
+        println!("stats: {}", stats.render());
     }
     Ok(())
 }

@@ -5,6 +5,7 @@ use fc_games::solver::EfSolver;
 use fc_games::GamePair;
 use fc_logic::eval::{holds, holds_naive, Assignment};
 use fc_logic::library;
+use fc_logic::plan::{EvalStats, Plan};
 use fc_logic::{FactorStructure, Formula, Term};
 use fc_reglang::bounded::BoundedExpr;
 use fc_words::{fibonacci, Alphabet, Word};
@@ -175,11 +176,14 @@ pub fn e05_fib(effort: Effort) -> ExperimentReport {
         Effort::Quick => 3,
         Effort::Full => 4,
     };
+    // One plan for every φ_fib evaluation in this experiment.
+    let plan = Plan::compile(&phi);
+    let mut stats = EvalStats::default();
     for n in 0..=max_n {
         let member = fibonacci::l_fib_member(n);
         let st = FactorStructure::new(member.clone(), &sigma);
         let t = std::time::Instant::now();
-        let ok = holds(&phi, &st, &Assignment::new());
+        let ok = plan.eval_with_stats(&st, &Assignment::new(), &mut stats);
         rep.check(
             ok,
             format!(
@@ -205,7 +209,7 @@ pub fn e05_fib(effort: Effort) -> ExperimentReport {
         }
         total += 1;
         let st = FactorStructure::new(Word::from_bytes(bad), &sigma);
-        if !holds(&phi, &st, &Assignment::new()) {
+        if !plan.eval_with_stats(&st, &Assignment::new(), &mut stats) {
             rejected += 1;
         }
     }
@@ -213,12 +217,16 @@ pub fn e05_fib(effort: Effort) -> ExperimentReport {
         rejected == total,
         format!("rejects {rejected}/{total} single-symbol mutants of the n = 3 member"),
     );
-    // Window equality.
+    rep.row(format!(
+        "evaluator stats (members + mutants): {}",
+        stats.render()
+    ));
+    // Window equality — parallel sweep sharing one compiled plan.
     let window_len = match effort {
         Effort::Quick => 5,
         Effort::Full => 6,
     };
-    let bad = fc_logic::language::first_language_disagreement(&phi, &sigma, window_len, |w| {
+    let bad = fc_logic::language::first_language_disagreement_auto(&phi, &sigma, window_len, |w| {
         fibonacci::is_l_fib(w.bytes())
     });
     rep.check(
@@ -272,7 +280,7 @@ pub fn e16_bounded_transfer(effort: Effort) -> ExperimentReport {
     for (name, expr) in &cases {
         let dfa = fc_reglang::Dfa::from_regex(&expr.to_regex(), b"ab");
         let phi = library::on_whole_word(|x| fc_logic::reg_to_fc::bounded_to_fc(x, expr));
-        let bad = fc_logic::language::first_language_disagreement(&phi, &sigma, window, |w| {
+        let bad = fc_logic::language::first_language_disagreement_auto(&phi, &sigma, window, |w| {
             dfa.accepts(w.bytes())
         });
         rep.check(
@@ -323,10 +331,11 @@ pub fn e21_foeq(effort: Effort) -> ExperimentReport {
     // Shared languages, two logics.
     let foeq_square = square_sentence();
     let fc_square = library::phi_square();
+    let fc_square_plan = Plan::compile(&fc_square);
     let mut disagreements = 0;
     for w in sigma.words_up_to(window) {
         let s = FactorStructure::new(w.clone(), &sigma);
-        let fc_says = holds(&fc_square, &s, &Assignment::new());
+        let fc_says = fc_square_plan.eval(&s, &Assignment::new());
         let expected = if w.is_empty() { false } else { fc_says };
         if foeq_square.models(&w) != expected {
             disagreements += 1;
@@ -402,7 +411,7 @@ pub fn e23_simple_regex(effort: Effort) -> ExperimentReport {
     ];
     for (name, p) in &patterns {
         let phi = library::on_whole_word(|x| simple_to_fc(x, p));
-        let bad = fc_logic::language::first_language_disagreement(&phi, &sigma, window, |w| {
+        let bad = fc_logic::language::first_language_disagreement_auto(&phi, &sigma, window, |w| {
             p.contains_word(w.bytes())
         });
         rep.check(

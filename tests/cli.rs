@@ -32,6 +32,24 @@ fn solve_command_lists_assignments() {
 }
 
 #[test]
+fn stats_flag_reports_plan_and_run_counters() {
+    let (stdout, _, ok) = fc(&["check", "E x, y: (x = y.y)", "abab", "--stats"]);
+    assert!(ok);
+    assert!(stdout.contains("true"), "{stdout}");
+    assert!(stdout.contains("stats: plan:"), "{stdout}");
+    assert!(stdout.contains("guarded blocks"), "{stdout}");
+    assert!(stdout.contains("frames"), "{stdout}");
+    let (stdout, _, ok) = fc(&["solve", "x = y.y", "aa", "--stats"]);
+    assert!(ok);
+    assert!(stdout.contains("2 assignment"), "{stdout}");
+    assert!(stdout.contains("stats: plan:"), "{stdout}");
+    // Unknown flags are rejected, not silently ignored.
+    let (_, stderr, ok) = fc(&["check", "x = eps", "a", "--frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag"), "{stderr}");
+}
+
+#[test]
 fn game_command_reports_verdict_and_certificate() {
     let (stdout, _, ok) = fc(&["game", "ab", "ba", "1"]);
     assert!(ok);
