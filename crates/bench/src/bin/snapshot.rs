@@ -1,0 +1,109 @@
+//! Machine-readable perf snapshot: times the headline workloads (E03 scan,
+//! E24 class table, E08/E09 confirmations) on both the naive per-pair path
+//! and the batch engine, and prints one JSON object to stdout.
+//!
+//! `scripts/bench_snapshot.sh` redirects this into `BENCH_PR<N>.json`, so
+//! future PRs have a perf trajectory to compare against without re-running
+//! criterion. No external JSON crate: the object is flat and assembled by
+//! hand.
+
+use fc_games::fooling::FoolingInstance;
+use fc_games::{hintikka, pow2};
+use fc_words::{Alphabet, Word};
+use std::time::{Duration, Instant};
+
+/// Median-of-three timing (the workloads are deterministic; three runs
+/// absorb scheduler noise without criterion's overhead).
+fn time<F: FnMut()>(mut f: F) -> Duration {
+    let mut runs: Vec<Duration> = (0..3)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed()
+        })
+        .collect();
+    runs.sort();
+    runs[1]
+}
+
+fn field(out: &mut Vec<String>, key: &str, d: Duration) {
+    out.push(format!("  \"{key}_ms\": {:.3}", d.as_secs_f64() * 1e3));
+}
+
+fn main() {
+    let mut fields: Vec<String> = Vec::new();
+
+    // E03: minimal-pair scan at the rank-2 Full limit, naive vs batch,
+    // plus the extended batch-only bound.
+    let e03_naive = time(|| {
+        assert_eq!(pow2::minimal_unary_pair_naive(2, 20), Some((12, 14)));
+    });
+    let e03_batch = time(|| {
+        assert_eq!(pow2::minimal_unary_pair(2, 20), Some((12, 14)));
+    });
+    let e03_batch_40 = time(|| {
+        assert_eq!(pow2::minimal_unary_pair(2, 40), Some((12, 14)));
+    });
+    field(&mut fields, "e03_scan_naive_k2_limit20", e03_naive);
+    field(&mut fields, "e03_scan_batch_k2_limit20", e03_batch);
+    field(&mut fields, "e03_scan_batch_k2_limit40", e03_batch_40);
+
+    // E03's class-table half: unary ≡₂ classes, naive vs batch.
+    let classes_naive = time(|| {
+        let _ = pow2::unary_classes_naive(2, 14);
+    });
+    let classes_batch = time(|| {
+        let _ = pow2::unary_classes(2, 14);
+    });
+    field(
+        &mut fields,
+        "e03_unary_classes_naive_k2_limit14",
+        classes_naive,
+    );
+    field(
+        &mut fields,
+        "e03_unary_classes_batch_k2_limit14",
+        classes_batch,
+    );
+
+    // E24: the binary window class table, naive vs batch vs parallel.
+    let words: Vec<Word> = Alphabet::ab().words_up_to(4).collect();
+    let e24_naive = time(|| {
+        let _ = hintikka::classes_naive(&words, 2);
+    });
+    let e24_batch = time(|| {
+        let _ = hintikka::classes(&words, 2);
+    });
+    let e24_par = time(|| {
+        let _ = hintikka::classes_parallel(&words, 2, 4);
+    });
+    field(&mut fields, "e24_table_naive_window4_k2", e24_naive);
+    field(&mut fields, "e24_table_batch_window4_k2", e24_batch);
+    field(&mut fields, "e24_table_batch_par4_window4_k2", e24_par);
+
+    // E08/E09: the heavy rank-2 fooling confirmations.
+    let anbn = FoolingInstance::new("", "a", "", "b", "", |p| p).expect("co-primitive");
+    let e08 = time(|| {
+        assert!(anbn.fooling_pair(2, 20).is_some());
+    });
+    field(&mut fields, "e08_anbn_confirmation_k2_limit20", e08);
+    let a_ba = FoolingInstance::new("", "a", "", "ba", "", |p| p).expect("co-primitive");
+    let e09 = time(|| {
+        assert!(a_ba.fooling_pair(2, 20).is_some());
+    });
+    field(&mut fields, "e09_a_ba_confirmation_k2_limit20", e09);
+
+    // Headline speedups for the acceptance criteria.
+    let ratio =
+        |naive: Duration, batch: Duration| naive.as_secs_f64() / batch.as_secs_f64().max(1e-9);
+    fields.push(format!(
+        "  \"e03_scan_speedup\": {:.2}",
+        ratio(e03_naive, e03_batch)
+    ));
+    fields.push(format!(
+        "  \"e24_table_speedup\": {:.2}",
+        ratio(e24_naive, e24_batch)
+    ));
+
+    println!("{{\n{}\n}}", fields.join(",\n"));
+}

@@ -1,0 +1,818 @@
+//! Bulk ≡_k workloads: the structure arena and the batch game engine.
+//!
+//! The drivers behind the paper's quantitative tables — ≡_k class tables
+//! over Σ^{≤n} (E24), the Lemma 3.6 minimal-pair scan (E03), the fooling
+//! searches of Lemma 4.13 / Lemma 4.15 (E08/E09/E15) — are all *pair
+//! grids*: O(n²) games over a window of n words. Solving each pair in
+//! isolation rebuilds both words' dense [`FactorStructure`] tables (an
+//! O(m²) concat table per word, per pair) and re-decides verdicts the grid
+//! already knows. This module amortizes all of that:
+//!
+//! - [`StructureArena`] interns each distinct word **once**, builds its
+//!   structure and its invariant [`Fingerprint`] once, and shares the
+//!   structure via `Arc` across every pair the word participates in;
+//! - [`BatchSolver`] adds a cross-pair verdict memo (symmetric pairs and
+//!   repeat queries are free), fingerprint-based refutation of
+//!   inequivalent pairs *without* entering the game, union-find class
+//!   merging for [`BatchSolver::classify`], and a work-stealing parallel
+//!   pair grid (`std::thread::scope`) with per-worker solver reuse
+//!   ([`EfSolver::rebind`]).
+//!
+//! Every optimisation is semantically invisible: parallel output equals
+//! sequential output (at most one class representative can match a
+//! candidate, because representatives are pairwise inequivalent and ≡_k is
+//! transitive — Theorem 3.5), fingerprint refutations are debug-asserted
+//! against the exact solver, and the differential suite pins
+//! `classify == hintikka::classes_naive` on the exhaustive Σ^{≤4} window.
+//!
+//! All words in one arena share a single alphabet Σ, fixed at
+//! construction. Padding Σ with letters absent from both words of a pair
+//! does not change ≡_k verdicts: the padded constants interpret as ⊥ on
+//! both sides, the extra (⊥, ⊥) constant pairs are consistent (⊥ never
+//! participates in R∘ and the equality pattern forces ⊥ ↦ ⊥, which was
+//! already Duplicator's only consistent answer to a ⊥ move), so they only
+//! pre-pin a move that was trivially answerable. The regression test
+//! `alphabet_padding_is_verdict_invariant` pins this.
+
+use crate::arena::GamePair;
+use crate::fingerprint::{rank2_type_profile, Fingerprint, TYPE2_UNIVERSE_CAP};
+use crate::solver::{EfSolver, SolverStats};
+use fc_logic::FactorStructure;
+use fc_words::{Alphabet, Word};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Index of an interned word within a [`StructureArena`].
+pub type WordId = usize;
+
+/// Interns words and builds each word's [`FactorStructure`] and
+/// [`Fingerprint`] exactly once, over one shared alphabet.
+pub struct StructureArena {
+    sigma: Alphabet,
+    words: Vec<Word>,
+    structures: Vec<Arc<FactorStructure>>,
+    fingerprints: Vec<Fingerprint>,
+    /// Lazily-memoized rank-2 type profiles (see
+    /// [`crate::fingerprint::rank2_type_profile`]): O(|U|²) per word, so
+    /// only computed for words whose pairs actually survive the cheap
+    /// fingerprint layers. `OnceLock` keeps the arena shareable across the
+    /// parallel grid workers.
+    rank2: Vec<OnceLock<u64>>,
+    index: HashMap<Word, WordId>,
+    structures_built: u64,
+}
+
+impl StructureArena {
+    /// An empty arena over the alphabet `sigma`. Every word later interned
+    /// must be a word over `sigma` (asserted), so that all structures share
+    /// one signature and fingerprints stay comparable.
+    pub fn new(sigma: Alphabet) -> StructureArena {
+        StructureArena {
+            sigma,
+            words: Vec::new(),
+            structures: Vec::new(),
+            fingerprints: Vec::new(),
+            rank2: Vec::new(),
+            index: HashMap::new(),
+            structures_built: 0,
+        }
+    }
+
+    /// Builds an arena over the union alphabet of `words` and interns them
+    /// all, returning the arena plus one id per input position (duplicate
+    /// words share an id).
+    pub fn for_words(words: &[Word]) -> (StructureArena, Vec<WordId>) {
+        let sigma = words
+            .iter()
+            .fold(Alphabet::from_symbols(b""), |s, w| s.extended_by(w));
+        let mut arena = StructureArena::new(sigma);
+        let ids = words.iter().map(|w| arena.intern(w)).collect();
+        (arena, ids)
+    }
+
+    /// Interns `word`, building its structure and fingerprint on first
+    /// sight; repeat interns are a hash lookup.
+    ///
+    /// # Panics
+    /// Panics if `word` uses a symbol outside the arena's alphabet.
+    pub fn intern(&mut self, word: &Word) -> WordId {
+        if let Some(&id) = self.index.get(word) {
+            return id;
+        }
+        assert!(
+            word.bytes().iter().all(|&c| self.sigma.contains(c)),
+            "arena alphabet {:?} does not cover word {word}",
+            self.sigma
+        );
+        let structure = Arc::new(FactorStructure::new(word.clone(), &self.sigma));
+        let fingerprint = Fingerprint::of(&structure);
+        let id = self.words.len();
+        self.words.push(word.clone());
+        self.structures.push(structure);
+        self.fingerprints.push(fingerprint);
+        self.rank2.push(OnceLock::new());
+        self.index.insert(word.clone(), id);
+        self.structures_built += 1;
+        id
+    }
+
+    /// The interned word.
+    pub fn word(&self, id: WordId) -> &Word {
+        &self.words[id]
+    }
+
+    /// The word's shared structure.
+    pub fn structure(&self, id: WordId) -> &Arc<FactorStructure> {
+        &self.structures[id]
+    }
+
+    /// The word's invariant fingerprint.
+    pub fn fingerprint(&self, id: WordId) -> &Fingerprint {
+        &self.fingerprints[id]
+    }
+
+    /// The word's rank-2 type profile, computed on first request and
+    /// memoized; `None` above [`TYPE2_UNIVERSE_CAP`] (the O(|U|²) pass
+    /// would cost more than the games it could save on long words).
+    pub fn rank2_profile(&self, id: WordId) -> Option<u64> {
+        let s = &self.structures[id];
+        if s.universe_len() > TYPE2_UNIVERSE_CAP {
+            return None;
+        }
+        Some(*self.rank2[id].get_or_init(|| rank2_type_profile(s)))
+    }
+
+    /// Number of distinct words interned (== structures built).
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// `true` iff nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// The shared alphabet.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.sigma
+    }
+
+    /// Assembles the game 𝔄_{w_i} vs 𝔅_{w_j} from the shared structures —
+    /// two `Arc` bumps plus the constant zip and mirror tables; no factor
+    /// table is rebuilt.
+    pub fn game(&self, i: WordId, j: WordId) -> GamePair {
+        let a = self.structures[i].clone();
+        let b = self.structures[j].clone();
+        let constant_pairs = a
+            .constants_vector()
+            .into_iter()
+            .zip(b.constants_vector())
+            .collect();
+        GamePair::from_parts(a, b, constant_pairs)
+    }
+}
+
+/// Counters exposed by the batch engine for benches and report rows.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchStats {
+    /// Distinct structures built by the arena (each word once).
+    pub structures_built: u64,
+    /// Pairs refuted by fingerprint inequality, no solver constructed.
+    pub fingerprint_refutations: u64,
+    /// Pairs refuted by the lazily-computed rank-2 type profile.
+    pub rank2_refutations: u64,
+    /// Pairs decided by the exact solver.
+    pub pairs_solved: u64,
+    /// Queries answered from the cross-pair verdict memo.
+    pub memo_hits: u64,
+    /// Entries currently held in the verdict memo.
+    pub memo_entries: u64,
+    /// Aggregated counters of every solver run by this batch.
+    pub solver: SolverStats,
+    /// Wall time accumulated inside the batch entry points.
+    pub wall: Duration,
+}
+
+impl BatchStats {
+    /// Folds another batch's counters into this one (wall times add).
+    pub fn absorb(&mut self, other: &BatchStats) {
+        self.structures_built += other.structures_built;
+        self.fingerprint_refutations += other.fingerprint_refutations;
+        self.rank2_refutations += other.rank2_refutations;
+        self.pairs_solved += other.pairs_solved;
+        self.memo_hits += other.memo_hits;
+        self.memo_entries += other.memo_entries;
+        self.solver.absorb(&other.solver);
+        self.wall += other.wall;
+    }
+}
+
+impl std::fmt::Display for BatchStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} structures built, {} fingerprint-refuted, {} rank2-refuted, \
+             {} solver-decided, {} memo hits ({} entries), {} solver states, \
+             {:.3?} wall",
+            self.structures_built,
+            self.fingerprint_refutations,
+            self.rank2_refutations,
+            self.pairs_solved,
+            self.memo_hits,
+            self.memo_entries,
+            self.solver.states_explored,
+            self.wall
+        )
+    }
+}
+
+/// Tuning knobs for a [`BatchSolver`].
+#[derive(Clone, Copy, Debug)]
+pub struct BatchConfig {
+    /// Refute pairs by fingerprint before constructing a solver. Disabling
+    /// this never changes verdicts (the filter is sound); it exists for
+    /// the ablation benches.
+    pub use_fingerprints: bool,
+    /// Additionally consult the lazily-memoized rank-2 type profile
+    /// (requires `use_fingerprints`). Sound at every rank ≥ 2 and never
+    /// changes verdicts, but the O(|U|²) per-word pass only *pays* when
+    /// individual games are expensive relative to the window — the unary
+    /// scans and fooling searches enable it; small-word window classify
+    /// keeps it off because there the games are cheaper than the profile.
+    pub use_rank2_profiles: bool,
+    /// Threads for the *inner* per-pair solver: `1` = sequential search,
+    /// `0` = `equivalent_auto` (one worker per CPU). Grid-level
+    /// parallelism is chosen per call site instead (`*_par` methods).
+    pub solver_threads: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> BatchConfig {
+        BatchConfig {
+            use_fingerprints: true,
+            use_rank2_profiles: false,
+            solver_threads: 1,
+        }
+    }
+}
+
+/// A memoizing bulk ≡_k engine over one [`StructureArena`].
+pub struct BatchSolver {
+    arena: StructureArena,
+    config: BatchConfig,
+    /// `(min id, max id, k) → verdict`; queries are canonicalised, so the
+    /// symmetric half of any grid is free.
+    verdicts: HashMap<(WordId, WordId, u32), bool>,
+    stats: BatchStats,
+}
+
+impl BatchSolver {
+    /// A batch solver with the default configuration.
+    pub fn new(arena: StructureArena) -> BatchSolver {
+        BatchSolver::with_config(arena, BatchConfig::default())
+    }
+
+    /// A batch solver with explicit tuning.
+    pub fn with_config(arena: StructureArena, config: BatchConfig) -> BatchSolver {
+        BatchSolver {
+            arena,
+            config,
+            verdicts: HashMap::new(),
+            stats: BatchStats::default(),
+        }
+    }
+
+    /// The underlying arena.
+    pub fn arena(&self) -> &StructureArena {
+        &self.arena
+    }
+
+    /// Interns a word into the arena (see [`StructureArena::intern`]).
+    pub fn intern(&mut self, word: &Word) -> WordId {
+        self.arena.intern(word)
+    }
+
+    /// Counters snapshot (memo entry count taken at call time).
+    pub fn stats(&self) -> BatchStats {
+        let mut s = self.stats;
+        s.structures_built = self.arena.structures_built;
+        s.memo_entries = self.verdicts.len() as u64;
+        s
+    }
+
+    /// Decides `w_i ≡_k w_j` through the memo → fingerprint → solver
+    /// cascade.
+    pub fn equivalent(&mut self, i: WordId, j: WordId, k: u32) -> bool {
+        let t0 = Instant::now();
+        let verdict = self.verdict(i, j, k);
+        self.stats.wall += t0.elapsed();
+        verdict
+    }
+
+    /// [`BatchSolver::equivalent`] without the wall-clock bookkeeping —
+    /// the internal hot path shared by the grid drivers.
+    fn verdict(&mut self, i: WordId, j: WordId, k: u32) -> bool {
+        if i == j {
+            return true; // reflexivity (identical structure on both sides)
+        }
+        let key = (i.min(j), i.max(j), k);
+        if let Some(&v) = self.verdicts.get(&key) {
+            self.stats.memo_hits += 1;
+            return v;
+        }
+        if self.config.use_fingerprints {
+            let refuted = if self
+                .arena
+                .fingerprint(i)
+                .refutes(self.arena.fingerprint(j), k)
+            {
+                self.stats.fingerprint_refutations += 1;
+                true
+            } else if self.config.use_rank2_profiles && k >= 2 {
+                match (self.arena.rank2_profile(i), self.arena.rank2_profile(j)) {
+                    (Some(a), Some(b)) if a != b => {
+                        self.stats.rank2_refutations += 1;
+                        true
+                    }
+                    _ => false,
+                }
+            } else {
+                false
+            };
+            if refuted {
+                // Differential path: a refutation by any invariant layer
+                // must agree with the exact solver — an unsound invariant
+                // is a correctness bug, not a missed optimisation.
+                debug_assert!(
+                    !EfSolver::new(self.arena.game(i, j)).equivalent(k),
+                    "fingerprint unsoundness: {} vs {} wrongly refuted at k={k}",
+                    self.arena.word(i),
+                    self.arena.word(j),
+                );
+                self.verdicts.insert(key, false);
+                return false;
+            }
+        }
+        let mut solver = EfSolver::new(self.arena.game(key.0, key.1));
+        let verdict = match self.config.solver_threads {
+            0 => solver.equivalent_auto(k),
+            1 => solver.equivalent(k),
+            t => solver.equivalent_par(k, t),
+        };
+        self.stats.pairs_solved += 1;
+        self.stats.solver.absorb(&solver.stats());
+        self.stats.solver.wall += solver.stats().wall;
+        self.verdicts.insert(key, verdict);
+        verdict
+    }
+
+    /// Partitions the positions of `items` into ≡_k classes. Classes are
+    /// ordered by first member; members keep input order (the exact output
+    /// contract of the naive representative loop it replaces). Duplicate
+    /// ids are free; cross-fingerprint pairs never reach the solver.
+    pub fn classify(&mut self, items: &[WordId], k: u32) -> Vec<Vec<usize>> {
+        let t0 = Instant::now();
+        let mut dsu = Dsu::new(items.len());
+        let mut reps: Vec<usize> = Vec::new();
+        'next: for pos in 0..items.len() {
+            for rep in reps.iter().copied() {
+                if self.verdict(items[rep], items[pos], k) {
+                    dsu.union(rep, pos);
+                    continue 'next;
+                }
+            }
+            reps.push(pos);
+        }
+        let out = dsu.classes_by_first_member();
+        self.stats.wall += t0.elapsed();
+        out
+    }
+
+    /// [`BatchSolver::classify`] with the solver calls of each candidate's
+    /// representative scan fanned out over `threads` workers. Output is
+    /// byte-identical to the sequential partition: the wave only *solves*
+    /// the missing (candidate, representative) verdicts in parallel, and
+    /// at most one representative can match (reps are pairwise
+    /// inequivalent, ≡_k is transitive), so the sequential merge that
+    /// follows is deterministic.
+    pub fn classify_par(&mut self, items: &[WordId], k: u32, threads: usize) -> Vec<Vec<usize>> {
+        let t0 = Instant::now();
+        let threads = threads.max(1);
+        let mut dsu = Dsu::new(items.len());
+        let mut reps: Vec<usize> = Vec::new();
+        'next: for pos in 0..items.len() {
+            // Pre-solve this candidate's unresolved rep comparisons in
+            // parallel; memo and fingerprints keep the job list short.
+            let jobs: Vec<(WordId, WordId)> = reps
+                .iter()
+                .map(|&rep| (items[rep], items[pos]))
+                .filter(|&(a, b)| self.needs_solver(a, b, k))
+                .collect();
+            self.solve_jobs_parallel(&jobs, k, threads);
+            for rep in reps.iter().copied() {
+                if self.verdict(items[rep], items[pos], k) {
+                    dsu.union(rep, pos);
+                    continue 'next;
+                }
+            }
+            reps.push(pos);
+        }
+        let out = dsu.classes_by_first_member();
+        self.stats.wall += t0.elapsed();
+        out
+    }
+
+    /// The full verdict matrix over the positions of `items`: only the
+    /// upper triangle is solved, the diagonal is reflexivity, the lower
+    /// half is mirrored.
+    pub fn all_pairs(&mut self, items: &[WordId], k: u32) -> Vec<Vec<bool>> {
+        let t0 = Instant::now();
+        let out = self.fill_matrix(items, k);
+        self.stats.wall += t0.elapsed();
+        out
+    }
+
+    /// [`BatchSolver::all_pairs`] with the unresolved upper-triangle pairs
+    /// solved by a work-stealing worker pool (same verdicts, same matrix).
+    pub fn all_pairs_par(&mut self, items: &[WordId], k: u32, threads: usize) -> Vec<Vec<bool>> {
+        let t0 = Instant::now();
+        let mut jobs: Vec<(WordId, WordId)> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for (p, &a) in items.iter().enumerate() {
+            for &b in items.iter().skip(p + 1) {
+                let key = (a.min(b), a.max(b));
+                if self.needs_solver(a, b, k) && seen.insert(key) {
+                    jobs.push(key);
+                }
+            }
+        }
+        self.solve_jobs_parallel(&jobs, k, threads.max(1));
+        let out = self.fill_matrix(items, k);
+        self.stats.wall += t0.elapsed();
+        out
+    }
+
+    fn fill_matrix(&mut self, items: &[WordId], k: u32) -> Vec<Vec<bool>> {
+        let n = items.len();
+        let mut eq = vec![vec![false; n]; n];
+        for i in 0..n {
+            eq[i][i] = true;
+            for j in i + 1..n {
+                let v = self.verdict(items[i], items[j], k);
+                eq[i][j] = v;
+                eq[j][i] = v;
+            }
+        }
+        eq
+    }
+
+    /// The first pair (in the given order) that *is* ≡_k, as an index into
+    /// `pairs` — the shape of the E03 minimal-pair scan and the fooling
+    /// searches, where the scan order is the result's definition.
+    pub fn find_first_equivalent(&mut self, pairs: &[(WordId, WordId)], k: u32) -> Option<usize> {
+        let t0 = Instant::now();
+        let hit = (0..pairs.len()).find(|&idx| self.verdict(pairs[idx].0, pairs[idx].1, k));
+        self.stats.wall += t0.elapsed();
+        hit
+    }
+
+    /// The first pair (in the given order) that is *not* ≡_k.
+    pub fn find_first_inequivalent(&mut self, pairs: &[(WordId, WordId)], k: u32) -> Option<usize> {
+        let t0 = Instant::now();
+        let hit = (0..pairs.len()).find(|&idx| !self.verdict(pairs[idx].0, pairs[idx].1, k));
+        self.stats.wall += t0.elapsed();
+        hit
+    }
+
+    /// `true` iff the verdict for (a, b) at rank k is not already decided
+    /// by identity, memo, or fingerprint.
+    fn needs_solver(&self, a: WordId, b: WordId, k: u32) -> bool {
+        if a == b {
+            return false;
+        }
+        let key = (a.min(b), a.max(b), k);
+        if self.verdicts.contains_key(&key) {
+            return false;
+        }
+        if !self.config.use_fingerprints {
+            return true;
+        }
+        if self
+            .arena
+            .fingerprint(a)
+            .refutes(self.arena.fingerprint(b), k)
+        {
+            return false;
+        }
+        if self.config.use_rank2_profiles && k >= 2 {
+            if let (Some(pa), Some(pb)) = (self.arena.rank2_profile(a), self.arena.rank2_profile(b))
+            {
+                return pa == pb;
+            }
+        }
+        true
+    }
+
+    /// Solves the given canonical, deduplicated jobs on a work-stealing
+    /// worker pool and merges the verdicts into the memo. Workers pop
+    /// fixed-size chunks off a shared atomic cursor; each worker owns one
+    /// [`EfSolver`] that is [`EfSolver::rebind`]-reused across its pairs,
+    /// so memo-table allocations amortize within a worker.
+    fn solve_jobs_parallel(&mut self, jobs: &[(WordId, WordId)], k: u32, threads: usize) {
+        if jobs.is_empty() {
+            return;
+        }
+        let threads = threads.min(jobs.len());
+        if threads <= 1 {
+            for &(a, b) in jobs {
+                let _ = self.verdict(a, b, k);
+            }
+            return;
+        }
+        const CHUNK: usize = 4;
+        let arena = &self.arena;
+        let solver_threads = self.config.solver_threads;
+        let cursor = AtomicUsize::new(0);
+        let mut merged: Vec<(usize, bool)> = Vec::with_capacity(jobs.len());
+        let mut solver_stats = SolverStats::default();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let cursor = &cursor;
+                    scope.spawn(move || {
+                        let mut out: Vec<(usize, bool)> = Vec::new();
+                        let mut worker: Option<EfSolver> = None;
+                        loop {
+                            let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+                            if start >= jobs.len() {
+                                break;
+                            }
+                            let end = (start + CHUNK).min(jobs.len());
+                            for (off, &(a, b)) in jobs[start..end].iter().enumerate() {
+                                let game = arena.game(a, b);
+                                let solver = match worker.as_mut() {
+                                    Some(s) => {
+                                        s.rebind(game);
+                                        s
+                                    }
+                                    None => worker.insert(EfSolver::new(game)),
+                                };
+                                let verdict = match solver_threads {
+                                    0 | 1 => solver.equivalent(k),
+                                    t => solver.equivalent_par(k, t),
+                                };
+                                out.push((start + off, verdict));
+                            }
+                        }
+                        (out, worker.map(|s| s.stats()).unwrap_or_default())
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let (out, stats) = handle.join().expect("batch worker panicked");
+                merged.extend(out);
+                solver_stats.absorb(&stats);
+                solver_stats.wall += stats.wall;
+            }
+        });
+        for (idx, verdict) in merged {
+            let (a, b) = jobs[idx];
+            self.verdicts.insert((a.min(b), a.max(b), k), verdict);
+            self.stats.pairs_solved += 1;
+        }
+        self.stats.solver.absorb(&solver_stats);
+        self.stats.solver.wall += solver_stats.wall;
+    }
+}
+
+/// Minimal union-find over `0..n` with path halving; classes are read back
+/// in first-member order so the partition matches the representative loop
+/// it replaces.
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Dsu {
+        Dsu {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merges keeping the smaller root (so roots stay first members).
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            let (lo, hi) = (ra.min(rb), ra.max(rb));
+            self.parent[hi] = lo;
+        }
+    }
+
+    /// The partition as position lists: classes ordered by their first
+    /// member, members ascending (== input order).
+    fn classes_by_first_member(&mut self) -> Vec<Vec<usize>> {
+        let n = self.parent.len();
+        let mut by_root: HashMap<usize, usize> = HashMap::new();
+        let mut classes: Vec<Vec<usize>> = Vec::new();
+        for pos in 0..n {
+            let root = self.find(pos);
+            let slot = *by_root.entry(root).or_insert_with(|| {
+                classes.push(Vec::new());
+                classes.len() - 1
+            });
+            classes[slot].push(pos);
+        }
+        classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(max_len: usize) -> Vec<Word> {
+        Alphabet::ab().words_up_to(max_len).collect()
+    }
+
+    #[test]
+    fn arena_interns_each_word_once() {
+        let words = vec![Word::from("ab"), Word::from("ba"), Word::from("ab")];
+        let (arena, ids) = StructureArena::for_words(&words);
+        assert_eq!(arena.len(), 2);
+        assert_eq!(ids, vec![0, 1, 0]);
+        assert_eq!(arena.word(0).as_str(), "ab");
+        assert_eq!(arena.structures_built, 2);
+    }
+
+    #[test]
+    fn arena_game_matches_direct_construction() {
+        let words = vec![Word::from("abaab"), Word::from("aab")];
+        let (arena, ids) = StructureArena::for_words(&words);
+        let g = arena.game(ids[0], ids[1]);
+        let direct = GamePair::new(words[0].clone(), words[1].clone(), arena.alphabet());
+        assert_eq!(g.constant_pairs, direct.constant_pairs);
+        for k in 0..=2 {
+            assert_eq!(
+                EfSolver::new(g.clone()).equivalent(k),
+                EfSolver::new(direct.clone()).equivalent(k)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not cover")]
+    fn arena_rejects_foreign_symbols() {
+        let mut arena = StructureArena::new(Alphabet::ab());
+        arena.intern(&Word::from("abc"));
+    }
+
+    #[test]
+    fn batch_verdicts_match_per_pair_solver() {
+        let words = window(3);
+        let (arena, ids) = StructureArena::for_words(&words);
+        let sigma = arena.alphabet().clone();
+        let mut batch = BatchSolver::new(arena);
+        for (p, w) in words.iter().enumerate() {
+            for (q, v) in words.iter().enumerate() {
+                for k in 0..=2u32 {
+                    let direct =
+                        EfSolver::new(GamePair::new(w.clone(), v.clone(), &sigma)).equivalent(k);
+                    assert_eq!(
+                        batch.equivalent(ids[p], ids[q], k),
+                        direct,
+                        "w={w} v={v} k={k}"
+                    );
+                }
+            }
+        }
+        let stats = batch.stats();
+        assert!(stats.fingerprint_refutations > 0, "filter should fire");
+        assert!(stats.memo_hits > 0, "symmetric half should be free");
+        assert!(stats.pairs_solved > 0);
+        assert_eq!(stats.structures_built, words.len() as u64);
+    }
+
+    #[test]
+    fn classify_matches_representative_loop_semantics() {
+        let words = vec![
+            Word::from("a"),
+            Word::from("aa"),
+            Word::from("b"),
+            Word::from("ab"),
+            Word::from("ba"),
+        ];
+        let (arena, ids) = StructureArena::for_words(&words);
+        let mut batch = BatchSolver::new(arena);
+        // Rank 0 groups by occurring-letter set: {a, aa}, {b}, {ab, ba}.
+        let classes = batch.classify(&ids, 0);
+        assert_eq!(classes, vec![vec![0, 1], vec![2], vec![3, 4]]);
+    }
+
+    #[test]
+    fn classify_par_equals_sequential() {
+        let words = window(3);
+        for k in 0..=2u32 {
+            let (arena, ids) = StructureArena::for_words(&words);
+            let mut seq = BatchSolver::new(arena);
+            let expect = seq.classify(&ids, k);
+            for threads in [1usize, 2, 3, 7] {
+                let (arena, ids) = StructureArena::for_words(&words);
+                let mut par = BatchSolver::new(arena);
+                assert_eq!(
+                    par.classify_par(&ids, k, threads),
+                    expect,
+                    "k={k} t={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_pairs_par_equals_sequential_and_is_symmetric() {
+        let words = window(3);
+        let (arena, ids) = StructureArena::for_words(&words);
+        let mut seq = BatchSolver::new(arena);
+        let expect = seq.all_pairs(&ids, 1);
+        for (i, row) in expect.iter().enumerate() {
+            assert!(row[i], "diagonal");
+            for (j, &v) in row.iter().enumerate() {
+                assert_eq!(v, expect[j][i], "symmetry");
+            }
+        }
+        for threads in [2usize, 5] {
+            let (arena, ids) = StructureArena::for_words(&words);
+            let mut par = BatchSolver::new(arena);
+            assert_eq!(par.all_pairs_par(&ids, 1, threads), expect);
+        }
+    }
+
+    #[test]
+    fn fingerprint_ablation_is_verdict_invariant() {
+        let words = window(3);
+        let (arena, ids) = StructureArena::for_words(&words);
+        let mut with_fp = BatchSolver::new(arena);
+        let (arena2, ids2) = StructureArena::for_words(&words);
+        let mut without_fp = BatchSolver::with_config(
+            arena2,
+            BatchConfig {
+                use_fingerprints: false,
+                use_rank2_profiles: false,
+                solver_threads: 1,
+            },
+        );
+        for k in 0..=2u32 {
+            assert_eq!(with_fp.classify(&ids, k), without_fp.classify(&ids2, k));
+        }
+        assert_eq!(without_fp.stats().fingerprint_refutations, 0);
+        assert!(with_fp.stats().fingerprint_refutations > 0);
+        assert!(with_fp.stats().pairs_solved < without_fp.stats().pairs_solved);
+    }
+
+    #[test]
+    fn find_first_scans_respect_order() {
+        let words: Vec<Word> = (0..=6).map(|n| Word::from("a").pow(n)).collect();
+        let (arena, ids) = StructureArena::for_words(&words);
+        let mut batch = BatchSolver::new(arena);
+        // (p, q) pairs ordered by (q, p), exponents ≥ 1 — the E03 scan.
+        let mut pairs = Vec::new();
+        let mut exps = Vec::new();
+        for q in 1..=6usize {
+            for p in 1..q {
+                pairs.push((ids[p], ids[q]));
+                exps.push((p, q));
+            }
+        }
+        let hit = batch.find_first_equivalent(&pairs, 1).expect("rank-1 pair");
+        assert_eq!(exps[hit], (3, 4), "minimal rank-1 unary pair");
+        // And the first inequivalent pair is the very first probed.
+        assert_eq!(batch.find_first_inequivalent(&pairs, 1), Some(0));
+    }
+
+    #[test]
+    fn alphabet_padding_is_verdict_invariant() {
+        // Σ padded with letters absent from *both* words must not change
+        // any verdict — this is what lets one arena serve a whole window.
+        let words = window(3);
+        let padded = Alphabet::abc(); // 'c' occurs in no window word
+        for w in &words {
+            for v in &words {
+                for k in 0..=2u32 {
+                    let joint = EfSolver::new(GamePair::of(w.as_str(), v.as_str())).equivalent(k);
+                    let wide =
+                        EfSolver::new(GamePair::new(w.clone(), v.clone(), &padded)).equivalent(k);
+                    assert_eq!(joint, wide, "w={w} v={v} k={k}");
+                }
+            }
+        }
+    }
+}

@@ -12,6 +12,7 @@
 //! the lemma's conclusion instance by instance, and produces the witnesses
 //! reported in EXPERIMENTS.md (E14/E15).
 
+use crate::batch::{BatchConfig, BatchSolver, BatchStats, StructureArena, WordId};
 use crate::solver::EfSolver;
 use crate::GamePair;
 use fc_words::conjugacy::are_coprimitive;
@@ -99,22 +100,45 @@ impl FoolingInstance {
         self.w1.concat(&self.u.pow(p)).concat(&self.w2)
     }
 
+    /// The union alphabet of the instance's five block words — every word
+    /// this instance can assemble is a word over it, so one
+    /// [`StructureArena`] serves the whole exponent scan.
+    fn block_alphabet(&self) -> Alphabet {
+        [&self.w1, &self.u, &self.w2, &self.v, &self.w3]
+            .into_iter()
+            .fold(Alphabet::from_symbols(b""), |s, w| s.extended_by(w))
+    }
+
+    /// A batch solver for this instance's scans: fingerprints on, inner
+    /// solver in auto-parallel mode (the confirmations at rank ≥ 2 are the
+    /// few heavy games where the solver's top-level fan-out pays off).
+    fn batch(&self) -> BatchSolver {
+        BatchSolver::with_config(
+            StructureArena::new(self.block_alphabet()),
+            BatchConfig {
+                use_fingerprints: true,
+                use_rank2_profiles: true,
+                solver_threads: 0,
+            },
+        )
+    }
+
     /// Searches for `p < q ≤ limit` with `prefix(p) ≡_k prefix(q)`
-    /// (Claim C.2: such pairs exist for every k).
+    /// (Claim C.2: such pairs exist for every k). The scan runs on the
+    /// batch engine: `prefix(p)` is interned once and reused across every
+    /// `q`, and fingerprint-refuted pairs never start a game.
     pub fn find_prefix_pair(&self, k: u32, limit: usize) -> Option<(usize, usize)> {
+        let mut batch = self.batch();
+        let ids: Vec<WordId> = (0..=limit).map(|p| batch.intern(&self.prefix(p))).collect();
+        let mut pairs: Vec<(WordId, WordId)> = Vec::new();
+        let mut exps: Vec<(usize, usize)> = Vec::new();
         for q in 1..=limit {
             for p in 0..q {
-                let mut solver = EfSolver::new(GamePair::new(
-                    self.prefix(p),
-                    self.prefix(q),
-                    &Alphabet::from_symbols(b""),
-                ));
-                if solver.equivalent_auto(k) {
-                    return Some((p, q));
-                }
+                pairs.push((ids[p], ids[q]));
+                exps.push((p, q));
             }
         }
-        None
+        batch.find_first_equivalent(&pairs, k).map(|idx| exps[idx])
     }
 
     /// Constructs a fooling pair for rank `k` (searching exponents up to
@@ -122,30 +146,47 @@ impl FoolingInstance {
     /// are ≡_k. The `inside` word is in the language; the `outside` word is
     /// not (as long as `f` is injective and `q ≠ p`).
     pub fn fooling_pair(&self, k: u32, limit: usize) -> Option<FoolingPair> {
+        self.fooling_pair_with_stats(k, limit).0
+    }
+
+    /// [`FoolingInstance::fooling_pair`] plus the batch engine's counters
+    /// for the E15/P6 report rows. The candidate order (by `(q, p)`,
+    /// skipping points where `f` collides) matches the definitional scan
+    /// exactly; the batch layer shares each `inside(p)` structure across
+    /// all `q` and prunes fingerprint-refutable candidates.
+    pub fn fooling_pair_with_stats(
+        &self,
+        k: u32,
+        limit: usize,
+    ) -> (Option<FoolingPair>, BatchStats) {
+        let mut batch = self.batch();
         for q in 1..=limit {
             for p in 0..q {
-                let inside = self.assemble(p, (self.f)(p));
-                let outside = self.assemble(q, (self.f)(p));
                 if (self.f)(q) == (self.f)(p) {
                     continue; // f not injective at these points
                 }
-                let mut solver = EfSolver::new(GamePair::new(
-                    inside.clone(),
-                    outside.clone(),
-                    &Alphabet::from_symbols(b""),
-                ));
-                if solver.equivalent_auto(k) {
-                    return Some(FoolingPair {
-                        inside,
-                        outside,
-                        p,
-                        q,
-                        k,
-                    });
+                let inside = self.assemble(p, (self.f)(p));
+                let outside = self.assemble(q, (self.f)(p));
+                // Interning is lazy: `inside(p)` is shared across every q,
+                // and no structure is built past the first hit.
+                let i = batch.intern(&inside);
+                let j = batch.intern(&outside);
+                if batch.equivalent(i, j, k) {
+                    let stats = batch.stats();
+                    return (
+                        Some(FoolingPair {
+                            inside,
+                            outside,
+                            p,
+                            q,
+                            k,
+                        }),
+                        stats,
+                    );
                 }
             }
         }
-        None
+        (None, batch.stats())
     }
 
     /// Verifies a fooling pair end to end: membership of `inside`,

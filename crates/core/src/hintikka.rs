@@ -5,13 +5,51 @@
 //! class per rank-k type realised. Partitioning a window of words into
 //! classes quantifies "how much FC can see at rank k" — used by the
 //! experiment harness to chart class counts against `k` and word length.
+//!
+//! All entry points run on the bulk engine of [`crate::batch`]: one
+//! [`StructureArena`] over the window's union alphabet builds each word's
+//! structure exactly once, fingerprints refute cross-class pairs without a
+//! game, and the verdict memo makes symmetric comparisons free. Every word
+//! of the window enters one arena over the *union* Σ; this is sound
+//! because padding Σ with letters absent from both words of a pair never
+//! changes a verdict (the extra (⊥, ⊥) constant pairs only pre-pin the
+//! already-forced ⊥ ↦ ⊥ response — see [`crate::batch`] and the
+//! `alphabet_padding_is_verdict_invariant` regression test). The
+//! definitional per-pair loop is kept as [`classes_naive`] for the
+//! differential suite and the ablation benches.
 
+use crate::batch::{BatchSolver, BatchStats, StructureArena, WordId};
 use crate::solver::EfSolver;
 use crate::GamePair;
 use fc_words::Word;
 
-/// Partitions `words` into ≡_k classes (each class keeps input order).
+/// Partitions `words` into ≡_k classes (each class keeps input order;
+/// classes ordered by first member).
 pub fn classes(words: &[Word], k: u32) -> Vec<Vec<Word>> {
+    classes_with_stats(words, k).0
+}
+
+/// [`classes`] plus the batch engine's counters, for report rows.
+pub fn classes_with_stats(words: &[Word], k: u32) -> (Vec<Vec<Word>>, BatchStats) {
+    let (mut batch, ids) = batch_over(words);
+    let partition = batch.classify(&ids, k);
+    (materialize(words, partition), batch.stats())
+}
+
+/// [`classes`] with the per-candidate representative comparisons solved on
+/// `threads` workers. Output is byte-identical to the sequential
+/// partition (at most one representative can match any candidate).
+pub fn classes_parallel(words: &[Word], k: u32, threads: usize) -> Vec<Vec<Word>> {
+    let (mut batch, ids) = batch_over(words);
+    let partition = batch.classify_par(&ids, k, threads);
+    materialize(words, partition)
+}
+
+/// The definitional representative loop: a fresh solver and two fresh
+/// structures per comparison. Kept as the differential baseline for the
+/// batch engine (`classes == classes_naive` on the exhaustive window) and
+/// as the "before" leg of the P9 bench.
+pub fn classes_naive(words: &[Word], k: u32) -> Vec<Vec<Word>> {
     let mut classes: Vec<Vec<Word>> = Vec::new();
     'next: for w in words {
         for class in classes.iter_mut() {
@@ -40,19 +78,16 @@ pub fn class_count(words: &[Word], k: u32) -> usize {
 /// (reflexive by construction; symmetric/transitivity spot-check via
 /// cross-comparisons). Returns a violating triple if any — which would
 /// contradict Theorem 3.5.
+///
+/// The verdict matrix is produced by [`BatchSolver::all_pairs`]: only the
+/// upper triangle is solved (the memo mirrors the lower half), the
+/// diagonal is reflexivity, and fingerprint-refuted pairs never reach the
+/// solver. The symmetry leg of the check is therefore structural; the
+/// transitivity scan over the matrix is unchanged.
 pub fn check_equivalence_laws(words: &[Word], k: u32) -> Option<(Word, Word, Word)> {
+    let (mut batch, ids) = batch_over(words);
+    let eq = batch.all_pairs(&ids, k);
     let n = words.len();
-    let mut eq = vec![vec![false; n]; n];
-    for i in 0..n {
-        for j in 0..n {
-            let mut solver = EfSolver::new(GamePair::new(
-                words[i].clone(),
-                words[j].clone(),
-                &fc_words::Alphabet::from_symbols(b""),
-            ));
-            eq[i][j] = solver.equivalent(k);
-        }
-    }
     for i in 0..n {
         if !eq[i][i] {
             return Some((words[i].clone(), words[i].clone(), words[i].clone()));
@@ -69,6 +104,21 @@ pub fn check_equivalence_laws(words: &[Word], k: u32) -> Option<(Word, Word, Wor
         }
     }
     None
+}
+
+/// One batch solver over the window's union alphabet, plus the interned
+/// ids aligned with `words`.
+fn batch_over(words: &[Word]) -> (BatchSolver, Vec<WordId>) {
+    let (arena, ids) = StructureArena::for_words(words);
+    (BatchSolver::new(arena), ids)
+}
+
+/// Turns a position partition back into word classes.
+fn materialize(words: &[Word], partition: Vec<Vec<usize>>) -> Vec<Vec<Word>> {
+    partition
+        .into_iter()
+        .map(|class| class.into_iter().map(|pos| words[pos].clone()).collect())
+        .collect()
 }
 
 #[cfg(test)]
@@ -100,6 +150,41 @@ mod tests {
         let c = classes(&words, 0);
         // {a, aa}, {b}, {ab, ba}
         assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn batch_partition_matches_naive() {
+        let sigma = Alphabet::ab();
+        let words: Vec<Word> = sigma.words_up_to(3).collect();
+        for k in 0..=2u32 {
+            assert_eq!(classes(&words, k), classes_naive(&words, k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn parallel_partition_matches_sequential() {
+        let sigma = Alphabet::ab();
+        let words: Vec<Word> = sigma.words_up_to(3).collect();
+        for k in 0..=2u32 {
+            let seq = classes(&words, k);
+            for threads in [1usize, 2, 4] {
+                assert_eq!(
+                    classes_parallel(&words, k, threads),
+                    seq,
+                    "k={k} t={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_report_batch_activity() {
+        let sigma = Alphabet::ab();
+        let words: Vec<Word> = sigma.words_up_to(3).collect();
+        let (_, stats) = classes_with_stats(&words, 1);
+        assert_eq!(stats.structures_built, words.len() as u64);
+        assert!(stats.fingerprint_refutations > 0);
+        assert!(stats.pairs_solved > 0);
     }
 
     #[test]

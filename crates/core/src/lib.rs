@@ -22,6 +22,12 @@
 //! - [`pow2`]: Lemma 3.6 — witness search for `aᵖ ≡_k a^q`, unary
 //!   ≡_k-class tables;
 //! - [`hintikka`]: ≡_k-partitions of word sets;
+//! - [`batch`]: the bulk ≡_k engine — a [`batch::StructureArena`] building
+//!   each word's structure once and a [`batch::BatchSolver`] with verdict
+//!   memoization, fingerprint pruning, and a parallel pair grid; the
+//!   drivers behind E03/E24/E15 run on it;
+//! - [`fingerprint`]: cheap ≡_k-invariant fingerprints used to refute
+//!   inequivalent pairs without entering the game;
 //! - [`fooling`]: the Fooling Lemma (Lemma 4.13) driver — constructs
 //!   fooling pairs `(w ∈ L, v ∉ L, w ≡_k v)` and confirms them with the
 //!   solver;
@@ -32,8 +38,10 @@
 //! - [`pebble`]: p-pebble games for finite-variable FC (§7).
 
 pub mod arena;
+pub mod batch;
 pub mod certificate;
 pub mod existential;
+pub mod fingerprint;
 pub mod fooling;
 pub mod hintikka;
 pub mod lemmas;
@@ -47,5 +55,7 @@ pub mod strategy;
 pub mod trace;
 
 pub use arena::{GamePair, Side};
+pub use batch::{BatchConfig, BatchSolver, BatchStats, StructureArena, WordId};
+pub use fingerprint::Fingerprint;
 pub use solver::EfSolver;
 pub use strategy::{validate_strategy, DuplicatorStrategy};

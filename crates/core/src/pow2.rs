@@ -6,14 +6,52 @@
 //! are `p ≠ q` with `aᵖ ≡_k a^q`. On concrete ranks the exact solver finds
 //! the *minimal* such pair, and computes the full ≡_k-partition of
 //! `{aⁿ : n ≤ limit}` — the quantitative table behind experiment E03.
+//!
+//! Both the minimal-pair scan and the class tables run on the bulk engine
+//! of [`crate::batch`]: one [`StructureArena`] interns `a⁰ … a^limit` once
+//! (the scan previously rebuilt `a^q`'s O(q²) concat table for every `p`),
+//! fingerprints refute inequivalent pairs without a game, and the verdict
+//! memo is shared across the whole scan. The definitional per-pair loops
+//! are kept as `*_naive` for the differential suite and the benches.
 
+use crate::batch::{BatchConfig, BatchSolver, BatchStats, StructureArena, WordId};
 use crate::solver::equivalent;
 use fc_words::semilinear::{LinearSet, SemilinearSet};
+use fc_words::{Alphabet, Word};
 
 /// The minimal pair `p < q ≤ limit` with `aᵖ ≡_k a^q`, ordered by `(q, p)`
 /// (i.e. the first `q` admitting a smaller equivalent power), or `None`
 /// if no pair exists within the limit.
 pub fn minimal_unary_pair(k: u32, limit: usize) -> Option<(usize, usize)> {
+    minimal_unary_pair_with_stats(k, limit).0
+}
+
+/// [`minimal_unary_pair`] plus the batch engine's counters for the E03
+/// report row. The scan order (by `(q, p)`) is the result's definition
+/// and is preserved exactly: the batch layer only removes redundant
+/// structure builds and fingerprint-refutable game runs.
+pub fn minimal_unary_pair_with_stats(k: u32, limit: usize) -> (Option<(usize, usize)>, BatchStats) {
+    let mut batch =
+        BatchSolver::with_config(StructureArena::new(Alphabet::unary()), unary_config());
+    // Interning is lazy: `a^q` is only built (and fingerprinted) when the
+    // scan reaches `q`, so an early hit — the common case once the limit
+    // exceeds the minimal pair — never pays for the words beyond it.
+    let mut ids: Vec<WordId> = Vec::with_capacity(limit + 1);
+    let a = Word::from("a");
+    for q in 0..=limit {
+        ids.push(batch.intern(&a.pow(q)));
+        for p in 1..q {
+            if batch.equivalent(ids[p], ids[q], k) {
+                return (Some((p, q)), batch.stats());
+            }
+        }
+    }
+    (None, batch.stats())
+}
+
+/// The definitional `(q, p)` scan with a fresh solver per probe — the
+/// "before" leg of the P9 bench and the differential baseline.
+pub fn minimal_unary_pair_naive(k: u32, limit: usize) -> Option<(usize, usize)> {
     for q in 1..=limit {
         for p in 1..q {
             if unary_equivalent(p, q, k) {
@@ -33,6 +71,19 @@ pub fn unary_equivalent(p: usize, q: usize, k: u32) -> bool {
 /// exponents. Classes are found by comparing against representatives
 /// (≡_k is an equivalence relation by Theorem 3.5).
 pub fn unary_classes(k: u32, limit: usize) -> Vec<Vec<usize>> {
+    unary_classes_with_stats(k, limit).0
+}
+
+/// [`unary_classes`] plus the batch engine's counters.
+pub fn unary_classes_with_stats(k: u32, limit: usize) -> (Vec<Vec<usize>>, BatchStats) {
+    let (mut batch, ids) = unary_batch(limit);
+    let classes = batch.classify(&ids, k);
+    (classes, batch.stats())
+}
+
+/// The definitional representative loop (fresh solver per comparison) —
+/// differential baseline and bench leg.
+pub fn unary_classes_naive(k: u32, limit: usize) -> Vec<Vec<usize>> {
     let mut classes: Vec<Vec<usize>> = Vec::new();
     'next: for n in 0..=limit {
         for class in classes.iter_mut() {
@@ -45,6 +96,38 @@ pub fn unary_classes(k: u32, limit: usize) -> Vec<Vec<usize>> {
         classes.push(vec![n]);
     }
     classes
+}
+
+/// Parallel version of [`unary_classes`]: the batch engine solves each
+/// candidate's unresolved representative comparisons on a work-stealing
+/// worker pool. The partition is byte-identical to the sequential one —
+/// at most one representative can match any candidate (representatives
+/// are pairwise inequivalent and ≡_k is transitive).
+pub fn unary_classes_parallel(k: u32, limit: usize, threads: usize) -> Vec<Vec<usize>> {
+    let (mut batch, ids) = unary_batch(limit);
+    batch.classify_par(&ids, k, threads)
+}
+
+/// One batch solver over `{aⁿ : n ≤ limit}`. Interning in exponent order
+/// makes the arena id of `aⁿ` exactly `n`, so class/position lists read
+/// directly as exponent lists.
+fn unary_batch(limit: usize) -> (BatchSolver, Vec<WordId>) {
+    let mut arena = StructureArena::new(Alphabet::unary());
+    let ids: Vec<WordId> = (0..=limit)
+        .map(|n| arena.intern(&Word::from("a").pow(n)))
+        .collect();
+    (BatchSolver::with_config(arena, unary_config()), ids)
+}
+
+/// Unary pairs past tiny exponents share every cheap fingerprint
+/// component, while their rank-2 games are the scan's whole cost — the
+/// lazily-memoized rank-2 type profile is exactly the trade worth making
+/// here (see [`BatchConfig::use_rank2_profiles`]).
+fn unary_config() -> BatchConfig {
+    BatchConfig {
+        use_rank2_profiles: true,
+        ..BatchConfig::default()
+    }
 }
 
 /// A compact rendering of the class table for reports: one line per class.
@@ -117,6 +200,28 @@ mod tests {
     }
 
     #[test]
+    fn batch_scan_matches_naive() {
+        for k in 0..=2u32 {
+            let limit = if k == 2 { 16 } else { 10 };
+            assert_eq!(
+                minimal_unary_pair(k, limit),
+                minimal_unary_pair_naive(k, limit),
+                "k={k}"
+            );
+        }
+        // No pair below the minimum: both agree on None.
+        assert_eq!(minimal_unary_pair(1, 3), None);
+        assert_eq!(minimal_unary_pair_naive(1, 3), None);
+    }
+
+    #[test]
+    fn batch_classes_match_naive() {
+        for k in 0..=2u32 {
+            assert_eq!(unary_classes(k, 10), unary_classes_naive(k, 10), "k={k}");
+        }
+    }
+
+    #[test]
     fn classes_partition_and_respect_equivalence() {
         let classes = unary_classes(1, 8);
         // Partition: every exponent in exactly one class.
@@ -168,45 +273,6 @@ mod tests {
         let text = render_classes(&classes);
         assert!(text.contains("class 1"));
     }
-}
-
-/// Parallel version of [`unary_classes`]: distributes the solver calls
-/// across threads (each thread owns its own memo table). The partition is
-/// computed per-exponent against class representatives, so the
-/// parallelism is over the (representative, candidate) comparisons of one
-/// wave at a time.
-pub fn unary_classes_parallel(k: u32, limit: usize, threads: usize) -> Vec<Vec<usize>> {
-    let threads = threads.max(1);
-    let mut classes: Vec<Vec<usize>> = Vec::new();
-    for n in 0..=limit {
-        // Compare n against all representatives in parallel chunks.
-        let reps: Vec<usize> = classes.iter().map(|c| c[0]).collect();
-        let mut hits: Vec<Option<usize>> = Vec::new();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for chunk in reps.chunks(reps.len().div_ceil(threads).max(1)) {
-                let chunk: Vec<usize> = chunk.to_vec();
-                handles.push(
-                    scope.spawn(move || chunk.into_iter().find(|&rep| unary_equivalent(rep, n, k))),
-                );
-            }
-            for h in handles {
-                hits.push(h.join().expect("solver thread panicked"));
-            }
-        });
-        match hits.into_iter().flatten().next() {
-            Some(rep) => {
-                for c in classes.iter_mut() {
-                    if c[0] == rep {
-                        c.push(n);
-                        break;
-                    }
-                }
-            }
-            None => classes.push(vec![n]),
-        }
-    }
-    classes
 }
 
 #[cfg(test)]

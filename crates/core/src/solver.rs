@@ -55,7 +55,11 @@ pub struct SolverStats {
 }
 
 impl SolverStats {
-    fn absorb(&mut self, other: &SolverStats) {
+    /// Folds another solver's counters into this one. Wall time is *not*
+    /// summed: it is measured by the coordinating call (worker shards run
+    /// concurrently, so summing their walls would overcount); batch
+    /// aggregators that do want additive wall time add it explicitly.
+    pub fn absorb(&mut self, other: &SolverStats) {
         self.states_explored += other.states_explored;
         self.memo_hits += other.memo_hits;
         self.pruned_moves += other.pruned_moves;
@@ -105,6 +109,19 @@ impl EfSolver {
     /// The underlying game.
     pub fn game(&self) -> &GamePair {
         &self.game
+    }
+
+    /// Rebinds this solver to a different game, clearing the memo tables
+    /// while **retaining their allocations** and keeping the accumulated
+    /// [`SolverStats`]. This is the batch engine's per-worker reuse hook:
+    /// a worker thread solves hundreds of pairs with one solver, and the
+    /// memo `HashMap`s (the dominant allocation) amortize across pairs.
+    pub fn rebind(&mut self, game: GamePair) {
+        self.identical = game.a.word() == game.b.word();
+        self.game = game;
+        for table in &mut self.memo {
+            table.clear();
+        }
     }
 
     /// Decides `w ≡_k v`.

@@ -1,0 +1,194 @@
+//! Differential suite for the batch ≡_k engine: every optimisation of
+//! `crates/core/src/batch.rs` (shared arena, verdict memo, fingerprint
+//! pruning, work-stealing parallel grid) must be byte-identical to the
+//! definitional per-pair solver on the exhaustive Σ^{≤4} window.
+
+use fc_games::batch::{BatchConfig, BatchSolver, StructureArena};
+use fc_games::hintikka;
+use fc_games::pow2;
+use fc_games::solver::EfSolver;
+use fc_games::GamePair;
+use fc_words::{Alphabet, Word};
+
+fn window(max_len: usize) -> Vec<Word> {
+    Alphabet::ab().words_up_to(max_len).collect()
+}
+
+#[test]
+fn classify_equals_naive_on_exhaustive_window() {
+    // The tentpole differential: batch classify (arena + memo +
+    // fingerprints + union-find) vs the naive representative loop, on all
+    // 31 words of Σ^{≤4}, for every rank ≤ 2.
+    let words = window(4);
+    for k in 0..=2u32 {
+        assert_eq!(
+            hintikka::classes(&words, k),
+            hintikka::classes_naive(&words, k),
+            "k={k}"
+        );
+    }
+}
+
+#[test]
+fn parallel_classify_equals_sequential_on_exhaustive_window() {
+    let words = window(4);
+    for k in 0..=2u32 {
+        let seq = hintikka::classes(&words, k);
+        for threads in [2usize, 4, 8] {
+            assert_eq!(
+                hintikka::classes_parallel(&words, k, threads),
+                seq,
+                "k={k} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_verdicts_equal_fresh_solver_verdicts() {
+    // Every single verdict the batch engine hands out — memoized,
+    // fingerprint-refuted, or solver-decided — must equal a fresh
+    // per-pair solver run over the same (window-union) alphabet.
+    let words = window(3);
+    let (arena, ids) = StructureArena::for_words(&words);
+    let sigma = arena.alphabet().clone();
+    let mut batch = BatchSolver::new(arena);
+    for k in 0..=2u32 {
+        let eq = batch.all_pairs(&ids, k);
+        for (i, w) in words.iter().enumerate() {
+            for (j, v) in words.iter().enumerate() {
+                let direct =
+                    EfSolver::new(GamePair::new(w.clone(), v.clone(), &sigma)).equivalent(k);
+                assert_eq!(eq[i][j], direct, "w={w} v={v} k={k}");
+            }
+        }
+    }
+}
+
+#[test]
+fn fingerprint_path_is_invisible() {
+    // With and without the fingerprint filter, the partition is identical
+    // (the filter may only skip solver runs, never change verdicts).
+    let words = window(4);
+    for k in 0..=2u32 {
+        let (arena, ids) = StructureArena::for_words(&words);
+        let mut with_fp = BatchSolver::new(arena);
+        let (arena2, ids2) = StructureArena::for_words(&words);
+        let mut without_fp = BatchSolver::with_config(
+            arena2,
+            BatchConfig {
+                use_fingerprints: false,
+                use_rank2_profiles: false,
+                solver_threads: 1,
+            },
+        );
+        assert_eq!(
+            with_fp.classify(&ids, k),
+            without_fp.classify(&ids2, k),
+            "k={k}"
+        );
+    }
+}
+
+#[test]
+fn rank2_profile_path_is_invisible() {
+    // The lazily-computed rank-2 type profile is a pure filter: enabling
+    // it on the exhaustive binary window must not change a single class
+    // (every profile-refuted pair is also solver-inequivalent). In debug
+    // builds the engine additionally replays the solver on each
+    // profile-refuted pair via its internal debug_assert.
+    let words = window(4);
+    for k in 0..=2u32 {
+        let (arena, ids) = StructureArena::for_words(&words);
+        let mut with_rank2 = BatchSolver::with_config(
+            arena,
+            BatchConfig {
+                use_rank2_profiles: true,
+                ..BatchConfig::default()
+            },
+        );
+        let (arena2, ids2) = StructureArena::for_words(&words);
+        let mut default = BatchSolver::new(arena2);
+        assert_eq!(
+            with_rank2.classify(&ids, k),
+            default.classify(&ids2, k),
+            "k={k}"
+        );
+        if k == 2 {
+            assert!(
+                with_rank2.stats().rank2_refutations > 0,
+                "the profile should decide at least one rank-2 pair on this window"
+            );
+        }
+    }
+}
+
+#[test]
+fn unary_scan_and_classes_equal_naive() {
+    for k in 0..=2u32 {
+        let limit = if k == 2 { 20 } else { 12 };
+        assert_eq!(
+            pow2::minimal_unary_pair(k, limit),
+            pow2::minimal_unary_pair_naive(k, limit),
+            "scan k={k}"
+        );
+        assert_eq!(
+            pow2::unary_classes(k, 12),
+            pow2::unary_classes_naive(k, 12),
+            "classes k={k}"
+        );
+    }
+}
+
+#[test]
+fn window_alphabet_padding_never_changes_verdicts() {
+    // Satellite regression: the batch engine plays every pair over the
+    // *window-union* alphabet, while the old per-pair loop used the joint
+    // alphabet of just the two words. Padding Σ with letters absent from
+    // both words must not change any verdict (the padded constants
+    // interpret as consistent (⊥, ⊥) pairs that only pre-pin the forced
+    // ⊥ ↦ ⊥ response).
+    let words = window(3);
+    let wide = Alphabet::abc(); // 'c' occurs in no window word
+    for w in &words {
+        for v in &words {
+            for k in 0..=2u32 {
+                let joint = EfSolver::new(GamePair::of(w.as_str(), v.as_str())).equivalent(k);
+                let padded =
+                    EfSolver::new(GamePair::new(w.clone(), v.clone(), &wide)).equivalent(k);
+                assert_eq!(joint, padded, "w={w} v={v} k={k}");
+            }
+        }
+    }
+}
+
+#[test]
+fn rebound_solver_equals_fresh_solver() {
+    // Per-worker solver reuse: a solver rebound across pairs must give the
+    // same verdicts as a fresh solver per pair, in any probe order.
+    let words = window(3);
+    let (arena, ids) = StructureArena::for_words(&words);
+    let mut reused: Option<EfSolver> = None;
+    for &i in &ids {
+        for &j in ids.iter().rev() {
+            for k in 0..=2u32 {
+                let game = arena.game(i, j);
+                let fresh = EfSolver::new(game.clone()).equivalent(k);
+                let solver = match reused.as_mut() {
+                    Some(s) => {
+                        s.rebind(game);
+                        s
+                    }
+                    None => reused.insert(EfSolver::new(game)),
+                };
+                assert_eq!(
+                    solver.equivalent(k),
+                    fresh,
+                    "w={} v={} k={k}",
+                    arena.word(i),
+                    arena.word(j)
+                );
+            }
+        }
+    }
+}

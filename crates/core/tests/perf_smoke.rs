@@ -1,15 +1,18 @@
-//! Hot-path perf smoke: the E08 fooling confirmation must stay fast.
+//! Hot-path perf smokes: the E08 fooling confirmation and the batch
+//! classify grid must stay fast.
 //!
 //! `a¹²b¹² ≡₂ a¹⁴b¹²` took 47 s (release) on the pre-optimization solver;
-//! the optimized solver decides it in well under a second. The budget here
-//! is deliberately generous (it must also pass unoptimized debug builds of
-//! the *optimized* code on slow CI), but any return to the old
-//! byte-comparison search blows through it by an order of magnitude —
-//! `scripts/check.sh` runs this test in release mode as a tripwire.
+//! the optimized solver decides it in well under a second. The budgets here
+//! are deliberately generous (they must also pass unoptimized debug builds
+//! of the *optimized* code on slow CI), but any return to the old
+//! byte-comparison search — or to per-pair structure rebuilding in the
+//! batch engine — blows through them by an order of magnitude;
+//! `scripts/check.sh` runs these tests in release mode as tripwires.
 
+use fc_games::hintikka;
 use fc_games::solver::EfSolver;
 use fc_games::GamePair;
-use fc_words::Alphabet;
+use fc_words::{Alphabet, Word};
 use std::time::{Duration, Instant};
 
 #[test]
@@ -31,5 +34,32 @@ fn e08_rank2_confirmation_within_budget() {
     assert!(
         elapsed < budget,
         "solver perf regression: E08 took {elapsed:?} (budget {budget:?})"
+    );
+}
+
+#[test]
+fn batch_classify_window4_rank2_within_budget() {
+    // The P9 tripwire: classify all 31 words of Σ^{≤4} at k = 2 on the
+    // batch engine. The arena builds 31 structures (the naive loop built
+    // ~2 per comparison), fingerprints refute most cross-class pairs, and
+    // the verdict memo absorbs the rest — regressing any of those layers
+    // shows up as an order-of-magnitude wall-time jump.
+    let budget = Duration::from_secs(30);
+    let words: Vec<Word> = Alphabet::ab().words_up_to(4).collect();
+    let start = Instant::now();
+    let (classes, stats) = hintikka::classes_with_stats(&words, 2);
+    let elapsed = start.elapsed();
+    println!(
+        "P9 classify Σ^≤4 k=2: {elapsed:.3?} wall, {} classes, [batch: {stats}]",
+        classes.len()
+    );
+    assert_eq!(
+        stats.structures_built,
+        words.len() as u64,
+        "arena must build each word exactly once"
+    );
+    assert!(
+        elapsed < budget,
+        "batch classify perf regression: took {elapsed:?} (budget {budget:?})"
     );
 }

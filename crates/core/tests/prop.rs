@@ -2,11 +2,14 @@
 //! reflexivity, monotonicity in rank), partial-isomorphism consistency,
 //! and strategy behaviour on randomized instances.
 
+use fc_games::batch::{BatchSolver, StructureArena};
+use fc_games::fingerprint::{rank2_type_profile, Fingerprint};
 use fc_games::partial_iso::{check_partial_iso, consistent_extension};
 use fc_games::solver::EfSolver;
 use fc_games::strategies::IdentityStrategy;
 use fc_games::strategy::validate_strategy;
 use fc_games::GamePair;
+use fc_logic::FactorStructure;
 use fc_words::{Alphabet, Word};
 use proptest::prelude::*;
 
@@ -107,6 +110,42 @@ proptest! {
                 prop_assert_eq!(inc, explicit, "w={} v={} x={:?} y={:?}", w, v, x, y);
             }
         }
+    }
+
+    #[test]
+    fn fingerprint_refutation_never_disagrees_with_the_solver(w in word(6), v in word(6), k in 0u32..3) {
+        // The batch engine's fingerprint filter claims: refutation at rank
+        // k implies solver-inequivalence at rank k. Any counterexample is
+        // an unsound invariant, not a perf bug.
+        let sigma = Alphabet::ab();
+        let fw = Fingerprint::of(&FactorStructure::new(w.clone(), &sigma));
+        let fv = Fingerprint::of(&FactorStructure::new(v.clone(), &sigma));
+        if fw.refutes(&fv, k) {
+            let mut s = EfSolver::new(game(&w, &v));
+            prop_assert!(!s.equivalent(k), "fingerprint wrongly refuted {} ≡_{} {}", w, k, v);
+        }
+    }
+
+    #[test]
+    fn rank2_profile_separation_never_disagrees_with_the_solver(w in word(6), v in word(6), k in 2u32..4) {
+        // The lazily-computed rank-2 type profile claims: unequal profiles
+        // imply ≢_k for every k ≥ 2. Any counterexample is an unsound
+        // invariant, not a perf bug.
+        let sigma = Alphabet::ab();
+        let pw = rank2_type_profile(&FactorStructure::new(w.clone(), &sigma));
+        let pv = rank2_type_profile(&FactorStructure::new(v.clone(), &sigma));
+        if pw != pv {
+            let mut s = EfSolver::new(game(&w, &v));
+            prop_assert!(!s.equivalent(k), "rank-2 profile wrongly separated {} ≡_{} {}", w, k, v);
+        }
+    }
+
+    #[test]
+    fn batch_verdict_equals_fresh_solver(w in word(5), v in word(5), k in 0u32..3) {
+        let (arena, ids) = StructureArena::for_words(&[w.clone(), v.clone()]);
+        let mut batch = BatchSolver::new(arena);
+        let direct = EfSolver::new(game(&w, &v)).equivalent(k);
+        prop_assert_eq!(batch.equivalent(ids[0], ids[1], k), direct, "w={} v={} k={}", w, v, k);
     }
 
     #[test]

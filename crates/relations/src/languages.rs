@@ -7,8 +7,7 @@
 //! defines `L` (Lemma 3.5), reproducing the paper's route to
 //! `L ∉ 𝓛(FC)`.
 
-use fc_games::solver::EfSolver;
-use fc_games::GamePair;
+use fc_games::batch::{BatchConfig, BatchSolver, BatchStats, StructureArena};
 use fc_words::{Alphabet, Word};
 
 /// A solver-confirmed fooling pair for a language at rank `k`.
@@ -170,6 +169,26 @@ impl PaperLanguage {
     /// exponents ≤ `limit`: a member `generate(p)` and a non-member
     /// `variant(p, q)` with `p ≠ q` that the solver certifies ≡_k.
     pub fn fooling_pair(&self, k: u32, limit: usize) -> Option<LanguageFoolingPair> {
+        self.fooling_pair_with_stats(k, limit).0
+    }
+
+    /// [`PaperLanguage::fooling_pair`] plus the batch engine's counters
+    /// for the E15/P6 report rows.
+    ///
+    /// The search runs in two passes: first the candidate `(inside,
+    /// outside)` pairs surviving the membership prechecks are collected
+    /// (cheap — just words), fixing the union alphabet; then one
+    /// [`StructureArena`] over that alphabet drives the scan in the
+    /// original `(q, p)` order. Every `generate(p)` structure is shared
+    /// across all `q`, fingerprint-refuted candidates never start a game,
+    /// and the scan still exits at the first confirmed pair.
+    pub fn fooling_pair_with_stats(
+        &self,
+        k: u32,
+        limit: usize,
+    ) -> (Option<LanguageFoolingPair>, BatchStats) {
+        let mut candidates: Vec<(Word, Word, (usize, usize))> = Vec::new();
+        let mut sigma = Alphabet::from_symbols(b"");
         for q in 1..=limit {
             for p in 0..q {
                 let inside = (self.generate)(p);
@@ -177,22 +196,35 @@ impl PaperLanguage {
                 if !(self.member)(inside.bytes()) || (self.member)(outside.bytes()) {
                     continue;
                 }
-                let mut solver = EfSolver::new(GamePair::new(
-                    inside.clone(),
-                    outside.clone(),
-                    &Alphabet::from_symbols(b""),
-                ));
-                if solver.equivalent(k) {
-                    return Some(LanguageFoolingPair {
+                sigma = sigma.extended_by(&inside).extended_by(&outside);
+                candidates.push((inside, outside, (p, q)));
+            }
+        }
+        let mut batch = BatchSolver::with_config(
+            StructureArena::new(sigma),
+            BatchConfig {
+                use_fingerprints: true,
+                use_rank2_profiles: true,
+                solver_threads: 1,
+            },
+        );
+        for (inside, outside, exponents) in candidates {
+            let i = batch.intern(&inside);
+            let j = batch.intern(&outside);
+            if batch.equivalent(i, j, k) {
+                let stats = batch.stats();
+                return (
+                    Some(LanguageFoolingPair {
                         inside,
                         outside,
                         k,
-                        exponents: (p, q),
-                    });
-                }
+                        exponents,
+                    }),
+                    stats,
+                );
             }
         }
-        None
+        (None, batch.stats())
     }
 
     /// All members with parameter up to `n_max` (deduplicated).

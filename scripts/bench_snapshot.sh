@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Machine-readable perf snapshot: times the headline workloads (E03 scan,
+# E24 class table, E08/E09 fooling confirmations) on the naive and batch
+# paths and writes BENCH_PR<N>.json at the repo root.
+#
+# Usage: scripts/bench_snapshot.sh [N]     (from anywhere; default N = 5)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PR="${1:-5}"
+OUT="BENCH_PR${PR}.json"
+
+echo "==> building snapshot binary (release)"
+cargo build --release --offline -p fc-bench --bin snapshot
+
+echo "==> timing headline workloads"
+./target/release/snapshot > "$OUT"
+
+echo "==> wrote $OUT"
+cat "$OUT"

@@ -15,7 +15,7 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release --offline
 cargo test -q --offline
 
-echo "==> solver perf smoke (E08 a^12 b^12 ≡₂ a^14 b^12, release, generous budget)"
+echo "==> solver perf smokes (E08 confirmation + P9 batch classify on Σ^≤4 k=2, release, generous budgets)"
 cargo test -q --offline --release -p fc-games --test perf_smoke -- --nocapture
 
 echo "==> eval perf smoke (phi_fib accepts the n = 4 member, release, generous budget)"

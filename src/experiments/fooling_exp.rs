@@ -133,9 +133,12 @@ pub fn e15_l1_to_l6(effort: Effort) -> ExperimentReport {
         Effort::Quick => (1u32, 12usize),
         Effort::Full => (1u32, 20usize),
     };
+    let mut totals = fc_games::batch::BatchStats::default();
     for lang in languages::catalogue() {
         for k in 1..=max_k {
-            match lang.fooling_pair(k, limit) {
+            let (hit, stats) = lang.fooling_pair_with_stats(k, limit);
+            totals.absorb(&stats);
+            match hit {
                 Some(pair) => rep.check(
                     true,
                     format!(
@@ -153,5 +156,6 @@ pub fn e15_l1_to_l6(effort: Effort) -> ExperimentReport {
             }
         }
     }
+    rep.row(format!("batch totals across the catalogue: {totals}"));
     rep
 }

@@ -48,23 +48,28 @@ pub fn e01_even_odd(effort: Effort) -> ExperimentReport {
 /// semilinear tail, and the powers-of-two collision.
 pub fn e03_pow2(effort: Effort) -> ExperimentReport {
     let mut rep = ExperimentReport::new();
+    // The batch engine (structure arena + verdict memo + fingerprints)
+    // extends the Full exhaustive scan bound from 20 to 40 exponents.
     let (ranks, limit) = match effort {
         Effort::Quick => (2u32, 16usize),
-        Effort::Full => (2u32, 20usize),
+        Effort::Full => (2u32, 40usize),
     };
     for k in 0..=ranks {
-        match pow2::minimal_unary_pair(k, limit) {
-            Some((p, q)) => rep.row(format!("k={k}: minimal pair a^{p} ≡_{k} a^{q}")),
+        let (hit, stats) = pow2::minimal_unary_pair_with_stats(k, limit);
+        match hit {
+            Some((p, q)) => rep.row(format!(
+                "k={k}: minimal pair a^{p} ≡_{k} a^{q}  [batch: {stats}]"
+            )),
             None => rep.row(format!(
-                "k={k}: no pair with exponents ≤ {limit} (search exhausted)"
+                "k={k}: no pair with exponents ≤ {limit} (search exhausted)  [batch: {stats}]"
             )),
         }
     }
     rep.row("rank 3: minimal pair exceeds exhaustive search range (≥ 40); see DESIGN notes");
     for k in 0..=ranks {
-        let classes = pow2::unary_classes(k, limit.min(16));
+        let (classes, stats) = pow2::unary_classes_with_stats(k, limit.min(16));
         rep.row(format!(
-            "k={k}: {} classes of a^0..a^{}",
+            "k={k}: {} classes of a^0..a^{}  [batch: {stats}]",
             classes.len(),
             limit.min(16)
         ));
@@ -441,7 +446,7 @@ pub fn e22_certificates(effort: Effort) -> ExperimentReport {
 /// Σ^{≤n} can rank-k FC sentences resolve, and how the FO[EQ] positional
 /// view compares.
 pub fn e24_class_tables(effort: Effort) -> ExperimentReport {
-    use fc_games::hintikka::{check_equivalence_laws, classes};
+    use fc_games::hintikka::{check_equivalence_laws, classes_parallel, classes_with_stats};
     let mut rep = ExperimentReport::new();
     let sigma = fc_words::Alphabet::ab();
     let max_len = match effort {
@@ -451,13 +456,18 @@ pub fn e24_class_tables(effort: Effort) -> ExperimentReport {
     let words: Vec<Word> = sigma.words_up_to(max_len).collect();
     let mut counts = Vec::new();
     for k in 0..=2u32 {
-        let c = classes(&words, k);
+        let (c, stats) = classes_with_stats(&words, k);
         counts.push(c.len());
         rep.row(format!(
-            "k={k}: {} classes over the {} words of Σ^≤{max_len}",
+            "k={k}: {} classes over the {} words of Σ^≤{max_len}  [batch: {stats}]",
             c.len(),
             words.len()
         ));
+        // The parallel grid must reproduce the sequential partition.
+        rep.check(
+            classes_parallel(&words, k, 4) == c,
+            format!("k={k}: parallel window partition equals sequential"),
+        );
     }
     rep.check(
         counts.windows(2).all(|w| w[0] <= w[1]),
