@@ -93,6 +93,35 @@ fn main() {
     });
     field(&mut fields, "e09_a_ba_confirmation_k2_limit20", e09);
 
+    // PR 6: the FC-definability oracle (arXiv 2505.09772) over a corpus
+    // spanning all verdicts, and the FC2xx lint pass that surfaces it.
+    let oracle_corpus = [
+        "a*b*",
+        "(ab)*",
+        "(aa)*b(a|b)*",
+        "(a|b)*ab(a|b)*",
+        "b*a(ab)*",
+        "(b|ab*a)*",
+        "((a|b)(a|b))*",
+        "(aa|bb)*",
+        "(ab|ba)*",
+    ];
+    let budget = fc_reglang::definable::DefinabilityBudget::default();
+    let oracle = time(|| {
+        for pattern in oracle_corpus {
+            let re = fc_reglang::Regex::parse(pattern).expect("corpus regex");
+            let _ = fc_reglang::definable::fc_definable_regex(&re, b"ab", &budget);
+        }
+    });
+    field(&mut fields, "e26_definability_oracle_corpus9", oracle);
+    let lint_src = "E x, y: (x in /b(ab)*/) & (y in /(b|ab*a)*/)";
+    let fc2_lint = time(|| {
+        let diags = fc_logic::analysis::Analyzer::default().analyze_source(lint_src);
+        assert!(diags.iter().any(|d| d.code == "FC201"));
+        assert!(diags.iter().any(|d| d.code == "FC202"));
+    });
+    field(&mut fields, "fc2xx_lint_pass_two_constraints", fc2_lint);
+
     // Headline speedups for the acceptance criteria.
     let ratio =
         |naive: Duration, batch: Duration| naive.as_secs_f64() / batch.as_secs_f64().max(1e-9);

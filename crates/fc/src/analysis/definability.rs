@@ -1,0 +1,188 @@
+//! The FC2xx lint family: FC-definability verdicts for regular
+//! constraints, backed by the arXiv 2505.09772 oracle
+//! ([`fc_reglang::definable::fc_definable_regex`]).
+//!
+//! For each `x ∈ γ` constraint whose language is infinite (empty and
+//! finite languages already have FC101/FC103):
+//!
+//! - **FC201** (note): the language is FC-definable — the witness
+//!   expression and its FC sentence are attached, so the constraint can
+//!   be inlined and the REG extension dropped.
+//! - **FC202** (warning): the language is *provably not* FC-definable —
+//!   the obstruction certificate (a validated separating word family)
+//!   is attached. The constraint is load-bearing: the formula lives
+//!   strictly in FC[REG].
+//!
+//! Constraints the oracle cannot resolve within `--fc2-budget` (state
+//! cap on the minimal DFA, with a scaled transition-monoid cap) are
+//! passed over in silence — the lint never guesses.
+
+use super::{AnalysisConfig, Diagnostic, Severity};
+use crate::reg_to_fc::definable_to_fc;
+use crate::span::SpannedFormula;
+use fc_reglang::definable::{fc_definable_regex, DefinabilityBudget, FcDefinability};
+use fc_reglang::{ops, Dfa};
+
+/// Runs the definability rules over `f`, appending findings to `out`.
+pub(super) fn check(f: &SpannedFormula, config: &AnalysisConfig, out: &mut Vec<Diagnostic>) {
+    if config.fc2_budget == 0 {
+        return;
+    }
+    let lowered = f.to_formula();
+    let mut alphabet = lowered.symbols();
+    if alphabet.is_empty() {
+        alphabet = b"ab".to_vec();
+    }
+
+    let mut constraints = Vec::new();
+    super::semantic::collect_constraints(f, &mut constraints);
+    let budget = DefinabilityBudget::with_states(config.fc2_budget);
+    for (regex, rspan) in constraints {
+        let dfa = Dfa::from_regex(regex, &alphabet);
+        // Empty / finite languages are FC101 / FC103 territory.
+        if ops::is_empty_lang(&dfa) || ops::is_finite_lang(&dfa) {
+            continue;
+        }
+        match fc_definable_regex(regex, &alphabet, &budget) {
+            FcDefinability::Definable(expr) => {
+                let sentence = definable_to_fc("x", &expr, &alphabet).to_string();
+                let sentence = if sentence.len() > 300 {
+                    let cut = (0..=300)
+                        .rev()
+                        .find(|&i| sentence.is_char_boundary(i))
+                        .unwrap_or(0);
+                    format!("{}… ({} chars)", &sentence[..cut], sentence.len())
+                } else {
+                    sentence
+                };
+                out.push(Diagnostic {
+                    code: "FC201",
+                    severity: Severity::Note,
+                    span: rspan,
+                    message: format!(
+                        "constraint language of /{regex}/ is FC-definable — witness {expr}"
+                    ),
+                    note: Some(format!(
+                        "the constraint can be inlined, eliminating the REG extension \
+                         (arXiv 2505.09772); witness sentence for x: {sentence}"
+                    )),
+                });
+            }
+            FcDefinability::NotDefinable(ob) => {
+                out.push(Diagnostic {
+                    code: "FC202",
+                    severity: Severity::Warning,
+                    span: rspan,
+                    message: format!(
+                        "constraint language of /{regex}/ is provably not FC-definable"
+                    ),
+                    note: Some(format!(
+                        "{}; the constraint is load-bearing — this formula needs FC[REG] \
+                         (arXiv 2505.09772)",
+                        ob.describe()
+                    )),
+                });
+            }
+            FcDefinability::Inconclusive(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{AnalysisConfig, Analyzer, Severity};
+
+    fn codes(src: &str) -> Vec<&'static str> {
+        Analyzer::default()
+            .analyze_source(src)
+            .iter()
+            .map(|d| d.code)
+            .collect()
+    }
+
+    // FC201 — definable constraint, witness attached ----------------------
+
+    #[test]
+    fn fc201_fires_with_a_witness_on_bounded_constraints() {
+        let src = "E x: x in /b(ab)*/";
+        let diags = Analyzer::default().analyze_source(src);
+        let d = diags.iter().find(|d| d.code == "FC201").expect("FC201");
+        assert_eq!(d.severity, Severity::Note);
+        assert_eq!(d.span.slice(src), "/b(ab)*/");
+        let note = d.note.as_deref().unwrap_or("");
+        assert!(note.contains("witness sentence"), "{note}");
+        assert!(note.contains("2505.09772"), "{note}");
+    }
+
+    #[test]
+    fn fc201_fires_on_gap_patterns() {
+        // Simple-but-unbounded: the E23 incomparability case.
+        let found = codes("E x: x in /(a|b)*ab(a|b)*/");
+        assert!(found.contains(&"FC201"), "{found:?}");
+    }
+
+    #[test]
+    fn fc201_skips_finite_languages() {
+        // FC103 already covers finite constraint languages.
+        let found = codes("E x: x in /ab|ba/");
+        assert!(found.contains(&"FC103"), "{found:?}");
+        assert!(!found.contains(&"FC201"), "{found:?}");
+    }
+
+    // FC202 — provably not definable --------------------------------------
+
+    #[test]
+    fn fc202_fires_with_a_certificate_on_modular_counting() {
+        let src = "E x: x in /(b|ab*a)*/";
+        let diags = Analyzer::default().analyze_source(src);
+        let d = diags.iter().find(|d| d.code == "FC202").expect("FC202");
+        assert_eq!(d.severity, Severity::Warning);
+        let note = d.note.as_deref().unwrap_or("");
+        assert!(note.contains("counts mod 2"), "{note}");
+        assert!(note.contains("load-bearing"), "{note}");
+    }
+
+    #[test]
+    fn fc202_silent_on_definable_constraints() {
+        assert!(!codes("E x: x in /(a|b)*ab/").contains(&"FC202"));
+    }
+
+    // Budget gating --------------------------------------------------------
+
+    #[test]
+    fn fc2_budget_zero_disables_the_family() {
+        let config = AnalysisConfig {
+            fc2_budget: 0,
+            ..Default::default()
+        };
+        let diags = Analyzer::new(config).analyze_source("E x: x in /(b|ab*a)*/");
+        assert!(
+            diags.iter().all(|d| !d.code.starts_with("FC2")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn fc2_budget_too_small_stays_silent() {
+        let config = AnalysisConfig {
+            fc2_budget: 1,
+            ..Default::default()
+        };
+        let diags = Analyzer::new(config).analyze_source("E x: x in /(b|ab*a)*/");
+        assert!(
+            diags.iter().all(|d| !d.code.starts_with("FC2")),
+            "{diags:?}"
+        );
+    }
+
+    // Frontier cases never guess ------------------------------------------
+
+    #[test]
+    fn inconclusive_constraints_produce_no_fc2_diagnostic() {
+        let diags = Analyzer::default().analyze_source("E x: x in /(ab|ba)*/");
+        assert!(
+            diags.iter().all(|d| !d.code.starts_with("FC2")),
+            "{diags:?}"
+        );
+    }
+}

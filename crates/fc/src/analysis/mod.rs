@@ -18,6 +18,8 @@
 //! | FC102 | universal-constraint        | warning          |
 //! | FC103 | finite-constraint-language  | note             |
 //! | FC104 | qr-blowup                   | warning          |
+//! | FC201 | fc-definable-constraint     | note             |
+//! | FC202 | fc-undefinable-constraint   | warning          |
 //!
 //! FC001–FC007 are purely syntactic. FC101–FC104 are *semantic*: they
 //! decide properties of the constraint languages by compiling each
@@ -25,6 +27,10 @@
 //! emptiness / universality / finiteness, and they compare the quantifier
 //! rank of the surface formula against its binary-FC desugaring
 //! (Theorem 3.5: every extra wide-equation part costs a quantifier).
+//! FC201/FC202 run the FC-definability oracle of arXiv 2505.09772 on
+//! every infinite constraint language, attaching a witness FC sentence
+//! or an obstruction certificate; they are budgeted by
+//! [`AnalysisConfig::fc2_budget`] (`fc lint --fc2-budget`).
 //!
 //! The catalog with examples lives in `docs/ANALYSIS.md`; the CLI entry
 //! point is `fc lint`.
@@ -36,6 +42,7 @@
 //! assert_eq!(codes, ["FC001", "FC002"]); // outer x unused; inner x shadows it
 //! ```
 
+mod definability;
 mod semantic;
 mod syntactic;
 
@@ -235,6 +242,22 @@ const RULES: &[RuleInfo] = &[
         summary: "desugaring wide equations raises the quantifier rank past \
                   the configured budget (Theorem 3.5)",
     },
+    RuleInfo {
+        code: "FC201",
+        name: "fc-definable-constraint",
+        default_severity: Severity::Note,
+        summary: "a regular constraint's language is FC-definable — a witness \
+                  sentence is available, so the REG extension can be eliminated \
+                  (arXiv 2505.09772)",
+    },
+    RuleInfo {
+        code: "FC202",
+        name: "fc-undefinable-constraint",
+        default_severity: Severity::Warning,
+        summary: "a regular constraint's language is provably not FC-definable \
+                  (obstruction certificate attached); the formula genuinely \
+                  needs FC[REG] (arXiv 2505.09772)",
+    },
 ];
 
 /// The full, ordered rule registry.
@@ -260,6 +283,9 @@ pub struct AnalysisConfig {
     /// Run the DFA-backed rules FC101–FC103 (cheap for the regexes in this
     /// repo, but disableable for adversarial inputs).
     pub semantic: bool,
+    /// State cap on the minimal DFA for the FC201/FC202 definability
+    /// oracle (`fc lint --fc2-budget`); `0` disables the family.
+    pub fc2_budget: usize,
     /// Codes to suppress entirely (`--allow FC103`).
     pub allow: BTreeSet<String>,
 }
@@ -271,6 +297,7 @@ impl Default for AnalysisConfig {
             expect_pure_fc: false,
             qr_blowup_threshold: 3,
             semantic: true,
+            fc2_budget: 32,
             allow: BTreeSet::new(),
         }
     }
@@ -297,6 +324,7 @@ impl Analyzer {
         syntactic::check(f, &self.config, &mut diags);
         if self.config.semantic {
             semantic::check(f, &self.config, &mut diags);
+            definability::check(f, &self.config, &mut diags);
         }
         self.finish(diags)
     }
@@ -425,6 +453,7 @@ mod tests {
         let (e, w, n) = counts(&diags);
         assert_eq!(e, 1, "{diags:?}"); // FC101: /!/ is ∅
         assert_eq!(w, 0, "{diags:?}");
-        assert_eq!(n, 1, "{diags:?}"); // FC103: /ab|ba/ is finite
+        // FC103: /ab|ba/ is finite; FC201: /b(ab)*/ is FC-definable.
+        assert_eq!(n, 2, "{diags:?}");
     }
 }

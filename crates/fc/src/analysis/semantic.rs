@@ -47,7 +47,7 @@ pub(super) fn check(f: &SpannedFormula, config: &AnalysisConfig, out: &mut Vec<D
     }
 }
 
-fn collect_constraints<'a>(f: &'a SpannedFormula, out: &mut Vec<(&'a Rc<Regex>, Span)>) {
+pub(super) fn collect_constraints<'a>(f: &'a SpannedFormula, out: &mut Vec<(&'a Rc<Regex>, Span)>) {
     match &f.node {
         SpannedNode::Eq(..) | SpannedNode::EqChain(..) => {}
         SpannedNode::In(_, g, rspan) => out.push((g, *rspan)),

@@ -227,6 +227,196 @@ pub fn eliminate_simple_constraints(
     })
 }
 
+// ---- the full definable class (arXiv 2505.09772) ---------------------------
+
+/// The FC formula (free variable `x`) stating "`x` contains no letter of
+/// `alphabet ∖ letters`" — i.e. `x ∈ B*` for the sub-alphabet
+/// `B = letters`. FC expresses this negatively: a letter `c` occurs in
+/// `x` iff `∃u,v: x ≐ u·c·v` (the witnesses are factors of `x`, hence of
+/// the input), so membership in `B*` is the conjunction of the negated
+/// occurrence tests for the excluded letters. When `letters ⊇ alphabet`
+/// this degenerates to ⊤.
+pub fn phi_sub_alphabet(x: &str, letters: &[u8], alphabet: &[u8]) -> Formula {
+    Formula::and(alphabet.iter().filter(|c| !letters.contains(c)).map(|&c| {
+        let u = format!("__no{}l_{x}", c as char);
+        let v = format!("__no{}r_{x}", c as char);
+        Formula::not(Formula::exists(
+            &[u.as_str(), v.as_str()],
+            Formula::eq_chain(
+                Term::var(x),
+                vec![Term::var(&u), Term::Sym(c), Term::var(&v)],
+            ),
+        ))
+    }))
+}
+
+/// The FC formula (free variable `x`) for membership in a
+/// [`DefinableExpr`] — the full FC-definable class of arXiv 2505.09772
+/// (closure of finite, `w*`, and `B*` under union and concatenation)
+/// over the given ambient alphabet.
+///
+/// Routing honors the two known constructive fragments: expressions
+/// without sub-alphabet atoms go through Lemma 5.3's [`bounded_to_fc`],
+/// gap patterns (`Σ*` atoms between fixed words) go through FP19's
+/// [`simple_to_fc`], and only the genuinely mixed remainder uses the
+/// structural translation (fresh `__dc` split variables plus
+/// [`phi_sub_alphabet`]).
+pub fn definable_to_fc(
+    x: &str,
+    expr: &fc_reglang::definable::DefinableExpr,
+    alphabet: &[u8],
+) -> Formula {
+    let mut fresh = 0usize;
+    translate_definable(x, expr, alphabet, &mut fresh)
+}
+
+fn translate_definable(
+    x: &str,
+    expr: &fc_reglang::definable::DefinableExpr,
+    alphabet: &[u8],
+    fresh: &mut usize,
+) -> Formula {
+    use fc_reglang::definable::DefinableExpr;
+    if let Some(bounded) = expr.as_bounded() {
+        return bounded_to_fc(x, &bounded);
+    }
+    if let Some(simple) = expr.as_simple(alphabet) {
+        return simple_to_fc(x, &simple);
+    }
+    match expr {
+        DefinableExpr::Finite(words) => Formula::or(
+            words
+                .iter()
+                .map(|w| Formula::eq_word(Term::var(x), w.bytes())),
+        ),
+        DefinableExpr::StarWord(w) => phi_star_word(x, w.bytes()),
+        DefinableExpr::SubAlphabet(b) => phi_sub_alphabet(x, b, alphabet),
+        DefinableExpr::Union(parts) => Formula::or(
+            parts
+                .iter()
+                .map(|p| translate_definable(x, p, alphabet, fresh)),
+        ),
+        DefinableExpr::Concat(parts) => {
+            if parts.is_empty() {
+                return Formula::eq(Term::var(x), Term::Epsilon);
+            }
+            if parts.len() == 1 {
+                return translate_definable(x, &parts[0], alphabet, fresh);
+            }
+            let names: Vec<String> = parts
+                .iter()
+                .map(|_| {
+                    *fresh += 1;
+                    format!("__dc{fresh}", fresh = *fresh)
+                })
+                .collect();
+            let chain =
+                Formula::eq_chain(Term::var(x), names.iter().map(|n| Term::var(n)).collect());
+            let mut conjuncts = vec![chain];
+            for (n, p) in names.iter().zip(parts.iter()) {
+                conjuncts.push(translate_definable(n, p, alphabet, fresh));
+            }
+            let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            Formula::exists(&name_refs, Formula::and(conjuncts))
+        }
+    }
+}
+
+/// Rewrites regular constraints into pure FC whenever the definability
+/// oracle finds a witness (the closure of
+/// [`eliminate_bounded_constraints`] and [`eliminate_simple_constraints`]
+/// under the full characterized class). Constraints the oracle cannot
+/// resolve stay in place.
+pub fn eliminate_definable_constraints(
+    phi: &Formula,
+    alphabet: &[u8],
+    budget: &fc_reglang::definable::DefinabilityBudget,
+) -> Formula {
+    phi.map_constraints(&|term, regex| match term {
+        Term::Var(v) => match fc_reglang::definable::fc_definable_regex(regex, alphabet, budget) {
+            fc_reglang::definable::FcDefinability::Definable(expr) => {
+                definable_to_fc(v, &expr, alphabet)
+            }
+            _ => Formula::In(term.clone(), regex.clone()),
+        },
+        _ => Formula::In(term.clone(), regex.clone()),
+    })
+}
+
+#[cfg(test)]
+mod definable_tests {
+    use super::*;
+    use crate::language::first_language_disagreement;
+    use crate::library::on_whole_word;
+    use fc_reglang::definable::{fc_definable_regex, DefinabilityBudget};
+    use fc_reglang::{Dfa, Regex};
+    use fc_words::Alphabet;
+
+    fn assert_oracle_witness_exact(src: &str, max_len: usize) {
+        let sigma = Alphabet::ab();
+        let re = Regex::parse(src).unwrap();
+        let dfa = Dfa::from_regex(&re, b"ab");
+        let v = fc_definable_regex(&re, b"ab", &DefinabilityBudget::default());
+        let expr = v.witness().unwrap_or_else(|| panic!("{src} definable"));
+        let phi = on_whole_word(|x| definable_to_fc(x, expr, b"ab"));
+        let bad = first_language_disagreement(&phi, &sigma, max_len, |w| dfa.accepts(w.bytes()));
+        assert_eq!(bad, None, "{src} witness={expr}");
+    }
+
+    #[test]
+    fn sub_alphabet_translation_is_exact() {
+        let sigma = Alphabet::ab();
+        let phi = on_whole_word(|x| phi_sub_alphabet(x, b"a", b"ab"));
+        let bad =
+            first_language_disagreement(&phi, &sigma, 5, |w| w.bytes().iter().all(|&c| c == b'a'));
+        assert_eq!(bad, None);
+        // B ⊇ Σ degenerates to ⊤.
+        let phi = on_whole_word(|x| phi_sub_alphabet(x, b"ab", b"ab"));
+        let bad = first_language_disagreement(&phi, &sigma, 4, |_| true);
+        assert_eq!(bad, None);
+    }
+
+    #[test]
+    fn bounded_witnesses_route_and_verify() {
+        for src in ["(ab)*", "a*b*", "(aa)*", "ab|ba|~"] {
+            assert_oracle_witness_exact(src, 6);
+        }
+    }
+
+    #[test]
+    fn gap_witnesses_route_and_verify() {
+        for src in ["(a|b)*ab(a|b)*", "(a|b)*ab", "ab(a|b)*", "(a|b)*"] {
+            assert_oracle_witness_exact(src, 6);
+        }
+    }
+
+    #[test]
+    fn mixed_witnesses_use_the_structural_translation() {
+        // Neither bounded nor simple: (aa)*·b·Σ* and b*·a·[ab]*… cases.
+        for src in ["(aa)*b(a|b)*", "(ab)*(a|b)*bb"] {
+            assert_oracle_witness_exact(src, 7);
+        }
+    }
+
+    #[test]
+    fn elimination_resolves_definable_constraints_only() {
+        let defin = Regex::parse("(a|b)*ab").unwrap();
+        let not_defin = Regex::parse("(b|ab*a)*").unwrap();
+        let phi = Formula::exists(
+            &["x"],
+            Formula::and([
+                Formula::constraint(Term::var("x"), defin),
+                Formula::constraint(Term::var("x"), not_defin),
+            ]),
+        );
+        let out = eliminate_definable_constraints(&phi, b"ab", &DefinabilityBudget::default());
+        // The gap pattern is eliminated, the parity constraint survives.
+        assert_eq!(out.constraints().len(), 1);
+        let survivor = &out.constraints()[0].1;
+        assert!(survivor.symbols() == b"ab", "{survivor}");
+    }
+}
+
 #[cfg(test)]
 mod simple_tests {
     use super::*;

@@ -154,6 +154,19 @@ pub fn bounded_witness(d: &Dfa) -> Option<Vec<Word>> {
     Some(witness)
 }
 
+/// For a bounded DFA, extracts the *exact* structured form promised by
+/// Ginsburg–Spanier: a [`BoundedExpr`] with `L(expr) = L(d)` (not just a
+/// covering product like [`bounded_witness`]). Returns `None` if the
+/// language is unbounded. Implemented via the condensation-DAG
+/// extraction of [`crate::definable::dfa_expr`], whose output for a
+/// bounded DFA never needs a sub-alphabet atom.
+pub fn bounded_expr(d: &Dfa) -> Option<BoundedExpr> {
+    if !is_bounded(d) {
+        return None;
+    }
+    crate::definable::dfa_expr(d)?.as_bounded()
+}
+
 /// The regex `w₁*·w₂*⋯w_n*` for a witness list.
 pub fn witness_regex(witness: &[Word]) -> Rc<Regex> {
     Regex::concat_all(witness.iter().map(|w| Regex::star(Regex::word(w.bytes()))))

@@ -227,6 +227,78 @@ impl Dfa {
         r.iter().zip(c.iter()).map(|(&a, &b)| a && b).collect()
     }
 
+    /// A shortest word driving the start state to `target` (BFS), or
+    /// `None` if `target` is unreachable.
+    pub fn access_word(&self, target: usize) -> Option<Vec<u8>> {
+        let k = self.alphabet.len();
+        let n = self.len();
+        let mut prev: Vec<Option<(usize, u8)>> = vec![None; n];
+        let mut seen = vec![false; n];
+        seen[self.start] = true;
+        let mut queue = std::collections::VecDeque::from([self.start]);
+        while let Some(q) = queue.pop_front() {
+            if q == target {
+                break;
+            }
+            for s in 0..k {
+                let t = self.delta[q * k + s];
+                if !seen[t] {
+                    seen[t] = true;
+                    prev[t] = Some((q, self.alphabet[s]));
+                    queue.push_back(t);
+                }
+            }
+        }
+        if !seen[target] {
+            return None;
+        }
+        let mut w = Vec::new();
+        let mut q = target;
+        while let Some((p, c)) = prev[q] {
+            w.push(c);
+            q = p;
+        }
+        w.reverse();
+        Some(w)
+    }
+
+    /// A shortest word accepted from exactly one of `p` and `q` (BFS on
+    /// state pairs). Exists for distinct states of a minimal DFA; `None`
+    /// when the two states are language-equivalent.
+    pub fn distinguishing_word(&self, p: usize, q: usize) -> Option<Vec<u8>> {
+        let k = self.alphabet.len();
+        let n = self.len();
+        let idx = |a: usize, b: usize| a * n + b;
+        let mut prev: Vec<Option<(usize, u8)>> = vec![None; n * n];
+        let mut seen = vec![false; n * n];
+        seen[idx(p, q)] = true;
+        let mut queue = std::collections::VecDeque::from([(p, q)]);
+        let mut hit = None;
+        'bfs: while let Some((a, b)) = queue.pop_front() {
+            if self.accepting[a] != self.accepting[b] {
+                hit = Some((a, b));
+                break 'bfs;
+            }
+            for s in 0..k {
+                let t = (self.delta[a * k + s], self.delta[b * k + s]);
+                if !seen[idx(t.0, t.1)] {
+                    seen[idx(t.0, t.1)] = true;
+                    prev[idx(t.0, t.1)] = Some((idx(a, b), self.alphabet[s]));
+                    queue.push_back(t);
+                }
+            }
+        }
+        let (a, b) = hit?;
+        let mut w = Vec::new();
+        let mut cur = idx(a, b);
+        while let Some((parent, c)) = prev[cur] {
+            w.push(c);
+            cur = parent;
+        }
+        w.reverse();
+        Some(w)
+    }
+
     /// Tarjan SCC decomposition restricted to useful states.
     /// Returns `scc_of[q]` (usize::MAX for useless states) and the number of
     /// SCCs.

@@ -12,11 +12,16 @@
 //! - [`bounded`]: the decision procedure for *boundedness* of a regular
 //!   language (is `L ⊆ w₁*⋯w_n*`?), witness extraction, and the structured
 //!   [`bounded::BoundedExpr`] class used by Lemma 5.3's translation into FC;
+//! - [`simple`]: the gap-pattern class of FP19 Lemma 5.5;
+//! - [`definable`]: the FC-definability oracle (arXiv 2505.09772) —
+//!   witness expressions over finite ∪ `w*` ∪ `B*` closed under
+//!   union/concatenation, or certified permutation obstructions;
 //! - [`enumerate`]: enumeration of `L ∩ Σ^{≤n}`.
 //!
 //! Everything is exact; no approximation, no external regex engine.
 
 pub mod bounded;
+pub mod definable;
 pub mod derivative;
 pub mod dfa;
 pub mod enumerate;

@@ -120,11 +120,37 @@ impl SimpleRegex {
     }
 }
 
+impl std::fmt::Display for SimpleRegex {
+    /// Renders the gap pattern in the paper's `w₀·Σ*·w₁` notation
+    /// (`ε` for the empty pattern).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.parts.is_empty() {
+            return f.write_str("ε");
+        }
+        for (i, p) in self.parts.iter().enumerate() {
+            if i > 0 {
+                f.write_str("·")?;
+            }
+            match p {
+                SimplePart::Word(w) => f.write_str(w.as_str())?,
+                SimplePart::Gap => f.write_str("Σ*")?,
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::dfa::Dfa;
     use fc_words::Alphabet;
+
+    #[test]
+    fn display_uses_gap_notation() {
+        assert_eq!(SimpleRegex::contains("ab").to_string(), "Σ*·ab·Σ*");
+        assert_eq!(SimpleRegex::exact("").to_string(), "ε");
+    }
 
     #[test]
     fn normalisation_fuses() {

@@ -2,7 +2,10 @@
 //! random words, algebraic laws of the Boolean operations, and the
 //! boundedness decision pinned against the constructive class.
 
-use fc_reglang::bounded::{bounded_witness, is_bounded, witness_regex, BoundedExpr};
+use fc_reglang::bounded::{
+    bounded_expr as bounded_expr_of, bounded_witness, is_bounded, witness_regex, BoundedExpr,
+};
+use fc_reglang::definable::{fc_definable_regex, DefinabilityBudget, FcDefinability};
 use fc_reglang::ops::{complement, is_equivalent, is_subset, product, BoolOp};
 use fc_reglang::{Dfa, Nfa, Regex};
 use fc_words::Word;
@@ -121,6 +124,46 @@ proptest! {
         if dfa.accepts(w.bytes()) {
             let wd = Dfa::from_regex(&witness_regex(&witness), b"ab");
             prop_assert!(wd.accepts(w.bytes()), "w={} escapes witness of {:?}", w, e);
+        }
+    }
+
+    #[test]
+    fn bounded_expr_extraction_is_exact(e in bounded_expr(), w in word(8)) {
+        // Round-trip: compile the constructive form to a DFA, extract a
+        // BoundedExpr back out, and check *exact* membership agreement
+        // (strictly stronger than the covering witness above).
+        let dfa = Dfa::from_regex(&e.to_regex(), b"ab");
+        let back = bounded_expr_of(&dfa).expect("bounded language must extract");
+        prop_assert_eq!(
+            back.contains(w.bytes()),
+            dfa.accepts(w.bytes()),
+            "expr={:?} back={:?} w={}", e, back, w
+        );
+    }
+
+    #[test]
+    fn definability_verdicts_are_certified(re in regex(), w in word(5)) {
+        // Whatever the oracle answers on a random regex, the attached
+        // certificate must be machine-checkable against the minimal DFA.
+        let dfa = Dfa::from_regex(&re, b"ab");
+        match fc_definable_regex(&re, b"ab", &DefinabilityBudget::default()) {
+            FcDefinability::Definable(expr) => {
+                prop_assert_eq!(
+                    expr.contains(w.bytes()),
+                    dfa.accepts(w.bytes()),
+                    "re={} witness={} w={}", re, expr, w
+                );
+            }
+            FcDefinability::NotDefinable(ob) => {
+                prop_assert!(ob.validate(&dfa), "re={} invalid obstruction", re);
+                for (u, claimed) in ob.separating_family(2) {
+                    prop_assert_eq!(
+                        dfa.accepts(u.bytes()), claimed,
+                        "re={} family claim wrong on {}", re, u
+                    );
+                }
+            }
+            FcDefinability::Inconclusive(_) => {}
         }
     }
 

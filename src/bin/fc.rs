@@ -8,12 +8,14 @@
 //! fc classes <k> <max_exponent>       unary ≡_k class table (Lemma 3.6)
 //! fc fooling <lang> <k> [limit]       fooling pair for anbn | L1..L6
 //! fc bounded '<regex>'                boundedness of a regular language
+//! fc definable '<regex>' [--budget N] FC-definability verdict + certificate
 //! ```
 //!
 //! `fc lint` flags: `--json` (machine-readable report), `--deny-warnings`
 //! (warnings fail the exit code), `--sentence` (require a sentence, FC006),
 //! `--pure` (forbid regular constraints, FC007), `--allow <CODE>`
-//! (suppress a rule), `--qr-budget <N>` (FC104 threshold), `--no-semantic`
+//! (suppress a rule), `--qr-budget <N>` (FC104 threshold), `--fc2-budget <N>`
+//! (FC2xx DFA-state cap, 0 disables), `--no-semantic`
 //! (skip the DFA-backed rules), `--rules` (print the rule registry).
 //! Exit codes: 0 clean, 1 findings (errors, or warnings under
 //! `--deny-warnings`), 2 usage error. `fc check` and `fc solve` run the
@@ -31,7 +33,11 @@ use fc_suite::logic::analysis::{self, AnalysisConfig, Analyzer, Severity};
 use fc_suite::logic::eval::Assignment;
 use fc_suite::logic::parser::parse_formula;
 use fc_suite::logic::plan::{EvalStats, Plan};
+use fc_suite::logic::reg_to_fc::definable_to_fc;
 use fc_suite::logic::{FactorStructure, Formula};
+use fc_suite::reglang::definable::{
+    fc_definable_regex, DefinabilityBudget, FcDefinability, Inconclusive,
+};
 use fc_suite::reglang::{bounded, Dfa, Regex};
 use fc_suite::relations::languages;
 use fc_suite::words::{Alphabet, Word};
@@ -47,8 +53,9 @@ fn main() -> ExitCode {
         Some("classes") => cmd_classes(&args[1..]),
         Some("fooling") => cmd_fooling(&args[1..]),
         Some("bounded") => cmd_bounded(&args[1..]),
+        Some("definable") => cmd_definable(&args[1..]),
         _ => {
-            eprintln!("usage: fc <check|solve|lint|game|classes|fooling|bounded> …");
+            eprintln!("usage: fc <check|solve|lint|game|classes|fooling|bounded|definable> …");
             eprintln!("see the module docs (src/bin/fc.rs) for details");
             return ExitCode::from(2);
         }
@@ -163,7 +170,7 @@ fn cmd_lint(args: &[String]) -> ExitCode {
         eprintln!("{msg}");
         eprintln!(
             "usage: fc lint '<formula>' [--json] [--deny-warnings] [--sentence] [--pure] \
-             [--allow <CODE>] [--qr-budget <N>] [--no-semantic] [--rules]"
+             [--allow <CODE>] [--qr-budget <N>] [--fc2-budget <N>] [--no-semantic] [--rules]"
         );
         ExitCode::from(2)
     };
@@ -193,6 +200,10 @@ fn cmd_lint(args: &[String]) -> ExitCode {
             "--qr-budget" => match it.next().and_then(|n| n.parse().ok()) {
                 Some(n) => config.qr_blowup_threshold = n,
                 None => return usage("--qr-budget needs a number"),
+            },
+            "--fc2-budget" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => config.fc2_budget = n,
+                None => return usage("--fc2-budget needs a number"),
             },
             flag if flag.starts_with("--") => {
                 return usage(&format!("unknown flag '{flag}'"));
@@ -362,5 +373,75 @@ fn cmd_bounded(args: &[String]) -> Result<(), String> {
     let names: Vec<String> = members.iter().take(12).map(Word::to_string).collect();
     println!("members up to length 5: {}", names.join(", "));
     let _ = Alphabet::ab();
+    Ok(())
+}
+
+fn cmd_definable(args: &[String]) -> Result<(), String> {
+    let mut pattern: Option<&str> = None;
+    let mut budget = DefinabilityBudget::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--budget" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => budget = DefinabilityBudget::with_states(n),
+                None => return Err("--budget needs a number".to_string()),
+            },
+            flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
+            src => {
+                if pattern.replace(src).is_some() {
+                    return Err("expected exactly one regex argument".to_string());
+                }
+            }
+        }
+    }
+    let pattern = pattern.ok_or("missing argument: regex")?;
+    let re = Regex::parse(pattern)?;
+    let mut alpha = re.symbols();
+    if alpha.is_empty() {
+        alpha = b"ab".to_vec();
+    }
+    match fc_definable_regex(&re, &alpha, &budget) {
+        FcDefinability::Definable(expr) => {
+            println!("L({pattern}) is FC-DEFINABLE");
+            println!("witness: {expr}");
+            let phi = definable_to_fc("x", &expr, &alpha);
+            let printed = phi.to_string();
+            if printed.len() <= 400 {
+                println!("FC sentence for x: {printed}");
+            } else {
+                println!(
+                    "FC sentence for x: {} … ({} chars)",
+                    printed.chars().take(200).collect::<String>(),
+                    printed.len()
+                );
+            }
+        }
+        FcDefinability::NotDefinable(ob) => {
+            println!("L({pattern}) is NOT FC-DEFINABLE");
+            println!("obstruction: {}", ob.describe());
+            println!("separating family (i, word, accepted):");
+            for (i, (w, acc)) in ob.separating_family(2).into_iter().enumerate() {
+                let shown = if w.is_empty() {
+                    "ε".to_string()
+                } else {
+                    w.to_string()
+                };
+                println!("  i={i}: {shown}  {}", if acc { "∈ L" } else { "∉ L" });
+            }
+        }
+        FcDefinability::Inconclusive(why) => {
+            println!("L({pattern}) is INCONCLUSIVE within budget");
+            match why {
+                Inconclusive::BudgetExceeded { states, budget } => println!(
+                    "minimal DFA has {states} states, exceeding the budget of {budget}; \
+                     raise --budget"
+                ),
+                Inconclusive::Unresolved => println!(
+                    "the language lies outside the witness class and no permutation \
+                     obstruction was found — the oracle never guesses"
+                ),
+            }
+        }
+    }
     Ok(())
 }

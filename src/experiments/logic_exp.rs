@@ -428,3 +428,113 @@ pub fn e23_simple_regex(effort: Effort) -> ExperimentReport {
     );
     rep
 }
+
+/// E26 — arXiv 2505.09772: the FC-definability oracle, run across the
+/// E23 regex families. Bounded and simple languages resolve Definable
+/// through their dedicated routes; the incomparability of the two
+/// classes (E23) is re-confirmed *via the oracle's witnesses*; modular
+/// counting languages get validated obstruction certificates; and the
+/// documented frontier case stays `Inconclusive` — the oracle never
+/// guesses.
+pub fn e26_definability(effort: Effort) -> ExperimentReport {
+    use fc_logic::reg_to_fc::definable_to_fc;
+    use fc_reglang::definable::{fc_definable_regex, DefinabilityBudget, FcDefinability};
+    use fc_reglang::{bounded, simple::SimpleRegex, Dfa, Regex};
+    let mut rep = ExperimentReport::new();
+    let sigma = Alphabet::ab();
+    let budget = DefinabilityBudget::default();
+    let window = match effort {
+        Effort::Quick => 5,
+        Effort::Full => 7,
+    };
+
+    // Definable families: bounded, simple, and mixed (neither).
+    let definable = [
+        ("(ab)*", "bounded"),
+        ("a*b*", "bounded"),
+        ("(aa)*", "bounded"),
+        ("(a|b)*ab(a|b)*", "simple"),
+        ("(a|b)*ab", "simple"),
+        ("(aa)*b(a|b)*", "mixed"),
+        ("b*a(ab)*", "mixed"),
+    ];
+    for (pattern, family) in definable {
+        let re = Regex::parse(pattern).expect("corpus regex");
+        let dfa = Dfa::from_regex(&re, b"ab");
+        match fc_definable_regex(&re, b"ab", &budget) {
+            FcDefinability::Definable(expr) => {
+                let phi = library::on_whole_word(|x| definable_to_fc(x, &expr, b"ab"));
+                let bad = fc_logic::language::first_language_disagreement_auto(
+                    &phi,
+                    &sigma,
+                    window,
+                    |w| dfa.accepts(w.bytes()),
+                );
+                rep.check(
+                    bad.is_none(),
+                    format!("{pattern} ({family}): DEFINABLE, witness {expr} exact on Σ^≤{window}"),
+                );
+            }
+            other => rep.check(false, format!("{pattern}: expected witness, got {other:?}")),
+        }
+    }
+
+    // E23 incomparability, now certified by the oracle's own witnesses:
+    // Σ*abΣ* is definable-but-unbounded, (aa)* is bounded-but-not-simple.
+    let gap = Regex::parse("(a|b)*ab(a|b)*").unwrap();
+    let gap_dfa = Dfa::from_regex(&gap, b"ab");
+    let gap_def = matches!(
+        fc_definable_regex(&gap, b"ab", &budget),
+        FcDefinability::Definable(_)
+    );
+    rep.check(
+        gap_def && !bounded::is_bounded(&gap_dfa),
+        "Σ*·ab·Σ* is FC-definable yet UNBOUNDED (simple route carries it)",
+    );
+    let even = Regex::parse("(aa)*").unwrap();
+    let even_expr = match fc_definable_regex(&even, b"ab", &budget) {
+        FcDefinability::Definable(e) => Some(e),
+        _ => None,
+    };
+    rep.check(
+        even_expr
+            .as_ref()
+            .is_some_and(|e| e.as_bounded().is_some() && e.as_simple(b"ab").is_none()),
+        "(aa)* is FC-definable via the bounded route but NOT simple — incomparability confirmed",
+    );
+    let _ = SimpleRegex::contains("ab"); // the E23 anchor this refines
+
+    // Obstruction certificates: modular counting is provably outside FC.
+    for pattern in ["(b|ab*a)*", "((a|b)(a|b))*", "(aa|bb)*"] {
+        let re = Regex::parse(pattern).expect("corpus regex");
+        let dfa = Dfa::from_regex(&re, b"ab");
+        match fc_definable_regex(&re, b"ab", &budget) {
+            FcDefinability::NotDefinable(ob) => {
+                let family_ok = ob
+                    .separating_family(3)
+                    .into_iter()
+                    .all(|(w, claimed)| dfa.accepts(w.bytes()) == claimed);
+                rep.check(
+                    ob.validate(&dfa) && family_ok,
+                    format!("{pattern}: NOT definable — {}", ob.describe()),
+                );
+            }
+            other => rep.check(
+                false,
+                format!("{pattern}: expected obstruction, got {other:?}"),
+            ),
+        }
+    }
+
+    // The frontier: (ab|ba)* sits outside both the witness class and the
+    // permutation-obstruction criterion. The oracle must say so.
+    let frontier = Regex::parse("(ab|ba)*").unwrap();
+    rep.check(
+        matches!(
+            fc_definable_regex(&frontier, b"ab", &budget),
+            FcDefinability::Inconclusive(_)
+        ),
+        "(ab|ba)* is INCONCLUSIVE — the oracle never guesses at the frontier",
+    );
+    rep
+}

@@ -144,6 +144,11 @@ pub fn registry() -> Vec<Entry> {
             games_exp::e24_class_tables,
         ),
         (
+            "E26",
+            "arXiv 2505.09772: FC-definability oracle across the E23 regex families",
+            logic_exp::e26_definability,
+        ),
+        (
             "F1-3",
             "Figures 1–3: strategy diagrams from live transcripts",
             games_exp::figures,

@@ -220,6 +220,108 @@ fn lint_rules_prints_the_registry() {
 }
 
 #[test]
+fn definable_command_prints_witnesses() {
+    let (stdout, _, ok) = fc(&["definable", "(ab)*"]);
+    assert!(ok);
+    assert!(stdout.contains("FC-DEFINABLE"), "{stdout}");
+    assert!(stdout.contains("witness: (ab)*"), "{stdout}");
+    assert!(stdout.contains("FC sentence"), "{stdout}");
+}
+
+#[test]
+fn definable_command_prints_obstructions() {
+    let (stdout, _, ok) = fc(&["definable", "(b|ab*a)*"]);
+    assert!(ok);
+    assert!(stdout.contains("NOT FC-DEFINABLE"), "{stdout}");
+    assert!(stdout.contains("counts mod 2"), "{stdout}");
+    assert!(stdout.contains("separating family"), "{stdout}");
+    assert!(stdout.contains("∉ L"), "{stdout}");
+}
+
+#[test]
+fn definable_command_reports_frontier_and_budget() {
+    let (stdout, _, ok) = fc(&["definable", "(ab|ba)*"]);
+    assert!(ok);
+    assert!(stdout.contains("INCONCLUSIVE"), "{stdout}");
+    assert!(stdout.contains("never guesses"), "{stdout}");
+    let (stdout, _, ok) = fc(&["definable", "(b|ab*a)*", "--budget", "1"]);
+    assert!(ok);
+    assert!(stdout.contains("INCONCLUSIVE"), "{stdout}");
+    assert!(stdout.contains("raise --budget"), "{stdout}");
+    // Usage errors fail.
+    let (_, stderr, ok) = fc(&["definable"]);
+    assert!(!ok);
+    assert!(stderr.contains("missing argument"), "{stderr}");
+    let (_, stderr, ok) = fc(&["definable", "a*", "--frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag"), "{stderr}");
+}
+
+#[test]
+fn lint_fc201_notes_definable_constraints() {
+    let (stdout, _, code) = fc_code(&["lint", "E x: x in /b(ab)*/"]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("note[FC201]"), "{stdout}");
+    assert!(stdout.contains("witness"), "{stdout}");
+}
+
+#[test]
+fn lint_fc202_warns_and_respects_deny_and_allow() {
+    let src = "E x: x in /(b|ab*a)*/";
+    let (stdout, _, code) = fc_code(&["lint", src]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("warning[FC202]"), "{stdout}");
+    assert!(stdout.contains("load-bearing"), "{stdout}");
+    let (_, _, code) = fc_code(&["lint", src, "--deny-warnings"]);
+    assert_eq!(code, 1);
+    let (stdout, _, code) = fc_code(&["lint", src, "--allow", "FC202", "--deny-warnings"]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(!stdout.contains("FC202"), "{stdout}");
+}
+
+#[test]
+fn lint_fc2_budget_flag_gates_the_family() {
+    let src = "E x: x in /(b|ab*a)*/";
+    let (stdout, _, code) = fc_code(&["lint", src, "--fc2-budget", "0"]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(!stdout.contains("FC202"), "{stdout}");
+    let (_, _, code) = fc_code(&["lint", src, "--fc2-budget", "many"]);
+    assert_eq!(code, 2);
+}
+
+#[test]
+fn lint_json_carries_fc2_diagnostics() {
+    let (stdout, _, code) = fc_code(&[
+        "lint",
+        "E x, y: (x in /b(ab)*/) & (y in /(b|ab*a)*/)",
+        "--json",
+    ]);
+    assert_eq!(code, 0, "{stdout}");
+    let v = fc_suite::json::parse(&stdout).expect("valid JSON");
+    let diags = v
+        .get("diagnostics")
+        .and_then(|d| d.as_array())
+        .expect("diagnostics");
+    let codes: Vec<&str> = diags
+        .iter()
+        .filter_map(|d| d.get("code").and_then(|c| c.as_str()))
+        .collect();
+    assert!(codes.contains(&"FC201"), "{stdout}");
+    assert!(codes.contains(&"FC202"), "{stdout}");
+    let counts = v.get("counts").expect("counts");
+    assert_eq!(counts.get("warning").and_then(|n| n.as_f64()), Some(1.0));
+    assert_eq!(counts.get("note").and_then(|n| n.as_f64()), Some(1.0));
+}
+
+#[test]
+fn lint_rules_lists_the_fc2_family() {
+    let (stdout, _, code) = fc_code(&["lint", "--rules"]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("FC201"), "{stdout}");
+    assert!(stdout.contains("FC202"), "{stdout}");
+}
+
+#[test]
 fn check_and_solve_are_lint_gated() {
     // Lint errors abort `fc check` before evaluation…
     let (_, stderr, ok) = fc(&["check", "E x: x in /!/", "ab"]);

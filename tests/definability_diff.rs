@@ -1,0 +1,168 @@
+//! Differential harness for the FC-definability oracle (arXiv 2505.09772).
+//!
+//! Every regex in the corpus gets a machine-checked verdict:
+//!
+//! - **Definable**: the oracle must return a witness [`DefinableExpr`];
+//!   the witness is translated to an FC sentence via `definable_to_fc`
+//!   and compared against the minimal DFA on *all* of Σ^{≤5} through the
+//!   compiled `Plan` evaluation path (`first_language_disagreement`).
+//! - **NotDefinable**: the oracle must return an [`Obstruction`]; the
+//!   certificate must re-validate against the DFA and its separating
+//!   word family must be accepted/rejected exactly as claimed.
+//! - **Frontier**: documented `Inconclusive` cases — the oracle must
+//!   *not* guess either way.
+
+use fc_suite::logic::language::first_language_disagreement;
+use fc_suite::logic::library::on_whole_word;
+use fc_suite::logic::reg_to_fc::definable_to_fc;
+use fc_suite::reglang::definable::{fc_definable_regex, DefinabilityBudget, FcDefinability};
+use fc_suite::reglang::{Dfa, Regex};
+use fc_suite::words::Alphabet;
+
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Tag {
+    Definable,
+    NotDefinable,
+    Frontier,
+}
+use Tag::*;
+
+/// The corpus: (regex, expected verdict). Spans all four language
+/// classes of interest — bounded, simple (gap patterns), definable but
+/// neither (mixed extraction), and provably undefinable (modular
+/// counting) — plus the documented frontier.
+const CORPUS: &[(&str, Tag)] = &[
+    // --- bounded (Lemma 5.3 territory) --------------------------------
+    ("!", Definable),
+    ("~", Definable),
+    ("a", Definable),
+    ("ab", Definable),
+    ("a|b", Definable),
+    ("ab|ba", Definable),
+    ("ab|ba|~", Definable),
+    ("a*", Definable),
+    ("a*b", Definable),
+    ("ba*", Definable),
+    ("a*b*", Definable),
+    ("a*b*a*", Definable),
+    ("a+b+", Definable),
+    ("(ab)*", Definable),
+    ("b(ab)*", Definable),
+    ("(ab)*a", Definable),
+    ("a(ba)*", Definable),
+    ("(aa)*", Definable),
+    ("(aa)*a", Definable),
+    ("(aab)*b*", Definable),
+    ("(aab)*(ba)*", Definable),
+    // --- simple / gap patterns (Lemma 5.5, unbounded) -----------------
+    ("(a|b)*", Definable),
+    ("(a|b)*ab(a|b)*", Definable),
+    ("(a|b)*ab", Definable),
+    ("ab(a|b)*", Definable),
+    ("a(a|b)*b", Definable),
+    ("(a|b)*a", Definable),
+    ("b(a|b)*", Definable),
+    ("(a|b)*bb(a|b)*", Definable),
+    ("(a|b)*a(a|b)*b(a|b)*", Definable),
+    // --- definable, neither bounded nor simple ------------------------
+    ("(aa)*b(a|b)*", Definable),
+    ("(ab)*(a|b)*bb", Definable),
+    ("(a*b*)*", Definable),
+    ("b*a(ab)*", Definable),
+    ("(ab)*|b(a|b)*", Definable),
+    // --- provably not definable (modular counting) --------------------
+    ("(b|ab*a)*", NotDefinable),
+    ("(a|bb)*", NotDefinable),
+    ("((a|b)(a|b))*", NotDefinable),
+    ("(aa|bb)*", NotDefinable),
+    ("(a|ba*b)*", NotDefinable),
+    ("((a|b)(a|b)(a|b))*", NotDefinable),
+    // --- frontier: outside both the witness class and the obstruction
+    //     criterion; the oracle must stay silent rather than guess ------
+    ("(ab|ba)*", Frontier),
+];
+
+#[test]
+fn corpus_has_the_advertised_shape() {
+    assert!(CORPUS.len() >= 40, "corpus shrank to {}", CORPUS.len());
+    let not = CORPUS.iter().filter(|(_, t)| *t == NotDefinable).count();
+    assert!(not >= 5, "too few obstruction cases: {not}");
+}
+
+/// Every corpus regex resolves as tagged, and every certificate is
+/// machine-checked against the minimal DFA.
+#[test]
+fn every_verdict_is_certified() {
+    let sigma = Alphabet::ab();
+    let budget = DefinabilityBudget::default();
+    for &(pattern, tag) in CORPUS {
+        let re = Regex::parse(pattern).expect(pattern);
+        let dfa = Dfa::from_regex(&re, b"ab");
+        match fc_definable_regex(&re, b"ab", &budget) {
+            FcDefinability::Definable(expr) => {
+                assert_eq!(tag, Definable, "unexpected witness for /{pattern}/: {expr}");
+                // Witness membership agrees with the DFA on Σ^{≤5} …
+                for w in sigma.words_up_to(5) {
+                    assert_eq!(
+                        expr.contains(w.bytes()),
+                        dfa.accepts(w.bytes()),
+                        "/{pattern}/ witness {expr} disagrees on {w}"
+                    );
+                }
+                // … and so does the *translated FC sentence*, evaluated
+                // through the compiled plan engine.
+                let phi = on_whole_word(|x| definable_to_fc(x, &expr, b"ab"));
+                let bad = first_language_disagreement(&phi, &sigma, 5, |w| dfa.accepts(w.bytes()));
+                assert!(
+                    bad.is_none(),
+                    "/{pattern}/ FC sentence disagrees with DFA on {:?}",
+                    bad
+                );
+            }
+            FcDefinability::NotDefinable(ob) => {
+                assert_eq!(tag, NotDefinable, "unexpected obstruction for /{pattern}/");
+                assert!(
+                    ob.validate(&dfa),
+                    "/{pattern}/ certificate failed validation"
+                );
+                for (w, claimed) in ob.separating_family(3) {
+                    assert_eq!(
+                        dfa.accepts(w.bytes()),
+                        claimed,
+                        "/{pattern}/ family claim wrong on {w}"
+                    );
+                }
+            }
+            FcDefinability::Inconclusive(why) => {
+                assert_eq!(
+                    tag, Frontier,
+                    "oracle gave up on /{pattern}/ unexpectedly: {why:?}"
+                );
+            }
+        }
+    }
+}
+
+/// The obstruction words really separate: within one family the verdict
+/// alternates with the pump count, so no single FC sentence of the
+/// witness class can capture the language.
+#[test]
+fn obstruction_families_alternate() {
+    let budget = DefinabilityBudget::default();
+    for &(pattern, tag) in CORPUS {
+        if tag != NotDefinable {
+            continue;
+        }
+        let re = Regex::parse(pattern).expect(pattern);
+        let ob = match fc_definable_regex(&re, b"ab", &budget) {
+            FcDefinability::NotDefinable(ob) => ob,
+            other => panic!("/{pattern}/: expected obstruction, got {other:?}"),
+        };
+        let family = ob.separating_family(2);
+        let accepts: Vec<bool> = family.iter().map(|(_, a)| *a).collect();
+        assert!(
+            accepts.iter().any(|&a| a) && accepts.iter().any(|&a| !a),
+            "/{pattern}/ family never changes verdict: {accepts:?}"
+        );
+    }
+}
