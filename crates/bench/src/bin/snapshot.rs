@@ -122,6 +122,65 @@ fn main() {
     });
     field(&mut fields, "fc2xx_lint_pass_two_constraints", fc2_lint);
 
+    // PR 7: factor-structure backends. The succinct (suffix-automaton)
+    // backend must build |w| = 10⁴ in milliseconds and answer probes from
+    // O(m) storage; the dense Θ(m²) concat table is timed at a feasible
+    // size and its memory extrapolated to the same word for the headline
+    // ratio (building it directly at 10⁴ would allocate ~1.6 GB).
+    use fc_logic::{BackendKind, FactorStructure};
+    let sigma = Alphabet::abc();
+    let w_small = Word::from("ab").pow(1_000); // |w| = 2·10³
+    let w_large = Word::from("ab").pow(5_000); // |w| = 10⁴
+    let dense_small = FactorStructure::with_backend(w_small.clone(), &sigma, BackendKind::Dense);
+    let succ_small = FactorStructure::with_backend(w_small.clone(), &sigma, BackendKind::Succinct);
+    let succ_large = FactorStructure::with_backend(w_large.clone(), &sigma, BackendKind::Succinct);
+    let dense_build_small = time(|| {
+        let s = FactorStructure::with_backend(w_small.clone(), &sigma, BackendKind::Dense);
+        assert_eq!(s.universe_len(), dense_small.universe_len());
+    });
+    let succ_build_small = time(|| {
+        let s = FactorStructure::with_backend(w_small.clone(), &sigma, BackendKind::Succinct);
+        assert_eq!(s.universe_len(), succ_small.universe_len());
+    });
+    let succ_build_large = time(|| {
+        let s = FactorStructure::with_backend(w_large.clone(), &sigma, BackendKind::Succinct);
+        assert_eq!(s.universe_len(), succ_large.universe_len());
+    });
+    field(&mut fields, "pr7_dense_build_w2e3", dense_build_small);
+    field(&mut fields, "pr7_succinct_build_w2e3", succ_build_small);
+    field(&mut fields, "pr7_succinct_build_w1e4", succ_build_large);
+    let mut seed = 0x9e3779b97f4a7c15u64;
+    let mut sample = |bound: usize| {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (seed >> 33) as usize % bound
+    };
+    let n = w_large.len();
+    let windows: Vec<(usize, usize)> = (0..1_000)
+        .map(|_| {
+            let i = sample(n + 1);
+            (i, i + sample(n + 1 - i))
+        })
+        .collect();
+    let succ_probes = time(|| {
+        for &(i, j) in &windows {
+            assert!(succ_large.id_of(&w_large.bytes()[i..j]).is_some());
+        }
+    });
+    field(&mut fields, "pr7_succinct_probes_1e3_w1e4", succ_probes);
+    let bytes_per_factor = succ_large.memory_bytes() as f64 / succ_large.universe_len() as f64;
+    fields.push(format!(
+        "  \"pr7_succinct_bytes_per_factor_w1e4\": {bytes_per_factor:.1}"
+    ));
+    // Dense memory at 10⁴ extrapolated from the measured 2·10³ footprint
+    // by the Θ(m²) concat-table law (linear terms are negligible there).
+    let m_small = dense_small.universe_len() as f64;
+    let m_large = succ_large.universe_len() as f64;
+    let dense_extrapolated = dense_small.memory_bytes() as f64 * (m_large / m_small).powi(2);
+    fields.push(format!(
+        "  \"pr7_dense_extrapolated_memory_ratio_w1e4\": {:.1}",
+        dense_extrapolated / succ_large.memory_bytes() as f64
+    ));
+
     // Headline speedups for the acceptance criteria.
     let ratio =
         |naive: Duration, batch: Duration| naive.as_secs_f64() / batch.as_secs_f64().max(1e-9);

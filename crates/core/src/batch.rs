@@ -51,6 +51,9 @@ pub type WordId = usize;
 /// [`Fingerprint`] exactly once, over one shared alphabet.
 pub struct StructureArena {
     sigma: Alphabet,
+    /// Forced structure backend for every interned word, or `None` for the
+    /// per-word automatic choice ([`fc_logic::FactorStructure::new`]).
+    backend: Option<fc_logic::BackendKind>,
     words: Vec<Word>,
     structures: Vec<Arc<FactorStructure>>,
     fingerprints: Vec<Fingerprint>,
@@ -71,6 +74,7 @@ impl StructureArena {
     pub fn new(sigma: Alphabet) -> StructureArena {
         StructureArena {
             sigma,
+            backend: None,
             words: Vec::new(),
             structures: Vec::new(),
             fingerprints: Vec::new(),
@@ -78,6 +82,17 @@ impl StructureArena {
             index: HashMap::new(),
             structures_built: 0,
         }
+    }
+
+    /// An empty arena that builds every interned word's structure on the
+    /// given backend instead of the word-length automatic choice. Verdicts
+    /// are backend-independent (the differential suite
+    /// `tests/backend_diff.rs` pins `all_pairs` equality), so this is a
+    /// performance/memory knob, not a semantic one.
+    pub fn with_backend(sigma: Alphabet, backend: fc_logic::BackendKind) -> StructureArena {
+        let mut arena = StructureArena::new(sigma);
+        arena.backend = Some(backend);
+        arena
     }
 
     /// Builds an arena over the union alphabet of `words` and interns them
@@ -106,7 +121,10 @@ impl StructureArena {
             "arena alphabet {:?} does not cover word {word}",
             self.sigma
         );
-        let structure = Arc::new(FactorStructure::new(word.clone(), &self.sigma));
+        let structure = Arc::new(match self.backend {
+            Some(kind) => FactorStructure::with_backend(word.clone(), &self.sigma, kind),
+            None => FactorStructure::new(word.clone(), &self.sigma),
+        });
         let fingerprint = Fingerprint::of(&structure);
         let id = self.words.len();
         self.words.push(word.clone());

@@ -142,24 +142,31 @@ impl Fingerprint {
             type1 = fnv_u64(type1, code);
         }
 
-        // Truncated factor sets: the universe is interned in (length, lex)
-        // order, so one pass with snapshots at each length boundary yields
-        // every truncation level.
-        let mut factor_levels = [0u64; FACTOR_LEVEL_CAP];
-        let mut h = FNV_OFFSET;
-        let mut done = 0usize;
-        for id in s.universe() {
+        // Truncated factor sets, as **commutative** per-length folds: each
+        // short factor contributes a per-factor FNV hash, and a length
+        // bucket is the wrapping sum of its factors' hashes. Summation is
+        // order-independent, which matters twice over: the two structure
+        // backends enumerate factors in different orders (dense: (length,
+        // lex); succinct: automaton discovery), and fingerprints must stay
+        // comparable across them — equal factor *sets* must hash equally
+        // no matter which backend produced either side. Collisions (two
+        // different sets with equal sums) only ever weaken the filter, as
+        // with any hash. `short_factor_ids` keeps this O(short factors)
+        // instead of O(|U|) on long-word structures.
+        let mut buckets = [0u64; FACTOR_LEVEL_CAP + 1];
+        for id in s.short_factor_ids(FACTOR_LEVEL_CAP) {
             let bytes = s.bytes_of(id);
-            while done < FACTOR_LEVEL_CAP && bytes.len() > done + 1 {
-                factor_levels[done] = h;
-                done += 1;
-            }
-            h = fnv_u64(h, bytes.len() as u64);
-            h = fnv_bytes(h, bytes);
+            let h = fnv_bytes(fnv_u64(FNV_OFFSET, bytes.len() as u64), bytes);
+            // Bit-mix before summing so near-identical FNV outputs do not
+            // cancel structurally.
+            buckets[bytes.len()] = buckets[bytes.len()].wrapping_add(h ^ h.rotate_left(31));
         }
-        while done < FACTOR_LEVEL_CAP {
-            factor_levels[done] = h;
-            done += 1;
+        // factor_levels[l-1] covers the factors of length ≤ l.
+        let mut factor_levels = [0u64; FACTOR_LEVEL_CAP];
+        let mut acc = buckets[0];
+        for (l, level) in factor_levels.iter_mut().enumerate() {
+            acc = acc.wrapping_add(buckets[l + 1]);
+            *level = acc;
         }
 
         Fingerprint {

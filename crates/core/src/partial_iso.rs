@@ -10,7 +10,7 @@
 //! winning condition of §3 prescribes), condition 1 follows from condition
 //! 2 — the checker still verifies it independently for defence in depth.
 
-use fc_logic::{FactorId, FactorStructure};
+use fc_logic::{ConcatOracle, FactorId, FactorStructure};
 
 /// A matched pair of chosen elements.
 pub type Pair = (FactorId, FactorId);
@@ -131,10 +131,32 @@ pub fn consistent_extension_seeded(
 /// loop), the three positions `new` can occupy are enumerated directly —
 /// (n+1)² + n(n+1) + n² = 3n² + 3n + 1 triples, each an O(1) concat-table
 /// probe.
+///
+/// The backend dispatch happens here, once per extension check: the body
+/// is generic over two [`ConcatOracle`]s, so the dominant dense×dense
+/// instantiation keeps its probes as bare table reads (per-probe dispatch
+/// through `FactorStructure::concat_holds` costs ~35% on the solver).
 #[inline]
 fn extension_ok(
     a: &FactorStructure,
     b: &FactorStructure,
+    get: impl Fn(usize) -> Pair,
+    n: usize,
+    new: Pair,
+) -> bool {
+    use fc_logic::ConcatView as V;
+    match (a.concat_view(), b.concat_view()) {
+        (V::Dense(x), V::Dense(y)) => extension_ok_on(x, y, get, n, new),
+        (V::Dense(x), V::Succinct(y)) => extension_ok_on(x, y, get, n, new),
+        (V::Succinct(x), V::Dense(y)) => extension_ok_on(x, y, get, n, new),
+        (V::Succinct(x), V::Succinct(y)) => extension_ok_on(x, y, get, n, new),
+    }
+}
+
+/// Monomorphized body of [`extension_ok`].
+fn extension_ok_on(
+    a: impl ConcatOracle,
+    b: impl ConcatOracle,
     get: impl Fn(usize) -> Pair,
     n: usize,
     new: Pair,

@@ -95,7 +95,10 @@ pub fn optimal_play(game: &GamePair, k: u32) -> Transcript {
         let (side, element) = choice.unwrap_or_else(|| {
             (
                 Side::A,
-                game.a.universe().last().unwrap_or_else(|| game.a.epsilon()),
+                game.a
+                    .universe()
+                    .next_back()
+                    .unwrap_or_else(|| game.a.epsilon()),
             )
         });
         // Duplicator: the solver's best response, else any consistent one.

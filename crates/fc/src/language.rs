@@ -188,11 +188,7 @@ pub fn relation_on_plan(plan: &Plan, vars: &[&str], structure: &FactorStructure)
     let mut out: Vec<Vec<Word>> = plan
         .satisfying_assignments(structure)
         .into_iter()
-        .map(|m| {
-            keys.iter()
-                .map(|k| structure.word_of(m[k]).clone())
-                .collect()
-        })
+        .map(|m| keys.iter().map(|k| structure.word_of(m[k])).collect())
         .collect();
     out.sort();
     out.dedup();
@@ -231,7 +227,7 @@ pub fn check_defines_relation_plan(
     let k = vars.len();
     let facs: Vec<Word> = structure
         .universe()
-        .map(|id| structure.word_of(id).clone())
+        .map(|id| structure.word_of(id))
         .collect();
     let mut tuple = vec![Word::epsilon(); k];
     fn rec(

@@ -11,7 +11,9 @@
 //! - [`formula`]: terms, formulas (with the paper's `x ≐ y·z` atoms and the
 //!   wide-equation shorthand), smart constructors, free variables,
 //!   quantifier rank, desugaring into pure binary FC;
-//! - [`structure`]: the factor structure 𝔄_w with an interned universe;
+//! - [`structure`]: the factor structure 𝔄_w with an interned universe,
+//!   backed by either dense tables or a succinct suffix automaton
+//!   (selected by word length; see `docs/STRUCTURE.md`);
 //! - [`eval`]: the model checker — sentences, assignments, ⟦φ⟧(w);
 //! - [`plan`]: the compiled evaluation pipeline — lower a formula once
 //!   into a slot-frame [`plan::Plan`] (structurally deduplicated DFAs,
@@ -39,4 +41,7 @@ pub mod structure;
 pub use eval::{holds, satisfying_assignments, Assignment};
 pub use formula::{Formula, Term, VarName};
 pub use plan::{EvalStats, Plan};
-pub use structure::{FactorId, FactorStructure};
+pub use structure::{
+    BackendKind, ConcatOracle, ConcatView, FactorBackend, FactorId, FactorStructure,
+    DENSE_MAX_WORD_LEN,
+};

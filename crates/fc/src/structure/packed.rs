@@ -1,0 +1,175 @@
+//! Fixed-width bit-packed integer arrays.
+//!
+//! The succinct backend stores several per-state arrays (lengths, suffix
+//! links, minimal end positions, id bases) whose values are bounded by the
+//! word length or the universe size. Storing them at the minimal bit width
+//! instead of `Vec<usize>` is a 4–8× size win that goes straight into the
+//! bytes-per-factor figure tracked by `docs/STRUCTURE.md`.
+
+/// An immutable array of unsigned integers, packed at the smallest bit
+/// width that fits the maximum value.
+///
+/// Reads are O(1): a value spans at most two `u64` limbs.
+#[derive(Clone, Debug, Default)]
+pub struct PackedVec {
+    /// Bits per element (0 iff every value is 0).
+    bits: u32,
+    mask: u64,
+    len: usize,
+    buf: Vec<u64>,
+}
+
+impl PackedVec {
+    /// Packs `values` at width `⌈log₂(max+1)⌉`.
+    pub fn from_values(values: &[u64]) -> PackedVec {
+        let max = values.iter().copied().max().unwrap_or(0);
+        let bits = 64 - max.leading_zeros();
+        if bits == 0 {
+            return PackedVec {
+                bits: 0,
+                mask: 0,
+                len: values.len(),
+                buf: Vec::new(),
+            };
+        }
+        let total_bits = values.len() * bits as usize;
+        let mut buf = vec![0u64; total_bits.div_ceil(64)];
+        for (i, &v) in values.iter().enumerate() {
+            let off = i * bits as usize;
+            let (limb, sh) = (off / 64, (off % 64) as u32);
+            buf[limb] |= v << sh;
+            if sh + bits > 64 {
+                buf[limb + 1] |= v >> (64 - sh);
+            }
+        }
+        PackedVec {
+            bits,
+            mask: if bits == 64 {
+                u64::MAX
+            } else {
+                (1u64 << bits) - 1
+            },
+            len: values.len(),
+            buf,
+        }
+    }
+
+    /// The element at `i`.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `i` is out of bounds; release builds
+    /// panic via the limb index when the access would read past the buffer.
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        debug_assert!(i < self.len, "PackedVec index {i} out of {}", self.len);
+        if self.bits == 0 {
+            return 0;
+        }
+        let off = i * self.bits as usize;
+        let (limb, sh) = (off / 64, (off % 64) as u32);
+        let lo = self.buf[limb] >> sh;
+        let v = if sh + self.bits > 64 {
+            lo | (self.buf[limb + 1] << (64 - sh))
+        } else {
+            lo
+        };
+        v & self.mask
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff the array is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bits per element (0 iff every value is 0).
+    #[inline]
+    pub fn bit_width(&self) -> u32 {
+        self.bits
+    }
+
+    /// Heap footprint of the packed buffer in bytes.
+    #[inline]
+    pub fn heap_bytes(&self) -> usize {
+        self.buf.len() * 8
+    }
+
+    /// For a **non-decreasing** array: the number of elements `≤ target`
+    /// (equivalently, the first index whose value exceeds `target`).
+    pub fn partition_point_leq(&self, target: u64) -> usize {
+        let (mut lo, mut hi) = (0usize, self.len);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.get(mid) <= target {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_various_widths() {
+        for max in [0u64, 1, 2, 7, 255, 256, 65_535, 1 << 20, u32::MAX as u64] {
+            let values: Vec<u64> = (0..257).map(|i| (i * 31) % (max + 1)).collect();
+            let pv = PackedVec::from_values(&values);
+            assert_eq!(pv.len(), values.len());
+            for (i, &v) in values.iter().enumerate() {
+                assert_eq!(pv.get(i), v, "max={max} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn width_is_minimal() {
+        assert_eq!(PackedVec::from_values(&[0, 0, 0]).bit_width(), 0);
+        assert_eq!(PackedVec::from_values(&[0, 1]).bit_width(), 1);
+        assert_eq!(PackedVec::from_values(&[255]).bit_width(), 8);
+        assert_eq!(PackedVec::from_values(&[256]).bit_width(), 9);
+        // 17 bits suffice for 10⁵-length words.
+        assert_eq!(PackedVec::from_values(&[100_000]).bit_width(), 17);
+    }
+
+    #[test]
+    fn straddles_limb_boundaries() {
+        // Width 17 guarantees straddled reads within a few elements.
+        let values: Vec<u64> = (0..200).map(|i| (i * 997) % (1 << 17)).collect();
+        let pv = PackedVec::from_values(&values);
+        assert_eq!(pv.bit_width(), 17);
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(pv.get(i), v);
+        }
+    }
+
+    #[test]
+    fn partition_point_on_monotone_values() {
+        let values: Vec<u64> = vec![0, 1, 1, 4, 9, 9, 30];
+        let pv = PackedVec::from_values(&values);
+        for t in 0..35u64 {
+            let expect = values.iter().filter(|&&v| v <= t).count();
+            assert_eq!(pv.partition_point_leq(t), expect, "t={t}");
+        }
+        assert_eq!(PackedVec::from_values(&[]).partition_point_leq(7), 0);
+    }
+
+    #[test]
+    fn empty_and_heap_accounting() {
+        let pv = PackedVec::from_values(&[]);
+        assert!(pv.is_empty());
+        assert_eq!(pv.heap_bytes(), 0);
+        let pv = PackedVec::from_values(&[1; 64]);
+        assert_eq!(pv.heap_bytes(), 8); // 64 one-bit values in one limb
+    }
+}

@@ -11,8 +11,8 @@
 
 use fc_logic::eval::Assignment;
 use fc_logic::plan::{EvalStats, Plan};
-use fc_logic::{library, FactorStructure};
-use fc_words::{fibonacci, Alphabet};
+use fc_logic::{library, BackendKind, FactorStructure};
+use fc_words::{fibonacci, Alphabet, Word};
 use std::time::{Duration, Instant};
 
 #[test]
@@ -44,5 +44,60 @@ fn phi_fib_accepts_the_n4_member_within_budget() {
     assert!(
         total < budget,
         "φ_fib on the n = 4 member took {total:?} (budget {budget:?})"
+    );
+}
+
+#[test]
+fn succinct_backend_scales_to_ten_thousand_letters() {
+    if cfg!(debug_assertions) {
+        eprintln!("structure perf smoke skipped in debug build (run with --release)");
+        return;
+    }
+    // Tripwire for the suffix-automaton backend: building 𝔄_w for
+    // |w| = 10⁴ and answering 10³ id_of probes must stay well under a
+    // second (the snapshot bench pins the tighter ~100 ms figure; this
+    // budget only has to catch an accidental return to Θ(m²) behaviour,
+    // which would blow it by orders of magnitude).
+    let build_budget = Duration::from_secs(2);
+    let probe_budget = Duration::from_secs(1);
+    let w = Word::from("ab").pow(5_000); // |w| = 10⁴
+    let sigma = Alphabet::abc();
+
+    let t = Instant::now();
+    let s = FactorStructure::with_backend(w.clone(), &sigma, BackendKind::Succinct);
+    let build = t.elapsed();
+    assert_eq!(s.backend_kind(), BackendKind::Succinct);
+
+    let n = w.len();
+    let mut seed = 0x9e3779b97f4a7c15u64;
+    let mut sample = |bound: usize| {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (seed >> 33) as usize % bound
+    };
+    let t = Instant::now();
+    let mut hits = 0usize;
+    for _ in 0..1_000 {
+        let i = sample(n + 1);
+        let j = i + sample(n + 1 - i);
+        if s.id_of(&w.bytes()[i..j]).is_some() {
+            hits += 1;
+        }
+    }
+    let probes = t.elapsed();
+    assert_eq!(hits, 1_000, "every window of w is a factor");
+
+    let bytes_per_factor = s.memory_bytes() as f64 / s.universe_len() as f64;
+    eprintln!(
+        "structure perf smoke: |w| = {n}, {} factors, build {build:.2?}, \
+         10³ probes {probes:.2?}, {bytes_per_factor:.1} bytes/factor",
+        s.universe_len()
+    );
+    assert!(
+        build < build_budget,
+        "succinct build of |w| = 10⁴ took {build:?} (budget {build_budget:?})"
+    );
+    assert!(
+        probes < probe_budget,
+        "10³ id_of probes took {probes:?} (budget {probe_budget:?})"
     );
 }

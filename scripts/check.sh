@@ -18,7 +18,7 @@ cargo test -q --offline
 echo "==> solver perf smokes (E08 confirmation + P9 batch classify on Σ^≤4 k=2, release, generous budgets)"
 cargo test -q --offline --release -p fc-games --test perf_smoke -- --nocapture
 
-echo "==> eval perf smoke (phi_fib accepts the n = 4 member, release, generous budget)"
+echo "==> eval + structure perf smokes (phi_fib n = 4 member; succinct backend on |w| = 10^4; release, generous budgets)"
 cargo test -q --offline --release -p fc-logic --test perf_smoke -- --nocapture
 
 echo "All checks passed."

@@ -1,8 +1,8 @@
 //! `fc` — command-line front end for the FC / EF-games toolkit.
 //!
 //! ```text
-//! fc check  '<formula>' <word> [--stats]   model-check a sentence on a word
-//! fc solve  '<formula>' <word> [--stats]   print all satisfying assignments
+//! fc check  '<formula>' <word> [--stats] [--backend B]  model-check a sentence
+//! fc solve  '<formula>' <word> [--stats] [--backend B]  print all assignments
 //! fc lint   '<formula>' [flags]       diagnostics (see docs/ANALYSIS.md)
 //! fc game   <w> <v> <k>               decide w ≡_k v, show a winning line
 //! fc classes <k> <max_exponent>       unary ≡_k class table (Lemma 3.6)
@@ -21,7 +21,10 @@
 //! `--deny-warnings`), 2 usage error. `fc check` and `fc solve` run the
 //! same analysis first: lint errors abort, warnings go to stderr.
 //! With `--stats`, both print the compiled evaluator's `EvalStats` line
-//! (plan size, DFA count, frames explored, guard hits, wall time).
+//! (plan size, DFA count, frames explored, guard hits, wall time). With
+//! `--backend <dense|succinct|auto>`, both force the factor-structure
+//! backend (default `auto`: dense up to |w| = 64, succinct beyond — see
+//! docs/STRUCTURE.md).
 //!
 //! Formula syntax: see `fc_logic::parser` — e.g.
 //! `fc check 'E x, y: x = y.y & !(E z1, z2: ((z1 = z2.x) | (z1 = x.z2)) & !(z2 = eps))' abab`
@@ -34,7 +37,7 @@ use fc_suite::logic::eval::Assignment;
 use fc_suite::logic::parser::parse_formula;
 use fc_suite::logic::plan::{EvalStats, Plan};
 use fc_suite::logic::reg_to_fc::definable_to_fc;
-use fc_suite::logic::{FactorStructure, Formula};
+use fc_suite::logic::{BackendKind, FactorStructure, Formula};
 use fc_suite::reglang::definable::{
     fc_definable_regex, DefinabilityBudget, FcDefinability, Inconclusive,
 };
@@ -106,26 +109,55 @@ fn lint_gate(src: &str, expect_sentence: bool) -> Result<Formula, String> {
     parse_formula(src)
 }
 
-/// Splits `args` into positional arguments and the `--stats` flag
-/// (shared by `fc check` and `fc solve`).
-fn split_stats_flag(args: &[String]) -> Result<(Vec<&str>, bool), String> {
+/// Splits `args` into positional arguments and the `--stats` /
+/// `--backend <dense|succinct|auto>` flags (shared by `fc check` and
+/// `fc solve`).
+fn split_stats_flag(args: &[String]) -> Result<(Vec<&str>, bool, Option<BackendKind>), String> {
     let mut pos = Vec::new();
     let mut stats = false;
-    for a in args {
+    let mut backend = None;
+    let mut args = args.iter();
+    while let Some(a) = args.next() {
         match a.as_str() {
             "--stats" => stats = true,
+            "--backend" => {
+                backend = match args.next().map(String::as_str) {
+                    Some("dense") => Some(BackendKind::Dense),
+                    Some("succinct") => Some(BackendKind::Succinct),
+                    Some("auto") => None,
+                    Some(other) => {
+                        return Err(format!(
+                            "--backend: expected dense|succinct|auto, got '{other}'"
+                        ))
+                    }
+                    None => return Err("--backend needs a value (dense|succinct|auto)".into()),
+                };
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
             other => pos.push(other),
         }
     }
-    Ok((pos, stats))
+    Ok((pos, stats, backend))
+}
+
+/// Builds the word's structure on the requested backend (`None` = the
+/// word-length automatic choice).
+fn build_structure(word: &str, backend: Option<BackendKind>) -> FactorStructure {
+    match backend {
+        Some(kind) => {
+            let word = Word::from(word);
+            let sigma = Alphabet::from_symbols(&word.symbols());
+            FactorStructure::with_backend(word, &sigma, kind)
+        }
+        None => FactorStructure::of_word(word),
+    }
 }
 
 fn cmd_check(args: &[String]) -> Result<(), String> {
-    let (pos, want_stats) = split_stats_flag(args)?;
+    let (pos, want_stats, backend) = split_stats_flag(args)?;
     let phi = lint_gate(pos.first().ok_or("missing argument: formula")?, true)?;
     let word = *pos.get(1).ok_or("missing argument: word")?;
-    let s = FactorStructure::of_word(word);
+    let s = build_structure(word, backend);
     let plan = Plan::compile(&phi);
     let mut stats = EvalStats::default();
     let verdict = plan.eval_with_stats(&s, &Assignment::new(), &mut stats);
@@ -141,10 +173,10 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_solve(args: &[String]) -> Result<(), String> {
-    let (pos, want_stats) = split_stats_flag(args)?;
+    let (pos, want_stats, backend) = split_stats_flag(args)?;
     let phi = lint_gate(pos.first().ok_or("missing argument: formula")?, false)?;
     let word = *pos.get(1).ok_or("missing argument: word")?;
-    let s = FactorStructure::of_word(word);
+    let s = build_structure(word, backend);
     let plan = Plan::compile(&phi);
     let mut stats = EvalStats::default();
     let sols = plan.satisfying_assignments_with_stats(&s, &mut stats);

@@ -1,4 +1,4 @@
-//! Logic-side experiments: E02, E04, E05, E16.
+//! Logic-side experiments: E02, E04, E05, E16, E23, E26, E27.
 
 use crate::report::{Effort, ExperimentReport};
 use fc_games::solver::EfSolver;
@@ -536,5 +536,130 @@ pub fn e26_definability(effort: Effort) -> ExperimentReport {
         ),
         "(ab|ba)* is INCONCLUSIVE — the oracle never guesses at the frontier",
     );
+    rep
+}
+
+/// Peak resident-set size (VmHWM) of this process in bytes, read from
+/// `/proc/self/status` — `None` off Linux.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let kb: u64 = status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))?
+        .split_whitespace()
+        .next()?
+        .parse()
+        .ok()?;
+    Some(kb * 1024)
+}
+
+/// E27 — succinct-backend scaling: plan-engine model checking on words of
+/// length 10⁴ (Quick) and 10⁵ (Full), where the dense Θ(m²) concat table
+/// extrapolates to gigabytes. For each length the suffix-automaton backend
+/// is built and measured (build time, bytes per factor, dense-extrapolation
+/// ratio, peak RSS), then square equations are decided through the
+/// compiled plan: with both sides bound each verdict is a constant number
+/// of automaton walks, so it works unchanged at 10⁵; the guarded witness
+/// search `∃y: x ≐ y·y` enumerates the Θ(|w|) splits of the bound `x`
+/// with Θ(|w|)-byte resolution each, so that leg stops at 10³ in Quick
+/// (it runs in debug under tier-1) and 10⁴ in Full.
+pub fn e27_long_words(effort: Effort) -> ExperimentReport {
+    use fc_logic::BackendKind;
+    use std::time::Instant;
+
+    let mut rep = ExperimentReport::new();
+    let sigma = Alphabet::ab();
+    let square = Formula::eq_cat(v("x"), v("y"), v("y"));
+    let square_plan = Plan::compile(&square);
+    let witness_plan = Plan::compile(&Formula::exists(&["y"], square.clone()));
+
+    // Storage sweep + bound-assignment checks (linear cost at any length).
+    let lens: &[usize] = match effort {
+        Effort::Quick => &[10_000],
+        Effort::Full => &[10_000, 100_000],
+    };
+    for &n in lens {
+        let k = n / 2; // w = (ab)^k, |w| = n, k even for both sweep lengths
+        let w = Word::from("ab").pow(k);
+        let t = Instant::now();
+        let s = FactorStructure::with_backend(w, &sigma, BackendKind::Succinct);
+        let build = t.elapsed();
+        let m = s.universe_len();
+        let mem = s.memory_bytes();
+        let bpf = mem as f64 / m as f64;
+        // The dense backend's concat table alone would hold m² FactorIds.
+        let dense_table = (m as f64) * (m as f64) * 4.0;
+        let ratio = dense_table / mem as f64;
+        rep.row(format!(
+            "|w| = {n}: built in {build:.1?} — {m} factors, {mem} B ({bpf:.1} B/factor); \
+             the dense concat table alone would be {:.1} GB ({ratio:.0}× more)",
+            dense_table / 1e9,
+        ));
+        rep.check(
+            bpf < 64.0,
+            format!("|w| = {n}: succinct storage ≤ 64 B/factor"),
+        );
+        rep.check(
+            ratio >= 50.0,
+            format!("|w| = {n}: ≥ 50× below the dense extrapolation"),
+        );
+
+        // x ≐ y·y with both sides bound: true for y = (ab)^{k/2}, false one
+        // (ab)-period off.
+        let x = s.full_word_id();
+        let good = s.id_of(Word::from("ab").pow(k / 2).bytes()).expect("half");
+        let off = s
+            .id_of(Word::from("ab").pow(k / 2 - 1).bytes())
+            .expect("off-by-one");
+        let mut asg = Assignment::new();
+        asg.insert("x".into(), x);
+        asg.insert("y".into(), good);
+        let t = Instant::now();
+        let yes = square_plan.eval(&s, &asg);
+        asg.insert("y".into(), off);
+        let no = square_plan.eval(&s, &asg);
+        rep.check(
+            yes && !no,
+            format!(
+                "|w| = {n}: plan decides w ≐ y·y for y = (ab)^{} (true) / (ab)^{} (false) in {:.1?}",
+                k / 2,
+                k / 2 - 1,
+                t.elapsed()
+            ),
+        );
+    }
+
+    // Guarded witness search ∃y: x ≐ y·y — (ab)^k is a square iff k is
+    // even (odd k forces an `aa` at the junction of any candidate root).
+    let wn = match effort {
+        Effort::Quick => 1_000,
+        Effort::Full => 10_000,
+    };
+    for (k, expect) in [(wn / 2, true), (wn / 2 + 1, false)] {
+        let w = Word::from("ab").pow(k);
+        let s = FactorStructure::with_backend(w, &sigma, BackendKind::Succinct);
+        let mut asg = Assignment::new();
+        asg.insert("x".into(), s.full_word_id());
+        let mut stats = EvalStats::default();
+        let t = Instant::now();
+        let got = witness_plan.eval_with_stats(&s, &asg, &mut stats);
+        rep.check(
+            got == expect,
+            format!(
+                "∃y: x ≐ y·y on x = (ab)^{k} (|x| = {}): {got} in {:.1?} ({} guard hits)",
+                2 * k,
+                t.elapsed(),
+                stats.guard_hits
+            ),
+        );
+    }
+
+    match peak_rss_bytes() {
+        Some(rss) => rep.row(format!(
+            "peak RSS (VmHWM) after the sweep: {:.1} MB process-wide",
+            rss as f64 / 1e6
+        )),
+        None => rep.row("peak RSS unavailable (no /proc/self/status)"),
+    }
     rep
 }

@@ -149,6 +149,11 @@ pub fn registry() -> Vec<Entry> {
             logic_exp::e26_definability,
         ),
         (
+            "E27",
+            "Succinct-backend scaling: plan-engine checks at |w| = 10⁴–10⁵",
+            logic_exp::e27_long_words,
+        ),
+        (
             "F1-3",
             "Figures 1–3: strategy diagrams from live transcripts",
             games_exp::figures,

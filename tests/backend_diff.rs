@@ -1,0 +1,266 @@
+//! Differential suite: the dense and succinct [`FactorStructure`] backends
+//! are observationally equivalent.
+//!
+//! Ids are representation-private (the backends number factors in
+//! different orders), so equivalence is stated at the byte level: for
+//! every factor `u`, both backends resolve `id_of(u)`, and the id each
+//! returns round-trips through `bytes_of` / `len_of` / `is_prefix` /
+//! `is_suffix` / `concat_id` to the same *byte-level* answers. On top of
+//! that, the batch layer must be backend-blind: `BatchSolver::all_pairs`
+//! over forced-dense and forced-succinct arenas returns byte-identical
+//! verdict matrices, and fingerprints coincide across backends (the
+//! commutative factor folds make them order-independent).
+
+use fc_suite::games::batch::{BatchSolver, StructureArena};
+use fc_suite::logic::{BackendKind, FactorStructure};
+use fc_suite::words::{Alphabet, Word};
+use proptest::prelude::*;
+
+/// Builds both backends for one word over Σ = {a, b, c}.
+fn both(w: &Word) -> (FactorStructure, FactorStructure) {
+    let sigma = Alphabet::abc();
+    (
+        FactorStructure::with_backend(w.clone(), &sigma, BackendKind::Dense),
+        FactorStructure::with_backend(w.clone(), &sigma, BackendKind::Succinct),
+    )
+}
+
+/// Asserts full byte-level agreement of every probe on one word.
+fn assert_backends_agree(w: &Word) {
+    let (d, s) = both(w);
+    assert_eq!(d.universe_len(), s.universe_len(), "w={w}");
+    assert_eq!(d.backend_kind(), BackendKind::Dense);
+    assert_eq!(s.backend_kind(), BackendKind::Succinct);
+
+    // id_of agreement on every factor and on every near-miss candidate:
+    // all substrings are factors by construction; perturbed strings probe
+    // the rejection path.
+    for i in 0..=w.len() {
+        for j in i..=w.len() {
+            let u = &w.bytes()[i..j];
+            let (di, si) = (d.id_of(u), s.id_of(u));
+            let (di, si) = (
+                di.expect("factor in dense"),
+                si.expect("factor in succinct"),
+            );
+            assert_eq!(d.bytes_of(di), u);
+            assert_eq!(s.bytes_of(si), u);
+            assert_eq!(d.len_of(di), s.len_of(si));
+            assert_eq!(d.is_prefix(di), s.is_prefix(si), "w={w} u={u:?}");
+            assert_eq!(d.is_suffix(di), s.is_suffix(si), "w={w} u={u:?}");
+            let mut miss = u.to_vec();
+            miss.push(b'z');
+            assert_eq!(d.id_of(&miss), None);
+            assert_eq!(s.id_of(&miss), None);
+        }
+    }
+
+    // concat agreement on every id pair, compared through bytes.
+    for db in d.universe() {
+        for dc in d.universe() {
+            let expect: Vec<u8> = [d.bytes_of(db), d.bytes_of(dc)].concat();
+            let sb = s.id_of(d.bytes_of(db)).unwrap();
+            let sc = s.id_of(d.bytes_of(dc)).unwrap();
+            let dr = d.concat_id(db, dc).map(|id| d.bytes_of(id).to_vec());
+            let sr = s.concat_id(sb, sc).map(|id| s.bytes_of(id).to_vec());
+            assert_eq!(
+                dr,
+                sr,
+                "w={w} b={:?} c={:?}",
+                d.bytes_of(db),
+                d.bytes_of(dc)
+            );
+            let a_dense = d.id_of(&expect);
+            let a_succ = s.id_of(&expect);
+            assert_eq!(
+                a_dense.map(|a| d.concat_holds(a, db, dc)),
+                a_succ.map(|a| s.concat_holds(a, sb, sc)),
+            );
+        }
+    }
+
+    // Constants and ε agree by bytes.
+    assert_eq!(d.epsilon().0, 0);
+    assert_eq!(s.epsilon().0, 0);
+    for &c in d.alphabet().symbols() {
+        assert_eq!(
+            d.constant(c).is_bottom(),
+            s.constant(c).is_bottom(),
+            "w={w} c={c}"
+        );
+    }
+}
+
+#[test]
+fn backends_agree_on_all_words_up_to_sigma4() {
+    // Exhaustive over Σ^{≤4}, Σ = {a, b, c} (121 words: binary would miss
+    // the third-letter constant paths).
+    for w in Alphabet::abc().words_up_to(4) {
+        assert_backends_agree(&w);
+    }
+}
+
+#[test]
+fn batch_all_pairs_is_byte_identical_across_backends() {
+    // The full verdict matrix over a window must not depend on the
+    // backend: force each arena onto one backend and diff the output.
+    let words: Vec<Word> = Alphabet::ab().words_up_to(4).collect();
+    for k in 0..=2u32 {
+        let mut matrices = Vec::new();
+        for kind in [BackendKind::Dense, BackendKind::Succinct] {
+            let mut arena = StructureArena::with_backend(Alphabet::ab(), kind);
+            let ids: Vec<_> = words.iter().map(|w| arena.intern(w)).collect();
+            let mut solver = BatchSolver::new(arena);
+            matrices.push(solver.all_pairs(&ids, k));
+        }
+        let succ = matrices.pop().unwrap();
+        let dense = matrices.pop().unwrap();
+        assert_eq!(dense, succ, "k={k}");
+    }
+}
+
+#[test]
+fn fingerprints_coincide_across_backends() {
+    // The commutative factor-level folds make Fingerprint::of
+    // order-independent, so the same word must fingerprint identically on
+    // both backends — mixed-backend arenas stay sound.
+    use fc_suite::games::fingerprint::Fingerprint;
+    for w in Alphabet::abc().words_up_to(4) {
+        let (d, s) = both(&w);
+        assert_eq!(Fingerprint::of(&d), Fingerprint::of(&s), "w={w}");
+    }
+    // And on a long word (succinct auto-selected vs forced dense).
+    let long = Word::from("abaab").pow(40); // |w| = 200
+    let (d, s) = both(&long);
+    assert_eq!(Fingerprint::of(&d), Fingerprint::of(&s));
+}
+
+/// Deterministic pseudo-random word (LCG), for long-word probes without
+/// materializing Σ^{≤n}.
+fn lcg_word(len: usize, mut seed: u64, sigma: &[u8]) -> Word {
+    let mut bytes = Vec::with_capacity(len);
+    for _ in 0..len {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        bytes.push(sigma[(seed >> 33) as usize % sigma.len()]);
+    }
+    Word::from_bytes(bytes)
+}
+
+#[test]
+fn backends_agree_on_long_structured_words() {
+    // Long words where exhaustive pair checks are still feasible because
+    // the factor count stays linear: powers and near-powers.
+    for (w, tag) in [
+        (Word::from("ab").pow(150), "(ab)^150"),
+        (Word::from("aab").pow(80), "(aab)^80"),
+        (Word::from("a").pow(300), "a^300"),
+    ] {
+        let (d, s) = both(&w);
+        assert_eq!(d.universe_len(), s.universe_len(), "{tag}");
+        // Spot-check every factor id on the succinct side round-trips to
+        // the dense side.
+        for si in s.universe() {
+            let bytes = s.bytes_of(si).to_vec();
+            let di = d
+                .id_of(&bytes)
+                .unwrap_or_else(|| panic!("{tag}: {bytes:?}"));
+            assert_eq!(d.bytes_of(di), &bytes[..]);
+            assert_eq!(d.is_prefix(di), s.is_prefix(si), "{tag}");
+            assert_eq!(d.is_suffix(di), s.is_suffix(si), "{tag}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_words_agree_exhaustively(w in proptest::collection::vec(0u8..3, 0..9)) {
+        let w = Word::from_bytes(w.into_iter().map(|b| b"abc"[b as usize]).collect::<Vec<u8>>());
+        assert_backends_agree(&w);
+    }
+
+    #[test]
+    fn random_midsize_words_agree_on_sampled_probes(seed in 0u64..1_000_000, len in 9usize..=48) {
+        // Largest random lengths where the dense Θ(m²) concat table is
+        // still cheap (m ≲ 1000 factors): sample factor windows and
+        // concatenations instead of the exhaustive pair grid.
+        let w = lcg_word(len, seed, b"ab");
+        let (d, s) = both(&w);
+        prop_assert_eq!(d.universe_len(), s.universe_len());
+        let n = w.len();
+        let mut probe_seed = seed ^ 0x9e3779b97f4a7c15;
+        for _ in 0..64 {
+            probe_seed = probe_seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let i = (probe_seed >> 33) as usize % (n + 1);
+            probe_seed = probe_seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = i + (probe_seed >> 33) as usize % (n + 1 - i);
+            let u = &w.bytes()[i..j];
+            let di = d.id_of(u).unwrap();
+            let si = s.id_of(u).unwrap();
+            prop_assert_eq!(d.bytes_of(di), s.bytes_of(si));
+            prop_assert_eq!(d.is_prefix(di), s.is_prefix(si));
+            prop_assert_eq!(d.is_suffix(di), s.is_suffix(si));
+            // A second window to exercise concat resolution.
+            probe_seed = probe_seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let i2 = (probe_seed >> 33) as usize % (n + 1);
+            probe_seed = probe_seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j2 = i2 + (probe_seed >> 33) as usize % (n + 1 - i2);
+            let v = &w.bytes()[i2..j2];
+            let (dv, sv) = (d.id_of(v).unwrap(), s.id_of(v).unwrap());
+            let dr = d.concat_id(di, dv).map(|id| d.bytes_of(id).to_vec());
+            let sr = s.concat_id(si, sv).map(|id| s.bytes_of(id).to_vec());
+            prop_assert_eq!(dr, sr, "w={} u={:?} v={:?}", w, u, v);
+        }
+    }
+
+    #[test]
+    fn random_long_words_match_byte_definitions_on_succinct(
+        seed in 0u64..1_000_000,
+        len in 80usize..400,
+    ) {
+        // Random words this long have Θ(n²) distinct factors, so the
+        // dense backend is deliberately out of reach (that is the point of
+        // the succinct one). Check the succinct backend against the
+        // byte-level *definitions* instead: windows resolve, round-trip,
+        // classify as prefix/suffix by position, and concat agrees with
+        // literal byte concatenation.
+        let w = lcg_word(len, seed, b"ab");
+        let sigma = Alphabet::abc();
+        let s = FactorStructure::with_backend(w.clone(), &sigma, BackendKind::Succinct);
+        prop_assert_eq!(s.backend_kind(), BackendKind::Succinct);
+        let n = w.len();
+        let mut probe_seed = seed ^ 0x9e3779b97f4a7c15;
+        let sample = |bound: usize, probe_seed: &mut u64| -> usize {
+            *probe_seed = probe_seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (*probe_seed >> 33) as usize % bound
+        };
+        for _ in 0..64 {
+            let i = sample(n + 1, &mut probe_seed);
+            let j = i + sample(n + 1 - i, &mut probe_seed);
+            let u = &w.bytes()[i..j];
+            let si = s.id_of(u).expect("every window is a factor");
+            prop_assert_eq!(s.bytes_of(si), u);
+            prop_assert_eq!(s.len_of(si) as usize, u.len());
+            prop_assert_eq!(s.is_prefix(si), w.bytes().starts_with(u));
+            prop_assert_eq!(s.is_suffix(si), w.bytes().ends_with(u));
+            // Near-miss: appending a foreign letter leaves the factor set.
+            let mut miss = u.to_vec();
+            miss.push(b'z');
+            prop_assert_eq!(s.id_of(&miss), None);
+            // Concat against literal byte concatenation.
+            let i2 = sample(n + 1, &mut probe_seed);
+            let j2 = i2 + sample(n + 1 - i2, &mut probe_seed);
+            let v = &w.bytes()[i2..j2];
+            let sv = s.id_of(v).unwrap();
+            let uv: Vec<u8> = [u, v].concat();
+            let direct = s.id_of(&uv);
+            prop_assert_eq!(s.concat_id(si, sv), direct, "w={} u={:?} v={:?}", w, u, v);
+            if let Some(a) = direct {
+                prop_assert!(s.concat_holds(a, si, sv));
+            }
+        }
+    }
+}
