@@ -193,5 +193,51 @@ fn main() {
         ratio(e24_naive, e24_batch)
     ));
 
+    // PR 8: `fc serve` throughput and latency. An in-process server on an
+    // ephemeral port, driven by the deterministic fc-loadgen mixed
+    // workload (10⁵ queries, 8 lockstep clients) — one run, not
+    // median-of-three: the percentile aggregation inside one replay
+    // already averages 10⁵ samples.
+    {
+        use fc_serve::loadgen::{self, LoadgenConfig};
+        use fc_serve::server::{Server, ServerConfig};
+        let server = Server::bind(ServerConfig::default()).expect("bind serve bench server");
+        let addr = server.local_addr();
+        let server_thread = std::thread::spawn(move || server.run().expect("serve run"));
+        let mut config = LoadgenConfig::new(addr.to_string());
+        config.requests = 100_000;
+        config.clients = 8;
+        config.docs = 16;
+        config.shutdown = true;
+        let summary = loadgen::run(&config).expect("loadgen replay");
+        server_thread.join().expect("serve thread");
+        assert_eq!(summary.errors, 0, "serve bench workload had rejects");
+        assert!(summary.plan_cache_hits > 0, "plan cache never hit");
+        fields.push(format!(
+            "  \"serve_loadgen_requests\": {}",
+            summary.requests
+        ));
+        fields.push(format!(
+            "  \"serve_throughput_qps\": {:.0}",
+            summary.throughput_qps
+        ));
+        fields.push(format!(
+            "  \"serve_p50_us\": {:.1}",
+            summary.p50.as_nanos() as f64 / 1e3
+        ));
+        fields.push(format!(
+            "  \"serve_p99_us\": {:.1}",
+            summary.p99.as_nanos() as f64 / 1e3
+        ));
+        fields.push(format!(
+            "  \"serve_plan_cache_hits\": {}",
+            summary.plan_cache_hits
+        ));
+        fields.push(format!(
+            "  \"serve_plan_cache_hit_rate\": {:.4}",
+            summary.plan_cache_hit_rate()
+        ));
+    }
+
     println!("{{\n{}\n}}", fields.join(",\n"));
 }

@@ -40,7 +40,7 @@ use crate::solver::{EfSolver, SolverStats};
 use fc_logic::FactorStructure;
 use fc_words::{Alphabet, Word};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -243,6 +243,72 @@ impl std::fmt::Display for BatchStats {
             self.solver.states_explored,
             self.wall
         )
+    }
+}
+
+/// A `Send + Sync` accumulator of [`BatchStats`], for engines whose one
+/// shared handle serves concurrent bulk-≡_k requests (`fc serve`).
+/// Requests run on private `BatchSolver`s (the existing single-threaded
+/// paths, byte-identical displays) and [`SharedBatchStats::record`] their
+/// final counters, so concurrent requests never lose updates.
+#[derive(Debug, Default)]
+pub struct SharedBatchStats {
+    batches: AtomicU64,
+    structures_built: AtomicU64,
+    fingerprint_refutations: AtomicU64,
+    rank2_refutations: AtomicU64,
+    pairs_solved: AtomicU64,
+    memo_hits: AtomicU64,
+    solver_states: AtomicU64,
+    wall_nanos: AtomicU64,
+}
+
+impl SharedBatchStats {
+    /// An all-zero accumulator.
+    pub fn new() -> SharedBatchStats {
+        SharedBatchStats::default()
+    }
+
+    /// Merges one finished batch's counters.
+    pub fn record(&self, stats: &BatchStats) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.structures_built
+            .fetch_add(stats.structures_built, Ordering::Relaxed);
+        self.fingerprint_refutations
+            .fetch_add(stats.fingerprint_refutations, Ordering::Relaxed);
+        self.rank2_refutations
+            .fetch_add(stats.rank2_refutations, Ordering::Relaxed);
+        self.pairs_solved
+            .fetch_add(stats.pairs_solved, Ordering::Relaxed);
+        self.memo_hits.fetch_add(stats.memo_hits, Ordering::Relaxed);
+        self.solver_states
+            .fetch_add(stats.solver.states_explored, Ordering::Relaxed);
+        self.wall_nanos
+            .fetch_add(stats.wall.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Number of batches recorded.
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// The accumulated counters as a plain [`BatchStats`] (memo-entry and
+    /// per-solver fields other than `states_explored` are zero — they are
+    /// per-solver facts, and the solvers are gone).
+    pub fn snapshot(&self) -> BatchStats {
+        BatchStats {
+            structures_built: self.structures_built.load(Ordering::Relaxed),
+            fingerprint_refutations: self.fingerprint_refutations.load(Ordering::Relaxed),
+            rank2_refutations: self.rank2_refutations.load(Ordering::Relaxed),
+            pairs_solved: self.pairs_solved.load(Ordering::Relaxed),
+            memo_hits: self.memo_hits.load(Ordering::Relaxed),
+            memo_entries: 0,
+            solver: SolverStats {
+                states_explored: self.solver_states.load(Ordering::Relaxed),
+                ..SolverStats::default()
+            },
+            wall: Duration::from_nanos(self.wall_nanos.load(Ordering::Relaxed)),
+        }
     }
 }
 

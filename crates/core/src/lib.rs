@@ -49,13 +49,15 @@ pub mod partial_iso;
 pub mod pebble;
 pub mod pow2;
 pub mod reference;
+pub mod shards;
 pub mod solver;
 pub mod strategies;
 pub mod strategy;
 pub mod trace;
 
 pub use arena::{GamePair, Side};
-pub use batch::{BatchConfig, BatchSolver, BatchStats, StructureArena, WordId};
+pub use batch::{BatchConfig, BatchSolver, BatchStats, SharedBatchStats, StructureArena, WordId};
 pub use fingerprint::Fingerprint;
-pub use solver::EfSolver;
+pub use shards::{ShardRef, ShardedArena};
+pub use solver::{EfSolver, SharedSolverStats, SolverStats};
 pub use strategy::{validate_strategy, DuplicatorStrategy};

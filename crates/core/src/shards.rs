@@ -1,0 +1,279 @@
+//! Lock-sharded structure interning for concurrent engines.
+//!
+//! [`crate::batch::StructureArena`] amortizes structure construction
+//! across a *single-threaded* bulk workload: one `&mut` owner interns
+//! words and hands `Arc`-shared structures to worker threads. A
+//! long-running service inverts that shape — many threads intern and look
+//! up concurrently against one shared store — so this module provides the
+//! arena's service form: [`ShardedArena`], `S` independently locked shards
+//! each holding a content-deduplicated `word → Arc<FactorStructure>` map.
+//!
+//! Two deliberate differences from `StructureArena`:
+//!
+//! - **per-word alphabets** — an arena fixes one Σ so fingerprints stay
+//!   comparable; a document store holds unrelated corpus documents, so
+//!   each structure is built over its own symbol set (exactly
+//!   [`FactorStructure::of_word`]), with the dense/succinct backend
+//!   auto-selected by word length unless a backend is forced;
+//! - **interior locking** — `intern` takes `&self`; the shard index is a
+//!   hash of the word's bytes, so two threads interning different words
+//!   almost never contend, and re-interning an existing word takes only a
+//!   read lock.
+
+use fc_logic::{BackendKind, FactorStructure};
+use fc_words::Word;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Number of shards (a power of two).
+const ARENA_SHARDS: usize = 16;
+
+/// A handle to an interned structure: shard index plus slot within the
+/// shard. Handles are stable for the arena's lifetime.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ShardRef {
+    shard: u32,
+    slot: u32,
+}
+
+struct Shard {
+    structures: Vec<Arc<FactorStructure>>,
+    index: HashMap<Word, u32>,
+}
+
+/// A concurrently shareable, content-deduplicating store of factor
+/// structures.
+pub struct ShardedArena {
+    shards: Vec<RwLock<Shard>>,
+    /// Forced backend for every interned word (`None` = word-length
+    /// automatic choice).
+    backend: Option<BackendKind>,
+    structures_built: AtomicU64,
+    intern_hits: AtomicU64,
+}
+
+impl ShardedArena {
+    /// An empty arena with automatic backend selection.
+    pub fn new() -> ShardedArena {
+        ShardedArena::with_backend(None)
+    }
+
+    /// An empty arena that forces every structure onto `backend`
+    /// (`None` = automatic).
+    pub fn with_backend(backend: Option<BackendKind>) -> ShardedArena {
+        ShardedArena {
+            shards: (0..ARENA_SHARDS)
+                .map(|_| {
+                    RwLock::new(Shard {
+                        structures: Vec::new(),
+                        index: HashMap::new(),
+                    })
+                })
+                .collect(),
+            backend,
+            structures_built: AtomicU64::new(0),
+            intern_hits: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn shard_of(word: &Word) -> usize {
+        // FNV-1a over the word bytes; top bits select the shard.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in word.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h >> 32) as usize & (ARENA_SHARDS - 1)
+    }
+
+    /// Interns `word`, building its structure on first sight; repeat
+    /// interns of the same content return the existing handle under a read
+    /// lock.
+    pub fn intern(&self, word: &Word) -> ShardRef {
+        let shard_idx = Self::shard_of(word);
+        if let Some(&slot) = self.shards[shard_idx].read().unwrap().index.get(word) {
+            self.intern_hits.fetch_add(1, Ordering::Relaxed);
+            return ShardRef {
+                shard: shard_idx as u32,
+                slot,
+            };
+        }
+        // Build outside the write lock: succinct construction on a long
+        // document must not block the shard's readers.
+        let structure = Arc::new(match self.backend {
+            Some(kind) => {
+                let sigma = fc_words::Alphabet::from_symbols(&word.symbols());
+                FactorStructure::with_backend(word.clone(), &sigma, kind)
+            }
+            None => FactorStructure::of_word(word.clone()),
+        });
+        let mut shard = self.shards[shard_idx].write().unwrap();
+        if let Some(&slot) = shard.index.get(word) {
+            // A racing thread interned it first; ours is dropped.
+            self.intern_hits.fetch_add(1, Ordering::Relaxed);
+            return ShardRef {
+                shard: shard_idx as u32,
+                slot,
+            };
+        }
+        let slot = shard.structures.len() as u32;
+        shard.structures.push(structure);
+        shard.index.insert(word.clone(), slot);
+        self.structures_built.fetch_add(1, Ordering::Relaxed);
+        ShardRef {
+            shard: shard_idx as u32,
+            slot,
+        }
+    }
+
+    /// The structure behind a handle.
+    ///
+    /// # Panics
+    /// Panics on a handle from a different arena (out-of-range slot).
+    pub fn structure(&self, r: ShardRef) -> Arc<FactorStructure> {
+        Arc::clone(&self.shards[r.shard as usize].read().unwrap().structures[r.slot as usize])
+    }
+
+    /// The handle for `word`, if it has been interned.
+    pub fn lookup(&self, word: &Word) -> Option<ShardRef> {
+        let shard_idx = Self::shard_of(word);
+        let shard = self.shards[shard_idx].read().unwrap();
+        shard.index.get(word).map(|&slot| ShardRef {
+            shard: shard_idx as u32,
+            slot,
+        })
+    }
+
+    /// Number of distinct structures resident.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().unwrap().structures.len())
+            .sum()
+    }
+
+    /// `true` iff nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total bytes held by the resident structures (backend accounting,
+    /// see `FactorStructure::memory_bytes`).
+    pub fn memory_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .unwrap()
+                    .structures
+                    .iter()
+                    .map(|st| st.memory_bytes())
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Structures built (== distinct words interned).
+    pub fn structures_built(&self) -> u64 {
+        self.structures_built.load(Ordering::Relaxed)
+    }
+
+    /// Intern calls answered by dedup instead of construction.
+    pub fn intern_hits(&self) -> u64 {
+        self.intern_hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of shards (for stats displays).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+impl Default for ShardedArena {
+    fn default() -> ShardedArena {
+        ShardedArena::new()
+    }
+}
+
+impl std::fmt::Debug for ShardedArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ShardedArena({} structures, {} dedup hits, {} B)",
+            self.len(),
+            self.intern_hits(),
+            self.memory_bytes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedups_by_content() {
+        let arena = ShardedArena::new();
+        let a = arena.intern(&Word::from("abab"));
+        let b = arena.intern(&Word::from("abab"));
+        let c = arena.intern(&Word::from("baba"));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.structures_built(), 2);
+        assert_eq!(arena.intern_hits(), 1);
+        assert!(Arc::ptr_eq(&arena.structure(a), &arena.structure(b)));
+    }
+
+    #[test]
+    fn backend_is_auto_selected_by_length() {
+        let arena = ShardedArena::new();
+        let short = arena.intern(&Word::from("ab"));
+        let long = arena.intern(&Word::from("ab").pow(200));
+        assert_eq!(
+            arena.structure(short).backend_kind(),
+            BackendKind::Dense,
+            "short words stay dense"
+        );
+        assert_eq!(
+            arena.structure(long).backend_kind(),
+            BackendKind::Succinct,
+            "long words go succinct"
+        );
+    }
+
+    #[test]
+    fn concurrent_interns_build_each_structure_once() {
+        let arena = ShardedArena::new();
+        let words: Vec<Word> = (0..64)
+            .map(|i| {
+                Word::from("ab")
+                    .pow(1 + i % 8)
+                    .concat(&Word::from("a").pow(i / 8))
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for w in &words {
+                        let r = arena.intern(w);
+                        assert_eq!(arena.structure(r).word(), w);
+                    }
+                });
+            }
+        });
+        let distinct: std::collections::HashSet<&Word> = words.iter().collect();
+        assert_eq!(arena.len(), distinct.len());
+        assert_eq!(arena.structures_built(), distinct.len() as u64);
+        assert_eq!(
+            arena.intern_hits(),
+            8 * words.len() as u64 - distinct.len() as u64
+        );
+        for w in &words {
+            assert!(arena.lookup(w).is_some());
+        }
+        assert_eq!(arena.lookup(&Word::from("zzz")), None);
+    }
+}

@@ -68,6 +68,72 @@ impl SolverStats {
     }
 }
 
+/// A `Send + Sync` accumulator of [`SolverStats`], for engines whose one
+/// shared handle serves concurrent game requests (`fc serve`). Workers
+/// keep solving with private solvers (the existing single-threaded paths,
+/// byte-identical displays) and [`SharedSolverStats::record`] whole-game
+/// deltas, so concurrent requests never lose counter updates.
+#[derive(Debug, Default)]
+pub struct SharedSolverStats {
+    games: std::sync::atomic::AtomicU64,
+    states_explored: std::sync::atomic::AtomicU64,
+    memo_hits: std::sync::atomic::AtomicU64,
+    pruned_moves: std::sync::atomic::AtomicU64,
+    wall_nanos: std::sync::atomic::AtomicU64,
+}
+
+impl SharedSolverStats {
+    /// An all-zero accumulator.
+    pub fn new() -> SharedSolverStats {
+        SharedSolverStats::default()
+    }
+
+    /// Merges one finished game's counters. Unlike [`SolverStats::absorb`]
+    /// this *does* add wall time: requests run concurrently but each delta
+    /// is one request's own serial cost, which is what a per-endpoint
+    /// latency total wants.
+    pub fn record(&self, delta: &SolverStats) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.games.fetch_add(1, Relaxed);
+        self.states_explored
+            .fetch_add(delta.states_explored, Relaxed);
+        self.memo_hits.fetch_add(delta.memo_hits, Relaxed);
+        self.pruned_moves.fetch_add(delta.pruned_moves, Relaxed);
+        self.wall_nanos
+            .fetch_add(delta.wall.as_nanos() as u64, Relaxed);
+    }
+
+    /// Number of games recorded.
+    pub fn games(&self) -> u64 {
+        self.games.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The accumulated counters as a plain [`SolverStats`].
+    pub fn snapshot(&self) -> SolverStats {
+        use std::sync::atomic::Ordering::Relaxed;
+        SolverStats {
+            states_explored: self.states_explored.load(Relaxed),
+            memo_hits: self.memo_hits.load(Relaxed),
+            pruned_moves: self.pruned_moves.load(Relaxed),
+            wall: Duration::from_nanos(self.wall_nanos.load(Relaxed)),
+        }
+    }
+}
+
+impl SolverStats {
+    /// The counter-wise difference `self − earlier` (wall included):
+    /// turns two snapshots of an accumulating solver into the cost of the
+    /// work done between them, e.g. one `rebind`-reused request.
+    pub fn delta_since(&self, earlier: &SolverStats) -> SolverStats {
+        SolverStats {
+            states_explored: self.states_explored - earlier.states_explored,
+            memo_hits: self.memo_hits - earlier.memo_hits,
+            pruned_moves: self.pruned_moves - earlier.pruned_moves,
+            wall: self.wall.saturating_sub(earlier.wall),
+        }
+    }
+}
+
 /// A memoizing exact solver bound to one [`GamePair`].
 pub struct EfSolver {
     game: GamePair,

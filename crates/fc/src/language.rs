@@ -27,7 +27,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// `L(φ) ∩ Σ^{≤max_len}` for a sentence `φ`, in (length, lex) order.
 pub fn language_window(phi: &Formula, sigma: &Alphabet, max_len: usize) -> Vec<Word> {
     assert!(phi.is_sentence(), "language_window requires a sentence");
-    let plan = Plan::compile(phi);
+    language_window_plan(&Plan::compile(phi), sigma, max_len)
+}
+
+/// [`language_window`] over a precompiled (or cache-shared) plan — the
+/// form a long-lived engine uses, paying the compilation once per plan
+/// lifetime instead of once per window sweep.
+pub fn language_window_plan(plan: &Plan, sigma: &Alphabet, max_len: usize) -> Vec<Word> {
     sigma
         .words_up_to(max_len)
         .filter(|w| plan.eval(&FactorStructure::new(w.clone(), sigma), &Assignment::new()))
@@ -42,7 +48,15 @@ pub fn language_window_stats(
     max_len: usize,
 ) -> (Vec<Word>, EvalStats) {
     assert!(phi.is_sentence(), "language_window requires a sentence");
-    let plan = Plan::compile(phi);
+    language_window_stats_plan(&Plan::compile(phi), sigma, max_len)
+}
+
+/// [`language_window_stats`] over a precompiled plan.
+pub fn language_window_stats_plan(
+    plan: &Plan,
+    sigma: &Alphabet,
+    max_len: usize,
+) -> (Vec<Word>, EvalStats) {
     let mut stats = EvalStats::default();
     let window = sigma
         .words_up_to(max_len)
@@ -184,9 +198,22 @@ pub fn relation_on(phi: &Formula, vars: &[&str], structure: &FactorStructure) ->
 
 /// [`relation_on`] over a precompiled plan (one compilation per window).
 pub fn relation_on_plan(plan: &Plan, vars: &[&str], structure: &FactorStructure) -> Vec<Vec<Word>> {
+    let mut stats = EvalStats::default();
+    relation_on_plan_stats(plan, vars, structure, &mut stats)
+}
+
+/// [`relation_on_plan`] with instrumentation accumulated into `stats`
+/// (the form `fc serve`'s extraction endpoint uses, so per-endpoint
+/// metrics see the evaluation cost).
+pub fn relation_on_plan_stats(
+    plan: &Plan,
+    vars: &[&str],
+    structure: &FactorStructure,
+    stats: &mut EvalStats,
+) -> Vec<Vec<Word>> {
     let keys: Vec<VarName> = vars.iter().map(|v| Rc::from(*v)).collect();
     let mut out: Vec<Vec<Word>> = plan
-        .satisfying_assignments(structure)
+        .satisfying_assignments_with_stats(structure, stats)
         .into_iter()
         .map(|m| keys.iter().map(|k| structure.word_of(m[k])).collect())
         .collect();

@@ -1,0 +1,224 @@
+//! A bounded, thread-safe cache of compiled [`Plan`]s keyed by the
+//! formula's *structural key*.
+//!
+//! Long-lived services (`fc serve`) see the same handful of formulas over
+//! and over, often spelled with cosmetic differences (whitespace, redundant
+//! parentheses). Compiling a plan per request would redo DFA construction
+//! and guard analysis on every call — the exact per-call setup the plan
+//! pipeline was built to hoist. The cache closes the loop: one compilation
+//! per *structurally distinct* formula, shared via `Arc` across every
+//! thread holding the cache.
+//!
+//! - **Structural key** — [`structural_key`] renders the formula back to
+//!   the canonical ASCII syntax ([`crate::parser::to_source`]), so any two
+//!   sources that parse to the same tree share one plan (the same identity
+//!   the plan's internal DFA dedup uses, lifted to whole formulas).
+//! - **Bounded memory** — entries live in lock-sharded maps with a
+//!   per-shard cap; a shard that reaches its cap is cleared wholesale
+//!   (generational eviction, mirroring the succinct backend's `concat_id`
+//!   memo — an O(1)-amortized stand-in for LRU that retains the hot
+//!   working set because it is immediately re-inserted).
+//! - **Counters** — hits, misses and evicted entries are atomics, readable
+//!   while other threads are mid-lookup; `fc serve` surfaces them on its
+//!   `stats` endpoint.
+
+use super::Plan;
+use crate::formula::Formula;
+use crate::parser;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Shard count (a power of two): concurrent requests for different
+/// formulas do not serialize on one lock.
+const CACHE_SHARDS: usize = 8;
+
+/// The canonical structural key of a formula: its rendering in the ASCII
+/// concrete syntax. Two formulas share a key iff they are structurally
+/// identical (up to `Eq`/`EqChain` arity normalization, which is
+/// plan-irrelevant).
+pub fn structural_key(formula: &Formula) -> String {
+    parser::to_source(formula)
+}
+
+/// Counter snapshot of a [`PlanCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compile a plan.
+    pub misses: u64,
+    /// Entries dropped by generational shard eviction.
+    pub evictions: u64,
+    /// Entries currently resident (across all shards).
+    pub entries: u64,
+    /// Total entry capacity (shards × per-shard cap).
+    pub capacity: u64,
+}
+
+/// A bounded, sharded, thread-safe `structural key → Arc<Plan>` cache.
+pub struct PlanCache {
+    shards: Vec<Mutex<HashMap<String, Arc<Plan>>>>,
+    shard_cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PlanCache {
+    /// A cache bounded at (roughly) `capacity` entries, spread over the
+    /// internal shards. A zero capacity still admits one entry per shard
+    /// (the entry being inserted), so the cache never thrashes on a single
+    /// hot formula.
+    pub fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            shards: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            shard_cap: capacity.div_ceil(CACHE_SHARDS).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The default service-sized cache (256 entries).
+    pub fn with_default_capacity() -> PlanCache {
+        PlanCache::new(256)
+    }
+
+    #[inline]
+    fn shard_of(&self, key: &str) -> usize {
+        // FNV-1a over the key bytes; top bits select the shard.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in key.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h >> 32) as usize & (CACHE_SHARDS - 1)
+    }
+
+    /// The plan for `formula`, compiling and inserting it on first sight.
+    pub fn get_or_compile(&self, formula: &Formula) -> Arc<Plan> {
+        let key = structural_key(formula);
+        let shard_idx = self.shard_of(&key);
+        if let Some(plan) = self.shards[shard_idx].lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(plan);
+        }
+        // Compile outside the lock: a slow compilation must not serialize
+        // unrelated lookups on the same shard. A racing thread may compile
+        // the same plan; last insert wins and both Arcs are valid.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(Plan::compile(formula));
+        let mut shard = self.shards[shard_idx].lock().unwrap();
+        if let Some(existing) = shard.get(&key) {
+            return Arc::clone(existing);
+        }
+        if shard.len() >= self.shard_cap {
+            self.evictions
+                .fetch_add(shard.len() as u64, Ordering::Relaxed);
+            shard.clear();
+        }
+        shard.insert(key, Arc::clone(&plan));
+        plan
+    }
+
+    /// Number of entries currently resident.
+    pub fn entries(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.entries() as u64,
+            capacity: (self.shard_cap * CACHE_SHARDS) as u64,
+        }
+    }
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        write!(
+            f,
+            "PlanCache({} entries / {} cap, {} hits, {} misses, {} evicted)",
+            s.entries, s.capacity, s.hits, s.misses, s.evictions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_formula;
+
+    #[test]
+    fn cosmetic_variants_share_one_plan() {
+        let cache = PlanCache::new(16);
+        let a = parse_formula("E x, y: (x = y.y)").unwrap();
+        let b = parse_formula("E x,y:((x = y.y))").unwrap();
+        let pa = cache.get_or_compile(&a);
+        let pb = cache.get_or_compile(&b);
+        assert!(Arc::ptr_eq(&pa, &pb));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn distinct_formulas_get_distinct_plans() {
+        let cache = PlanCache::new(16);
+        let a = parse_formula("E x: (x = eps)").unwrap();
+        let b = parse_formula("A x: (x = x.eps)").unwrap();
+        let pa = cache.get_or_compile(&a);
+        let pb = cache.get_or_compile(&b);
+        assert!(!Arc::ptr_eq(&pa, &pb));
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn churn_stays_within_capacity() {
+        // Satellite regression: a 10⁴-distinct-formula churn workload must
+        // hold the cache at its bound — memory is flat because evicted
+        // plans are dropped (their Arcs die with the shard clear).
+        let cache = PlanCache::new(64);
+        let cap = cache.stats().capacity;
+        for i in 0..10_000 {
+            let src = format!("E x: (x = {})", word_term(i));
+            let phi = parse_formula(&src).unwrap();
+            let plan = cache.get_or_compile(&phi);
+            assert!(plan.node_count() > 0);
+            assert!(
+                cache.entries() as u64 <= cap,
+                "cache exceeded capacity at iteration {i}"
+            );
+        }
+        let s = cache.stats();
+        assert_eq!(s.misses, 10_000, "every formula is distinct");
+        assert!(s.evictions >= 10_000 - s.capacity, "eviction must keep up");
+        assert!(s.entries <= s.capacity);
+    }
+
+    /// A distinct ground term per index: the binary expansion of `i` as a
+    /// word over {a, b}, e.g. 6 → "bba".
+    fn word_term(i: usize) -> String {
+        let mut parts: Vec<&str> = Vec::new();
+        let mut n = i;
+        loop {
+            parts.push(if n.is_multiple_of(2) {
+                "\"a\""
+            } else {
+                "\"b\""
+            });
+            n /= 2;
+            if n == 0 {
+                break;
+            }
+        }
+        parts.join(".")
+    }
+}

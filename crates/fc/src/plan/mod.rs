@@ -34,11 +34,13 @@
 //! See `docs/EVAL.md` for the pipeline walk-through and the soundness
 //! argument for guard-directed enumeration.
 
+mod cache;
 mod exec;
 mod lower;
 mod stats;
 
-pub use stats::EvalStats;
+pub use cache::{structural_key, PlanCache, PlanCacheStats};
+pub use stats::{EvalStats, SharedEvalStats};
 
 use crate::eval::Assignment;
 use crate::formula::Formula;

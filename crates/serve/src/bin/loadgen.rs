@@ -1,0 +1,92 @@
+//! `fc-loadgen` — replay a deterministic mixed workload against a
+//! running `fc serve` instance and summarize throughput and latency.
+//!
+//! ```text
+//! fc-loadgen --addr 127.0.0.1:7878 [--requests N] [--clients N]
+//!            [--docs N] [--seed N] [--shutdown] [--expect-cache-hits]
+//!            [--json]
+//! ```
+//!
+//! - `--requests` (default 100000): total mixed queries across clients;
+//! - `--clients` (default 8): concurrent lockstep connections;
+//! - `--docs` (default 16): documents stored before the replay;
+//! - `--shutdown`: send `{"op":"shutdown"}` after the final stats query;
+//! - `--expect-cache-hits`: exit non-zero unless the server reports a
+//!   non-zero plan-cache hit count (the `scripts/check.sh` smoke
+//!   assertion);
+//! - `--json`: print the flat JSON summary instead of the human one.
+//!
+//! The exit code is non-zero when any replayed request was answered with
+//! `"ok":false`.
+
+use fc_serve::loadgen::{self, LoadgenConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_num(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<u64, String> {
+    it.next()
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| format!("{flag} needs a number"))
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut addr: Option<String> = None;
+    let mut config = LoadgenConfig::new("");
+    let mut expect_cache_hits = false;
+    let mut as_json = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(it.next().ok_or("--addr needs an address")?.clone()),
+            "--requests" => config.requests = parse_num(&mut it, "--requests")? as usize,
+            "--clients" => config.clients = parse_num(&mut it, "--clients")? as usize,
+            "--docs" => config.docs = (parse_num(&mut it, "--docs")? as usize).max(1),
+            "--seed" => config.seed = parse_num(&mut it, "--seed")?,
+            "--shutdown" => config.shutdown = true,
+            "--expect-cache-hits" => expect_cache_hits = true,
+            "--json" => as_json = true,
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    config.addr = addr.ok_or("missing --addr")?;
+
+    let summary = loadgen::run(&config).map_err(|e| format!("replay failed: {e}"))?;
+    if as_json {
+        println!("{}", summary.to_json());
+    } else {
+        println!(
+            "replayed {} requests over {} clients in {:.2?}",
+            summary.requests, config.clients, summary.wall
+        );
+        println!(
+            "throughput {:.0} q/s   latency p50 {:.2?}  p99 {:.2?}  max {:.2?}",
+            summary.throughput_qps, summary.p50, summary.p99, summary.max
+        );
+        println!(
+            "plan cache: {} hits / {} misses (hit rate {:.1}%)",
+            summary.plan_cache_hits,
+            summary.plan_cache_misses,
+            100.0 * summary.plan_cache_hit_rate()
+        );
+        println!("errors: {}", summary.errors);
+    }
+    if summary.errors > 0 {
+        eprintln!("FAIL: {} requests were rejected", summary.errors);
+        return Ok(ExitCode::FAILURE);
+    }
+    if expect_cache_hits && summary.plan_cache_hits == 0 {
+        eprintln!("FAIL: plan cache reported zero hits");
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,11 +1,18 @@
 //! A minimal JSON reader/writer (no external dependencies).
 //!
 //! The build environment has no crates.io access, so the suite carries its
-//! own small JSON layer for the places that need structured output: the
-//! experiment reports ([`crate::report`]) and the tests that parse
-//! `fc lint --json`. Supports the full JSON data model except exotic
-//! number forms — numbers are kept as `f64` (integers round-trip exactly
-//! up to 2⁵³).
+//! own small JSON layer. It is the wire format of the `fc serve` line
+//! protocol (one JSON object per line, both directions — see
+//! `docs/SERVE.md`) and the structured-output backend everywhere else:
+//! the experiment reports (`fc_suite::report`), the `fc lint --json`
+//! rendering, and the load generator's summaries. Supports the full JSON
+//! data model except exotic number forms — numbers are kept as `f64`
+//! (integers round-trip exactly up to 2⁵³).
+//!
+//! Rendering is *deterministic*: object members are stored in a
+//! `BTreeMap`, so the serialized key order is sorted. The serve
+//! differential tests (concurrent replay must be byte-identical to
+//! sequential replay) rely on this.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -63,6 +70,12 @@ impl Value {
             Value::Object(m) => m.get(key),
             _ => None,
         }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_string())
     }
 }
 

@@ -1,0 +1,177 @@
+//! The `fc serve` TCP front end: plain `std::net`, no async runtime.
+//!
+//! Protocol: newline-delimited JSON objects in both directions (see
+//! `docs/SERVE.md`). Each connection gets a reader thread (parsing lines
+//! into executor jobs) and a writer thread; because the work-stealing pool
+//! may finish requests out of order, responses carry a per-connection
+//! sequence number internally and the writer holds them in a reorder
+//! buffer, so the client always sees responses in request order — a
+//! pipelining client needs no correlation ids (though `"id"` echoing is
+//! supported).
+//!
+//! Shutdown is cooperative: a `shutdown` request is answered normally,
+//! then the accept loop is woken with a loop-back connection and drained —
+//! remaining responses are computed and written before the workers are
+//! joined. Server shutdown completes once the remaining clients hang up.
+
+use crate::engine::{EngineConfig, ServiceEngine};
+use crate::executor::Executor;
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+
+/// Bind address, worker count and engine limits for a [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads; 0 means "derive from available parallelism".
+    pub workers: usize,
+    /// Engine limits.
+    pub engine: EngineConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+/// A bound (but not yet accepting) server. `bind` then `run`; `run`
+/// blocks until a client sends `{"op":"shutdown"}`.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    engine: Arc<ServiceEngine>,
+    executor: Arc<Executor>,
+}
+
+impl Server {
+    /// Binds the listen socket and builds the shared engine and pool.
+    pub fn bind(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4)
+                .min(8)
+        } else {
+            config.workers
+        };
+        Ok(Server {
+            listener,
+            addr,
+            engine: Arc::new(ServiceEngine::new(config.engine)),
+            executor: Arc::new(Executor::new(workers)),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of request workers.
+    pub fn worker_count(&self) -> usize {
+        self.executor.worker_count()
+    }
+
+    /// The shared engine (for in-process inspection in tests/benches).
+    pub fn engine(&self) -> Arc<ServiceEngine> {
+        Arc::clone(&self.engine)
+    }
+
+    /// Accepts connections until shut down, then drains and joins
+    /// everything. Consumes the server; the listen socket closes on
+    /// return.
+    pub fn run(self) -> io::Result<()> {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut connections = Vec::new();
+        for stream in self.listener.incoming() {
+            if shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let engine = Arc::clone(&self.engine);
+            let executor = Arc::clone(&self.executor);
+            let shutdown = Arc::clone(&shutdown);
+            let addr = self.addr;
+            connections.push(std::thread::spawn(move || {
+                handle_connection(stream, &engine, &executor, &shutdown, addr);
+            }));
+        }
+        for c in connections {
+            let _ = c.join();
+        }
+        self.executor.shutdown();
+        Ok(())
+    }
+}
+
+/// Reads request lines, fans them out to the pool, and reorders the
+/// responses back into request order.
+fn handle_connection(
+    stream: TcpStream,
+    engine: &Arc<ServiceEngine>,
+    executor: &Executor,
+    shutdown: &Arc<AtomicBool>,
+    server_addr: SocketAddr,
+) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (tx, rx) = mpsc::channel::<(u64, String)>();
+    let writer = std::thread::spawn(move || {
+        let mut out = BufWriter::new(write_half);
+        let mut reorder: BTreeMap<u64, String> = BTreeMap::new();
+        let mut next: u64 = 0;
+        while let Ok((seq, line)) = rx.recv() {
+            reorder.insert(seq, line);
+            while let Some(line) = reorder.remove(&next) {
+                if out.write_all(line.as_bytes()).is_err() || out.write_all(b"\n").is_err() {
+                    return;
+                }
+                next += 1;
+            }
+            if out.flush().is_err() {
+                return;
+            }
+        }
+    });
+
+    let reader = BufReader::new(stream);
+    let mut seq: u64 = 0;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let engine = Arc::clone(engine);
+        let tx = tx.clone();
+        let shutdown = Arc::clone(shutdown);
+        let this_seq = seq;
+        seq += 1;
+        executor.submit(Box::new(move |scratch| {
+            let response = engine.handle_request(&line, scratch);
+            if response.shutdown {
+                shutdown.store(true, Ordering::Release);
+            }
+            let _ = tx.send((this_seq, response.line));
+        }));
+    }
+    drop(tx);
+    let _ = writer.join();
+    if shutdown.load(Ordering::Acquire) {
+        // Wake the accept loop so `run` can observe the flag. The dummy
+        // connection is dropped unused (or refused, once the listener is
+        // gone) — either way is fine.
+        let _ = TcpStream::connect(server_addr);
+    }
+}

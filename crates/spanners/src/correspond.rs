@@ -24,12 +24,55 @@ pub fn first_boolean_disagreement(
     sigma: &Alphabet,
     max_len: usize,
 ) -> Option<Word> {
-    let plan = Plan::compile(sentence);
+    first_boolean_disagreement_plan(spanner, &Plan::compile(sentence), sigma, max_len)
+}
+
+/// [`first_boolean_disagreement`] over a precompiled (or cache-shared)
+/// plan — the form a long-lived engine uses, so one plan serves any number
+/// of windows and documents.
+pub fn first_boolean_disagreement_plan(
+    spanner: &Spanner,
+    plan: &Plan,
+    sigma: &Alphabet,
+    max_len: usize,
+) -> Option<Word> {
     sigma.words_up_to(max_len).find(|w| {
         let s = FactorStructure::new(w.clone(), sigma);
         let formula_accepts = plan.eval(&s, &eval::Assignment::new());
         spanner.accepts(w.bytes()) != formula_accepts
     })
+}
+
+/// The spanner's *content relation* on one document: the content tuples of
+/// its output relation projected to `vars`, sorted and deduplicated. This
+/// is the relation the Freydenberger–Peterfreund correspondence compares
+/// against ⟦φ⟧(w), and the payload `fc serve`'s extraction endpoint
+/// returns for stored documents.
+///
+/// # Panics
+/// Panics when a requested variable is missing from the spanner's schema.
+pub fn spanner_content_relation(spanner: &Spanner, vars: &[&str], doc: &Word) -> Vec<Vec<Word>> {
+    let rel = spanner.evaluate(doc.bytes());
+    let indices: Vec<usize> = vars
+        .iter()
+        .map(|v| {
+            rel.index_of(v)
+                .unwrap_or_else(|| panic!("{v} not in spanner schema"))
+        })
+        .collect();
+    let mut tuples: Vec<Vec<Word>> = rel
+        .tuples
+        .iter()
+        .map(|t| {
+            indices
+                .iter()
+                .map(|&i| Word::from(t[i].content(doc.bytes())))
+                .collect()
+        })
+        .collect();
+    tuples.sort();
+    tuples.dedup();
+    tuples
 }
 
 /// Compares a spanner's *content relation* (the set of content tuples of
@@ -43,30 +86,24 @@ pub fn first_relation_disagreement(
     doc: &Word,
     sigma: &Alphabet,
 ) -> Option<String> {
-    let structure = FactorStructure::new(doc.clone(), sigma);
-    // Already sorted and deduplicated by `relation_on`.
-    let from_formula = fc_logic::language::relation_on(formula, vars, &structure);
+    first_relation_disagreement_plan(spanner, &Plan::compile(formula), vars, doc, sigma)
+}
 
-    let rel = spanner.evaluate(doc.bytes());
-    let indices: Vec<usize> = vars
-        .iter()
-        .map(|v| {
-            rel.index_of(v)
-                .unwrap_or_else(|| panic!("{v} not in spanner schema"))
-        })
-        .collect();
-    let mut from_spanner: Vec<Vec<Word>> = rel
-        .tuples
-        .iter()
-        .map(|t| {
-            indices
-                .iter()
-                .map(|&i| Word::from(t[i].content(doc.bytes())))
-                .collect()
-        })
-        .collect();
-    from_spanner.sort();
-    from_spanner.dedup();
+/// [`first_relation_disagreement`] over a precompiled plan: the
+/// FC[REG]-side relation comes from [`fc_logic::language::relation_on_plan`]
+/// on an already-built structure, so a stored (interned) document can be
+/// checked without rebuilding anything.
+pub fn first_relation_disagreement_plan(
+    spanner: &Spanner,
+    plan: &Plan,
+    vars: &[&str],
+    doc: &Word,
+    sigma: &Alphabet,
+) -> Option<String> {
+    let structure = FactorStructure::new(doc.clone(), sigma);
+    // Already sorted and deduplicated by `relation_on_plan`.
+    let from_formula = fc_logic::language::relation_on_plan(plan, vars, &structure);
+    let from_spanner = spanner_content_relation(spanner, vars, doc);
 
     for t in &from_spanner {
         if !from_formula.contains(t) {

@@ -1,14 +1,15 @@
 #!/usr/bin/env bash
 # Machine-readable perf snapshot: times the headline workloads (E03 scan,
-# E24 class table, E08/E09 fooling confirmations) on the naive and batch
-# paths and writes BENCH_PR<N>.json at the repo root.
+# E24 class table, E08/E09 fooling confirmations, fc-serve throughput and
+# latency) on the naive and batch paths and writes BENCH_PR<N>.json at the
+# repo root.
 #
-# Usage: scripts/bench_snapshot.sh [N]     (from anywhere; default N = 5)
+# Usage: scripts/bench_snapshot.sh [N]     (from anywhere; default N = 8)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-PR="${1:-5}"
+PR="${1:-8}"
 OUT="BENCH_PR${PR}.json"
 
 echo "==> building snapshot binary (release)"

@@ -21,4 +21,20 @@ cargo test -q --offline --release -p fc-games --test perf_smoke -- --nocapture
 echo "==> eval + structure perf smokes (phi_fib n = 4 member; succinct backend on |w| = 10^4; release, generous budgets)"
 cargo test -q --offline --release -p fc-logic --test perf_smoke -- --nocapture
 
+echo "==> fc serve smoke (ephemeral port, small loadgen replay, plan-cache hits, clean shutdown)"
+cargo build --release --offline -p fc-serve --bin fc-loadgen
+PORT_FILE="$(mktemp)"
+rm -f "$PORT_FILE" # fc serve creates it after binding; absence is the readiness signal
+./target/release/fc serve --addr 127.0.0.1:0 --port-file "$PORT_FILE" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [[ -s "$PORT_FILE" ]] && break
+  sleep 0.1
+done
+[[ -s "$PORT_FILE" ]] || { echo "fc serve never wrote its port file" >&2; kill "$SERVE_PID" 2>/dev/null; exit 1; }
+ADDR="$(head -n1 "$PORT_FILE")"
+./target/release/fc-loadgen --addr "$ADDR" --requests 2000 --clients 4 --expect-cache-hits --shutdown
+wait "$SERVE_PID" # clean exit after the loadgen's shutdown request
+rm -f "$PORT_FILE"
+
 echo "All checks passed."

@@ -9,6 +9,8 @@
 //! fc fooling <lang> <k> [limit]       fooling pair for anbn | L1..L6
 //! fc bounded '<regex>'                boundedness of a regular language
 //! fc definable '<regex>' [--budget N] FC-definability verdict + certificate
+//! fc serve [--addr A] [--workers N] [--plan-cache N] [--port-file P]
+//!                                     long-running query service (docs/SERVE.md)
 //! ```
 //!
 //! `fc lint` flags: `--json` (machine-readable report), `--deny-warnings`
@@ -43,6 +45,7 @@ use fc_suite::reglang::definable::{
 };
 use fc_suite::reglang::{bounded, Dfa, Regex};
 use fc_suite::relations::languages;
+use fc_suite::serve::{Server, ServerConfig};
 use fc_suite::words::{Alphabet, Word};
 use std::process::ExitCode;
 
@@ -57,8 +60,11 @@ fn main() -> ExitCode {
         Some("fooling") => cmd_fooling(&args[1..]),
         Some("bounded") => cmd_bounded(&args[1..]),
         Some("definable") => cmd_definable(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         _ => {
-            eprintln!("usage: fc <check|solve|lint|game|classes|fooling|bounded|definable> …");
+            eprintln!(
+                "usage: fc <check|solve|lint|game|classes|fooling|bounded|definable|serve> …"
+            );
             eprintln!("see the module docs (src/bin/fc.rs) for details");
             return ExitCode::from(2);
         }
@@ -476,4 +482,45 @@ fn cmd_definable(args: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// `fc serve [--addr A] [--workers N] [--plan-cache N] [--port-file P]` —
+/// bind the line-protocol query service and block until a client sends
+/// `{"op":"shutdown"}`. With `--port-file`, the resolved address (useful
+/// with an ephemeral `--addr 127.0.0.1:0`) is written to the given path
+/// once the socket is bound — scripts wait on that file instead of racing
+/// the bind.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut config = ServerConfig::default();
+    let mut port_file: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => {
+                config.addr = it.next().ok_or("--addr needs an address")?.clone();
+            }
+            "--workers" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => config.workers = n,
+                None => return Err("--workers needs a number".to_string()),
+            },
+            "--plan-cache" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => config.engine.plan_cache_capacity = n,
+                None => return Err("--plan-cache needs a number".to_string()),
+            },
+            "--port-file" => {
+                port_file = Some(it.next().ok_or("--port-file needs a path")?);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    let server = Server::bind(config).map_err(|e| format!("bind failed: {e}"))?;
+    let addr = server.local_addr();
+    println!(
+        "fc-serve listening on {addr} ({} workers)",
+        server.worker_count()
+    );
+    if let Some(path) = port_file {
+        std::fs::write(path, format!("{addr}\n")).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    server.run().map_err(|e| format!("serve failed: {e}"))
 }

@@ -10,11 +10,15 @@ pub use fc_games as games;
 pub use fc_logic as logic;
 pub use fc_reglang as reglang;
 pub use fc_relations as relations;
+pub use fc_serve as serve;
 pub use fc_spanners as spanners;
 pub use fc_words as words;
 
+// The JSON layer lives with the line-protocol server now; keep the old
+// `fc_suite::json` path working for the report writer and the CLI tests.
+pub use fc_serve::json;
+
 pub mod experiments;
-pub mod json;
 pub mod report;
 
 pub use report::{Effort, ExperimentReport, Status};
