@@ -29,7 +29,8 @@ fn batch_classify(c: &mut Criterion) {
                 BatchConfig {
                     use_fingerprints: false,
                     use_rank2_profiles: false,
-                    solver_threads: 1,
+                    use_arith: false,
+                    ..BatchConfig::default()
                 },
             );
             batch.classify(&ids, 2)

@@ -1,0 +1,151 @@
+//! E03 rank-3 runner: audit the abstraction-key unary engine against the
+//! definitional brute DP, then fit a semilinear table for `a^n` at k = 3.
+//!
+//! The rank-3 sweep is the one computation in the repo no exhaustive scan
+//! reaches (EXPERIMENTS.md Finding 5): each `a^p ≡₃ a^q` game is far out of
+//! solver range, so the class table must come from the arithmetic engine —
+//! and the engine must therefore be *audited*, not trusted. This binary
+//! makes that audit reproducible:
+//!
+//! 1. sweep `n = 0..=window` with `unary_type_hashes_with_stats(window, 3)`
+//!    (the abstraction-key engine behind `ArithOracle::unary_table(3)`);
+//! 2. compare the prefix `0..=audit_top` hash-for-hash against
+//!    [`brute_unary_type`], the small definitional DP with *no* abstraction
+//!    (slow: ~minutes per n near 300 — cached across runs);
+//! 3. report the distinct-class growth curve, the first repeated class
+//!    (= the k = 3 minimal pair, independent of any tail fit), and the
+//!    candidate (threshold, period) frontier table;
+//! 4. attempt the strict [`UnaryClassTable`] fit (requires the tail to be
+//!    stable for ≥ 4 whole periods inside the window).
+//!
+//! Usage: `e03_rank3 [audit_top] [window]` (defaults 60, 160 — small enough
+//! for a fresh machine; the EXPERIMENTS.md E03 record used 300 / 2400).
+//! Set `FC_E03_CACHE` to move the brute-DP cache file (default
+//! `target/e03_brute_k3.txt`); delete it to force a from-scratch audit.
+
+use fc_games::arith::{brute_unary_type, unary_type_hashes_with_stats};
+use fc_games::semilinear::UnaryClassTable;
+use std::io::Write as _;
+use std::time::Instant;
+
+fn cache_path() -> String {
+    std::env::var("FC_E03_CACHE").unwrap_or_else(|_| "target/e03_brute_k3.txt".into())
+}
+
+/// The brute DP hashes for `n = 0..=top`, extending the on-disk cache as
+/// needed (each new `n` costs exponentially more; the cache is append-only
+/// and safe to ship between machines — it is ground truth, not engine output).
+fn load_or_build_brute(top: u64) -> Vec<u128> {
+    let path = cache_path();
+    let mut cached: Vec<u128> = std::fs::read_to_string(&path)
+        .unwrap_or_default()
+        .lines()
+        .filter_map(|l| u128::from_str_radix(l, 16).ok())
+        .collect();
+    if cached.len() < top as usize + 1 {
+        let t0 = Instant::now();
+        for n in cached.len() as u64..=top {
+            cached.push(brute_unary_type(n, 3));
+        }
+        let mut f = std::fs::File::create(&path).expect("writable brute cache path");
+        for h in &cached {
+            writeln!(f, "{h:032x}").unwrap();
+        }
+        println!(
+            "brute DP extended to n = {top}: {:.1} s (cache: {path})",
+            t0.elapsed().as_secs_f64()
+        );
+    }
+    cached
+}
+
+fn main() {
+    let audit_top = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(60);
+    let window = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(160)
+        .max(audit_top);
+
+    let t0 = Instant::now();
+    let (fast, stats) = unary_type_hashes_with_stats(window, 3);
+    println!(
+        "fast k=3 sweep 0..={window}: {:.2} s, subtrees={} memo_hits={}",
+        t0.elapsed().as_secs_f64(),
+        stats.subtrees,
+        stats.memo_hits
+    );
+
+    let brute = load_or_build_brute(audit_top);
+    let bad: Vec<u64> = (0..=audit_top)
+        .filter(|&n| brute[n as usize] != fast[n as usize])
+        .collect();
+    if bad.is_empty() {
+        println!("audit vs brute DP 0..={audit_top}: CLEAN");
+    } else {
+        println!(
+            "audit vs brute DP 0..={audit_top}: {} MISMATCHES, first at n={} ({:?})",
+            bad.len(),
+            bad[0],
+            &bad[..bad.len().min(20)]
+        );
+    }
+
+    // Distinct-class growth and the first repeated class. A repeat
+    // h(p) = h(q) is a genuine `a^p ≡₃ a^q` claim (subject only to the
+    // audit above) — it does not depend on any eventual-periodicity fit.
+    let mut seen: Vec<u128> = Vec::new();
+    let mut last_new = 0u64;
+    let mut first_pair = None;
+    for (n, &h) in fast.iter().enumerate() {
+        if seen.contains(&h) {
+            if first_pair.is_none() {
+                let p = seen.iter().position(|&s| s == h).unwrap();
+                first_pair = Some((p as u64, n as u64));
+            }
+        } else {
+            seen.push(h);
+            last_new = n as u64;
+        }
+    }
+    println!(
+        "growth: {} distinct classes, last new class at n={last_new}, first repeat = {first_pair:?}",
+        seen.len()
+    );
+
+    // Candidate (threshold, period) frontier: for each P, the last n with
+    // h(n) != h(n+P). Candidates the window can't confirm with ≥ 2 whole
+    // periods of slack are suppressed; the strict fit below wants ≥ 4.
+    let mut candidates: Vec<(u64, u64)> = Vec::new();
+    for period in 1..=(window / 2) {
+        let frontier = (0..=(window - period))
+            .rev()
+            .find(|&n| fast[n as usize] != fast[(n + period) as usize]);
+        let threshold = frontier.map_or(0, |n| n + 1);
+        if window >= threshold + 2 * period {
+            candidates.push((threshold, period));
+        }
+    }
+    candidates.sort();
+    for (t, p) in candidates.iter().take(8) {
+        let margin = (window - *t) as f64 / *p as f64;
+        println!("candidate: T={t} P={p} (margin {margin:.1} periods in window)");
+    }
+    if candidates.is_empty() {
+        println!("no candidate period visible in window 0..={window} — enlarge it");
+    }
+
+    match UnaryClassTable::from_hashes(3, fast, stats) {
+        Ok(t) => println!(
+            "fit: threshold={} period={} classes={} minimal_pair={:?}",
+            t.threshold,
+            t.period,
+            t.classes.len(),
+            t.minimal_pair()
+        ),
+        Err(e) => println!("fit FAILED: {e}"),
+    }
+}

@@ -237,6 +237,94 @@ fn main() {
             "  \"serve_plan_cache_hit_rate\": {:.4}",
             summary.plan_cache_hit_rate()
         ));
+        // PR 9: the game endpoint's client-side quantiles — the leg the
+        // arith fast path moves (≈67% of game requests in the mix are
+        // same-root pairs the oracle answers without a solver).
+        for op in &summary.per_op {
+            if op.op == "game" {
+                fields.push(format!(
+                    "  \"serve_game_p50_us\": {:.1}",
+                    op.p50.as_nanos() as f64 / 1e3
+                ));
+                fields.push(format!(
+                    "  \"serve_game_p99_us\": {:.1}",
+                    op.p99.as_nanos() as f64 / 1e3
+                ));
+            }
+        }
+    }
+
+    // PR 9: the semilinear arithmetic tier. Warm-table unary verdicts vs
+    // a fresh exact solver on the k = 2 minimal pair (the ≥100×
+    // acceptance ratio), and the unary classify ablation.
+    {
+        use fc_games::arith::ArithOracle;
+        use fc_games::batch::{BatchConfig, BatchSolver, StructureArena};
+        let oracle = ArithOracle::global();
+        let build_k2 = time(|| {
+            // A from-scratch build (the oracle's cached copy was already
+            // warmed by the serve leg above — amortisation is the point,
+            // but this leg records what one cold build costs).
+            use fc_games::arith::{default_window, unary_class_table};
+            assert!(unary_class_table(2, default_window(2)).is_ok());
+        });
+        field(&mut fields, "pr9_unary_table_build_k2", build_k2);
+        let verdicts = time(|| {
+            for _ in 0..10_000 {
+                assert_eq!(oracle.unary_verdict(12, 14, 2), Some(true));
+            }
+        });
+        let per_verdict_us = verdicts.as_secs_f64() * 1e6 / 10_000.0;
+        fields.push(format!(
+            "  \"pr9_arith_verdict_a12_a14_k2_us\": {per_verdict_us:.4}"
+        ));
+        let solver_verdict = time(|| {
+            use fc_games::solver::EfSolver;
+            assert!(EfSolver::of(&"a".repeat(12), &"a".repeat(14)).equivalent(2));
+        });
+        field(&mut fields, "pr9_solver_verdict_a12_a14_k2", solver_verdict);
+        fields.push(format!(
+            "  \"pr9_unary_verdict_speedup\": {:.0}",
+            solver_verdict.as_secs_f64() * 1e6 / per_verdict_us.max(1e-9)
+        ));
+        let unary: Vec<Word> = (0..=20).map(|p| Word::from("a").pow(p)).collect();
+        let classify = |use_arith: bool| {
+            let (arena, ids) = StructureArena::for_words(&unary);
+            let mut batch = BatchSolver::with_config(
+                arena,
+                BatchConfig {
+                    use_arith,
+                    ..BatchConfig::default()
+                },
+            );
+            batch.classify(&ids, 2).len()
+        };
+        let with_arith = time(|| {
+            classify(true);
+        });
+        let exact = time(|| {
+            classify(false);
+        });
+        field(
+            &mut fields,
+            "pr9_unary_classify_arith_k2_limit20",
+            with_arith,
+        );
+        field(&mut fields, "pr9_unary_classify_exact_k2_limit20", exact);
+
+        // The k = 3 headline: minutes of fast-engine sweep, so opt-in via
+        // FC_SNAPSHOT_RANK3=1 (scripts/bench_snapshot.sh sets it).
+        if std::env::var_os("FC_SNAPSHOT_RANK3").is_some() {
+            let t0 = Instant::now();
+            let table = oracle.unary_table(3).expect("rank-3 tail must fit");
+            let build = t0.elapsed();
+            let (p, q) = table.minimal_pair().expect("rank-3 minimal pair");
+            field(&mut fields, "pr9_unary_table_build_k3", build);
+            fields.push(format!("  \"pr9_k3_minimal_pair_p\": {p}"));
+            fields.push(format!("  \"pr9_k3_minimal_pair_q\": {q}"));
+            fields.push(format!("  \"pr9_k3_tail_threshold\": {}", table.threshold));
+            fields.push(format!("  \"pr9_k3_tail_period\": {}", table.period));
+        }
     }
 
     println!("{{\n{}\n}}", fields.join(",\n"));

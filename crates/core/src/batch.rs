@@ -8,14 +8,21 @@
 //! O(m²) concat table per word, per pair) and re-decides verdicts the grid
 //! already knows. This module amortizes all of that:
 //!
-//! - [`StructureArena`] interns each distinct word **once**, builds its
-//!   structure and its invariant [`Fingerprint`] once, and shares the
-//!   structure via `Arc` across every pair the word participates in;
+//! - [`StructureArena`] interns each distinct word **once** and builds its
+//!   structure and its invariant [`Fingerprint`] **lazily**, on the first
+//!   pair that actually needs them, sharing the structure via `Arc` across
+//!   every pair the word participates in. Interning itself only records
+//!   the word and its primitive-root decomposition (O(|w|)), so a batch
+//!   whose pairs are all decided arithmetically never builds a structure
+//!   at all;
 //! - [`BatchSolver`] adds a cross-pair verdict memo (symmetric pairs and
-//!   repeat queries are free), fingerprint-based refutation of
-//!   inequivalent pairs *without* entering the game, union-find class
-//!   merging for [`BatchSolver::classify`], and a work-stealing parallel
-//!   pair grid (`std::thread::scope`) with per-worker solver reuse
+//!   repeat queries are free), an **arithmetic tier** (the process-wide
+//!   [`ArithOracle`]: O(1) class-table verdicts for unary and
+//!   same-primitive-root pairs, confirming *and* refuting, before any
+//!   structure exists), fingerprint-based refutation of inequivalent
+//!   pairs *without* entering the game, union-find class merging for
+//!   [`BatchSolver::classify`], and a work-stealing parallel pair grid
+//!   (`std::thread::scope`) with per-worker solver reuse
 //!   ([`EfSolver::rebind`]).
 //!
 //! Every optimisation is semantically invisible: parallel output equals
@@ -35,10 +42,12 @@
 //! `alphabet_padding_is_verdict_invariant` pins this.
 
 use crate::arena::GamePair;
+use crate::arith::{ArithOracle, PeriodicTable};
 use crate::fingerprint::{rank2_type_profile, Fingerprint, TYPE2_UNIVERSE_CAP};
+use crate::semilinear::fit_tail;
 use crate::solver::{EfSolver, SolverStats};
 use fc_logic::FactorStructure;
-use fc_words::{Alphabet, Word};
+use fc_words::{primitive_root, Alphabet, Word};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -48,23 +57,31 @@ use std::time::{Duration, Instant};
 pub type WordId = usize;
 
 /// Interns words and builds each word's [`FactorStructure`] and
-/// [`Fingerprint`] exactly once, over one shared alphabet.
+/// [`Fingerprint`] lazily, at most once, over one shared alphabet.
+///
+/// Interning records only the word and its primitive-root decomposition;
+/// the O(|w|²) structure is built on the first [`StructureArena::structure`]
+/// / [`StructureArena::fingerprint`] call (all `OnceLock`, so the arena
+/// stays shareable across the parallel grid workers). Pairs decided by the
+/// arithmetic tier therefore cost no structure at all.
 pub struct StructureArena {
     sigma: Alphabet,
     /// Forced structure backend for every interned word, or `None` for the
     /// per-word automatic choice ([`fc_logic::FactorStructure::new`]).
     backend: Option<fc_logic::BackendKind>,
     words: Vec<Word>,
-    structures: Vec<Arc<FactorStructure>>,
-    fingerprints: Vec<Fingerprint>,
+    structures: Vec<OnceLock<Arc<FactorStructure>>>,
+    fingerprints: Vec<OnceLock<Fingerprint>>,
     /// Lazily-memoized rank-2 type profiles (see
     /// [`crate::fingerprint::rank2_type_profile`]): O(|U|²) per word, so
     /// only computed for words whose pairs actually survive the cheap
-    /// fingerprint layers. `OnceLock` keeps the arena shareable across the
-    /// parallel grid workers.
+    /// fingerprint layers.
     rank2: Vec<OnceLock<u64>>,
+    /// `(primitive root, exponent)` per word, computed at intern (O(|w|)
+    /// border scan) — the arithmetic tier's eligibility data.
+    roots: Vec<(Word, usize)>,
     index: HashMap<Word, WordId>,
-    structures_built: u64,
+    structures_built: AtomicU64,
 }
 
 impl StructureArena {
@@ -79,8 +96,9 @@ impl StructureArena {
             structures: Vec::new(),
             fingerprints: Vec::new(),
             rank2: Vec::new(),
+            roots: Vec::new(),
             index: HashMap::new(),
-            structures_built: 0,
+            structures_built: AtomicU64::new(0),
         }
     }
 
@@ -107,8 +125,9 @@ impl StructureArena {
         (arena, ids)
     }
 
-    /// Interns `word`, building its structure and fingerprint on first
-    /// sight; repeat interns are a hash lookup.
+    /// Interns `word`: records it and its primitive-root decomposition.
+    /// The structure and fingerprint are *not* built here — they
+    /// materialise on first use. Repeat interns are a hash lookup.
     ///
     /// # Panics
     /// Panics if `word` uses a symbol outside the arena's alphabet.
@@ -121,18 +140,13 @@ impl StructureArena {
             "arena alphabet {:?} does not cover word {word}",
             self.sigma
         );
-        let structure = Arc::new(match self.backend {
-            Some(kind) => FactorStructure::with_backend(word.clone(), &self.sigma, kind),
-            None => FactorStructure::new(word.clone(), &self.sigma),
-        });
-        let fingerprint = Fingerprint::of(&structure);
         let id = self.words.len();
+        self.roots.push(primitive_root(word.bytes()));
         self.words.push(word.clone());
-        self.structures.push(structure);
-        self.fingerprints.push(fingerprint);
+        self.structures.push(OnceLock::new());
+        self.fingerprints.push(OnceLock::new());
         self.rank2.push(OnceLock::new());
         self.index.insert(word.clone(), id);
-        self.structures_built += 1;
         id
     }
 
@@ -141,28 +155,50 @@ impl StructureArena {
         &self.words[id]
     }
 
-    /// The word's shared structure.
-    pub fn structure(&self, id: WordId) -> &Arc<FactorStructure> {
-        &self.structures[id]
+    /// The word as `root^exponent` with `root` primitive (ε ↦ (ε, 0)),
+    /// precomputed at intern — no structure involved.
+    pub fn primitive_power(&self, id: WordId) -> (&Word, usize) {
+        let (root, exp) = &self.roots[id];
+        (root, *exp)
     }
 
-    /// The word's invariant fingerprint.
+    /// The word's shared structure, built on first request.
+    pub fn structure(&self, id: WordId) -> &Arc<FactorStructure> {
+        self.structures[id].get_or_init(|| {
+            self.structures_built.fetch_add(1, Ordering::Relaxed);
+            Arc::new(match self.backend {
+                Some(kind) => {
+                    FactorStructure::with_backend(self.words[id].clone(), &self.sigma, kind)
+                }
+                None => FactorStructure::new(self.words[id].clone(), &self.sigma),
+            })
+        })
+    }
+
+    /// The word's invariant fingerprint, built (with its structure) on
+    /// first request.
     pub fn fingerprint(&self, id: WordId) -> &Fingerprint {
-        &self.fingerprints[id]
+        self.fingerprints[id].get_or_init(|| Fingerprint::of(self.structure(id)))
     }
 
     /// The word's rank-2 type profile, computed on first request and
-    /// memoized; `None` above [`TYPE2_UNIVERSE_CAP`] (the O(|U|²) pass
-    /// would cost more than the games it could save on long words).
-    pub fn rank2_profile(&self, id: WordId) -> Option<u64> {
-        let s = &self.structures[id];
-        if s.universe_len() > TYPE2_UNIVERSE_CAP {
+    /// memoized; `None` above the `cap` on universe size (the O(|U|²)
+    /// pass would cost more than the games it could save on long words —
+    /// see [`BatchConfig::rank2_universe_cap`]).
+    pub fn rank2_profile(&self, id: WordId, cap: usize) -> Option<u64> {
+        let s = self.structure(id);
+        if s.universe_len() > cap {
             return None;
         }
         Some(*self.rank2[id].get_or_init(|| rank2_type_profile(s)))
     }
 
-    /// Number of distinct words interned (== structures built).
+    /// Number of structures actually built so far (≤ words interned).
+    pub fn structures_built(&self) -> u64 {
+        self.structures_built.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct words interned.
     pub fn len(&self) -> usize {
         self.words.len()
     }
@@ -181,8 +217,8 @@ impl StructureArena {
     /// two `Arc` bumps plus the constant zip and mirror tables; no factor
     /// table is rebuilt.
     pub fn game(&self, i: WordId, j: WordId) -> GamePair {
-        let a = self.structures[i].clone();
-        let b = self.structures[j].clone();
+        let a = self.structure(i).clone();
+        let b = self.structure(j).clone();
         let constant_pairs = a
             .constants_vector()
             .into_iter()
@@ -195,8 +231,14 @@ impl StructureArena {
 /// Counters exposed by the batch engine for benches and report rows.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct BatchStats {
-    /// Distinct structures built by the arena (each word once).
+    /// Distinct structures built by the arena (each word at most once;
+    /// words whose pairs were all decided arithmetically build none).
     pub structures_built: u64,
+    /// Pairs *confirmed* equivalent by the arithmetic tier — no structure,
+    /// no solver.
+    pub arith_confirmations: u64,
+    /// Pairs *refuted* by the arithmetic tier — no structure, no solver.
+    pub arith_refutations: u64,
     /// Pairs refuted by fingerprint inequality, no solver constructed.
     pub fingerprint_refutations: u64,
     /// Pairs refuted by the lazily-computed rank-2 type profile.
@@ -217,6 +259,8 @@ impl BatchStats {
     /// Folds another batch's counters into this one (wall times add).
     pub fn absorb(&mut self, other: &BatchStats) {
         self.structures_built += other.structures_built;
+        self.arith_confirmations += other.arith_confirmations;
+        self.arith_refutations += other.arith_refutations;
         self.fingerprint_refutations += other.fingerprint_refutations;
         self.rank2_refutations += other.rank2_refutations;
         self.pairs_solved += other.pairs_solved;
@@ -231,10 +275,13 @@ impl std::fmt::Display for BatchStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} structures built, {} fingerprint-refuted, {} rank2-refuted, \
+            "{} structures built, {} arith-confirmed, {} arith-refuted, \
+             {} fingerprint-refuted, {} rank2-refuted, \
              {} solver-decided, {} memo hits ({} entries), {} solver states, \
              {:.3?} wall",
             self.structures_built,
+            self.arith_confirmations,
+            self.arith_refutations,
             self.fingerprint_refutations,
             self.rank2_refutations,
             self.pairs_solved,
@@ -255,6 +302,8 @@ impl std::fmt::Display for BatchStats {
 pub struct SharedBatchStats {
     batches: AtomicU64,
     structures_built: AtomicU64,
+    arith_confirmations: AtomicU64,
+    arith_refutations: AtomicU64,
     fingerprint_refutations: AtomicU64,
     rank2_refutations: AtomicU64,
     pairs_solved: AtomicU64,
@@ -274,6 +323,10 @@ impl SharedBatchStats {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.structures_built
             .fetch_add(stats.structures_built, Ordering::Relaxed);
+        self.arith_confirmations
+            .fetch_add(stats.arith_confirmations, Ordering::Relaxed);
+        self.arith_refutations
+            .fetch_add(stats.arith_refutations, Ordering::Relaxed);
         self.fingerprint_refutations
             .fetch_add(stats.fingerprint_refutations, Ordering::Relaxed);
         self.rank2_refutations
@@ -298,6 +351,8 @@ impl SharedBatchStats {
     pub fn snapshot(&self) -> BatchStats {
         BatchStats {
             structures_built: self.structures_built.load(Ordering::Relaxed),
+            arith_confirmations: self.arith_confirmations.load(Ordering::Relaxed),
+            arith_refutations: self.arith_refutations.load(Ordering::Relaxed),
             fingerprint_refutations: self.fingerprint_refutations.load(Ordering::Relaxed),
             rank2_refutations: self.rank2_refutations.load(Ordering::Relaxed),
             pairs_solved: self.pairs_solved.load(Ordering::Relaxed),
@@ -326,6 +381,26 @@ pub struct BatchConfig {
     /// scans and fooling searches enable it; small-word window classify
     /// keeps it off because there the games are cheaper than the profile.
     pub use_rank2_profiles: bool,
+    /// Universe-size cap for the rank-2 profile pass. The conservative
+    /// default [`TYPE2_UNIVERSE_CAP`] protects window classifies, but on
+    /// the fooling searches (E08/E09) the games the profile saves are so
+    /// expensive that the pass pays far beyond it — those sites raise the
+    /// cap to 512.
+    pub rank2_universe_cap: usize,
+    /// Consult the arithmetic oracle ([`ArithOracle`]) before any
+    /// structure or fingerprint exists: unary pairs `aᵖ` vs `a^q` (rank-3
+    /// only from an already-warm table) and same-primitive-root pairs are
+    /// confirmed *or* refuted in O(1) from semilinear class tables.
+    /// Sound by the brute/solver audits (`arith_diff.rs` and the tier's
+    /// own debug assertion); disabling it never changes verdicts.
+    pub use_arith: bool,
+    /// Let the arithmetic tier *build* solver-backed exponent tables for
+    /// non-unary primitive roots ([`PeriodicTable`]). Off by default: the
+    /// build is itself a classify over `u^0..u^window`, worth paying only
+    /// for callers that replay many exponent pairs of one root (`fc game
+    /// --fast`, the serve warm paths). Already-built tables are consulted
+    /// either way.
+    pub arith_periodic: bool,
     /// Threads for the *inner* per-pair solver: `1` = sequential search,
     /// `0` = `equivalent_auto` (one worker per CPU). Grid-level
     /// parallelism is chosen per call site instead (`*_par` methods).
@@ -337,6 +412,9 @@ impl Default for BatchConfig {
         BatchConfig {
             use_fingerprints: true,
             use_rank2_profiles: false,
+            rank2_universe_cap: TYPE2_UNIVERSE_CAP,
+            use_arith: true,
+            arith_periodic: false,
             solver_threads: 1,
         }
     }
@@ -381,7 +459,7 @@ impl BatchSolver {
     /// Counters snapshot (memo entry count taken at call time).
     pub fn stats(&self) -> BatchStats {
         let mut s = self.stats;
-        s.structures_built = self.arena.structures_built;
+        s.structures_built = self.arena.structures_built();
         s.memo_entries = self.verdicts.len() as u64;
         s
     }
@@ -406,6 +484,15 @@ impl BatchSolver {
             self.stats.memo_hits += 1;
             return v;
         }
+        if let Some(eq) = self.arith_verdict(i, j, k) {
+            if eq {
+                self.stats.arith_confirmations += 1;
+            } else {
+                self.stats.arith_refutations += 1;
+            }
+            self.verdicts.insert(key, eq);
+            return eq;
+        }
         if self.config.use_fingerprints {
             let refuted = if self
                 .arena
@@ -415,7 +502,11 @@ impl BatchSolver {
                 self.stats.fingerprint_refutations += 1;
                 true
             } else if self.config.use_rank2_profiles && k >= 2 {
-                match (self.arena.rank2_profile(i), self.arena.rank2_profile(j)) {
+                let cap = self.config.rank2_universe_cap;
+                match (
+                    self.arena.rank2_profile(i, cap),
+                    self.arena.rank2_profile(j, cap),
+                ) {
                     (Some(a), Some(b)) if a != b => {
                         self.stats.rank2_refutations += 1;
                         true
@@ -570,14 +661,69 @@ impl BatchSolver {
         hit
     }
 
+    /// The arithmetic tier: O(1) verdicts for unary and same-primitive-root
+    /// pairs from the process-wide [`ArithOracle`] class tables, before
+    /// any structure or fingerprint exists. `None` when the pair is not
+    /// eligible (distinct primitive roots) or the oracle declines (rank
+    /// above its tables; periodic route disabled or outside its window).
+    ///
+    /// Rank-3 unary verdicts are served only from an *already-warm* table
+    /// ([`ArithOracle::unary_table_ready`]) — a bulk query must not hide
+    /// the multi-second rank-3 build behind one pair.
+    fn arith_verdict(&self, i: WordId, j: WordId, k: u32) -> Option<bool> {
+        if !self.config.use_arith {
+            return None;
+        }
+        // Eligibility pre-filter on the interned roots: different
+        // primitive roots (with neither side ε) can never reach a table.
+        let (ri, _) = self.arena.primitive_power(i);
+        let (rj, _) = self.arena.primitive_power(j);
+        let (wi, wj) = (self.arena.word(i), self.arena.word(j));
+        if ri != rj && !wi.bytes().is_empty() && !wj.bytes().is_empty() {
+            return None;
+        }
+        let periodic = self.config.arith_periodic;
+        let max_len = wi.bytes().len().max(wj.bytes().len());
+        let verdict =
+            ArithOracle::global().verdict_words(wi.bytes(), wj.bytes(), k, false, |root| {
+                if !periodic {
+                    return None;
+                }
+                // Window past both queried exponents, with tail margin.
+                let window = (max_len / root.bytes().len()) as u64 + 8;
+                periodic_table_builder(k, root, window.max(16))
+            })?;
+        let eq = verdict.equivalent;
+        // Differential path: on instances small enough for the exact
+        // solver, an arithmetic verdict must agree with it — disagreement
+        // is a correctness bug, not a missed optimisation. (Direct
+        // GamePair construction, not `arena.game`, so debug builds keep
+        // the arena's laziness observable.)
+        #[cfg(debug_assertions)]
+        if k <= 2 && wi.bytes().len() <= 48 && wj.bytes().len() <= 48 {
+            let direct =
+                EfSolver::new(GamePair::new(wi.clone(), wj.clone(), self.arena.alphabet()))
+                    .equivalent(k);
+            assert_eq!(
+                direct, eq,
+                "arith tier unsoundness: {wi} vs {wj} at k={k} (route {:?})",
+                verdict.route
+            );
+        }
+        Some(eq)
+    }
+
     /// `true` iff the verdict for (a, b) at rank k is not already decided
-    /// by identity, memo, or fingerprint.
+    /// by identity, memo, the arithmetic tier, or fingerprint.
     fn needs_solver(&self, a: WordId, b: WordId, k: u32) -> bool {
         if a == b {
             return false;
         }
         let key = (a.min(b), a.max(b), k);
         if self.verdicts.contains_key(&key) {
+            return false;
+        }
+        if self.arith_verdict(a, b, k).is_some() {
             return false;
         }
         if !self.config.use_fingerprints {
@@ -591,8 +737,11 @@ impl BatchSolver {
             return false;
         }
         if self.config.use_rank2_profiles && k >= 2 {
-            if let (Some(pa), Some(pb)) = (self.arena.rank2_profile(a), self.arena.rank2_profile(b))
-            {
+            let cap = self.config.rank2_universe_cap;
+            if let (Some(pa), Some(pb)) = (
+                self.arena.rank2_profile(a, cap),
+                self.arena.rank2_profile(b, cap),
+            ) {
                 return pa == pb;
             }
         }
@@ -671,6 +820,43 @@ impl BatchSolver {
     }
 }
 
+/// Classifies `root⁰..root^window` with the exact batch solver (one shared
+/// arena, arithmetic tier off — the build must not re-enter the oracle it
+/// is building for) and fits the tail: the solver-backed builder behind
+/// [`ArithOracle::periodic_table`]. Every in-window verdict the resulting
+/// [`PeriodicTable`] serves is a cached exact-solver verdict, so the table
+/// is unconditionally sound; the fitted tail is display-only.
+pub fn periodic_table_builder(k: u32, root: &Word, window: u64) -> Option<PeriodicTable> {
+    if root.bytes().is_empty() {
+        return None;
+    }
+    let words: Vec<Word> = (0..=window).map(|e| root.pow(e as usize)).collect();
+    let (arena, ids) = StructureArena::for_words(&words);
+    let mut batch = BatchSolver::with_config(
+        arena,
+        BatchConfig {
+            use_rank2_profiles: true,
+            use_arith: false,
+            ..BatchConfig::default()
+        },
+    );
+    let classes = batch.classify(&ids, k);
+    let mut class_of = vec![0u32; ids.len()];
+    for (ci, members) in classes.iter().enumerate() {
+        for &pos in members {
+            class_of[pos] = ci as u32;
+        }
+    }
+    let as_hashes: Vec<u128> = class_of.iter().map(|&c| c as u128).collect();
+    Some(PeriodicTable {
+        k,
+        root: root.clone(),
+        window,
+        class_of,
+        tail: fit_tail(&as_hashes),
+    })
+}
+
 /// Minimal union-find over `0..n` with path halving; classes are read back
 /// in first-member order so the partition matches the representative loop
 /// it replaces.
@@ -729,13 +915,33 @@ mod tests {
     }
 
     #[test]
-    fn arena_interns_each_word_once() {
+    fn arena_interns_each_word_once_and_builds_lazily() {
         let words = vec![Word::from("ab"), Word::from("ba"), Word::from("ab")];
         let (arena, ids) = StructureArena::for_words(&words);
         assert_eq!(arena.len(), 2);
         assert_eq!(ids, vec![0, 1, 0]);
         assert_eq!(arena.word(0).as_str(), "ab");
-        assert_eq!(arena.structures_built, 2);
+        // Interning alone builds nothing; first touches build each once.
+        assert_eq!(arena.structures_built(), 0);
+        let first = Arc::as_ptr(arena.structure(0));
+        let _ = arena.fingerprint(0);
+        let _ = arena.fingerprint(1);
+        assert_eq!(
+            Arc::as_ptr(arena.structure(0)),
+            first,
+            "shared, not rebuilt"
+        );
+        assert_eq!(arena.structures_built(), 2);
+    }
+
+    #[test]
+    fn arena_precomputes_primitive_powers() {
+        let words = vec![Word::from("abab"), Word::from("aaa"), Word::from("")];
+        let (arena, ids) = StructureArena::for_words(&words);
+        assert_eq!(arena.primitive_power(ids[0]), (&Word::from("ab"), 2));
+        assert_eq!(arena.primitive_power(ids[1]), (&Word::from("a"), 3));
+        assert_eq!(arena.primitive_power(ids[2]).1, 0);
+        assert_eq!(arena.structures_built(), 0);
     }
 
     #[test]
@@ -783,7 +989,11 @@ mod tests {
         assert!(stats.fingerprint_refutations > 0, "filter should fire");
         assert!(stats.memo_hits > 0, "symmetric half should be free");
         assert!(stats.pairs_solved > 0);
-        assert_eq!(stats.structures_built, words.len() as u64);
+        assert!(
+            stats.arith_confirmations + stats.arith_refutations > 0,
+            "the window's unary pairs should be decided arithmetically"
+        );
+        assert!(stats.structures_built <= words.len() as u64);
     }
 
     #[test]
@@ -851,7 +1061,8 @@ mod tests {
             BatchConfig {
                 use_fingerprints: false,
                 use_rank2_profiles: false,
-                solver_threads: 1,
+                use_arith: false,
+                ..BatchConfig::default()
             },
         );
         for k in 0..=2u32 {
@@ -880,6 +1091,99 @@ mod tests {
         assert_eq!(exps[hit], (3, 4), "minimal rank-1 unary pair");
         // And the first inequivalent pair is the very first probed.
         assert_eq!(batch.find_first_inequivalent(&pairs, 1), Some(0));
+    }
+
+    #[test]
+    fn arith_tier_decides_unary_batches_without_structures() {
+        // A purely unary batch is decided entirely by the semilinear
+        // class tables: zero structures, zero solver runs.
+        let words: Vec<Word> = (0..=20).map(|n| Word::from("a").pow(n)).collect();
+        let (arena, ids) = StructureArena::for_words(&words);
+        let mut batch = BatchSolver::new(arena);
+        for k in 0..=2u32 {
+            let classes = batch.classify(&ids, k);
+            let table = crate::arith::unary_class_table(k, crate::arith::default_window(k))
+                .expect("unary table");
+            // Class partition must match the table's (first-member order).
+            let mut expect: Vec<Vec<usize>> = Vec::new();
+            let mut rep_class: Vec<u32> = Vec::new();
+            for n in 0..=20u64 {
+                let c = table.class_index(n);
+                match rep_class.iter().position(|&r| r == c) {
+                    Some(slot) => expect[slot].push(n as usize),
+                    None => {
+                        rep_class.push(c);
+                        expect.push(vec![n as usize]);
+                    }
+                }
+            }
+            assert_eq!(classes, expect, "k={k}");
+        }
+        let stats = batch.stats();
+        assert_eq!(stats.structures_built, 0, "no structure should be built");
+        assert_eq!(stats.pairs_solved, 0, "no game should be played");
+        assert!(stats.arith_confirmations > 0 && stats.arith_refutations > 0);
+    }
+
+    #[test]
+    fn arith_ablation_is_verdict_invariant() {
+        // Mixed window: unary, periodic, and aperiodic words. Turning the
+        // arithmetic tier off must not change a single verdict.
+        let words = window(3);
+        for k in 0..=2u32 {
+            let (arena, ids) = StructureArena::for_words(&words);
+            let mut with_arith = BatchSolver::new(arena);
+            let (arena2, ids2) = StructureArena::for_words(&words);
+            let mut without_arith = BatchSolver::with_config(
+                arena2,
+                BatchConfig {
+                    use_arith: false,
+                    ..BatchConfig::default()
+                },
+            );
+            assert_eq!(
+                with_arith.all_pairs(&ids, k),
+                without_arith.all_pairs(&ids2, k),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn periodic_builder_matches_solver_and_fits_tail() {
+        let root = Word::from("ab");
+        let table = periodic_table_builder(1, &root, 16).expect("builder");
+        for p in 0..=16u64 {
+            for q in 0..=16u64 {
+                let direct = EfSolver::new(GamePair::of(
+                    root.pow(p as usize).as_str(),
+                    root.pow(q as usize).as_str(),
+                ))
+                .equivalent(1);
+                assert_eq!(table.verdict(p, q), Some(direct), "p={p} q={q}");
+            }
+        }
+        assert_eq!(table.verdict(3, 17), None, "outside the window: decline");
+        assert!(table.tail.is_some(), "(ab)^n classes stabilise quickly");
+    }
+
+    #[test]
+    fn arith_periodic_route_confirms_same_root_pairs() {
+        let words = vec![Word::from("abababab"), Word::from("ababababab")];
+        let (arena, ids) = StructureArena::for_words(&words);
+        let mut batch = BatchSolver::with_config(
+            arena,
+            BatchConfig {
+                arith_periodic: true,
+                ..BatchConfig::default()
+            },
+        );
+        let verdict = batch.equivalent(ids[0], ids[1], 1);
+        let direct = EfSolver::new(GamePair::of("abababab", "ababababab")).equivalent(1);
+        assert_eq!(verdict, direct);
+        let stats = batch.stats();
+        assert_eq!(stats.arith_confirmations + stats.arith_refutations, 1);
+        assert_eq!(stats.structures_built, 0, "decided without structures");
     }
 
     #[test]

@@ -182,7 +182,10 @@ mod tests {
         let sigma = Alphabet::ab();
         let words: Vec<Word> = sigma.words_up_to(3).collect();
         let (_, stats) = classes_with_stats(&words, 1);
-        assert_eq!(stats.structures_built, words.len() as u64);
+        // Lazy arena: at most one structure per word, and the unary words
+        // the arithmetic tier fully absorbs may build none at all.
+        assert!(stats.structures_built <= words.len() as u64);
+        assert!(stats.structures_built > 0);
         assert!(stats.fingerprint_refutations > 0);
         assert!(stats.pairs_solved > 0);
     }

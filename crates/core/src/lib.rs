@@ -28,6 +28,13 @@
 //!   drivers behind E03/E24/E15 run on it;
 //! - [`fingerprint`]: cheap ≡_k-invariant fingerprints used to refute
 //!   inequivalent pairs without entering the game;
+//! - [`arith`] + [`semilinear`]: the semilinear arithmetic tier —
+//!   O(1) `u^p ≡_k u^q` verdicts from per-(k, root) class tables
+//!   (unary tables from an audited abstraction-key engine, non-unary
+//!   roots from solver-backed exponent tables), the first rank-3
+//!   minimal unary pair, and the [`arith::ArithOracle`] consulted by
+//!   the batch engine, `fc serve`, and `fc game --fast`
+//!   (docs/SOLVER.md §8);
 //! - [`fooling`]: the Fooling Lemma (Lemma 4.13) driver — constructs
 //!   fooling pairs `(w ∈ L, v ∉ L, w ≡_k v)` and confirms them with the
 //!   solver;
@@ -38,6 +45,7 @@
 //! - [`pebble`]: p-pebble games for finite-variable FC (§7).
 
 pub mod arena;
+pub mod arith;
 pub mod batch;
 pub mod certificate;
 pub mod existential;
@@ -49,6 +57,7 @@ pub mod partial_iso;
 pub mod pebble;
 pub mod pow2;
 pub mod reference;
+pub mod semilinear;
 pub mod shards;
 pub mod solver;
 pub mod strategies;
@@ -56,6 +65,7 @@ pub mod strategy;
 pub mod trace;
 
 pub use arena::{GamePair, Side};
+pub use arith::{ArithOracle, ArithRoute, ArithVerdict, ARITH_MAX_RANK};
 pub use batch::{BatchConfig, BatchSolver, BatchStats, SharedBatchStats, StructureArena, WordId};
 pub use fingerprint::Fingerprint;
 pub use shards::{ShardRef, ShardedArena};

@@ -1,0 +1,254 @@
+//! Unary ≡_k class tables with semilinear certificates.
+//!
+//! [`crate::arith`] computes the rank-k type hash of every `aⁿ` on a scan
+//! window; this module turns that vector into the object Lemma 3.6 talks
+//! about: the ≡_k partition of `{aⁿ}` as a *semilinear* family — finitely
+//! many singleton classes below a threshold `T`, then `P` arithmetic
+//! progressions of period `P`. The certificate is only accepted when the
+//! window shows the tail stable for ≥ [`UnaryClassTable::MARGIN_PERIODS`]
+//! periods past `T`; verdicts for exponents beyond the window reduce to
+//! `T + ((n − T) mod P)`, which is exact *given* the certificate (any
+//! eventually-periodic set — and Lemma 3.6 guarantees the classes are
+//! semilinear, hence eventually periodic — that is stable this long on the
+//! window has this tail).
+
+use crate::arith::ArithBuildStats;
+use fc_words::semilinear::{LinearSet, SemilinearSet};
+
+/// Why a class-table build was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClassTableError {
+    /// No period ≤ window/MARGIN explains the tail on this window.
+    TailNotStable {
+        /// The window that was scanned.
+        window: u64,
+    },
+}
+
+impl std::fmt::Display for ClassTableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClassTableError::TailNotStable { window } => {
+                write!(f, "≡_k tail not stable with margin on window 0..={window}")
+            }
+        }
+    }
+}
+
+/// The ≡_k classes of `{aⁿ : n ≤ window}` plus the fitted periodic tail.
+pub struct UnaryClassTable {
+    /// The rank.
+    pub k: u32,
+    /// Exponents `0..=window` are covered exactly.
+    pub window: u64,
+    /// Rank-k type hash per exponent (index = n).
+    hashes: Vec<u128>,
+    /// First exponent of the periodic tail.
+    pub threshold: u64,
+    /// Tail period.
+    pub period: u64,
+    /// Class index per exponent, in first-appearance order.
+    pub class_of: Vec<u32>,
+    /// Classes as sorted exponent lists (window view).
+    pub classes: Vec<Vec<u64>>,
+    /// Fast-engine build counters.
+    pub build_stats: ArithBuildStats,
+}
+
+impl UnaryClassTable {
+    /// Periods of post-threshold stability the window must exhibit before
+    /// the tail certificate is accepted.
+    pub const MARGIN_PERIODS: u64 = 4;
+
+    /// Fits the tail and groups classes from a per-exponent hash vector.
+    pub fn from_hashes(
+        k: u32,
+        hashes: Vec<u128>,
+        build_stats: ArithBuildStats,
+    ) -> Result<UnaryClassTable, ClassTableError> {
+        let window = hashes.len() as u64 - 1;
+        let (threshold, period) =
+            fit_tail(&hashes).ok_or(ClassTableError::TailNotStable { window })?;
+        let mut class_of = Vec::with_capacity(hashes.len());
+        let mut reps: Vec<u128> = Vec::new();
+        let mut classes: Vec<Vec<u64>> = Vec::new();
+        for (n, &h) in hashes.iter().enumerate() {
+            let id = match reps.iter().position(|&r| r == h) {
+                Some(i) => i,
+                None => {
+                    reps.push(h);
+                    classes.push(Vec::new());
+                    reps.len() - 1
+                }
+            };
+            class_of.push(id as u32);
+            classes[id].push(n as u64);
+        }
+        Ok(UnaryClassTable {
+            k,
+            window,
+            hashes,
+            threshold,
+            period,
+            class_of,
+            classes,
+            build_stats,
+        })
+    }
+
+    /// Reduces an exponent into the window through the certified tail.
+    pub fn reduce(&self, n: u64) -> u64 {
+        if n <= self.window {
+            n
+        } else {
+            self.threshold + (n - self.threshold) % self.period
+        }
+    }
+
+    /// `aᵖ ≡_k a^q` — O(1), any exponents.
+    pub fn verdict(&self, p: u64, q: u64) -> bool {
+        self.hashes[self.reduce(p) as usize] == self.hashes[self.reduce(q) as usize]
+    }
+
+    /// The type hash of `aⁿ` (tail-reduced).
+    pub fn type_hash(&self, n: u64) -> u128 {
+        self.hashes[self.reduce(n) as usize]
+    }
+
+    /// The class index of `aⁿ` (tail-reduced).
+    pub fn class_index(&self, n: u64) -> u32 {
+        self.class_of[self.reduce(n) as usize]
+    }
+
+    /// The minimal pair `p < q` with `aᵖ ≡_k a^q`, ordered by `(q, p)` —
+    /// the same definitional order as [`crate::pow2::minimal_unary_pair`].
+    pub fn minimal_pair(&self) -> Option<(u64, u64)> {
+        for q in 0..self.hashes.len() {
+            for p in 0..q {
+                if self.hashes[p] == self.hashes[q] {
+                    return Some((p as u64, q as u64));
+                }
+            }
+        }
+        None
+    }
+
+    /// Each class as a semilinear set: singletons below the threshold,
+    /// `offset + period·ℕ` parts for the classes that reach the tail.
+    pub fn semilinear_classes(&self) -> Vec<SemilinearSet> {
+        self.classes
+            .iter()
+            .map(|members| {
+                let mut parts = Vec::new();
+                for &n in members {
+                    if n >= self.threshold && n < self.threshold + self.period {
+                        parts.push(LinearSet::new(n, [self.period]));
+                    } else if n < self.threshold {
+                        parts.push(LinearSet::singleton(n));
+                    }
+                    // Members past threshold+period are generated by the
+                    // arithmetic part anchored in [threshold, threshold+period).
+                }
+                SemilinearSet::new(parts)
+            })
+            .collect()
+    }
+
+    /// Human-readable certificate: the threshold/period plus each class.
+    pub fn certificate(&self) -> String {
+        let mut out = format!(
+            "rank {}: {} classes on 0..={}, tail threshold {} period {} (stable ≥ {} periods)\n",
+            self.k,
+            self.classes.len(),
+            self.window,
+            self.threshold,
+            self.period,
+            (self.window - self.threshold) / self.period,
+        );
+        for (i, s) in self.semilinear_classes().iter().enumerate() {
+            let parts: Vec<String> = s
+                .parts
+                .iter()
+                .map(|l| {
+                    if l.periods.is_empty() {
+                        format!("{{{}}}", l.offset)
+                    } else {
+                        format!("{{{} + {}·ℕ}}", l.offset, l.periods[0])
+                    }
+                })
+                .collect();
+            out.push_str(&format!("  class {}: {}\n", i + 1, parts.join(" ∪ ")));
+        }
+        out
+    }
+}
+
+/// The smallest `(threshold, period)` with `hash[n] = hash[n + P]` for all
+/// `n ∈ [T, window − P]`, requiring ≥ MARGIN_PERIODS periods of evidence.
+/// Exposed for the periodic-table builder in [`crate::batch`], which fits
+/// the same shape over class indices instead of type hashes.
+pub fn fit_tail(hashes: &[u128]) -> Option<(u64, u64)> {
+    let len = hashes.len() as u64;
+    for period in 1..=len / (UnaryClassTable::MARGIN_PERIODS + 1) {
+        // Smallest threshold for this period: scan back from the window end.
+        let mut t = len - period;
+        while t > 0 && hashes[t as usize - 1] == hashes[(t - 1 + period) as usize] {
+            t -= 1;
+        }
+        if len - period >= t && (len - period - t) / period >= UnaryClassTable::MARGIN_PERIODS {
+            return Some((t, period));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_from(hashes: Vec<u128>) -> Result<UnaryClassTable, ClassTableError> {
+        UnaryClassTable::from_hashes(9, hashes, ArithBuildStats::default())
+    }
+
+    #[test]
+    fn fit_finds_smallest_threshold_and_period() {
+        // 0 1 2 3 4 3 4 3 4 3 4 3 4 : T = 3, P = 2.
+        let h: Vec<u128> = [0u128, 1, 2, 3, 4, 3, 4, 3, 4, 3, 4, 3, 4].to_vec();
+        let t = table_from(h).expect("stable");
+        assert_eq!((t.threshold, t.period), (3, 2));
+        assert!(t.verdict(3, 5) && t.verdict(4, 100_000_000));
+        assert!(!t.verdict(3, 4) && !t.verdict(0, 2));
+        assert_eq!(t.minimal_pair(), Some((3, 5)));
+    }
+
+    #[test]
+    fn margin_is_enforced() {
+        // Periodic only for 2 trailing periods: rejected.
+        let h: Vec<u128> = [0u128, 1, 2, 3, 4, 5, 6, 5, 6].to_vec();
+        assert!(table_from(h).is_err());
+    }
+
+    #[test]
+    fn constant_tail_is_period_one() {
+        let h: Vec<u128> = [7u128, 8, 9, 9, 9, 9, 9, 9, 9, 9].to_vec();
+        let t = table_from(h).expect("stable");
+        assert_eq!((t.threshold, t.period), (2, 1));
+        assert_eq!(t.classes.len(), 3);
+        assert_eq!(t.class_index(1_000_000), t.class_index(2));
+    }
+
+    #[test]
+    fn semilinear_certificates_match_membership() {
+        let h: Vec<u128> = [0u128, 1, 2, 3, 4, 3, 4, 3, 4, 3, 4, 3, 4].to_vec();
+        let t = table_from(h).expect("stable");
+        let sets = t.semilinear_classes();
+        assert_eq!(sets.len(), t.classes.len());
+        for n in 0..=200u64 {
+            let class = t.class_index(n) as usize;
+            for (i, s) in sets.iter().enumerate() {
+                assert_eq!(s.contains(n), i == class, "n={n} set={i}");
+            }
+        }
+        assert!(t.certificate().contains("threshold 3 period 2"));
+    }
+}

@@ -79,7 +79,8 @@ fn fingerprint_path_is_invisible() {
             BatchConfig {
                 use_fingerprints: false,
                 use_rank2_profiles: false,
-                solver_threads: 1,
+                use_arith: false,
+                ..BatchConfig::default()
             },
         );
         assert_eq!(

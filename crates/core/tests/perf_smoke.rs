@@ -63,3 +63,49 @@ fn batch_classify_window4_rank2_within_budget() {
         "batch classify perf regression: took {elapsed:?} (budget {budget:?})"
     );
 }
+
+#[test]
+fn e08_e09_fooling_scan_within_budget_and_profile_pruned() {
+    // PR-9 regression tripwire: the E08/E09 fooling scans at limit 20 had
+    // crept from ~0.21 s / ~0.72 s (PR-2) to ~0.86 s / ~2.7 s because the
+    // scan words' rank-2 type profiles were silently skipped — their
+    // universes exceed the default `rank2_universe_cap`, so every
+    // same-class candidate pair went to the full solver. `fooling::batch`
+    // now raises the cap to 512; the stats assertions below pin the
+    // *mechanism* (nearly everything profile- or arith-refuted, at most a
+    // few games played), which trips deterministically even on noisy or
+    // contended machines, and the generous wall budget catches only
+    // order-of-magnitude collapses.
+    use fc_games::fooling::FoolingInstance;
+    let budget = Duration::from_secs(25);
+    for (name, part_b, expected_states) in [("E08", "b", 3292u64), ("E09", "ba", 7015)] {
+        let inst = FoolingInstance::new("", "a", "", part_b, "", |p| p).expect("co-primitive");
+        let start = Instant::now();
+        let (pair, stats) = inst.fooling_pair_with_stats(2, 20);
+        let elapsed = start.elapsed();
+        let pair = pair.expect("rank-2 fooling pair exists at limit 20");
+        assert_eq!((pair.p, pair.q), (12, 14), "{name} scan verdict regressed");
+        println!("{name} scan limit 20: {elapsed:.3?} wall, [batch: {stats}]");
+        assert!(
+            stats.pairs_solved <= 5,
+            "{name}: {} pairs reached the solver — the rank-2 profile gate \
+             is no longer firing on the scan words",
+            stats.pairs_solved
+        );
+        assert!(
+            stats.rank2_refutations >= 50,
+            "{name}: only {} rank-2 profile refutations",
+            stats.rank2_refutations
+        );
+        // The one game that is played must stay the optimized-solver size.
+        assert!(
+            stats.solver.states_explored <= 4 * expected_states,
+            "{name}: solver explored {} states (expected ~{expected_states})",
+            stats.solver.states_explored
+        );
+        assert!(
+            elapsed < budget,
+            "{name} scan perf regression: took {elapsed:?} (budget {budget:?})"
+        );
+    }
+}

@@ -206,6 +206,7 @@ impl PaperLanguage {
                 use_fingerprints: true,
                 use_rank2_profiles: true,
                 solver_threads: 1,
+                ..BatchConfig::default()
             },
         );
         for (inside, outside, exponents) in candidates {

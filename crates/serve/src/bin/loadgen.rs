@@ -72,6 +72,12 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             "throughput {:.0} q/s   latency p50 {:.2?}  p99 {:.2?}  max {:.2?}",
             summary.throughput_qps, summary.p50, summary.p99, summary.max
         );
+        for op in &summary.per_op {
+            println!(
+                "  {:<10} {:>7} reqs   p50 {:.2?}  p99 {:.2?}",
+                op.op, op.count, op.p50, op.p99
+            );
+        }
         println!(
             "plan cache: {} hits / {} misses (hit rate {:.1}%)",
             summary.plan_cache_hits,

@@ -23,9 +23,10 @@
 //! `stats` endpoint. The concurrency differential suite relies on this.
 
 use crate::json::{self, Value};
+use fc_games::batch::periodic_table_builder;
 use fc_games::{
-    BatchSolver, EfSolver, GamePair, ShardRef, ShardedArena, SharedBatchStats, SharedSolverStats,
-    StructureArena,
+    ArithOracle, BatchSolver, EfSolver, GamePair, ShardRef, ShardedArena, SharedBatchStats,
+    SharedSolverStats, StructureArena,
 };
 use fc_logic::analysis::{self, AnalysisConfig, Analyzer};
 use fc_logic::eval::Assignment;
@@ -110,12 +111,62 @@ pub struct Response {
     pub shutdown: bool,
 }
 
+/// Log₂-bucketed latency histogram: bucket `b` counts requests with
+/// round-trip time in `[2^b, 2^(b+1))` microseconds (bucket 0 also takes
+/// sub-microsecond requests). 32 buckets reach ~71 minutes — far beyond
+/// any request this engine serves.
+const LATENCY_BUCKETS: usize = 32;
+
 /// Per-endpoint counters (all relaxed atomics; read by `stats`).
-#[derive(Default)]
 struct EndpointMetrics {
     count: AtomicU64,
     errors: AtomicU64,
     wall_nanos: AtomicU64,
+    latency: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Default for EndpointMetrics {
+    fn default() -> EndpointMetrics {
+        EndpointMetrics {
+            count: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            wall_nanos: AtomicU64::new(0),
+            latency: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl EndpointMetrics {
+    fn record_latency(&self, nanos: u64) {
+        let micros = nanos / 1_000;
+        let bucket = (u64::BITS - micros.leading_zeros()).saturating_sub(1) as usize;
+        self.latency[bucket.min(LATENCY_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The `q`-quantile as the upper edge of the histogram bucket holding
+    /// it, in milliseconds (0 when nothing was recorded). Bucket edges are
+    /// exact powers of two of a microsecond, so the estimate is within 2×
+    /// — plenty for the tail-visibility question the endpoint answers.
+    fn quantile_ms(&self, q: f64) -> f64 {
+        let counts: Vec<u64> = self
+            .latency
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((total as f64 * q).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (b, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return (1u64 << (b + 1)) as f64 / 1e3;
+            }
+        }
+        (1u64 << LATENCY_BUCKETS) as f64 / 1e3
+    }
 }
 
 /// The shared engine. One instance serves every connection and worker;
@@ -129,6 +180,8 @@ pub struct ServiceEngine {
     solver_stats: SharedSolverStats,
     batch_stats: SharedBatchStats,
     endpoints: Vec<EndpointMetrics>,
+    /// `game` requests answered by the arithmetic fast path (no game).
+    arith_game_hits: AtomicU64,
     requests: AtomicU64,
     protocol_errors: AtomicU64,
     started: Instant,
@@ -169,7 +222,17 @@ fn parse_request_formula(req: &Value) -> Result<Formula, String> {
 
 impl ServiceEngine {
     /// Builds an engine with the given limits and an empty document store.
+    ///
+    /// Warms the rank ≤ 2 unary class tables of the process-wide
+    /// [`ArithOracle`] (a few milliseconds, once per process), so the
+    /// `game`/`classify` arithmetic fast path is hot — and its route
+    /// deterministic — from the first request. The rank-3 table is *not*
+    /// warmed: its build is minutes, which only deliberate offline
+    /// callers (the E03 runner, `fc game --fast`) should pay for.
     pub fn new(config: EngineConfig) -> ServiceEngine {
+        for k in 0..=2 {
+            let _ = ArithOracle::global().unary_table(k);
+        }
         ServiceEngine {
             plans: PlanCache::new(config.plan_cache_capacity),
             config,
@@ -179,6 +242,7 @@ impl ServiceEngine {
             solver_stats: SharedSolverStats::new(),
             batch_stats: SharedBatchStats::new(),
             endpoints: (0..OPS.len()).map(|_| EndpointMetrics::default()).collect(),
+            arith_game_hits: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
             started: Instant::now(),
@@ -224,9 +288,9 @@ impl ServiceEngine {
         };
         let metrics = &self.endpoints[idx];
         metrics.count.fetch_add(1, Ordering::Relaxed);
-        metrics
-            .wall_nanos
-            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let nanos = t0.elapsed().as_nanos() as u64;
+        metrics.wall_nanos.fetch_add(nanos, Ordering::Relaxed);
+        metrics.record_latency(nanos);
 
         let mut members = match result {
             Ok(payload) => {
@@ -477,6 +541,26 @@ impl ServiceEngine {
             }
         }
         let k = self.game_rounds(req)?;
+        // Arithmetic fast path: unary and same-primitive-root pairs are
+        // answered from the oracle's semilinear class tables — no
+        // structure, no game. The response is byte-identical to the
+        // solver's (the tables are solver/brute-audited), so which route
+        // ran is visible only in `stats`. Rank-3 unary answers come only
+        // from an already-warm table (see [`ServiceEngine::new`]); the
+        // periodic route classifies `u^0..u^window` once per (k, root)
+        // and is O(1) afterwards.
+        if let Some(verdict) =
+            ArithOracle::global().verdict_words(w.as_bytes(), v.as_bytes(), k, false, |root| {
+                let max_exp = (w.len().max(v.len()) / root.bytes().len()) as u64;
+                periodic_table_builder(k, root, (max_exp + 8).max(16))
+            })
+        {
+            self.arith_game_hits.fetch_add(1, Ordering::Relaxed);
+            let mut payload = Payload::new();
+            payload.insert("equivalent".to_string(), Value::Bool(verdict.equivalent));
+            payload.insert("k".to_string(), num(u64::from(k)));
+            return Ok(payload);
+        }
         let game = GamePair::of(w, v);
         let solver = match scratch.solver.as_mut() {
             Some(s) => {
@@ -627,6 +711,8 @@ impl ServiceEngine {
                         "wall_ms",
                         Value::Number(m.wall_nanos.load(Ordering::Relaxed) as f64 / 1e6),
                     ),
+                    ("p50_ms", Value::Number(m.quantile_ms(0.50))),
+                    ("p99_ms", Value::Number(m.quantile_ms(0.99))),
                 ]),
             );
         }
@@ -700,6 +786,8 @@ impl ServiceEngine {
             Value::object([
                 ("batches", num(self.batch_stats.batches())),
                 ("structures_built", num(batch.structures_built)),
+                ("arith_confirmations", num(batch.arith_confirmations)),
+                ("arith_refutations", num(batch.arith_refutations)),
                 (
                     "fingerprint_refutations",
                     num(batch.fingerprint_refutations),
@@ -710,6 +798,13 @@ impl ServiceEngine {
                 ("solver_states", num(batch.solver.states_explored)),
                 ("wall_ms", Value::Number(batch.wall.as_nanos() as f64 / 1e6)),
             ]),
+        );
+        payload.insert(
+            "arith".to_string(),
+            Value::object([(
+                "game_hits",
+                num(self.arith_game_hits.load(Ordering::Relaxed)),
+            )]),
         );
         payload
     }
@@ -789,6 +884,41 @@ mod tests {
         let resp = e.handle(r#"{"op":"classify","words":["aaa","aaaa"],"k":1}"#);
         let one_class = resp.contains("[[0,1]]");
         assert_eq!(eq1, one_class, "{resp}");
+    }
+
+    #[test]
+    fn game_fast_path_hits_and_agrees_with_solver() {
+        let e = engine();
+        // Unary pair: answered arithmetically, counted in stats.
+        let resp = e.handle(r#"{"op":"game","w":"aaaaaaaaaaaa","v":"aaaaaaaaaaaaaa","k":2}"#);
+        assert!(resp.contains(r#""equivalent":true"#), "{resp}"); // a¹² ≡₂ a¹⁴
+                                                                  // Same primitive root: periodic route (table built on first use).
+        let resp = e.handle(r#"{"op":"game","w":"ababab","v":"abababab","k":1}"#);
+        let direct = EfSolver::new(GamePair::of("ababab", "abababab")).equivalent(1);
+        assert_eq!(resp.contains(r#""equivalent":true"#), direct, "{resp}");
+        let stats = e.handle(r#"{"op":"stats"}"#);
+        let v = json::parse(&stats).unwrap();
+        let hits = v.get("arith").unwrap().get("game_hits").unwrap().as_f64();
+        assert_eq!(hits, Some(2.0), "{stats}");
+        // Aperiodic pair: solver route, counter unchanged.
+        e.handle(r#"{"op":"game","w":"ab","v":"ba","k":1}"#);
+        let stats = e.handle(r#"{"op":"stats"}"#);
+        let v = json::parse(&stats).unwrap();
+        let hits = v.get("arith").unwrap().get("game_hits").unwrap().as_f64();
+        assert_eq!(hits, Some(2.0), "{stats}");
+    }
+
+    #[test]
+    fn endpoint_stats_carry_latency_quantiles() {
+        let e = engine();
+        for _ in 0..20 {
+            e.handle(r#"{"op":"ping"}"#);
+        }
+        let v = json::parse(&e.handle(r#"{"op":"stats"}"#)).unwrap();
+        let ping = v.get("endpoints").unwrap().get("ping").unwrap();
+        let p50 = ping.get("p50_ms").unwrap().as_f64().unwrap();
+        let p99 = ping.get("p99_ms").unwrap().as_f64().unwrap();
+        assert!(p50 > 0.0 && p99 >= p50, "p50={p50} p99={p99}");
     }
 
     #[test]

@@ -297,8 +297,25 @@ pub struct LoadgenSummary {
     pub plan_cache_hits: u64,
     /// Plan-cache misses reported by the server's final `stats` answer.
     pub plan_cache_misses: u64,
+    /// Per-endpoint latency breakdown, sorted by op name. Ops are read
+    /// back from the workload lines *after* the timed replay, so the
+    /// breakdown adds no work to the measured section.
+    pub per_op: Vec<OpLatency>,
     /// The server's final `stats` response line, verbatim.
     pub stats_line: String,
+}
+
+/// Client-side latency quantiles for one endpoint of the mix.
+#[derive(Clone, Debug)]
+pub struct OpLatency {
+    /// Endpoint name (the request's `op` field).
+    pub op: String,
+    /// Requests of this op in the replay.
+    pub count: u64,
+    /// Median round-trip latency for this op.
+    pub p50: Duration,
+    /// 99th-percentile round-trip latency for this op.
+    pub p99: Duration,
 }
 
 impl LoadgenSummary {
@@ -313,9 +330,11 @@ impl LoadgenSummary {
     }
 
     /// Flat JSON rendering (the shape `scripts/bench_snapshot.sh`
-    /// consumes).
+    /// consumes). Per-op quantiles flatten to `serve_<op>_p50_us` /
+    /// `serve_<op>_p99_us` keys.
     pub fn to_json(&self) -> Value {
-        Value::object([
+        let us = |d: Duration| Value::Number(d.as_nanos() as f64 / 1e3);
+        let mut obj: std::collections::BTreeMap<String, Value> = [
             ("loadgen_requests", Value::Number(self.requests as f64)),
             ("loadgen_errors", Value::Number(self.errors as f64)),
             (
@@ -323,18 +342,9 @@ impl LoadgenSummary {
                 Value::Number(self.wall.as_secs_f64() * 1e3),
             ),
             ("serve_throughput_qps", Value::Number(self.throughput_qps)),
-            (
-                "serve_p50_us",
-                Value::Number(self.p50.as_nanos() as f64 / 1e3),
-            ),
-            (
-                "serve_p99_us",
-                Value::Number(self.p99.as_nanos() as f64 / 1e3),
-            ),
-            (
-                "serve_max_us",
-                Value::Number(self.max.as_nanos() as f64 / 1e3),
-            ),
+            ("serve_p50_us", us(self.p50)),
+            ("serve_p99_us", us(self.p99)),
+            ("serve_max_us", us(self.max)),
             (
                 "serve_plan_cache_hits",
                 Value::Number(self.plan_cache_hits as f64),
@@ -347,7 +357,19 @@ impl LoadgenSummary {
                 "serve_plan_cache_hit_rate",
                 Value::Number(self.plan_cache_hit_rate()),
             ),
-        ])
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+        for op in &self.per_op {
+            obj.insert(
+                format!("serve_{}_count", op.op),
+                Value::Number(op.count as f64),
+            );
+            obj.insert(format!("serve_{}_p50_us", op.op), us(op.p50));
+            obj.insert(format!("serve_{}_p99_us", op.op), us(op.p99));
+        }
+        Value::Object(obj)
     }
 }
 
@@ -406,12 +428,35 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenSummary> {
 
     let mut errors = 0u64;
     let mut latencies = Vec::with_capacity(lines.len());
-    for r in per_client {
+    // Per-client latency vectors are aligned with their line chunks, so
+    // zipping them back recovers each sample's request line; the op field
+    // is only parsed out here, after the clock stopped.
+    let mut by_op: std::collections::BTreeMap<String, Vec<u64>> = Default::default();
+    for (slice, r) in lines.chunks(chunk).zip(per_client) {
         let (e, lat) = r?;
         errors += e;
+        for (line, &nanos) in slice.iter().zip(&lat) {
+            let op = json::parse(line)
+                .ok()
+                .and_then(|v| v.get("op").and_then(Value::as_str).map(String::from))
+                .unwrap_or_else(|| "?".into());
+            by_op.entry(op).or_default().push(nanos);
+        }
         latencies.extend(lat);
     }
     latencies.sort_unstable();
+    let per_op = by_op
+        .into_iter()
+        .map(|(op, mut lat)| {
+            lat.sort_unstable();
+            OpLatency {
+                op,
+                count: lat.len() as u64,
+                p50: percentile(&lat, 0.50),
+                p99: percentile(&lat, 0.99),
+            }
+        })
+        .collect();
 
     let stats_line = control.round_trip(r#"{"op":"stats"}"#)?;
     let stats = json::parse(&stats_line)
@@ -433,6 +478,7 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenSummary> {
         max: percentile(&latencies, 1.0),
         plan_cache_hits: cache_counter("hits"),
         plan_cache_misses: cache_counter("misses"),
+        per_op,
         stats_line,
     };
     if config.shutdown {

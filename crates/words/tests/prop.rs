@@ -35,6 +35,19 @@ proptest! {
     }
 
     #[test]
+    fn primitive_root_matches_naive_divisor_scan(w in word_abc(30)) {
+        // Definitional oracle: the primitive root is w[..d] for the
+        // smallest divisor d of |w| with w = (w[..d])^(|w|/d).
+        prop_assume!(!w.is_empty());
+        let naive = (1..=w.len())
+            .filter(|d| w.len() % d == 0)
+            .map(|d| (Word::from_bytes(w.bytes()[..d].to_vec()), w.len() / d))
+            .find(|(u, e)| u.pow(*e) == w)
+            .expect("d = |w| always works");
+        prop_assert_eq!(primitive_root(w.bytes()), naive);
+    }
+
+    #[test]
     fn powers_of_len_ge_2_are_imprimitive(w in word(10), k in 2usize..4) {
         prop_assume!(!w.is_empty());
         prop_assert!(!is_primitive(w.pow(k).bytes()));

@@ -4,19 +4,27 @@
 # latency) on the naive and batch paths and writes BENCH_PR<N>.json at the
 # repo root.
 #
-# Usage: scripts/bench_snapshot.sh [N]     (from anywhere; default N = 8)
+# Usage: scripts/bench_snapshot.sh [N]     (from anywhere; default N = 9)
+#
+# For PR >= 9 the snapshot also computes the rank-3 unary class table
+# (FC_SNAPSHOT_RANK3=1): a minutes-long fast-engine sweep that records the
+# k = 3 minimal pair and its semilinear tail in the JSON.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-PR="${1:-8}"
+PR="${1:-9}"
 OUT="BENCH_PR${PR}.json"
 
 echo "==> building snapshot binary (release)"
 cargo build --release --offline -p fc-bench --bin snapshot
 
 echo "==> timing headline workloads"
-./target/release/snapshot > "$OUT"
+if [ "$PR" -ge 9 ]; then
+  FC_SNAPSHOT_RANK3=1 ./target/release/snapshot > "$OUT"
+else
+  ./target/release/snapshot > "$OUT"
+fi
 
 echo "==> wrote $OUT"
 cat "$OUT"

@@ -15,8 +15,11 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release --offline
 cargo test -q --offline
 
-echo "==> solver perf smokes (E08 confirmation + P9 batch classify on Σ^≤4 k=2, release, generous budgets)"
+echo "==> solver perf smokes (E08 confirmation + P9 batch classify on Σ^≤4 k=2 + E08/E09 scan tripwires, release, generous budgets)"
 cargo test -q --offline --release -p fc-games --test perf_smoke -- --nocapture
+
+echo "==> arith-tier acceptance grid (u^p vs u^q, |u| <= 3, p,q <= 20, k <= 2, release; debug builds run the reduced grid in tier-1)"
+cargo test -q --offline --release -p fc-games --test arith_diff
 
 echo "==> eval + structure perf smokes (phi_fib n = 4 member; succinct backend on |w| = 10^4; release, generous budgets)"
 cargo test -q --offline --release -p fc-logic --test perf_smoke -- --nocapture

@@ -4,7 +4,11 @@
 //! fc check  '<formula>' <word> [--stats] [--backend B]  model-check a sentence
 //! fc solve  '<formula>' <word> [--stats] [--backend B]  print all assignments
 //! fc lint   '<formula>' [flags]       diagnostics (see docs/ANALYSIS.md)
-//! fc game   <w> <v> <k>               decide w ≡_k v, show a winning line
+//! fc game   <w> <v> <k> [--fast]      decide w ≡_k v, show a winning line
+//!                                     (--fast: semilinear arithmetic oracle
+//!                                     for powers of a shared primitive root,
+//!                                     with the certificate; falls back to
+//!                                     the solver when ineligible)
 //! fc classes <k> <max_exponent>       unary ≡_k class table (Lemma 3.6)
 //! fc fooling <lang> <k> [limit]       fooling pair for anbn | L1..L6
 //! fc bounded '<regex>'                boundedness of a regular language
@@ -295,11 +299,25 @@ fn cmd_lint(args: &[String]) -> ExitCode {
 }
 
 fn cmd_game(args: &[String]) -> Result<(), String> {
-    let w = need(args, 0, "w")?;
-    let v = need(args, 1, "v")?;
-    let k: u32 = need(args, 2, "k")?
+    let mut pos: Vec<&str> = Vec::new();
+    let mut fast = false;
+    for arg in args {
+        match arg.as_str() {
+            "--fast" => fast = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
+            other => pos.push(other),
+        }
+    }
+    let w = *pos.first().ok_or("missing argument: w")?;
+    let v = *pos.get(1).ok_or("missing argument: v")?;
+    let k: u32 = pos
+        .get(2)
+        .ok_or("missing argument: k")?
         .parse()
         .map_err(|_| "k must be a number".to_string())?;
+    if fast && game_fast(w, v, k)? {
+        return Ok(());
+    }
     let mut solver = EfSolver::of(w, v);
     let verdict = solver.equivalent_auto(k);
     let stats = solver.stats();
@@ -337,6 +355,96 @@ fn cmd_game(args: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// `fc game --fast`: try the semilinear arithmetic oracle before touching
+/// the game solver. Returns `Ok(true)` when the oracle was eligible (the
+/// verdict plus its certificate have been printed), `Ok(false)` to fall
+/// back to the solver. This is the one entry point that deliberately pays
+/// for the rank-3 unary table build (seconds to minutes; every later
+/// `--fast` call in the process reuses it).
+fn game_fast(w: &str, v: &str, k: u32) -> Result<bool, String> {
+    use fc_suite::games::arith::{ArithOracle, ArithRoute};
+    use fc_suite::games::batch::periodic_table_builder;
+    use fc_suite::words::primitive_root;
+
+    let oracle = ArithOracle::global();
+    let t0 = std::time::Instant::now();
+    let verdict = oracle.verdict_words(w.as_bytes(), v.as_bytes(), k, true, |root| {
+        let max_exp = (w.len().max(v.len()) / root.len()) as u64;
+        periodic_table_builder(k, root, (max_exp + 8).max(16))
+    });
+    let Some(verdict) = verdict else {
+        eprintln!(
+            "note: --fast is ineligible here (rank {k} beyond the exact tables, or the words \
+             are not powers of a shared primitive root); using the game solver"
+        );
+        return Ok(false);
+    };
+    fn show(s: &str) -> &str {
+        if s.is_empty() {
+            "ε"
+        } else {
+            s
+        }
+    }
+    println!(
+        "{} ≡_{k} {} ? {}   (arithmetic route, {:.3?} wall)",
+        show(w),
+        show(v),
+        verdict.equivalent,
+        t0.elapsed()
+    );
+    match verdict.route {
+        ArithRoute::Equal => println!("certificate: the words are identical"),
+        ArithRoute::Unary => {
+            let table = oracle
+                .unary_table_ready(k)
+                .expect("unary route implies a cached table");
+            let cert = table.certificate();
+            if table.classes.len() <= 32 {
+                println!("{cert}");
+            } else {
+                // Hundreds of classes at k = 3: keep the header and the
+                // two classes the verdict actually compared.
+                let mut lines = cert.lines();
+                println!("{}", lines.next().unwrap_or_default());
+                let (p, q) = (w.len() as u64, v.len() as u64);
+                let (cp, cq) = (table.class_index(p), table.class_index(q));
+                for (i, line) in lines.enumerate() {
+                    if i as u32 == cp || i as u32 == cq {
+                        println!("{line}");
+                    }
+                }
+                println!(
+                    "  ({} further classes elided; the full table is `UnaryClassTable::certificate()`)",
+                    table.classes.len() - if cp == cq { 1 } else { 2 }
+                );
+            }
+        }
+        ArithRoute::RootRankZero => println!(
+            "certificate: same primitive root ⇒ same occurring symbols, and rank 0 only \
+             compares the constant seeds"
+        ),
+        ArithRoute::Periodic => {
+            let (root, _) = primitive_root(w.as_bytes());
+            let table = oracle
+                .periodic_table_cached(k, &root)
+                .expect("periodic route implies a cached table");
+            println!(
+                "certificate: exponent table for root {root}, solver-classified on 0..={}",
+                table.window
+            );
+            match table.tail {
+                Some((t, p)) => println!("  tail: periodic with threshold {t}, period {p}"),
+                None => println!("  tail: not yet stable inside the window"),
+            }
+            if let Some((p, q)) = table.minimal_pair() {
+                println!("  minimal pair: {root}^{p} ≡_{k} {root}^{q}");
+            }
+        }
+    }
+    Ok(true)
 }
 
 fn cmd_classes(args: &[String]) -> Result<(), String> {
