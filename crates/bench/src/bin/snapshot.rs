@@ -327,5 +327,89 @@ fn main() {
         }
     }
 
+    // PR 10: the shared transposition table, canonicalization and guided
+    // ordering (docs/SOLVER.md §9). Four legs: the bare E08/E09
+    // confirmation walls (the acceptance metric — the scan legs above
+    // carry the arith/fingerprint tiers, these time the guided solver
+    // alone), the shared-table hit rate on a window re-solve, and the
+    // memory-boundedness of a small table under 10⁴-game churn.
+    {
+        use fc_games::solver::EfSolver;
+        use fc_games::{canon, GamePair, TransTable};
+        use std::sync::Arc;
+        let ab = Alphabet::ab();
+        let e08_pair = (
+            format!("{}{}", "a".repeat(12), "b".repeat(12)),
+            format!("{}{}", "a".repeat(14), "b".repeat(12)),
+        );
+        let e09_pair = (
+            format!("{}{}", "a".repeat(12), "ba".repeat(12)),
+            format!("{}{}", "a".repeat(14), "ba".repeat(12)),
+        );
+        let e08_confirm = time(|| {
+            let g = GamePair::new(e08_pair.0.as_str(), e08_pair.1.as_str(), &ab);
+            assert!(EfSolver::new(g).equivalent(2));
+        });
+        let e09_confirm = time(|| {
+            let g = GamePair::new(e09_pair.0.as_str(), e09_pair.1.as_str(), &ab);
+            assert!(EfSolver::new(g).equivalent(2));
+        });
+        field(&mut fields, "pr10_e08_confirmation_k2", e08_confirm);
+        field(&mut fields, "pr10_e09_confirmation_k2", e09_confirm);
+
+        // Shared-table hit rate: solve the Σ^{≤4} k ≤ 2 window twice
+        // through one table; the second pass is answered from entries the
+        // first one wrote, so the second-pass solvers' probe ledger is
+        // nearly all hits.
+        let table = Arc::new(TransTable::new(1 << 16));
+        let words: Vec<Word> = Alphabet::ab().words_up_to(4).collect();
+        let pass = |count_probes: bool| -> (u64, u64) {
+            let (mut hits, mut misses) = (0u64, 0u64);
+            for w in &words {
+                for v in &words {
+                    for k in 0..=2u32 {
+                        let g = GamePair::new(w.clone(), v.clone(), &ab);
+                        let mut s = EfSolver::new(g).with_table(Arc::clone(&table));
+                        s.equivalent(k);
+                        if count_probes {
+                            hits += s.stats().table_hits;
+                            misses += s.stats().table_misses;
+                        }
+                    }
+                }
+            }
+            (hits, misses)
+        };
+        pass(false);
+        let (hits, misses) = pass(true);
+        fields.push(format!(
+            "  \"pr10_table_rescan_hit_rate_window4\": {:.4}",
+            hits as f64 / (hits + misses).max(1) as f64
+        ));
+
+        // Boundedness: a deliberately tiny table (2¹⁰ slots) absorbing
+        // 10⁴ distinct canonical root entries must evict, not grow.
+        let small = Arc::new(TransTable::new(1 << 10));
+        let bytes_before = small.bytes();
+        for i in 0..10_000u64 {
+            let w: Vec<u8> = (0..14)
+                .map(|b| if i >> b & 1 == 1 { b'a' } else { b'b' })
+                .collect();
+            let fp = canon::root_fingerprint(&w, b"ab", 1).expect("two-letter word");
+            small.insert_root(fp, 1, i % 2 == 0);
+        }
+        let t = small.stats();
+        assert_eq!(small.bytes(), bytes_before, "table grew under churn");
+        fields.push(format!(
+            "  \"pr10_table_bytes_1024_slots\": {}",
+            small.bytes()
+        ));
+        fields.push(format!("  \"pr10_table_churn_inserts_1e4\": {}", t.inserts));
+        fields.push(format!(
+            "  \"pr10_table_churn_evictions_1e4\": {}",
+            t.evictions
+        ));
+    }
+
     println!("{{\n{}\n}}", fields.join(",\n"));
 }

@@ -43,9 +43,11 @@
 
 use crate::arena::GamePair;
 use crate::arith::{ArithOracle, PeriodicTable};
+use crate::canon;
 use crate::fingerprint::{rank2_type_profile, Fingerprint, TYPE2_UNIVERSE_CAP};
 use crate::semilinear::fit_tail;
 use crate::solver::{EfSolver, SolverStats};
+use crate::ttable::{TransTable, TransTableStats, DEFAULT_TABLE_CAPACITY};
 use fc_logic::FactorStructure;
 use fc_words::{primitive_root, Alphabet, Word};
 use std::collections::HashMap;
@@ -247,6 +249,9 @@ pub struct BatchStats {
     pub pairs_solved: u64,
     /// Queries answered from the cross-pair verdict memo.
     pub memo_hits: u64,
+    /// Queries answered from the *canonical* verdict memo — a pair whose
+    /// letter-renamed or swapped image was already decided ([`crate::canon`]).
+    pub canon_hits: u64,
     /// Entries currently held in the verdict memo.
     pub memo_entries: u64,
     /// Aggregated counters of every solver run by this batch.
@@ -265,6 +270,7 @@ impl BatchStats {
         self.rank2_refutations += other.rank2_refutations;
         self.pairs_solved += other.pairs_solved;
         self.memo_hits += other.memo_hits;
+        self.canon_hits += other.canon_hits;
         self.memo_entries += other.memo_entries;
         self.solver.absorb(&other.solver);
         self.wall += other.wall;
@@ -277,8 +283,8 @@ impl std::fmt::Display for BatchStats {
             f,
             "{} structures built, {} arith-confirmed, {} arith-refuted, \
              {} fingerprint-refuted, {} rank2-refuted, \
-             {} solver-decided, {} memo hits ({} entries), {} solver states, \
-             {:.3?} wall",
+             {} solver-decided, {} memo hits ({} entries), {} canon hits, \
+             {} solver states, {} table hits, {:.3?} wall",
             self.structures_built,
             self.arith_confirmations,
             self.arith_refutations,
@@ -287,7 +293,9 @@ impl std::fmt::Display for BatchStats {
             self.pairs_solved,
             self.memo_hits,
             self.memo_entries,
+            self.canon_hits,
             self.solver.states_explored,
+            self.solver.table_hits,
             self.wall
         )
     }
@@ -308,7 +316,10 @@ pub struct SharedBatchStats {
     rank2_refutations: AtomicU64,
     pairs_solved: AtomicU64,
     memo_hits: AtomicU64,
+    canon_hits: AtomicU64,
     solver_states: AtomicU64,
+    table_hits: AtomicU64,
+    table_misses: AtomicU64,
     wall_nanos: AtomicU64,
 }
 
@@ -334,8 +345,14 @@ impl SharedBatchStats {
         self.pairs_solved
             .fetch_add(stats.pairs_solved, Ordering::Relaxed);
         self.memo_hits.fetch_add(stats.memo_hits, Ordering::Relaxed);
+        self.canon_hits
+            .fetch_add(stats.canon_hits, Ordering::Relaxed);
         self.solver_states
             .fetch_add(stats.solver.states_explored, Ordering::Relaxed);
+        self.table_hits
+            .fetch_add(stats.solver.table_hits, Ordering::Relaxed);
+        self.table_misses
+            .fetch_add(stats.solver.table_misses, Ordering::Relaxed);
         self.wall_nanos
             .fetch_add(stats.wall.as_nanos() as u64, Ordering::Relaxed);
     }
@@ -357,9 +374,12 @@ impl SharedBatchStats {
             rank2_refutations: self.rank2_refutations.load(Ordering::Relaxed),
             pairs_solved: self.pairs_solved.load(Ordering::Relaxed),
             memo_hits: self.memo_hits.load(Ordering::Relaxed),
+            canon_hits: self.canon_hits.load(Ordering::Relaxed),
             memo_entries: 0,
             solver: SolverStats {
                 states_explored: self.solver_states.load(Ordering::Relaxed),
+                table_hits: self.table_hits.load(Ordering::Relaxed),
+                table_misses: self.table_misses.load(Ordering::Relaxed),
                 ..SolverStats::default()
             },
             wall: Duration::from_nanos(self.wall_nanos.load(Ordering::Relaxed)),
@@ -405,6 +425,11 @@ pub struct BatchConfig {
     /// `0` = `equivalent_auto` (one worker per CPU). Grid-level
     /// parallelism is chosen per call site instead (`*_par` methods).
     pub solver_threads: usize,
+    /// Slot budget of the shared transposition table every solver this
+    /// batch runs feeds ([`crate::ttable::TransTable`]). The table is
+    /// bounded (generational eviction), so this is a memory ceiling, not
+    /// a growth rate.
+    pub table_capacity: usize,
 }
 
 impl Default for BatchConfig {
@@ -416,6 +441,7 @@ impl Default for BatchConfig {
             use_arith: true,
             arith_periodic: false,
             solver_threads: 1,
+            table_capacity: DEFAULT_TABLE_CAPACITY >> 2,
         }
     }
 }
@@ -427,6 +453,14 @@ pub struct BatchSolver {
     /// `(min id, max id, k) → verdict`; queries are canonicalised, so the
     /// symmetric half of any grid is free.
     verdicts: HashMap<(WordId, WordId, u32), bool>,
+    /// L2 verdict memo keyed by the *canonical* pair ([`crate::canon`]):
+    /// letter-renamed and swapped images of a solved pair are free. Exact
+    /// (full canonical words in the key), unlike the hashed table below.
+    canon_verdicts: HashMap<(Box<[u8]>, u32), bool>,
+    /// The transposition table shared by every solver this batch runs
+    /// (tier 4: probed at the canonical root before the exact search, fed
+    /// by every search). May be shared with an outer engine (`fc serve`).
+    table: Arc<TransTable>,
     stats: BatchStats,
 }
 
@@ -438,12 +472,28 @@ impl BatchSolver {
 
     /// A batch solver with explicit tuning.
     pub fn with_config(arena: StructureArena, config: BatchConfig) -> BatchSolver {
+        let table = Arc::new(TransTable::new(config.table_capacity));
         BatchSolver {
             arena,
             config,
             verdicts: HashMap::new(),
+            canon_verdicts: HashMap::new(),
+            table,
             stats: BatchStats::default(),
         }
+    }
+
+    /// Replaces the batch's transposition table with an externally shared
+    /// one (e.g. `fc serve`'s per-engine table), so verdict states persist
+    /// beyond this batch's lifetime.
+    pub fn share_table(&mut self, table: Arc<TransTable>) {
+        self.table = table;
+    }
+
+    /// The shared transposition table's own counters (hits, misses,
+    /// inserts, evictions, capacity).
+    pub fn table_stats(&self) -> TransTableStats {
+        self.table.stats()
     }
 
     /// The underlying arena.
@@ -530,7 +580,49 @@ impl BatchSolver {
                 return false;
             }
         }
-        let mut solver = EfSolver::new(self.arena.game(key.0, key.1));
+        // Tier 4: the canonical layers. First the exact canonical memo
+        // (letter-renamed / swapped images of an already-decided pair),
+        // then a root probe of the shared transposition table under the
+        // canonical fingerprint — a hit solves the pair without a game.
+        let canon_key = self.canon_key_of(key.0, key.1, k);
+        if let Some(ck) = &canon_key {
+            if let Some(&v) = self.canon_verdicts.get(ck) {
+                self.stats.canon_hits += 1;
+                self.verdicts.insert(key, v);
+                return v;
+            }
+        }
+        let root_fp = self.root_fp_of(key.0, key.1, k);
+        if let Some(fp) = root_fp {
+            if let Some(v) = self.table.probe_root(fp, k) {
+                self.stats.solver.table_hits += 1;
+                // Differential path (the arith-tier discipline): the root
+                // entry identifies the canonical pair by a hash tag, so on
+                // small instances replay the game and pin any collision.
+                #[cfg(debug_assertions)]
+                if k <= 2
+                    && self.arena.word(key.0).len() <= 48
+                    && self.arena.word(key.1).len() <= 48
+                {
+                    let direct = EfSolver::new(self.arena.game(key.0, key.1)).equivalent(k);
+                    assert_eq!(
+                        direct,
+                        v,
+                        "table root verdict diverged: {} vs {} at k={k}",
+                        self.arena.word(key.0),
+                        self.arena.word(key.1),
+                    );
+                }
+                if let Some(ck) = canon_key {
+                    self.canon_verdicts.insert(ck, v);
+                }
+                self.verdicts.insert(key, v);
+                return v;
+            }
+            self.stats.solver.table_misses += 1;
+        }
+        let mut solver =
+            EfSolver::new(self.arena.game(key.0, key.1)).with_table(Arc::clone(&self.table));
         let verdict = match self.config.solver_threads {
             0 => solver.equivalent_auto(k),
             1 => solver.equivalent(k),
@@ -539,8 +631,27 @@ impl BatchSolver {
         self.stats.pairs_solved += 1;
         self.stats.solver.absorb(&solver.stats());
         self.stats.solver.wall += solver.stats().wall;
+        if let Some(fp) = root_fp {
+            self.table.insert_root(fp, k, verdict);
+        }
+        if let Some(ck) = canon_key {
+            self.canon_verdicts.insert(ck, verdict);
+        }
         self.verdicts.insert(key, verdict);
         verdict
+    }
+
+    /// The canonical memo key of a pair at rank `k` (`None` above the
+    /// canonicalizer's alphabet cap — the pair simply loses L2 sharing).
+    fn canon_key_of(&self, i: WordId, j: WordId, k: u32) -> Option<(Box<[u8]>, u32)> {
+        canon::canonical_key(self.arena.word(i).bytes(), self.arena.word(j).bytes())
+            .map(|ck| (ck, k))
+    }
+
+    /// The canonical root fingerprint of a pair for transposition-table
+    /// root entries.
+    fn root_fp_of(&self, i: WordId, j: WordId, k: u32) -> Option<u64> {
+        canon::root_fingerprint(self.arena.word(i).bytes(), self.arena.word(j).bytes(), k)
     }
 
     /// Partitions the positions of `items` into ≡_k classes. Classes are
@@ -723,6 +834,11 @@ impl BatchSolver {
         if self.verdicts.contains_key(&key) {
             return false;
         }
+        if let Some(ck) = self.canon_key_of(key.0, key.1, k) {
+            if self.canon_verdicts.contains_key(&ck) {
+                return false;
+            }
+        }
         if self.arith_verdict(a, b, k).is_some() {
             return false;
         }
@@ -767,6 +883,7 @@ impl BatchSolver {
         const CHUNK: usize = 4;
         let arena = &self.arena;
         let solver_threads = self.config.solver_threads;
+        let table = &self.table;
         let cursor = AtomicUsize::new(0);
         let mut merged: Vec<(usize, bool)> = Vec::with_capacity(jobs.len());
         let mut solver_stats = SolverStats::default();
@@ -790,7 +907,8 @@ impl BatchSolver {
                                         s.rebind(game);
                                         s
                                     }
-                                    None => worker.insert(EfSolver::new(game)),
+                                    None => worker
+                                        .insert(EfSolver::new(game).with_table(Arc::clone(table))),
                                 };
                                 let verdict = match solver_threads {
                                     0 | 1 => solver.equivalent(k),
@@ -812,7 +930,14 @@ impl BatchSolver {
         });
         for (idx, verdict) in merged {
             let (a, b) = jobs[idx];
-            self.verdicts.insert((a.min(b), a.max(b), k), verdict);
+            let (lo, hi) = (a.min(b), a.max(b));
+            self.verdicts.insert((lo, hi, k), verdict);
+            if let Some(ck) = self.canon_key_of(lo, hi, k) {
+                self.canon_verdicts.insert(ck, verdict);
+            }
+            if let Some(fp) = self.root_fp_of(lo, hi, k) {
+                self.table.insert_root(fp, k, verdict);
+            }
             self.stats.pairs_solved += 1;
         }
         self.stats.solver.absorb(&solver_stats);
@@ -1184,6 +1309,78 @@ mod tests {
         let stats = batch.stats();
         assert_eq!(stats.arith_confirmations + stats.arith_refutations, 1);
         assert_eq!(stats.structures_built, 0, "decided without structures");
+    }
+
+    #[test]
+    fn canonical_tier_collapses_renamed_and_swapped_pairs() {
+        // (aabb, abab), (bbaa, baba) [letter swap], (abab, aabb) [argument
+        // swap] share one canonical pair: after the first is solved, the
+        // others are canon-memo hits — no extra game, no extra structure
+        // beyond the words themselves.
+        let words = vec![
+            Word::from("aabb"),
+            Word::from("abab"),
+            Word::from("bbaa"),
+            Word::from("baba"),
+        ];
+        let (arena, ids) = StructureArena::for_words(&words);
+        let sigma = arena.alphabet().clone();
+        // Fingerprints off so the (inequivalent) pairs actually reach the
+        // canonical tier instead of being refuted upstream — the tier must
+        // collapse refutations just as well as confirmations.
+        let mut batch = BatchSolver::with_config(
+            arena,
+            BatchConfig {
+                use_fingerprints: false,
+                use_arith: false,
+                ..BatchConfig::default()
+            },
+        );
+        let first = batch.equivalent(ids[0], ids[1], 2);
+        let solved_after_first = batch.stats().pairs_solved;
+        let renamed = batch.equivalent(ids[2], ids[3], 2);
+        let swapped = batch.equivalent(ids[1], ids[0], 2);
+        assert_eq!(first, renamed);
+        assert_eq!(first, swapped);
+        let stats = batch.stats();
+        assert_eq!(
+            stats.pairs_solved, solved_after_first,
+            "renamed/swapped pairs must not reach the solver"
+        );
+        assert!(stats.canon_hits >= 1, "canonical memo should fire");
+        // And the collapsed verdicts are the true ones.
+        let direct =
+            EfSolver::new(GamePair::new(words[2].clone(), words[3].clone(), &sigma)).equivalent(2);
+        assert_eq!(renamed, direct);
+    }
+
+    #[test]
+    fn shared_table_persists_across_batches() {
+        // An engine-owned table outlives one batch: a second batch over
+        // the same pair starts with the root verdict already present.
+        let table = Arc::new(TransTable::new(1 << 12));
+        let words = vec![Word::from("aabb"), Word::from("abab")];
+        let config = BatchConfig {
+            use_fingerprints: false,
+            use_arith: false,
+            ..BatchConfig::default()
+        };
+        let (arena, ids) = StructureArena::for_words(&words);
+        let mut first = BatchSolver::with_config(arena, config);
+        first.share_table(Arc::clone(&table));
+        let v1 = first.equivalent(ids[0], ids[1], 2);
+        assert_eq!(first.stats().pairs_solved, 1);
+        let (arena2, ids2) = StructureArena::for_words(&words);
+        let mut second = BatchSolver::with_config(arena2, config);
+        second.share_table(Arc::clone(&table));
+        let v2 = second.equivalent(ids2[0], ids2[1], 2);
+        assert_eq!(v1, v2);
+        assert_eq!(
+            second.stats().pairs_solved,
+            0,
+            "the shared table's root entry must decide the repeat pair"
+        );
+        assert!(second.stats().solver.table_hits >= 1);
     }
 
     #[test]

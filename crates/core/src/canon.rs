@@ -1,0 +1,166 @@
+//! Alphabet-permutation canonicalization of word pairs.
+//!
+//! `≡_k` is invariant under renaming letters: a bijection `π : Σ → Σ'`
+//! lifts factor-wise to an isomorphism `𝔄_w ≅ 𝔄_{π(w)}` (it maps the
+//! constant `c^𝔄` to `π(c)^𝔄`, preserves equality trivially, and
+//! preserves `R∘` because `u = x·y ⟺ π(u) = π(x)·π(y)`), and isomorphic
+//! structures are indistinguishable by EF games. `≡_k` is also symmetric
+//! (swap the roles of Spoiler's two boards). So the verdict of
+//! `(w, v, k)` is a function of the **canonical pair**: the
+//! lexicographically least element of the orbit of `(w, v)` under letter
+//! renaming and argument swap.
+//!
+//! This module computes that representative by first-occurrence
+//! relabeling — scan `w` then `v`, give the first distinct letter the
+//! code `a`, the second `b`, … — which picks one permutation per orbit
+//! deterministically, then takes the smaller of the relabeled `(w, v)`
+//! and `(v, w)`. The batch engine memoizes verdicts under the canonical
+//! key, so symmetric pairs (`aabb` vs `bbaa` against `bbaa` vs `aabb`,
+//! or any π-image) cost one game instead of many; `fc serve` uses the
+//! canonical fingerprint to share root verdicts across renamed requests
+//! (docs/SOLVER.md §9).
+//!
+//! Pairs over more than [`CANON_MAX_ALPHABET`] distinct letters are left
+//! alone (`None`): the target codes `a…z` would collide with arbitrary
+//! bytes. Callers skip the collapse — a missing canonicalization only
+//! loses sharing, never soundness.
+
+/// Largest joint-alphabet size the relabeling handles.
+pub const CANON_MAX_ALPHABET: usize = 26;
+
+/// Relabels the letters of `(w, v)` by first occurrence (scanning `w`
+/// then `v`): the i-th distinct letter becomes `b'a' + i`. Returns `None`
+/// when the joint alphabet exceeds [`CANON_MAX_ALPHABET`].
+pub fn relabel(w: &[u8], v: &[u8]) -> Option<(Vec<u8>, Vec<u8>)> {
+    let mut map = [0u8; 256];
+    let mut seen = [false; 256];
+    let mut next = 0usize;
+    for &c in w.iter().chain(v.iter()) {
+        if !seen[c as usize] {
+            if next >= CANON_MAX_ALPHABET {
+                return None;
+            }
+            map[c as usize] = b'a' + next as u8;
+            seen[c as usize] = true;
+            next += 1;
+        }
+    }
+    let apply = |s: &[u8]| s.iter().map(|&c| map[c as usize]).collect::<Vec<u8>>();
+    Some((apply(w), apply(v)))
+}
+
+/// The canonical representative of the orbit of `(w, v)` under letter
+/// renaming and swap: the lexicographically smaller of `relabel(w, v)`
+/// and `relabel(v, w)` (compared as `(first, second)` pairs).
+pub fn canonical_pair(w: &[u8], v: &[u8]) -> Option<(Vec<u8>, Vec<u8>)> {
+    let fwd = relabel(w, v)?;
+    let rev = relabel(v, w)?;
+    Some(fwd.min(rev))
+}
+
+/// A self-delimiting byte key for the canonical pair: `len(w') || w' || v'`
+/// with an 8-byte little-endian length prefix (no in-band separator, so
+/// distinct pairs can never collide). Used as the batch engine's
+/// cross-pair memo key.
+pub fn canonical_key(w: &[u8], v: &[u8]) -> Option<Box<[u8]>> {
+    let (cw, cv) = canonical_pair(w, v)?;
+    let mut key = Vec::with_capacity(8 + cw.len() + cv.len());
+    key.extend_from_slice(&(cw.len() as u64).to_le_bytes());
+    key.extend_from_slice(&cw);
+    key.extend_from_slice(&cv);
+    Some(key.into_boxed_slice())
+}
+
+/// A 64-bit fingerprint of the canonical pair plus the round count, for
+/// root entries of the transposition table ([`crate::ttable`]). Domain-
+/// separated from the solver's per-game state keys by a fixed salt.
+pub fn root_fingerprint(w: &[u8], v: &[u8], k: u32) -> Option<u64> {
+    let key = canonical_key(w, v)?;
+    let mut h = 0x517c_c1b7_2722_0a95u64; // salt: canonical-root domain
+    for &b in key.iter() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= u64::from(k) << 1 | 1;
+    Some(h.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::equivalent;
+
+    #[test]
+    fn relabel_is_first_occurrence() {
+        let (w, v) = relabel(b"ccaab", b"bca").unwrap();
+        // c → a, a → b, b → c.
+        assert_eq!(w, b"aabbc");
+        assert_eq!(v, b"cab");
+    }
+
+    #[test]
+    fn canonical_pair_collapses_renamings_and_swap() {
+        let orbit = [
+            ("aabb", "bbaa"),
+            ("bbaa", "aabb"),
+            ("ccdd", "ddcc"),
+            ("bbaa", "aabb"),
+        ];
+        let reprs: Vec<_> = orbit
+            .iter()
+            .map(|(w, v)| canonical_pair(w.as_bytes(), v.as_bytes()).unwrap())
+            .collect();
+        for r in &reprs {
+            assert_eq!(r, &reprs[0], "whole orbit must share one representative");
+        }
+        // …and a pair outside the orbit does not join it.
+        let other = canonical_pair(b"abab", b"bbaa").unwrap();
+        assert_ne!(other, reprs[0]);
+    }
+
+    #[test]
+    fn canonical_pair_is_idempotent() {
+        for (w, v) in [("aabb", "bbaa"), ("xyx", "yxy"), ("", "a"), ("", "")] {
+            let (cw, cv) = canonical_pair(w.as_bytes(), v.as_bytes()).unwrap();
+            let again = canonical_pair(&cw, &cv).unwrap();
+            assert_eq!(again, (cw, cv));
+        }
+    }
+
+    #[test]
+    fn canonicalization_preserves_the_verdict_on_a_window() {
+        // Exhaustive over Σ = {a, b}, |w|, |v| ≤ 3, k ≤ 2: the canonical
+        // pair has the same verdict as the original. (The proptest suite
+        // replays this with random permutations on longer words.)
+        let words = ["", "a", "b", "ab", "ba", "aa", "bb", "aab", "aba", "bab"];
+        for w in words {
+            for v in words {
+                let (cw, cv) = canonical_pair(w.as_bytes(), v.as_bytes()).unwrap();
+                let cw = String::from_utf8(cw).unwrap();
+                let cv = String::from_utf8(cv).unwrap();
+                for k in 0..=2 {
+                    assert_eq!(
+                        equivalent(w, v, k),
+                        equivalent(&cw, &cv, k),
+                        "w={w} v={v} k={k} canon=({cw}, {cv})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_alphabets_opt_out() {
+        let w: Vec<u8> = (0..40u8).collect();
+        assert!(relabel(&w, b"").is_none());
+        assert!(canonical_key(&w, b"").is_none());
+        assert!(root_fingerprint(&w, b"", 1).is_none());
+    }
+
+    #[test]
+    fn root_fingerprint_separates_k() {
+        let a = root_fingerprint(b"aabb", b"bbaa", 1).unwrap();
+        let b = root_fingerprint(b"aabb", b"bbaa", 2).unwrap();
+        assert_ne!(a, b);
+    }
+}

@@ -42,11 +42,17 @@
 //!   optimized one is differentially tested against;
 //! - [`existential`]: one-sided (existential-positive) games — the §7
 //!   route towards core-spanner inexpressibility;
-//! - [`pebble`]: p-pebble games for finite-variable FC (§7).
+//! - [`pebble`]: p-pebble games for finite-variable FC (§7);
+//! - [`ttable`]: the lock-free, generationally-evicted **transposition
+//!   table** shared by parallel workers, the batch engine, and `fc serve`
+//!   (docs/SOLVER.md §9);
+//! - [`canon`]: alphabet-permutation canonicalization of word pairs, so
+//!   memo layers collapse letter-renamed and swapped instances.
 
 pub mod arena;
 pub mod arith;
 pub mod batch;
+pub mod canon;
 pub mod certificate;
 pub mod existential;
 pub mod fingerprint;
@@ -63,6 +69,7 @@ pub mod solver;
 pub mod strategies;
 pub mod strategy;
 pub mod trace;
+pub mod ttable;
 
 pub use arena::{GamePair, Side};
 pub use arith::{ArithOracle, ArithRoute, ArithVerdict, ARITH_MAX_RANK};
@@ -71,3 +78,4 @@ pub use fingerprint::Fingerprint;
 pub use shards::{ShardRef, ShardedArena};
 pub use solver::{EfSolver, SharedSolverStats, SolverStats};
 pub use strategy::{validate_strategy, DuplicatorStrategy};
+pub use ttable::{TransTable, TransTableStats, DEFAULT_TABLE_CAPACITY};

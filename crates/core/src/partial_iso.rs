@@ -125,6 +125,95 @@ pub fn consistent_extension_seeded(
     )
 }
 
+/// Second-order incremental check, the guided solver's hot path
+/// (docs/SOLVER.md §9): assuming `base ∪ {new}` is consistent (the seed
+/// compatibility precomputed per response candidate) **and** `base ∪
+/// played` is consistent (the invariant of every reachable game state),
+/// decides whether `base ∪ played ∪ {new}` is consistent. Only the
+/// conditions mentioning both `new` and at least one played pair remain:
+/// the equality pattern of `new` against `played`, and every concat
+/// triple whose slots include `new` and touch `played`. For a state with
+/// `p` played pairs over a `b`-pair seeding this is ~`3p(b+p)` probes
+/// instead of the full incremental check's `3(b+p)² + 3(b+p) + 1`.
+///
+/// Soundness of the split: Definition 3.1 quantifies universally over
+/// triples of pairs, so consistency of a set is exactly the conjunction
+/// of its per-triple conditions — partitioning the triples between the
+/// precomputed part (all slots in `base ∪ {new}`) and this delta (some
+/// slot in `played`) loses nothing. `partial_iso_delta_matches_full` in
+/// the test module replays the claim exhaustively.
+pub fn consistent_extension_delta(
+    a: &FactorStructure,
+    b: &FactorStructure,
+    base: &[Pair],
+    played: &[u64],
+    new: Pair,
+) -> bool {
+    use fc_logic::ConcatView as V;
+    match (a.concat_view(), b.concat_view()) {
+        (V::Dense(x), V::Dense(y)) => extension_delta_on(x, y, base, played, new),
+        (V::Dense(x), V::Succinct(y)) => extension_delta_on(x, y, base, played, new),
+        (V::Succinct(x), V::Dense(y)) => extension_delta_on(x, y, base, played, new),
+        (V::Succinct(x), V::Succinct(y)) => extension_delta_on(x, y, base, played, new),
+    }
+}
+
+/// Monomorphized body of [`consistent_extension_delta`]. The slot space
+/// is indexed `0..nb` = base, `nb..nb+np` = played, `last` = new; the
+/// triple loop skips (with integer compares, no table probes) every
+/// triple that does not mention `new` or does not touch `played`.
+fn extension_delta_on(
+    a: impl ConcatOracle,
+    b: impl ConcatOracle,
+    base: &[Pair],
+    played: &[u64],
+    new: Pair,
+) -> bool {
+    let (na, nb_el) = new;
+    let nb = base.len();
+    let np = played.len();
+    // Equality pattern against the played pairs (base was covered by the
+    // seed-compatibility precompute).
+    for &q in played {
+        let (pa, pb) = unpack_pair(q);
+        if (na == pa) != (nb_el == pb) {
+            return false;
+        }
+    }
+    let last = nb + np;
+    let total = last + 1;
+    let get = |i: usize| {
+        if i < nb {
+            base[i]
+        } else if i < last {
+            unpack_pair(played[i - nb])
+        } else {
+            new
+        }
+    };
+    let in_played = |i: usize| i >= nb && i < last;
+    for l in 0..total {
+        for i in 0..total {
+            for j in 0..total {
+                let has_new = l == last || i == last || j == last;
+                if !has_new {
+                    continue; // forced by consistency of base ∪ played
+                }
+                if !(in_played(l) || in_played(i) || in_played(j)) {
+                    continue; // forced by seed compatibility of base ∪ {new}
+                }
+                let (la, lb) = get(l);
+                let (ia, ib) = get(i);
+                let (ja, jb) = get(j);
+                if a.concat_holds(la, ia, ja) != b.concat_holds(lb, ib, jb) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
 /// Shared core of the incremental checks: `get(0..n)` enumerates the
 /// existing pairs; `new` is the candidate extension. Instead of filtering
 /// the (n+1)³ triple space for triples touching `new` (the old O(n³)
@@ -309,6 +398,42 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn partial_iso_delta_matches_full() {
+        // Exhaustive: whenever base ∪ {new} and base ∪ played are both
+        // consistent, the delta check agrees with the full incremental
+        // check on base ∪ played ∪ {new} — for every played pair and
+        // every candidate extension of two small structures.
+        let a = st("abaab");
+        let b = st("aabab");
+        let base = constant_pairs(&a, &b);
+        let a_ids: Vec<FactorId> = a.universe().collect();
+        let b_ids: Vec<FactorId> = b.universe().collect();
+        let mut checked = 0u64;
+        for &x in &a_ids {
+            for &y in &b_ids {
+                if !consistent_extension(&a, &b, &base, (x, y)) {
+                    continue; // (x, y) is the played pair: must be consistent
+                }
+                let played = [pack_pair((x, y))];
+                let mut with_played = base.clone();
+                with_played.push((x, y));
+                for &x2 in &a_ids {
+                    for &y2 in &b_ids {
+                        if !consistent_extension(&a, &b, &base, (x2, y2)) {
+                            continue; // new must be seed-compatible
+                        }
+                        let full = consistent_extension(&a, &b, &with_played, (x2, y2));
+                        let delta = consistent_extension_delta(&a, &b, &base, &played, (x2, y2));
+                        assert_eq!(full, delta, "x={x:?} y={y:?} x2={x2:?} y2={y2:?}");
+                        checked += 1;
+                    }
+                }
+            }
+        }
+        assert!(checked > 100, "window too small to be meaningful");
     }
 
     #[test]

@@ -27,18 +27,36 @@
 //!   forced replays and collapse into a single memoized check (usually
 //!   skipped outright by a monotonicity argument), and identical-word
 //!   subgames are accepted immediately via the identity strategy;
-//! - **parallel top level** — [`EfSolver::equivalent_par`] fans the
-//!   top-level Spoiler moves out over `std::thread::scope` workers with
-//!   sharded (per-worker) memo tables.
+//! - **guided move ordering** (§9) — a per-game [`Guide`] precomputes,
+//!   for every element, the list of *seed-compatible* responses (those
+//!   consistent with the constant seeding alone; by monotonicity any
+//!   other response is inconsistent in every reachable state). Response
+//!   searches walk only that list — mirror first, then by factor-length
+//!   proximity — and per-state consistency reduces to the delta check
+//!   [`crate::partial_iso::consistent_extension_delta`]. Spoiler moves
+//!   are ordered by ascending compatible-response count, so profile-
+//!   disagreeing elements (zero compatible responses — exactly the moves
+//!   a rank-1 type mismatch flags) surface refutations first;
+//! - **shared transposition table** ([`crate::ttable::TransTable`]) —
+//!   an optional lock-free memo layered under the exact per-solver one,
+//!   shared by the parallel search's workers, by `fc serve` across
+//!   requests, and by the batch engine across pairs;
+//! - **deep parallel search** — [`EfSolver::equivalent_par`] expands the
+//!   game two plies deep into (Spoiler move, Duplicator response) jobs,
+//!   drained work-stealing style by workers that share the transposition
+//!   table and abort sibling subtrees through an atomic cutoff flag the
+//!   moment a refutation is found.
 //!
 //! The crate's strategies exist precisely to beat the exponential search
 //! on structured instances; `fc-bench` measures the crossover.
 
 use crate::arena::{GamePair, Side};
-use crate::partial_iso::{pack_pair, unpack_pair, Pair};
+use crate::partial_iso::{consistent_extension_delta, pack_pair, unpack_pair, Pair};
+use crate::ttable::{TransTable, DEFAULT_TABLE_CAPACITY};
 use fc_logic::FactorId;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Counters exposed by the solver for benchmarks and reports.
@@ -46,10 +64,14 @@ use std::time::{Duration, Instant};
 pub struct SolverStats {
     /// Number of distinct (state, k) entries computed (memo inserts).
     pub states_explored: u64,
-    /// Number of memo-table hits.
+    /// Number of memo-table hits (the exact per-solver layer).
     pub memo_hits: u64,
     /// Number of Spoiler moves discharged by pruning instead of search.
     pub pruned_moves: u64,
+    /// Shared transposition-table hits (probed on memo misses only).
+    pub table_hits: u64,
+    /// Shared transposition-table misses.
+    pub table_misses: u64,
     /// Wall time accumulated inside `equivalent`/`equivalent_par`.
     pub wall: Duration,
 }
@@ -63,6 +85,8 @@ impl SolverStats {
         self.states_explored += other.states_explored;
         self.memo_hits += other.memo_hits;
         self.pruned_moves += other.pruned_moves;
+        self.table_hits += other.table_hits;
+        self.table_misses += other.table_misses;
         // wall time is measured by the coordinating call, not summed over
         // workers.
     }
@@ -79,6 +103,8 @@ pub struct SharedSolverStats {
     states_explored: std::sync::atomic::AtomicU64,
     memo_hits: std::sync::atomic::AtomicU64,
     pruned_moves: std::sync::atomic::AtomicU64,
+    table_hits: std::sync::atomic::AtomicU64,
+    table_misses: std::sync::atomic::AtomicU64,
     wall_nanos: std::sync::atomic::AtomicU64,
 }
 
@@ -99,6 +125,8 @@ impl SharedSolverStats {
             .fetch_add(delta.states_explored, Relaxed);
         self.memo_hits.fetch_add(delta.memo_hits, Relaxed);
         self.pruned_moves.fetch_add(delta.pruned_moves, Relaxed);
+        self.table_hits.fetch_add(delta.table_hits, Relaxed);
+        self.table_misses.fetch_add(delta.table_misses, Relaxed);
         self.wall_nanos
             .fetch_add(delta.wall.as_nanos() as u64, Relaxed);
     }
@@ -115,6 +143,8 @@ impl SharedSolverStats {
             states_explored: self.states_explored.load(Relaxed),
             memo_hits: self.memo_hits.load(Relaxed),
             pruned_moves: self.pruned_moves.load(Relaxed),
+            table_hits: self.table_hits.load(Relaxed),
+            table_misses: self.table_misses.load(Relaxed),
             wall: Duration::from_nanos(self.wall_nanos.load(Relaxed)),
         }
     }
@@ -129,7 +159,106 @@ impl SolverStats {
             states_explored: self.states_explored - earlier.states_explored,
             memo_hits: self.memo_hits - earlier.memo_hits,
             pruned_moves: self.pruned_moves - earlier.pruned_moves,
+            table_hits: self.table_hits - earlier.table_hits,
+            table_misses: self.table_misses - earlier.table_misses,
             wall: self.wall.saturating_sub(earlier.wall),
+        }
+    }
+}
+
+/// Guided-search tables, built once per game on first use (docs/SOLVER.md
+/// §9). `compat_*[e]` is the *seed-compatible response list* of element
+/// `e`: every opposite-side element `r` such that the single pair for
+/// `(e, r)` extends the constant seeding consistently. Soundness of
+/// restricting response searches to this list is the monotonicity of
+/// Definition 3.1: its conditions quantify universally over the chosen
+/// pairs, so a pair inconsistent with a *subset* of a state (here: the
+/// seeding, a subset of every state) is inconsistent with the state
+/// itself. Lists are ordered mirror-first, then by factor-length
+/// proximity — the replay/identity heuristic that makes confirmations
+/// close on the first candidate almost always.
+///
+/// `order_*` sorts each universe by ascending compatible-response count:
+/// an element with an *empty* list is precisely one whose rank-1 atom
+/// type (the per-element component of [`crate::fingerprint`]'s type
+/// profile) is realised on one side only, and playing it refutes the
+/// game immediately — profile-disagreeing moves surface first.
+struct Guide {
+    compat_a: Vec<Box<[FactorId]>>,
+    compat_b: Vec<Box<[FactorId]>>,
+    order_a: Box<[FactorId]>,
+    order_b: Box<[FactorId]>,
+}
+
+/// The guide costs O(|U_A|·|U_B|) seed-compatibility checks and at most
+/// one `u32` per compatible pair; above this product the solver falls
+/// back to the unguided scan (the guide would cost more memory than the
+/// search saves).
+const GUIDE_PAIR_CAP: usize = 1 << 22;
+
+impl Guide {
+    fn build(game: &GamePair) -> Option<Guide> {
+        let na = game.a.universe_len();
+        let nb = game.b.universe_len();
+        if na.saturating_mul(nb) > GUIDE_PAIR_CAP {
+            return None;
+        }
+        let len_a: Vec<u32> = (0..na as u32)
+            .map(|i| game.a.len_of(FactorId(i)) as u32)
+            .collect();
+        let len_b: Vec<u32> = (0..nb as u32)
+            .map(|i| game.b.len_of(FactorId(i)) as u32)
+            .collect();
+        let mut compat_a: Vec<Vec<FactorId>> = vec![Vec::new(); na];
+        let mut compat_b: Vec<Vec<FactorId>> = vec![Vec::new(); nb];
+        for x in 0..na as u32 {
+            for y in 0..nb as u32 {
+                if game.consistent_seeded(&[], (FactorId(x), FactorId(y))) {
+                    compat_a[x as usize].push(FactorId(y));
+                    compat_b[y as usize].push(FactorId(x));
+                }
+            }
+        }
+        let finish = |mut lists: Vec<Vec<FactorId>>,
+                      side: Side,
+                      own_len: &[u32],
+                      other_len: &[u32]|
+         -> (Vec<Box<[FactorId]>>, Box<[FactorId]>) {
+            for (e, list) in lists.iter_mut().enumerate() {
+                let mirror = game.mirror(side, FactorId(e as u32));
+                let le = own_len[e];
+                list.sort_by_key(|&r| {
+                    (Some(r) != mirror, other_len[r.0 as usize].abs_diff(le), r.0)
+                });
+            }
+            let mut order: Vec<FactorId> = (0..lists.len() as u32).map(FactorId).collect();
+            order.sort_by_key(|&e| (lists[e.0 as usize].len(), e.0));
+            (
+                lists.into_iter().map(Vec::into_boxed_slice).collect(),
+                order.into_boxed_slice(),
+            )
+        };
+        let (compat_a, order_a) = finish(compat_a, Side::A, &len_a, &len_b);
+        let (compat_b, order_b) = finish(compat_b, Side::B, &len_b, &len_a);
+        Some(Guide {
+            compat_a,
+            compat_b,
+            order_a,
+            order_b,
+        })
+    }
+
+    fn compat(&self, side: Side, element: FactorId) -> &[FactorId] {
+        match side {
+            Side::A => &self.compat_a[element.0 as usize],
+            Side::B => &self.compat_b[element.0 as usize],
+        }
+    }
+
+    fn order(&self, side: Side) -> &[FactorId] {
+        match side {
+            Side::A => &self.order_a,
+            Side::B => &self.order_b,
         }
     }
 }
@@ -139,10 +268,22 @@ pub struct EfSolver {
     game: GamePair,
     /// `memo[k]` maps a packed played-pair state to the verdict of the
     /// k-rounds-remaining subgame. Keys are probed via `&[u64]` borrows.
+    /// This exact layer always fronts the (lossy, shared) transposition
+    /// table.
     memo: Vec<HashMap<Box<[u64]>, bool>>,
     stats: SolverStats,
     /// `w == v`: enables the identity-strategy early accept.
     identical: bool,
+    /// Optional shared transposition table (probed on memo misses).
+    table: Option<Arc<TransTable>>,
+    /// Key prefix isolating this game's states in the shared table:
+    /// hashes both words, the alphabet, and the backend kinds (ids are
+    /// backend-specific, so states from different backends must never
+    /// alias).
+    game_fp: u64,
+    /// Guided-search tables, built lazily on first search; `None` inside
+    /// the `Option` means "build attempted, game too large".
+    guide: Option<Option<Arc<Guide>>>,
 }
 
 /// One step of a Spoiler winning line (for traces and reports).
@@ -154,15 +295,39 @@ pub struct SpoilerMove {
     pub element: FactorId,
 }
 
+/// Hashes the identity of a game for transposition-table keys.
+fn game_fingerprint(game: &GamePair) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = 0x6a09_e667_f3bc_c908u64;
+    let eat = |h: &mut u64, bytes: &[u8]| {
+        *h = (*h ^ bytes.len() as u64).wrapping_mul(PRIME);
+        for &b in bytes {
+            *h = (*h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+    };
+    eat(&mut h, game.a.word().bytes());
+    eat(&mut h, game.b.word().bytes());
+    eat(&mut h, game.a.alphabet().symbols());
+    eat(
+        &mut h,
+        &[game.a.backend_kind() as u8, game.b.backend_kind() as u8],
+    );
+    h
+}
+
 impl EfSolver {
     /// Creates a solver for the game over `game`.
     pub fn new(game: GamePair) -> EfSolver {
         let identical = game.a.word() == game.b.word();
+        let game_fp = game_fingerprint(&game);
         EfSolver {
             game,
             memo: Vec::new(),
             stats: SolverStats::default(),
             identical,
+            table: None,
+            game_fp,
+            guide: None,
         }
     }
 
@@ -172,6 +337,23 @@ impl EfSolver {
         EfSolver::new(GamePair::of(w, v))
     }
 
+    /// Attaches a shared transposition table (builder form).
+    pub fn with_table(mut self, table: Arc<TransTable>) -> EfSolver {
+        self.table = Some(table);
+        self
+    }
+
+    /// Attaches a shared transposition table. Survives [`EfSolver::rebind`],
+    /// so a batch worker's games all feed one table.
+    pub fn attach_table(&mut self, table: Arc<TransTable>) {
+        self.table = Some(table);
+    }
+
+    /// The attached shared table, if any.
+    pub fn shared_table(&self) -> Option<Arc<TransTable>> {
+        self.table.clone()
+    }
+
     /// The underlying game.
     pub fn game(&self) -> &GamePair {
         &self.game
@@ -179,12 +361,15 @@ impl EfSolver {
 
     /// Rebinds this solver to a different game, clearing the memo tables
     /// while **retaining their allocations** and keeping the accumulated
-    /// [`SolverStats`]. This is the batch engine's per-worker reuse hook:
-    /// a worker thread solves hundreds of pairs with one solver, and the
-    /// memo `HashMap`s (the dominant allocation) amortize across pairs.
+    /// [`SolverStats`] (and any attached transposition table). This is the
+    /// batch engine's per-worker reuse hook: a worker thread solves
+    /// hundreds of pairs with one solver, and the memo `HashMap`s (the
+    /// dominant allocation) amortize across pairs.
     pub fn rebind(&mut self, game: GamePair) {
         self.identical = game.a.word() == game.b.word();
+        self.game_fp = game_fingerprint(&game);
         self.game = game;
+        self.guide = None;
         for table in &mut self.memo {
             table.clear();
         }
@@ -202,12 +387,21 @@ impl EfSolver {
         verdict
     }
 
-    /// Decides `w ≡_k v`, fanning the top-level Spoiler moves out over
-    /// `threads` worker threads. Each worker owns a private solver — the
-    /// memo is *sharded*, trading cross-move sharing at the top level for
-    /// lock-free exploration; verdicts are combined with a conjunction
-    /// (Duplicator must survive every top-level move). Counters from all
-    /// shards are absorbed into this solver's [`SolverStats`].
+    /// Decides `w ≡_k v` with a deep parallel search: the game is
+    /// expanded two plies into (Spoiler move, Duplicator response) jobs
+    /// drained by `threads` workers over an atomic cursor. All workers
+    /// share this solver's transposition table (one is created if none is
+    /// attached), so a subgame solved by any worker is solved for all —
+    /// unlike the pre-table design, where each memo shard re-derived
+    /// every shared state. An atomic cutoff flag stops every sibling
+    /// subtree as soon as one Spoiler move is refuted (no winning
+    /// response remains), and per-move "satisfied" flags skip the
+    /// remaining response jobs of already-confirmed moves. Counters from
+    /// all workers are absorbed into this solver's [`SolverStats`].
+    ///
+    /// The verdict is the game value — a deterministic function of the
+    /// pair — so it is byte-identical to [`EfSolver::equivalent`]; the
+    /// differential suite pins this across the exhaustive window.
     pub fn equivalent_par(&mut self, k: u32, threads: usize) -> bool {
         let t0 = Instant::now();
         if !self.game.constants_consistent() {
@@ -218,11 +412,25 @@ impl EfSolver {
             self.stats.wall += t0.elapsed();
             return true;
         }
-        // Top-level non-replay moves (replays are discharged by the same
-        // monotonicity argument as in the sequential search).
+        if threads <= 1 {
+            self.stats.wall += t0.elapsed();
+            return self.equivalent(k);
+        }
+        let table = match &self.table {
+            Some(t) => Arc::clone(t),
+            None => {
+                let t = Arc::new(TransTable::new(DEFAULT_TABLE_CAPACITY >> 4));
+                self.table = Some(Arc::clone(&t));
+                t
+            }
+        };
+        let guide = self.ensure_guide();
+        // Top-level non-replay moves in guided order (replays are
+        // discharged by the same monotonicity argument as in the
+        // sequential search).
         let mut moves: Vec<(Side, FactorId)> = Vec::new();
         for side in [Side::A, Side::B] {
-            for element in self.moves_on(side) {
+            for element in self.ordered_moves(guide.as_deref(), side) {
                 if self.is_pinned(side, &[], element) {
                     self.stats.pruned_moves += 1;
                 } else {
@@ -230,31 +438,73 @@ impl EfSolver {
                 }
             }
         }
-        if moves.is_empty() || threads <= 1 {
-            // Degenerate games (every element pinned) or no parallelism:
-            // the sequential path handles both.
+        if moves.is_empty() {
+            // Degenerate games (every element pinned): the sequential
+            // path handles the collapsed replay check.
             self.stats.wall += t0.elapsed();
             return self.equivalent(k);
         }
+        // Two-ply job expansion: one job per (move, response candidate).
+        // At the root the state *is* the constant seeding, so the
+        // candidate lists (seed-compatible responses plus ⊥) are exactly
+        // the consistent-response space.
+        struct MoveCell {
+            satisfied: AtomicBool,
+            remaining: AtomicU32,
+        }
+        let mut jobs: Vec<(u32, FactorId)> = Vec::new();
+        let mut cells: Vec<MoveCell> = Vec::with_capacity(moves.len());
+        for (mi, &(side, element)) in moves.iter().enumerate() {
+            let candidates = self.root_candidates(guide.as_deref(), side, element);
+            if candidates.is_empty() {
+                // No response can ever extend the seeding: Spoiler wins
+                // by playing this element immediately.
+                self.stats.wall += t0.elapsed();
+                return false;
+            }
+            cells.push(MoveCell {
+                satisfied: AtomicBool::new(false),
+                remaining: AtomicU32::new(candidates.len() as u32),
+            });
+            for r in candidates {
+                jobs.push((mi as u32, r));
+            }
+        }
         let spoiler_won = AtomicBool::new(false);
+        let cursor = AtomicUsize::new(0);
         let shard_stats: Vec<SolverStats> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
-                .map(|t| {
+                .map(|_| {
                     let game = self.game.clone();
-                    let moves = &moves;
-                    let flag = &spoiler_won;
+                    let table = Arc::clone(&table);
+                    let guide = guide.clone();
+                    let (jobs, moves, cells) = (&jobs, &moves, &cells);
+                    let (flag, cursor) = (&spoiler_won, &cursor);
                     scope.spawn(move || {
-                        let mut shard = EfSolver::new(game);
-                        for (i, &(side, element)) in moves.iter().enumerate() {
-                            if i % threads != t {
-                                continue;
-                            }
+                        let mut shard = EfSolver::new(game).with_table(table);
+                        shard.guide = Some(guide);
+                        loop {
                             if flag.load(Ordering::Relaxed) {
                                 break;
                             }
-                            if shard.best_response_packed(&[], side, element, k).is_none() {
-                                flag.store(true, Ordering::Relaxed);
+                            let j = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(&(mi, response)) = jobs.get(j) else {
                                 break;
+                            };
+                            let cell = &cells[mi as usize];
+                            if cell.satisfied.load(Ordering::Relaxed) {
+                                continue;
+                            }
+                            let (side, element) = moves[mi as usize];
+                            let pair = shard.game.as_ab_pair(side, element, response);
+                            let win = shard.game.consistent_seeded(&[], pair)
+                                && (k == 1 || shard.duplicator_wins(vec![pack_pair(pair)], k - 1));
+                            if win {
+                                cell.satisfied.store(true, Ordering::Relaxed);
+                            } else if cell.remaining.fetch_sub(1, Ordering::Relaxed) == 1 {
+                                // Every response to this move failed:
+                                // Spoiler wins — cut every sibling off.
+                                flag.store(true, Ordering::Relaxed);
                             }
                         }
                         shard.stats
@@ -309,6 +559,15 @@ impl EfSolver {
         played
     }
 
+    /// The guided-search tables, built on first demand (`None` when the
+    /// universe product exceeds [`GUIDE_PAIR_CAP`]).
+    fn ensure_guide(&mut self) -> Option<Arc<Guide>> {
+        if self.guide.is_none() {
+            self.guide = Some(Guide::build(&self.game).map(Arc::new));
+        }
+        self.guide.as_ref().unwrap().clone()
+    }
+
     /// Duplicator wins the `k`-round game continued from the packed,
     /// canonical played-pair state.
     fn duplicator_wins(&mut self, state: Vec<u64>, k: u32) -> bool {
@@ -340,19 +599,67 @@ impl EfSolver {
             self.stats.memo_hits += 1;
             return cached;
         }
+        // Exact memo missed: probe the shared transposition table. A hit
+        // is promoted into the exact layer so this solver never pays the
+        // (hashing) probe for the same state twice.
+        if let Some(table) = &self.table {
+            if let Some(verdict) = table.probe(self.game_fp, &state, k) {
+                self.stats.table_hits += 1;
+                #[cfg(debug_assertions)]
+                self.debug_replay_table_hit(&state, k, verdict);
+                self.memo[ki].insert(state.into_boxed_slice(), verdict);
+                return verdict;
+            }
+            self.stats.table_misses += 1;
+        }
         let result = self.search_spoiler_moves(&state, k);
         self.stats.states_explored += 1;
+        if let Some(table) = &self.table {
+            table.insert(self.game_fp, &state, k, result);
+        }
         self.memo[ki].insert(state.into_boxed_slice(), result);
         result
+    }
+
+    /// Replays a transposition-table hit on small instances (the same
+    /// debug discipline as the batch engine's arithmetic-tier verdicts):
+    /// the shared table identifies states by hash tags, and this pins any
+    /// tag collision the moment it would matter.
+    #[cfg(debug_assertions)]
+    fn debug_replay_table_hit(&mut self, state: &[u64], k: u32, verdict: bool) {
+        if k <= 2 && self.game.a.universe_len() <= 24 && self.game.b.universe_len() <= 24 {
+            let replayed = self.search_spoiler_moves(state, k);
+            debug_assert_eq!(
+                replayed, verdict,
+                "transposition-table verdict diverged from a fresh search"
+            );
+        }
+    }
+
+    /// The Spoiler move order for one side: the guided order (ascending
+    /// compatible-response count — profile-disagreeing elements first)
+    /// when a guide exists, plain universe order otherwise; ⊥ last in
+    /// both (its forced (⊥, ⊥) response never refutes anything).
+    fn ordered_moves(&self, guide: Option<&Guide>, side: Side) -> Vec<FactorId> {
+        let mut moves: Vec<FactorId> = match guide {
+            Some(g) => g.order(side).to_vec(),
+            None => {
+                let n = self.game.structure(side).universe_len() as u32;
+                (0..n).map(FactorId).collect()
+            }
+        };
+        moves.push(FactorId::BOTTOM);
+        moves
     }
 
     /// The ∀-Spoiler layer: `true` iff every Spoiler move admits a winning
     /// Duplicator response.
     fn search_spoiler_moves(&mut self, state: &[u64], k: u32) -> bool {
+        let guide = self.ensure_guide();
         let mut had_replay = false;
         let mut had_fresh = false;
         for side in [Side::A, Side::B] {
-            for element in self.moves_on(side) {
+            for element in self.ordered_moves(guide.as_deref(), side) {
                 if self.is_pinned(side, state, element) {
                     // Replay pruning. If `element` is already pinned by a
                     // pair (element, r₀) of the state (or the constant
@@ -368,7 +675,10 @@ impl EfSolver {
                     continue;
                 }
                 had_fresh = true;
-                if self.best_response_packed(state, side, element, k).is_none() {
+                if self
+                    .guided_response(guide.as_deref(), state, side, element, k)
+                    .is_none()
+                {
                     return false;
                 }
             }
@@ -386,14 +696,6 @@ impl EfSolver {
             return self.duplicator_wins(state.to_vec(), k - 1);
         }
         true
-    }
-
-    /// All Spoiler options on a side: every universe element plus ⊥.
-    fn moves_on(&self, side: Side) -> impl Iterator<Item = FactorId> {
-        let n = self.game.structure(side).universe_len() as u32;
-        (0..n)
-            .map(FactorId)
-            .chain(std::iter::once(FactorId::BOTTOM))
     }
 
     /// `true` iff `element` already occurs on `side` in the constant
@@ -424,9 +726,8 @@ impl EfSolver {
         self.best_response_packed(&played, side, element, k)
     }
 
-    /// Core response search over a packed state. Candidates are tried
-    /// best-first: the mirrored element (computed once), then the rest of
-    /// the opposite universe, then ⊥.
+    /// Core response search over a packed state, through the guide when
+    /// one exists.
     fn best_response_packed(
         &mut self,
         state: &[u64],
@@ -434,7 +735,60 @@ impl EfSolver {
         element: FactorId,
         k: u32,
     ) -> Option<FactorId> {
+        let guide = self.ensure_guide();
+        self.guided_response(guide.as_deref(), state, side, element, k)
+    }
+
+    /// Response search. With a guide and a real `element`, candidates are
+    /// exactly the seed-compatible list (mirror first, then length
+    /// proximity); per-state consistency is the delta check (the list
+    /// already certifies compatibility with the seeding, the state was
+    /// reachable hence consistent, so only conditions touching the played
+    /// pairs remain). Without a guide (⊥ moves, oversized games), the
+    /// legacy scan: the mirrored element first, then the rest of the
+    /// opposite universe, then ⊥.
+    fn guided_response(
+        &mut self,
+        guide: Option<&Guide>,
+        state: &[u64],
+        side: Side,
+        element: FactorId,
+        k: u32,
+    ) -> Option<FactorId> {
         debug_assert!(k >= 1);
+        if let (Some(g), false) = (guide, element.is_bottom()) {
+            let compat: &[FactorId] = g.compat(side, element);
+            for &response in compat {
+                let pair = self.game.as_ab_pair(side, element, response);
+                if !state.is_empty()
+                    && !consistent_extension_delta(
+                        &self.game.a,
+                        &self.game.b,
+                        &self.game.constant_pairs,
+                        state,
+                        pair,
+                    )
+                {
+                    continue;
+                }
+                // With one round left, a consistent extension is already a
+                // win (the 0-round subgame is a Duplicator win by
+                // definition): skip the allocation and the recursion.
+                if k == 1 {
+                    return Some(response);
+                }
+                if self.duplicator_wins(extended(state, pack_pair(pair)), k - 1) {
+                    return Some(response);
+                }
+            }
+            // ⊥ as response to a real element is never consistent with the
+            // ε constant pair, but keep it for completeness (and for
+            // exotic seedings built via `GamePair::from_parts`).
+            if self.try_response(state, side, element, FactorId::BOTTOM, k) {
+                return Some(FactorId::BOTTOM);
+            }
+            return None;
+        }
         let mirror = self.game.mirror(side, element);
         if let Some(m) = mirror {
             if self.try_response(state, side, element, m, k) {
@@ -461,6 +815,34 @@ impl EfSolver {
         None
     }
 
+    /// Root-level response candidates for the parallel two-ply expansion.
+    /// At the empty state, seed compatibility *is* consistency, so the
+    /// guided list plus ⊥ covers every response that could possibly win;
+    /// without a guide, the legacy order (mirror, rest, ⊥).
+    fn root_candidates(
+        &self,
+        guide: Option<&Guide>,
+        side: Side,
+        element: FactorId,
+    ) -> Vec<FactorId> {
+        if let (Some(g), false) = (guide, element.is_bottom()) {
+            let mut v = g.compat(side, element).to_vec();
+            v.push(FactorId::BOTTOM);
+            return v;
+        }
+        let mirror = self.game.mirror(side, element);
+        let n = self.game.structure(side.other()).universe_len() as u32;
+        let mut v = Vec::with_capacity(n as usize + 2);
+        if let Some(m) = mirror {
+            v.push(m);
+        }
+        v.extend((0..n).map(FactorId).filter(|&r| Some(r) != mirror));
+        if !element.is_bottom() && mirror != Some(FactorId::BOTTOM) {
+            v.push(FactorId::BOTTOM);
+        }
+        v
+    }
+
     /// Checks one candidate response: consistency of the extension, then
     /// the recursive subgame.
     fn try_response(
@@ -474,6 +856,9 @@ impl EfSolver {
         let new_pair = self.game.as_ab_pair(side, element, response);
         if !self.game.consistent_seeded(state, new_pair) {
             return false;
+        }
+        if k == 1 {
+            return true;
         }
         self.duplicator_wins(extended(state, pack_pair(new_pair)), k - 1)
     }
@@ -541,14 +926,25 @@ impl EfSolver {
         Some(line)
     }
 
+    /// All Spoiler options on a side: every universe element plus ⊥
+    /// (unguided order; the winning-line reconstruction uses this so its
+    /// traces list moves in universe order).
+    fn moves_on(&self, side: Side) -> impl Iterator<Item = FactorId> {
+        let n = self.game.structure(side).universe_len() as u32;
+        (0..n)
+            .map(FactorId)
+            .chain(std::iter::once(FactorId::BOTTOM))
+    }
+
     /// Number of distinct solver states computed so far (for benchmarks
     /// and reports). Counter-based, so it also reflects work done inside
-    /// the sharded memo tables of [`EfSolver::equivalent_par`].
+    /// the worker solvers of [`EfSolver::equivalent_par`].
     pub fn states_explored(&self) -> usize {
         self.stats.states_explored as usize
     }
 
-    /// All counters (states, memo hits, pruned moves, wall time).
+    /// All counters (states, memo hits, pruned moves, table hits/misses,
+    /// wall time).
     pub fn stats(&self) -> SolverStats {
         self.stats
     }
@@ -697,13 +1093,85 @@ mod tests {
     }
 
     #[test]
+    fn shared_table_is_reused_across_solvers() {
+        // Two solvers on the same pair share the table: the second one's
+        // root probe resolves the whole game without exploring states.
+        let table = Arc::new(TransTable::new(1 << 12));
+        let mut first = EfSolver::of("aabb", "abab").with_table(Arc::clone(&table));
+        let verdict = first.equivalent(2);
+        assert!(first.stats().table_misses > 0);
+        let mut second = EfSolver::of("aabb", "abab").with_table(Arc::clone(&table));
+        assert_eq!(second.equivalent(2), verdict);
+        assert!(
+            second.stats().table_hits >= 1,
+            "second solver must hit the shared table"
+        );
+        assert_eq!(
+            second.stats().states_explored,
+            0,
+            "the root hit should resolve the game outright"
+        );
+    }
+
+    #[test]
+    fn table_survives_rebind() {
+        let table = Arc::new(TransTable::new(1 << 12));
+        let mut solver = EfSolver::of("aab", "aba").with_table(Arc::clone(&table));
+        let v1 = solver.equivalent(2);
+        solver.rebind(GamePair::of("aab", "aba"));
+        let v2 = solver.equivalent(2);
+        assert_eq!(v1, v2);
+        assert!(
+            solver.stats().table_hits >= 1,
+            "rebinding to the same pair must reuse the shared table"
+        );
+    }
+
+    #[test]
+    fn different_games_never_share_entries() {
+        // Same state shapes, different pairs: fingerprints must isolate.
+        let table = Arc::new(TransTable::new(1 << 12));
+        let mut s1 = EfSolver::of("ab", "ba").with_table(Arc::clone(&table));
+        let mut s2 = EfSolver::of("ab", "ab").with_table(Arc::clone(&table));
+        assert!(!s1.equivalent(1));
+        assert!(s2.equivalent(1));
+        let mut s3 = EfSolver::of("ab", "ba").with_table(Arc::clone(&table));
+        assert!(!s3.equivalent(1));
+    }
+
+    #[test]
     fn stats_counters_populate() {
-        let mut s = EfSolver::of("aabb", "abab");
-        let _ = s.equivalent(2);
+        // A confirmation: Duplicator wins, so the search visits every
+        // Spoiler move — including the pinned (constant) replays the
+        // pruning discharges. (A refutation may stop at the first
+        // zero-compatibility move, before any pinned one, now that the
+        // guide fronts profile-disagreeing moves.)
+        let mut s = EfSolver::of("aaa", "aaaa");
+        assert!(s.equivalent(1));
         let st = s.stats();
         assert!(st.states_explored > 0);
         assert!(st.pruned_moves > 0, "replay pruning should fire");
         assert!(st.wall > Duration::ZERO);
         assert_eq!(s.states_explored(), st.states_explored as usize);
+    }
+
+    #[test]
+    fn stats_absorb_and_delta_cover_table_counters() {
+        let table = Arc::new(TransTable::new(1 << 10));
+        let mut s = EfSolver::of("aabb", "abab").with_table(table);
+        let _ = s.equivalent(2);
+        let before = s.stats();
+        s.rebind(GamePair::of("aabb", "abab"));
+        let _ = s.equivalent(2);
+        let delta = s.stats().delta_since(&before);
+        assert!(delta.table_hits >= 1);
+        let mut sum = SolverStats::default();
+        sum.absorb(&before);
+        sum.absorb(&delta);
+        assert_eq!(sum.table_hits, s.stats().table_hits);
+        assert_eq!(sum.table_misses, s.stats().table_misses);
+        let shared = SharedSolverStats::new();
+        shared.record(&delta);
+        assert_eq!(shared.snapshot().table_hits, delta.table_hits);
     }
 }

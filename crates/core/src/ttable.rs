@@ -1,0 +1,383 @@
+//! A process-shareable concurrent transposition table for the EF-game
+//! solver (docs/SOLVER.md §9).
+//!
+//! The table memoizes subgame verdicts `(game, state, k) ↦ bool` across
+//! *solvers*: the parallel search's workers share one table instead of
+//! re-deriving identical subgames once per memo shard, `fc serve` keeps a
+//! bounded per-engine table alive across requests, and the batch engine
+//! probes canonical root entries as its fourth verdict tier.
+//!
+//! ## Layout
+//!
+//! The table is a sharded, open-addressing array of atomic `u64` slots —
+//! probed lock-free, inserted by plain atomic stores (a slot is a single
+//! word, so readers always observe a complete entry; there is no tearing
+//! and no locking anywhere). Each slot packs
+//!
+//! ```text
+//! [ tag : 54 | generation : 8 | verdict : 1 | occupied : 1 ]
+//! ```
+//!
+//! An entry is addressed by one hash of its key and identified by a
+//! second, independent hash (the 54-bit tag). Together with the index
+//! bits, an entry is recognised on ~70+ bits of key material; the solver
+//! additionally replays table-hit verdicts on small instances under
+//! `debug_assertions` (the same discipline as the arithmetic tier's
+//! verdict replay in `crate::batch`).
+//!
+//! ## Eviction and soundness
+//!
+//! Capacity is enforced generationally, with the same wholesale-clear
+//! discipline as `fc-lang`'s `PlanCache` and the succinct backend's
+//! concat cap: each shard counts its inserts, and when the count reaches
+//! the shard's slot budget the shard's generation is bumped — every
+//! older entry becomes invisible to probes in O(1), without touching the
+//! slots. The memory footprint is fixed at construction ([`TransTable::bytes`]
+//! never changes), so a serve-held table stays flat under unbounded
+//! request churn.
+//!
+//! The eviction argument for soundness is one line: **a stale-generation
+//! entry may only be *absent*, never wrong**. Entries map a key to the
+//! value of a pure function (the game value of a fixed subgame), so a
+//! surviving entry is correct no matter when it was written; eviction
+//! only ever converts "present" into "absent", and an absent entry just
+//! re-runs the search.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of shards. Each shard evicts independently, so a burst of
+/// inserts invalidates at most `1/SHARDS` of the table at a time.
+const SHARDS: usize = 8;
+
+/// Probe window: how many consecutive slots a key may land in.
+const WINDOW: usize = 4;
+
+const OCCUPIED_BIT: u64 = 1;
+const VERDICT_BIT: u64 = 1 << 1;
+const GEN_SHIFT: u32 = 2;
+const GEN_MASK: u64 = 0xff;
+const TAG_SHIFT: u32 = 10;
+
+/// Counters and capacity of a [`TransTable`], for `stats` endpoints and
+/// benchmark legs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransTableStats {
+    /// Probes that found a current-generation entry with a matching tag.
+    pub hits: u64,
+    /// Probes that found nothing (including stale-generation entries).
+    pub misses: u64,
+    /// Entries written.
+    pub inserts: u64,
+    /// Entries displaced (window full) or invalidated wholesale by a
+    /// generation bump.
+    pub evictions: u64,
+    /// Total slot count (fixed at construction).
+    pub capacity: u64,
+}
+
+impl TransTableStats {
+    /// Hit rate over all probes, in `[0, 1]`; `0` when unprobed.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Shard {
+    slots: Box<[AtomicU64]>,
+    /// Current generation (low 8 bits significant). Entries written under
+    /// an older generation read as absent.
+    generation: AtomicU64,
+    /// Inserts since the last generation bump.
+    live: AtomicU64,
+}
+
+impl Shard {
+    fn new(slots: usize) -> Shard {
+        Shard {
+            slots: (0..slots).map(|_| AtomicU64::new(0)).collect(),
+            generation: AtomicU64::new(0),
+            live: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The concurrent transposition table. All methods take `&self`; share it
+/// via `Arc` between workers, requests, and batch pairs.
+pub struct TransTable {
+    shards: Vec<Shard>,
+    /// Slot-index mask within one shard (slots per shard is a power of 2).
+    mask: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Default capacity (total slots) for solver-created tables: 2²⁰ slots =
+/// 8 MiB.
+pub const DEFAULT_TABLE_CAPACITY: usize = 1 << 20;
+
+impl TransTable {
+    /// A table with at least `capacity` slots (rounded up so each of the
+    /// [`SHARDS`] shards holds a power of two, minimum 128 slots each).
+    /// The allocation happens here and never grows.
+    pub fn new(capacity: usize) -> TransTable {
+        let per_shard = capacity.div_ceil(SHARDS).next_power_of_two().max(128);
+        TransTable {
+            shards: (0..SHARDS).map(|_| Shard::new(per_shard)).collect(),
+            mask: (per_shard - 1) as u64,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// A table with [`DEFAULT_TABLE_CAPACITY`] slots.
+    pub fn with_default_capacity() -> TransTable {
+        TransTable::new(DEFAULT_TABLE_CAPACITY)
+    }
+
+    /// Total slot count.
+    pub fn capacity(&self) -> usize {
+        self.shards.len() * (self.mask as usize + 1)
+    }
+
+    /// Fixed memory footprint of the slot arrays in bytes. Constant for
+    /// the lifetime of the table — the churn tests pin exactly this.
+    pub fn bytes(&self) -> usize {
+        self.capacity() * std::mem::size_of::<AtomicU64>()
+    }
+
+    /// Looks up the verdict of `(game, state, k)`.
+    pub fn probe(&self, game: u64, state: &[u64], k: u32) -> Option<bool> {
+        let (shard_idx, slot_idx, tag) = self.address(game, state, k);
+        let shard = &self.shards[shard_idx];
+        let generation = shard.generation.load(Ordering::Relaxed) & GEN_MASK;
+        for off in 0..WINDOW {
+            let idx = (slot_idx + off as u64) & self.mask;
+            let entry = shard.slots[idx as usize].load(Ordering::Relaxed);
+            if entry & OCCUPIED_BIT == 0 {
+                continue;
+            }
+            if (entry >> GEN_SHIFT) & GEN_MASK != generation {
+                continue; // stale generation: absent, never wrong
+            }
+            if entry >> TAG_SHIFT == tag {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(entry & VERDICT_BIT != 0);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Records the verdict of `(game, state, k)`. Within the probe window
+    /// an empty or stale slot is claimed first; failing that, the entry
+    /// displaces the first slot of the window (always-replace, counted as
+    /// an eviction).
+    pub fn insert(&self, game: u64, state: &[u64], k: u32, verdict: bool) {
+        let (shard_idx, slot_idx, tag) = self.address(game, state, k);
+        let shard = &self.shards[shard_idx];
+        let generation = shard.generation.load(Ordering::Relaxed) & GEN_MASK;
+        let entry = (tag << TAG_SHIFT)
+            | (generation << GEN_SHIFT)
+            | if verdict { VERDICT_BIT } else { 0 }
+            | OCCUPIED_BIT;
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        let mut victim = None;
+        for off in 0..WINDOW {
+            let idx = ((slot_idx + off as u64) & self.mask) as usize;
+            let old = shard.slots[idx].load(Ordering::Relaxed);
+            let old_stale = old & OCCUPIED_BIT == 0 || (old >> GEN_SHIFT) & GEN_MASK != generation;
+            if old >> TAG_SHIFT == tag && !old_stale {
+                // Same key already present (another worker got here first):
+                // refresh in place, no new live entry.
+                shard.slots[idx].store(entry, Ordering::Relaxed);
+                return;
+            }
+            if old_stale && victim.is_none() {
+                victim = Some(idx);
+            }
+        }
+        let idx = match victim {
+            Some(idx) => idx,
+            None => {
+                // Window full of live entries: displace the first slot.
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                (slot_idx & self.mask) as usize
+            }
+        };
+        shard.slots[idx].store(entry, Ordering::Relaxed);
+        // Generational capacity enforcement: once a shard has absorbed as
+        // many live inserts as it has slots, bump its generation — every
+        // older entry becomes invisible at once (the PlanCache wholesale-
+        // clear discipline, without touching the slots).
+        let live = shard.live.fetch_add(1, Ordering::Relaxed) + 1;
+        let budget = self.mask + 1;
+        if live >= budget {
+            shard.live.store(0, Ordering::Relaxed);
+            shard.generation.fetch_add(1, Ordering::Relaxed);
+            self.evictions.fetch_add(budget, Ordering::Relaxed);
+        }
+    }
+
+    /// Probes the *root* entry of a game: the verdict of the whole
+    /// `k`-round game under the canonical pair fingerprint. The batch
+    /// engine's fourth tier and `fc serve`'s request fast path live here.
+    pub fn probe_root(&self, canon_fp: u64, k: u32) -> Option<bool> {
+        self.probe(canon_fp, &[], k)
+    }
+
+    /// Records a root verdict under the canonical pair fingerprint.
+    pub fn insert_root(&self, canon_fp: u64, k: u32, verdict: bool) {
+        self.insert(canon_fp, &[], k, verdict);
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> TransTableStats {
+        TransTableStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            capacity: self.capacity() as u64,
+        }
+    }
+
+    /// `(shard, slot, tag)` for a key: two independent mixes of one key
+    /// fold — one addresses, one identifies.
+    fn address(&self, game: u64, state: &[u64], k: u32) -> (usize, u64, u64) {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let fold = |h: u64, x: u64| {
+            (h ^ x)
+                .wrapping_mul(0x0000_0100_0000_01b3)
+                .rotate_left(29)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        };
+        h = fold(h, game);
+        h = fold(h, u64::from(k) ^ (state.len() as u64) << 32);
+        for &x in state {
+            h = fold(h, x);
+        }
+        let addr = splitmix64(h);
+        let tag = splitmix64(h ^ 0xd6e8_feb8_6659_fd93) >> TAG_SHIFT;
+        let shard = (addr >> 56) as usize % SHARDS;
+        (shard, addr & self.mask, tag)
+    }
+}
+
+/// The splitmix64 finalizer: a full-avalanche 64-bit mix.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn round_trips_verdicts() {
+        let t = TransTable::new(1 << 12);
+        t.insert(7, &[1, 2, 3], 2, true);
+        t.insert(7, &[1, 2, 4], 2, false);
+        assert_eq!(t.probe(7, &[1, 2, 3], 2), Some(true));
+        assert_eq!(t.probe(7, &[1, 2, 4], 2), Some(false));
+        assert_eq!(t.probe(7, &[1, 2, 5], 2), None);
+        // Key components all matter.
+        assert_eq!(t.probe(8, &[1, 2, 3], 2), None);
+        assert_eq!(t.probe(7, &[1, 2, 3], 1), None);
+    }
+
+    #[test]
+    fn stats_count_probes_and_inserts() {
+        let t = TransTable::new(1 << 10);
+        assert_eq!(t.probe(1, &[], 1), None);
+        t.insert(1, &[], 1, true);
+        assert_eq!(t.probe(1, &[], 1), Some(true));
+        let s = t.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.inserts, 1);
+        assert!(s.hit_rate() > 0.49 && s.hit_rate() < 0.51);
+    }
+
+    #[test]
+    fn bytes_are_fixed_under_churn() {
+        let t = TransTable::new(1 << 10);
+        let bytes = t.bytes();
+        let capacity = t.capacity() as u64;
+        for i in 0..20_000u64 {
+            t.insert(i, &[i, i ^ 1], 2, i % 3 == 0);
+        }
+        assert_eq!(t.bytes(), bytes, "slot allocation must never grow");
+        let s = t.stats();
+        assert_eq!(s.inserts, 20_000);
+        assert!(
+            s.evictions > 0,
+            "20k inserts into {capacity} slots must evict"
+        );
+    }
+
+    #[test]
+    fn generation_bump_reads_as_absent_not_wrong() {
+        // Flood one table far past capacity, then re-probe every key: each
+        // answer is either the recorded verdict or absent — never flipped.
+        let t = TransTable::new(1 << 9);
+        let keys: Vec<(u64, bool)> = (0..4096u64).map(|i| (i, i % 2 == 0)).collect();
+        for &(i, v) in &keys {
+            t.insert(i, &[i], 3, v);
+        }
+        let mut present = 0u64;
+        for &(i, v) in &keys {
+            if let Some(got) = t.probe(i, &[i], 3) {
+                assert_eq!(got, v, "key {i}: table returned a wrong verdict");
+                present += 1;
+            }
+        }
+        assert!(present > 0, "some recent entries must survive");
+        assert!(
+            present < keys.len() as u64,
+            "a 512-slot table cannot hold 4096 live entries"
+        );
+    }
+
+    #[test]
+    fn concurrent_use_is_safe_and_exact() {
+        let t = Arc::new(TransTable::new(1 << 12));
+        std::thread::scope(|s| {
+            for w in 0..4u64 {
+                let t = Arc::clone(&t);
+                s.spawn(move || {
+                    for i in 0..2000u64 {
+                        let key = (w << 32) | i;
+                        t.insert(key, &[key], 2, key % 5 == 0);
+                        if let Some(v) = t.probe(key, &[key], 2) {
+                            assert_eq!(v, key % 5 == 0);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(t.stats().inserts, 8000);
+    }
+
+    #[test]
+    fn root_probe_is_the_empty_state() {
+        let t = TransTable::new(1 << 10);
+        t.insert_root(99, 2, true);
+        assert_eq!(t.probe_root(99, 2), Some(true));
+        assert_eq!(t.probe(99, &[], 2), Some(true));
+        assert_eq!(t.probe_root(99, 3), None);
+    }
+}

@@ -11,8 +11,9 @@
 
 use fc_games::hintikka;
 use fc_games::solver::EfSolver;
-use fc_games::GamePair;
+use fc_games::{GamePair, TransTable};
 use fc_words::{Alphabet, Word};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 #[test]
@@ -108,4 +109,92 @@ fn e08_e09_fooling_scan_within_budget_and_profile_pruned() {
             "{name} scan perf regression: took {elapsed:?} (budget {budget:?})"
         );
     }
+}
+
+#[test]
+fn pr10_guided_confirmation_state_budgets() {
+    // PR-10 tripwire: the guided move ordering (compat lists + delta
+    // consistency + k == 1 shortcut, docs/SOLVER.md §9.4) shrank the E08
+    // confirmation from 3,292 explored states to 516 and E09 from 7,015
+    // to 794. State counts are deterministic — unlike wall time they trip
+    // identically on slow CI — so they are the primary assertion; the
+    // wall budget only catches an order-of-magnitude collapse (and must
+    // still clear unoptimized debug builds).
+    let budget = Duration::from_secs(30);
+    for (name, w, v, max_states) in [
+        (
+            "E08",
+            format!("{}{}", "a".repeat(12), "b".repeat(12)),
+            format!("{}{}", "a".repeat(14), "b".repeat(12)),
+            1200u64,
+        ),
+        (
+            "E09",
+            format!("{}{}", "a".repeat(12), "ba".repeat(12)),
+            format!("{}{}", "a".repeat(14), "ba".repeat(12)),
+            2000,
+        ),
+    ] {
+        let start = Instant::now();
+        let mut solver = EfSolver::new(GamePair::new(w, v, &Alphabet::ab()));
+        assert!(solver.equivalent(2), "{name} verdict regressed");
+        let elapsed = start.elapsed();
+        let stats = solver.stats();
+        println!(
+            "{name} guided confirmation: {elapsed:.3?} wall, {} states, {} memo hits, {} pruned",
+            stats.states_explored, stats.memo_hits, stats.pruned_moves
+        );
+        assert!(
+            stats.states_explored <= max_states,
+            "{name}: guided ordering regressed — {} states explored (budget {max_states})",
+            stats.states_explored
+        );
+        assert!(
+            elapsed < budget,
+            "{name} confirmation perf regression: took {elapsed:?} (budget {budget:?})"
+        );
+    }
+}
+
+#[test]
+fn pr10_shared_table_hit_rate_floor_on_e09_reconfirmation() {
+    // PR-10 tripwire: re-deciding a game against a shared transposition
+    // table must be answered out of the table, not re-searched. A fresh
+    // solver attached to the populated table has an empty L1 memo, so its
+    // root probe goes straight to the shared entries: zero states, and
+    // the table's overall hit rate clears a hard floor. A broken key
+    // (fingerprint drift between solvers) or an eviction bug drops the
+    // rate to ~0 long before it shows up in wall time.
+    let table = Arc::new(TransTable::new(1 << 16));
+    let w = format!("{}{}", "a".repeat(12), "ba".repeat(12));
+    let v = format!("{}{}", "a".repeat(14), "ba".repeat(12));
+    let game = GamePair::new(w, v, &Alphabet::ab());
+    assert!(EfSolver::new(game.clone())
+        .with_table(Arc::clone(&table))
+        .equivalent(2));
+    let mut second = EfSolver::new(game).with_table(Arc::clone(&table));
+    let start = Instant::now();
+    assert!(second.equivalent(2), "rescan verdict regressed");
+    let elapsed = start.elapsed();
+    let stats = second.stats();
+    let t = table.stats();
+    // The table's global counters include the first pass's populating
+    // misses, so the floor is on the *second solver's* probe ledger: it
+    // should be all hits (ideally one — the root).
+    let rate = stats.table_hits as f64 / (stats.table_hits + stats.table_misses).max(1) as f64;
+    println!(
+        "E09 reconfirmation: {elapsed:.3?} wall, {} states, solver probes {} hits / {} misses \
+         (rate {rate:.3}), table {t:?}",
+        stats.states_explored, stats.table_hits, stats.table_misses
+    );
+    assert_eq!(
+        stats.states_explored, 0,
+        "rescan re-searched {} states instead of hitting the shared table",
+        stats.states_explored
+    );
+    assert!(stats.table_hits >= 1, "{stats:?}");
+    assert!(
+        rate >= 0.9,
+        "shared-table rescan hit rate {rate:.3} below floor 0.9: {stats:?}"
+    );
 }

@@ -1,0 +1,152 @@
+//! Differential validation of the shared transposition table and the
+//! alphabet canonicalization layer (docs/SOLVER.md §9).
+//!
+//! The table is shared across *solvers*: a verdict computed for one game
+//! may be served to a different game whose fingerprinted subgame
+//! coincides. Both layers must be semantically invisible, so this suite
+//! pins, on the exhaustive window of all word pairs over Σ = {a, b} with
+//! |w| ≤ 4 and every rank k ≤ 2:
+//!
+//! - shared-table sequential verdicts == the naive reference solver,
+//!   with ONE table threaded through two passes over the window (the
+//!   second pass is answered out of entries the first one wrote);
+//! - shared-table parallel verdicts == shared-table sequential verdicts;
+//! - and, property-tested, that relabelling both words by a random
+//!   alphabet permutation π never changes the verdict — the soundness
+//!   contract behind `canon::canonical_pair` collapsing symmetric pairs.
+
+use fc_games::reference::naive_game_equivalent;
+use fc_games::solver::EfSolver;
+use fc_games::{canon, GamePair, TransTable};
+use fc_words::{Alphabet, Word};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// All words over {a, b} of length ≤ `max_len` (including ε).
+fn window(max_len: usize) -> Vec<String> {
+    Alphabet::ab()
+        .words_up_to(max_len)
+        .map(|w| String::from_utf8(w.bytes().to_vec()).unwrap())
+        .collect()
+}
+
+fn game(w: &str, v: &str) -> GamePair {
+    GamePair::new(w, v, &Alphabet::ab())
+}
+
+#[test]
+fn shared_table_sequential_matches_reference_on_window() {
+    let table = Arc::new(TransTable::new(1 << 16));
+    let words = window(4);
+    let mut checked = 0usize;
+    // Two passes over the window with ONE table: pass 0 populates it,
+    // pass 1 re-solves every game through a fresh solver whose empty L1
+    // memo forces it onto the shared entries. Both passes must agree
+    // with the reference — i.e. a table-served verdict is never allowed
+    // to differ from a freshly searched one.
+    for pass in 0..2 {
+        for (i, w) in words.iter().enumerate() {
+            for v in words.iter().skip(i) {
+                let g = game(w, v);
+                for k in 0..=2u32 {
+                    let fast = EfSolver::new(g.clone())
+                        .with_table(Arc::clone(&table))
+                        .equivalent(k);
+                    let slow = naive_game_equivalent(&g, k);
+                    assert_eq!(fast, slow, "pass={pass} w={w:?} v={v:?} k={k}");
+                    checked += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(checked, 2 * (31 * 32 / 2 * 3));
+    // Entries are keyed by the game fingerprint, so only the repeat pass
+    // can hit — and it must, or this suite is vacuous.
+    let t = table.stats();
+    assert!(t.hits > 0, "expected cross-solver table hits: {t:?}");
+    assert!(t.inserts > 0, "{t:?}");
+}
+
+#[test]
+fn shared_table_parallel_matches_sequential_on_window() {
+    let seq_table = Arc::new(TransTable::new(1 << 16));
+    let par_table = Arc::new(TransTable::new(1 << 16));
+    let words = window(4);
+    for w in &words {
+        for v in &words {
+            let g = game(w, v);
+            for k in 0..=2u32 {
+                let seq = EfSolver::new(g.clone())
+                    .with_table(Arc::clone(&seq_table))
+                    .equivalent(k);
+                let par = EfSolver::new(g.clone())
+                    .with_table(Arc::clone(&par_table))
+                    .equivalent_par(k, 3);
+                assert_eq!(seq, par, "w={w:?} v={v:?} k={k}");
+            }
+        }
+    }
+}
+
+/// π over {a, b, c} as a byte map.
+fn apply(pi: &[u8; 3], w: &str) -> String {
+    w.bytes().map(|b| pi[(b - b'a') as usize] as char).collect()
+}
+
+fn abc_word(max_len: usize) -> impl Strategy<Value = String> {
+    prop::collection::vec(prop::sample::select(vec!['a', 'b', 'c']), 0..=max_len)
+        .prop_map(|cs| cs.into_iter().collect())
+}
+
+fn permutation() -> impl Strategy<Value = [u8; 3]> {
+    prop::sample::select(vec![
+        [b'a', b'b', b'c'],
+        [b'a', b'c', b'b'],
+        [b'b', b'a', b'c'],
+        [b'b', b'c', b'a'],
+        [b'c', b'a', b'b'],
+        [b'c', b'b', b'a'],
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Verdicts are invariant under alphabet permutations: the FC
+    /// signature treats symbols uniformly (constants aside, and π
+    /// permutes the constants along with the words), so Duplicator
+    /// strategies transport across π. This is exactly the fact that
+    /// makes answering π(w), π(v) from a canonical root entry sound.
+    #[test]
+    fn verdicts_are_invariant_under_alphabet_permutation(
+        w in abc_word(4),
+        v in abc_word(4),
+        pi in permutation(),
+        k in 0u32..3,
+    ) {
+        let abc = Alphabet::abc();
+        let orig = EfSolver::new(GamePair::new(w.as_str(), v.as_str(), &abc)).equivalent(k);
+        let (pw, pv) = (apply(&pi, &w), apply(&pi, &v));
+        let renamed =
+            EfSolver::new(GamePair::new(pw.as_str(), pv.as_str(), &abc)).equivalent(k);
+        prop_assert_eq!(orig, renamed, "w={} v={} π={:?} k={}", w, v, pi, k);
+    }
+
+    /// The canonical pair itself has the original's verdict (it is one
+    /// particular relabelling of one particular orientation).
+    #[test]
+    fn canonical_pair_preserves_verdicts(w in abc_word(4), v in abc_word(4), k in 0u32..3) {
+        let Some((cw, cv)) = canon::canonical_pair(w.as_bytes(), v.as_bytes()) else {
+            return Ok(());
+        };
+        let abc = Alphabet::abc();
+        let orig = EfSolver::new(GamePair::new(w.as_str(), v.as_str(), &abc)).equivalent(k);
+        let canon_verdict = EfSolver::new(GamePair::new(
+            Word::from_bytes(cw.clone()),
+            Word::from_bytes(cv.clone()),
+            &abc,
+        ))
+        .equivalent(k);
+        prop_assert_eq!(orig, canon_verdict, "w={} v={} canon=({:?},{:?})", w, v, cw, cv);
+    }
+}

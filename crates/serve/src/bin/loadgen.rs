@@ -84,6 +84,18 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             summary.plan_cache_misses,
             100.0 * summary.plan_cache_hit_rate()
         );
+        println!(
+            "game table: {} hits / {} misses (hit rate {:.1}%), {} inserts, {} evictions",
+            summary.table_hits,
+            summary.table_misses,
+            100.0 * summary.table_hit_rate(),
+            summary.table_inserts,
+            summary.table_evictions
+        );
+        println!(
+            "canonical answers: {} game requests, {} classify pairs",
+            summary.canon_game_hits, summary.batch_canon_hits
+        );
         println!("errors: {}", summary.errors);
     }
     if summary.errors > 0 {

@@ -25,8 +25,8 @@
 use crate::json::{self, Value};
 use fc_games::batch::periodic_table_builder;
 use fc_games::{
-    ArithOracle, BatchSolver, EfSolver, GamePair, ShardRef, ShardedArena, SharedBatchStats,
-    SharedSolverStats, StructureArena,
+    canon, ArithOracle, BatchSolver, EfSolver, GamePair, ShardRef, ShardedArena, SharedBatchStats,
+    SharedSolverStats, StructureArena, TransTable, DEFAULT_TABLE_CAPACITY,
 };
 use fc_logic::analysis::{self, AnalysisConfig, Analyzer};
 use fc_logic::eval::Assignment;
@@ -77,6 +77,11 @@ pub struct EngineConfig {
     pub max_game_word_len: usize,
     /// Most words a single `classify` request may submit.
     pub max_classify_words: usize,
+    /// Slot budget of the engine-held game transposition table
+    /// ([`fc_games::ttable::TransTable`]). The table's memory is fixed at
+    /// construction and generationally evicted under churn, so this is a
+    /// hard ceiling, like `plan_cache_capacity`.
+    pub game_table_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -89,6 +94,7 @@ impl Default for EngineConfig {
             max_game_k: 3,
             max_game_word_len: 256,
             max_classify_words: 256,
+            game_table_capacity: DEFAULT_TABLE_CAPACITY >> 2,
         }
     }
 }
@@ -182,6 +188,14 @@ pub struct ServiceEngine {
     endpoints: Vec<EndpointMetrics>,
     /// `game` requests answered by the arithmetic fast path (no game).
     arith_game_hits: AtomicU64,
+    /// `game` requests answered by the shared table's canonical root entry
+    /// (a repeat, renamed, or swapped pair — no game).
+    canon_game_hits: AtomicU64,
+    /// The engine-held transposition table: shared by every worker's
+    /// scratch solver, every `classify` batch, and the canonical-root
+    /// `game` fast path. Bounded (see
+    /// [`EngineConfig::game_table_capacity`]).
+    game_table: Arc<TransTable>,
     requests: AtomicU64,
     protocol_errors: AtomicU64,
     started: Instant,
@@ -235,6 +249,7 @@ impl ServiceEngine {
         }
         ServiceEngine {
             plans: PlanCache::new(config.plan_cache_capacity),
+            game_table: Arc::new(TransTable::new(config.game_table_capacity)),
             config,
             docs: ShardedArena::new(),
             names: RwLock::new(HashMap::new()),
@@ -243,6 +258,7 @@ impl ServiceEngine {
             batch_stats: SharedBatchStats::new(),
             endpoints: (0..OPS.len()).map(|_| EndpointMetrics::default()).collect(),
             arith_game_hits: AtomicU64::new(0),
+            canon_game_hits: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
             started: Instant::now(),
@@ -561,16 +577,47 @@ impl ServiceEngine {
             payload.insert("k".to_string(), num(u64::from(k)));
             return Ok(payload);
         }
+        // Canonical-root fast path: the engine table's root entries are
+        // keyed by the *canonical* pair fingerprint, so a repeat request —
+        // including letter-renamed and argument-swapped variants — is
+        // answered without building a structure or playing a game. The
+        // response is byte-identical to the solver's; the route is visible
+        // only in `stats`.
+        let root_fp = canon::root_fingerprint(w.as_bytes(), v.as_bytes(), k);
+        if let Some(fp) = root_fp {
+            if let Some(verdict) = self.game_table.probe_root(fp, k) {
+                // Root entries identify pairs by hash tag; replay small
+                // instances in debug builds (the arith-tier discipline).
+                #[cfg(debug_assertions)]
+                if k <= 2 && w.len() <= 48 && v.len() <= 48 {
+                    assert_eq!(
+                        EfSolver::of(w, v).equivalent(k),
+                        verdict,
+                        "table root verdict diverged: {w} vs {v} at k={k}"
+                    );
+                }
+                self.canon_game_hits.fetch_add(1, Ordering::Relaxed);
+                let mut payload = Payload::new();
+                payload.insert("equivalent".to_string(), Value::Bool(verdict));
+                payload.insert("k".to_string(), num(u64::from(k)));
+                return Ok(payload);
+            }
+        }
         let game = GamePair::of(w, v);
         let solver = match scratch.solver.as_mut() {
             Some(s) => {
                 s.rebind(game);
                 s
             }
-            None => scratch.solver.insert(EfSolver::new(game)),
+            None => scratch
+                .solver
+                .insert(EfSolver::new(game).with_table(Arc::clone(&self.game_table))),
         };
         let before = solver.stats();
         let equivalent = solver.equivalent(k);
+        if let Some(fp) = root_fp {
+            self.game_table.insert_root(fp, k, equivalent);
+        }
         self.solver_stats
             .record(&solver.stats().delta_since(&before));
         let mut payload = Payload::new();
@@ -607,6 +654,7 @@ impl ServiceEngine {
         let k = self.game_rounds(req)?;
         let (arena, ids) = StructureArena::for_words(&words);
         let mut batch = BatchSolver::new(arena);
+        batch.share_table(Arc::clone(&self.game_table));
         let classes = batch.classify(&ids, k);
         self.batch_stats.record(&batch.stats());
         let mut payload = Payload::new();
@@ -775,6 +823,8 @@ impl ServiceEngine {
                 ("states_explored", num(solver.states_explored)),
                 ("memo_hits", num(solver.memo_hits)),
                 ("pruned_moves", num(solver.pruned_moves)),
+                ("table_hits", num(solver.table_hits)),
+                ("table_misses", num(solver.table_misses)),
                 (
                     "wall_ms",
                     Value::Number(solver.wall.as_nanos() as f64 / 1e6),
@@ -795,6 +845,7 @@ impl ServiceEngine {
                 ("rank2_refutations", num(batch.rank2_refutations)),
                 ("pairs_solved", num(batch.pairs_solved)),
                 ("memo_hits", num(batch.memo_hits)),
+                ("canon_hits", num(batch.canon_hits)),
                 ("solver_states", num(batch.solver.states_explored)),
                 ("wall_ms", Value::Number(batch.wall.as_nanos() as f64 / 1e6)),
             ]),
@@ -805,6 +856,22 @@ impl ServiceEngine {
                 "game_hits",
                 num(self.arith_game_hits.load(Ordering::Relaxed)),
             )]),
+        );
+        let tt = self.game_table.stats();
+        payload.insert(
+            "table".to_string(),
+            Value::object([
+                ("hits", num(tt.hits)),
+                ("misses", num(tt.misses)),
+                ("inserts", num(tt.inserts)),
+                ("evictions", num(tt.evictions)),
+                ("capacity", num(tt.capacity)),
+                ("bytes", num(self.game_table.bytes() as u64)),
+                (
+                    "canon_game_hits",
+                    num(self.canon_game_hits.load(Ordering::Relaxed)),
+                ),
+            ]),
         );
         payload
     }
@@ -906,6 +973,77 @@ mod tests {
         let v = json::parse(&stats).unwrap();
         let hits = v.get("arith").unwrap().get("game_hits").unwrap().as_f64();
         assert_eq!(hits, Some(2.0), "{stats}");
+    }
+
+    #[test]
+    fn game_canonical_root_path_answers_repeats_and_renamings() {
+        let e = engine();
+        // Aperiodic pair: solver route, root verdict recorded.
+        let first = e.handle(r#"{"op":"game","w":"aabb","v":"abab","k":2}"#);
+        // Repeat, argument-swapped, and letter-renamed variants are all
+        // answered from the canonical root entry — byte-identical verdict.
+        let repeat = e.handle(r#"{"op":"game","w":"aabb","v":"abab","k":2}"#);
+        let swapped = e.handle(r#"{"op":"game","w":"abab","v":"aabb","k":2}"#);
+        let renamed = e.handle(r#"{"op":"game","w":"bbaa","v":"baba","k":2}"#);
+        let verdict = |resp: &str| resp.contains(r#""equivalent":true"#);
+        assert_eq!(verdict(&first), verdict(&repeat));
+        assert_eq!(verdict(&first), verdict(&swapped));
+        assert_eq!(verdict(&first), verdict(&renamed));
+        let stats = json::parse(&e.handle(r#"{"op":"stats"}"#)).unwrap();
+        let table = stats.get("table").unwrap();
+        assert_eq!(
+            table.get("canon_game_hits").unwrap().as_f64(),
+            Some(3.0),
+            "{stats:?}"
+        );
+        assert!(table.get("inserts").unwrap().as_f64().unwrap() >= 1.0);
+        // A different k is a different root entry — no false sharing.
+        let k1 = e.handle(r#"{"op":"game","w":"aabb","v":"abab","k":1}"#);
+        let direct = EfSolver::of("aabb", "abab").equivalent(1);
+        assert_eq!(verdict(&k1), direct);
+    }
+
+    #[test]
+    fn game_table_stays_bounded_under_churn() {
+        // 10⁴ distinct aperiodic game requests against a deliberately tiny
+        // table: memory must stay flat (the table's byte footprint is
+        // fixed at construction) while generational eviction recycles
+        // slots — the PlanCache discipline, applied to game state.
+        let e = ServiceEngine::new(EngineConfig {
+            game_table_capacity: 1 << 10,
+            ..EngineConfig::default()
+        });
+        let bits = |n: usize| -> String {
+            (0..7)
+                .map(|b| if n >> b & 1 == 1 { 'b' } else { 'a' })
+                .collect()
+        };
+        let bytes_before = {
+            let v = json::parse(&e.handle(r#"{"op":"stats"}"#)).unwrap();
+            v.get("table").unwrap().get("bytes").unwrap().as_f64()
+        };
+        for i in 0..100usize {
+            for j in 0..100usize {
+                let line = format!(
+                    r#"{{"op":"game","w":"ab{}","v":"ba{}","k":1}}"#,
+                    bits(i),
+                    bits(j)
+                );
+                assert!(e.handle(&line).contains(r#""ok":true"#));
+            }
+        }
+        let stats = json::parse(&e.handle(r#"{"op":"stats"}"#)).unwrap();
+        let table = stats.get("table").unwrap();
+        assert_eq!(
+            table.get("bytes").unwrap().as_f64(),
+            bytes_before,
+            "table memory must not grow under churn"
+        );
+        assert!(
+            table.get("evictions").unwrap().as_f64().unwrap() > 0.0,
+            "a 1k-slot table under 10⁴ games must have evicted"
+        );
+        assert!(table.get("inserts").unwrap().as_f64().unwrap() > 1_000.0);
     }
 
     #[test]

@@ -297,6 +297,19 @@ pub struct LoadgenSummary {
     pub plan_cache_hits: u64,
     /// Plan-cache misses reported by the server's final `stats` answer.
     pub plan_cache_misses: u64,
+    /// Shared game-table probe hits from the final `stats` answer.
+    pub table_hits: u64,
+    /// Shared game-table probe misses from the final `stats` answer.
+    pub table_misses: u64,
+    /// Entries inserted into the shared game table over the run.
+    pub table_inserts: u64,
+    /// Entries dropped by generational eviction over the run.
+    pub table_evictions: u64,
+    /// `game` requests answered from a canonical root entry (repeat,
+    /// letter-renamed, or swapped pairs — no game search).
+    pub canon_game_hits: u64,
+    /// `classify` pairs answered by the batch engine's canonical memo.
+    pub batch_canon_hits: u64,
     /// Per-endpoint latency breakdown, sorted by op name. Ops are read
     /// back from the workload lines *after* the timed replay, so the
     /// breakdown adds no work to the measured section.
@@ -329,6 +342,16 @@ impl LoadgenSummary {
         }
     }
 
+    /// Hit fraction of the shared game table (0 when never probed).
+    pub fn table_hit_rate(&self) -> f64 {
+        let total = self.table_hits + self.table_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.table_hits as f64 / total as f64
+        }
+    }
+
     /// Flat JSON rendering (the shape `scripts/bench_snapshot.sh`
     /// consumes). Per-op quantiles flatten to `serve_<op>_p50_us` /
     /// `serve_<op>_p99_us` keys.
@@ -356,6 +379,28 @@ impl LoadgenSummary {
             (
                 "serve_plan_cache_hit_rate",
                 Value::Number(self.plan_cache_hit_rate()),
+            ),
+            ("serve_table_hits", Value::Number(self.table_hits as f64)),
+            (
+                "serve_table_misses",
+                Value::Number(self.table_misses as f64),
+            ),
+            ("serve_table_hit_rate", Value::Number(self.table_hit_rate())),
+            (
+                "serve_table_inserts",
+                Value::Number(self.table_inserts as f64),
+            ),
+            (
+                "serve_table_evictions",
+                Value::Number(self.table_evictions as f64),
+            ),
+            (
+                "serve_canon_game_hits",
+                Value::Number(self.canon_game_hits as f64),
+            ),
+            (
+                "serve_batch_canon_hits",
+                Value::Number(self.batch_canon_hits as f64),
             ),
         ]
         .into_iter()
@@ -461,13 +506,14 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenSummary> {
     let stats_line = control.round_trip(r#"{"op":"stats"}"#)?;
     let stats = json::parse(&stats_line)
         .map_err(|e| io::Error::other(format!("bad stats response: {e}")))?;
-    let cache_counter = |key: &str| {
+    let counter = |section: &str, key: &str| {
         stats
-            .get("plan_cache")
+            .get(section)
             .and_then(|pc| pc.get(key))
             .and_then(Value::as_f64)
             .unwrap_or(0.0) as u64
     };
+    let cache_counter = |key: &str| counter("plan_cache", key);
     let summary = LoadgenSummary {
         requests: lines.len() as u64,
         errors,
@@ -478,6 +524,12 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenSummary> {
         max: percentile(&latencies, 1.0),
         plan_cache_hits: cache_counter("hits"),
         plan_cache_misses: cache_counter("misses"),
+        table_hits: counter("table", "hits"),
+        table_misses: counter("table", "misses"),
+        table_inserts: counter("table", "inserts"),
+        table_evictions: counter("table", "evictions"),
+        canon_game_hits: counter("table", "canon_game_hits"),
+        batch_canon_hits: counter("batch", "canon_hits"),
         per_op,
         stats_line,
     };

@@ -16,7 +16,10 @@ cargo build --release --offline
 cargo test -q --offline
 
 echo "==> solver perf smokes (E08 confirmation + P9 batch classify on Σ^≤4 k=2 + E08/E09 scan tripwires, release, generous budgets)"
-cargo test -q --offline --release -p fc-games --test perf_smoke -- --nocapture
+cargo test -q --offline --release -p fc-games --test perf_smoke -- --nocapture --skip pr10_
+
+echo "==> PR10 tripwires (guided-ordering state budgets on the E08/E09 confirmations; shared-table hit-rate floor on the E09 reconfirmation; release)"
+cargo test -q --offline --release -p fc-games --test perf_smoke pr10_ -- --nocapture
 
 echo "==> arith-tier acceptance grid (u^p vs u^q, |u| <= 3, p,q <= 20, k <= 2, release; debug builds run the reduced grid in tier-1)"
 cargo test -q --offline --release -p fc-games --test arith_diff

@@ -4,7 +4,7 @@
 //! fc check  '<formula>' <word> [--stats] [--backend B]  model-check a sentence
 //! fc solve  '<formula>' <word> [--stats] [--backend B]  print all assignments
 //! fc lint   '<formula>' [flags]       diagnostics (see docs/ANALYSIS.md)
-//! fc game   <w> <v> <k> [--fast]      decide w ≡_k v, show a winning line
+//! fc game   <w> <v> <k> [--fast] [--stats]   decide w ≡_k v, show a winning line
 //!                                     (--fast: semilinear arithmetic oracle
 //!                                     for powers of a shared primitive root,
 //!                                     with the certificate; falls back to
@@ -301,9 +301,11 @@ fn cmd_lint(args: &[String]) -> ExitCode {
 fn cmd_game(args: &[String]) -> Result<(), String> {
     let mut pos: Vec<&str> = Vec::new();
     let mut fast = false;
+    let mut show_stats = false;
     for arg in args {
         match arg.as_str() {
             "--fast" => fast = true,
+            "--stats" => show_stats = true,
             flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
             other => pos.push(other),
         }
@@ -319,6 +321,11 @@ fn cmd_game(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
     let mut solver = EfSolver::of(w, v);
+    if show_stats {
+        solver.attach_table(std::sync::Arc::new(fc_suite::games::TransTable::new(
+            fc_suite::games::DEFAULT_TABLE_CAPACITY >> 4,
+        )));
+    }
     let verdict = solver.equivalent_auto(k);
     let stats = solver.stats();
     println!(
@@ -328,6 +335,31 @@ fn cmd_game(args: &[String]) -> Result<(), String> {
         stats.pruned_moves,
         stats.wall
     );
+    if show_stats {
+        if let Some((cw, cv)) = fc_suite::games::canon::canonical_pair(w.as_bytes(), v.as_bytes()) {
+            println!(
+                "  canonical pair: {} / {}",
+                String::from_utf8_lossy(&cw),
+                String::from_utf8_lossy(&cv)
+            );
+        }
+        println!(
+            "  solver table probes: {} hits, {} misses",
+            stats.table_hits, stats.table_misses
+        );
+        if let Some(table) = solver.shared_table() {
+            let t = table.stats();
+            println!(
+                "  shared table: {} inserts, {} hits, {} misses, {} evictions, {} slots, {} bytes",
+                t.inserts,
+                t.hits,
+                t.misses,
+                t.evictions,
+                t.capacity,
+                table.bytes()
+            );
+        }
+    }
     if !verdict {
         if let Some(line) = solver.spoiler_winning_line(k) {
             println!("Spoiler winning line:");
